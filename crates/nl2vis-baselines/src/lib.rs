@@ -1,0 +1,53 @@
+//! Baseline and fine-tuned models for NL2VIS (§4.3 of the paper), each a
+//! genuinely *trained* Rust model whose inductive bias matches the system it
+//! stands in for:
+//!
+//! - [`seq2vis`]: **Seq2Vis** — an LSTM-style sequence-to-sequence model,
+//!   whose dominant behaviour on a templated benchmark is memorization:
+//!   nearest-neighbour retrieval of a training query, emitted verbatim.
+//! - [`transformer`]: **Transformer** — retrieval plus an attention-copy
+//!   mechanism that substitutes literals from the question.
+//! - [`ncnet`]: **ncNet** — retrieval plus visualization-aware decoding:
+//!   chart-type forcing from the question and schema-token substitution
+//!   against the test database.
+//! - [`rgvisnet`]: **RGVisNet** — skeleton retrieval plus full schema-aware
+//!   re-grounding (prototype of the retrieve-refine-generate framework).
+//! - [`chat2vis`]: **Chat2Vis** — a zero-shot inference-only pipeline over
+//!   the Chat2Vis prompt template and a davinci-class simulated model.
+//! - [`t5`]: **T5-Small / T5-Base** — fine-tuned grammar-constrained
+//!   semantic parsers with a *learned lexicon* (phrase↔column statistics fit
+//!   on the training split).
+//!
+//! Why the cross-domain cliff is architectural here: the retrieval models
+//! copy table/column tokens from training queries and cannot re-ground them
+//! on unseen schemas; RGVisNet re-grounds but lacks synonym knowledge; the
+//! fine-tuned models learn the synonym statistics from data; the simulated
+//! LLMs get them from pretraining. That ordering *is* Table 3.
+
+pub mod chat2vis;
+pub mod ncnet;
+pub mod retrieval;
+pub mod rgvisnet;
+pub mod seq2vis;
+pub mod t5;
+pub mod transformer;
+
+use nl2vis_data::Database;
+use nl2vis_query::ast::VqlQuery;
+
+/// A model that maps (question, grounded database) to a VQL query.
+pub trait Nl2VisModel {
+    /// Model name as reported in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Predicts a query; `None` models a generation failure (unparseable
+    /// output).
+    fn predict(&self, question: &str, db: &Database) -> Option<VqlQuery>;
+}
+
+pub use chat2vis::Chat2Vis;
+pub use ncnet::NcNet;
+pub use rgvisnet::RgVisNet;
+pub use seq2vis::Seq2Vis;
+pub use t5::{T5Model, T5Size};
+pub use transformer::TransformerModel;

@@ -1,0 +1,156 @@
+//! **RGVisNet** (Song et al., KDD 2022): retrieve the most relevant
+//! visualization-query *prototype* from a codebase, then *revise* it with a
+//! schema-aware network before generating the final query.
+//!
+//! The reproduction follows the same retrieve-refine split: the skeleton
+//! (clause structure) comes from the retrieved prototype, while every
+//! grounded element — table, columns, literals, join keys — is re-derived
+//! from the test question and the test database schema using the shared
+//! intent parser and linker, *without* synonym world-knowledge (the GNN
+//! schema encoder sees identifier tokens, not English). This re-grounding is
+//! what lifts RGVisNet's cross-domain accuracy far above the pure seq2seq
+//! baselines (0.45 in Table 3) while still trailing the LLMs.
+
+use crate::retrieval::RetrievalIndex;
+use crate::Nl2VisModel;
+use nl2vis_corpus::Corpus;
+use nl2vis_data::Database;
+use nl2vis_llm::recover::RecoveredSchema;
+use nl2vis_llm::understand::{ground, parse_question};
+use nl2vis_query::ast::VqlQuery;
+use nl2vis_query::printer::print_sketch;
+
+/// The trained RGVisNet model.
+#[derive(Debug, Clone)]
+pub struct RgVisNet {
+    index: RetrievalIndex,
+}
+
+impl RgVisNet {
+    /// Trains (indexes the prototype codebase).
+    pub fn train(corpus: &Corpus, train_ids: &[usize]) -> RgVisNet {
+        RgVisNet { index: RetrievalIndex::build_with(corpus, train_ids, crate::retrieval::TokenMode::Content) }
+    }
+}
+
+impl Nl2VisModel for RgVisNet {
+    fn name(&self) -> &str {
+        "RGVisNet"
+    }
+
+    fn predict(&self, question: &str, db: &Database) -> Option<VqlQuery> {
+        // Refine-and-generate: parse the intent and ground it on the *test*
+        // schema. No synonym knowledge — the schema encoder only matches
+        // identifier tokens.
+        let schema = RecoveredSchema::from_database(db);
+        let intent = parse_question(question);
+        let no_synonyms = |_: &str| false;
+        let grounded = ground(&intent, &schema, &no_synonyms);
+
+        // Retrieve the prototype for structural validation.
+        let prototype = self.index.best(question);
+
+        match (grounded, prototype) {
+            (Some(g), Some((score, proto))) => {
+                // When grounding lost essential parts (unlinked axes), the
+                // revision network trusts the prototype if it is a close
+                // match from the same database; otherwise it emits the
+                // grounded query *restricted to the prototype's clause
+                // structure* — the revision network fills the retrieved
+                // skeleton's slots, it cannot invent clauses the prototype
+                // lacks (the framework's known limitation on novel
+                // structures).
+                let risky = g.risk.x_unlinked || g.risk.y_unlinked;
+                if risky && score > 0.8 && proto.db == db.name() {
+                    Some(proto.vql.clone())
+                } else {
+                    let mut q = g.query;
+                    if print_sketch(&q) != print_sketch(&proto.vql) {
+                        restrict_to_skeleton(&mut q, &proto.vql);
+                    }
+                    Some(q)
+                }
+            }
+            (Some(g), None) => Some(g.query),
+            (None, Some((score, proto))) if score > 0.5 && proto.db == db.name() => {
+                Some(proto.vql.clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Drops the clauses of `q` that the retrieved prototype's skeleton does not
+/// contain: the revision network can only fill slots the skeleton has.
+fn restrict_to_skeleton(q: &mut VqlQuery, proto: &VqlQuery) {
+    if proto.filter.is_none() {
+        q.filter = None;
+    }
+    if proto.order.is_none() {
+        q.order = None;
+    }
+    if proto.bin.is_none() {
+        q.bin = None;
+    }
+    if proto.group_by.len() < 2 && q.group_by.len() > 1 {
+        q.group_by.truncate(1);
+    }
+    if proto.group_by.is_empty() && !q.y.is_aggregate() {
+        q.group_by.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_corpus::CorpusConfig;
+    use nl2vis_query::canon::exact_match;
+
+    #[test]
+    fn regrounds_on_unseen_database() {
+        let c = Corpus::build(&CorpusConfig::small(47));
+        let db0 = c.examples[0].db.clone();
+        let train_ids: Vec<usize> =
+            c.examples.iter().filter(|e| e.db == db0).map(|e| e.id).collect();
+        let m = RgVisNet::train(&c, &train_ids);
+        // Predictions on unseen databases use the test schema's identifiers.
+        let mut correct = 0;
+        let mut total = 0;
+        for e in c.examples.iter().filter(|e| e.db != db0).take(40) {
+            let db = c.catalog.database(&e.db).unwrap();
+            if let Some(pred) = m.predict(&e.nl, db) {
+                assert!(db.table(&pred.from).is_ok(), "grounded FROM must exist in test DB");
+                total += 1;
+                if exact_match(&pred, &e.vql) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(total > 10);
+        assert!(correct > 0, "re-grounding should solve some unseen-DB queries");
+    }
+
+    #[test]
+    fn beats_pure_retrieval_cross_domain() {
+        let c = Corpus::build(&CorpusConfig::small(47));
+        let split = c.split_cross_domain(1);
+        let rg = RgVisNet::train(&c, &split.train);
+        let s2v = crate::Seq2Vis::train(&c, &split.train);
+        let mut rg_ok = 0;
+        let mut s2v_ok = 0;
+        for id in split.test.iter().take(60) {
+            let e = c.example(*id).unwrap();
+            let db = c.catalog.database(&e.db).unwrap();
+            if rg.predict(&e.nl, db).is_some_and(|p| exact_match(&p, &e.vql)) {
+                rg_ok += 1;
+            }
+            if s2v.predict(&e.nl, db).is_some_and(|p| exact_match(&p, &e.vql)) {
+                s2v_ok += 1;
+            }
+        }
+        assert!(
+            rg_ok > s2v_ok,
+            "RGVisNet ({rg_ok}) should beat Seq2Vis ({s2v_ok}) cross-domain"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! **Seq2Vis** (Luo et al., SIGMOD 2021): an LSTM encoder-decoder trained
+//! end-to-end on (NL, VQL) pairs.
+//!
+//! On a templated benchmark, a small seq2seq model's winning strategy is to
+//! memorize surface patterns: for a test question it effectively reproduces
+//! the training query whose phrasing it matches best, copying the training
+//! query's table and column tokens verbatim. That behaviour gives strong
+//! in-domain scores (the same database's paraphrases are in training) and a
+//! collapse to ~0 cross-domain (the emitted identifiers belong to a training
+//! database) — exactly the cliff reported in Table 3 of the paper.
+
+use crate::retrieval::RetrievalIndex;
+use crate::Nl2VisModel;
+use nl2vis_corpus::Corpus;
+use nl2vis_data::Database;
+use nl2vis_query::ast::VqlQuery;
+
+/// The trained Seq2Vis model.
+#[derive(Debug, Clone)]
+pub struct Seq2Vis {
+    index: RetrievalIndex,
+}
+
+impl Seq2Vis {
+    /// "Trains" the model on the given training split (builds the learned
+    /// pattern memory).
+    pub fn train(corpus: &Corpus, train_ids: &[usize]) -> Seq2Vis {
+        Seq2Vis { index: RetrievalIndex::build(corpus, train_ids) }
+    }
+}
+
+impl Nl2VisModel for Seq2Vis {
+    fn name(&self) -> &str {
+        "Seq2Vis"
+    }
+
+    fn predict(&self, question: &str, _db: &Database) -> Option<VqlQuery> {
+        // Decode = emit the best-matching memorized output verbatim.
+        // Below a minimal similarity the decoder produces unusable output.
+        let (score, entry) = self.index.best(question)?;
+        if score < 0.12 {
+            return None;
+        }
+        Some(entry.vql.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_corpus::CorpusConfig;
+    use nl2vis_query::canon::exact_match;
+
+    #[test]
+    fn reproduces_training_examples() {
+        let c = Corpus::build(&CorpusConfig::small(37));
+        let ids: Vec<usize> = c.examples.iter().map(|e| e.id).collect();
+        let m = Seq2Vis::train(&c, &ids);
+        let e = &c.examples[3];
+        let db = c.catalog.database(&e.db).unwrap();
+        let pred = m.predict(&e.nl, db).unwrap();
+        assert!(exact_match(&pred, &e.vql));
+    }
+
+    #[test]
+    fn emits_training_identifiers_cross_domain() {
+        let c = Corpus::build(&CorpusConfig::small(37));
+        // Train only on one database's examples.
+        let db0 = c.examples[0].db.clone();
+        let ids: Vec<usize> =
+            c.examples.iter().filter(|e| e.db == db0).map(|e| e.id).collect();
+        let m = Seq2Vis::train(&c, &ids);
+        // Predict on a different database: the output references the
+        // training database's tables (the memorization failure mode).
+        let other = c.examples.iter().find(|e| e.db != db0).unwrap();
+        let db = c.catalog.database(&other.db).unwrap();
+        if let Some(pred) = m.predict(&other.nl, db) {
+            let from_exists = db.table(&pred.from).is_ok();
+            let train_db = c.catalog.database(&db0).unwrap();
+            let from_in_train = train_db.table(&pred.from).is_ok();
+            assert!(from_in_train || from_exists);
+            assert!(from_in_train, "seq2seq memorization should copy training tables");
+        }
+    }
+
+    #[test]
+    fn gibberish_question_fails() {
+        let c = Corpus::build(&CorpusConfig::small(37));
+        let ids: Vec<usize> = c.examples.iter().map(|e| e.id).collect();
+        let m = Seq2Vis::train(&c, &ids);
+        let db = c.catalog.database(&c.examples[0].db).unwrap();
+        assert!(m.predict("zzz qqq xxx", db).is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! Benchmarks for the corpus generator: database instantiation, query
+//! synthesis, NL realization, and whole-corpus builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nl2vis_corpus::domains::all_domains;
+use nl2vis_corpus::generate::instantiate;
+use nl2vis_corpus::realize::realize;
+use nl2vis_corpus::synth::{synthesize, Hardness};
+use nl2vis_corpus::{Corpus, CorpusConfig};
+use nl2vis_data::Rng;
+use std::hint::black_box;
+
+fn bench_instantiate(c: &mut Criterion) {
+    let spec = &all_domains()[1]; // college: three tables, two FKs
+    c.bench_function("corpus_instantiate_db", |b| {
+        b.iter(|| instantiate(black_box(spec), 0, &mut Rng::new(3)))
+    });
+}
+
+fn bench_synthesize(c: &mut Criterion) {
+    let db = instantiate(&all_domains()[1], 0, &mut Rng::new(3));
+    let mut group = c.benchmark_group("corpus_synthesize");
+    for h in Hardness::all() {
+        group.bench_function(h.label(), |b| {
+            let mut rng = Rng::new(11);
+            b.iter(|| synthesize(black_box(&db), h, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_realize(c: &mut Criterion) {
+    let db = instantiate(&all_domains()[1], 0, &mut Rng::new(3));
+    let q = synthesize(&db, Hardness::Hard, &mut Rng::new(5)).expect("query");
+    c.bench_function("corpus_realize_nl", |b| {
+        let mut rng = Rng::new(13);
+        b.iter(|| realize(black_box(&q), &db, &mut rng))
+    });
+}
+
+fn bench_full_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_build");
+    group.sample_size(10);
+    group.bench_function("small", |b| {
+        b.iter(|| Corpus::build(black_box(&CorpusConfig::small(7))))
+    });
+    group.finish();
+}
+
+fn bench_splits(c: &mut Criterion) {
+    let corpus = Corpus::build(&CorpusConfig::small(7));
+    c.bench_function("corpus_split_in_domain", |b| b.iter(|| corpus.split_in_domain(3)));
+    c.bench_function("corpus_split_cross_domain", |b| b.iter(|| corpus.split_cross_domain(3)));
+}
+
+criterion_group!(
+    benches,
+    bench_instantiate,
+    bench_synthesize,
+    bench_realize,
+    bench_full_build,
+    bench_splits
+);
+criterion_main!(benches);

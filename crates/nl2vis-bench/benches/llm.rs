@@ -1,0 +1,90 @@
+//! End-to-end model benchmarks: question understanding, grounding, full
+//! simulated-LLM completions at different shot counts, the HTTP transport,
+//! and baseline predictions — the latency surface behind Table 4's cost
+//! discussion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nl2vis_baselines::{Nl2VisModel, RgVisNet, Seq2Vis, T5Model, T5Size};
+use nl2vis_corpus::{Corpus, CorpusConfig, Example};
+use nl2vis_llm::http::{CompletionServer, HttpLlmClient};
+use nl2vis_llm::recover::RecoveredSchema;
+use nl2vis_llm::understand::{ground, parse_question};
+use nl2vis_llm::{ModelProfile, SimLlm};
+use nl2vis_prompt::select::DemoPool;
+use nl2vis_prompt::{build_prompt, PromptOptions};
+use std::hint::black_box;
+
+fn setup() -> (Corpus, String) {
+    let corpus = Corpus::build(&CorpusConfig::small(7));
+    let question = corpus.examples[0].nl.clone();
+    (corpus, question)
+}
+
+fn bench_understanding(c: &mut Criterion) {
+    let (corpus, question) = setup();
+    let db = corpus.catalog.database(&corpus.examples[0].db).unwrap();
+    let schema = RecoveredSchema::from_database(db);
+    c.bench_function("llm_parse_question", |b| b.iter(|| parse_question(black_box(&question))));
+    let intent = parse_question(&question);
+    let know_all = |_: &str| true;
+    c.bench_function("llm_ground_intent", |b| {
+        b.iter(|| ground(black_box(&intent), &schema, &know_all))
+    });
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let (corpus, question) = setup();
+    let db = corpus.catalog.database(&corpus.examples[0].db).unwrap();
+    let candidates: Vec<&Example> = corpus.examples.iter().collect();
+    let pool = DemoPool::new(&candidates);
+    let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+
+    let mut group = c.benchmark_group("llm_complete");
+    for k in [0usize, 5, 20] {
+        let demos = pool.select_similar(&question, k, usize::MAX);
+        let options = PromptOptions { token_budget: 16384, ..Default::default() };
+        let prompt = build_prompt(&options, db, &question, &demos, |d| {
+            corpus.catalog.database(&d.db).unwrap()
+        });
+        group.bench_function(format!("{k}_shot"), |b| {
+            b.iter(|| llm.complete(black_box(&prompt.text)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_http_roundtrip(c: &mut Criterion) {
+    let (corpus, question) = setup();
+    let db = corpus.catalog.database(&corpus.examples[0].db).unwrap();
+    let options = PromptOptions::default();
+    let prompt = build_prompt(&options, db, &question, &[], |_: &Example| unreachable!());
+    let server = CompletionServer::start(SimLlm::new(ModelProfile::davinci_003(), 3)).unwrap();
+    let client = HttpLlmClient::new(server.address(), "text-davinci-003");
+    c.bench_function("llm_http_roundtrip", |b| {
+        b.iter(|| client.complete_http(black_box(&prompt.text)).unwrap())
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let (corpus, question) = setup();
+    let db = corpus.catalog.database(&corpus.examples[0].db).unwrap();
+    let ids: Vec<usize> = corpus.examples.iter().map(|e| e.id).collect();
+    let mut group = c.benchmark_group("baseline_predict");
+    let s2v = Seq2Vis::train(&corpus, &ids);
+    group.bench_function("seq2vis", |b| b.iter(|| s2v.predict(black_box(&question), db)));
+    let rg = RgVisNet::train(&corpus, &ids);
+    group.bench_function("rgvisnet", |b| b.iter(|| rg.predict(black_box(&question), db)));
+    let t5 = T5Model::train(&corpus, &ids, T5Size::Base, 1);
+    group.bench_function("t5_base", |b| b.iter(|| t5.predict(black_box(&question), db)));
+    group.finish();
+
+    let mut train_group = c.benchmark_group("baseline_train");
+    train_group.sample_size(10);
+    train_group.bench_function("t5_base_fit", |b| {
+        b.iter(|| T5Model::train(black_box(&corpus), &ids, T5Size::Base, 1))
+    });
+    train_group.finish();
+}
+
+criterion_group!(benches, bench_understanding, bench_completion, bench_http_roundtrip, bench_baselines);
+criterion_main!(benches);

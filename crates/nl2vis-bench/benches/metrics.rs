@@ -1,0 +1,61 @@
+//! Benchmarks for the evaluation layer: exact/execution scoring, the
+//! component diff, rendering, and the comparison-strategy ablation called
+//! out in DESIGN.md §6 (canonical result-set comparison vs ordered-tuple
+//! comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nl2vis_corpus::domains::all_domains;
+use nl2vis_corpus::generate::instantiate;
+use nl2vis_data::Rng;
+use nl2vis_eval::metrics::score_query;
+use nl2vis_query::component::diff;
+use nl2vis_query::{execute, parse};
+use nl2vis_vega::{ascii, spec, svg};
+use std::hint::black_box;
+
+const GOLD: &str =
+    "VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team ORDER BY team ASC";
+const NEAR: &str =
+    "VISUALIZE bar SELECT team , COUNT(tech_id) FROM technician GROUP BY team ORDER BY team ASC";
+
+fn bench_scoring(c: &mut Criterion) {
+    let db = instantiate(&all_domains()[0], 0, &mut Rng::new(7));
+    let gold = parse(GOLD).unwrap();
+    let near = parse(NEAR).unwrap();
+    c.bench_function("metrics_score_query", |b| {
+        b.iter(|| score_query(black_box(&near), &gold, &db))
+    });
+    c.bench_function("metrics_component_diff", |b| b.iter(|| diff(black_box(&gold), &near)));
+}
+
+/// Ablation `ablation_exec_compare` (DESIGN.md §6): multiset comparison of
+/// canonical rows vs ordered-sequence comparison.
+fn bench_exec_compare_ablation(c: &mut Criterion) {
+    let db = instantiate(&all_domains()[0], 0, &mut Rng::new(7));
+    let unordered = execute(
+        &parse("VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team").unwrap(),
+        &db,
+    )
+    .unwrap();
+    let ordered = execute(&parse(GOLD).unwrap(), &db).unwrap();
+    let mut group = c.benchmark_group("ablation_exec_compare");
+    group.bench_function("multiset", |b| {
+        b.iter(|| black_box(&unordered).same_data(&unordered.clone()))
+    });
+    group.bench_function("ordered", |b| {
+        b.iter(|| black_box(&ordered).same_data(&ordered.clone()))
+    });
+    group.finish();
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    let db = instantiate(&all_domains()[0], 0, &mut Rng::new(7));
+    let q = parse(GOLD).unwrap();
+    let result = execute(&q, &db).unwrap();
+    c.bench_function("render_vega_lite", |b| b.iter(|| spec::to_vega_lite(&q, black_box(&result))));
+    c.bench_function("render_svg", |b| b.iter(|| svg::render_svg(black_box(&result))));
+    c.bench_function("render_ascii", |b| b.iter(|| ascii::render_ascii(black_box(&result))));
+}
+
+criterion_group!(benches, bench_scoring, bench_exec_compare_ablation, bench_rendering);
+criterion_main!(benches);

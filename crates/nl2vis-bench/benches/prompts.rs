@@ -1,0 +1,65 @@
+//! Benchmarks for prompt engineering: every serialization strategy of
+//! Figure 4, schema recovery from each, demonstration selection, and ICL
+//! prompt assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nl2vis_corpus::{Corpus, CorpusConfig, Example};
+use nl2vis_llm::recover::recover;
+use nl2vis_prompt::select::DemoPool;
+use nl2vis_prompt::{build_prompt, PromptFormat, PromptOptions};
+use std::hint::black_box;
+
+const QUESTION: &str = "Show a bar chart of the number of technicians for each team.";
+
+fn bench_serialize(c: &mut Criterion) {
+    let corpus = Corpus::build(&CorpusConfig::small(7));
+    let db = corpus.catalog.database("baseball_club").unwrap();
+    let mut group = c.benchmark_group("prompt_serialize");
+    for format in PromptFormat::all() {
+        group.bench_function(format.name(), |b| {
+            b.iter(|| format.serialize(black_box(db), QUESTION))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recover(c: &mut Criterion) {
+    let corpus = Corpus::build(&CorpusConfig::small(7));
+    let db = corpus.catalog.database("baseball_club").unwrap();
+    let mut group = c.benchmark_group("prompt_recover");
+    for format in [
+        PromptFormat::Table2Sql,
+        PromptFormat::Table2Json,
+        PromptFormat::Table2Xml,
+        PromptFormat::Table2Code,
+        PromptFormat::Chat2Vis,
+    ] {
+        let text = format.serialize(db, QUESTION);
+        group.bench_function(format.name(), |b| b.iter(|| recover(black_box(&text))));
+    }
+    group.finish();
+}
+
+fn bench_selection_and_assembly(c: &mut Criterion) {
+    let corpus = Corpus::build(&CorpusConfig::small(7));
+    let db = corpus.catalog.database("baseball_club").unwrap();
+    let candidates: Vec<&Example> = corpus.examples.iter().collect();
+    let pool = DemoPool::new(&candidates);
+
+    c.bench_function("prompt_demo_selection_top20", |b| {
+        b.iter(|| pool.select_similar(black_box(QUESTION), 20, usize::MAX))
+    });
+
+    let demos = pool.select_similar(QUESTION, 20, usize::MAX);
+    let options = PromptOptions { token_budget: 16384, ..Default::default() };
+    c.bench_function("prompt_assemble_20_shot", |b| {
+        b.iter(|| {
+            build_prompt(black_box(&options), db, QUESTION, &demos, |d| {
+                corpus.catalog.database(&d.db).unwrap()
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_serialize, bench_recover, bench_selection_and_assembly);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks for the VQL language core: lexing+parsing, printing,
+//! canonicalization and execution (single-table and join plans).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nl2vis_corpus::domains::all_domains;
+use nl2vis_corpus::generate::instantiate;
+use nl2vis_data::Rng;
+use nl2vis_query::canon::canonicalize;
+use nl2vis_query::printer::print;
+use nl2vis_query::{execute, parse};
+use std::hint::black_box;
+
+const SIMPLE: &str =
+    "VISUALIZE bar SELECT team , COUNT(name) FROM technician WHERE team != \"NYY\" GROUP BY team ORDER BY team ASC";
+const COMPLEX: &str = "VISUALIZE bar SELECT technician.team , SUM(machine.value) FROM machine \
+     JOIN technician ON machine.tech_id = technician.tech_id \
+     WHERE machine.value > 1000.0 AND technician.age < 50 \
+     GROUP BY technician.team , technician.team ORDER BY y DESC";
+const NESTED: &str = "VISUALIZE pie SELECT team , COUNT(team) FROM technician WHERE tech_id IN \
+     ( SELECT tech_id FROM machine WHERE value > 2000.0 ) GROUP BY team";
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vql_parse");
+    for (name, src) in [("simple", SIMPLE), ("join", COMPLEX), ("nested", NESTED)] {
+        group.bench_function(name, |b| b.iter(|| parse(black_box(src)).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_print_canon(c: &mut Criterion) {
+    let q = parse(COMPLEX).unwrap();
+    c.bench_function("vql_print", |b| b.iter(|| print(black_box(&q))));
+    c.bench_function("vql_canonicalize", |b| b.iter(|| canonicalize(black_box(&q))));
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let db = instantiate(&all_domains()[0], 0, &mut Rng::new(7));
+    let simple = parse(SIMPLE).unwrap();
+    let join = parse(COMPLEX).unwrap();
+    let nested = parse(NESTED).unwrap();
+    let mut group = c.benchmark_group("vql_execute");
+    group.bench_function("group_by", |b| b.iter(|| execute(black_box(&simple), &db).unwrap()));
+    group.bench_function("hash_join", |b| b.iter(|| execute(black_box(&join), &db).unwrap()));
+    group.bench_function("subquery", |b| b.iter(|| execute(black_box(&nested), &db).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_print_canon, bench_execute);
+criterion_main!(benches);

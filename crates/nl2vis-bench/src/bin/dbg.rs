@@ -1,0 +1,23 @@
+use nl2vis_bench::ExperimentContext;
+use nl2vis_llm::recover::RecoveredSchema;
+use nl2vis_llm::understand::{ground, parse_question};
+use nl2vis_query::printer::print;
+
+fn main() {
+    let ctx = ExperimentContext::full();
+    let yes = |_: &str| true;
+    let no = |_: &str| false;
+    let mut diffs = 0;
+    let mut alias_words = 0;
+    for id in ctx.cross_split.test.iter().take(250) {
+        let e = ctx.corpus.example(*id).unwrap();
+        if e.nl.contains("pay") || e.nl.contains("wage") || e.nl.contains("worth") { alias_words += 1; }
+        let db = ctx.corpus.catalog.database(&e.db).unwrap();
+        let schema = RecoveredSchema::from_database(db);
+        let intent = parse_question(&e.nl);
+        let a = ground(&intent, &schema, &yes).map(|g| print(&g.query));
+        let b = ground(&intent, &schema, &no).map(|g| print(&g.query));
+        if a != b { diffs += 1; if diffs <= 3 { println!("NL: {}\n  yes: {:?}\n  no:  {:?}", e.nl, a, b); } }
+    }
+    println!("ground diffs: {diffs}/250, alias-ish questions: {alias_words}");
+}

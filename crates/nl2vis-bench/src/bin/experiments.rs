@@ -1,0 +1,74 @@
+//! The experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p nl2vis-bench --bin experiments --release -- all
+//! cargo run -p nl2vis-bench --bin experiments --release -- table3 fig11 --fast
+//! ```
+
+use nl2vis_bench::experiments;
+use nl2vis_bench::ExperimentContext;
+
+const ALL: &[&str] = &[
+    "table2", "fig6", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13",
+    "ablations", "ext_vega", "hardness",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if requested.is_empty() || requested.contains(&"all") {
+        requested = ALL.to_vec();
+    }
+    for r in &requested {
+        if !ALL.contains(r) {
+            eprintln!("unknown experiment `{r}`; available: all {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!(
+        "building corpus ({}) ...",
+        if fast { "fast profile" } else { "full profile" }
+    );
+    let started = std::time::Instant::now();
+    let ctx = if fast { ExperimentContext::fast() } else { ExperimentContext::full() };
+    eprintln!(
+        "corpus ready: {} databases, {} examples ({:.1}s)\n",
+        ctx.corpus.catalog.len(),
+        ctx.corpus.examples.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    let mut fig9_done = false;
+    for name in requested {
+        let t = std::time::Instant::now();
+        let text = match name {
+            "table2" => experiments::table2(&ctx).1,
+            "fig6" => experiments::fig6(&ctx).1,
+            "table3" => experiments::table3(&ctx).1,
+            "table4" => experiments::table4(&ctx).1,
+            "fig7" => experiments::fig7(&ctx).1,
+            "fig8" => experiments::fig8(&ctx).1,
+            "fig9" | "fig10" => {
+                if fig9_done {
+                    continue;
+                }
+                fig9_done = true;
+                experiments::fig9_fig10(&ctx).1
+            }
+            "fig11" => experiments::fig11(&ctx).1,
+            "fig13" => experiments::fig13(&ctx).1,
+            "ablations" => experiments::ablations(&ctx),
+            "ext_vega" => experiments::ext_vega(&ctx).1,
+            "hardness" => experiments::hardness(&ctx).1,
+            _ => unreachable!("validated above"),
+        };
+        println!("{text}");
+        eprintln!("[{name} took {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,54 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation section (see DESIGN.md §3 for the experiment index).
+//!
+//! Each experiment is a pure function of an [`ExperimentContext`] and
+//! returns both structured rows (asserted on by integration tests) and a
+//! rendered text table (printed by the `experiments` binary and recorded in
+//! EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod render;
+
+use nl2vis_corpus::{Corpus, CorpusConfig, Split};
+
+/// Shared state for a batch of experiments.
+pub struct ExperimentContext {
+    /// The benchmark corpus.
+    pub corpus: Corpus,
+    /// In-domain 7:2:1 split.
+    pub in_split: Split,
+    /// Cross-domain 7:2:1 split.
+    pub cross_split: Split,
+    /// Master seed for model sampling.
+    pub seed: u64,
+    /// Cap on evaluated test examples per configuration (None = all).
+    pub limit: Option<usize>,
+}
+
+impl ExperimentContext {
+    /// The full-scale context used for EXPERIMENTS.md numbers.
+    pub fn full() -> ExperimentContext {
+        ExperimentContext::with_config(&CorpusConfig::default(), 20240115, None)
+    }
+
+    /// A reduced context for quick runs (`--fast`) and integration tests.
+    pub fn fast() -> ExperimentContext {
+        ExperimentContext::with_config(
+            &CorpusConfig { seed: 20240115, instances_per_domain: 1, queries_per_db: 14, paraphrases: (2, 3) },
+            20240115,
+            Some(80),
+        )
+    }
+
+    /// Builds a context from an explicit corpus configuration.
+    pub fn with_config(
+        config: &CorpusConfig,
+        seed: u64,
+        limit: Option<usize>,
+    ) -> ExperimentContext {
+        let corpus = Corpus::build(config);
+        let in_split = corpus.split_in_domain(seed);
+        let cross_split = corpus.split_cross_domain(seed);
+        ExperimentContext { corpus, in_split, cross_split, seed, limit }
+    }
+}

@@ -1,0 +1,70 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders rows as an aligned text table with a header rule.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an accuracy as the paper's 2-decimal style.
+pub fn acc(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_table() {
+        let t = table(
+            &["model", "exact"],
+            &[
+                vec!["T5-Small".to_string(), "0.60".to_string()],
+                vec!["gpt-4".to_string(), "0.61".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("0.60"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(acc(0.614), "0.61");
+        assert_eq!(pct(0.356), "35.6%");
+    }
+}

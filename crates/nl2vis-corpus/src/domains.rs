@@ -1,0 +1,883 @@
+//! The domain library: parametric schema templates the corpus generator
+//! instantiates into concrete databases.
+//!
+//! nvBench spans 105 domains / 153 databases synthesized from Spider; we
+//! follow the same recipe with 16 hand-written domain templates (sports,
+//! college, hospital, retail, …) that the generator instantiates multiple
+//! times with varied data, giving a catalog of the same *kind* of diversity.
+
+use nl2vis_data::value::DataType;
+
+use crate::pools::*;
+
+/// How a column participates in query synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColRole {
+    /// Primary/foreign key; never an axis.
+    Id,
+    /// Low-cardinality category: usable as X, color, and equality filters.
+    Category,
+    /// Entity label (names/titles): usable as X for counts.
+    Label,
+    /// Numeric measure: usable as Y (SUM/AVG), scatter axes, range filters.
+    Measure,
+    /// Date column: usable as binned X and range filters.
+    Temporal,
+}
+
+/// Value generator for a column.
+#[derive(Debug, Clone, Copy)]
+pub enum ColGen {
+    /// 1..=n serial unique integers.
+    Serial,
+    /// Distinct-ish labels drawn from a pool (suffixes added on collision).
+    FromPool(&'static [&'static str]),
+    /// Low-cardinality categorical values from a pool.
+    Cat(&'static [&'static str]),
+    /// Uniform integer in a range.
+    IntRange(i64, i64),
+    /// Uniform float in a range (rounded to 2 decimals).
+    FloatRange(f64, f64),
+    /// Date with year in the inclusive range.
+    DateBetween(i32, i32),
+    /// Boolean.
+    Bool,
+    /// Foreign key into the named table's primary key.
+    Fk(&'static str),
+}
+
+/// A column template.
+#[derive(Debug, Clone, Copy)]
+pub struct ColSpec {
+    /// Identifier.
+    pub name: &'static str,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Value generator.
+    pub gen: ColGen,
+    /// NL alias words users say for this column.
+    pub aliases: &'static [&'static str],
+    /// Synthesis role.
+    pub role: ColRole,
+}
+
+/// A table template.
+#[derive(Debug, Clone, Copy)]
+pub struct TableSpec {
+    /// Identifier.
+    pub name: &'static str,
+    /// Row-count range for data generation.
+    pub rows: (usize, usize),
+    /// Columns; the first `Serial` column is the primary key.
+    pub columns: &'static [ColSpec],
+}
+
+/// A domain template.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// Topical domain ("sports", "college", ...).
+    pub domain: &'static str,
+    /// Base database name; instantiations suffix an index.
+    pub db_base: &'static str,
+    /// Tables.
+    pub tables: &'static [TableSpec],
+    /// Foreign keys: (from_table, from_column, to_table, to_column).
+    pub fks: &'static [(&'static str, &'static str, &'static str, &'static str)],
+}
+
+const fn col(
+    name: &'static str,
+    dtype: DataType,
+    gen: ColGen,
+    aliases: &'static [&'static str],
+    role: ColRole,
+) -> ColSpec {
+    ColSpec { name, dtype, gen, aliases, role }
+}
+
+use ColGen::{Bool, Cat, DateBetween, Fk, FloatRange, FromPool, IntRange, Serial};
+use ColRole::*;
+use DataType::{Bool as TBool, Date as TDate, Float as TFloat, Int as TInt, Text as TText};
+
+/// All domain templates.
+pub fn all_domains() -> &'static [DomainSpec] {
+    DOMAINS
+}
+
+static DOMAINS: &[DomainSpec] = &[
+    DomainSpec {
+        domain: "sports",
+        db_base: "baseball_club",
+        tables: &[
+            TableSpec {
+                name: "technician",
+                rows: (18, 30),
+                columns: &[
+                    col("tech_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["technician"], Label),
+                    col("team", TText, Cat(TEAMS), &["squad", "club"], Category),
+                    col("age", TInt, IntRange(22, 55), &["age"], Measure),
+                    col("salary", TFloat, FloatRange(30_000.0, 120_000.0), &["pay", "wage"], Measure),
+                    col("hire_date", TDate, DateBetween(2012, 2023), &["hired", "joined"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "machine",
+                rows: (25, 45),
+                columns: &[
+                    col("machine_id", TInt, Serial, &[], Id),
+                    col("tech_id", TInt, Fk("technician"), &[], Id),
+                    col("machine_series", TText, Cat(PRODUCTS), &["series"], Category),
+                    col("value", TFloat, FloatRange(1_000.0, 90_000.0), &["worth", "cost"], Measure),
+                    col("quality_rank", TInt, IntRange(1, 10), &["rank"], Measure),
+                ],
+            },
+        ],
+        fks: &[("machine", "tech_id", "technician", "tech_id")],
+    },
+    DomainSpec {
+        domain: "college",
+        db_base: "university",
+        tables: &[
+            TableSpec {
+                name: "student",
+                rows: (30, 60),
+                columns: &[
+                    col("student_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["student"], Label),
+                    col("department", TText, Cat(DEPARTMENTS), &["division", "major"], Category),
+                    col("gpa", TFloat, FloatRange(2.0, 4.0), &["grade"], Measure),
+                    col("credits", TInt, IntRange(0, 140), &["credit hours"], Measure),
+                    col("enroll_date", TDate, DateBetween(2016, 2023), &["enrolled"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "course",
+                rows: (12, 20),
+                columns: &[
+                    col("course_id", TInt, Serial, &[], Id),
+                    col("title", TText, FromPool(PRODUCTS), &["course"], Label),
+                    col("department", TText, Cat(DEPARTMENTS), &["division"], Category),
+                    col("credits", TInt, IntRange(1, 5), &["credit hours"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "enrollment",
+                rows: (50, 90),
+                columns: &[
+                    col("enrollment_id", TInt, Serial, &[], Id),
+                    col("student_id", TInt, Fk("student"), &[], Id),
+                    col("course_id", TInt, Fk("course"), &[], Id),
+                    col("score", TFloat, FloatRange(40.0, 100.0), &["mark"], Measure),
+                ],
+            },
+        ],
+        fks: &[
+            ("enrollment", "student_id", "student", "student_id"),
+            ("enrollment", "course_id", "course", "course_id"),
+        ],
+    },
+    DomainSpec {
+        domain: "hospital",
+        db_base: "clinic",
+        tables: &[
+            TableSpec {
+                name: "doctor",
+                rows: (14, 24),
+                columns: &[
+                    col("doctor_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["doctor", "physician"], Label),
+                    col("specialty", TText, Cat(SPECIALTIES), &["field"], Category),
+                    col("salary", TFloat, FloatRange(90_000.0, 300_000.0), &["pay", "earnings"], Measure),
+                    col("experience_years", TInt, IntRange(1, 35), &["experience"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "appointment",
+                rows: (40, 80),
+                columns: &[
+                    col("appointment_id", TInt, Serial, &[], Id),
+                    col("doctor_id", TInt, Fk("doctor"), &[], Id),
+                    col("visit_date", TDate, DateBetween(2020, 2023), &["visit"], Temporal),
+                    col("fee", TFloat, FloatRange(40.0, 500.0), &["cost", "charge"], Measure),
+                    col("urgent", TBool, Bool, &["emergency"], Category),
+                ],
+            },
+        ],
+        fks: &[("appointment", "doctor_id", "doctor", "doctor_id")],
+    },
+    DomainSpec {
+        domain: "retail",
+        db_base: "store_front",
+        tables: &[
+            TableSpec {
+                name: "customer",
+                rows: (25, 50),
+                columns: &[
+                    col("customer_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["customer", "client", "buyer"], Label),
+                    col("city", TText, Cat(CITIES), &["location", "town"], Category),
+                    col("loyalty_points", TInt, IntRange(0, 5000), &["points"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "purchase",
+                rows: (60, 110),
+                columns: &[
+                    col("purchase_id", TInt, Serial, &[], Id),
+                    col("customer_id", TInt, Fk("customer"), &[], Id),
+                    col("category", TText, Cat(PRODUCT_CATEGORIES), &["kind", "type"], Category),
+                    col("amount", TFloat, FloatRange(5.0, 900.0), &["sum", "spending"], Measure),
+                    col("purchase_date", TDate, DateBetween(2019, 2023), &["bought"], Temporal),
+                    col("payment_method", TText, Cat(PAYMENT_METHODS), &["payment"], Category),
+                ],
+            },
+        ],
+        fks: &[("purchase", "customer_id", "customer", "customer_id")],
+    },
+    DomainSpec {
+        domain: "airline",
+        db_base: "airways",
+        tables: &[
+            TableSpec {
+                name: "flight",
+                rows: (30, 60),
+                columns: &[
+                    col("flight_id", TInt, Serial, &[], Id),
+                    col("airline", TText, Cat(AIRLINES), &["carrier"], Category),
+                    col("origin", TText, Cat(CITIES), &["origin city", "source city"], Category),
+                    col("miles", TFloat, FloatRange(100.0, 5_000.0), &["distance", "mileage"], Measure),
+                    col("seats", TInt, IntRange(50, 300), &["capacity"], Measure),
+                    col("depart_date", TDate, DateBetween(2021, 2023), &["departure"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "booking",
+                rows: (60, 100),
+                columns: &[
+                    col("booking_id", TInt, Serial, &[], Id),
+                    col("flight_id", TInt, Fk("flight"), &[], Id),
+                    col("price", TFloat, FloatRange(60.0, 1_500.0), &["cost", "fee", "fare"], Measure),
+                    col("class", TText, Cat(&["Economy", "Business", "First"]), &["cabin"], Category),
+                ],
+            },
+        ],
+        fks: &[("booking", "flight_id", "flight", "flight_id")],
+    },
+    DomainSpec {
+        domain: "music",
+        db_base: "record_label",
+        tables: &[
+            TableSpec {
+                name: "artist",
+                rows: (15, 28),
+                columns: &[
+                    col("artist_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["artist", "musician"], Label),
+                    col("genre", TText, Cat(GENRES), &["style"], Category),
+                    col("debut_year", TInt, IntRange(1975, 2020), &["debut"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "album",
+                rows: (30, 60),
+                columns: &[
+                    col("album_id", TInt, Serial, &[], Id),
+                    col("artist_id", TInt, Fk("artist"), &[], Id),
+                    col("title", TText, FromPool(PRODUCTS), &["album"], Label),
+                    col("sales", TFloat, FloatRange(1_000.0, 2_000_000.0), &["revenue", "turnover"], Measure),
+                    col("release_date", TDate, DateBetween(2000, 2023), &["released"], Temporal),
+                ],
+            },
+        ],
+        fks: &[("album", "artist_id", "artist", "artist_id")],
+    },
+    DomainSpec {
+        domain: "movie",
+        db_base: "cinema_db",
+        tables: &[
+            TableSpec {
+                name: "film",
+                rows: (25, 50),
+                columns: &[
+                    col("film_id", TInt, Serial, &[], Id),
+                    col("title", TText, FromPool(PRODUCTS), &["film", "movie"], Label),
+                    col("rating", TText, Cat(RATINGS), &["certificate"], Category),
+                    col("length_minutes", TInt, IntRange(70, 210), &["duration", "runtime"], Measure),
+                    col("gross", TFloat, FloatRange(100_000.0, 900_000_000.0), &["box office", "revenue"], Measure),
+                    col("release_date", TDate, DateBetween(1995, 2023), &["released"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "screening",
+                rows: (40, 80),
+                columns: &[
+                    col("screening_id", TInt, Serial, &[], Id),
+                    col("film_id", TInt, Fk("film"), &[], Id),
+                    col("city", TText, Cat(CITIES), &["location"], Category),
+                    col("attendance", TInt, IntRange(5, 400), &["audience"], Measure),
+                ],
+            },
+        ],
+        fks: &[("screening", "film_id", "film", "film_id")],
+    },
+    DomainSpec {
+        domain: "restaurant",
+        db_base: "dining_guide",
+        tables: &[
+            TableSpec {
+                name: "restaurant",
+                rows: (20, 40),
+                columns: &[
+                    col("restaurant_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PRODUCTS), &["restaurant", "eatery"], Label),
+                    col("cuisine", TText, Cat(CUISINES), &["food type"], Category),
+                    col("city", TText, Cat(CITIES), &["location", "town"], Category),
+                    col("stars", TFloat, FloatRange(1.0, 5.0), &["rating"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "inspection",
+                rows: (35, 70),
+                columns: &[
+                    col("inspection_id", TInt, Serial, &[], Id),
+                    col("restaurant_id", TInt, Fk("restaurant"), &[], Id),
+                    col("inspect_date", TDate, DateBetween(2018, 2023), &["inspected"], Temporal),
+                    col("score", TInt, IntRange(50, 100), &["grade", "mark"], Measure),
+                ],
+            },
+        ],
+        fks: &[("inspection", "restaurant_id", "restaurant", "restaurant_id")],
+    },
+    DomainSpec {
+        domain: "library",
+        db_base: "city_library",
+        tables: &[
+            TableSpec {
+                name: "book",
+                rows: (30, 60),
+                columns: &[
+                    col("book_id", TInt, Serial, &[], Id),
+                    col("title", TText, FromPool(PRODUCTS), &["book"], Label),
+                    col("publisher", TText, Cat(PUBLISHERS), &["press"], Category),
+                    col("pages", TInt, IntRange(80, 1200), &["length"], Measure),
+                    col("publish_date", TDate, DateBetween(1990, 2023), &["published"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "loan",
+                rows: (50, 90),
+                columns: &[
+                    col("loan_id", TInt, Serial, &[], Id),
+                    col("book_id", TInt, Fk("book"), &[], Id),
+                    col("member_city", TText, Cat(CITIES), &["borrower city"], Category),
+                    col("days_kept", TInt, IntRange(1, 60), &["loan days"], Measure),
+                ],
+            },
+        ],
+        fks: &[("loan", "book_id", "book", "book_id")],
+    },
+    DomainSpec {
+        domain: "business",
+        db_base: "company_hr",
+        tables: &[
+            TableSpec {
+                name: "employee",
+                rows: (30, 55),
+                columns: &[
+                    col("employee_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["employee", "staff", "worker"], Label),
+                    col("job_title", TText, Cat(JOB_TITLES), &["role", "position"], Category),
+                    col("salary", TFloat, FloatRange(35_000.0, 220_000.0), &["pay", "wage", "earnings"], Measure),
+                    col("hire_date", TDate, DateBetween(2008, 2023), &["hired", "joined"], Temporal),
+                    col("remote", TBool, Bool, &["works remotely"], Category),
+                ],
+            },
+            TableSpec {
+                name: "project",
+                rows: (10, 18),
+                columns: &[
+                    col("project_id", TInt, Serial, &[], Id),
+                    col("project_name", TText, FromPool(PRODUCTS), &["project"], Label),
+                    col("budget", TFloat, FloatRange(10_000.0, 2_000_000.0), &["funding"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "assignment",
+                rows: (40, 70),
+                columns: &[
+                    col("assignment_id", TInt, Serial, &[], Id),
+                    col("employee_id", TInt, Fk("employee"), &[], Id),
+                    col("project_id", TInt, Fk("project"), &[], Id),
+                    col("hours", TInt, IntRange(5, 400), &["effort"], Measure),
+                ],
+            },
+        ],
+        fks: &[
+            ("assignment", "employee_id", "employee", "employee_id"),
+            ("assignment", "project_id", "project", "project_id"),
+        ],
+    },
+    DomainSpec {
+        domain: "banking",
+        db_base: "credit_union",
+        tables: &[
+            TableSpec {
+                name: "account",
+                rows: (30, 60),
+                columns: &[
+                    col("account_id", TInt, Serial, &[], Id),
+                    col("holder_name", TText, FromPool(PERSON_NAMES), &["holder", "owner"], Label),
+                    col("account_type", TText, Cat(ACCOUNT_TYPES), &["kind"], Category),
+                    col("balance", TFloat, FloatRange(-2_000.0, 250_000.0), &["funds", "deposit"], Measure),
+                    col("open_date", TDate, DateBetween(2010, 2023), &["opened"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "transaction",
+                rows: (70, 120),
+                columns: &[
+                    col("transaction_id", TInt, Serial, &[], Id),
+                    col("account_id", TInt, Fk("account"), &[], Id),
+                    col("amount", TFloat, FloatRange(1.0, 9_000.0), &["sum"], Measure),
+                    col("channel", TText, Cat(&["ATM", "Online", "Branch", "Mobile"]), &["method"], Category),
+                ],
+            },
+        ],
+        fks: &[("transaction", "account_id", "account", "account_id")],
+    },
+    DomainSpec {
+        domain: "realestate",
+        db_base: "property_market",
+        tables: &[
+            TableSpec {
+                name: "property",
+                rows: (25, 50),
+                columns: &[
+                    col("property_id", TInt, Serial, &[], Id),
+                    col("city", TText, Cat(CITIES), &["location", "town"], Category),
+                    col("bedrooms", TInt, IntRange(1, 6), &["rooms"], Measure),
+                    col("price", TFloat, FloatRange(90_000.0, 2_500_000.0), &["cost", "asking"], Measure),
+                    col("list_date", TDate, DateBetween(2018, 2023), &["listed"], Temporal),
+                    col("sold", TBool, Bool, &["is sold"], Category),
+                ],
+            },
+            TableSpec {
+                name: "agent",
+                rows: (8, 14),
+                columns: &[
+                    col("agent_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["agent", "realtor"], Label),
+                    col("commission_rate", TFloat, FloatRange(0.01, 0.06), &["commission"], Measure),
+                ],
+            },
+        ],
+        fks: &[],
+    },
+    DomainSpec {
+        domain: "weather",
+        db_base: "climate_log",
+        tables: &[
+            TableSpec {
+                name: "observation",
+                rows: (60, 110),
+                columns: &[
+                    col("observation_id", TInt, Serial, &[], Id),
+                    col("station_city", TText, Cat(CITIES), &["station", "location"], Category),
+                    col("obs_date", TDate, DateBetween(2020, 2023), &["observed"], Temporal),
+                    col("temp_celsius", TFloat, FloatRange(-20.0, 42.0), &["temperature"], Measure),
+                    col("precipitation_mm", TFloat, FloatRange(0.0, 80.0), &["rainfall"], Measure),
+                    col("condition", TText, Cat(CONDITIONS), &["sky"], Category),
+                ],
+            },
+        ],
+        fks: &[],
+    },
+    DomainSpec {
+        domain: "automotive",
+        db_base: "dealership",
+        tables: &[
+            TableSpec {
+                name: "vehicle",
+                rows: (25, 50),
+                columns: &[
+                    col("vehicle_id", TInt, Serial, &[], Id),
+                    col("make", TText, Cat(MAKES), &["brand", "manufacturer"], Category),
+                    col("model_year", TInt, IntRange(2005, 2024), &["year"], Measure),
+                    col("price", TFloat, FloatRange(4_000.0, 140_000.0), &["cost", "sticker"], Measure),
+                    col("electric", TBool, Bool, &["is electric", "ev"], Category),
+                ],
+            },
+            TableSpec {
+                name: "sale",
+                rows: (40, 70),
+                columns: &[
+                    col("sale_id", TInt, Serial, &[], Id),
+                    col("vehicle_id", TInt, Fk("vehicle"), &[], Id),
+                    col("sale_date", TDate, DateBetween(2019, 2023), &["sold"], Temporal),
+                    col("discount", TFloat, FloatRange(0.0, 8_000.0), &["rebate"], Measure),
+                ],
+            },
+        ],
+        fks: &[("sale", "vehicle_id", "vehicle", "vehicle_id")],
+    },
+    DomainSpec {
+        domain: "logistics",
+        db_base: "shipping_hub",
+        tables: &[
+            TableSpec {
+                name: "shipment",
+                rows: (40, 80),
+                columns: &[
+                    col("shipment_id", TInt, Serial, &[], Id),
+                    col("destination_country", TText, Cat(COUNTRIES), &["destination"], Category),
+                    col("weight_kg", TFloat, FloatRange(0.5, 900.0), &["weight"], Measure),
+                    col("priority", TText, Cat(PRIORITIES), &["urgency"], Category),
+                    col("ship_date", TDate, DateBetween(2021, 2023), &["shipped"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "warehouse",
+                rows: (6, 12),
+                columns: &[
+                    col("warehouse_id", TInt, Serial, &[], Id),
+                    col("city", TText, Cat(CITIES), &["location"], Category),
+                    col("capacity", TInt, IntRange(500, 20_000), &["size"], Measure),
+                ],
+            },
+        ],
+        fks: &[],
+    },
+    DomainSpec {
+        domain: "hotel",
+        db_base: "resort_chain",
+        tables: &[
+            TableSpec {
+                name: "room",
+                rows: (20, 40),
+                columns: &[
+                    col("room_id", TInt, Serial, &[], Id),
+                    col("room_type", TText, Cat(ROOM_TYPES), &["kind"], Category),
+                    col("nightly_rate", TFloat, FloatRange(60.0, 900.0), &["price", "cost", "rate"], Measure),
+                    col("floor", TInt, IntRange(1, 20), &["level"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "reservation",
+                rows: (50, 90),
+                columns: &[
+                    col("reservation_id", TInt, Serial, &[], Id),
+                    col("room_id", TInt, Fk("room"), &[], Id),
+                    col("guest_name", TText, FromPool(PERSON_NAMES), &["guest"], Label),
+                    col("nights", TInt, IntRange(1, 14), &["stay length"], Measure),
+                    col("checkin_date", TDate, DateBetween(2021, 2023), &["check in"], Temporal),
+                ],
+            },
+        ],
+        fks: &[("reservation", "room_id", "room", "room_id")],
+    },
+    DomainSpec {
+        domain: "energy",
+        db_base: "power_grid",
+        tables: &[
+            TableSpec {
+                name: "plant",
+                rows: (12, 22),
+                columns: &[
+                    col("plant_id", TInt, Serial, &[], Id),
+                    col("plant_name", TText, FromPool(PRODUCTS), &["plant", "station"], Label),
+                    col("fuel", TText, Cat(&["Solar", "Wind", "Gas", "Hydro", "Nuclear"]), &["source"], Category),
+                    col("capacity_mw", TFloat, FloatRange(5.0, 1200.0), &["capacity", "size"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "reading",
+                rows: (50, 90),
+                columns: &[
+                    col("reading_id", TInt, Serial, &[], Id),
+                    col("plant_id", TInt, Fk("plant"), &[], Id),
+                    col("read_date", TDate, DateBetween(2021, 2023), &["recorded"], Temporal),
+                    col("output_mwh", TFloat, FloatRange(0.0, 900.0), &["output", "production"], Measure),
+                ],
+            },
+        ],
+        fks: &[("reading", "plant_id", "plant", "plant_id")],
+    },
+    DomainSpec {
+        domain: "telecom",
+        db_base: "phone_network",
+        tables: &[
+            TableSpec {
+                name: "subscriber",
+                rows: (30, 55),
+                columns: &[
+                    col("subscriber_id", TInt, Serial, &[], Id),
+                    col("name", TText, FromPool(PERSON_NAMES), &["subscriber", "client"], Label),
+                    col("plan", TText, Cat(&["Basic", "Plus", "Premium", "Family"]), &["tier"], Category),
+                    col("monthly_fee", TFloat, FloatRange(10.0, 120.0), &["fee", "cost"], Measure),
+                    col("signup_date", TDate, DateBetween(2017, 2023), &["signed up", "joined"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "call",
+                rows: (60, 110),
+                columns: &[
+                    col("call_id", TInt, Serial, &[], Id),
+                    col("subscriber_id", TInt, Fk("subscriber"), &[], Id),
+                    col("minutes", TFloat, FloatRange(0.2, 180.0), &["duration", "length"], Measure),
+                    col("international", TBool, Bool, &["abroad"], Category),
+                ],
+            },
+        ],
+        fks: &[("call", "subscriber_id", "subscriber", "subscriber_id")],
+    },
+    DomainSpec {
+        domain: "agriculture",
+        db_base: "farm_coop",
+        tables: &[
+            TableSpec {
+                name: "farm",
+                rows: (14, 26),
+                columns: &[
+                    col("farm_id", TInt, Serial, &[], Id),
+                    col("farm_name", TText, FromPool(PRODUCTS), &["farm"], Label),
+                    col("county", TText, Cat(CITIES), &["region", "location"], Category),
+                    col("acres", TFloat, FloatRange(20.0, 3000.0), &["area", "size"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "harvest",
+                rows: (40, 80),
+                columns: &[
+                    col("harvest_id", TInt, Serial, &[], Id),
+                    col("farm_id", TInt, Fk("farm"), &[], Id),
+                    col("crop", TText, Cat(&["Wheat", "Corn", "Soy", "Barley", "Oats"]), &["produce"], Category),
+                    col("yield_tons", TFloat, FloatRange(1.0, 400.0), &["yield", "output"], Measure),
+                    col("harvest_date", TDate, DateBetween(2019, 2023), &["harvested"], Temporal),
+                ],
+            },
+        ],
+        fks: &[("harvest", "farm_id", "farm", "farm_id")],
+    },
+    DomainSpec {
+        domain: "gaming",
+        db_base: "esports_league",
+        tables: &[
+            TableSpec {
+                name: "player",
+                rows: (24, 44),
+                columns: &[
+                    col("player_id", TInt, Serial, &[], Id),
+                    col("handle", TText, FromPool(PERSON_NAMES), &["player", "gamer"], Label),
+                    col("main_role", TText, Cat(&["Tank", "Support", "Carry", "Flex"]), &["role", "position"], Category),
+                    col("rating", TInt, IntRange(800, 3200), &["elo", "skill rating"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "match_result",
+                rows: (50, 90),
+                columns: &[
+                    col("match_id", TInt, Serial, &[], Id),
+                    col("player_id", TInt, Fk("player"), &[], Id),
+                    col("kills", TInt, IntRange(0, 30), &["eliminations"], Measure),
+                    col("won", TBool, Bool, &["victory"], Category),
+                    col("played_date", TDate, DateBetween(2022, 2023), &["played"], Temporal),
+                ],
+            },
+        ],
+        fks: &[("match_result", "player_id", "player", "player_id")],
+    },
+    DomainSpec {
+        domain: "museum",
+        db_base: "city_museum",
+        tables: &[
+            TableSpec {
+                name: "exhibit",
+                rows: (16, 30),
+                columns: &[
+                    col("exhibit_id", TInt, Serial, &[], Id),
+                    col("title", TText, FromPool(PRODUCTS), &["exhibit", "exhibition"], Label),
+                    col("wing", TText, Cat(&["East", "West", "North", "Modern", "Ancient"]), &["hall", "section"], Category),
+                    col("insured_value", TFloat, FloatRange(10_000.0, 5_000_000.0), &["value", "worth"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "visit",
+                rows: (50, 95),
+                columns: &[
+                    col("visit_id", TInt, Serial, &[], Id),
+                    col("exhibit_id", TInt, Fk("exhibit"), &[], Id),
+                    col("visit_date", TDate, DateBetween(2021, 2023), &["visited"], Temporal),
+                    col("visitors", TInt, IntRange(5, 900), &["attendance", "audience"], Measure),
+                ],
+            },
+        ],
+        fks: &[("visit", "exhibit_id", "exhibit", "exhibit_id")],
+    },
+    DomainSpec {
+        domain: "transit",
+        db_base: "metro_system",
+        tables: &[
+            TableSpec {
+                name: "route",
+                rows: (10, 18),
+                columns: &[
+                    col("route_id", TInt, Serial, &[], Id),
+                    col("route_name", TText, FromPool(PRODUCTS), &["route", "line"], Label),
+                    col("mode", TText, Cat(&["Bus", "Tram", "Subway", "Ferry"]), &["vehicle kind"], Category),
+                    col("stops", TInt, IntRange(6, 48), &["stations"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "ride",
+                rows: (60, 110),
+                columns: &[
+                    col("ride_id", TInt, Serial, &[], Id),
+                    col("route_id", TInt, Fk("route"), &[], Id),
+                    col("ride_date", TDate, DateBetween(2022, 2023), &["taken"], Temporal),
+                    col("passengers", TInt, IntRange(1, 400), &["riders"], Measure),
+                    col("fare_total", TFloat, FloatRange(2.0, 900.0), &["fare", "revenue"], Measure),
+                ],
+            },
+        ],
+        fks: &[("ride", "route_id", "route", "route_id")],
+    },
+    DomainSpec {
+        domain: "insurance",
+        db_base: "mutual_insurance",
+        tables: &[
+            TableSpec {
+                name: "policy",
+                rows: (28, 50),
+                columns: &[
+                    col("policy_id", TInt, Serial, &[], Id),
+                    col("holder_name", TText, FromPool(PERSON_NAMES), &["holder", "owner"], Label),
+                    col("coverage_type", TText, Cat(&["Auto", "Home", "Life", "Travel"]), &["coverage kind", "line of business"], Category),
+                    col("premium", TFloat, FloatRange(200.0, 6_000.0), &["price", "cost"], Measure),
+                    col("start_date", TDate, DateBetween(2015, 2023), &["started"], Temporal),
+                ],
+            },
+            TableSpec {
+                name: "claim",
+                rows: (40, 80),
+                columns: &[
+                    col("claim_id", TInt, Serial, &[], Id),
+                    col("policy_id", TInt, Fk("policy"), &[], Id),
+                    col("amount", TFloat, FloatRange(100.0, 90_000.0), &["payout", "sum"], Measure),
+                    col("approved", TBool, Bool, &["accepted"], Category),
+                ],
+            },
+        ],
+        fks: &[("claim", "policy_id", "policy", "policy_id")],
+    },
+    DomainSpec {
+        domain: "ecommerce",
+        db_base: "marketplace",
+        tables: &[
+            TableSpec {
+                name: "seller",
+                rows: (20, 38),
+                columns: &[
+                    col("seller_id", TInt, Serial, &[], Id),
+                    col("shop_name", TText, FromPool(PRODUCTS), &["seller", "shop", "store"], Label),
+                    col("country", TText, Cat(COUNTRIES), &["location"], Category),
+                    col("rating_avg", TFloat, FloatRange(1.0, 5.0), &["average rating"], Measure),
+                ],
+            },
+            TableSpec {
+                name: "review",
+                rows: (60, 110),
+                columns: &[
+                    col("review_id", TInt, Serial, &[], Id),
+                    col("seller_id", TInt, Fk("seller"), &[], Id),
+                    col("stars", TInt, IntRange(1, 5), &["score", "rating"], Measure),
+                    col("review_date", TDate, DateBetween(2021, 2023), &["reviewed"], Temporal),
+                    col("verified", TBool, Bool, &["confirmed"], Category),
+                ],
+            },
+        ],
+        fks: &[("review", "seller_id", "seller", "seller_id")],
+    },
+];
+
+
+impl DomainSpec {
+    /// The table spec by name.
+    pub fn table(&self, name: &str) -> Option<&TableSpec> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+}
+
+impl TableSpec {
+    /// Index of the primary-key column (the first `Serial` column), if any.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.columns.iter().position(|c| matches!(c.gen, ColGen::Serial))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_well_formed() {
+        let domains = all_domains();
+        assert!(domains.len() >= 14, "need a broad domain library");
+        for d in domains {
+            assert!(!d.tables.is_empty());
+            for t in d.tables {
+                assert!(t.rows.0 <= t.rows.1);
+                assert!(t.columns.len() >= 3, "{} too narrow", t.name);
+            }
+            for (ft, fc, tt, tc) in d.fks {
+                let from = d.table(ft).unwrap_or_else(|| panic!("missing table {ft}"));
+                assert!(from.columns.iter().any(|c| c.name == *fc), "{ft}.{fc}");
+                let to = d.table(tt).unwrap_or_else(|| panic!("missing table {tt}"));
+                assert!(to.columns.iter().any(|c| c.name == *tc), "{tt}.{tc}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_fk_column_declared_as_fk_gen() {
+        for d in all_domains() {
+            for t in d.tables {
+                for c in t.columns {
+                    if let ColGen::Fk(parent) = c.gen {
+                        assert!(
+                            d.fks.iter().any(|(ft, fc, tt, _)| *ft == t.name
+                                && *fc == c.name
+                                && *tt == parent),
+                            "Fk column {}.{} lacks a schema FK edge",
+                            t.name,
+                            c.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domains_have_synthesis_material() {
+        // Every domain needs at least one categorical/label x and a measure,
+        // so query synthesis never starves.
+        for d in all_domains() {
+            let has_x = d.tables.iter().any(|t| {
+                t.columns.iter().any(|c| matches!(c.role, ColRole::Category | ColRole::Label))
+            });
+            let has_measure =
+                d.tables.iter().any(|t| t.columns.iter().any(|c| c.role == ColRole::Measure));
+            assert!(has_x && has_measure, "domain {} lacks material", d.domain);
+        }
+    }
+
+    #[test]
+    fn primary_keys_are_first_serial() {
+        for d in all_domains() {
+            for t in d.tables {
+                assert_eq!(t.primary_key(), Some(0), "{} pk must be column 0", t.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The synthetic **nvBench-substitute corpus** (see DESIGN.md §1 for the
+//! substitution argument).
+//!
+//! nvBench [Luo et al. 2021] synthesizes NL2VIS pairs from the Spider NL2SQL
+//! benchmark: relational databases across 105 domains, VQL queries over four
+//! hardness levels, and templated natural-language descriptions. This crate
+//! regenerates a corpus of the same shape from first principles:
+//!
+//! - [`domains`]: 16 hand-written domain templates (sports, college,
+//!   hospital, retail, …) with typed columns, foreign keys and NL alias
+//!   banks;
+//! - [`generate`]: instantiation of templates into populated,
+//!   referentially-consistent databases;
+//! - [`synth`]: data-aware gold-query synthesis stratified by hardness and
+//!   join scenario;
+//! - [`realize`]: template-based natural-language realization with lexical
+//!   variation (synonyms from [`pools::SYNONYMS`]);
+//! - [`corpus`]: corpus assembly plus the paper's in-domain and cross-domain
+//!   7:2:1 splits;
+//! - [`io`]: JSON export/import of the whole benchmark (the role of
+//!   nvBench's release files).
+
+pub mod corpus;
+pub mod domains;
+pub mod generate;
+pub mod io;
+pub mod pools;
+pub mod realize;
+pub mod synth;
+
+pub use corpus::{Corpus, CorpusConfig, Example, Split};
+pub use io::{corpus_from_json, corpus_to_json};
+pub use synth::Hardness;

@@ -1,0 +1,326 @@
+//! Shared value pools and the global synonym dictionary.
+//!
+//! The pools feed the data generator (people names, cities, teams, …). The
+//! synonym dictionary plays the role of *pretrained world knowledge*: the
+//! corpus realizer draws user phrasings from it ("pay" for `salary`), and the
+//! simulated inference-only LLMs consult it when linking natural language to
+//! schema — exactly the generalization edge the paper attributes to LLM
+//! pretraining. Trained baselines do **not** get the dictionary; they must
+//! learn phrase↔column mappings from the training split, which is why they
+//! collapse cross-domain (Table 3 of the paper).
+
+/// First names used for person-like label columns.
+pub const PERSON_NAMES: &[&str] = &[
+    "Olivia", "Liam", "Emma", "Noah", "Ava", "Ethan", "Sophia", "Mason", "Isabella", "Logan",
+    "Mia", "Lucas", "Amelia", "Jackson", "Harper", "Aiden", "Evelyn", "Carter", "Abigail",
+    "Sebastian", "Emily", "Mateo", "Ella", "Daniel", "Scarlett", "Henry", "Grace", "Owen",
+    "Chloe", "Wyatt", "Victoria", "Jack", "Riley", "Luke", "Aria", "Gabriel", "Lily", "Anthony",
+    "Aubrey", "Isaac", "Zoey", "Grayson", "Penelope", "Julian", "Layla", "Levi", "Nora",
+    "Christopher", "Camila", "Joshua",
+];
+
+/// City names for location columns.
+pub const CITIES: &[&str] = &[
+    "Springfield", "Riverton", "Lakewood", "Fairview", "Madison", "Georgetown", "Arlington",
+    "Clinton", "Salem", "Bristol", "Dover", "Hudson", "Kingston", "Milton", "Newport", "Oxford",
+    "Ashland", "Burlington", "Clayton", "Dayton", "Easton", "Franklin", "Greenville", "Hamilton",
+];
+
+/// Team codes for sports domains.
+pub const TEAMS: &[&str] = &["NYY", "BOS", "LAD", "CHC", "ATL", "HOU", "SEA", "SFG"];
+
+/// Academic departments.
+pub const DEPARTMENTS: &[&str] =
+    &["Biology", "Chemistry", "Physics", "Mathematics", "History", "Economics", "Literature"];
+
+/// Product categories for retail domains.
+pub const PRODUCT_CATEGORIES: &[&str] =
+    &["Electronics", "Clothing", "Grocery", "Toys", "Furniture", "Sports", "Books"];
+
+/// Product names.
+pub const PRODUCTS: &[&str] = &[
+    "Widget", "Gadget", "Sprocket", "Gizmo", "Doohickey", "Contraption", "Apparatus", "Device",
+    "Fixture", "Instrument", "Module", "Component", "Unit", "Kit", "Bundle", "Pack",
+];
+
+/// Airline codes.
+pub const AIRLINES: &[&str] = &["UA", "DL", "AA", "SW", "JB", "AK"];
+
+/// Music genres.
+pub const GENRES: &[&str] = &["Rock", "Pop", "Jazz", "Classical", "HipHop", "Country", "Folk"];
+
+/// Movie ratings.
+pub const RATINGS: &[&str] = &["G", "PG", "PG13", "R"];
+
+/// Cuisine types.
+pub const CUISINES: &[&str] =
+    &["Italian", "Mexican", "Japanese", "Indian", "French", "Thai", "Greek"];
+
+/// Room types for hotels.
+pub const ROOM_TYPES: &[&str] = &["Single", "Double", "Suite", "Deluxe"];
+
+/// Account types for banking.
+pub const ACCOUNT_TYPES: &[&str] = &["Checking", "Savings", "Credit", "Loan"];
+
+/// Weather conditions.
+pub const CONDITIONS: &[&str] = &["Sunny", "Cloudy", "Rain", "Snow", "Fog", "Storm"];
+
+/// Vehicle makes.
+pub const MAKES: &[&str] = &["Toyota", "Ford", "Honda", "BMW", "Tesla", "Volvo", "Kia"];
+
+/// Medical specialties.
+pub const SPECIALTIES: &[&str] =
+    &["Cardiology", "Neurology", "Pediatrics", "Oncology", "Radiology", "Surgery"];
+
+/// Book publishers.
+pub const PUBLISHERS: &[&str] = &["Acme Press", "Summit Books", "Harbor House", "Northstar", "Quill"];
+
+/// Payment methods.
+pub const PAYMENT_METHODS: &[&str] = &["Cash", "Card", "Transfer", "Voucher"];
+
+/// Job titles.
+pub const JOB_TITLES: &[&str] =
+    &["Engineer", "Analyst", "Manager", "Designer", "Technician", "Director", "Clerk"];
+
+/// Countries.
+pub const COUNTRIES: &[&str] =
+    &["USA", "Canada", "Mexico", "Brazil", "Germany", "France", "Japan", "Australia"];
+
+/// Severity/priority labels.
+pub const PRIORITIES: &[&str] = &["Low", "Medium", "High", "Critical"];
+
+/// The global phrase→identifier-word synonym dictionary ("world knowledge").
+/// Each pair maps a word a user might say to the canonical word used in
+/// schema identifiers.
+pub const SYNONYMS: &[(&str, &str)] = &[
+    ("pay", "salary"),
+    ("wage", "salary"),
+    ("earnings", "salary"),
+    ("cost", "price"),
+    ("fee", "price"),
+    ("charge", "price"),
+    ("revenue", "sales"),
+    ("turnover", "sales"),
+    ("client", "customer"),
+    ("buyer", "customer"),
+    ("shopper", "customer"),
+    ("staff", "employee"),
+    ("worker", "employee"),
+    ("personnel", "employee"),
+    ("division", "department"),
+    ("unit", "department"),
+    ("grade", "score"),
+    ("mark", "score"),
+    ("points", "score"),
+    ("location", "city"),
+    ("town", "city"),
+    ("squad", "team"),
+    ("club", "team"),
+    ("side", "team"),
+    ("earned", "amount"),
+    ("sum", "amount"),
+    ("quantity", "stock"),
+    ("inventory", "stock"),
+    ("age", "age"),
+    ("born", "birth"),
+    ("hired", "hire"),
+    ("joined", "hire"),
+    ("enrolled", "enroll"),
+    ("capacity", "seats"),
+    ("size", "capacity"),
+    ("duration", "length"),
+    ("runtime", "length"),
+    ("title", "name"),
+    ("label", "name"),
+    ("kind", "type"),
+    ("category", "type"),
+    ("style", "genre"),
+    ("rating", "rating"),
+    ("stars", "rating"),
+    ("physician", "doctor"),
+    ("patients", "patient"),
+    ("flight", "flight"),
+    ("journey", "trip"),
+    ("spending", "expense"),
+    ("profit", "margin"),
+    ("deposit", "balance"),
+    ("funds", "balance"),
+    ("temperature", "temp"),
+    ("rainfall", "precipitation"),
+    ("mileage", "miles"),
+    ("distance", "miles"),
+    // An alias may map to several canonical words; the schema context
+    // disambiguates during linking ("grade" is a gpa at a college but a
+    // score on an inspection report).
+    ("worth", "value"),
+    ("cost", "value"),
+    ("cost", "fee"),
+    ("cost", "rate"),
+    ("price", "rate"),
+    ("major", "department"),
+    ("grade", "gpa"),
+    ("field", "specialty"),
+    ("charge", "fee"),
+    ("emergency", "urgent"),
+    ("kind", "category"),
+    ("type", "category"),
+    ("spending", "amount"),
+    ("bought", "purchase"),
+    ("carrier", "airline"),
+    ("departure", "depart"),
+    ("fare", "price"),
+    ("cabin", "class"),
+    ("musician", "artist"),
+    ("released", "release"),
+    ("movie", "film"),
+    ("certificate", "rating"),
+    ("revenue", "gross"),
+    ("box", "gross"),
+    ("office", "gross"),
+    ("audience", "attendance"),
+    ("eatery", "restaurant"),
+    ("food", "cuisine"),
+    ("rating", "stars"),
+    ("inspected", "inspect"),
+    ("press", "publisher"),
+    ("length", "pages"),
+    ("role", "job"),
+    ("position", "job"),
+    ("remotely", "remote"),
+    ("funding", "budget"),
+    ("effort", "hours"),
+    ("owner", "holder"),
+    ("opened", "open"),
+    ("method", "channel"),
+    ("rooms", "bedrooms"),
+    ("asking", "price"),
+    ("listed", "list"),
+    ("realtor", "agent"),
+    ("observed", "obs"),
+    ("sky", "condition"),
+    ("brand", "make"),
+    ("manufacturer", "make"),
+    ("sticker", "price"),
+    ("ev", "electric"),
+    ("sold", "sale"),
+    ("rebate", "discount"),
+    ("urgency", "priority"),
+    ("shipped", "ship"),
+    ("level", "floor"),
+    ("stay", "nights"),
+    ("check", "checkin"),
+    ("source", "origin"),
+    ("station", "plant"),
+    ("source", "fuel"),
+    ("size", "acres"),
+    ("size", "capacity"),
+    ("recorded", "read"),
+    ("output", "yield"),
+    ("production", "output"),
+    ("tier", "plan"),
+    ("signed", "signup"),
+    ("joined", "signup"),
+    ("duration", "minutes"),
+    ("length", "minutes"),
+    ("region", "county"),
+    ("location", "county"),
+    ("area", "acres"),
+    ("produce", "crop"),
+    ("harvested", "harvest"),
+    ("gamer", "handle"),
+    ("role", "main"),
+    ("position", "main"),
+    ("elo", "rating"),
+    ("eliminations", "kills"),
+    ("victory", "won"),
+    ("played", "played"),
+    ("exhibition", "exhibit"),
+    ("hall", "wing"),
+    ("section", "wing"),
+    ("value", "insured"),
+    ("worth", "insured"),
+    ("visited", "visit"),
+    ("attendance", "visitors"),
+    ("audience", "visitors"),
+    ("line", "route"),
+    ("stations", "stops"),
+    ("taken", "ride"),
+    ("riders", "passengers"),
+    ("fare", "fare"),
+    ("coverage", "line"),
+    ("price", "premium"),
+    ("cost", "premium"),
+    ("started", "start"),
+    ("payout", "amount"),
+    ("accepted", "approved"),
+    ("shop", "shop"),
+    ("store", "shop"),
+    ("location", "country"),
+    ("score", "stars"),
+    ("reviewed", "review"),
+    ("confirmed", "verified"),
+    ("abroad", "international"),
+    ("average", "avg"),
+    ("line", "coverage"),
+    ("business", "coverage"),
+    ("revenue", "fare"),
+    ("vehicle", "mode"),
+    ("client", "subscriber"),
+    ("published", "publish"),
+];
+
+/// Looks up the canonical identifier word for a phrase word, or echoes the
+/// word back when it has no entry.
+pub fn canonical_word(word: &str) -> &str {
+    let lower = word.to_ascii_lowercase();
+    SYNONYMS
+        .iter()
+        .find(|(alias, _)| *alias == lower)
+        .map(|(_, canonical)| *canonical)
+        .unwrap_or_else(|| {
+            // Return a static reference by locating the word in SYNONYMS'
+            // canonical side if present; otherwise the caller keeps the word.
+            SYNONYMS
+                .iter()
+                .find(|(_, c)| *c == lower)
+                .map(|(_, c)| *c)
+                .unwrap_or("")
+        })
+}
+
+/// All alias words that map to the given canonical word.
+pub fn aliases_of(canonical: &str) -> Vec<&'static str> {
+    SYNONYMS.iter().filter(|(_, c)| *c == canonical).map(|(a, _)| *a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_nonempty_and_unique() {
+        for pool in [PERSON_NAMES, CITIES, TEAMS, PRODUCTS, GENRES] {
+            assert!(!pool.is_empty());
+            let mut v: Vec<_> = pool.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), pool.len(), "pool has duplicates");
+        }
+    }
+
+    #[test]
+    fn canonical_lookup() {
+        assert_eq!(canonical_word("pay"), "salary");
+        assert_eq!(canonical_word("WAGE"), "salary");
+        assert_eq!(canonical_word("salary"), "salary");
+        assert_eq!(canonical_word("zebra"), "");
+    }
+
+    #[test]
+    fn aliases_inverse() {
+        let a = aliases_of("salary");
+        assert!(a.contains(&"pay"));
+        assert!(a.contains(&"wage"));
+        assert!(aliases_of("nonexistent").is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Natural-language realization: turning a gold VQL query into the kind of
+//! utterance a user would type.
+//!
+//! Realization follows nvBench's synthesis recipe: pattern templates with
+//! lexical variation. Column mentions alternate between the identifier's own
+//! words ("hire date") and a synonym from the alias bank ("joined") so that
+//! literal string matching is insufficient and real schema linking (or
+//! learned lexicons) is required — the property that separates the paper's
+//! model families.
+
+use nl2vis_data::text::split_identifier;
+use nl2vis_data::{Database, Rng};
+use nl2vis_query::ast::*;
+
+/// Realizes a query as a natural-language request. Two sentence families
+/// alternate, as users phrase requests both ways:
+///
+/// 1. `"Show a bar chart of the number of technicians for each team ..."`
+/// 2. `"For each team, show a bar chart of the number of technicians ..."`
+pub fn realize(q: &VqlQuery, db: &Database, rng: &mut Rng) -> String {
+    let mut parts: Vec<String> = Vec::new();
+
+    // Family 2 leads with the grouping phrase; it needs an x column and the
+    // "against" form of plain scatters doesn't fit it.
+    let group_first = rng.chance(0.25)
+        && q.x.column().is_some()
+        && !(q.chart == ChartType::Scatter && !q.y.is_aggregate());
+
+    if group_first {
+        let xc = q.x.column().expect("guarded above");
+        parts.push(format!("For each {},", column_phrase(xc, &q.from, db, rng)));
+        let command = *rng.pick(&["show", "draw", "plot", "display"]);
+        let chart_phrase = chart_phrase(q.chart, rng);
+        parts.push(format!("{command} {chart_phrase} of"));
+        parts.push(y_phrase(q, db, rng));
+    } else {
+        let command =
+            *rng.pick(&["Show", "Draw", "Plot", "Visualize", "Display", "Give me", "Create"]);
+        let chart_phrase = chart_phrase(q.chart, rng);
+        parts.push(format!("{command} {chart_phrase} of"));
+        parts.push(y_phrase(q, db, rng));
+
+        // X grouping phrase (except plain scatter, where "against" reads
+        // better).
+        if q.chart == ChartType::Scatter && !q.y.is_aggregate() {
+            let x =
+                column_phrase(q.x.column().expect("scatter x is a column"), &q.from, db, rng);
+            parts.push(format!("against {x}"));
+        } else if let Some(xc) = q.x.column() {
+            let per = *rng.pick(&["for each", "by", "per", "grouped by", "across"]);
+            parts.push(format!("{per} {}", column_phrase(xc, &q.from, db, rng)));
+        }
+    }
+
+    // Source table(s).
+    if let Some(j) = &q.join {
+        parts.push(format!(
+            "combining {} with {}",
+            table_phrase(&q.from, rng),
+            table_phrase(&j.table, rng)
+        ));
+    } else if rng.chance(0.65) {
+        let prep = *rng.pick(&["from", "in", "using"]);
+        parts.push(format!("{prep} {}", table_phrase(&q.from, rng)));
+    }
+
+    if let Some(f) = &q.filter {
+        parts.push(filter_phrase(f, &q.from, db, rng));
+    }
+
+    if let Some(b) = &q.bin {
+        let how = *rng.pick(&["binned by", "bucketed by", "per"]);
+        parts.push(format!("{how} {}", b.unit.keyword()));
+    }
+
+    if let Some(color) = q.color() {
+        let how = *rng.pick(&["colored by", "stacked by", "split by", "broken down by"]);
+        parts.push(format!("{how} {}", column_phrase(color, &q.from, db, rng)));
+    }
+
+    if let Some(o) = &q.order {
+        parts.push(order_phrase(o, q, db, rng));
+    }
+
+    let mut s = parts.join(" ");
+    s.push('.');
+    s
+}
+
+#[allow(clippy::explicit_auto_deref)] // the deref is load-bearing: pick returns &&'static str
+fn chart_phrase(chart: ChartType, rng: &mut Rng) -> &'static str {
+    match chart {
+        ChartType::Bar => *rng.pick(&["a bar chart", "a bar graph", "bars", "a histogram"]),
+        ChartType::Pie => *rng.pick(&["a pie chart", "a pie", "a donut-style breakdown"]),
+        ChartType::Line => *rng.pick(&["a line chart", "a trend line", "a time series"]),
+        ChartType::Scatter => *rng.pick(&["a scatter plot", "a scatter chart", "a point cloud"]),
+    }
+}
+
+fn y_phrase(q: &VqlQuery, db: &Database, rng: &mut Rng) -> String {
+    match &q.y {
+        SelectExpr::Agg { func, arg } => {
+            let target = arg
+                .as_ref()
+                .map(|c| column_phrase(c, &q.from, db, rng))
+                .unwrap_or_else(|| "records".to_string());
+            match func {
+                AggFunc::Count => {
+                    let how = *rng.pick(&["the number of", "how many", "the count of"]);
+                    format!("{how} {target}")
+                }
+                AggFunc::Sum => {
+                    let how = *rng.pick(&["the total", "the sum of", "the combined"]);
+                    format!("{how} {target}")
+                }
+                AggFunc::Avg => {
+                    let how = *rng.pick(&["the average", "the mean", "the typical"]);
+                    format!("{how} {target}")
+                }
+                AggFunc::Min => format!("{} {target}", rng.pick(&["the minimum", "the lowest"])),
+                AggFunc::Max => format!("{} {target}", rng.pick(&["the maximum", "the highest"])),
+            }
+        }
+        SelectExpr::Column(c) => column_phrase(c, &q.from, db, rng),
+    }
+}
+
+/// Renders a column mention: the identifier's own words, or an alias.
+fn column_phrase(c: &ColumnRef, from: &str, db: &Database, rng: &mut Rng) -> String {
+    let table_name = c.table.as_deref().unwrap_or(from);
+    let aliases: Vec<String> = db
+        .table(table_name)
+        .ok()
+        .and_then(|t| t.def.column(&c.column).map(|col| col.aliases.clone()))
+        .unwrap_or_default();
+    if !aliases.is_empty() && rng.chance(0.4) {
+        aliases[rng.below_usize(aliases.len())].clone()
+    } else {
+        split_identifier(&c.column).join(" ")
+    }
+}
+
+fn table_phrase(name: &str, rng: &mut Rng) -> String {
+    let words = split_identifier(name).join(" ");
+    if rng.chance(0.5) {
+        format!("the {words} table")
+    } else {
+        format!("the {words} records")
+    }
+}
+
+fn filter_phrase(p: &Predicate, from: &str, db: &Database, rng: &mut Rng) -> String {
+    match p {
+        Predicate::Cmp { col, op, value } => {
+            let c = column_phrase(col, from, db, rng);
+            let v = literal_phrase(value);
+            let rel = match op {
+                CmpOp::Eq => *rng.pick(&["is", "equals", "is exactly"]),
+                CmpOp::Ne => *rng.pick(&["is not", "differs from", "excludes"]),
+                CmpOp::Gt => *rng.pick(&["is greater than", "is more than", "is over", "exceeds"]),
+                CmpOp::Ge => *rng.pick(&["is at least", "is no less than"]),
+                CmpOp::Lt => *rng.pick(&["is less than", "is under", "is below"]),
+                CmpOp::Le => *rng.pick(&["is at most", "is no more than"]),
+            };
+            let lead = *rng.pick(&["where", "for records whose", "keeping only rows where"]);
+            format!("{lead} {c} {rel} {v}")
+        }
+        Predicate::And(a, b) => format!(
+            "{} and {}",
+            filter_phrase(a, from, db, rng),
+            strip_lead(&filter_phrase(b, from, db, rng))
+        ),
+        Predicate::Or(a, b) => format!(
+            "{} or {}",
+            filter_phrase(a, from, db, rng),
+            strip_lead(&filter_phrase(b, from, db, rng))
+        ),
+        Predicate::InSubquery { col, negated, subquery } => {
+            let c = column_phrase(col, from, db, rng);
+            let child = split_identifier(&subquery.from).join(" ");
+            let inner = subquery
+                .filter
+                .as_ref()
+                .map(|f| format!(" {}", strip_lead(&filter_phrase(f, &subquery.from, db, rng))))
+                .unwrap_or_default();
+            if *negated {
+                format!("where {c} has no matching {child} entry{inner}")
+            } else {
+                format!("where {c} appears among the {child} entries{inner}")
+            }
+        }
+    }
+}
+
+/// Removes a leading connective so conjoined filter phrases read naturally.
+fn strip_lead(s: &str) -> String {
+    for lead in ["where ", "for records whose ", "keeping only rows where "] {
+        if let Some(rest) = s.strip_prefix(lead) {
+            return rest.to_string();
+        }
+    }
+    s.to_string()
+}
+
+fn literal_phrase(l: &Literal) -> String {
+    match l {
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(f) => format!("{f}"),
+        Literal::Text(s) => format!("\"{s}\""),
+        Literal::Bool(b) => b.to_string(),
+        Literal::Date(d) => d.to_string(),
+    }
+}
+
+fn order_phrase(o: &OrderBy, q: &VqlQuery, db: &Database, rng: &mut Rng) -> String {
+    let dir_word = match o.dir {
+        SortDir::Asc => *rng.pick(&["ascending", "increasing", "from smallest to largest"]),
+        SortDir::Desc => *rng.pick(&["descending", "decreasing", "from largest to smallest"]),
+    };
+    match &o.target {
+        OrderTarget::Y => {
+            let noun = *rng.pick(&["the value", "the y-axis", "the measure"]);
+            format!("sorted by {noun} in {dir_word} order")
+        }
+        OrderTarget::X => format!("rank the x-axis in {dir_word} order"),
+        OrderTarget::Column(c) => {
+            let phrase = column_phrase(c, &q.from, db, rng);
+            let style = *rng.pick(&["sorted by", "ordered by", "ranked by"]);
+            format!("{style} {phrase} in {dir_word} order")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use crate::generate::instantiate;
+    use crate::synth::{synthesize, Hardness};
+    use nl2vis_data::Rng;
+
+    fn setup() -> Database {
+        instantiate(&all_domains()[0], 0, &mut Rng::new(4))
+    }
+
+    #[test]
+    fn realizations_are_nonempty_sentences() {
+        let db = setup();
+        let mut rng = Rng::new(17);
+        for h in Hardness::all() {
+            for _ in 0..10 {
+                if let Some(q) = synthesize(&db, h, &mut rng) {
+                    let nl = realize(&q, &db, &mut rng);
+                    assert!(nl.ends_with('.'));
+                    assert!(nl.split_whitespace().count() >= 4, "too short: {nl}");
+                    assert!(!nl.contains("  "), "double space: {nl}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn realization_varies_with_rng() {
+        let db = setup();
+        let mut rng = Rng::new(1);
+        let q = synthesize(&db, Hardness::Hard, &mut rng).unwrap();
+        let mut r1 = Rng::new(100);
+        let mut r2 = Rng::new(200);
+        let a = realize(&q, &db, &mut r1);
+        let b = realize(&q, &db, &mut r2);
+        // Different seeds usually give different phrasings of the same query.
+        assert!(a != b || a.len() < 30, "{a} == {b}");
+    }
+
+    #[test]
+    fn filters_mentioned_in_text() {
+        let db = setup();
+        let mut rng = Rng::new(2);
+        for _ in 0..30 {
+            let Some(q) = synthesize(&db, Hardness::Hard, &mut rng) else { continue };
+            if let Some(Predicate::Cmp { value: Literal::Text(s), .. }) = &q.filter {
+                let nl = realize(&q, &db, &mut rng);
+                assert!(nl.contains(&format!("\"{s}\"")), "literal missing from: {nl}");
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn chart_type_signaled() {
+        let db = setup();
+        let mut rng = Rng::new(3);
+        let q = synthesize(&db, Hardness::Easy, &mut rng).unwrap();
+        let nl = realize(&q, &db, &mut rng).to_lowercase();
+        let signal = match q.chart {
+            ChartType::Bar => ["bar", "histogram"].iter().any(|w| nl.contains(w)),
+            ChartType::Pie => ["pie", "donut"].iter().any(|w| nl.contains(w)),
+            ChartType::Line => ["line", "trend", "time series"].iter().any(|w| nl.contains(w)),
+            ChartType::Scatter => ["scatter", "point"].iter().any(|w| nl.contains(w)),
+        };
+        assert!(signal, "chart type unsignaled in: {nl}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = setup();
+        let mut rng = Rng::new(5);
+        let q = synthesize(&db, Hardness::Medium, &mut rng).unwrap();
+        let a = realize(&q, &db, &mut Rng::new(7));
+        let b = realize(&q, &db, &mut Rng::new(7));
+        assert_eq!(a, b);
+    }
+}

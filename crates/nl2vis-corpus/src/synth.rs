@@ -1,0 +1,522 @@
+//! VQL query synthesis: generating gold visualization queries over a
+//! database, stratified by the nvBench hardness taxonomy
+//! (easy / medium / hard / extra hard) and by join vs non-join scenario.
+//!
+//! Synthesis is data-aware: filter literals are drawn from actual column
+//! values so that gold queries execute to non-empty results, making the
+//! Execution-Accuracy metric meaningful.
+
+use nl2vis_data::value::{DataType, Value};
+use nl2vis_data::{Database, Rng, Table};
+use nl2vis_query::ast::*;
+use nl2vis_query::execute;
+use std::fmt;
+
+/// nvBench hardness levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hardness {
+    /// Core skeleton only (optionally grouped).
+    Easy,
+    /// One extra operator (filter or order).
+    Medium,
+    /// Several extra operators, or a join, or a color series, or a bin.
+    Hard,
+    /// Joins with compound filters, or nested subqueries.
+    Extra,
+}
+
+impl Hardness {
+    /// All levels, easy first.
+    pub fn all() -> [Hardness; 4] {
+        [Hardness::Easy, Hardness::Medium, Hardness::Hard, Hardness::Extra]
+    }
+
+    /// Display label matching the paper ("easy", "medium", "hard", "extra hard").
+    pub fn label(self) -> &'static str {
+        match self {
+            Hardness::Easy => "easy",
+            Hardness::Medium => "medium",
+            Hardness::Hard => "hard",
+            Hardness::Extra => "extra hard",
+        }
+    }
+}
+
+impl fmt::Display for Hardness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The inferred synthesis role of a column (derived from the schema and the
+/// data rather than the domain template, so synthesis works on any database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Key column (`*_id`): never an axis.
+    Id,
+    /// Low-cardinality text/bool: x axis for bar/pie, color series, filters.
+    Category,
+    /// High-cardinality text: x axis for counting entities.
+    Label,
+    /// Numeric: y measure (SUM/AVG), scatter axes, range filters.
+    Measure,
+    /// Date: binned x axis, range filters.
+    Temporal,
+}
+
+/// Infers the role of every column of a table.
+pub fn column_roles(table: &Table) -> Vec<Role> {
+    table
+        .def
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if c.name.ends_with("_id") || c.name == "id" {
+                Role::Id
+            } else {
+                match c.dtype {
+                    DataType::Date => Role::Temporal,
+                    DataType::Int | DataType::Float => Role::Measure,
+                    DataType::Bool => Role::Category,
+                    DataType::Text => {
+                        let distinct = table.distinct_values(i).len();
+                        if distinct <= 12 || distinct * 2 <= table.len() {
+                            Role::Category
+                        } else {
+                            Role::Label
+                        }
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Synthesizes one gold query of the requested hardness over the database.
+/// Returns `None` when the database lacks the material (e.g. `Extra` needs a
+/// foreign key for the join/subquery patterns) or when several attempts all
+/// execute to empty results.
+pub fn synthesize(db: &Database, hardness: Hardness, rng: &mut Rng) -> Option<VqlQuery> {
+    for _ in 0..24 {
+        if let Some(q) = try_synthesize(db, hardness, rng) {
+            if let Ok(result) = execute(&q, db) {
+                if !result.rows.is_empty() && result.rows.len() <= 60 {
+                    return Some(q);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn try_synthesize(db: &Database, hardness: Hardness, rng: &mut Rng) -> Option<VqlQuery> {
+    let want_join = match hardness {
+        Hardness::Easy => false,
+        Hardness::Medium => rng.chance(0.15),
+        Hardness::Hard => rng.chance(0.5),
+        Hardness::Extra => rng.chance(0.6),
+    } && !db.schema.foreign_keys.is_empty();
+
+    let (main, joined, join_clause) = if want_join {
+        let fk = rng.pick(&db.schema.foreign_keys).clone();
+        // FROM the referencing table, JOIN the referenced one.
+        let main = db.table(&fk.from_table).ok()?;
+        let joined = db.table(&fk.to_table).ok()?;
+        let join = Join {
+            table: fk.to_table.clone(),
+            left: ColumnRef::qualified(fk.from_table.clone(), fk.from_column.clone()),
+            right: ColumnRef::qualified(fk.to_table.clone(), fk.to_column.clone()),
+        };
+        (main, Some(joined), Some(join))
+    } else {
+        let tables = db.tables();
+        let main = &tables[rng.below_usize(tables.len())];
+        (main, None, None)
+    };
+
+    // Collect usable columns across the in-scope tables, qualified when a
+    // join is present.
+    let mut columns: Vec<(ColumnRef, Role, DataType, usize, usize)> = Vec::new();
+    let sources: Vec<&Table> = std::iter::once(main).chain(joined).collect();
+    for (si, t) in sources.iter().enumerate() {
+        let roles = column_roles(t);
+        for (ci, c) in t.def.columns.iter().enumerate() {
+            let col = if join_clause.is_some() {
+                ColumnRef::qualified(t.def.name.clone(), c.name.clone())
+            } else {
+                ColumnRef::new(c.name.clone())
+            };
+            columns.push((col, roles[ci], c.dtype, si, ci));
+        }
+    }
+
+    let cats: Vec<_> =
+        columns.iter().filter(|(_, r, ..)| matches!(r, Role::Category | Role::Label)).collect();
+    let measures: Vec<_> = columns.iter().filter(|(_, r, ..)| *r == Role::Measure).collect();
+    let temporals: Vec<_> = columns.iter().filter(|(_, r, ..)| *r == Role::Temporal).collect();
+
+    // Pick a chart pattern supported by the available columns.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Pattern {
+        CatAgg,  // bar/pie over a categorical x
+        TimeAgg, // line over a binned temporal x
+        Scatter, // numeric vs numeric
+    }
+    let mut patterns = Vec::new();
+    if !cats.is_empty() {
+        patterns.push(Pattern::CatAgg);
+        patterns.push(Pattern::CatAgg); // weight categorical higher, as in nvBench
+    }
+    if !temporals.is_empty() {
+        patterns.push(Pattern::TimeAgg);
+    }
+    if measures.len() >= 2 {
+        patterns.push(Pattern::Scatter);
+    }
+    if patterns.is_empty() {
+        return None;
+    }
+    let pattern = *rng.pick(&patterns);
+
+    let mut bin = None;
+    let (chart, x, y) = match pattern {
+        Pattern::CatAgg => {
+            let xcol = rng.pick(&cats).0.clone();
+            let chart = if rng.chance(0.25) { ChartType::Pie } else { ChartType::Bar };
+            let y = pick_aggregate(&xcol, &measures, rng);
+            (chart, SelectExpr::Column(xcol), y)
+        }
+        Pattern::TimeAgg => {
+            let xcol = rng.pick(&temporals).0.clone();
+            let unit = *rng.pick(&[BinUnit::Year, BinUnit::Month, BinUnit::Weekday, BinUnit::Quarter]);
+            bin = Some(Bin { column: xcol.clone(), unit });
+            let chart = if rng.chance(0.7) { ChartType::Line } else { ChartType::Bar };
+            let y = pick_aggregate(&xcol, &measures, rng);
+            (chart, SelectExpr::Column(xcol), y)
+        }
+        Pattern::Scatter => {
+            let idx = rng.sample_indices(measures.len(), 2);
+            let xcol = measures[idx[0]].0.clone();
+            let ycol = measures[idx[1]].0.clone();
+            (ChartType::Scatter, SelectExpr::Column(xcol), SelectExpr::Column(ycol))
+        }
+    };
+
+    let mut q = VqlQuery::new(chart, x, y, main.def.name.clone());
+    q.join = join_clause;
+    q.bin = bin;
+
+    // Aggregated categorical/temporal charts carry an explicit GROUP BY.
+    if q.y.is_aggregate() {
+        if let Some(xc) = q.x.column() {
+            q.group_by.push(xc.clone());
+        }
+    }
+
+    // Color series: a second categorical column, only for hard+ bar/scatter.
+    if matches!(hardness, Hardness::Hard | Hardness::Extra)
+        && rng.chance(0.35)
+        && matches!(q.chart, ChartType::Bar | ChartType::Scatter)
+    {
+        let x_name = q.x.column().map(|c| c.column.clone()).unwrap_or_default();
+        let color_candidates: Vec<_> = columns
+            .iter()
+            .filter(|(c, r, _, si, ci)| {
+                *r == Role::Category && c.column != x_name && {
+                    sources[*si].distinct_values(*ci).len() <= 6
+                }
+            })
+            .collect();
+        if !color_candidates.is_empty() {
+            let c = rng.pick(&color_candidates).0.clone();
+            if q.group_by.is_empty() {
+                if let Some(xc) = q.x.column() {
+                    q.group_by.push(xc.clone());
+                }
+            }
+            if !q.group_by.is_empty() {
+                q.group_by.push(c);
+            }
+        }
+    }
+
+    // Filters.
+    let n_atoms = match hardness {
+        Hardness::Easy => 0,
+        Hardness::Medium => usize::from(rng.chance(0.7)),
+        Hardness::Hard => 1,
+        Hardness::Extra => 2,
+    };
+    if n_atoms > 0 {
+        let subquery_case = hardness == Hardness::Extra
+            && rng.chance(0.4)
+            && !db.schema.foreign_keys.is_empty()
+            && q.join.is_none();
+        if subquery_case {
+            q.filter = make_subquery_filter(db, main, rng);
+        }
+        if q.filter.is_none() {
+            let mut atoms = Vec::new();
+            for _ in 0..n_atoms {
+                if let Some(a) = make_atom(&columns, &sources, rng) {
+                    atoms.push(a);
+                }
+            }
+            q.filter = combine_atoms(atoms, rng);
+        }
+        if q.filter.is_none() && hardness != Hardness::Medium {
+            return None;
+        }
+    }
+
+    // Ordering.
+    let want_order = match hardness {
+        Hardness::Easy => false,
+        Hardness::Medium => q.filter.is_none() || rng.chance(0.3),
+        Hardness::Hard | Hardness::Extra => rng.chance(0.6),
+    };
+    if want_order && q.chart != ChartType::Pie {
+        let target = if q.y.is_aggregate() && rng.chance(0.4) {
+            OrderTarget::Y
+        } else if let Some(xc) = q.x.column() {
+            OrderTarget::Column(xc.clone())
+        } else {
+            OrderTarget::X
+        };
+        let dir = if rng.chance(0.6) { SortDir::Asc } else { SortDir::Desc };
+        q.order = Some(OrderBy { target, dir });
+    }
+
+    Some(q)
+}
+
+fn pick_aggregate(
+    xcol: &ColumnRef,
+    measures: &[&(ColumnRef, Role, DataType, usize, usize)],
+    rng: &mut Rng,
+) -> SelectExpr {
+    // Measures from a different column than x.
+    let usable: Vec<_> = measures.iter().filter(|(c, ..)| c.column != xcol.column).collect();
+    if !usable.is_empty() && rng.chance(0.45) {
+        #[allow(clippy::explicit_auto_deref)] // clippy's suggestion does not typecheck here
+    let picked: &(ColumnRef, Role, DataType, usize, usize) = **rng.pick(&usable);
+        let (m, dtype) = (picked.0.clone(), picked.2);
+        let funcs: &[AggFunc] = if dtype.is_numeric() {
+            &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min]
+        } else {
+            &[AggFunc::Count]
+        };
+        SelectExpr::Agg { func: *rng.pick(funcs), arg: Some(m) }
+    } else {
+        SelectExpr::Agg { func: AggFunc::Count, arg: Some(xcol.clone()) }
+    }
+}
+
+fn make_atom(
+    columns: &[(ColumnRef, Role, DataType, usize, usize)],
+    sources: &[&Table],
+    rng: &mut Rng,
+) -> Option<Predicate> {
+    let filterable: Vec<_> = columns
+        .iter()
+        .filter(|(_, r, ..)| matches!(r, Role::Category | Role::Measure | Role::Temporal))
+        .collect();
+    if filterable.is_empty() {
+        return None;
+    }
+    #[allow(clippy::explicit_auto_deref)] // clippy's suggestion does not typecheck here
+    let picked: &(ColumnRef, Role, DataType, usize, usize) = *rng.pick(&filterable);
+    let (col, role, si, ci) = (picked.0.clone(), picked.1, picked.3, picked.4);
+    let table = sources[si];
+    let values = table.distinct_values(ci);
+    if values.is_empty() {
+        return None;
+    }
+    let (op, lit) = match role {
+        Role::Category => {
+            let v = rng.pick(&values).clone();
+            let op = if rng.chance(0.75) { CmpOp::Eq } else { CmpOp::Ne };
+            (op, value_to_literal(&v)?)
+        }
+        Role::Measure | Role::Temporal => {
+            let mut sorted = values.clone();
+            sorted.sort();
+            // A literal near the 30th-70th percentile keeps results non-empty.
+            let lo = sorted.len() * 3 / 10;
+            let hi = (sorted.len() * 7 / 10).max(lo + 1).min(sorted.len());
+            let v = sorted[lo + rng.below_usize(hi - lo)].clone();
+            let op = *rng.pick(&[CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le]);
+            (op, value_to_literal(&v)?)
+        }
+        _ => return None,
+    };
+    Some(Predicate::Cmp { col: col.clone(), op, value: lit })
+}
+
+fn value_to_literal(v: &Value) -> Option<Literal> {
+    Some(match v {
+        Value::Int(i) => Literal::Int(*i),
+        Value::Float(f) => Literal::Float(*f),
+        Value::Text(s) => Literal::Text(s.clone()),
+        Value::Bool(b) => Literal::Bool(*b),
+        Value::Date(d) => Literal::Date(*d),
+        Value::Null => return None,
+    })
+}
+
+fn combine_atoms(mut atoms: Vec<Predicate>, rng: &mut Rng) -> Option<Predicate> {
+    let first = if atoms.is_empty() { return None } else { atoms.remove(0) };
+    let mut acc = first;
+    for a in atoms {
+        acc = if rng.chance(0.6) {
+            Predicate::And(Box::new(acc), Box::new(a))
+        } else {
+            Predicate::Or(Box::new(acc), Box::new(a))
+        };
+    }
+    Some(acc)
+}
+
+/// Builds `pk IN/NOT IN (SELECT fk FROM child [WHERE measure-cond])` when the
+/// main table is referenced by a foreign key.
+fn make_subquery_filter(db: &Database, main: &Table, rng: &mut Rng) -> Option<Predicate> {
+    let fks: Vec<_> = db
+        .schema
+        .foreign_keys
+        .iter()
+        .filter(|fk| fk.to_table.eq_ignore_ascii_case(&main.def.name))
+        .collect();
+    if fks.is_empty() {
+        return None;
+    }
+    let fk = *rng.pick(&fks);
+    let child = db.table(&fk.from_table).ok()?;
+    // Optional inner condition on a child measure.
+    let inner = {
+        let roles = column_roles(child);
+        let candidates: Vec<usize> = (0..child.def.columns.len())
+            .filter(|&i| roles[i] == Role::Measure)
+            .collect();
+        if candidates.is_empty() || rng.chance(0.4) {
+            None
+        } else {
+            let ci = *rng.pick(&candidates);
+            let mut values = child.distinct_values(ci);
+            values.sort();
+            if values.is_empty() {
+                None
+            } else {
+                let v = values[values.len() / 2].clone();
+                let lit = value_to_literal(&v)?;
+                Some(Box::new(Predicate::Cmp {
+                    col: ColumnRef::new(child.def.columns[ci].name.clone()),
+                    op: *rng.pick(&[CmpOp::Gt, CmpOp::Lt]),
+                    value: lit,
+                }))
+            }
+        }
+    };
+    Some(Predicate::InSubquery {
+        col: ColumnRef::new(fk.to_column.clone()),
+        negated: rng.chance(0.4),
+        subquery: SubQuery {
+            select: ColumnRef::new(fk.from_column.clone()),
+            from: fk.from_table.clone(),
+            filter: inner,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use crate::generate::instantiate;
+
+    fn sample_db(seed: u64) -> Database {
+        instantiate(&all_domains()[0], 0, &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn synthesizes_every_hardness() {
+        let db = sample_db(5);
+        let mut rng = Rng::new(9);
+        for h in Hardness::all() {
+            let q = synthesize(&db, h, &mut rng)
+                .unwrap_or_else(|| panic!("no query for {h}"));
+            let r = execute(&q, &db).unwrap();
+            assert!(!r.rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn easy_queries_are_minimal() {
+        let db = sample_db(6);
+        let mut rng = Rng::new(10);
+        for _ in 0..20 {
+            let q = synthesize(&db, Hardness::Easy, &mut rng).unwrap();
+            assert!(q.filter.is_none());
+            assert!(q.order.is_none());
+            assert!(q.join.is_none());
+        }
+    }
+
+    #[test]
+    fn extra_queries_are_complex() {
+        let db = sample_db(7);
+        let mut rng = Rng::new(11);
+        let mut saw_join = false;
+        let mut saw_subquery = false;
+        let mut saw_two_atoms = false;
+        for _ in 0..60 {
+            let Some(q) = synthesize(&db, Hardness::Extra, &mut rng) else { continue };
+            saw_join |= q.join.is_some();
+            if let Some(f) = &q.filter {
+                saw_subquery |= f.has_subquery();
+                saw_two_atoms |= f.atom_count() >= 2;
+            }
+        }
+        assert!(saw_join, "extra hardness should sometimes join");
+        assert!(saw_subquery, "extra hardness should sometimes nest");
+        assert!(saw_two_atoms, "extra hardness should sometimes have compound filters");
+    }
+
+    #[test]
+    fn gold_queries_execute_nonempty_across_domains() {
+        let mut rng = Rng::new(21);
+        for spec in all_domains() {
+            let db = instantiate(spec, 0, &mut rng);
+            let mut qrng = rng.fork(1);
+            let mut produced = 0;
+            for h in Hardness::all() {
+                if let Some(q) = synthesize(&db, h, &mut qrng) {
+                    produced += 1;
+                    let r = execute(&q, &db).unwrap();
+                    assert!(!r.rows.is_empty(), "{}: {h}", spec.domain);
+                }
+            }
+            assert!(produced >= 2, "domain {} produced too few queries", spec.domain);
+        }
+    }
+
+    #[test]
+    fn roles_inferred_sensibly() {
+        let db = sample_db(8);
+        let t = db.table("technician").unwrap();
+        let roles = column_roles(t);
+        assert_eq!(roles[0], Role::Id); // tech_id
+        assert_eq!(roles[1], Role::Label); // name (high cardinality)
+        assert_eq!(roles[2], Role::Category); // team
+        assert_eq!(roles[3], Role::Measure); // age
+        assert_eq!(roles[5], Role::Temporal); // hire_date
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = sample_db(5);
+        let a = synthesize(&db, Hardness::Hard, &mut Rng::new(99));
+        let b = synthesize(&db, Hardness::Hard, &mut Rng::new(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! A catalog of databases, as nvBench spans 153 databases across domains.
+
+use crate::database::Database;
+use crate::error::DataError;
+use std::collections::BTreeMap;
+
+/// A multi-database catalog keyed by database name.
+///
+/// Iteration order is name-sorted (BTreeMap) so that corpus generation and
+/// split assignment are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    databases: BTreeMap<String, Database>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Adds a database, replacing any database of the same name.
+    pub fn add(&mut self, db: Database) {
+        self.databases.insert(db.name().to_string(), db);
+    }
+
+    /// Borrows a database by name.
+    pub fn database(&self, name: &str) -> Result<&Database, DataError> {
+        self.databases.get(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Number of databases.
+    pub fn len(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.databases.is_empty()
+    }
+
+    /// All database names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.databases.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates databases in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Database> {
+        self.databases.values()
+    }
+
+    /// The set of distinct domains represented.
+    pub fn domains(&self) -> Vec<&str> {
+        let mut ds: Vec<&str> =
+            self.databases.values().map(|d| d.schema.domain.as_str()).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+
+    /// Validates every database.
+    pub fn validate(&self) -> Result<(), DataError> {
+        for db in self.databases.values() {
+            db.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DatabaseSchema, TableDef};
+    use crate::value::DataType::Int;
+
+    fn db(name: &str, domain: &str) -> Database {
+        let mut s = DatabaseSchema::new(name, domain);
+        s.tables.push(TableDef::new("t", vec![ColumnDef::new("a", Int)]));
+        Database::new(s)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        c.add(db("b_db", "sports"));
+        c.add(db("a_db", "college"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.names(), vec!["a_db", "b_db"]);
+        assert!(c.database("a_db").is_ok());
+        assert!(c.database("zzz").is_err());
+    }
+
+    #[test]
+    fn domains_deduped_sorted() {
+        let mut c = Catalog::new();
+        c.add(db("x", "sports"));
+        c.add(db("y", "sports"));
+        c.add(db("z", "college"));
+        assert_eq!(c.domains(), vec!["college", "sports"]);
+    }
+
+    #[test]
+    fn replace_same_name() {
+        let mut c = Catalog::new();
+        c.add(db("x", "sports"));
+        c.add(db("x", "college"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.database("x").unwrap().schema.domain, "college");
+    }
+}

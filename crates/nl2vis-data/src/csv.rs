@@ -1,0 +1,170 @@
+//! Minimal RFC-4180-style CSV reading and writing.
+//!
+//! Used by the `Table2CSV` prompt serialization and for exporting experiment
+//! results. Fields containing commas, quotes or newlines are quoted; quotes
+//! are doubled.
+
+use crate::error::DataError;
+
+/// Writes one CSV record (no trailing newline).
+pub fn write_record(fields: &[String]) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape_field(f));
+    }
+    out
+}
+
+/// Writes multiple rows as CSV text, one record per line with `\n`.
+pub fn write_rows(rows: &[Vec<String>]) -> String {
+    rows.iter().map(|r| write_record(r)).collect::<Vec<_>>().join("\n")
+}
+
+fn escape_field(f: &str) -> String {
+    if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+        let mut s = String::with_capacity(f.len() + 2);
+        s.push('"');
+        for c in f.chars() {
+            if c == '"' {
+                s.push('"');
+            }
+            s.push(c);
+        }
+        s.push('"');
+        s
+    } else {
+        f.to_string()
+    }
+}
+
+/// Parses CSV text into records. Handles quoted fields, embedded newlines,
+/// doubled quotes, and both `\n` and `\r\n` record separators. A trailing
+/// newline does not produce an empty final record.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>, DataError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut any_char = false;
+
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(DataError::CsvParse {
+                            line,
+                            message: "quote inside unquoted field".to_string(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::CsvParse { line, message: "unterminated quoted field".to_string() });
+    }
+    if any_char && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_roundtrip() {
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1".to_string(), "2".to_string()],
+        ];
+        let text = write_rows(&rows);
+        assert_eq!(text, "a,b\n1,2");
+        assert_eq!(parse(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let rows = vec![vec![
+            "has,comma".to_string(),
+            "has\"quote".to_string(),
+            "has\nnewline".to_string(),
+            "plain".to_string(),
+        ]];
+        let text = write_rows(&rows);
+        assert_eq!(parse(&text).unwrap(), rows);
+        assert!(text.contains("\"has,comma\""));
+        assert!(text.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn crlf_records() {
+        let parsed = parse("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(parsed, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn trailing_newline_no_empty_record() {
+        assert_eq!(parse("a,b\n").unwrap().len(), 1);
+        assert_eq!(parse("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        assert_eq!(parse("a,,c").unwrap(), vec![vec!["a", "", "c"]]);
+        assert_eq!(parse(",").unwrap(), vec![vec!["", ""]]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(parse("\"abc"), Err(DataError::CsvParse { .. })));
+    }
+
+    #[test]
+    fn stray_quote_is_error() {
+        assert!(matches!(parse("ab\"c"), Err(DataError::CsvParse { .. })));
+    }
+}

@@ -1,0 +1,154 @@
+//! A database: a schema plus populated tables, with referential-integrity
+//! validation.
+
+use crate::error::DataError;
+use crate::schema::DatabaseSchema;
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// An in-memory database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// Schema (authoritative list of tables and foreign keys).
+    pub schema: DatabaseSchema,
+    /// Populated tables, parallel to `schema.tables`.
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Creates a database with empty tables for every schema table.
+    pub fn new(schema: DatabaseSchema) -> Database {
+        let tables = schema.tables.iter().map(|t| Table::new(t.clone())).collect();
+        Database { schema, tables }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Borrows a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Result<&Table, DataError> {
+        self.tables
+            .iter()
+            .find(|t| t.def.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutably borrows a table by case-insensitive name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DataError> {
+        self.tables
+            .iter_mut()
+            .find(|t| t.def.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// All tables in schema order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Inserts a row into the named table.
+    pub fn insert(&mut self, table: &str, row: Vec<crate::value::Value>) -> Result<(), DataError> {
+        self.table_mut(table)?.push_row(row)
+    }
+
+    /// Validates primary keys and every foreign-key edge against current
+    /// data. NULL foreign-key values are permitted (they reference nothing).
+    pub fn validate(&self) -> Result<(), DataError> {
+        for t in &self.tables {
+            t.check_primary_key()?;
+        }
+        for fk in &self.schema.foreign_keys {
+            let from = self.table(&fk.from_table)?;
+            let to = self.table(&fk.to_table)?;
+            let from_idx = from.def.column_index(&fk.from_column).ok_or_else(|| {
+                DataError::UnknownColumn {
+                    table: fk.from_table.clone(),
+                    column: fk.from_column.clone(),
+                }
+            })?;
+            let to_idx = to.def.column_index(&fk.to_column).ok_or_else(|| {
+                DataError::UnknownColumn { table: fk.to_table.clone(), column: fk.to_column.clone() }
+            })?;
+            let referents: HashSet<_> = to.column_values(to_idx).cloned().collect();
+            for v in from.column_values(from_idx) {
+                if !v.is_null() && !referents.contains(v) {
+                    return Err(DataError::ForeignKeyViolation {
+                        from: format!("{}.{}", fk.from_table, fk.from_column),
+                        to: format!("{}.{}", fk.to_table, fk.to_column),
+                        value: v.render(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ForeignKey, TableDef};
+    use crate::value::DataType::*;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut s = DatabaseSchema::new("shop", "retail");
+        s.tables.push(
+            TableDef::new(
+                "customers",
+                vec![ColumnDef::new("customer_id", Int), ColumnDef::new("name", Text)],
+            )
+            .with_primary_key("customer_id"),
+        );
+        s.tables.push(TableDef::new(
+            "orders",
+            vec![ColumnDef::new("order_id", Int), ColumnDef::new("customer_id", Int)],
+        ));
+        s.foreign_keys.push(ForeignKey::new("orders", "customer_id", "customers", "customer_id"));
+        Database::new(s)
+    }
+
+    #[test]
+    fn insert_and_validate_ok() {
+        let mut d = db();
+        d.insert("customers", vec![Value::Int(1), Value::from("ann")]).unwrap();
+        d.insert("orders", vec![Value::Int(10), Value::Int(1)]).unwrap();
+        d.validate().unwrap();
+        assert_eq!(d.total_rows(), 2);
+    }
+
+    #[test]
+    fn fk_violation_detected() {
+        let mut d = db();
+        d.insert("orders", vec![Value::Int(10), Value::Int(99)]).unwrap();
+        assert!(matches!(d.validate(), Err(DataError::ForeignKeyViolation { .. })));
+    }
+
+    #[test]
+    fn null_fk_allowed() {
+        let mut d = db();
+        d.insert("orders", vec![Value::Int(10), Value::Null]).unwrap();
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_table_error() {
+        let d = db();
+        assert!(matches!(d.table("nope"), Err(DataError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn duplicate_pk_detected() {
+        let mut d = db();
+        d.insert("customers", vec![Value::Int(1), Value::from("a")]).unwrap();
+        d.insert("customers", vec![Value::Int(1), Value::from("b")]).unwrap();
+        assert!(matches!(d.validate(), Err(DataError::DuplicateKey { .. })));
+    }
+}

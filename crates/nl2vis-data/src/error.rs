@@ -1,0 +1,115 @@
+//! Error types for the data layer.
+
+use std::fmt;
+
+/// Errors raised by the data layer (schema violations, parse failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A table name was not found in the database.
+    UnknownTable(String),
+    /// A column name was not found in the named table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// A row had the wrong number of cells for its table.
+    RowArity {
+        /// Table name.
+        table: String,
+        /// Expected cell count.
+        expected: usize,
+        /// Actual cell count.
+        got: usize,
+    },
+    /// A cell's runtime type disagreed with the column's declared type.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Declared type name.
+        expected: &'static str,
+        /// Value found (rendered).
+        got: String,
+    },
+    /// A foreign-key value had no matching row in the referenced table.
+    ForeignKeyViolation {
+        /// Referencing table.column.
+        from: String,
+        /// Referenced table.column.
+        to: String,
+        /// Offending value (rendered).
+        value: String,
+    },
+    /// A duplicate primary-key value.
+    DuplicateKey {
+        /// Table name.
+        table: String,
+        /// Key value (rendered).
+        value: String,
+    },
+    /// JSON parse error with byte offset.
+    JsonParse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// CSV parse error with line number.
+    CsvParse {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DataError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            DataError::RowArity { table, expected, got } => write!(
+                f,
+                "row in table `{table}` has {got} cells, expected {expected}"
+            ),
+            DataError::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "value `{got}` in `{table}.{column}` does not match declared type {expected}"
+            ),
+            DataError::ForeignKeyViolation { from, to, value } => {
+                write!(f, "foreign key {from} -> {to}: value `{value}` has no referent")
+            }
+            DataError::DuplicateKey { table, value } => {
+                write!(f, "duplicate primary key `{value}` in table `{table}`")
+            }
+            DataError::JsonParse { offset, message } => {
+                write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+            DataError::CsvParse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DataError::UnknownColumn { table: "t".into(), column: "c".into() };
+        assert_eq!(e.to_string(), "unknown column `c` in table `t`");
+        let e = DataError::RowArity { table: "t".into(), expected: 3, got: 2 };
+        assert!(e.to_string().contains("2 cells"));
+        let e = DataError::JsonParse { offset: 7, message: "bad".into() };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Row storage for a single table.
+
+use crate::error::DataError;
+use crate::schema::TableDef;
+use crate::value::Value;
+
+/// A table: a definition plus row data.
+///
+/// Rows are stored row-major (`Vec<Vec<Value>>`); tables in this system are
+/// small (nvBench-scale, tens to thousands of rows) and the executor scans
+/// them, so a columnar layout would buy little.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Schema of this table.
+    pub def: TableDef,
+    /// Row data; every row has `def.columns.len()` cells.
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table for a definition.
+    pub fn new(def: TableDef) -> Table {
+        Table { def, rows: Vec::new() }
+    }
+
+    /// Appends a row after arity- and type-checking it.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), DataError> {
+        if row.len() != self.def.columns.len() {
+            return Err(DataError::RowArity {
+                table: self.def.name.clone(),
+                expected: self.def.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (cell, col) in row.iter().zip(&self.def.columns) {
+            if let Some(t) = cell.data_type() {
+                if t != col.dtype {
+                    return Err(DataError::TypeMismatch {
+                        table: self.def.name.clone(),
+                        column: col.name.clone(),
+                        expected: col.dtype.name(),
+                        got: cell.render(),
+                    });
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow all rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, i: usize) -> Option<&[Value]> {
+        self.rows.get(i).map(Vec::as_slice)
+    }
+
+    /// All values of one column by index.
+    pub fn column_values(&self, col: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[col])
+    }
+
+    /// Distinct non-null values of a column, in first-appearance order.
+    pub fn distinct_values(&self, col: usize) -> Vec<Value> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for v in self.column_values(col) {
+            if !v.is_null() && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+
+    /// The first `n` rows (used by `+Select`/`+Value` prompt variants).
+    pub fn head(&self, n: usize) -> &[Vec<Value>] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+
+    /// Verifies primary-key uniqueness.
+    pub fn check_primary_key(&self) -> Result<(), DataError> {
+        let Some(pk) = self.def.primary_key else { return Ok(()) };
+        let mut seen = std::collections::HashSet::new();
+        for row in &self.rows {
+            if !seen.insert(row[pk].clone()) {
+                return Err(DataError::DuplicateKey {
+                    table: self.def.name.clone(),
+                    value: row[pk].render(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType::*;
+
+    fn t() -> Table {
+        Table::new(
+            TableDef::new(
+                "people",
+                vec![ColumnDef::new("id", Int), ColumnDef::new("name", Text)],
+            )
+            .with_primary_key("id"),
+        )
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut tab = t();
+        tab.push_row(vec![Value::Int(1), Value::Text("ann".into())]).unwrap();
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab.row(0).unwrap()[1], Value::Text("ann".into()));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut tab = t();
+        let err = tab.push_row(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, DataError::RowArity { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn type_checked_but_null_allowed() {
+        let mut tab = t();
+        let err = tab.push_row(vec![Value::Text("x".into()), Value::Text("y".into())]);
+        assert!(matches!(err, Err(DataError::TypeMismatch { .. })));
+        tab.push_row(vec![Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn primary_key_uniqueness() {
+        let mut tab = t();
+        tab.push_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        tab.push_row(vec![Value::Int(1), Value::Text("b".into())]).unwrap();
+        assert!(matches!(tab.check_primary_key(), Err(DataError::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn distinct_skips_nulls_and_dups() {
+        let mut tab = t();
+        tab.push_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        tab.push_row(vec![Value::Int(2), Value::Text("a".into())]).unwrap();
+        tab.push_row(vec![Value::Int(3), Value::Null]).unwrap();
+        assert_eq!(tab.distinct_values(1), vec![Value::Text("a".into())]);
+    }
+
+    #[test]
+    fn head_caps_at_len() {
+        let mut tab = t();
+        tab.push_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        assert_eq!(tab.head(10).len(), 1);
+        assert_eq!(tab.head(0).len(), 0);
+    }
+}

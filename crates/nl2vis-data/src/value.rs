@@ -1,0 +1,496 @@
+//! The dynamically-typed cell value used throughout the engine.
+//!
+//! [`Value`] deliberately implements [`Eq`], [`Ord`] and [`Hash`] with a
+//! *total* order (NULL sorts first, numbers compare across `Int`/`Float`,
+//! floats use IEEE total ordering for NaN) so that values can be grouped,
+//! sorted and compared for execution-accuracy checks without panics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Calendar date (used by the temporal `BIN` transform).
+    Date,
+}
+
+impl DataType {
+    /// Human-readable lowercase name, as used in prompt serializations.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+        }
+    }
+
+    /// SQL type name, used by the `Table2SQL` serialization.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Int => "INTEGER",
+            DataType::Float => "REAL",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOLEAN",
+            DataType::Date => "DATE",
+        }
+    }
+
+    /// Python type-hint name, used by the `Table2Code` serialization.
+    pub fn python_name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "str",
+            DataType::Bool => "bool",
+            DataType::Date => "datetime.date",
+        }
+    }
+
+    /// Whether this type is numeric (valid for `SUM`/`AVG`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A proleptic-Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year (e.g. 2024).
+    pub year: i32,
+    /// Month, 1-12.
+    pub month: u8,
+    /// Day of month, 1-31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Creates a date, validating month and day ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > Date::days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Number of days in `month` of `year`.
+    pub fn days_in_month(year: i32, month: u8) -> u8 {
+        match month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if Date::is_leap_year(year) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Gregorian leap-year rule.
+    pub fn is_leap_year(year: i32) -> bool {
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    }
+
+    /// Days since 1970-01-01 (may be negative). Used for weekday computation
+    /// and uniform date arithmetic.
+    pub fn days_since_epoch(self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Weekday with Monday = 0 .. Sunday = 6.
+    pub fn weekday(self) -> u8 {
+        // 1970-01-01 was a Thursday (weekday 3 with Monday=0).
+        let d = self.days_since_epoch() + 3;
+        (d.rem_euclid(7)) as u8
+    }
+
+    /// English weekday name.
+    pub fn weekday_name(self) -> &'static str {
+        ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
+            [usize::from(self.weekday())]
+    }
+
+    /// Quarter of the year, 1-4.
+    pub fn quarter(self) -> u8 {
+        (self.month - 1) / 3 + 1
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.splitn(3, '-');
+        let year: i32 = it.next()?.parse().ok()?;
+        let month: u8 = it.next()?.parse().ok()?;
+        let day: u8 = it.next()?.parse().ok()?;
+        Date::new(year, month, day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A single dynamically-typed cell.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Sorts before every non-null value.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Date.
+    Date(Date),
+}
+
+impl Value {
+    /// The runtime type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to f64), `None` for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Text view for `Text` values only.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view for `Int` values only.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Date view for `Date` values only.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Rank used to totally order values of *different* types:
+    /// NULL < Bool < numbers < Date < Text.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Date(_) => 3,
+            Value::Text(_) => 4,
+        }
+    }
+
+    /// Renders the value the way the executor's result tables and the chart
+    /// renderers display it. Distinct from `Display` only in intent.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a literal of the given type from text (used by CSV import and
+    /// the simulated code-interpreter).
+    pub fn parse_typed(s: &str, dtype: DataType) -> Option<Value> {
+        let s = s.trim();
+        if s.is_empty() || s.eq_ignore_ascii_case("null") {
+            return Some(Value::Null);
+        }
+        match dtype {
+            DataType::Int => s.parse().ok().map(Value::Int),
+            DataType::Float => s.parse().ok().map(Value::Float),
+            DataType::Text => Some(Value::Text(s.to_string())),
+            DataType::Bool => match s.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" | "yes" => Some(Value::Bool(true)),
+                "false" | "f" | "0" | "no" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            DataType::Date => Date::parse(s).map(Value::Date),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Ints and floats that compare equal must hash equal.
+            Value::Int(i) => {
+                state.write_u8(2);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                f.to_bits().hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(3);
+                d.hash(state);
+            }
+            Value::Text(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = [Value::Int(1), Value::Null, Value::Text("a".into())];
+        vs.sort();
+        assert!(vs[0].is_null());
+    }
+
+    #[test]
+    fn cross_numeric_compare() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn cross_numeric_hash_consistent() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn nan_is_totally_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(1e308) < Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(Date::new(2024, 2, 29).is_some());
+        assert!(Date::new(2023, 2, 29).is_none());
+        assert!(Date::new(2023, 13, 1).is_none());
+        assert!(Date::new(2023, 4, 31).is_none());
+        assert!(Date::new(2023, 4, 0).is_none());
+    }
+
+    #[test]
+    fn date_weekday() {
+        // 1970-01-01 was a Thursday.
+        assert_eq!(Date::new(1970, 1, 1).unwrap().weekday_name(), "Thursday");
+        // 2024-01-01 was a Monday.
+        assert_eq!(Date::new(2024, 1, 1).unwrap().weekday_name(), "Monday");
+        // 2000-03-01 was a Wednesday.
+        assert_eq!(Date::new(2000, 3, 1).unwrap().weekday_name(), "Wednesday");
+    }
+
+    #[test]
+    fn date_epoch_roundtrip_ordering() {
+        let a = Date::new(1999, 12, 31).unwrap();
+        let b = Date::new(2000, 1, 1).unwrap();
+        assert_eq!(b.days_since_epoch() - a.days_since_epoch(), 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn date_parse_display_roundtrip() {
+        let d = Date::parse("2021-07-04").unwrap();
+        assert_eq!(d.to_string(), "2021-07-04");
+        assert!(Date::parse("2021-7").is_none());
+        assert!(Date::parse("abcd-ef-gh").is_none());
+    }
+
+    #[test]
+    fn quarters() {
+        assert_eq!(Date::new(2020, 1, 15).unwrap().quarter(), 1);
+        assert_eq!(Date::new(2020, 3, 31).unwrap().quarter(), 1);
+        assert_eq!(Date::new(2020, 4, 1).unwrap().quarter(), 2);
+        assert_eq!(Date::new(2020, 12, 25).unwrap().quarter(), 4);
+    }
+
+    #[test]
+    fn parse_typed_values() {
+        assert_eq!(Value::parse_typed("42", DataType::Int), Some(Value::Int(42)));
+        assert_eq!(Value::parse_typed("4.5", DataType::Float), Some(Value::Float(4.5)));
+        assert_eq!(Value::parse_typed("yes", DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(Value::parse_typed("", DataType::Int), Some(Value::Null));
+        assert_eq!(Value::parse_typed("zzz", DataType::Int), None);
+        assert_eq!(
+            Value::parse_typed("2020-05-06", DataType::Date),
+            Some(Value::Date(Date::new(2020, 5, 6).unwrap()))
+        );
+    }
+
+    #[test]
+    fn float_display_keeps_decimal_point() {
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+        assert_eq!(Value::Float(3.25).to_string(), "3.25");
+    }
+
+    #[test]
+    fn type_rank_order() {
+        let mut vs = [Value::Text("x".into()),
+            Value::Date(Date::new(2020, 1, 1).unwrap()),
+            Value::Int(5),
+            Value::Bool(true),
+            Value::Null];
+        vs.sort();
+        assert!(vs[0].is_null());
+        assert!(matches!(vs[1], Value::Bool(_)));
+        assert!(matches!(vs[2], Value::Int(_)));
+        assert!(matches!(vs[3], Value::Date(_)));
+        assert!(matches!(vs[4], Value::Text(_)));
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation of NL2VIS systems: the paper's metrics, the evaluation driver,
+//! the failure taxonomy, the iterative-updating strategies, and the
+//! simulated user study.
+
+pub mod failure;
+pub mod metrics;
+pub mod optimize;
+pub mod runner;
+pub mod userstudy;
+
+pub use failure::FailureTaxonomy;
+pub use metrics::{score_completion, score_query, Accuracy, EvalOutcome};
+pub use optimize::{apply_strategy, run_strategy, Strategy, StrategyReport};
+pub use runner::{evaluate_llm, evaluate_model, EvalReport, LlmEvalConfig, Selection};
+pub use userstudy::{run_study, StudyConfig, StudyReport, UserKind};

@@ -1,0 +1,440 @@
+//! The evaluation driver: runs a model (simulated LLM or trained baseline)
+//! over a test split and aggregates the paper's metrics, with join/non-join
+//! and hardness breakdowns. Evaluation parallelizes across examples with
+//! scoped threads.
+
+use crate::metrics::{score_completion, score_query, Accuracy, EvalOutcome};
+use nl2vis_baselines::Nl2VisModel;
+use nl2vis_corpus::{Corpus, Example, Hardness};
+use nl2vis_llm::{GenOptions, LlmClient};
+use nl2vis_prompt::select::{select_by_similarity, select_grouped, select_same_database, DemoPool};
+use nl2vis_prompt::{build_prompt, AnswerFormat, PromptFormat, PromptOptions};
+use nl2vis_query::component::Component;
+
+/// Demonstration-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Top-k by Jaccard similarity over the whole pool (the default).
+    Similarity,
+    /// All k from the single most relevant database (Fig. 8's same-DB rows).
+    SameDatabase,
+    /// `dbs × per_db` from distinct databases (Fig. 8's grid).
+    Grouped {
+        /// Number of distinct databases (A).
+        dbs: usize,
+        /// Examples per database (B).
+        per_db: usize,
+    },
+}
+
+/// Configuration of one LLM evaluation run.
+#[derive(Debug, Clone)]
+pub struct LlmEvalConfig {
+    /// Table serialization format.
+    pub format: PromptFormat,
+    /// Requested output formalism (VQL or direct Vega-Lite).
+    pub answer: AnswerFormat,
+    /// Requested demonstration count (k-shot).
+    pub shots: usize,
+    /// Demonstration selection policy.
+    pub selection: Selection,
+    /// Prompt token budget (defaults to the model's window).
+    pub token_budget: usize,
+    /// Chain-of-thought prompting.
+    pub chain_of_thought: bool,
+    /// Role-play persona.
+    pub role_play: bool,
+    /// Generation options forwarded to the model.
+    pub gen: GenOptions,
+}
+
+impl Default for LlmEvalConfig {
+    fn default() -> LlmEvalConfig {
+        LlmEvalConfig {
+            format: PromptFormat::Table2Sql,
+            answer: AnswerFormat::Vql,
+            shots: 1,
+            selection: Selection::Similarity,
+            token_budget: 4096,
+            chain_of_thought: false,
+            role_play: false,
+            gen: GenOptions::default(),
+        }
+    }
+}
+
+/// Result of one evaluated example.
+#[derive(Debug, Clone)]
+pub struct ExampleResult {
+    /// Corpus example id.
+    pub id: usize,
+    /// Scoring outcome.
+    pub outcome: EvalOutcome,
+    /// Join scenario?
+    pub is_join: bool,
+    /// nvBench hardness.
+    pub hardness: Hardness,
+    /// The raw completion (LLM runs) for failure inspection.
+    pub completion: Option<String>,
+}
+
+/// An aggregated evaluation report.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// Per-example results.
+    pub results: Vec<ExampleResult>,
+}
+
+impl EvalReport {
+    /// Overall accuracy.
+    pub fn overall(&self) -> Accuracy {
+        self.accuracy(|_| true)
+    }
+
+    /// Accuracy over join scenarios.
+    pub fn join(&self) -> Accuracy {
+        self.accuracy(|r| r.is_join)
+    }
+
+    /// Accuracy over non-join scenarios.
+    pub fn non_join(&self) -> Accuracy {
+        self.accuracy(|r| !r.is_join)
+    }
+
+    /// Accuracy over one hardness level.
+    pub fn by_hardness(&self, h: Hardness) -> Accuracy {
+        self.accuracy(|r| r.hardness == h)
+    }
+
+    /// Accuracy over a filtered subset.
+    pub fn accuracy<F: Fn(&ExampleResult) -> bool>(&self, keep: F) -> Accuracy {
+        let mut acc = Accuracy::default();
+        for r in self.results.iter().filter(|r| keep(r)) {
+            acc.record(&r.outcome);
+        }
+        acc
+    }
+
+    /// Ids of failed examples (neither exact nor execution accurate).
+    pub fn failed_ids(&self) -> Vec<usize> {
+        self.results.iter().filter(|r| r.outcome.failed()).map(|r| r.id).collect()
+    }
+
+    /// Exports per-example results as CSV (id, hardness, join, exact, exec,
+    /// wrong components) for external analysis.
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = vec![vec![
+            "id".into(),
+            "hardness".into(),
+            "is_join".into(),
+            "exact".into(),
+            "exec".into(),
+            "parse_failed".into(),
+            "wrong_components".into(),
+        ]];
+        for r in &self.results {
+            rows.push(vec![
+                r.id.to_string(),
+                r.hardness.label().to_string(),
+                r.is_join.to_string(),
+                r.outcome.exact.to_string(),
+                r.outcome.exec.to_string(),
+                r.outcome.parse_failed.to_string(),
+                r.outcome
+                    .components_wrong
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(";"),
+            ]);
+        }
+        nl2vis_data::csv::write_rows(&rows)
+    }
+
+    /// Component accuracy (the paper's third metric): the share of
+    /// predictions agreeing with gold on each query component. Unparseable
+    /// outputs count as disagreeing on every component.
+    pub fn component_accuracy(&self) -> Vec<(Component, f64)> {
+        let n = self.results.len().max(1) as f64;
+        Component::all()
+            .into_iter()
+            .map(|c| {
+                let agree = self
+                    .results
+                    .iter()
+                    .filter(|r| {
+                        !r.outcome.parse_failed && !r.outcome.components_wrong.contains(&c)
+                    })
+                    .count() as f64;
+                (c, agree / n)
+            })
+            .collect()
+    }
+
+    /// Counts of wrong components across failures.
+    pub fn component_failures(&self) -> Vec<(Component, usize)> {
+        let mut counts: Vec<(Component, usize)> =
+            Component::all().into_iter().map(|c| (c, 0)).collect();
+        for r in self.results.iter().filter(|r| r.outcome.failed()) {
+            for c in &r.outcome.components_wrong {
+                if let Some(slot) = counts.iter_mut().find(|(cc, _)| cc == c) {
+                    slot.1 += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Builds the demonstration list for one test example (convenience wrapper
+/// around [`pick_demos_pooled`] that constructs a throwaway pool).
+pub fn pick_demos<'a>(
+    corpus: &'a Corpus,
+    train_ids: &[usize],
+    test: &Example,
+    config: &LlmEvalConfig,
+) -> Vec<&'a Example> {
+    let pool: Vec<&Example> = train_ids
+        .iter()
+        .filter_map(|id| corpus.example(*id))
+        .filter(|e| e.id != test.id)
+        .collect();
+    match config.selection {
+        Selection::Similarity => select_by_similarity(&pool, &test.nl, config.shots),
+        Selection::SameDatabase => select_same_database(&pool, &test.nl, config.shots),
+        Selection::Grouped { dbs, per_db } => select_grouped(&pool, &test.nl, dbs, per_db),
+    }
+}
+
+/// Builds the demonstration list using a precomputed [`DemoPool`].
+pub fn pick_demos_pooled<'a>(
+    pool: &DemoPool<'a>,
+    test: &Example,
+    config: &LlmEvalConfig,
+) -> Vec<&'a Example> {
+    match config.selection {
+        Selection::Similarity => pool.select_similar(&test.nl, config.shots, test.id),
+        Selection::SameDatabase => pool.select_same_db(&test.nl, config.shots, test.id),
+        Selection::Grouped { dbs, per_db } => {
+            pool.select_grouped(&test.nl, dbs, per_db, test.id)
+        }
+    }
+}
+
+/// Evaluates an LLM over the test ids, drawing demonstrations from the
+/// training ids. `limit` caps the number of evaluated examples for quick
+/// runs.
+pub fn evaluate_llm(
+    llm: &(dyn LlmClient + Sync),
+    corpus: &Corpus,
+    train_ids: &[usize],
+    test_ids: &[usize],
+    config: &LlmEvalConfig,
+    limit: Option<usize>,
+) -> EvalReport {
+    let ids: Vec<usize> = test_ids.iter().copied().take(limit.unwrap_or(usize::MAX)).collect();
+    let candidates: Vec<&Example> =
+        train_ids.iter().filter_map(|id| corpus.example(*id)).collect();
+    let pool = DemoPool::new(&candidates);
+    let results = parallel_map(&ids, |id| {
+        let test = corpus.example(*id)?;
+        let db = corpus.catalog.database(&test.db).ok()?;
+        let demos = pick_demos_pooled(&pool, test, config);
+        let options = PromptOptions {
+            format: config.format,
+            answer: config.answer,
+            token_budget: config.token_budget,
+            chain_of_thought: config.chain_of_thought,
+            role_play: config.role_play,
+        };
+        let prompt = build_prompt(&options, db, &test.nl, &demos, |d| {
+            corpus.catalog.database(&d.db).expect("demo database exists")
+        });
+        let completion = llm.complete_with(&prompt.text, &config.gen);
+        let outcome = score_completion(&completion, &test.vql, db);
+        Some(ExampleResult {
+            id: test.id,
+            outcome,
+            is_join: test.is_join,
+            hardness: test.hardness,
+            completion: Some(completion),
+        })
+    });
+    EvalReport { results }
+}
+
+/// Evaluates a trained baseline model over the test ids.
+pub fn evaluate_model(
+    model: &(dyn Nl2VisModel + Sync),
+    corpus: &Corpus,
+    test_ids: &[usize],
+    limit: Option<usize>,
+) -> EvalReport {
+    let ids: Vec<usize> = test_ids.iter().copied().take(limit.unwrap_or(usize::MAX)).collect();
+    let results = parallel_map(&ids, |id| {
+        let test = corpus.example(*id)?;
+        let db = corpus.catalog.database(&test.db).ok()?;
+        let outcome = match model.predict(&test.nl, db) {
+            Some(pred) => score_query(&pred, &test.vql, db),
+            None => EvalOutcome {
+                predicted: None,
+                exact: false,
+                exec: false,
+                components_wrong: Vec::new(),
+                parse_failed: true,
+            },
+        };
+        Some(ExampleResult {
+            id: test.id,
+            outcome,
+            is_join: test.is_join,
+            hardness: test.hardness,
+            completion: None,
+        })
+    });
+    EvalReport { results }
+}
+
+/// Order-preserving parallel map over ids using scoped threads.
+fn parallel_map<F>(ids: &[usize], f: F) -> Vec<ExampleResult>
+where
+    F: Fn(&usize) -> Option<ExampleResult> + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    if ids.len() < 8 || workers < 2 {
+        return ids.iter().filter_map(&f).collect();
+    }
+    let chunk = ids.len().div_ceil(workers);
+    let mut out: Vec<Option<ExampleResult>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("evaluation worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_baselines::{Seq2Vis, T5Model, T5Size};
+    use nl2vis_corpus::CorpusConfig;
+    use nl2vis_llm::{ModelProfile, SimLlm};
+
+    fn fixture() -> Corpus {
+        Corpus::build(&CorpusConfig { seed: 61, instances_per_domain: 1, queries_per_db: 12, paraphrases: (2, 3) })
+    }
+
+    #[test]
+    fn llm_in_domain_beats_cross_domain() {
+        // Aggregate over several split seeds: which databases land in a
+        // cross-domain test fold varies a lot at this corpus size.
+        let c = fixture();
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+        let config = LlmEvalConfig { shots: 5, ..Default::default() };
+        let mut acc_in = Accuracy::default();
+        let mut acc_cross = Accuracy::default();
+        for seed in 1..=3 {
+            let ind = c.split_in_domain(seed);
+            let crd = c.split_cross_domain(seed);
+            let r_in = evaluate_llm(&llm, &c, &ind.train, &ind.test, &config, Some(40));
+            let r_cross = evaluate_llm(&llm, &c, &crd.train, &crd.test, &config, Some(40));
+            acc_in.merge(&r_in.overall());
+            acc_cross.merge(&r_cross.overall());
+        }
+        assert!(
+            acc_in.exact() > acc_cross.exact(),
+            "in-domain {:.2} should beat cross-domain {:.2}",
+            acc_in.exact(),
+            acc_cross.exact()
+        );
+    }
+
+    #[test]
+    fn baseline_evaluation_report_shapes() {
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let m = Seq2Vis::train(&c, &split.train);
+        let r = evaluate_model(&m, &c, &split.test, Some(30));
+        assert_eq!(r.results.len(), 30.min(split.test.len()));
+        assert_eq!(r.join().n() + r.non_join().n(), r.overall().n());
+        let by_hardness: usize =
+            Hardness::all().iter().map(|h| r.by_hardness(*h).n()).sum();
+        assert_eq!(by_hardness, r.overall().n());
+    }
+
+    #[test]
+    fn t5_beats_seq2vis_cross_domain_via_runner() {
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let t5 = T5Model::train(&c, &split.train, T5Size::Base, 1);
+        let s2v = Seq2Vis::train(&c, &split.train);
+        let r_t5 = evaluate_model(&t5, &c, &split.test, Some(50));
+        let r_s2v = evaluate_model(&s2v, &c, &split.test, Some(50));
+        assert!(r_t5.overall().exact() > r_s2v.overall().exact());
+    }
+
+    #[test]
+    fn failed_ids_and_component_failures_consistent() {
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let m = Seq2Vis::train(&c, &split.train);
+        let r = evaluate_model(&m, &c, &split.test, Some(30));
+        let failed = r.failed_ids();
+        assert!(failed.len() <= r.results.len());
+        let total_component_failures: usize =
+            r.component_failures().iter().map(|(_, n)| n).sum();
+        // Every non-parse failure contributes at least one wrong component.
+        let non_parse_failures = r
+            .results
+            .iter()
+            .filter(|x| x.outcome.failed() && !x.outcome.parse_failed)
+            .count();
+        assert!(total_component_failures >= non_parse_failures);
+    }
+
+    #[test]
+    fn report_exports_csv() {
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let m = Seq2Vis::train(&c, &split.train);
+        let r = evaluate_model(&m, &c, &split.test, Some(10));
+        let csv_text = r.to_csv();
+        let records = nl2vis_data::csv::parse(&csv_text).unwrap();
+        assert_eq!(records.len(), 11); // header + 10 results
+        assert_eq!(records[0][0], "id");
+        assert!(records[1][1] == "easy" || records[1][1] == "medium"
+            || records[1][1] == "hard" || records[1][1] == "extra hard");
+    }
+
+    #[test]
+    fn component_accuracy_bounds_and_consistency() {
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let m = Seq2Vis::train(&c, &split.train);
+        let r = evaluate_model(&m, &c, &split.test, Some(30));
+        for (component, accuracy) in r.component_accuracy() {
+            assert!((0.0..=1.0).contains(&accuracy), "{component}: {accuracy}");
+        }
+        // Exact matches agree on every component, so each component accuracy
+        // is at least the exact accuracy.
+        let exact = r.overall().exact();
+        for (component, accuracy) in r.component_accuracy() {
+            assert!(accuracy + 1e-9 >= exact, "{component}: {accuracy} < {exact}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let c = fixture();
+        let split = c.split_in_domain(1);
+        let m = Seq2Vis::train(&c, &split.train);
+        let r = evaluate_model(&m, &c, &split.test, None);
+        let ids: Vec<usize> = r.results.iter().map(|x| x.id).collect();
+        assert_eq!(ids, split.test[..ids.len()].to_vec());
+    }
+}

@@ -1,0 +1,50 @@
+//! The model-client abstraction: everything downstream (evaluation harness,
+//! repair strategies, user-study simulator) talks to an [`LlmClient`], so a
+//! simulated model, an HTTP-fronted model, or a real remote endpoint are
+//! interchangeable.
+
+use crate::sim::{GenOptions, SimLlm};
+
+/// A text-completion model.
+pub trait LlmClient {
+    /// Completes a prompt.
+    fn complete(&self, prompt: &str) -> String;
+
+    /// Model identifier.
+    fn name(&self) -> &str;
+
+    /// Completes with generation options. Backends that cannot honor the
+    /// options (e.g. remote HTTP models) fall back to plain completion.
+    fn complete_with(&self, prompt: &str, _opts: &GenOptions) -> String {
+        self.complete(prompt)
+    }
+}
+
+impl LlmClient for SimLlm {
+    fn complete(&self, prompt: &str) -> String {
+        SimLlm::complete(self, prompt)
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn complete_with(&self, prompt: &str, opts: &GenOptions) -> String {
+        SimLlm::complete_with(self, prompt, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelProfile;
+
+    #[test]
+    fn sim_llm_implements_client() {
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 1);
+        let client: &dyn LlmClient = &llm;
+        assert_eq!(client.name(), "gpt-4");
+        let out = client.complete("not a prompt");
+        assert!(!out.is_empty());
+    }
+}

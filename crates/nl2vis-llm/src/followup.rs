@@ -1,0 +1,513 @@
+//! Conversational NL2VIS (the paper's §6.2 "support of conversational
+//! NL2VIS" future-work direction): interpreting *follow-up* utterances that
+//! revise the previous visualization instead of specifying a new one from
+//! scratch.
+//!
+//! A follow-up is parsed into an [`Edit`] against the previous query:
+//! `"make it a pie chart"`, `"only the BOS team"`, `"sort by the value
+//! descending"`, `"by month instead"`, `"split it by region"`, `"drop the
+//! filter"`, `"switch to the average"`. Edits are grounded with the same
+//! linker the single-turn path uses.
+
+use crate::link::{link_column_in, Link};
+use crate::recover::RecoveredSchema;
+use crate::understand::{question_tokens, QTok};
+use nl2vis_data::value::Date;
+use nl2vis_query::ast::*;
+
+/// A revision of the previous query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Change the chart type.
+    Chart(ChartType),
+    /// Add (AND) a filter.
+    AddFilter(Predicate),
+    /// Remove all filters.
+    ClearFilter,
+    /// Replace the ordering.
+    Order(OrderBy),
+    /// Remove the ordering.
+    ClearOrder,
+    /// Change the aggregate function (and optionally its measure column,
+    /// when the utterance names one: "switch to the average salary").
+    Agg(AggFunc, Option<ColumnRef>),
+    /// Change the temporal bin unit.
+    Bin(BinUnit),
+    /// Add a color/series grouping.
+    Color(ColumnRef),
+    /// Remove the color/series grouping.
+    ClearColor,
+}
+
+impl Edit {
+    /// Applies the edit to a query, producing the revised query.
+    pub fn apply(&self, prev: &VqlQuery) -> VqlQuery {
+        let mut q = prev.clone();
+        match self {
+            Edit::Chart(c) => q.chart = *c,
+            Edit::AddFilter(p) => {
+                q.filter = Some(match q.filter.take() {
+                    Some(existing) => {
+                        Predicate::And(Box::new(existing), Box::new(p.clone()))
+                    }
+                    None => p.clone(),
+                });
+            }
+            Edit::ClearFilter => q.filter = None,
+            Edit::Order(o) => q.order = Some(o.clone()),
+            Edit::ClearOrder => q.order = None,
+            Edit::Agg(func, target) => {
+                match &mut q.y {
+                    SelectExpr::Agg { func: f, arg } => {
+                        *f = *func;
+                        if let Some(t) = target {
+                            *arg = Some(t.clone());
+                        }
+                    }
+                    SelectExpr::Column(c) => {
+                        let arg = target.clone().unwrap_or_else(|| c.clone());
+                        q.y = SelectExpr::Agg { func: *func, arg: Some(arg) };
+                        if q.group_by.is_empty() {
+                            if let Some(xc) = q.x.column() {
+                                q.group_by.push(xc.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            Edit::Bin(unit) => {
+                match &mut q.bin {
+                    Some(b) => b.unit = *unit,
+                    None => {
+                        if let Some(xc) = q.x.column() {
+                            q.bin = Some(Bin { column: xc.clone(), unit: *unit });
+                        }
+                    }
+                }
+            }
+            Edit::Color(c) => {
+                if q.group_by.is_empty() {
+                    if let Some(xc) = q.x.column() {
+                        q.group_by.push(xc.clone());
+                    }
+                }
+                q.group_by.truncate(1);
+                q.group_by.push(c.clone());
+            }
+            Edit::ClearColor => q.group_by.truncate(1),
+        }
+        q
+    }
+}
+
+/// Parses a follow-up utterance against the previous query and schema.
+/// Returns the edits it expresses (empty when the utterance is not a
+/// recognizable follow-up — callers should fall back to the single-turn
+/// path).
+pub fn parse_follow_up(
+    text: &str,
+    prev: &VqlQuery,
+    schema: &RecoveredSchema,
+    knows: &dyn Fn(&str) -> bool,
+) -> Vec<Edit> {
+    let lower = text.to_ascii_lowercase();
+    // Tokenize the original text: quoted literals must keep their case.
+    let toks = question_tokens(text);
+    let mut edits = Vec::new();
+
+    // Chart change: "make it a pie chart", "as bars", "switch to a line".
+    if lower.contains("make it") || lower.contains("as a") || lower.contains("switch to")
+        || lower.contains("instead") || lower.contains("turn it into") || lower.contains("show it as")
+    {
+        for t in &toks {
+            if let QTok::Word(w) = t {
+                let chart = match w.as_str() {
+                    "bar" | "bars" | "histogram" => Some(ChartType::Bar),
+                    "pie" | "donut" => Some(ChartType::Pie),
+                    "line" | "trend" => Some(ChartType::Line),
+                    "scatter" => Some(ChartType::Scatter),
+                    _ => None,
+                };
+                if let Some(c) = chart {
+                    if c != prev.chart {
+                        edits.push(Edit::Chart(c));
+                    }
+                }
+            }
+        }
+    }
+
+    // Aggregate change: "use the average instead", "switch to the total
+    // salary" (a named measure re-links the aggregate's target column).
+    for (word, func) in [
+        ("average", AggFunc::Avg),
+        ("mean", AggFunc::Avg),
+        ("total", AggFunc::Sum),
+        ("sum", AggFunc::Sum),
+        ("count", AggFunc::Count),
+        ("minimum", AggFunc::Min),
+        ("maximum", AggFunc::Max),
+    ] {
+        if (lower.contains("switch to") || lower.contains("use the") || lower.contains("show the"))
+            && lower.contains(word)
+        {
+            let scope: Vec<String> = std::iter::once(prev.from.clone())
+                .chain(prev.join.as_ref().map(|j| j.table.clone()))
+                .collect();
+            let target = lower
+                .split_once(word)
+                .map(|(_, rest)| rest.trim_end_matches('.').trim())
+                .filter(|rest| !rest.is_empty())
+                .and_then(|rest| link_column_in(rest, schema, knows, Some(&scope)))
+                .map(|l| column_ref_for(prev, &l));
+            edits.push(Edit::Agg(func, target));
+            break;
+        }
+    }
+
+    // Bin change: "by month instead", "bin by quarter".
+    if lower.contains("instead") || lower.contains("bin") {
+        for unit in BinUnit::all() {
+            if lower.contains(unit.keyword())
+                && prev.bin.as_ref().map(|b| b.unit) != Some(unit)
+            {
+                edits.push(Edit::Bin(unit));
+                break;
+            }
+        }
+    }
+
+    // Clear clauses: "drop the filter", "remove the sorting", "no colors".
+    if lower.contains("drop the filter")
+        || lower.contains("remove the filter")
+        || lower.contains("without the filter")
+        || lower.contains("clear the filter")
+    {
+        edits.push(Edit::ClearFilter);
+    }
+    if lower.contains("remove the sort")
+        || lower.contains("drop the sort")
+        || lower.contains("unsorted")
+    {
+        edits.push(Edit::ClearOrder);
+    }
+    if lower.contains("remove the split")
+        || lower.contains("no split")
+        || lower.contains("remove the color")
+        || lower.contains("single series")
+    {
+        edits.push(Edit::ClearColor);
+    }
+
+    // Ordering: "sort by the value descending", "sort ascending".
+    if lower.contains("sort") || lower.contains("order it") || lower.contains("rank") {
+        let dir = if lower.contains("desc") || lower.contains("largest") || lower.contains("decreas")
+        {
+            SortDir::Desc
+        } else {
+            SortDir::Asc
+        };
+        let target = if lower.contains("value") || lower.contains("y axis") || lower.contains("measure")
+        {
+            OrderTarget::Y
+        } else if let Some(xc) = prev.x.column() {
+            OrderTarget::Column(xc.clone())
+        } else {
+            OrderTarget::X
+        };
+        edits.push(Edit::Order(OrderBy { target, dir }));
+    }
+
+    // Color/series: "split it by region", "color by team".
+    for marker in ["split it by ", "split by ", "color by ", "colored by ", "stack by ", "break it down by "] {
+        if let Some(pos) = lower.find(marker) {
+            let phrase = lower[pos + marker.len()..]
+                .trim_end_matches('.')
+                .to_string();
+            let scope: Vec<String> = std::iter::once(prev.from.clone())
+                .chain(prev.join.as_ref().map(|j| j.table.clone()))
+                .collect();
+            if let Some(link) = link_column_in(&phrase, schema, knows, Some(&scope))
+                .or_else(|| link_column_in(&phrase, schema, knows, None))
+            {
+                edits.push(Edit::Color(column_ref_for(prev, &link)));
+            }
+            break;
+        }
+    }
+
+    // Narrowing filters: "only the BOS team", "just Economics",
+    // "keep only rows over 30".
+    if lower.starts_with("only") || lower.contains(" only ") || lower.starts_with("just ") {
+        if let Some(p) = parse_narrowing(&toks, prev, schema, knows) {
+            edits.push(Edit::AddFilter(p));
+        }
+    }
+
+    edits
+}
+
+/// Parses "only <value phrase>" into an equality (or range) filter, linking
+/// the column either from an explicit mention or by finding which in-scope
+/// column plausibly holds the value.
+fn parse_narrowing(
+    toks: &[QTok],
+    prev: &VqlQuery,
+    schema: &RecoveredSchema,
+    knows: &dyn Fn(&str) -> bool,
+) -> Option<Predicate> {
+    // Literal: first quoted / numeric / date token, else the last
+    // capitalizable word is unavailable post-lowercasing — require an
+    // explicit literal or a column mention with a quoted value.
+    let mut literal: Option<Literal> = None;
+    let mut comparison = CmpOp::Eq;
+    for (i, t) in toks.iter().enumerate() {
+        match t {
+            QTok::Quoted(s) => {
+                literal = Some(match Date::parse(s) {
+                    Some(d) => Literal::Date(d),
+                    None => Literal::Text(s.clone()),
+                });
+                break;
+            }
+            QTok::Num(n) => {
+                // "only rows over 30" / "only under 10".
+                let preceding: Vec<&str> = toks[..i]
+                    .iter()
+                    .filter_map(|t| match t {
+                        QTok::Word(w) => Some(w.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                comparison = if preceding.iter().any(|w| ["over", "above", "more"].contains(w)) {
+                    CmpOp::Gt
+                } else if preceding.iter().any(|w| ["under", "below", "less"].contains(w)) {
+                    CmpOp::Lt
+                } else {
+                    CmpOp::Eq
+                };
+                literal = Some(if n.fract() == 0.0 {
+                    Literal::Int(*n as i64)
+                } else {
+                    Literal::Float(*n)
+                });
+                break;
+            }
+            QTok::DateTok(d) => {
+                literal = Some(Literal::Date(*d));
+                break;
+            }
+            QTok::Word(_) => {}
+        }
+    }
+    let literal = literal?;
+
+    // Column: an explicitly mentioned column wins; else the x column (for
+    // text values over a categorical x) or the first in-scope column whose
+    // sample value matches.
+    let scope: Vec<String> = std::iter::once(prev.from.clone())
+        .chain(prev.join.as_ref().map(|j| j.table.clone()))
+        .collect();
+    let words: Vec<String> = toks
+        .iter()
+        .filter_map(|t| match t {
+            QTok::Word(w) => Some(w.clone()),
+            _ => None,
+        })
+        .collect();
+    let mention = words
+        .iter()
+        .filter(|w| !["only", "the", "just", "rows", "keep", "show", "over", "above", "under", "below", "more", "less", "than"].contains(&w.as_str()))
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(" ");
+    let link: Option<Link> = if mention.is_empty() {
+        None
+    } else {
+        link_column_in(&mention, schema, knows, Some(&scope))
+    };
+    let col = match link {
+        Some(l) => column_ref_for(prev, &l),
+        None => prev.x.column()?.clone(),
+    };
+    Some(Predicate::Cmp { col, op: comparison, value: literal })
+}
+
+/// Qualifies a linked column the way the previous query's references are
+/// qualified (qualified when joining, bare otherwise).
+fn column_ref_for(prev: &VqlQuery, link: &Link) -> ColumnRef {
+    if prev.join.is_some() {
+        match &link.table {
+            Some(t) => ColumnRef::qualified(t.clone(), link.column.clone()),
+            None => ColumnRef::new(link.column.clone()),
+        }
+    } else {
+        ColumnRef::new(link.column.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_corpus::domains::all_domains;
+    use nl2vis_corpus::generate::instantiate;
+    use nl2vis_data::Rng;
+    use nl2vis_query::parse;
+
+    const KNOW_ALL: fn(&str) -> bool = |_| true;
+
+    fn setup() -> (VqlQuery, RecoveredSchema) {
+        let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
+        let schema = RecoveredSchema::from_database(&db);
+        let q = parse("VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team")
+            .unwrap();
+        (q, schema)
+    }
+
+    #[test]
+    fn chart_change() {
+        let (q, s) = setup();
+        let edits = parse_follow_up("make it a pie chart", &q, &s, &KNOW_ALL);
+        assert_eq!(edits, vec![Edit::Chart(ChartType::Pie)]);
+        let revised = edits[0].apply(&q);
+        assert_eq!(revised.chart, ChartType::Pie);
+        assert_eq!(revised.from, q.from);
+    }
+
+    #[test]
+    fn narrowing_filter_on_x() {
+        let (q, s) = setup();
+        let edits = parse_follow_up("only the \"BOS\" team", &q, &s, &KNOW_ALL);
+        assert_eq!(edits.len(), 1);
+        let revised = edits[0].apply(&q);
+        match revised.filter.unwrap() {
+            Predicate::Cmp { col, op, value } => {
+                assert_eq!(col.column, "team");
+                assert_eq!(op, CmpOp::Eq);
+                assert_eq!(value, Literal::Text("BOS".into()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_narrowing_with_range() {
+        let (q, s) = setup();
+        let edits = parse_follow_up("only technicians with age over 30", &q, &s, &KNOW_ALL);
+        assert_eq!(edits.len(), 1);
+        match &edits[0] {
+            Edit::AddFilter(Predicate::Cmp { col, op, value }) => {
+                assert_eq!(col.column, "age");
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*value, Literal::Int(30));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filters_accumulate_with_and() {
+        let (q, s) = setup();
+        let first = parse_follow_up("only the \"BOS\" team", &q, &s, &KNOW_ALL)[0].apply(&q);
+        let second =
+            parse_follow_up("only technicians with age over 30", &first, &s, &KNOW_ALL)[0]
+                .apply(&first);
+        assert!(matches!(second.filter, Some(Predicate::And(_, _))));
+    }
+
+    #[test]
+    fn clear_filter() {
+        let (q, s) = setup();
+        let filtered = parse_follow_up("only the \"BOS\" team", &q, &s, &KNOW_ALL)[0].apply(&q);
+        let edits = parse_follow_up("drop the filter", &filtered, &s, &KNOW_ALL);
+        assert_eq!(edits, vec![Edit::ClearFilter]);
+        assert!(edits[0].apply(&filtered).filter.is_none());
+    }
+
+    #[test]
+    fn sort_follow_up() {
+        let (q, s) = setup();
+        let edits = parse_follow_up("sort by the value descending", &q, &s, &KNOW_ALL);
+        assert_eq!(
+            edits,
+            vec![Edit::Order(OrderBy { target: OrderTarget::Y, dir: SortDir::Desc })]
+        );
+    }
+
+    #[test]
+    fn agg_change() {
+        let (q, s) = setup();
+        let edits = parse_follow_up("switch to the average salary", &q, &s, &KNOW_ALL);
+        assert_eq!(
+            edits,
+            vec![Edit::Agg(AggFunc::Avg, Some(ColumnRef::new("salary")))]
+        );
+        let revised = edits[0].apply(&q);
+        assert_eq!(
+            revised.y,
+            SelectExpr::Agg { func: AggFunc::Avg, arg: Some(ColumnRef::new("salary")) }
+        );
+    }
+
+    #[test]
+    fn color_split() {
+        let (q, s) = setup();
+        let edits = parse_follow_up("split it by squad", &q, &s, &KNOW_ALL);
+        assert_eq!(edits, vec![Edit::Color(ColumnRef::new("team"))]); // squad -> team
+        let revised = edits[0].apply(&q);
+        assert_eq!(revised.group_by.len(), 2);
+        // Clearing works.
+        let cleared = Edit::ClearColor.apply(&revised);
+        assert_eq!(cleared.group_by.len(), 1);
+    }
+
+    #[test]
+    fn bin_change_on_temporal_query() {
+        let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
+        let s = RecoveredSchema::from_database(&db);
+        let q = parse(
+            "VISUALIZE line SELECT hire_date , COUNT(hire_date) FROM technician BIN hire_date BY year GROUP BY hire_date",
+        )
+        .unwrap();
+        let edits = parse_follow_up("by month instead", &q, &s, &KNOW_ALL);
+        assert_eq!(edits, vec![Edit::Bin(BinUnit::Month)]);
+        assert_eq!(edits[0].apply(&q).bin.unwrap().unit, BinUnit::Month);
+    }
+
+    #[test]
+    fn non_follow_up_yields_no_edits() {
+        let (q, s) = setup();
+        let edits = parse_follow_up(
+            "Show a bar chart of the number of machines per series.",
+            &q,
+            &s,
+            &KNOW_ALL,
+        );
+        assert!(edits.is_empty());
+    }
+
+    #[test]
+    fn edits_execute_on_the_database() {
+        let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
+        let s = RecoveredSchema::from_database(&db);
+        let q = parse("VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team")
+            .unwrap();
+        let base_rows = nl2vis_query::execute(&q, &db).unwrap().rows.len();
+        for text in [
+            "make it a pie chart",
+            "sort by the value descending",
+            "only technicians with age over 30",
+            "split it by machine series", // cross-table link falls back gracefully
+        ] {
+            let edits = parse_follow_up(text, &q, &s, &KNOW_ALL);
+            let mut revised = q.clone();
+            for e in &edits {
+                revised = e.apply(&revised);
+            }
+            if nl2vis_query::bind::bind(&revised, &db).is_ok() {
+                let r = nl2vis_query::execute(&revised, &db).unwrap();
+                assert!(r.rows.len() <= base_rows.max(1) * 4);
+            }
+        }
+    }
+}

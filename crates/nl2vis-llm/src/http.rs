@@ -1,0 +1,363 @@
+//! A minimal OpenAI-compatible HTTP transport.
+//!
+//! The paper drives GPT-3.5/GPT-4 through the OpenAI completions API over
+//! HTTPS. This module reproduces that wire surface with a small HTTP/1.1
+//! implementation over `std::net`: a [`CompletionServer`] that fronts a
+//! [`SimLlm`], and a [`HttpLlmClient`] that speaks the same
+//! `POST /v1/completions` JSON protocol. The rest of the system only sees
+//! the [`crate::client::LlmClient`] trait, so swapping the
+//! simulated backend for a real endpoint is a URL change.
+
+use crate::client::LlmClient;
+use crate::sim::SimLlm;
+use nl2vis_data::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Errors from the HTTP layer.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed HTTP traffic.
+    Protocol(String),
+    /// Non-2xx status.
+    Status(u16, String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Protocol(m) => write!(f, "protocol error: {m}"),
+            HttpError::Status(code, body) => write!(f, "http {code}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// A completion server exposing a [`SimLlm`] on `127.0.0.1`.
+pub struct CompletionServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CompletionServer {
+    /// Starts the server on an ephemeral local port.
+    pub fn start(llm: SimLlm) -> Result<CompletionServer, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = handle_connection(stream, &llm);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(CompletionServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The server's base URL host:port.
+    pub fn address(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for CompletionServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, llm: &SimLlm) -> Result<(), HttpError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).to_string();
+
+    let (status, response_body) = route(method, path, &body, llm);
+    let mut out = stream;
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{response_body}",
+        if status == 200 { "OK" } else { "Bad Request" },
+        response_body.len()
+    )?;
+    out.flush()?;
+    Ok(())
+}
+
+fn route(method: &str, path: &str, body: &str, llm: &SimLlm) -> (u16, String) {
+    match (method, path) {
+        ("POST", "/v1/completions") => match Json::parse(body) {
+            Ok(req) => {
+                let prompt = req.get("prompt").and_then(Json::as_str).unwrap_or("");
+                let requested_model =
+                    req.get("model").and_then(Json::as_str).unwrap_or(llm.profile.name);
+                if requested_model != llm.profile.name {
+                    let err = Json::object(vec![(
+                        "error",
+                        Json::from(format!("model `{requested_model}` not hosted here").as_str()),
+                    )]);
+                    return (400, err.to_compact());
+                }
+                let completion = llm.complete(prompt);
+                let response = Json::object(vec![
+                    ("object", Json::from("text_completion")),
+                    ("model", Json::from(llm.profile.name)),
+                    (
+                        "choices",
+                        Json::Array(vec![Json::object(vec![
+                            ("text", Json::from(completion.as_str())),
+                            ("index", Json::from(0i64)),
+                            ("finish_reason", Json::from("stop")),
+                        ])]),
+                    ),
+                ]);
+                (200, response.to_compact())
+            }
+            Err(e) => (400, Json::object(vec![("error", Json::from(e.to_string().as_str()))]).to_compact()),
+        },
+        ("GET", "/v1/models") => {
+            let response = Json::object(vec![(
+                "data",
+                Json::Array(vec![Json::object(vec![("id", Json::from(llm.profile.name))])]),
+            )]);
+            (200, response.to_compact())
+        }
+        _ => (404, r#"{"error":"not found"}"#.to_string()),
+    }
+}
+
+/// A client for the completions protocol.
+pub struct HttpLlmClient {
+    addr: std::net::SocketAddr,
+    /// Model name sent with each request.
+    pub model: String,
+}
+
+impl HttpLlmClient {
+    /// Creates a client for a server address.
+    pub fn new(addr: std::net::SocketAddr, model: impl Into<String>) -> HttpLlmClient {
+        HttpLlmClient { addr, model: model.into() }
+    }
+
+    /// Issues a completion request.
+    pub fn complete_http(&self, prompt: &str) -> Result<String, HttpError> {
+        let request = Json::object(vec![
+            ("model", Json::from(self.model.as_str())),
+            ("prompt", Json::from(prompt)),
+        ])
+        .to_compact();
+        let mut stream = TcpStream::connect(self.addr)?;
+        write!(
+            stream,
+            "POST /v1/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{request}",
+            self.addr,
+            request.len()
+        )?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Protocol(format!("bad status line: {status_line}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        let body = String::from_utf8_lossy(&body).to_string();
+        if status != 200 {
+            return Err(HttpError::Status(status, body));
+        }
+        let json =
+            Json::parse(&body).map_err(|e| HttpError::Protocol(format!("bad body: {e}")))?;
+        json.get("choices")
+            .and_then(|c| c.at(0))
+            .and_then(|c| c.get("text"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| HttpError::Protocol("missing choices[0].text".to_string()))
+    }
+}
+
+impl LlmClient for HttpLlmClient {
+    fn complete(&self, prompt: &str) -> String {
+        self.complete_http(prompt).unwrap_or_else(|e| format!("error: {e}"))
+    }
+
+    fn name(&self) -> &str {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelProfile;
+
+    #[test]
+    fn end_to_end_completion_over_http() {
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+        let direct = llm.clone();
+        let server = CompletionServer::start(llm).unwrap();
+        let client = HttpLlmClient::new(server.address(), "gpt-4");
+
+        // Build a real prompt so the model emits real VQL.
+        let corpus = nl2vis_corpus::Corpus::build(&nl2vis_corpus::CorpusConfig::small(29));
+        let e = &corpus.examples[0];
+        let db = corpus.catalog.database(&e.db).unwrap();
+        let p = nl2vis_prompt::build_prompt(
+            &nl2vis_prompt::PromptOptions::default(),
+            db,
+            &e.nl,
+            &[],
+            |d| corpus.catalog.database(&d.db).unwrap(),
+        );
+        let via_http = client.complete_http(&p.text).unwrap();
+        let direct_out = direct.complete(&p.text);
+        assert_eq!(via_http, direct_out, "HTTP transport must be lossless");
+    }
+
+    #[test]
+    fn wrong_model_is_rejected() {
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let client = HttpLlmClient::new(server.address(), "gpt-4");
+        match client.complete_http("-- Test:\n-- Database:\nx\nQ: hello\nVQL:") {
+            Err(HttpError::Status(400, body)) => assert!(body.contains("not hosted")),
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let addr = server.address();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = "{not json";
+        write!(
+            stream,
+            "POST /v1/completions HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.contains("400"), "{status_line}");
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let mut stream = TcpStream::connect(server.address()).unwrap();
+        write!(stream, "GET /nope HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let addr = server.address();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = HttpLlmClient::new(addr, "text-davinci-003");
+                    let prompt = format!(
+                        "-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: question {i}\nVQL:"
+                    );
+                    client.complete_http(&prompt).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert!(!out.is_empty());
+        }
+    }
+
+    #[test]
+    fn large_prompt_roundtrips() {
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let client = HttpLlmClient::new(server.address(), "text-davinci-003");
+        // A prompt with a large serialized body (tens of KB) survives the
+        // length-delimited transport, including JSON escaping.
+        let filler = "x\"y\\z\n".repeat(5_000);
+        let prompt = format!("-- Test:\n-- Database:\n{filler}\nQ: hello\nVQL:");
+        let out = client.complete_http(&prompt).unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn models_endpoint_lists_hosted_model() {
+        let llm = SimLlm::new(ModelProfile::turbo_16k(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let mut stream = TcpStream::connect(server.address()).unwrap();
+        write!(stream, "GET /v1/models HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        assert!(response.contains("gpt-3.5-turbo-16k"));
+    }
+}

@@ -1,0 +1,33 @@
+//! The (simulated) large-language-model layer.
+//!
+//! The paper's subject models — `text-davinci-002/003`,
+//! `gpt-3.5-turbo-16k`, `gpt-4` — are replaced by a *mechanistic simulated
+//! LLM* (see DESIGN.md §1 for the substitution argument): the phenomena the
+//! paper studies (prompt-format sensitivity, in-context-learning scaling,
+//! the in-domain/cross-domain gap, the failure taxonomy) all arise from how
+//! much task-relevant structure a model can recover from its prompt, and
+//! this crate implements those mechanisms literally:
+//!
+//! - [`recover`]: per-format prompt parsers with format-dependent fidelity;
+//! - [`prompt_parse`]: decomposition of the full ICL prompt;
+//! - [`link`]: lexicon-based schema linking with gated synonym knowledge;
+//! - [`understand`]: question-intent parsing and grounding;
+//! - [`profile`]: capability profiles for the four model families;
+//! - [`sim`]: the generation engine with a failure-taxonomy-shaped seeded
+//!   error model;
+//! - [`http`] / [`client`]: an OpenAI-compatible HTTP transport (client and
+//!   local server) behind a uniform [`client::LlmClient`] trait.
+
+pub mod client;
+pub mod followup;
+pub mod http;
+pub mod link;
+pub mod profile;
+pub mod prompt_parse;
+pub mod recover;
+pub mod sim;
+pub mod understand;
+
+pub use client::LlmClient;
+pub use profile::ModelProfile;
+pub use sim::{corrupt_query, extract_vql, GenOptions, SimLlm};

@@ -1,0 +1,171 @@
+//! Parsing the *whole* ICL prompt back into its parts — the simulated LLM's
+//! view of what it was given: instruction flags, demonstration examples, and
+//! the test item.
+
+use crate::recover::{recover, RecoveredSchema};
+use nl2vis_prompt::icl::{DATABASE_MARKER, EXAMPLE_MARKER, TEST_MARKER};
+
+/// One parsed demonstration.
+#[derive(Debug, Clone)]
+pub struct DemoView {
+    /// Schema recovered from the demo's database block.
+    pub schema: RecoveredSchema,
+    /// The demo question.
+    pub question: String,
+    /// The demo's chain-of-thought sketch, when present.
+    pub sketch: Option<String>,
+    /// The demo's gold VQL text.
+    pub vql: String,
+}
+
+/// The parsed prompt.
+#[derive(Debug, Clone)]
+pub struct PromptView {
+    /// The prompt asks for direct Vega-Lite JSON instead of VQL.
+    pub vega_output: bool,
+    /// Chain-of-thought requested.
+    pub chain_of_thought: bool,
+    /// Role-play persona present.
+    pub role_play: bool,
+    /// Parsed demonstrations, in prompt order.
+    pub demos: Vec<DemoView>,
+    /// Schema of the test database.
+    pub test_schema: RecoveredSchema,
+    /// The test question.
+    pub question: String,
+}
+
+/// Parses an assembled prompt. Returns `None` when the prompt lacks the test
+/// section (a malformed request).
+pub fn parse_prompt(text: &str) -> Option<PromptView> {
+    let role_play = text.starts_with("You are a data visualization assistant.");
+    let chain_of_thought = text.contains("step by step");
+
+    let (before_test, test_part) = text.split_once(TEST_MARKER)?;
+
+    let mut demos = Vec::new();
+    for chunk in before_test.split(EXAMPLE_MARKER).skip(1) {
+        if let Some(demo) = parse_demo(chunk) {
+            demos.push(demo);
+        }
+    }
+
+    let (schema_text, q_part) = split_db_and_question(test_part)?;
+    let test_schema = recover(&schema_text);
+    let question = q_part;
+    let vega_output = test_part.trim_end().ends_with("VL:");
+
+    Some(PromptView { vega_output, chain_of_thought, role_play, demos, test_schema, question })
+}
+
+fn parse_demo(chunk: &str) -> Option<DemoView> {
+    let (schema_text, rest) = split_db_block(chunk)?;
+    let schema = recover(&schema_text);
+    let mut question = String::new();
+    let mut sketch = None;
+    let mut vql = String::new();
+    for line in rest.lines() {
+        if let Some(q) = line.strip_prefix("Q: ") {
+            question = q.to_string();
+        } else if let Some(s) = line.strip_prefix("Sketch: ") {
+            sketch = Some(s.to_string());
+        } else if let Some(v) = line.strip_prefix("VQL: ") {
+            vql = v.to_string();
+        } else if let Some(v) = line.strip_prefix("VL: ") {
+            vql = v.to_string();
+        }
+    }
+    if question.is_empty() || vql.is_empty() {
+        return None;
+    }
+    Some(DemoView { schema, question, sketch, vql })
+}
+
+/// Splits a section into (database text, remainder after it), using the
+/// `Q:` line as the boundary.
+fn split_db_block(section: &str) -> Option<(String, String)> {
+    let after_marker = section.split_once(DATABASE_MARKER).map(|(_, r)| r).unwrap_or(section);
+    let q_pos = after_marker.find("\nQ: ")?;
+    let db_text = after_marker[..q_pos].trim().to_string();
+    let rest = after_marker[q_pos..].trim_start().to_string();
+    Some((db_text, rest))
+}
+
+/// Splits the test section into (database text, question).
+fn split_db_and_question(section: &str) -> Option<(String, String)> {
+    let (db_text, rest) = split_db_block(section)?;
+    let q_line = rest.lines().find_map(|l| l.strip_prefix("Q: "))?;
+    Some((db_text, q_line.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_corpus::{Corpus, CorpusConfig, Example};
+    use nl2vis_prompt::{build_prompt, PromptFormat, PromptOptions};
+
+    fn fixture() -> Corpus {
+        Corpus::build(&CorpusConfig::small(19))
+    }
+
+    #[test]
+    fn parses_full_prompt() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(3).collect();
+        let p = build_prompt(&PromptOptions::default(), db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
+        let view = parse_prompt(&p.text).unwrap();
+        assert_eq!(view.demos.len(), 3);
+        assert_eq!(view.question, e.nl);
+        assert!(!view.test_schema.tables.is_empty());
+        assert!(!view.chain_of_thought);
+        assert!(!view.role_play);
+        // Demo VQLs reparse as valid queries.
+        for d in &view.demos {
+            nl2vis_query::parse(&d.vql).unwrap();
+        }
+    }
+
+    #[test]
+    fn parses_every_format() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(1).collect();
+        for format in PromptFormat::all() {
+            let o = PromptOptions { format, token_budget: 50_000, ..Default::default() };
+            let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+            let view = parse_prompt(&p.text)
+                .unwrap_or_else(|| panic!("{format}: prompt did not parse"));
+            assert_eq!(view.question, e.nl, "{format}");
+            assert!(
+                !view.test_schema.tables.is_empty()
+                    || !view.test_schema.unattributed_columns.is_empty(),
+                "{format}: nothing recovered"
+            );
+            assert_eq!(view.demos.len(), 1, "{format}");
+        }
+    }
+
+    #[test]
+    fn cot_and_roleplay_flags() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(1).collect();
+        let o = PromptOptions { chain_of_thought: true, role_play: true, ..Default::default() };
+        let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        let view = parse_prompt(&p.text).unwrap();
+        assert!(view.chain_of_thought);
+        assert!(view.role_play);
+        assert!(view.demos[0].sketch.as_deref().unwrap().starts_with("VISUALIZE["));
+    }
+
+    #[test]
+    fn malformed_prompt_rejected() {
+        assert!(parse_prompt("no structure here").is_none());
+    }
+}

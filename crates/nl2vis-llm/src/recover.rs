@@ -1,0 +1,807 @@
+//! Schema recovery: how the simulated LLM "reads" a serialized table out of
+//! the prompt text.
+//!
+//! Each serialization format of Figure 4 is parsed by a dedicated recognizer
+//! (auto-detected from surface features, as an LLM would recognize the
+//! format). What a format failed to encode — column↔table attribution for
+//! the flat `Schema` form, types for `Column=[]`, foreign keys for
+//! `Chat2Vis` — is simply absent from the recovered schema, and the
+//! downstream generator must guess, which is where format-dependent accuracy
+//! differences are born.
+
+use nl2vis_data::value::DataType;
+use nl2vis_data::Json;
+
+/// A table as recovered from prompt text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredTable {
+    /// Table name.
+    pub name: String,
+    /// Columns with their types when the format carried them.
+    pub columns: Vec<(String, Option<DataType>)>,
+    /// A sample row rendered as strings, when present.
+    pub sample_row: Option<Vec<String>>,
+    /// The primary-key column, when marked.
+    pub primary_key: Option<String>,
+}
+
+/// A schema as recovered from prompt text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveredSchema {
+    /// Database name when stated.
+    pub database: Option<String>,
+    /// Recovered tables.
+    pub tables: Vec<RecoveredTable>,
+    /// Foreign keys (from_table, from_col, to_table, to_col).
+    pub fks: Vec<(String, String, String, String)>,
+    /// False when columns could not be attributed to tables (the flat
+    /// `Schema` format): `unattributed_columns` then holds the global list.
+    pub attributed: bool,
+    /// Columns without table attribution (flat `Schema` only).
+    pub unattributed_columns: Vec<String>,
+}
+
+impl RecoveredSchema {
+    /// A full-fidelity view of a database's schema, for models that access
+    /// the database directly (fine-tuned and retrieval baselines) rather
+    /// than through a serialized prompt.
+    pub fn from_database(db: &nl2vis_data::Database) -> RecoveredSchema {
+        RecoveredSchema {
+            database: Some(db.name().to_string()),
+            tables: db
+                .tables()
+                .iter()
+                .map(|t| RecoveredTable {
+                    name: t.def.name.clone(),
+                    columns: t.def.columns.iter().map(|c| (c.name.clone(), Some(c.dtype))).collect(),
+                    sample_row: t.row(0).map(|r| r.iter().map(|v| v.render()).collect()),
+                    primary_key: t.def.primary_key.map(|i| t.def.columns[i].name.clone()),
+                })
+                .collect(),
+            fks: db
+                .schema
+                .foreign_keys
+                .iter()
+                .map(|fk| {
+                    (
+                        fk.from_table.clone(),
+                        fk.from_column.clone(),
+                        fk.to_table.clone(),
+                        fk.to_column.clone(),
+                    )
+                })
+                .collect(),
+            attributed: true,
+            unattributed_columns: Vec::new(),
+        }
+    }
+
+    /// All known column names (attributed or not).
+    pub fn all_columns(&self) -> Vec<&str> {
+        if self.attributed {
+            self.tables
+                .iter()
+                .flat_map(|t| t.columns.iter().map(|(c, _)| c.as_str()))
+                .collect()
+        } else {
+            self.unattributed_columns.iter().map(String::as_str).collect()
+        }
+    }
+
+    /// The table that owns a column, when attribution is available. Returns
+    /// `None` for unknown columns, ambiguous unqualified names resolve to the
+    /// first declaring table.
+    pub fn table_of(&self, column: &str) -> Option<&str> {
+        self.tables
+            .iter()
+            .find(|t| t.columns.iter().any(|(c, _)| c.eq_ignore_ascii_case(column)))
+            .map(|t| t.name.as_str())
+    }
+
+    /// The declared type of a column, if recovered.
+    pub fn type_of(&self, column: &str) -> Option<DataType> {
+        self.tables.iter().find_map(|t| {
+            t.columns
+                .iter()
+                .find(|(c, _)| c.eq_ignore_ascii_case(column))
+                .and_then(|(_, ty)| *ty)
+        })
+    }
+
+    /// Whether any foreign-key information was recovered.
+    pub fn has_fks(&self) -> bool {
+        !self.fks.is_empty()
+    }
+}
+
+/// Recovers a schema from a serialized database block, auto-detecting the
+/// format from surface features.
+pub fn recover(text: &str) -> RecoveredSchema {
+    let trimmed = text.trim_start();
+    if trimmed.starts_with("CREATE TABLE") {
+        recover_sql(text)
+    } else if trimmed.starts_with('{') {
+        recover_json(text)
+    } else if trimmed.starts_with("<database") {
+        recover_xml(text)
+    } else if trimmed.starts_with("import datetime") || trimmed.contains("@dataclass") {
+        recover_code(text)
+    } else if trimmed.contains("\n| ---") || trimmed.starts_with("### ") {
+        recover_markdown(text)
+    } else if trimmed.contains("# table:") {
+        recover_csv(text)
+    } else if trimmed.starts_with("Use a dataframe called") {
+        recover_chat2vis(text)
+    } else if trimmed.starts_with("The database") {
+        recover_prose(text)
+    } else if trimmed.contains(" = [ ") {
+        recover_column_list(text)
+    } else if trimmed.lines().any(|l| l.contains(" ( ") && l.trim_end().ends_with(')')) {
+        recover_table_column(text)
+    } else if trimmed.contains("\nColumns: ") || trimmed.contains("Columns: ") {
+        recover_flat(text)
+    } else {
+        RecoveredSchema::default()
+    }
+}
+
+fn dtype_from_name(name: &str) -> Option<DataType> {
+    match name.to_ascii_lowercase().as_str() {
+        "int" | "integer" => Some(DataType::Int),
+        "float" | "real" => Some(DataType::Float),
+        "text" | "str" | "string" | "varchar" => Some(DataType::Text),
+        "bool" | "boolean" => Some(DataType::Bool),
+        "date" | "datetime.date" => Some(DataType::Date),
+        _ => None,
+    }
+}
+
+fn recover_flat(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: false, ..Default::default() };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("Database: ") {
+            s.database = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("Tables: ") {
+            for t in rest.split(',') {
+                s.tables.push(RecoveredTable {
+                    name: t.trim().to_string(),
+                    columns: vec![],
+                    sample_row: None,
+                    primary_key: None,
+                });
+            }
+        } else if let Some(rest) = line.strip_prefix("Columns: ") {
+            s.unattributed_columns =
+                rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+        }
+    }
+    s
+}
+
+fn recover_table_column(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("Database: ") {
+            s.database = Some(rest.trim().to_string());
+        } else if let Some(open) = line.find(" ( ") {
+            let name = line[..open].trim().to_string();
+            let inner = line[open + 3..].trim_end().trim_end_matches(')').trim();
+            let columns = inner
+                .split(',')
+                .map(|c| (c.trim().to_string(), None))
+                .filter(|(c, _)| !c.is_empty())
+                .collect();
+            s.tables.push(RecoveredTable { name, columns, sample_row: None, primary_key: None });
+        }
+    }
+    s
+}
+
+fn recover_column_list(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut current_rows_table: Option<usize> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("Database: ") {
+            s.database = Some(rest.trim().to_string());
+        } else if let Some(eq) = line.find(" = [ ") {
+            let name = line[..eq].trim().to_string();
+            let inner = line[eq + 5..].trim_end().trim_end_matches(']').trim();
+            let columns = inner
+                .split(',')
+                .map(|c| (c.trim().to_string(), None))
+                .filter(|(c, _)| !c.is_empty())
+                .collect();
+            s.tables.push(RecoveredTable { name, columns, sample_row: None, primary_key: None });
+            current_rows_table = None;
+        } else if let Some(rest) = line.strip_prefix("Foreign key: ") {
+            if let Some(fk) = parse_fk_eq(rest) {
+                s.fks.push(fk);
+            }
+        } else if let Some(rest) = line.strip_prefix("Rows of ") {
+            let tname = rest.trim_end_matches(':').trim();
+            current_rows_table = s.tables.iter().position(|t| t.name == tname);
+        } else if line.starts_with("( ") {
+            if let Some(ti) = current_rows_table {
+                if s.tables[ti].sample_row.is_none() {
+                    let inner = line.trim_start_matches("( ").trim_end_matches(" )");
+                    s.tables[ti].sample_row =
+                        Some(inner.split(" , ").map(str::to_string).collect());
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Parses `a.b = c.d`.
+fn parse_fk_eq(text: &str) -> Option<(String, String, String, String)> {
+    let (lhs, rhs) = text.split_once('=')?;
+    let (ft, fc) = lhs.trim().split_once('.')?;
+    let (tt, tc) = rhs.trim().split_once('.')?;
+    Some((ft.to_string(), fc.to_string(), tt.to_string(), tc.to_string()))
+}
+
+fn recover_prose(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    if let Some(start) = text.find('"') {
+        if let Some(end) = text[start + 1..].find('"') {
+            s.database = Some(text[start + 1..start + 1 + end].to_string());
+        }
+    }
+    // Sentences like: The table X records N entries and includes the fields a, b, c.
+    for sentence in text.split(". ") {
+        if let Some(rest) = sentence.trim().strip_prefix("The table ") {
+            let Some((name, tail)) = rest.split_once(' ') else { continue };
+            if let Some(fields) = tail.split("includes the fields ").nth(1) {
+                let columns = fields
+                    .trim_end_matches('.')
+                    .split(',')
+                    .map(|c| (c.trim().to_string(), None))
+                    .filter(|(c, _)| !c.is_empty())
+                    .collect();
+                s.tables.push(RecoveredTable {
+                    name: name.to_string(),
+                    columns,
+                    sample_row: None,
+                    primary_key: None,
+                });
+            }
+        } else if let Some(rest) = sentence.trim().strip_prefix("Each ") {
+            // Each X row refers to a Y row through Z.
+            let words: Vec<&str> = rest.split_whitespace().collect();
+            if words.len() >= 8 && words[1] == "row" && words[2] == "refers" {
+                let from_table = words[0].to_string();
+                let to_table = words[5].to_string();
+                let through = words.last().unwrap().trim_end_matches('.').to_string();
+                s.fks.push((from_table, through.clone(), to_table, through));
+            }
+        }
+    }
+    s
+}
+
+fn recover_chat2vis(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    for line in text.lines() {
+        let mut table = RecoveredTable {
+            name: String::new(),
+            columns: vec![],
+            sample_row: None,
+            primary_key: None,
+        };
+        if let Some(rest) = line.strip_prefix("Use a dataframe called ") {
+            if let Some((name, _)) = rest.split_once(" with columns ") {
+                table.name = name.to_string();
+            }
+        }
+        // The column 'x' has data type t.
+        for part in line.split("The column '").skip(1) {
+            if let Some((col, tail)) = part.split_once('\'') {
+                let ty = tail
+                    .split("has data type ")
+                    .nth(1)
+                    .map(|t| t.trim_end_matches(['.', ' ']))
+                    .and_then(|t| dtype_from_name(t.split_whitespace().next().unwrap_or("")));
+                table.columns.push((col.to_string(), ty));
+            }
+        }
+        if !table.name.is_empty() {
+            s.tables.push(table);
+        }
+    }
+    s
+}
+
+fn recover_json(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let Ok(j) = Json::parse(text) else { return s };
+    s.database = j.get("database").and_then(Json::as_str).map(str::to_string);
+    if let Some(tables) = j.get("tables").and_then(Json::as_array) {
+        for t in tables {
+            let name = t.get("name").and_then(Json::as_str).unwrap_or_default().to_string();
+            let columns = t
+                .get("columns")
+                .and_then(Json::as_array)
+                .map(|cols| {
+                    cols.iter()
+                        .filter_map(|c| {
+                            let cname = c.get("name").and_then(Json::as_str)?;
+                            let ty =
+                                c.get("type").and_then(Json::as_str).and_then(dtype_from_name);
+                            Some((cname.to_string(), ty))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let sample_row = t.get("sample_row").and_then(Json::as_array).map(|row| {
+                row.iter()
+                    .map(|v| match v {
+                        Json::String(x) => x.clone(),
+                        other => other.to_compact(),
+                    })
+                    .collect()
+            });
+            let primary_key =
+                t.get("primary_key").and_then(Json::as_str).map(str::to_string);
+            s.tables.push(RecoveredTable { name, columns, sample_row, primary_key });
+        }
+    }
+    if let Some(fks) = j.get("foreign_keys").and_then(Json::as_array) {
+        for fk in fks {
+            let from = fk.get("from").and_then(Json::as_str).unwrap_or_default();
+            let to = fk.get("to").and_then(Json::as_str).unwrap_or_default();
+            if let (Some((ft, fc)), Some((tt, tc))) = (from.split_once('.'), to.split_once('.')) {
+                s.fks.push((ft.to_string(), fc.to_string(), tt.to_string(), tc.to_string()));
+            }
+        }
+    }
+    s
+}
+
+fn recover_csv(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        if let Some(name) = line.strip_prefix("# table: ") {
+            let header = lines.next().unwrap_or_default();
+            let columns = header
+                .split(',')
+                .map(|c| (c.trim().to_string(), None))
+                .filter(|(c, _)| !c.is_empty())
+                .collect();
+            let sample_row = lines
+                .peek()
+                .filter(|l| !l.starts_with("# table:"))
+                .map(|l| l.split(',').map(|c| c.trim().to_string()).collect());
+            if sample_row.is_some() {
+                lines.next();
+            }
+            s.tables.push(RecoveredTable {
+                name: name.trim().to_string(),
+                columns,
+                sample_row,
+                primary_key: None,
+            });
+        }
+    }
+    s
+}
+
+fn recover_markdown(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        if let Some(name) = line.strip_prefix("### ") {
+            let header = lines.next().unwrap_or_default();
+            let columns: Vec<(String, Option<DataType>)> = header
+                .trim_matches('|')
+                .split('|')
+                .map(|c| (c.trim().to_string(), None))
+                .filter(|(c, _)| !c.is_empty())
+                .collect();
+            lines.next(); // separator row
+            let sample_row = lines
+                .peek()
+                .filter(|l| l.starts_with('|'))
+                .map(|l| {
+                    l.trim_matches('|').split('|').map(|c| c.trim().to_string()).collect()
+                });
+            if sample_row.is_some() {
+                lines.next();
+            }
+            s.tables.push(RecoveredTable {
+                name: name.trim().to_string(),
+                columns,
+                sample_row,
+                primary_key: None,
+            });
+        }
+    }
+    s
+}
+
+fn recover_xml(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    s.database = attr(text, "database", "name");
+    for chunk in text.split("<table ").skip(1) {
+        let name = attr_inline(chunk, "name").unwrap_or_default();
+        let mut table =
+            RecoveredTable { name, columns: vec![], sample_row: None, primary_key: None };
+        let body = chunk.split("</table>").next().unwrap_or("");
+        for col_chunk in body.split("<column ").skip(1) {
+            let cname = attr_inline(col_chunk, "name").unwrap_or_default();
+            let ty = attr_inline(col_chunk, "type").and_then(|t| dtype_from_name(&t));
+            if col_chunk[..col_chunk.find("/>").unwrap_or(col_chunk.len())]
+                .contains("key=\"primary\"")
+            {
+                table.primary_key = Some(cname.clone());
+            }
+            table.columns.push((cname, ty));
+        }
+        if let Some(row) = body.split("<row>").nth(1).and_then(|r| r.split("</row>").next()) {
+            let mut cells = Vec::new();
+            for (cname, _) in &table.columns {
+                let open = format!("<{cname}>");
+                let close = format!("</{cname}>");
+                if let Some(v) =
+                    row.split(open.as_str()).nth(1).and_then(|r| r.split(close.as_str()).next())
+                {
+                    cells.push(v.replace("&amp;", "&").replace("&lt;", "<").replace("&gt;", ">"));
+                }
+            }
+            if !cells.is_empty() {
+                table.sample_row = Some(cells);
+            }
+        }
+        s.tables.push(table);
+    }
+    for chunk in text.split("<foreign_key ").skip(1) {
+        let from = attr_inline(chunk, "from").unwrap_or_default();
+        let to = attr_inline(chunk, "to").unwrap_or_default();
+        if let (Some((ft, fc)), Some((tt, tc))) = (from.split_once('.'), to.split_once('.')) {
+            s.fks.push((ft.to_string(), fc.to_string(), tt.to_string(), tc.to_string()));
+        }
+    }
+    s
+}
+
+fn attr(text: &str, tag: &str, name: &str) -> Option<String> {
+    let open = format!("<{tag} ");
+    text.split(open.as_str()).nth(1).and_then(|chunk| attr_inline(chunk, name))
+}
+
+fn attr_inline(chunk: &str, name: &str) -> Option<String> {
+    let pat = format!("{name}=\"");
+    let rest = chunk.split(pat.as_str()).nth(1)?;
+    rest.split('"').next().map(str::to_string)
+}
+
+fn recover_sql(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    for stmt in text.split("CREATE TABLE ").skip(1) {
+        let Some(open) = stmt.find('(') else { continue };
+        let name = stmt[..open].trim().to_string();
+        let body = match stmt.find(");") {
+            Some(end) => &stmt[open + 1..end],
+            None => &stmt[open + 1..],
+        };
+        let mut table =
+            RecoveredTable { name: name.clone(), columns: vec![], sample_row: None, primary_key: None };
+        for line in body.split(",\n") {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix("FOREIGN KEY (") {
+                // FOREIGN KEY (col) REFERENCES parent(pcol)
+                let Some((fc, tail)) = rest.split_once(')') else { continue };
+                let Some(refpart) = tail.split("REFERENCES ").nth(1) else { continue };
+                let Some((tt, tcpart)) = refpart.split_once('(') else { continue };
+                let tc = tcpart.trim_end_matches([')', ';', ' ']);
+                s.fks.push((
+                    name.clone(),
+                    fc.trim().to_string(),
+                    tt.trim().to_string(),
+                    tc.to_string(),
+                ));
+            } else if !line.is_empty() {
+                let mut parts = line.split_whitespace();
+                let cname = parts.next().unwrap_or_default().to_string();
+                let ty = parts.next().and_then(dtype_from_name);
+                if line.contains("PRIMARY KEY") {
+                    table.primary_key = Some(cname.clone());
+                }
+                table.columns.push((cname, ty));
+            }
+        }
+        s.tables.push(table);
+    }
+    // `+Select` sample rows: lines like `-- 1 | ann | NYY ...` after a
+    // `-- SELECT * FROM t LIMIT n;` marker.
+    let mut current: Option<usize> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("-- SELECT * FROM ") {
+            let tname = rest.split_whitespace().next().unwrap_or_default();
+            current = s.tables.iter().position(|t| t.name == tname);
+        } else if let Some(rest) = line.strip_prefix("-- ") {
+            if let Some(ti) = current {
+                if s.tables[ti].sample_row.is_none() && rest.contains(" | ") {
+                    s.tables[ti].sample_row =
+                        Some(rest.split(" | ").map(str::to_string).collect());
+                }
+            }
+        }
+    }
+    s
+}
+
+fn recover_code(text: &str) -> RecoveredSchema {
+    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut current: Option<RecoveredTable> = None;
+    // Class names are PascalCase of table names; remember the mapping for FKs.
+    let mut class_to_table: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("class ") {
+            if let Some(t) = current.take() {
+                s.tables.push(t);
+            }
+            let class_name = rest.trim_end_matches(':').to_string();
+            let table_name = de_pascal(&class_name);
+            class_to_table.push((class_name, table_name.clone()));
+            current = Some(RecoveredTable {
+                name: table_name,
+                columns: vec![],
+                sample_row: None,
+                primary_key: None,
+            });
+        } else if let Some(t) = current.as_mut() {
+            let trimmed = line.trim();
+            if trimmed.starts_with("\"\"\"") || trimmed.starts_with('@') || trimmed.is_empty() {
+                if trimmed.is_empty() && !t.columns.is_empty() {
+                    s.tables.push(current.take().unwrap());
+                }
+                continue;
+            }
+            if let Some((cname, tail)) = trimmed.split_once(": ") {
+                let ty_word = tail.split_whitespace().next().unwrap_or_default();
+                let ty = dtype_from_name(ty_word);
+                if tail.contains("# primary key") {
+                    t.primary_key = Some(cname.to_string());
+                }
+                t.columns.push((cname.to_string(), ty));
+            }
+        }
+    }
+    if let Some(t) = current.take() {
+        s.tables.push(t);
+    }
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("ForeignKey(source=") {
+            let Some((src, tail)) = rest.split_once(", target=") else { continue };
+            let tgt = tail.trim_end_matches(')');
+            let (Some((fclass, fc)), Some((tclass, tc))) =
+                (src.split_once('.'), tgt.split_once('.'))
+            else {
+                continue;
+            };
+            let resolve = |class: &str| {
+                class_to_table
+                    .iter()
+                    .find(|(c, _)| c == class)
+                    .map(|(_, t)| t.clone())
+                    .unwrap_or_else(|| de_pascal(class))
+            };
+            s.fks.push((resolve(fclass), fc.to_string(), resolve(tclass), tc.to_string()));
+        }
+    }
+    s
+}
+
+fn de_pascal(class: &str) -> String {
+    nl2vis_data::text::split_identifier(class).join("_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_corpus::domains::all_domains;
+    use nl2vis_corpus::generate::instantiate;
+    use nl2vis_data::{Database, Rng};
+    use nl2vis_prompt::PromptFormat;
+
+    fn db() -> Database {
+        instantiate(&all_domains()[0], 0, &mut Rng::new(2))
+    }
+
+    #[test]
+    fn every_format_recovers_tables() {
+        let d = db();
+        for f in PromptFormat::all() {
+            let text = f.serialize(&d, "count technicians per team");
+            let r = recover(&text);
+            assert!(
+                !r.tables.is_empty(),
+                "{f}: no tables recovered from:\n{text}"
+            );
+            if f.attributes_columns() {
+                assert!(r.attributed, "{f} should attribute columns");
+                let tech = r
+                    .tables
+                    .iter()
+                    .find(|t| t.name == "technician")
+                    .unwrap_or_else(|| panic!("{f}: technician missing"));
+                let cols: Vec<&str> = tech.columns.iter().map(|(c, _)| c.as_str()).collect();
+                assert!(cols.contains(&"team"), "{f}: team missing from {cols:?}");
+                assert!(cols.contains(&"salary"), "{f}: salary missing");
+            } else {
+                assert!(!r.attributed);
+                assert!(r.unattributed_columns.contains(&"team".to_string()), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_formats_recover_types() {
+        let d = db();
+        for f in PromptFormat::all() {
+            let r = recover(&f.serialize(&d, ""));
+            let salary_ty = r.type_of("salary");
+            if f.carries_types() {
+                assert_eq!(salary_ty, Some(DataType::Float), "{f}");
+                assert_eq!(r.type_of("hire_date"), Some(DataType::Date), "{f}");
+            } else {
+                assert_eq!(salary_ty, None, "{f} should not recover types");
+            }
+        }
+    }
+
+    #[test]
+    fn fk_formats_recover_fks() {
+        let d = db();
+        for f in PromptFormat::all() {
+            let r = recover(&f.serialize(&d, ""));
+            assert_eq!(r.has_fks(), f.carries_fks(), "{f}");
+            if f.carries_fks() {
+                let fk = &r.fks[0];
+                assert_eq!(fk.0, "machine");
+                assert_eq!(fk.1, "tech_id");
+                assert_eq!(fk.2, "technician");
+            }
+        }
+    }
+
+    #[test]
+    fn row_embedding_formats_recover_a_sample_row() {
+        let d = db();
+        for f in [
+            PromptFormat::Table2Json,
+            PromptFormat::Table2Csv,
+            PromptFormat::Table2Md,
+            PromptFormat::Table2Xml,
+            PromptFormat::Table2SqlSelect,
+            PromptFormat::ColumnListFkValue,
+        ] {
+            let r = recover(&f.serialize(&d, "the NYY team"));
+            let tech = r.tables.iter().find(|t| t.name == "technician").unwrap();
+            let row = tech.sample_row.as_ref().unwrap_or_else(|| panic!("{f}: no row"));
+            assert_eq!(row.len(), 6, "{f}: row {row:?}");
+        }
+    }
+
+    #[test]
+    fn primary_keys_recovered_where_marked() {
+        let d = db();
+        for f in [
+            PromptFormat::Table2Sql,
+            PromptFormat::Table2Json,
+            PromptFormat::Table2Xml,
+            PromptFormat::Table2Code,
+        ] {
+            let r = recover(&f.serialize(&d, ""));
+            let tech = r.tables.iter().find(|t| t.name == "technician").unwrap();
+            assert_eq!(tech.primary_key.as_deref(), Some("tech_id"), "{f}");
+        }
+    }
+
+    #[test]
+    fn table_of_lookup() {
+        let d = db();
+        let r = recover(&PromptFormat::Table2Sql.serialize(&d, ""));
+        assert_eq!(r.table_of("salary"), Some("technician"));
+        assert_eq!(r.table_of("value"), Some("machine"));
+        assert_eq!(r.table_of("nonexistent"), None);
+    }
+
+    #[test]
+    fn garbage_recovers_empty() {
+        let r = recover("complete nonsense with no structure at all");
+        assert!(r.tables.is_empty());
+    }
+
+    #[test]
+    fn truncated_serializations_do_not_panic() {
+        let d = db();
+        for f in PromptFormat::all() {
+            let text = f.serialize(&d, "q");
+            // Chop the serialization at several points; recovery must stay
+            // total (possibly returning partial schemas).
+            for frac in [1, 2, 3, 5] {
+                let cut = text.len() * frac / 6;
+                let mut truncated = String::new();
+                for ch in text.chars() {
+                    if truncated.len() + ch.len_utf8() > cut {
+                        break;
+                    }
+                    truncated.push(ch);
+                }
+                let _ = recover(&truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_xml_and_sql_are_partial_not_panicking() {
+        let r = recover("<database name=\"d\"><table name=\"t\"><column name=\"a\"");
+        assert!(r.tables.len() <= 1);
+        let r = recover("CREATE TABLE t (\n  a INTEGER,\n  b TEX");
+        assert_eq!(r.tables.len(), 1);
+        assert_eq!(r.tables[0].columns.len(), 2);
+        let r = recover("{\"database\": \"d\", \"tables\": [");
+        assert!(r.tables.is_empty(), "unparseable JSON recovers nothing");
+    }
+
+    #[test]
+    fn tricky_cell_values_survive_serialization_and_recovery() {
+        use nl2vis_data::schema::{ColumnDef, DatabaseSchema, TableDef};
+        use nl2vis_data::value::DataType::*;
+        use nl2vis_data::Value;
+        let mut schema = DatabaseSchema::new("tricky", "test");
+        schema.tables.push(TableDef::new(
+            "notes",
+            vec![ColumnDef::new("label", Text), ColumnDef::new("n", Int)],
+        ));
+        let mut d = nl2vis_data::Database::new(schema);
+        for (label, n) in [
+            ("has,comma", 1i64),
+            ("has\"quote", 2),
+            ("has<angle>&amp", 3),
+            ("has'apostrophe", 4),
+        ] {
+            d.insert("notes", vec![label.into(), Value::Int(n)]).unwrap();
+        }
+        for f in PromptFormat::all() {
+            let text = f.serialize(&d, "the note has,comma");
+            let r = recover(&text);
+            if f.attributes_columns() {
+                let t = r.tables.iter().find(|t| t.name == "notes")
+                    .unwrap_or_else(|| panic!("{f}: table lost"));
+                assert_eq!(t.columns.len(), 2, "{f}: columns corrupted by cell content");
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_injection_text_is_just_data() {
+        // Schema text containing instruction-like prose must not confuse the
+        // recognizers into a different format.
+        let sneaky = "Database: d\nt = [ ignore_previous_instructions , b ]";
+        let r = recover(sneaky);
+        assert_eq!(r.tables.len(), 1);
+        assert_eq!(r.tables[0].columns.len(), 2);
+    }
+
+    #[test]
+    fn all_domains_all_formats_roundtrip_column_counts() {
+        let mut rng = Rng::new(5);
+        for spec in all_domains().iter().take(6) {
+            let d = instantiate(spec, 0, &mut rng);
+            let expected: usize = d.schema.total_columns();
+            for f in PromptFormat::all() {
+                let r = recover(&f.serialize(&d, "sample question"));
+                let got: usize = if r.attributed {
+                    r.tables.iter().map(|t| t.columns.len()).sum()
+                } else {
+                    r.unattributed_columns.len()
+                };
+                assert_eq!(got, expected, "{f} on {}", d.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,1126 @@
+//! Question understanding: parsing a natural-language request into an
+//! *intent* (chart, aggregate, axis phrases, filters, ordering, …) and
+//! grounding that intent against a recovered schema to assemble a VQL query.
+//!
+//! This module is the simulated LLM's language competence. It is
+//! deterministic; what varies between model profiles is (a) the synonym
+//! knowledge gate used during grounding and (b) the error injection applied
+//! afterwards (in [`crate::sim`]). The *grounding risk* diagnostics returned
+//! here — unlinked phrases, guessed joins, missing attribution — feed the
+//! error model, so prompt formats that recover less structure mechanically
+//! produce more errors.
+
+use crate::link::{find_join, label_column, link_column, link_table, link_table_with, Link};
+use crate::recover::RecoveredSchema;
+use nl2vis_data::value::Date;
+use nl2vis_query::ast::*;
+
+/// A token of the question, preserving literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QTok {
+    /// A lowercase word.
+    Word(String),
+    /// A quoted string literal.
+    Quoted(String),
+    /// A number (integer or float).
+    Num(f64),
+    /// An ISO date.
+    DateTok(Date),
+}
+
+impl QTok {
+    fn word(&self) -> Option<&str> {
+        match self {
+            QTok::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes a question, keeping quoted strings, numbers and dates intact.
+pub fn question_tokens(text: &str) -> Vec<QTok> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != quote {
+                s.push(chars[i]);
+                i += 1;
+            }
+            i += 1;
+            out.push(QTok::Quoted(s));
+        } else if c.is_ascii_digit()
+            || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            if c == '-' {
+                i += 1;
+            }
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '-')
+            {
+                i += 1;
+            }
+            let raw: String = chars[start..i].iter().collect();
+            // A sentence-final period sticks to the numeric run; strip it.
+            let raw = raw.trim_end_matches('.');
+            if let Some(d) = Date::parse(raw) {
+                out.push(QTok::DateTok(d));
+            } else if let Ok(n) = raw.parse::<f64>() {
+                out.push(QTok::Num(n));
+            }
+        } else if c.is_alphanumeric() {
+            let mut w = String::new();
+            while i < chars.len() && chars[i].is_alphanumeric() {
+                w.push(chars[i].to_ascii_lowercase());
+                i += 1;
+            }
+            out.push(QTok::Word(w));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The kind of a clause segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegKind {
+    Filter,
+    /// A filter introduced by a negative word ("excluding ..."), where the
+    /// relation may be implicit.
+    FilterNeg,
+    /// A command verb ("show", "draw") — routes following tokens to the
+    /// head, so "For each team, show a bar chart ..." parses.
+    HeadCmd,
+    Join,
+    Source,
+    Bin,
+    Color,
+    OrderCol,
+    OrderX,
+    GroupX,
+    Against,
+}
+
+/// Clause markers as word sequences, longest-first so the scanner is
+/// leftmost-longest.
+const MARKERS: &[(&[&str], SegKind)] = &[
+    (&["keeping", "only", "rows", "where"], SegKind::Filter),
+    (&["for", "records", "whose"], SegKind::Filter),
+    (&["broken", "down", "by"], SegKind::Color),
+    (&["rank", "the", "x", "axis"], SegKind::OrderX),
+    (&["grouped", "by"], SegKind::GroupX),
+    (&["for", "each"], SegKind::GroupX),
+    (&["binned", "by"], SegKind::Bin),
+    (&["bucketed", "by"], SegKind::Bin),
+    (&["colored", "by"], SegKind::Color),
+    (&["stacked", "by"], SegKind::Color),
+    (&["split", "by"], SegKind::Color),
+    (&["sorted", "by"], SegKind::OrderCol),
+    (&["ordered", "by"], SegKind::OrderCol),
+    (&["ranked", "by"], SegKind::OrderCol),
+    (&["from", "the"], SegKind::Source),
+    (&["in", "the"], SegKind::Source),
+    (&["using", "the"], SegKind::Source),
+    (&["combining"], SegKind::Join),
+    (&["excluding"], SegKind::FilterNeg),
+    (&["show"], SegKind::HeadCmd),
+    (&["draw"], SegKind::HeadCmd),
+    (&["plot"], SegKind::HeadCmd),
+    (&["display"], SegKind::HeadCmd),
+    (&["visualize"], SegKind::HeadCmd),
+    (&["where"], SegKind::Filter),
+    (&["against"], SegKind::Against),
+    (&["across"], SegKind::GroupX),
+    (&["per"], SegKind::GroupX),
+    (&["by"], SegKind::GroupX),
+];
+
+/// One parsed filter atom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterAtom {
+    /// The column phrase as said by the user.
+    pub col_phrase: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal value.
+    pub value: Literal,
+    /// Connective linking this atom to the previous one (`true` = AND).
+    pub and_with_previous: Option<bool>,
+}
+
+/// A parsed nested-subquery filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubqueryIntent {
+    /// The tested column phrase.
+    pub col_phrase: String,
+    /// `NOT IN` when true.
+    pub negated: bool,
+    /// The child-table phrase.
+    pub child_phrase: String,
+    /// Optional inner condition.
+    pub inner: Option<FilterAtom>,
+}
+
+/// Ordering intent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderIntent {
+    /// Order the x axis.
+    X,
+    /// Order the y axis / measure.
+    Y,
+    /// Order by a named column phrase.
+    Col(String),
+}
+
+/// The parsed intent of a question.
+#[derive(Debug, Clone, Default)]
+pub struct Intent {
+    /// Requested chart type, if signaled.
+    pub chart: Option<ChartType>,
+    /// Requested aggregate, if any.
+    pub agg: Option<AggFunc>,
+    /// The measure / count-target phrase.
+    pub y_phrase: String,
+    /// The grouping (x axis) phrase.
+    pub x_phrase: Option<String>,
+    /// The source-table phrase.
+    pub source_phrase: Option<String>,
+    /// Join phrases: (from table, joined table).
+    pub join_phrases: Option<(String, String)>,
+    /// Filter atoms in order.
+    pub filters: Vec<FilterAtom>,
+    /// Nested subquery filter.
+    pub subquery: Option<SubqueryIntent>,
+    /// Temporal bin unit.
+    pub bin: Option<BinUnit>,
+    /// Color/series phrase.
+    pub color_phrase: Option<String>,
+    /// Ordering intent and direction.
+    pub order: Option<(OrderIntent, SortDir)>,
+}
+
+/// Parses a question into an [`Intent`].
+pub fn parse_question(text: &str) -> Intent {
+    let tokens = question_tokens(text);
+    let segments = segment(&tokens);
+    let mut intent = Intent::default();
+
+    // Head: command + chart phrase + measure phrase.
+    let head = &segments[0].1;
+    intent.chart = detect_chart(head);
+    let (agg, y_phrase) = detect_aggregate(head);
+    intent.agg = agg;
+    intent.y_phrase = y_phrase;
+
+    for (kind, toks) in &segments[1..] {
+        match kind {
+            SegKind::GroupX => {
+                let phrase = words_of(toks);
+                if let Some(unit) = BinUnit::from_keyword(phrase.trim()) {
+                    intent.bin = Some(unit);
+                } else if intent.x_phrase.is_none() {
+                    intent.x_phrase = Some(phrase);
+                }
+            }
+            SegKind::Against => {
+                intent.x_phrase = Some(words_of(toks));
+            }
+            SegKind::Source => {
+                intent.source_phrase = Some(words_of(toks));
+            }
+            SegKind::Join => {
+                let phrase = words_of(toks);
+                if let Some((a, b)) = phrase.split_once(" with ") {
+                    intent.join_phrases = Some((a.to_string(), b.to_string()));
+                }
+            }
+            SegKind::Bin => {
+                let phrase = words_of(toks);
+                if let Some(unit) = BinUnit::from_keyword(phrase.trim()) {
+                    intent.bin = Some(unit);
+                }
+            }
+            SegKind::Color => {
+                intent.color_phrase = Some(words_of(toks));
+            }
+            SegKind::Filter => {
+                parse_filter_segment(toks, &mut intent);
+            }
+            SegKind::FilterNeg => {
+                let before = intent.filters.len();
+                parse_filter_segment(toks, &mut intent);
+                if intent.filters.len() == before {
+                    // No explicit relation ("excluding the team NYY"): the
+                    // tokens before the literal name the column, the
+                    // relation is implicit inequality.
+                    if let Some(pos) = toks.iter().position(|t| !matches!(t, QTok::Word(_))) {
+                        if let Some(value) = literal_of(&toks[pos..]) {
+                            intent.filters.push(FilterAtom {
+                                col_phrase: words_of(&toks[..pos]),
+                                op: CmpOp::Ne,
+                                value,
+                                and_with_previous: None,
+                            });
+                        }
+                    }
+                }
+            }
+            SegKind::OrderCol => {
+                intent.order = parse_order(toks, false);
+            }
+            SegKind::OrderX => {
+                intent.order = parse_order(toks, true);
+            }
+            // Command segments are routed into the head during segmentation
+            // and never appear here.
+            SegKind::HeadCmd => {}
+        }
+    }
+    intent
+}
+
+fn words_of(toks: &[QTok]) -> String {
+    toks.iter()
+        .map(|t| match t {
+            QTok::Word(w) => w.clone(),
+            QTok::Quoted(q) => format!("\"{q}\""),
+            QTok::Num(n) => n.to_string(),
+            QTok::DateTok(d) => d.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn segment(tokens: &[QTok]) -> Vec<(SegKind, Vec<QTok>)> {
+    // Segment 0 is the head (command + chart + measure phrase); later
+    // segments are clauses. A command verb routes tokens back into the
+    // head, which handles the "For each <x>, show <chart> ..." family.
+    let mut segments: Vec<(SegKind, Vec<QTok>)> = vec![(SegKind::GroupX, Vec::new())];
+    let mut target = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut matched = None;
+        for (marker, kind) in MARKERS {
+            if marker.len() <= tokens.len() - i {
+                let is_match = marker
+                    .iter()
+                    .enumerate()
+                    .all(|(j, mw)| tokens[i + j].word() == Some(mw));
+                if is_match {
+                    matched = Some((marker.len(), *kind));
+                    break;
+                }
+            }
+        }
+        match matched {
+            Some((len, SegKind::HeadCmd)) => {
+                target = 0;
+                i += len;
+            }
+            // A non-head marker starts a clause segment, except at the very
+            // start of the sentence where only a group phrase ("For each
+            // team, show ...") is meaningful.
+            Some((len, kind))
+                if !segments[0].1.is_empty()
+                    || segments.len() > 1
+                    || kind == SegKind::GroupX =>
+            {
+                segments.push((kind, Vec::new()));
+                target = segments.len() - 1;
+                i += len;
+            }
+            _ => {
+                segments[target].push_token(tokens[i].clone());
+                i += 1;
+            }
+        }
+    }
+    segments
+}
+
+trait PushToken {
+    fn push_token(&mut self, t: QTok);
+}
+
+impl PushToken for (SegKind, Vec<QTok>) {
+    fn push_token(&mut self, t: QTok) {
+        self.1.push(t);
+    }
+}
+
+fn detect_chart(head: &[QTok]) -> Option<ChartType> {
+    for t in head {
+        if let QTok::Word(w) = t {
+            match w.as_str() {
+                "bar" | "bars" | "histogram" => return Some(ChartType::Bar),
+                "pie" | "donut" => return Some(ChartType::Pie),
+                "line" | "trend" | "series" => return Some(ChartType::Line),
+                "scatter" | "point" | "cloud" => return Some(ChartType::Scatter),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Aggregate phrases: (marker words, function). Longest first.
+const AGG_MARKERS: &[(&[&str], AggFunc)] = &[
+    (&["number", "of"], AggFunc::Count),
+    (&["how", "many"], AggFunc::Count),
+    (&["count", "of"], AggFunc::Count),
+    (&["sum", "of"], AggFunc::Sum),
+    (&["total"], AggFunc::Sum),
+    (&["combined"], AggFunc::Sum),
+    (&["average"], AggFunc::Avg),
+    (&["mean"], AggFunc::Avg),
+    (&["typical"], AggFunc::Avg),
+    (&["minimum"], AggFunc::Min),
+    (&["lowest"], AggFunc::Min),
+    (&["maximum"], AggFunc::Max),
+    (&["highest"], AggFunc::Max),
+];
+
+fn detect_aggregate(head: &[QTok]) -> (Option<AggFunc>, String) {
+    for i in 0..head.len() {
+        for (marker, func) in AGG_MARKERS {
+            if marker.len() <= head.len() - i {
+                let is_match =
+                    marker.iter().enumerate().all(|(j, mw)| head[i + j].word() == Some(mw));
+                if is_match {
+                    let rest = words_of(&head[i + marker.len()..]);
+                    return (Some(*func), rest);
+                }
+            }
+        }
+    }
+    // No aggregate: the measure phrase follows the first "of" (".. a scatter
+    // plot of salary against age").
+    if let Some(pos) = head.iter().position(|t| t.word() == Some("of")) {
+        (None, words_of(&head[pos + 1..]))
+    } else {
+        (None, words_of(head))
+    }
+}
+
+/// Relation phrases inside filter segments, longest-first.
+const REL_MARKERS: &[(&[&str], CmpOp)] = &[
+    (&["is", "greater", "than"], CmpOp::Gt),
+    (&["is", "more", "than"], CmpOp::Gt),
+    (&["is", "no", "less", "than"], CmpOp::Ge),
+    (&["is", "at", "least"], CmpOp::Ge),
+    (&["is", "less", "than"], CmpOp::Lt),
+    (&["is", "no", "more", "than"], CmpOp::Le),
+    (&["is", "at", "most"], CmpOp::Le),
+    (&["is", "over"], CmpOp::Gt),
+    (&["is", "under"], CmpOp::Lt),
+    (&["is", "below"], CmpOp::Lt),
+    (&["exceeds"], CmpOp::Gt),
+    (&["is", "not"], CmpOp::Ne),
+    (&["differs", "from"], CmpOp::Ne),
+    (&["excludes"], CmpOp::Ne),
+    (&["is", "exactly"], CmpOp::Eq),
+    (&["equals"], CmpOp::Eq),
+    (&["is"], CmpOp::Eq),
+];
+
+fn parse_filter_segment(toks: &[QTok], intent: &mut Intent) {
+    // Subquery patterns: `<col> has no matching <child> entry [cond]` and
+    // `<col> appears among the <child> entries [cond]`.
+    let phrase = words_of(toks);
+    if let Some((col, rest)) = phrase.split_once(" has no matching ") {
+        let child = rest.split(" entry").next().unwrap_or(rest).trim().to_string();
+        let inner = rest.split_once(" entry ").and_then(|(_, tail)| parse_atom_text(tail));
+        intent.subquery = Some(SubqueryIntent {
+            col_phrase: col.to_string(),
+            negated: true,
+            child_phrase: child,
+            inner,
+        });
+        return;
+    }
+    if let Some((col, rest)) = phrase.split_once(" appears among the ") {
+        let child = rest.split(" entries").next().unwrap_or(rest).trim().to_string();
+        let inner = rest.split_once(" entries ").and_then(|(_, tail)| parse_atom_text(tail));
+        intent.subquery = Some(SubqueryIntent {
+            col_phrase: col.to_string(),
+            negated: false,
+            child_phrase: child,
+            inner,
+        });
+        return;
+    }
+
+    // Plain atoms joined by and/or.
+    let mut connective: Option<bool> = None;
+    let mut current: Vec<QTok> = Vec::new();
+    let flush = |current: &mut Vec<QTok>, connective: Option<bool>, intent: &mut Intent| {
+        if let Some(mut atom) = parse_atom(current) {
+            atom.and_with_previous = connective;
+            intent.filters.push(atom);
+        }
+        current.clear();
+    };
+    for t in toks {
+        match t.word() {
+            Some("and") => {
+                flush(&mut current, connective, intent);
+                connective = Some(true);
+            }
+            Some("or") => {
+                flush(&mut current, connective, intent);
+                connective = Some(false);
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    flush(&mut current, connective, intent);
+}
+
+fn parse_atom_text(text: &str) -> Option<FilterAtom> {
+    parse_atom(&question_tokens(text))
+}
+
+fn parse_atom(toks: &[QTok]) -> Option<FilterAtom> {
+    // Find the relation marker; everything before is the column phrase,
+    // the literal follows.
+    for i in 0..toks.len() {
+        for (marker, op) in REL_MARKERS {
+            if marker.len() <= toks.len() - i {
+                let is_match =
+                    marker.iter().enumerate().all(|(j, mw)| toks[i + j].word() == Some(mw));
+                if is_match {
+                    let col_phrase = words_of(&toks[..i]);
+                    let value = literal_of(&toks[i + marker.len()..])?;
+                    return Some(FilterAtom {
+                        col_phrase,
+                        op: *op,
+                        value,
+                        and_with_previous: None,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+fn literal_of(toks: &[QTok]) -> Option<Literal> {
+    for t in toks {
+        match t {
+            QTok::Quoted(s) => {
+                return Some(match Date::parse(s) {
+                    Some(d) => Literal::Date(d),
+                    None => Literal::Text(s.clone()),
+                })
+            }
+            QTok::Num(n) => {
+                return Some(if n.fract() == 0.0 {
+                    Literal::Int(*n as i64)
+                } else {
+                    Literal::Float(*n)
+                })
+            }
+            QTok::DateTok(d) => return Some(Literal::Date(*d)),
+            QTok::Word(w) if w == "true" => return Some(Literal::Bool(true)),
+            QTok::Word(w) if w == "false" => return Some(Literal::Bool(false)),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_order(toks: &[QTok], explicit_x: bool) -> Option<(OrderIntent, SortDir)> {
+    let phrase = words_of(toks);
+    let dir = if phrase.contains("descending")
+        || phrase.contains("decreasing")
+        || phrase.contains("largest to smallest")
+    {
+        SortDir::Desc
+    } else {
+        SortDir::Asc
+    };
+    if explicit_x {
+        return Some((OrderIntent::X, dir));
+    }
+    let target_phrase = phrase.split(" in ").next().unwrap_or(&phrase).trim().to_string();
+    if ["the value", "the y axis", "the measure"].contains(&target_phrase.as_str()) {
+        Some((OrderIntent::Y, dir))
+    } else {
+        Some((OrderIntent::Col(target_phrase), dir))
+    }
+}
+
+/// How risky each part of the grounding was; drives the error model.
+#[derive(Debug, Clone, Default)]
+pub struct GroundingRisk {
+    /// The x phrase did not link (a fallback column was guessed).
+    pub x_unlinked: bool,
+    /// The y phrase did not link.
+    pub y_unlinked: bool,
+    /// Filter column phrases that failed to link.
+    pub filters_unlinked: usize,
+    /// Join keys were guessed without foreign-key evidence.
+    pub join_guessed: bool,
+    /// Column↔table attribution was unavailable (flat `Schema` prompt).
+    pub unattributed: bool,
+    /// Links that needed synonym knowledge.
+    pub synonyms_used: usize,
+    /// Column types were unavailable in the prompt.
+    pub types_unknown: bool,
+}
+
+/// Which axis a link was for (error-flag routing).
+#[derive(Debug, Clone, Copy)]
+enum AxisSlot {
+    X,
+    Y,
+}
+
+/// A grounded query plus its risk diagnostics.
+#[derive(Debug, Clone)]
+pub struct Grounding {
+    /// The assembled query.
+    pub query: VqlQuery,
+    /// Risk diagnostics.
+    pub risk: GroundingRisk,
+}
+
+/// Grounds an intent against a recovered schema. `knows` gates synonym
+/// lookups (see [`crate::link`]).
+pub fn ground(
+    intent: &Intent,
+    schema: &RecoveredSchema,
+    knows: &dyn Fn(&str) -> bool,
+) -> Option<Grounding> {
+    if schema.tables.is_empty() && schema.unattributed_columns.is_empty() {
+        return None;
+    }
+    let mut risk = GroundingRisk {
+        unattributed: !schema.attributed,
+        types_unknown: schema
+            .tables
+            .iter()
+            .all(|t| t.columns.iter().all(|(_, ty)| ty.is_none())),
+        ..Default::default()
+    };
+
+    // Links a phrase to a column; a phrase that instead names a *table*
+    // ("the number of technicians") resolves to that table's label column,
+    // which is what the user is counting.
+    let link_axis = |phrase: &str, risk: &mut GroundingRisk, slot: AxisSlot| -> Option<Link> {
+        let col = link_column(phrase, schema, knows);
+        // A strong column match wins outright.
+        if let Some(l) = &col {
+            if l.score >= 0.75 {
+                if l.via_synonym {
+                    risk.synonyms_used += 1;
+                }
+                return col;
+            }
+        }
+        // A phrase naming a *table* ("the number of technicians") means that
+        // table's label column; prefer it over a weak partial column match
+        // (which is usually the table's `_id` key).
+        if let Some(table) = link_table_with(phrase, schema, knows) {
+            if let Some(column) = label_column(schema, &table) {
+                return Some(Link { column, table: Some(table), score: 0.7, via_synonym: false });
+            }
+        }
+        if let Some(l) = col {
+            if l.via_synonym {
+                risk.synonyms_used += 1;
+            }
+            return Some(l);
+        }
+        match slot {
+            AxisSlot::X => risk.x_unlinked = true,
+            AxisSlot::Y => risk.y_unlinked = true,
+        }
+        None
+    };
+
+    // X column.
+    let x_link = intent.x_phrase.as_deref().and_then(|p| link_axis(p, &mut risk, AxisSlot::X));
+
+    // Y column.
+    let y_link = if intent.y_phrase.is_empty() {
+        None
+    } else {
+        link_axis(&intent.y_phrase, &mut risk, AxisSlot::Y)
+    };
+
+    // Source table.
+    let source_table = intent
+        .source_phrase
+        .as_deref()
+        .and_then(|p| link_table(p, schema))
+        .or_else(|| {
+            intent.join_phrases.as_ref().and_then(|(a, _)| link_table(a, schema))
+        });
+
+    let fallback_table = || -> Option<String> {
+        source_table
+            .clone()
+            .or_else(|| x_link.as_ref().and_then(|l| l.table.clone()))
+            .or_else(|| y_link.as_ref().and_then(|l| l.table.clone()))
+            .or_else(|| schema.tables.first().map(|t| t.name.clone()))
+    };
+    let mut from = fallback_table()?;
+
+    // Join: explicit phrase, or axes living in different tables.
+    let joined_table: Option<String> = if let Some((_, b)) = &intent.join_phrases {
+        link_table(b, schema)
+    } else {
+        let xt = x_link.as_ref().and_then(|l| l.table.as_deref());
+        let yt = y_link.as_ref().and_then(|l| l.table.as_deref());
+        match (xt, yt) {
+            (Some(a), Some(b)) if !a.eq_ignore_ascii_case(b) => {
+                // Keep the FROM on one side, join the other.
+                if a.eq_ignore_ascii_case(&from) {
+                    Some(b.to_string())
+                } else if b.eq_ignore_ascii_case(&from) {
+                    Some(a.to_string())
+                } else {
+                    from = a.to_string();
+                    Some(b.to_string())
+                }
+            }
+            _ => None,
+        }
+    };
+
+    // Orient the join at the foreign-key child (the referencing table),
+    // matching the convention of every gold query and demonstration.
+    let mut joined_table = joined_table;
+    if let Some(jt) = &joined_table {
+        let fk_child = schema.fks.iter().find_map(|(ft, _, tt, _)| {
+            if ft.eq_ignore_ascii_case(&from) && tt.eq_ignore_ascii_case(jt) {
+                Some(from.clone())
+            } else if ft.eq_ignore_ascii_case(jt) && tt.eq_ignore_ascii_case(&from) {
+                Some(jt.clone())
+            } else {
+                None
+            }
+        });
+        if let Some(child) = fk_child {
+            if !child.eq_ignore_ascii_case(&from) {
+                let parent = std::mem::replace(&mut from, child);
+                joined_table = Some(parent);
+            }
+        }
+    }
+
+    let join = match &joined_table {
+        Some(jt) if !jt.eq_ignore_ascii_case(&from) => {
+            match find_join(schema, &from, jt) {
+                Some((left, right, confident)) => {
+                    if !confident {
+                        risk.join_guessed = true;
+                    }
+                    Some(Join {
+                        table: jt.clone(),
+                        left: ColumnRef::qualified(from.clone(), left),
+                        right: ColumnRef::qualified(jt.clone(), right),
+                    })
+                }
+                None => {
+                    risk.join_guessed = true;
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
+    let has_join = join.is_some();
+
+    // Column refs qualified when joining (mirrors the gold style).
+    let colref = |l: &Link| -> ColumnRef {
+        if has_join {
+            match &l.table {
+                Some(t) => ColumnRef::qualified(t.clone(), l.column.clone()),
+                None => ColumnRef::new(l.column.clone()),
+            }
+        } else {
+            ColumnRef::new(l.column.clone())
+        }
+    };
+
+    // Assemble x.
+    let x_col = match (&x_link, &y_link) {
+        (Some(x), _) => colref(x),
+        // No x phrase (e.g. pure count question): fall back to the y link.
+        (None, Some(y)) => colref(y),
+        (None, None) => {
+            risk.x_unlinked = true;
+            // Guess the first non-id column of the FROM table.
+            let guess = schema
+                .tables
+                .iter()
+                .find(|t| t.name.eq_ignore_ascii_case(&from))
+                .and_then(|t| {
+                    t.columns
+                        .iter()
+                        .find(|(c, _)| !c.ends_with("_id") && c != "id")
+                        .map(|(c, _)| c.clone())
+                })
+                .or_else(|| schema.all_columns().first().map(|c| c.to_string()))?;
+            ColumnRef::new(guess)
+        }
+    };
+
+    // Assemble y.
+    let y_expr = match intent.agg {
+        Some(AggFunc::Count) => {
+            let arg = y_link.as_ref().map(&colref).unwrap_or_else(|| x_col.clone());
+            SelectExpr::Agg { func: AggFunc::Count, arg: Some(arg) }
+        }
+        Some(func) => {
+            let arg = match &y_link {
+                Some(l) => colref(l),
+                None => x_col.clone(),
+            };
+            SelectExpr::Agg { func, arg: Some(arg) }
+        }
+        None => match &y_link {
+            Some(l) => SelectExpr::Column(colref(l)),
+            None => {
+                risk.y_unlinked = true;
+                SelectExpr::Column(x_col.clone())
+            }
+        },
+    };
+
+    // A requested temporal bin forces a temporal x: when the linked x is
+    // not a date (or no x was named — "the number of orders per month"),
+    // re-target the FROM table's date column. Only typed prompt formats can
+    // make this correction.
+    let mut x_col = x_col;
+    if intent.bin.is_some()
+        && schema.type_of(&x_col.column) != Some(nl2vis_data::value::DataType::Date)
+    {
+        let date_col = schema
+            .tables
+            .iter()
+            .filter(|t| t.name.eq_ignore_ascii_case(&from))
+            .chain(schema.tables.iter())
+            .flat_map(|t| t.columns.iter().map(move |(c, ty)| (t.name.clone(), c, ty)))
+            .find(|(_, _, ty)| **ty == Some(nl2vis_data::value::DataType::Date));
+        if let Some((table, c, _)) = date_col {
+            x_col = if has_join {
+                ColumnRef::qualified(table, c.clone())
+            } else {
+                ColumnRef::new(c.clone())
+            };
+        }
+    }
+
+    let chart = intent.chart.unwrap_or(ChartType::Bar);
+    let mut q = VqlQuery::new(chart, SelectExpr::Column(x_col.clone()), y_expr, from.clone());
+    q.join = join;
+
+    // In-scope tables: filters and order targets reference the tables the
+    // query already reads.
+    let scope: Vec<String> = std::iter::once(from.clone())
+        .chain(q.join.as_ref().map(|j| j.table.clone()))
+        .collect();
+    let link_scoped = |phrase: &str| -> Option<Link> {
+        crate::link::link_column_in(phrase, schema, knows, Some(&scope))
+            .or_else(|| link_column(phrase, schema, knows))
+    };
+
+    // Filters. Type-aware: when the prompt format carried column types, a
+    // literal that clashes with the linked column's type (comparing a key
+    // column to a quoted string, say) redirects the link to the table's
+    // label column — the kind of correction only typed formats permit.
+    let literal_type = |lit: &Literal| match lit {
+        Literal::Int(_) | Literal::Float(_) => Some(nl2vis_data::value::DataType::Int),
+        Literal::Text(_) => Some(nl2vis_data::value::DataType::Text),
+        Literal::Bool(_) => Some(nl2vis_data::value::DataType::Bool),
+        Literal::Date(_) => Some(nl2vis_data::value::DataType::Date),
+    };
+    let compatible = |col_ty: nl2vis_data::value::DataType, lit: &Literal| match lit {
+        Literal::Int(_) | Literal::Float(_) => col_ty.is_numeric(),
+        Literal::Text(_) => col_ty == nl2vis_data::value::DataType::Text,
+        Literal::Bool(_) => col_ty == nl2vis_data::value::DataType::Bool,
+        Literal::Date(_) => col_ty == nl2vis_data::value::DataType::Date,
+    };
+    let mut predicate: Option<Predicate> = None;
+    for atom in &intent.filters {
+        let col = match link_scoped(&atom.col_phrase) {
+            Some(l) => {
+                if l.via_synonym {
+                    risk.synonyms_used += 1;
+                }
+                let clash = schema
+                    .type_of(&l.column)
+                    .is_some_and(|ty| !compatible(ty, &atom.value));
+                if clash && literal_type(&atom.value) == Some(nl2vis_data::value::DataType::Text)
+                {
+                    // Redirect to the label column of the same table.
+                    let redirected = l
+                        .table
+                        .as_deref()
+                        .and_then(|t| label_column(schema, t))
+                        .map(|column| Link { column, ..l.clone() });
+                    colref(&redirected.unwrap_or(l))
+                } else {
+                    colref(&l)
+                }
+            }
+            None => {
+                risk.filters_unlinked += 1;
+                continue;
+            }
+        };
+        let p = Predicate::Cmp { col, op: atom.op, value: atom.value.clone() };
+        predicate = Some(match predicate {
+            None => p,
+            Some(prev) => {
+                if atom.and_with_previous.unwrap_or(true) {
+                    Predicate::And(Box::new(prev), Box::new(p))
+                } else {
+                    Predicate::Or(Box::new(prev), Box::new(p))
+                }
+            }
+        });
+    }
+    if let Some(sq) = &intent.subquery {
+        let col = match link_column(&sq.col_phrase, schema, knows) {
+            Some(l) => ColumnRef::new(l.column),
+            None => {
+                risk.filters_unlinked += 1;
+                // Guess the FROM table's primary key.
+                let pk = schema
+                    .tables
+                    .iter()
+                    .find(|t| t.name.eq_ignore_ascii_case(&from))
+                    .and_then(|t| t.primary_key.clone())
+                    .unwrap_or_else(|| x_col.column.clone());
+                ColumnRef::new(pk)
+            }
+        };
+        if let Some(child) = link_table(&sq.child_phrase, schema) {
+            let inner = sq.inner.as_ref().and_then(|atom| {
+                let l = link_column(&atom.col_phrase, schema, knows)?;
+                Some(Box::new(Predicate::Cmp {
+                    col: ColumnRef::new(l.column),
+                    op: atom.op,
+                    value: atom.value.clone(),
+                }))
+            });
+            let p = Predicate::InSubquery {
+                col: col.clone(),
+                negated: sq.negated,
+                subquery: SubQuery { select: col.clone(), from: child, filter: inner },
+            };
+            predicate = Some(match predicate {
+                None => p,
+                Some(prev) => Predicate::And(Box::new(prev), Box::new(p)),
+            });
+        } else {
+            risk.filters_unlinked += 1;
+        }
+    }
+    q.filter = predicate;
+
+    // Bin.
+    if let Some(unit) = intent.bin {
+        q.bin = Some(Bin { column: x_col.clone(), unit });
+    }
+
+    // Grouping: aggregate queries group by x; a color adds the series key.
+    let color_link = intent.color_phrase.as_deref().and_then(&link_scoped);
+    if q.y.is_aggregate() || color_link.is_some() {
+        q.group_by.push(x_col.clone());
+    }
+    if let Some(c) = &color_link {
+        q.group_by.push(colref(c));
+    }
+
+    // Ordering.
+    if let Some((target, dir)) = &intent.order {
+        let t = match target {
+            OrderIntent::X => OrderTarget::Column(x_col.clone()),
+            OrderIntent::Y => OrderTarget::Y,
+            OrderIntent::Col(p) => match link_scoped(p) {
+                // A weak key-column match for a phrase that names a table
+                // ("ordered by employee") means the entity axis.
+                Some(l) if l.score < 0.75 && link_table_with(p, schema, knows).is_some() => {
+                    let column = l
+                        .table
+                        .as_deref()
+                        .and_then(|t| label_column(schema, t))
+                        .unwrap_or(l.column);
+                    OrderTarget::Column(ColumnRef::new(column))
+                }
+                Some(l) => OrderTarget::Column(ColumnRef::new(l.column)),
+                None => OrderTarget::Column(x_col.clone()),
+            },
+        };
+        q.order = Some(OrderBy { target: t, dir: *dir });
+    }
+
+    Some(Grounding { query: q, risk })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::recover;
+    use nl2vis_corpus::domains::all_domains;
+    use nl2vis_corpus::generate::instantiate;
+    use nl2vis_data::Rng;
+    use nl2vis_prompt::PromptFormat;
+
+    const KNOW_ALL: fn(&str) -> bool = |_| true;
+
+    fn schema() -> RecoveredSchema {
+        let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
+        recover(&PromptFormat::Table2Sql.serialize(&db, "q"))
+    }
+
+    #[test]
+    fn tokenizer_preserves_literals() {
+        let toks = question_tokens("where pay is over 42.5 and team is not \"NYY\" after 2020-01-06");
+        assert!(toks.contains(&QTok::Num(42.5)));
+        assert!(toks.contains(&QTok::Quoted("NYY".into())));
+        assert!(toks.contains(&QTok::DateTok(Date::new(2020, 1, 6).unwrap())));
+    }
+
+    #[test]
+    fn parses_basic_bar_count() {
+        let i = parse_question(
+            "Show a bar chart of the number of team for each team from the technician table.",
+        );
+        assert_eq!(i.chart, Some(ChartType::Bar));
+        assert_eq!(i.agg, Some(AggFunc::Count));
+        assert_eq!(i.x_phrase.as_deref(), Some("team"));
+        assert!(i.source_phrase.as_deref().unwrap().contains("technician"));
+    }
+
+    #[test]
+    fn parses_filter_and_order() {
+        let i = parse_question(
+            "Plot bars of the average salary per team where age is greater than 30 sorted by team in descending order.",
+        );
+        assert_eq!(i.agg, Some(AggFunc::Avg));
+        assert_eq!(i.filters.len(), 1);
+        assert_eq!(i.filters[0].op, CmpOp::Gt);
+        assert_eq!(i.filters[0].value, Literal::Int(30));
+        let (target, dir) = i.order.unwrap();
+        assert_eq!(target, OrderIntent::Col("team".into()));
+        assert_eq!(dir, SortDir::Desc);
+    }
+
+    #[test]
+    fn parses_compound_filters() {
+        let i = parse_question(
+            "Show bars of the number of name per team where team is \"BOS\" or age is under 30.",
+        );
+        assert_eq!(i.filters.len(), 2);
+        assert_eq!(i.filters[1].and_with_previous, Some(false));
+        assert_eq!(i.filters[1].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn parses_bin_and_color() {
+        let i = parse_question(
+            "Draw a line chart of the number of hire date for each hire date binned by month colored by team.",
+        );
+        assert_eq!(i.bin, Some(BinUnit::Month));
+        assert_eq!(i.color_phrase.as_deref(), Some("team"));
+    }
+
+    #[test]
+    fn per_unit_is_bin_not_x() {
+        let i = parse_question("Plot a line chart of the number of hired for each hired per year.");
+        assert_eq!(i.bin, Some(BinUnit::Year));
+        assert_eq!(i.x_phrase.as_deref(), Some("hired"));
+    }
+
+    #[test]
+    fn parses_subquery_phrases() {
+        let i = parse_question(
+            "Show bars of the number of name per team where tech id has no matching machine entry.",
+        );
+        let sq = i.subquery.unwrap();
+        assert!(sq.negated);
+        assert_eq!(sq.child_phrase, "machine");
+        let i = parse_question(
+            "Show bars of the number of name per team where tech id appears among the machine entries value is over 50.",
+        );
+        let sq = i.subquery.unwrap();
+        assert!(!sq.negated);
+        assert_eq!(sq.inner.unwrap().op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn grounds_full_query() {
+        let s = schema();
+        let i = parse_question(
+            "Show a bar chart of the number of team for each team from the technician table where pay is greater than 50000 sorted by team in ascending order.",
+        );
+        let g = ground(&i, &s, &KNOW_ALL).unwrap();
+        let printed = nl2vis_query::printer::print(&g.query);
+        assert!(printed.contains("VISUALIZE bar"));
+        assert!(printed.contains("COUNT(team)"));
+        assert!(printed.contains("FROM technician"));
+        assert!(printed.contains("salary > 50000"), "{printed}");
+        assert!(printed.contains("GROUP BY team"));
+        assert!(printed.contains("ORDER BY team ASC"));
+        assert_eq!(g.risk.synonyms_used, 1); // "pay" -> salary
+        assert!(!g.risk.x_unlinked);
+    }
+
+    #[test]
+    fn grounds_join_when_axes_span_tables() {
+        let s = schema();
+        let i = parse_question(
+            "Show a bar chart of the total value for each team combining the machine table with the technician records.",
+        );
+        let g = ground(&i, &s, &KNOW_ALL).unwrap();
+        let j = g.query.join.as_ref().expect("join expected");
+        assert_eq!(j.table, "technician");
+        assert_eq!(g.query.from, "machine");
+        assert!(!g.risk.join_guessed); // SQL format carries the FK
+    }
+
+    #[test]
+    fn join_guessed_flag_for_fkless_format() {
+        let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
+        let s = recover(&PromptFormat::Chat2Vis.serialize(&db, "q"));
+        let i = parse_question(
+            "Show a bar chart of the total value for each team combining the machine table with the technician records.",
+        );
+        let g = ground(&i, &s, &KNOW_ALL).unwrap();
+        assert!(g.risk.join_guessed);
+    }
+
+    #[test]
+    fn unattributed_schema_still_grounds() {
+        let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
+        let s = recover(&PromptFormat::Schema.serialize(&db, "q"));
+        let i = parse_question("Show a bar chart of the number of team for each team.");
+        let g = ground(&i, &s, &KNOW_ALL).unwrap();
+        assert!(g.risk.unattributed);
+        // FROM falls back to the first listed table.
+        assert!(!g.query.from.is_empty());
+    }
+
+    #[test]
+    fn scatter_against() {
+        let s = schema();
+        let i = parse_question("Display a scatter plot of salary against age in the technician table.");
+        let g = ground(&i, &s, &KNOW_ALL).unwrap();
+        assert_eq!(g.query.chart, ChartType::Scatter);
+        assert_eq!(g.query.x, SelectExpr::Column(ColumnRef::new("age")));
+        assert_eq!(g.query.y, SelectExpr::Column(ColumnRef::new("salary")));
+        assert!(g.query.group_by.is_empty());
+    }
+}

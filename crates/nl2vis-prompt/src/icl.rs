@@ -1,0 +1,277 @@
+//! In-context-learning prompt assembly (Figure 2 of the paper).
+//!
+//! A prompt consists of a task instruction, `k` demonstration examples (each
+//! a serialized table, a question, optionally a chain-of-thought sketch, and
+//! the gold VQL), and the test item (serialized table + question).
+//!
+//! The builder enforces a **token budget** mirroring the LLM context window:
+//! demonstrations are included most-relevant-first until the budget is
+//! exhausted. Verbose serialization formats therefore fit fewer effective
+//! shots — the mechanism behind several of Table 2's orderings.
+
+use crate::serialize::PromptFormat;
+use nl2vis_corpus::Example;
+use nl2vis_data::text::approx_token_count;
+use nl2vis_data::Database;
+use nl2vis_query::printer::{print, print_sketch};
+
+/// Marker introducing each demonstration block.
+pub const EXAMPLE_MARKER: &str = "-- Example:";
+/// Marker introducing the test block.
+pub const TEST_MARKER: &str = "-- Test:";
+/// Marker introducing a serialized database.
+pub const DATABASE_MARKER: &str = "-- Database:";
+
+/// The output formalism the prompt requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnswerFormat {
+    /// The flat VQL intermediate (the paper's default).
+    #[default]
+    Vql,
+    /// Direct Vega-Lite JSON (the paper's §6.2 direct-generation setting).
+    VegaLite,
+}
+
+/// Options for prompt construction.
+#[derive(Debug, Clone)]
+pub struct PromptOptions {
+    /// Serialization strategy for tables.
+    pub format: PromptFormat,
+    /// The output formalism demonstrations show and the cue requests.
+    pub answer: AnswerFormat,
+    /// Token budget for the whole prompt (GPT-3.5-era completion models had
+    /// ~4k; `gpt-3.5-turbo-16k` had 16k).
+    pub token_budget: usize,
+    /// Add chain-of-thought sketches to demonstrations and ask for one.
+    pub chain_of_thought: bool,
+    /// Prepend the role-playing persona line.
+    pub role_play: bool,
+}
+
+impl Default for PromptOptions {
+    fn default() -> PromptOptions {
+        PromptOptions {
+            format: PromptFormat::Table2Sql,
+            answer: AnswerFormat::Vql,
+            token_budget: 4096,
+            chain_of_thought: false,
+            role_play: false,
+        }
+    }
+}
+
+/// An assembled prompt.
+#[derive(Debug, Clone)]
+pub struct Prompt {
+    /// The full prompt text handed to the model.
+    pub text: String,
+    /// How many demonstrations actually fit the budget.
+    pub included_demos: usize,
+    /// How many were requested.
+    pub requested_demos: usize,
+    /// The serialization format used.
+    pub format: PromptFormat,
+    /// Approximate token length of `text`.
+    pub tokens: usize,
+}
+
+/// Builds an ICL prompt for a test question over `test_db`, with
+/// demonstrations resolved against their own databases via `db_of`.
+pub fn build_prompt<'a, F>(
+    options: &PromptOptions,
+    test_db: &Database,
+    question: &str,
+    demos: &[&'a Example],
+    db_of: F,
+) -> Prompt
+where
+    F: Fn(&'a Example) -> &'a Database,
+{
+    let mut head = String::new();
+    if options.role_play {
+        head.push_str("You are a data visualization assistant.\n");
+    }
+    head.push_str(
+        "-- Task: Translate the natural-language question into a VQL visualization query \
+         grounded on the given database.\n",
+    );
+    if options.chain_of_thought {
+        head.push_str(
+            "-- Let's think step by step. Generate the sketch as an intermediate \
+             representation and then the final VQL.\n",
+        );
+    }
+
+    let mut tail = String::new();
+    tail.push_str(TEST_MARKER);
+    tail.push('\n');
+    tail.push_str(DATABASE_MARKER);
+    tail.push('\n');
+    tail.push_str(&options.format.serialize(test_db, question));
+    tail.push('\n');
+    tail.push_str(&format!("Q: {question}\n"));
+    if options.chain_of_thought {
+        tail.push_str("Sketch:");
+    } else {
+        tail.push_str(match options.answer {
+            AnswerFormat::Vql => "VQL:",
+            AnswerFormat::VegaLite => "VL:",
+        });
+    }
+
+    let fixed_tokens = approx_token_count(&head) + approx_token_count(&tail);
+    let mut remaining = options.token_budget.saturating_sub(fixed_tokens);
+
+    let mut demo_blocks = Vec::new();
+    for demo in demos {
+        let block = render_demo(options, demo, db_of(demo));
+        let cost = approx_token_count(&block);
+        if cost > remaining {
+            break;
+        }
+        remaining -= cost;
+        demo_blocks.push(block);
+    }
+
+    let included = demo_blocks.len();
+    let mut text = head;
+    for b in &demo_blocks {
+        text.push_str(b);
+    }
+    text.push_str(&tail);
+    let tokens = approx_token_count(&text);
+    Prompt { text, included_demos: included, requested_demos: demos.len(), format: options.format, tokens }
+}
+
+fn render_demo(options: &PromptOptions, demo: &Example, db: &Database) -> String {
+    let mut out = String::new();
+    out.push_str(EXAMPLE_MARKER);
+    out.push('\n');
+    out.push_str(DATABASE_MARKER);
+    out.push('\n');
+    out.push_str(&options.format.serialize(db, &demo.nl));
+    out.push('\n');
+    out.push_str(&format!("Q: {}\n", demo.nl));
+    if options.chain_of_thought {
+        out.push_str(&format!("Sketch: {}\n", print_sketch(&demo.vql)));
+    }
+    match options.answer {
+        AnswerFormat::Vql => out.push_str(&format!("VQL: {}\n", print(&demo.vql))),
+        AnswerFormat::VegaLite => out.push_str(&format!(
+            "VL: {}\n",
+            nl2vis_vega::spec::to_vega_lite_named(&demo.vql).to_compact()
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_corpus::{Corpus, CorpusConfig};
+
+    fn fixture() -> Corpus {
+        Corpus::build(&CorpusConfig::small(13))
+    }
+
+    #[test]
+    fn prompt_contains_sections() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(2).collect();
+        let p = build_prompt(&PromptOptions::default(), db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
+        assert!(p.text.starts_with("-- Task:"));
+        assert_eq!(p.text.matches(EXAMPLE_MARKER).count(), 2);
+        assert!(p.text.contains(TEST_MARKER));
+        assert!(p.text.trim_end().ends_with("VQL:"));
+        assert_eq!(p.included_demos, 2);
+    }
+
+    #[test]
+    fn budget_limits_demos() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(10).collect();
+        let tight = PromptOptions { token_budget: 600, ..Default::default() };
+        let p = build_prompt(&tight, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        assert!(p.included_demos < 10, "tight budget must drop demos");
+        let generous = PromptOptions { token_budget: 100_000, ..Default::default() };
+        let p2 =
+            build_prompt(&generous, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        assert_eq!(p2.included_demos, 10);
+        assert!(p2.tokens > p.tokens);
+    }
+
+    #[test]
+    fn verbose_formats_fit_fewer_demos() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(12).collect();
+        let fit = |format: PromptFormat| {
+            let o = PromptOptions { format, token_budget: 2500, ..Default::default() };
+            build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap())
+                .included_demos
+        };
+        assert!(
+            fit(PromptFormat::TableColumn) >= fit(PromptFormat::Table2Code),
+            "concise formats fit at least as many demos"
+        );
+    }
+
+    #[test]
+    fn cot_adds_sketches() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(1).collect();
+        let o = PromptOptions { chain_of_thought: true, ..Default::default() };
+        let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        assert!(p.text.contains("Sketch: VISUALIZE["));
+        assert!(p.text.contains("step by step"));
+        assert!(p.text.trim_end().ends_with("Sketch:"));
+    }
+
+    #[test]
+    fn role_play_prefixes_persona() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let o = PromptOptions { role_play: true, ..Default::default() };
+        let p = build_prompt(&o, db, &e.nl, &[], |d| c.catalog.database(&d.db).unwrap());
+        assert!(p.text.starts_with("You are a data visualization assistant."));
+    }
+
+    #[test]
+    fn vega_answer_format_changes_cue_and_demos() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let demos: Vec<&Example> = c.examples.iter().skip(1).take(1).collect();
+        let o = PromptOptions {
+            answer: AnswerFormat::VegaLite,
+            token_budget: 50_000,
+            ..Default::default()
+        };
+        let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        assert!(p.text.trim_end().ends_with("VL:"), "cue should request Vega-Lite");
+        assert!(p.text.contains("VL: {"), "demo answers should be JSON specs");
+        assert!(!p.text.contains("VQL: VISUALIZE"));
+    }
+
+    #[test]
+    fn zero_shot_has_no_examples() {
+        let c = fixture();
+        let e = &c.examples[0];
+        let db = c.catalog.database(&e.db).unwrap();
+        let p = build_prompt(&PromptOptions::default(), db, &e.nl, &[], |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
+        assert_eq!(p.included_demos, 0);
+        assert!(!p.text.contains(EXAMPLE_MARKER));
+    }
+}

@@ -1,0 +1,10 @@
+//! Prompt engineering for NL2VIS (§3.2 and RQ1 of the paper): table
+//! serialization strategies, demonstration selection, and in-context-learning
+//! prompt assembly.
+
+pub mod icl;
+pub mod select;
+pub mod serialize;
+
+pub use icl::{build_prompt, AnswerFormat, Prompt, PromptOptions};
+pub use serialize::PromptFormat;

@@ -1,0 +1,285 @@
+//! Demonstration selection for in-context learning.
+//!
+//! The paper selects demonstrations by Jaccard similarity to the test
+//! question (§2.2.2) and, in RQ2-2 / Figure 8, controls the *diversity* of
+//! the demonstrations: `A` distinct databases × `B` examples per database.
+
+use nl2vis_corpus::Example;
+use nl2vis_data::text::{jaccard_sets, words};
+use nl2vis_data::Rng;
+use std::collections::{BTreeMap, HashSet};
+
+/// Template filler words carried by almost every realized question; they
+/// would otherwise dominate the Jaccard signal and drown out the schema
+/// words that identify the relevant database.
+const FILLER: &[&str] = &[
+    "show", "draw", "plot", "visualize", "display", "give", "me", "create", "a", "an", "the",
+    "of", "chart", "graph", "for", "each", "by", "per", "grouped", "across", "from", "in",
+    "using", "table", "records", "where", "is", "order", "sorted", "ordered", "ranked", "rank",
+    "ascending", "descending", "and", "or", "to", "number", "how", "many", "count", "total",
+    "sum", "average", "mean", "combined",
+];
+
+/// Content-word Jaccard similarity between two questions.
+fn content_jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    jaccard_sets(a, b)
+}
+
+/// Extracts the content-word set of a question.
+fn content_set(text: &str) -> HashSet<String> {
+    words(text).into_iter().filter(|w| !FILLER.contains(&w.as_str())).collect()
+}
+
+/// A demonstration pool with precomputed content-word sets, so repeated
+/// selections over the same training split don't re-tokenize every example.
+pub struct DemoPool<'a> {
+    entries: Vec<(&'a Example, HashSet<String>)>,
+}
+
+impl<'a> DemoPool<'a> {
+    /// Builds the pool from candidate examples.
+    pub fn new(pool: &[&'a Example]) -> DemoPool<'a> {
+        DemoPool { entries: pool.iter().map(|e| (*e, content_set(&e.nl))).collect() }
+    }
+
+    /// Number of pooled examples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Top-`k` most similar demonstrations, excluding `exclude_id`.
+    pub fn select_similar(&self, question: &str, k: usize, exclude_id: usize) -> Vec<&'a Example> {
+        let q = content_set(question);
+        let mut scored: Vec<(f64, &Example)> = self
+            .entries
+            .iter()
+            .filter(|(e, _)| e.id != exclude_id)
+            .map(|(e, set)| (content_jaccard(&q, set), *e))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.id.cmp(&b.1.id))
+        });
+        scored.into_iter().take(k).map(|(_, e)| e).collect()
+    }
+
+    /// All `k` demonstrations from the single most relevant database.
+    pub fn select_same_db(&self, question: &str, k: usize, exclude_id: usize) -> Vec<&'a Example> {
+        let q = content_set(question);
+        let mut best: Option<(&str, f64)> = None;
+        let mut by_db: BTreeMap<&str, Vec<&Example>> = BTreeMap::new();
+        for (e, set) in &self.entries {
+            if e.id == exclude_id {
+                continue;
+            }
+            by_db.entry(e.db.as_str()).or_default().push(e);
+            let score = content_jaccard(&q, set);
+            if best.is_none() || score > best.unwrap().1 {
+                best = Some((e.db.as_str(), score));
+            }
+        }
+        match best {
+            Some((db, _)) => select_by_similarity(&by_db[db], question, k),
+            None => Vec::new(),
+        }
+    }
+
+    /// `dbs × per_db` demonstrations from distinct databases.
+    pub fn select_grouped(
+        &self,
+        question: &str,
+        dbs: usize,
+        per_db: usize,
+        exclude_id: usize,
+    ) -> Vec<&'a Example> {
+        let q = content_set(question);
+        let mut by_db: BTreeMap<&str, (f64, Vec<&Example>)> = BTreeMap::new();
+        for (e, set) in &self.entries {
+            if e.id == exclude_id {
+                continue;
+            }
+            let slot = by_db.entry(e.db.as_str()).or_insert((f64::MIN, Vec::new()));
+            slot.0 = slot.0.max(content_jaccard(&q, set));
+            slot.1.push(e);
+        }
+        let mut ranked: Vec<(&str, f64)> =
+            by_db.iter().map(|(db, (s, _))| (*db, *s)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+        });
+        let mut out = Vec::new();
+        for (db, _) in ranked.into_iter().take(dbs) {
+            out.extend(select_by_similarity(&by_db[db].1, question, per_db));
+        }
+        out
+    }
+}
+
+/// Selects up to `k` demonstrations from the pool, most Jaccard-similar to
+/// the question first.
+pub fn select_by_similarity<'a>(
+    pool: &[&'a Example],
+    question: &str,
+    k: usize,
+) -> Vec<&'a Example> {
+    let q = content_set(question);
+    let mut scored: Vec<(f64, &Example)> =
+        pool.iter().map(|e| (content_jaccard(&q, &content_set(&e.nl)), *e)).collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.1.id.cmp(&b.1.id)));
+    scored.into_iter().take(k).map(|(_, e)| e).collect()
+}
+
+/// Selects demonstrations restricted to one database: the pool database most
+/// similar to the question supplies all `k` examples (mimicking "examples
+/// drawn from the same database" in Figure 8).
+pub fn select_same_database<'a>(
+    pool: &[&'a Example],
+    question: &str,
+    k: usize,
+) -> Vec<&'a Example> {
+    let by_db = group_by_db(pool);
+    let q = content_set(question);
+    // Rank databases by their best example similarity.
+    let mut best: Option<(&str, f64)> = None;
+    for (db, examples) in &by_db {
+        let score = examples
+            .iter()
+            .map(|e| content_jaccard(&q, &content_set(&e.nl)))
+            .fold(f64::MIN, f64::max);
+        if best.is_none() || score > best.unwrap().1 {
+            best = Some((db, score));
+        }
+    }
+    match best {
+        Some((db, _)) => select_by_similarity(&by_db[db], question, k),
+        None => Vec::new(),
+    }
+}
+
+/// Selects `n_dbs × per_db` demonstrations from `n_dbs` distinct databases
+/// (`A × B` of Figure 8). Databases are ranked by similarity; within each,
+/// the most similar examples are taken. Falls back to fewer databases when
+/// the pool has too few.
+pub fn select_grouped<'a>(
+    pool: &[&'a Example],
+    question: &str,
+    n_dbs: usize,
+    per_db: usize,
+) -> Vec<&'a Example> {
+    let by_db = group_by_db(pool);
+    let q = content_set(question);
+    let mut ranked: Vec<(&str, f64)> = by_db
+        .iter()
+        .map(|(db, examples)| {
+            let score = examples
+                .iter()
+                .map(|e| content_jaccard(&q, &content_set(&e.nl)))
+                .fold(f64::MIN, f64::max);
+            (*db, score)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.0.cmp(b.0)));
+    let mut out = Vec::new();
+    for (db, _) in ranked.into_iter().take(n_dbs) {
+        out.extend(select_by_similarity(&by_db[db], question, per_db));
+    }
+    out
+}
+
+/// Selects `k` random demonstrations (ablation baseline for the
+/// similarity-based selector).
+pub fn select_random<'a>(pool: &[&'a Example], k: usize, rng: &mut Rng) -> Vec<&'a Example> {
+    let idx = rng.sample_indices(pool.len(), k);
+    idx.into_iter().map(|i| pool[i]).collect()
+}
+
+fn group_by_db<'a>(pool: &[&'a Example]) -> BTreeMap<&'a str, Vec<&'a Example>> {
+    let mut map: BTreeMap<&str, Vec<&Example>> = BTreeMap::new();
+    for e in pool {
+        map.entry(e.db.as_str()).or_default().push(e);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_corpus::{Corpus, CorpusConfig};
+    use std::collections::HashSet;
+
+    fn corpus() -> Corpus {
+        Corpus::build(&CorpusConfig::small(11))
+    }
+
+    #[test]
+    fn similarity_selection_prefers_similar() {
+        let c = corpus();
+        let pool: Vec<&Example> = c.examples.iter().collect();
+        let probe = &c.examples[5];
+        let picked = select_by_similarity(&pool, &probe.nl, 3);
+        assert_eq!(picked.len(), 3);
+        // The probe itself is in the pool and maximally similar.
+        assert_eq!(picked[0].id, probe.id);
+    }
+
+    #[test]
+    fn same_database_selection_is_single_db() {
+        let c = corpus();
+        let pool: Vec<&Example> = c.examples.iter().collect();
+        let picked = select_same_database(&pool, &c.examples[0].nl, 4);
+        let dbs: HashSet<&str> = picked.iter().map(|e| e.db.as_str()).collect();
+        assert_eq!(dbs.len(), 1);
+        assert_eq!(picked.len(), 4);
+    }
+
+    #[test]
+    fn grouped_selection_spans_databases() {
+        let c = corpus();
+        let pool: Vec<&Example> = c.examples.iter().collect();
+        let picked = select_grouped(&pool, &c.examples[0].nl, 3, 2);
+        assert_eq!(picked.len(), 6);
+        let dbs: HashSet<&str> = picked.iter().map(|e| e.db.as_str()).collect();
+        assert_eq!(dbs.len(), 3);
+    }
+
+    #[test]
+    fn grouped_caps_at_available_databases() {
+        let c = corpus();
+        let one_db = c.examples[0].db.clone();
+        let pool: Vec<&Example> = c.examples.iter().filter(|e| e.db == one_db).collect();
+        let picked = select_grouped(&pool, "anything", 4, 1);
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn random_selection_is_distinct_and_seeded() {
+        let c = corpus();
+        let pool: Vec<&Example> = c.examples.iter().collect();
+        let a = select_random(&pool, 5, &mut Rng::new(3));
+        let b = select_random(&pool, 5, &mut Rng::new(3));
+        assert_eq!(
+            a.iter().map(|e| e.id).collect::<Vec<_>>(),
+            b.iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+        let ids: HashSet<usize> = a.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn selection_deterministic_under_ties() {
+        let c = corpus();
+        let pool: Vec<&Example> = c.examples.iter().collect();
+        let a = select_by_similarity(&pool, "completely unrelated words qqq", 4);
+        let b = select_by_similarity(&pool, "completely unrelated words qqq", 4);
+        assert_eq!(
+            a.iter().map(|e| e.id).collect::<Vec<_>>(),
+            b.iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,615 @@
+//! The VQL abstract syntax tree.
+//!
+//! The shape follows Table 1 of the paper: a query always selects an X
+//! expression and a Y expression, renders them with one of four chart types,
+//! and may filter (`WHERE` with `AND`/`OR` and nested subqueries), join one
+//! extra table, bin a temporal column, group (for aggregation and for
+//! stack/color series), and order the output.
+
+use nl2vis_data::value::Date;
+use std::fmt;
+
+/// The four chart types of the paper's VQL (`bar`, `pie`, `line`, `scatter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChartType {
+    /// Vertical bar chart.
+    Bar,
+    /// Pie chart.
+    Pie,
+    /// Line chart.
+    Line,
+    /// Scatter plot.
+    Scatter,
+}
+
+impl ChartType {
+    /// Lowercase keyword as it appears in VQL text.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ChartType::Bar => "bar",
+            ChartType::Pie => "pie",
+            ChartType::Line => "line",
+            ChartType::Scatter => "scatter",
+        }
+    }
+
+    /// All chart types.
+    pub fn all() -> [ChartType; 4] {
+        [ChartType::Bar, ChartType::Pie, ChartType::Line, ChartType::Scatter]
+    }
+
+    /// Parses a chart-type keyword (case-insensitive).
+    pub fn from_keyword(s: &str) -> Option<ChartType> {
+        match s.to_ascii_lowercase().as_str() {
+            "bar" => Some(ChartType::Bar),
+            "pie" => Some(ChartType::Pie),
+            "line" => Some(ChartType::Line),
+            "scatter" => Some(ChartType::Scatter),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ChartType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Aggregation functions allowed on the Y expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Mean of a numeric column.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggFunc {
+    /// Uppercase keyword (`COUNT`, `SUM`, ...).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Parses an aggregate keyword (case-insensitive).
+    pub fn from_keyword(s: &str) -> Option<AggFunc> {
+        match s.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" | "MEAN" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A (possibly table-qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Optional table qualifier (`technician.name` vs `name`).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn new(column: impl Into<String>) -> ColumnRef {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// An item in the `SELECT` clause: a bare column or an aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SelectExpr {
+    /// A plain column reference.
+    Column(ColumnRef),
+    /// An aggregate; `arg == None` means `COUNT(*)`.
+    Agg {
+        /// Aggregation function.
+        func: AggFunc,
+        /// Aggregated column, `None` for `COUNT(*)`.
+        arg: Option<ColumnRef>,
+    },
+}
+
+impl SelectExpr {
+    /// The column this expression reads, if any.
+    pub fn column(&self) -> Option<&ColumnRef> {
+        match self {
+            SelectExpr::Column(c) => Some(c),
+            SelectExpr::Agg { arg, .. } => arg.as_ref(),
+        }
+    }
+
+    /// Is this an aggregate expression?
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, SelectExpr::Agg { .. })
+    }
+
+    /// A display label for result columns and axis titles.
+    pub fn label(&self) -> String {
+        match self {
+            SelectExpr::Column(c) => c.column.clone(),
+            SelectExpr::Agg { func, arg: Some(c) } => {
+                format!("{}({})", func.keyword().to_ascii_lowercase(), c.column)
+            }
+            SelectExpr::Agg { func, arg: None } => {
+                format!("{}(*)", func.keyword().to_ascii_lowercase())
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectExpr::Column(c) => write!(f, "{c}"),
+            SelectExpr::Agg { func, arg: Some(c) } => write!(f, "{func}({c})"),
+            SelectExpr::Agg { func, arg: None } => write!(f, "{func}(*)"),
+        }
+    }
+}
+
+/// Temporal binning units for the `BIN ... BY ...` transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinUnit {
+    /// Calendar year.
+    Year,
+    /// Calendar month (year-month).
+    Month,
+    /// Day of week.
+    Weekday,
+    /// Calendar quarter (year-quarter).
+    Quarter,
+}
+
+impl BinUnit {
+    /// Lowercase keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            BinUnit::Year => "year",
+            BinUnit::Month => "month",
+            BinUnit::Weekday => "weekday",
+            BinUnit::Quarter => "quarter",
+        }
+    }
+
+    /// Parses a bin-unit keyword.
+    pub fn from_keyword(s: &str) -> Option<BinUnit> {
+        match s.to_ascii_lowercase().as_str() {
+            "year" => Some(BinUnit::Year),
+            "month" => Some(BinUnit::Month),
+            "weekday" => Some(BinUnit::Weekday),
+            "quarter" => Some(BinUnit::Quarter),
+            _ => None,
+        }
+    }
+
+    /// All bin units.
+    pub fn all() -> [BinUnit; 4] {
+        [BinUnit::Year, BinUnit::Month, BinUnit::Weekday, BinUnit::Quarter]
+    }
+}
+
+/// The `BIN <col> BY <unit>` transform.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bin {
+    /// Binned (temporal) column.
+    pub column: ColumnRef,
+    /// Bin granularity.
+    pub unit: BinUnit,
+}
+
+/// Comparison operators in `WHERE` predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Operator text.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Quoted string literal.
+    Text(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Date literal (written as a quoted `YYYY-MM-DD` string).
+    Date(Date),
+}
+
+impl Literal {
+    /// Converts to a runtime [`nl2vis_data::Value`].
+    pub fn to_value(&self) -> nl2vis_data::Value {
+        use nl2vis_data::Value;
+        match self {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(f) => Value::Float(*f),
+            Literal::Text(s) => Value::Text(s.clone()),
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Date(d) => Value::Date(*d),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Text(s) => write!(f, "\"{}\"", s.replace('"', "\\\"")),
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Date(d) => write!(f, "\"{d}\""),
+        }
+    }
+}
+
+/// A nested data subquery usable on the right-hand side of `IN` / `NOT IN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubQuery {
+    /// Selected column.
+    pub select: ColumnRef,
+    /// Source table.
+    pub from: String,
+    /// Optional filter.
+    pub filter: Option<Box<Predicate>>,
+}
+
+/// A `WHERE` predicate with `AND`/`OR` combinators and nested subqueries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col OP literal`
+    Cmp {
+        /// Compared column.
+        col: ColumnRef,
+        /// Operator.
+        op: CmpOp,
+        /// Literal value.
+        value: Literal,
+    },
+    /// `col IN (SELECT ...)` or `col NOT IN (SELECT ...)`
+    InSubquery {
+        /// Tested column.
+        col: ColumnRef,
+        /// True for `NOT IN`.
+        negated: bool,
+        /// The subquery.
+        subquery: SubQuery,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(col: ColumnRef, op: CmpOp, value: Literal) -> Predicate {
+        Predicate::Cmp { col, op, value }
+    }
+
+    /// Number of atomic conditions (for hardness scoring).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Predicate::Cmp { .. } | Predicate::InSubquery { .. } => 1,
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.atom_count() + b.atom_count(),
+        }
+    }
+
+    /// Does this predicate contain a nested subquery?
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            Predicate::Cmp { .. } => false,
+            Predicate::InSubquery { .. } => true,
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.has_subquery() || b.has_subquery(),
+        }
+    }
+}
+
+/// The `JOIN <table> ON <left> = <right>` clause (VQL joins at most one
+/// extra table, matching nvBench's join scenarios).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Join {
+    /// Joined table.
+    pub table: String,
+    /// Left join key (from the `FROM` table).
+    pub left: ColumnRef,
+    /// Right join key (from the joined table).
+    pub right: ColumnRef,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortDir {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+impl SortDir {
+    /// Uppercase keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SortDir::Asc => "ASC",
+            SortDir::Desc => "DESC",
+        }
+    }
+}
+
+/// What the `ORDER BY` clause sorts on. VQL queries order either the X axis
+/// or the Y axis; a raw column reference resolves to one of these axes
+/// during canonicalization (Fig. 5 of the paper treats aliased axis orders
+/// as equivalent).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OrderTarget {
+    /// Order by the X expression.
+    X,
+    /// Order by the Y expression.
+    Y,
+    /// Order by a named column (resolved to X/Y by `canon`).
+    Column(ColumnRef),
+}
+
+/// The `ORDER BY` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderBy {
+    /// Axis or column to order by.
+    pub target: OrderTarget,
+    /// Direction.
+    pub dir: SortDir,
+}
+
+/// A complete VQL query (the root AST node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqlQuery {
+    /// Chart type (`VISUALIZE`).
+    pub chart: ChartType,
+    /// X expression (first `SELECT` item).
+    pub x: SelectExpr,
+    /// Y expression (second `SELECT` item).
+    pub y: SelectExpr,
+    /// Source table (`FROM`).
+    pub from: String,
+    /// Optional join.
+    pub join: Option<Join>,
+    /// Optional filter (`WHERE`).
+    pub filter: Option<Predicate>,
+    /// Optional temporal binning (`BIN x BY unit`).
+    pub bin: Option<Bin>,
+    /// Grouping columns (`GROUP BY a` or `GROUP BY a , b`): the first is the
+    /// aggregation key (normally the X column), an optional second is the
+    /// series/color key that turns a bar into a stacked bar or a scatter
+    /// into a grouping scatter.
+    pub group_by: Vec<ColumnRef>,
+    /// Optional ordering.
+    pub order: Option<OrderBy>,
+}
+
+impl VqlQuery {
+    /// Creates the minimal query: `VISUALIZE \<chart\> SELECT \<x\>, \<y\> FROM
+    /// \<table\>`.
+    pub fn new(chart: ChartType, x: SelectExpr, y: SelectExpr, from: impl Into<String>) -> VqlQuery {
+        VqlQuery {
+            chart,
+            x,
+            y,
+            from: from.into(),
+            join: None,
+            filter: None,
+            bin: None,
+            group_by: Vec::new(),
+            order: None,
+        }
+    }
+
+    /// The color/series column if the query has a second grouping key.
+    pub fn color(&self) -> Option<&ColumnRef> {
+        self.group_by.get(1)
+    }
+
+    /// Does this query involve more than one table (the paper's "join"
+    /// scenario)?
+    pub fn is_join(&self) -> bool {
+        self.join.is_some()
+    }
+
+    /// Extended chart-type label that distinguishes stacked bars and
+    /// grouping scatters (the "SB"/"GS" categories of Fig. 13).
+    pub fn extended_chart_label(&self) -> &'static str {
+        match (self.chart, self.color().is_some()) {
+            (ChartType::Bar, true) => "stacked bar",
+            (ChartType::Scatter, true) => "grouping scatter",
+            (ChartType::Line, true) => "grouping line",
+            (ChartType::Bar, false) => "bar",
+            (ChartType::Pie, _) => "pie",
+            (ChartType::Line, false) => "line",
+            (ChartType::Scatter, false) => "scatter",
+        }
+    }
+
+    /// A rough hardness score following nvBench's easy/medium/hard/extra
+    /// taxonomy: counts of operators beyond the core skeleton.
+    pub fn hardness_score(&self) -> usize {
+        let mut score = 0;
+        if self.y.is_aggregate() {
+            score += 1;
+        }
+        if self.join.is_some() {
+            score += 2;
+        }
+        if let Some(f) = &self.filter {
+            score += f.atom_count();
+            if f.has_subquery() {
+                score += 2;
+            }
+        }
+        if self.bin.is_some() {
+            score += 1;
+        }
+        if self.color().is_some() {
+            score += 1;
+        }
+        if self.order.is_some() {
+            score += 1;
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> VqlQuery {
+        VqlQuery::new(
+            ChartType::Bar,
+            SelectExpr::Column(ColumnRef::new("name")),
+            SelectExpr::Agg { func: AggFunc::Count, arg: Some(ColumnRef::new("name")) },
+            "technician",
+        )
+    }
+
+    #[test]
+    fn chart_keywords_roundtrip() {
+        for c in ChartType::all() {
+            assert_eq!(ChartType::from_keyword(c.keyword()), Some(c));
+        }
+        assert_eq!(ChartType::from_keyword("BAR"), Some(ChartType::Bar));
+        assert_eq!(ChartType::from_keyword("donut"), None);
+    }
+
+    #[test]
+    fn agg_keywords_roundtrip() {
+        for a in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            assert_eq!(AggFunc::from_keyword(a.keyword()), Some(a));
+        }
+        assert_eq!(AggFunc::from_keyword("mean"), Some(AggFunc::Avg));
+    }
+
+    #[test]
+    fn select_expr_labels() {
+        let e = SelectExpr::Agg { func: AggFunc::Count, arg: Some(ColumnRef::new("name")) };
+        assert_eq!(e.label(), "count(name)");
+        assert_eq!(SelectExpr::Agg { func: AggFunc::Count, arg: None }.label(), "count(*)");
+        assert_eq!(SelectExpr::Column(ColumnRef::new("x")).label(), "x");
+    }
+
+    #[test]
+    fn predicate_atom_count() {
+        let p = Predicate::And(
+            Box::new(Predicate::cmp(ColumnRef::new("a"), CmpOp::Gt, Literal::Int(1))),
+            Box::new(Predicate::Or(
+                Box::new(Predicate::cmp(ColumnRef::new("b"), CmpOp::Eq, Literal::Int(2))),
+                Box::new(Predicate::cmp(ColumnRef::new("c"), CmpOp::Lt, Literal::Int(3))),
+            )),
+        );
+        assert_eq!(p.atom_count(), 3);
+        assert!(!p.has_subquery());
+    }
+
+    #[test]
+    fn extended_chart_labels() {
+        let mut q = base();
+        assert_eq!(q.extended_chart_label(), "bar");
+        q.group_by = vec![ColumnRef::new("name"), ColumnRef::new("team")];
+        assert_eq!(q.extended_chart_label(), "stacked bar");
+        q.chart = ChartType::Scatter;
+        assert_eq!(q.extended_chart_label(), "grouping scatter");
+    }
+
+    #[test]
+    fn hardness_monotone() {
+        let simple = base();
+        let mut complex = base();
+        complex.filter =
+            Some(Predicate::cmp(ColumnRef::new("team"), CmpOp::Ne, Literal::Text("NYY".into())));
+        complex.order = Some(OrderBy { target: OrderTarget::X, dir: SortDir::Asc });
+        complex.join = Some(Join {
+            table: "machine".into(),
+            left: ColumnRef::qualified("technician", "id"),
+            right: ColumnRef::qualified("machine", "tech_id"),
+        });
+        assert!(complex.hardness_score() > simple.hardness_score());
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::Int(5).to_string(), "5");
+        assert_eq!(Literal::Float(2.5).to_string(), "2.5");
+        assert_eq!(Literal::Float(2.0).to_string(), "2.0");
+        assert_eq!(Literal::Text("a\"b".into()).to_string(), "\"a\\\"b\"");
+        assert_eq!(
+            Literal::Date(Date::new(2020, 1, 2).unwrap()).to_string(),
+            "\"2020-01-02\""
+        );
+    }
+}

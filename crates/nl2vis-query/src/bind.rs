@@ -1,0 +1,285 @@
+//! Semantic binding: resolving a parsed [`VqlQuery`] against a
+//! [`Database`], producing typed column addresses the executor can use and
+//! rejecting queries that reference unknown or ambiguous names.
+
+use crate::ast::*;
+use crate::error::QueryError;
+use nl2vis_data::value::DataType;
+use nl2vis_data::{Database, Table};
+
+/// A resolved column address: (source index, column index). Source 0 is the
+/// `FROM` table, source 1 the `JOIN` table when present.
+pub type ColAddr = (usize, usize);
+
+/// A bound select expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Plain column.
+    Column(ColAddr),
+    /// Aggregate; `None` address means `COUNT(*)`.
+    Agg(AggFunc, Option<ColAddr>),
+}
+
+impl BoundExpr {
+    /// The column address this expression reads, if any.
+    pub fn addr(&self) -> Option<ColAddr> {
+        match self {
+            BoundExpr::Column(a) => Some(*a),
+            BoundExpr::Agg(_, a) => *a,
+        }
+    }
+
+    /// Is this an aggregate?
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, BoundExpr::Agg(..))
+    }
+}
+
+/// A query bound to a concrete database.
+#[derive(Debug)]
+pub struct BoundQuery<'a> {
+    /// The original AST.
+    pub query: &'a VqlQuery,
+    /// Source tables: `[from]` or `[from, join]`.
+    pub sources: Vec<&'a Table>,
+    /// Bound X expression.
+    pub x: BoundExpr,
+    /// Bound Y expression.
+    pub y: BoundExpr,
+    /// Join key addresses (left in source 0, right in source 1).
+    pub join_keys: Option<(ColAddr, ColAddr)>,
+    /// Bound bin column.
+    pub bin: Option<(ColAddr, BinUnit)>,
+    /// Bound color/series column (second GROUP BY key).
+    pub color: Option<ColAddr>,
+}
+
+/// Binds a query against a database.
+pub fn bind<'a>(query: &'a VqlQuery, db: &'a Database) -> Result<BoundQuery<'a>, QueryError> {
+    let from = db
+        .table(&query.from)
+        .map_err(|_| QueryError::UnknownTable(query.from.clone()))?;
+    let mut sources = vec![from];
+    let mut join_keys = None;
+
+    if let Some(j) = &query.join {
+        let joined = db
+            .table(&j.table)
+            .map_err(|_| QueryError::UnknownTable(j.table.clone()))?;
+        sources.push(joined);
+        let left = resolve(&sources, &j.left)?;
+        let right = resolve(&sources, &j.right)?;
+        // Normalize so the left key addresses source 0 and the right key
+        // source 1, regardless of how the author wrote the ON clause.
+        let (l, r) = if left.0 == 0 && right.0 == 1 {
+            (left, right)
+        } else if left.0 == 1 && right.0 == 0 {
+            (right, left)
+        } else {
+            return Err(QueryError::AmbiguousColumn(format!(
+                "join keys must come from both tables: {} = {}",
+                j.left, j.right
+            )));
+        };
+        join_keys = Some((l, r));
+    }
+
+    let x = bind_expr(&sources, &query.x)?;
+    let y = bind_expr(&sources, &query.y)?;
+
+    let bin = match &query.bin {
+        Some(b) => {
+            let addr = resolve(&sources, &b.column)?;
+            let dtype = column_type(&sources, addr);
+            if dtype != DataType::Date {
+                return Err(QueryError::NotTemporal(b.column.to_string()));
+            }
+            Some((addr, b.unit))
+        }
+        None => None,
+    };
+
+    // The first GROUP BY key must resolve (it is normally the X column); the
+    // optional second key is the color/series column.
+    for g in &query.group_by {
+        resolve(&sources, g)?;
+    }
+    let color = match query.group_by.get(1) {
+        Some(c) => Some(resolve(&sources, c)?),
+        None => None,
+    };
+
+    // Order target column, when named explicitly, must resolve.
+    if let Some(OrderBy { target: OrderTarget::Column(c), .. }) = &query.order {
+        resolve(&sources, c)?;
+    }
+
+    Ok(BoundQuery { query, sources, x, y, join_keys, bin, color })
+}
+
+fn bind_expr(sources: &[&Table], expr: &SelectExpr) -> Result<BoundExpr, QueryError> {
+    match expr {
+        SelectExpr::Column(c) => Ok(BoundExpr::Column(resolve(sources, c)?)),
+        SelectExpr::Agg { func, arg } => {
+            let addr = match arg {
+                Some(c) => {
+                    let a = resolve(sources, c)?;
+                    if matches!(func, AggFunc::Sum | AggFunc::Avg)
+                        && !column_type(sources, a).is_numeric()
+                    {
+                        return Err(QueryError::NotNumeric {
+                            column: c.to_string(),
+                            agg: func.keyword(),
+                        });
+                    }
+                    Some(a)
+                }
+                None => None,
+            };
+            Ok(BoundExpr::Agg(*func, addr))
+        }
+    }
+}
+
+/// Resolves a column reference against the sources.
+pub fn resolve(sources: &[&Table], c: &ColumnRef) -> Result<ColAddr, QueryError> {
+    match &c.table {
+        Some(t) => {
+            let src = sources
+                .iter()
+                .position(|s| s.def.name.eq_ignore_ascii_case(t))
+                .ok_or_else(|| QueryError::UnknownTable(t.clone()))?;
+            let col = sources[src]
+                .def
+                .column_index(&c.column)
+                .ok_or_else(|| QueryError::UnknownColumn(c.to_string()))?;
+            Ok((src, col))
+        }
+        None => {
+            let mut found = None;
+            for (si, s) in sources.iter().enumerate() {
+                if let Some(ci) = s.def.column_index(&c.column) {
+                    if found.is_some() {
+                        return Err(QueryError::AmbiguousColumn(c.column.clone()));
+                    }
+                    found = Some((si, ci));
+                }
+            }
+            found.ok_or_else(|| QueryError::UnknownColumn(c.column.clone()))
+        }
+    }
+}
+
+/// Declared type at an address.
+pub fn column_type(sources: &[&Table], addr: ColAddr) -> DataType {
+    sources[addr.0].def.columns[addr.1].dtype
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use nl2vis_data::schema::{ColumnDef, DatabaseSchema, ForeignKey, TableDef};
+    use nl2vis_data::value::DataType::*;
+
+    fn db() -> Database {
+        let mut s = DatabaseSchema::new("hr", "business");
+        s.tables.push(TableDef::new(
+            "employee",
+            vec![
+                ColumnDef::new("emp_id", Int),
+                ColumnDef::new("name", Text),
+                ColumnDef::new("salary", Float),
+                ColumnDef::new("hired", Date),
+                ColumnDef::new("dept_id", Int),
+            ],
+        ));
+        s.tables.push(TableDef::new(
+            "department",
+            vec![ColumnDef::new("dept_id", Int), ColumnDef::new("dept_name", Text)],
+        ));
+        s.foreign_keys.push(ForeignKey::new("employee", "dept_id", "department", "dept_id"));
+        Database::new(s)
+    }
+
+    #[test]
+    fn binds_simple_query() {
+        let d = db();
+        let q = parse("VISUALIZE bar SELECT name , COUNT(name) FROM employee").unwrap();
+        let b = bind(&q, &d).unwrap();
+        assert_eq!(b.x, BoundExpr::Column((0, 1)));
+        assert_eq!(b.y, BoundExpr::Agg(AggFunc::Count, Some((0, 1))));
+    }
+
+    #[test]
+    fn binds_join_and_normalizes_key_order() {
+        let d = db();
+        for src in [
+            "VISUALIZE bar SELECT dept_name , COUNT(name) FROM employee JOIN department ON employee.dept_id = department.dept_id",
+            "VISUALIZE bar SELECT dept_name , COUNT(name) FROM employee JOIN department ON department.dept_id = employee.dept_id",
+        ] {
+            let q = parse(src).unwrap();
+            let b = bind(&q, &d).unwrap();
+            let (l, r) = b.join_keys.unwrap();
+            assert_eq!(l.0, 0);
+            assert_eq!(r.0, 1);
+        }
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column() {
+        let d = db();
+        let q = parse(
+            "VISUALIZE bar SELECT dept_id , COUNT(name) FROM employee JOIN department ON employee.dept_id = department.dept_id",
+        )
+        .unwrap();
+        assert!(matches!(bind(&q, &d), Err(QueryError::AmbiguousColumn(_))));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let d = db();
+        let q = parse("VISUALIZE bar SELECT nope , COUNT(nope) FROM employee").unwrap();
+        assert!(matches!(bind(&q, &d), Err(QueryError::UnknownColumn(_))));
+        let q = parse("VISUALIZE bar SELECT name , COUNT(name) FROM nope").unwrap();
+        assert!(matches!(bind(&q, &d), Err(QueryError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn sum_on_text_rejected() {
+        let d = db();
+        let q = parse("VISUALIZE bar SELECT name , SUM(name) FROM employee").unwrap();
+        assert!(matches!(bind(&q, &d), Err(QueryError::NotNumeric { .. })));
+    }
+
+    #[test]
+    fn bin_requires_date() {
+        let d = db();
+        let ok = parse("VISUALIZE line SELECT hired , COUNT(hired) FROM employee BIN hired BY year")
+            .unwrap();
+        assert!(bind(&ok, &d).is_ok());
+        let bad =
+            parse("VISUALIZE line SELECT name , COUNT(name) FROM employee BIN name BY year")
+                .unwrap();
+        assert!(matches!(bind(&bad, &d), Err(QueryError::NotTemporal(_))));
+    }
+
+    #[test]
+    fn count_star_binds() {
+        let d = db();
+        let q = parse("VISUALIZE bar SELECT name , COUNT(*) FROM employee").unwrap();
+        let b = bind(&q, &d).unwrap();
+        assert_eq!(b.y, BoundExpr::Agg(AggFunc::Count, None));
+    }
+
+    #[test]
+    fn color_group_binds() {
+        let d = db();
+        let q = parse(
+            "VISUALIZE bar SELECT dept_name , COUNT(name) FROM employee JOIN department ON employee.dept_id = department.dept_id GROUP BY dept_name , employee.name",
+        )
+        .unwrap();
+        let b = bind(&q, &d).unwrap();
+        assert_eq!(b.color, Some((0, 1)));
+    }
+}

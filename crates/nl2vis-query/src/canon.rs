@@ -1,0 +1,279 @@
+//! AST canonicalization for the Exact-Accuracy metric.
+//!
+//! Two queries are "exactly equal" when their canonical forms agree. The
+//! canonical form:
+//!
+//! - lowercases table and column identifiers;
+//! - drops table qualifiers that are redundant (single-table query, or a
+//!   qualifier naming the only table that has the column);
+//! - resolves a named `ORDER BY` column to the X or Y axis (Fig. 5 of the
+//!   paper treats axis-aliased orderings as equivalent);
+//! - flattens and sorts the operand lists of commutative `AND` / `OR`
+//!   chains, so `a AND b` equals `b AND a`.
+
+use crate::ast::*;
+
+/// Returns the canonical form of a query.
+pub fn canonicalize(q: &VqlQuery) -> VqlQuery {
+    let mut out = q.clone();
+    out.from = out.from.to_ascii_lowercase();
+    out.x = canon_expr(&q.x, q);
+    out.y = canon_expr(&q.y, q);
+    out.join = q.join.as_ref().map(|j| {
+        let mut left = canon_col(&j.left, q);
+        let mut right = canon_col(&j.right, q);
+        // Join keys are kept qualified (both tables are in scope), and the
+        // ON condition is symmetric: order the sides lexicographically.
+        if left.table.is_none() {
+            left.table = Some(q.from.to_ascii_lowercase());
+        }
+        if right.table.is_none() {
+            right.table = Some(j.table.to_ascii_lowercase());
+        }
+        let (left, right) =
+            if format!("{left}") <= format!("{right}") { (left, right) } else { (right, left) };
+        Join { table: j.table.to_ascii_lowercase(), left, right }
+    });
+    out.filter = q.filter.as_ref().map(|f| canon_pred(f, q));
+    out.bin = q.bin.as_ref().map(|b| Bin { column: canon_col(&b.column, q), unit: b.unit });
+    out.group_by = q.group_by.iter().map(|g| canon_col(g, q)).collect();
+    out.order = q.order.as_ref().map(|o| OrderBy { target: canon_order(&o.target, q), dir: o.dir });
+    out
+}
+
+/// Exact-accuracy comparison: canonical forms must be structurally equal.
+pub fn exact_match(a: &VqlQuery, b: &VqlQuery) -> bool {
+    canonicalize(a) == canonicalize(b)
+}
+
+fn canon_expr(e: &SelectExpr, q: &VqlQuery) -> SelectExpr {
+    match e {
+        SelectExpr::Column(c) => SelectExpr::Column(canon_col(c, q)),
+        SelectExpr::Agg { func, arg } => {
+            SelectExpr::Agg { func: *func, arg: arg.as_ref().map(|c| canon_col(c, q)) }
+        }
+    }
+}
+
+fn canon_col(c: &ColumnRef, q: &VqlQuery) -> ColumnRef {
+    let column = c.column.to_ascii_lowercase();
+    let table = c.table.as_ref().map(|t| t.to_ascii_lowercase());
+    // Drop the qualifier on single-table queries — it carries no information.
+    if q.join.is_none() {
+        return ColumnRef { table: None, column };
+    }
+    ColumnRef { table, column }
+}
+
+fn canon_pred(p: &Predicate, q: &VqlQuery) -> Predicate {
+    match p {
+        Predicate::Cmp { col, op, value } => Predicate::Cmp {
+            col: canon_col(col, q),
+            op: *op,
+            value: canon_literal(value),
+        },
+        Predicate::InSubquery { col, negated, subquery } => Predicate::InSubquery {
+            col: canon_col(col, q),
+            negated: *negated,
+            subquery: SubQuery {
+                select: ColumnRef {
+                    table: None,
+                    column: subquery.select.column.to_ascii_lowercase(),
+                },
+                from: subquery.from.to_ascii_lowercase(),
+                filter: subquery.filter.as_ref().map(|f| Box::new(canon_pred(f, q))),
+            },
+        },
+        Predicate::And(..) => rebuild_chain(p, q, true),
+        Predicate::Or(..) => rebuild_chain(p, q, false),
+    }
+}
+
+/// Flattens a chain of the same commutative connective, canonicalizes and
+/// sorts the operands, and rebuilds a right-leaning tree.
+fn rebuild_chain(p: &Predicate, q: &VqlQuery, is_and: bool) -> Predicate {
+    let mut operands = Vec::new();
+    collect_operands(p, is_and, q, &mut operands);
+    operands.sort_by_key(predicate_key);
+    let mut iter = operands.into_iter().rev();
+    let mut acc = iter.next().expect("chain has at least two operands");
+    for next in iter {
+        acc = if is_and {
+            Predicate::And(Box::new(next), Box::new(acc))
+        } else {
+            Predicate::Or(Box::new(next), Box::new(acc))
+        };
+    }
+    acc
+}
+
+fn collect_operands(p: &Predicate, is_and: bool, q: &VqlQuery, out: &mut Vec<Predicate>) {
+    match (p, is_and) {
+        (Predicate::And(a, b), true) => {
+            collect_operands(a, true, q, out);
+            collect_operands(b, true, q, out);
+        }
+        (Predicate::Or(a, b), false) => {
+            collect_operands(a, false, q, out);
+            collect_operands(b, false, q, out);
+        }
+        _ => out.push(canon_pred(p, q)),
+    }
+}
+
+/// A stable sort key for predicate operands.
+fn predicate_key(p: &Predicate) -> String {
+    let mut s = String::new();
+    if let Some(t) = crate::printer::print(&VqlQuery {
+        chart: ChartType::Bar,
+        x: SelectExpr::Column(ColumnRef::new("_")),
+        y: SelectExpr::Column(ColumnRef::new("_")),
+        from: "_".into(),
+        join: None,
+        filter: Some(p.clone()),
+        bin: None,
+        group_by: vec![],
+        order: None,
+    })
+    .split(" WHERE ")
+    .nth(1) { s.push_str(t) }
+    s
+}
+
+fn canon_literal(l: &Literal) -> Literal {
+    match l {
+        // Integral floats normalize to ints so `> 10` equals `> 10.0`.
+        Literal::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => Literal::Int(*f as i64),
+        other => other.clone(),
+    }
+}
+
+fn canon_order(t: &OrderTarget, q: &VqlQuery) -> OrderTarget {
+    match t {
+        OrderTarget::X => OrderTarget::X,
+        OrderTarget::Y => OrderTarget::Y,
+        OrderTarget::Column(c) => {
+            let is_x = q.x.column().is_some_and(|xc| xc.column.eq_ignore_ascii_case(&c.column));
+            let is_plain_y = !q.y.is_aggregate()
+                && q.y.column().is_some_and(|yc| yc.column.eq_ignore_ascii_case(&c.column));
+            if is_plain_y && !is_x {
+                OrderTarget::Y
+            } else if is_x {
+                OrderTarget::X
+            } else {
+                // A column that is neither axis: keep it (it will simply not
+                // match a gold query that orders an axis).
+                OrderTarget::Column(canon_col(c, q))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn eq(a: &str, b: &str) -> bool {
+        exact_match(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    #[test]
+    fn case_insensitive_identifiers() {
+        assert!(eq(
+            "VISUALIZE bar SELECT Name , COUNT(Name) FROM Technician GROUP BY Name",
+            "VISUALIZE bar SELECT name , COUNT(name) FROM technician GROUP BY name",
+        ));
+    }
+
+    #[test]
+    fn redundant_qualifier_dropped() {
+        assert!(eq(
+            "VISUALIZE bar SELECT technician.name , COUNT(technician.name) FROM technician",
+            "VISUALIZE bar SELECT name , COUNT(name) FROM technician",
+        ));
+    }
+
+    #[test]
+    fn and_is_commutative() {
+        assert!(eq(
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 AND y = 2",
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE y = 2 AND x > 1",
+        ));
+    }
+
+    #[test]
+    fn or_is_commutative_but_distinct_from_and() {
+        assert!(eq(
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 OR y = 2",
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE y = 2 OR x > 1",
+        ));
+        assert!(!eq(
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 OR y = 2",
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 AND y = 2",
+        ));
+    }
+
+    #[test]
+    fn order_axis_aliases_equivalent() {
+        assert!(eq(
+            "VISUALIZE bar SELECT name , COUNT(name) FROM t ORDER BY name ASC",
+            "VISUALIZE bar SELECT name , COUNT(name) FROM t ORDER BY x ASC",
+        ));
+        assert!(eq(
+            "VISUALIZE bar SELECT name , COUNT(name) FROM t ORDER BY COUNT(name) DESC",
+            "VISUALIZE bar SELECT name , COUNT(name) FROM t ORDER BY y DESC",
+        ));
+    }
+
+    #[test]
+    fn integral_float_literals_normalize() {
+        assert!(eq(
+            "VISUALIZE bar SELECT a , b FROM t WHERE x > 10",
+            "VISUALIZE bar SELECT a , b FROM t WHERE x > 10.0",
+        ));
+        assert!(!eq(
+            "VISUALIZE bar SELECT a , b FROM t WHERE x > 10",
+            "VISUALIZE bar SELECT a , b FROM t WHERE x > 10.5",
+        ));
+    }
+
+    #[test]
+    fn join_on_sides_symmetric() {
+        assert!(eq(
+            "VISUALIZE bar SELECT name , COUNT(name) FROM a JOIN b ON a.k = b.k",
+            "VISUALIZE bar SELECT name , COUNT(name) FROM a JOIN b ON b.k = a.k",
+        ));
+    }
+
+    #[test]
+    fn differences_still_detected() {
+        assert!(!eq(
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t",
+            "VISUALIZE pie SELECT a , COUNT(a) FROM t",
+        ));
+        assert!(!eq(
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t",
+            "VISUALIZE bar SELECT a , SUM(a) FROM t",
+        ));
+        assert!(!eq(
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t",
+        ));
+        assert!(!eq(
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a ASC",
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a DESC",
+        ));
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let q = parse(
+            "VISUALIZE bar SELECT T.a , SUM(T.b) FROM T WHERE z = 1 AND y = 2 OR x = 3 ORDER BY a DESC",
+        )
+        .unwrap();
+        let c1 = canonicalize(&q);
+        let c2 = canonicalize(&c1);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,232 @@
+//! Decomposition of a VQL query into the components used by the paper's
+//! component-accuracy metric and failure taxonomy (Fig. 11).
+//!
+//! A visualization query has a *visual part* (chart type and the two axes)
+//! and a *data part* (table/join, conditions, binning, grouping, ordering,
+//! nesting). The failure analysis classifies an incorrect prediction by the
+//! first components on which it disagrees with the gold query.
+
+use crate::ast::{OrderTarget, VqlQuery};
+use crate::canon::canonicalize;
+use std::fmt;
+
+/// A comparable component of a visualization query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Chart type (`VISUALIZE`). Visual part.
+    VisType,
+    /// X axis expression. Visual part.
+    AxisX,
+    /// Y axis expression. Visual part.
+    AxisY,
+    /// Source table(s): `FROM` and `JOIN`. Data part.
+    TableJoin,
+    /// `WHERE` conditions (including `AND`/`OR`). Data part; the paper's
+    /// "cond" bucket together with [`Component::Order`].
+    Where,
+    /// `ORDER BY`. Data part ("cond" bucket).
+    Order,
+    /// Temporal `BIN`. Data part.
+    Bin,
+    /// Grouping (aggregation key and color/series). Data part.
+    Group,
+    /// Nested subquery presence/content. Data part.
+    Subquery,
+}
+
+impl Component {
+    /// Is this component part of the *visual* part of the query?
+    pub fn is_visual(self) -> bool {
+        matches!(self, Component::VisType | Component::AxisX | Component::AxisY)
+    }
+
+    /// The paper's Fig. 11 bucket name for this component.
+    pub fn bucket(self) -> &'static str {
+        match self {
+            Component::VisType => "type",
+            Component::AxisX => "x-axis",
+            Component::AxisY => "y-axis",
+            Component::TableJoin => "join",
+            Component::Where | Component::Order => "cond",
+            Component::Bin => "bin",
+            Component::Group => "group",
+            Component::Subquery => "nested",
+        }
+    }
+
+    /// All components in a fixed order.
+    pub fn all() -> [Component; 9] {
+        [
+            Component::VisType,
+            Component::AxisX,
+            Component::AxisY,
+            Component::TableJoin,
+            Component::Where,
+            Component::Order,
+            Component::Bin,
+            Component::Group,
+            Component::Subquery,
+        ]
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Component::VisType => "vis-type",
+            Component::AxisX => "axis-x",
+            Component::AxisY => "axis-y",
+            Component::TableJoin => "table/join",
+            Component::Where => "where",
+            Component::Order => "order",
+            Component::Bin => "bin",
+            Component::Group => "group",
+            Component::Subquery => "subquery",
+        })
+    }
+}
+
+/// A canonical textual fingerprint of one component of a query, such that
+/// two queries agree on the component iff the fingerprints are equal.
+pub fn fingerprint(q: &VqlQuery, c: Component) -> String {
+    let q = canonicalize(q);
+    match c {
+        Component::VisType => q.chart.keyword().to_string(),
+        Component::AxisX => q.x.to_string(),
+        Component::AxisY => q.y.to_string(),
+        Component::TableJoin => match &q.join {
+            None => q.from.clone(),
+            Some(j) => format!("{} JOIN {} ON {} = {}", q.from, j.table, j.left, j.right),
+        },
+        Component::Where => match &q.filter {
+            None => String::new(),
+            Some(f) => {
+                // Reuse the printer by embedding the predicate in a dummy query.
+                let printed = crate::printer::print(&VqlQuery { filter: Some(f.clone()), ..q.clone() });
+                printed.split(" WHERE ").nth(1).unwrap_or("").split(" BIN ").next().unwrap_or("")
+                    .split(" GROUP BY ").next().unwrap_or("")
+                    .split(" ORDER BY ").next().unwrap_or("")
+                    .to_string()
+            }
+        },
+        Component::Order => match &q.order {
+            None => String::new(),
+            Some(o) => {
+                let target = match &o.target {
+                    OrderTarget::X => "x".to_string(),
+                    OrderTarget::Y => "y".to_string(),
+                    OrderTarget::Column(col) => col.to_string(),
+                };
+                format!("{target} {}", o.dir.keyword())
+            }
+        },
+        Component::Bin => match &q.bin {
+            None => String::new(),
+            Some(b) => format!("{} BY {}", b.column, b.unit.keyword()),
+        },
+        Component::Group => q
+            .group_by
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        Component::Subquery => match &q.filter {
+            Some(f) if f.has_subquery() => {
+                // The nested component fingerprint is the subquery text within
+                // the WHERE fingerprint.
+                fingerprint(&q, Component::Where)
+            }
+            _ => String::new(),
+        },
+    }
+}
+
+/// Components on which `predicted` disagrees with `gold`.
+pub fn diff(gold: &VqlQuery, predicted: &VqlQuery) -> Vec<Component> {
+    Component::all()
+        .into_iter()
+        .filter(|&c| fingerprint(gold, c) != fingerprint(predicted, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn q(src: &str) -> VqlQuery {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_have_no_diff() {
+        let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE x > 1 GROUP BY name");
+        assert!(diff(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn chart_type_diff() {
+        let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t");
+        let b = q("VISUALIZE pie SELECT name , COUNT(name) FROM t");
+        assert_eq!(diff(&a, &b), vec![Component::VisType]);
+    }
+
+    #[test]
+    fn axis_diffs() {
+        let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t");
+        let b = q("VISUALIZE bar SELECT team , SUM(age) FROM t");
+        let d = diff(&a, &b);
+        assert!(d.contains(&Component::AxisX));
+        assert!(d.contains(&Component::AxisY));
+        assert!(!d.contains(&Component::VisType));
+    }
+
+    #[test]
+    fn where_and_order_are_cond_bucket() {
+        assert_eq!(Component::Where.bucket(), "cond");
+        assert_eq!(Component::Order.bucket(), "cond");
+        assert!(Component::VisType.is_visual());
+        assert!(!Component::Where.is_visual());
+    }
+
+    #[test]
+    fn where_diff_detected() {
+        let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE x > 1");
+        let b = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE x > 2");
+        assert_eq!(diff(&a, &b), vec![Component::Where]);
+        let c = q("VISUALIZE bar SELECT name , COUNT(name) FROM t");
+        assert_eq!(diff(&a, &c), vec![Component::Where]);
+    }
+
+    #[test]
+    fn where_commutativity_no_diff() {
+        let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE x > 1 AND y = 2");
+        let b = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE y = 2 AND x > 1");
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn join_diff_detected() {
+        let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t JOIN u ON t.k = u.k");
+        let b = q("VISUALIZE bar SELECT name , COUNT(name) FROM t");
+        assert!(diff(&a, &b).contains(&Component::TableJoin));
+    }
+
+    #[test]
+    fn bin_group_order_diffs() {
+        let a = q("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY month GROUP BY d ORDER BY d ASC");
+        let b = q("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY year GROUP BY d ORDER BY d DESC");
+        let ds = diff(&a, &b);
+        assert!(ds.contains(&Component::Bin));
+        assert!(ds.contains(&Component::Order));
+        assert!(!ds.contains(&Component::Group));
+    }
+
+    #[test]
+    fn subquery_diff_detected() {
+        let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE k IN ( SELECT k FROM u )");
+        let b = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE k NOT IN ( SELECT k FROM u )");
+        let d = diff(&a, &b);
+        assert!(d.contains(&Component::Subquery));
+    }
+}

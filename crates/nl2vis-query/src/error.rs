@@ -1,0 +1,93 @@
+//! Query-layer errors: lexing, parsing, binding and execution.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, binding or executing VQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Tokenizer failure.
+    Lex {
+        /// Byte offset.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parser failure.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// Description (expected/found).
+        message: String,
+    },
+    /// A table reference did not resolve.
+    UnknownTable(String),
+    /// A column reference did not resolve.
+    UnknownColumn(String),
+    /// A column reference was ambiguous between joined tables.
+    AmbiguousColumn(String),
+    /// A non-numeric column was summed/averaged.
+    NotNumeric {
+        /// Column name.
+        column: String,
+        /// Aggregate attempted.
+        agg: &'static str,
+    },
+    /// `BIN` applied to a non-date column.
+    NotTemporal(String),
+    /// Execution-time type error in a comparison.
+    Incomparable {
+        /// Column name.
+        column: String,
+        /// Literal rendered.
+        literal: String,
+    },
+    /// Underlying data-layer error.
+    Data(nl2vis_data::DataError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            QueryError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            QueryError::NotNumeric { column, agg } => {
+                write!(f, "cannot apply {agg} to non-numeric column `{column}`")
+            }
+            QueryError::NotTemporal(c) => write!(f, "cannot BIN non-date column `{c}`"),
+            QueryError::Incomparable { column, literal } => {
+                write!(f, "cannot compare column `{column}` with literal {literal}")
+            }
+            QueryError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<nl2vis_data::DataError> for QueryError {
+    fn from(e: nl2vis_data::DataError) -> QueryError {
+        QueryError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(QueryError::UnknownTable("t".into()).to_string().contains("`t`"));
+        assert!(QueryError::Parse { offset: 4, message: "x".into() }
+            .to_string()
+            .contains("byte 4"));
+        let e: QueryError = nl2vis_data::DataError::UnknownTable("q".into()).into();
+        assert!(matches!(e, QueryError::Data(_)));
+    }
+}

@@ -1,0 +1,774 @@
+//! The VQL executor.
+//!
+//! Executes a bound query over an in-memory [`Database`] through the classic
+//! pipeline: scan (+ hash join) → filter → bin → group/aggregate → order →
+//! project, producing a [`ResultSet`] with the x/y(/series) data the chart
+//! renderers consume and the Execution-Accuracy metric compares.
+
+use crate::ast::*;
+use crate::bind::{bind, column_type, BoundExpr, ColAddr};
+use crate::error::QueryError;
+use nl2vis_data::{Database, Value};
+use std::collections::{HashMap, HashSet};
+
+/// One output point: x value, y value, optional series (color) value.
+pub type ResultRow = (Value, Value, Option<Value>);
+
+/// The executed result of a VQL query: the data behind the chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Chart type the query asked for.
+    pub chart: ChartType,
+    /// Axis label for X.
+    pub x_label: String,
+    /// Axis label for Y.
+    pub y_label: String,
+    /// Series label, when the query has a color grouping.
+    pub series_label: Option<String>,
+    /// Output rows.
+    pub rows: Vec<ResultRow>,
+    /// Whether the query specified an explicit ordering (affects how results
+    /// are compared: ordered results compare as sequences).
+    pub ordered: bool,
+}
+
+impl ResultSet {
+    /// Execution-accuracy comparison, following the paper's definition
+    /// (§4.2): two results match when the chart type matches and the
+    /// x/y(/series) data coincide. Column *names* are ignored (Fig. 5 treats
+    /// `COUNT(date)` and an aliased `date_count` as equivalent). Unordered
+    /// results compare as multisets; if both queries ordered their output,
+    /// the sequences must agree.
+    pub fn same_data(&self, other: &ResultSet) -> bool {
+        if self.chart != other.chart {
+            return false;
+        }
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        if self.ordered && other.ordered {
+            self.canonical_rows(false) == other.canonical_rows(false)
+        } else {
+            self.canonical_rows(true) == other.canonical_rows(true)
+        }
+    }
+
+    /// Rows with floats rounded for robust comparison; optionally sorted to
+    /// make the comparison order-insensitive.
+    fn canonical_rows(&self, sort: bool) -> Vec<(Value, Value, Option<Value>)> {
+        let mut rows: Vec<_> = self
+            .rows
+            .iter()
+            .map(|(x, y, s)| (round_value(x), round_value(y), s.as_ref().map(round_value)))
+            .collect();
+        if sort {
+            rows.sort();
+        }
+        rows
+    }
+
+    /// Renders the result as an aligned text table (used by examples and the
+    /// simulated code-interpreter's inspection step).
+    pub fn to_text_table(&self) -> String {
+        let mut header = vec![self.x_label.clone(), self.y_label.clone()];
+        if let Some(s) = &self.series_label {
+            header.push(s.clone());
+        }
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for (x, y, s) in &self.rows {
+            let mut row = vec![x.render(), y.render()];
+            if self.series_label.is_some() {
+                row.push(s.as_ref().map(Value::render).unwrap_or_default());
+            }
+            rows.push(row);
+        }
+        let ncols = rows[0].len();
+        let widths: Vec<usize> = (0..ncols)
+            .map(|c| rows.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .collect();
+        rows.iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(c, cell)| format!("{cell:<width$}", width = widths[c]))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+                    .trim_end()
+                    .to_string()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn round_value(v: &Value) -> Value {
+    match v {
+        Value::Float(f) => {
+            let scaled = (f * 1e9).round() / 1e9;
+            if scaled.fract() == 0.0 && scaled.abs() < 1e15 {
+                Value::Int(scaled as i64)
+            } else {
+                Value::Float(scaled)
+            }
+        }
+        Value::Int(i) => Value::Int(*i),
+        other => other.clone(),
+    }
+}
+
+/// Parses nothing; executes an already-parsed query against a database.
+pub fn execute(query: &VqlQuery, db: &Database) -> Result<ResultSet, QueryError> {
+    let bound = bind(query, db)?;
+
+    // 1. Scan / join into combined rows. Each combined row stores one slice
+    //    of values per source.
+    let combined: Vec<[usize; 2]> = match bound.join_keys {
+        None => (0..bound.sources[0].len()).map(|i| [i, usize::MAX]).collect(),
+        Some((l, r)) => {
+            // Hash join: build on the joined (right) table.
+            let right = bound.sources[1];
+            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (ri, row) in right.rows().iter().enumerate() {
+                let key = &row[r.1];
+                if !key.is_null() {
+                    index.entry(key.clone()).or_default().push(ri);
+                }
+            }
+            let mut out = Vec::new();
+            for (li, row) in bound.sources[0].rows().iter().enumerate() {
+                let key = &row[l.1];
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(matches) = index.get(key) {
+                    for &ri in matches {
+                        out.push([li, ri]);
+                    }
+                }
+            }
+            out
+        }
+    };
+
+    let fetch = |row: &[usize; 2], addr: ColAddr| -> Value {
+        bound.sources[addr.0].rows()[row[addr.0]][addr.1].clone()
+    };
+
+    // 2. Filter.
+    let filtered: Vec<[usize; 2]> = match &query.filter {
+        None => combined,
+        Some(pred) => {
+            let mut kept = Vec::new();
+            for row in combined {
+                if eval_predicate(pred, &row, &bound.sources, db)? {
+                    kept.push(row);
+                }
+            }
+            kept
+        }
+    };
+
+    // 3. Compute the X value per row (with binning applied when the binned
+    //    column is the X column — the paper's `X' ∈ {X, BIN(X)}`).
+    let x_addr = bound.x.addr();
+    let x_of = |row: &[usize; 2]| -> Value {
+        let raw = x_addr.map(|a| fetch(row, a)).unwrap_or(Value::Null);
+        match &bound.bin {
+            Some((bin_addr, unit)) if Some(*bin_addr) == x_addr => bin_value(&raw, *unit),
+            _ => raw,
+        }
+    };
+
+    let series_label = query.color().map(|c| c.column.clone());
+
+    // 4. Group / aggregate, or project raw points.
+    let mut rows: Vec<ResultRow> = if let BoundExpr::Agg(func, arg) = &bound.y {
+        // Group keys: x (binned) plus optional color.
+        let mut groups: Vec<(Value, Option<Value>)> = Vec::new();
+        let mut group_rows: HashMap<(Value, Option<Value>), Vec<[usize; 2]>> = HashMap::new();
+        for row in &filtered {
+            let key = (x_of(row), bound.color.map(|c| fetch(row, c)));
+            if !group_rows.contains_key(&key) {
+                groups.push(key.clone());
+            }
+            group_rows.entry(key).or_default().push(*row);
+        }
+        let mut out = Vec::with_capacity(groups.len());
+        for key in groups {
+            let members = &group_rows[&key];
+            let y = aggregate(*func, *arg, members, &bound.sources, fetch)?;
+            out.push((key.0, y, key.1));
+        }
+        out
+    } else {
+        let y_addr = bound.y.addr().expect("non-aggregate y always has a column");
+        filtered
+            .iter()
+            .map(|row| (x_of(row), fetch(row, y_addr), bound.color.map(|c| fetch(row, c))))
+            .collect()
+    };
+
+    // 5. Order.
+    let ordered = query.order.is_some();
+    if let Some(order) = &query.order {
+        let sort_on_x = match &order.target {
+            OrderTarget::X => true,
+            OrderTarget::Y => false,
+            OrderTarget::Column(c) => {
+                // A named column matching the Y expression's column sorts Y
+                // only when Y is *not* an aggregate of the X column; in the
+                // usual `SELECT name, COUNT(name) ... ORDER BY name` the
+                // intent is the X axis.
+                let is_x = query
+                    .x
+                    .column()
+                    .is_some_and(|xc| xc.column.eq_ignore_ascii_case(&c.column));
+                let is_plain_y = !query.y.is_aggregate()
+                    && query
+                        .y
+                        .column()
+                        .is_some_and(|yc| yc.column.eq_ignore_ascii_case(&c.column));
+                !is_plain_y || is_x
+            }
+        };
+        let weekday_x = matches!(bound.bin, Some((_, BinUnit::Weekday)));
+        rows.sort_by(|a, b| {
+            let (ka, kb) = if sort_on_x { (&a.0, &b.0) } else { (&a.1, &b.1) };
+            let ord = if sort_on_x && weekday_x {
+                weekday_rank(ka).cmp(&weekday_rank(kb))
+            } else {
+                ka.cmp(kb)
+            };
+            match order.dir {
+                SortDir::Asc => ord,
+                SortDir::Desc => ord.reverse(),
+            }
+        });
+    }
+
+    // Labels.
+    let x_label = query.x.label();
+    let y_label = query.y.label();
+
+    Ok(ResultSet { chart: query.chart, x_label, y_label, series_label, rows, ordered })
+}
+
+fn weekday_rank(v: &Value) -> u8 {
+    const NAMES: [&str; 7] =
+        ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"];
+    match v {
+        Value::Text(s) => NAMES.iter().position(|n| n == s).map(|i| i as u8).unwrap_or(7),
+        _ => 7,
+    }
+}
+
+/// Applies a temporal bin to a value. Non-date values pass through NULL.
+pub fn bin_value(v: &Value, unit: BinUnit) -> Value {
+    let Some(d) = v.as_date() else { return Value::Null };
+    match unit {
+        BinUnit::Year => Value::Int(i64::from(d.year)),
+        BinUnit::Month => Value::Text(format!("{:04}-{:02}", d.year, d.month)),
+        BinUnit::Weekday => Value::Text(d.weekday_name().to_string()),
+        BinUnit::Quarter => Value::Text(format!("{:04}-Q{}", d.year, d.quarter())),
+    }
+}
+
+fn aggregate<F>(
+    func: AggFunc,
+    arg: Option<ColAddr>,
+    members: &[[usize; 2]],
+    sources: &[&nl2vis_data::Table],
+    fetch: F,
+) -> Result<Value, QueryError>
+where
+    F: Fn(&[usize; 2], ColAddr) -> Value,
+{
+    match func {
+        AggFunc::Count => {
+            let n = match arg {
+                None => members.len(),
+                Some(a) => members.iter().filter(|r| !fetch(r, a).is_null()).count(),
+            };
+            Ok(Value::Int(n as i64))
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let a = arg.expect("binder guarantees SUM/AVG has an argument");
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for r in members {
+                let v = fetch(r, a);
+                if let Some(x) = v.as_f64() {
+                    total += x;
+                    count += 1;
+                } else if !v.is_null() {
+                    return Err(QueryError::NotNumeric {
+                        column: sources[a.0].def.columns[a.1].name.clone(),
+                        agg: func.keyword(),
+                    });
+                }
+            }
+            if count == 0 {
+                return Ok(Value::Null);
+            }
+            let result = if func == AggFunc::Avg { total / count as f64 } else { total };
+            // SUM over an integer column stays integral.
+            let int_input = column_type(sources, a) == nl2vis_data::value::DataType::Int;
+            if func == AggFunc::Sum && int_input {
+                Ok(Value::Int(result as i64))
+            } else {
+                Ok(Value::Float(result))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let a = arg.expect("binder guarantees MIN/MAX has an argument");
+            let mut best: Option<Value> = None;
+            for r in members {
+                let v = fetch(r, a);
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        if (func == AggFunc::Min) == (v < b) {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+fn eval_predicate(
+    pred: &Predicate,
+    row: &[usize; 2],
+    sources: &[&nl2vis_data::Table],
+    db: &Database,
+) -> Result<bool, QueryError> {
+    match pred {
+        Predicate::And(a, b) => {
+            Ok(eval_predicate(a, row, sources, db)? && eval_predicate(b, row, sources, db)?)
+        }
+        Predicate::Or(a, b) => {
+            Ok(eval_predicate(a, row, sources, db)? || eval_predicate(b, row, sources, db)?)
+        }
+        Predicate::Cmp { col, op, value } => {
+            let addr = crate::bind::resolve(sources, col)?;
+            let cell = sources[addr.0].rows()[row[addr.0]][addr.1].clone();
+            if cell.is_null() {
+                return Ok(false); // SQL three-valued logic: NULL never matches.
+            }
+            let lit = value.to_value();
+            // Type-compatibility: text vs non-text comparisons are errors the
+            // paper's failure analysis cares about surfacing.
+            let comparable = match (&cell, &lit) {
+                (Value::Text(_), Value::Text(_)) => true,
+                (Value::Date(_), Value::Date(_)) => true,
+                (Value::Bool(_), Value::Bool(_)) => true,
+                (a, b) if a.as_f64().is_some() && b.as_f64().is_some() => true,
+                _ => false,
+            };
+            if !comparable {
+                return Err(QueryError::Incomparable {
+                    column: col.to_string(),
+                    literal: value.to_string(),
+                });
+            }
+            let ord = cell.cmp(&lit);
+            Ok(match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => ord.is_ne(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+            })
+        }
+        Predicate::InSubquery { col, negated, subquery } => {
+            let addr = crate::bind::resolve(sources, col)?;
+            let cell = sources[addr.0].rows()[row[addr.0]][addr.1].clone();
+            if cell.is_null() {
+                return Ok(false);
+            }
+            let set = eval_subquery(subquery, db)?;
+            let contains = set.contains(&cell);
+            Ok(contains != *negated)
+        }
+    }
+}
+
+/// Evaluates a nested data subquery to the set of its selected values.
+pub fn eval_subquery(sq: &SubQuery, db: &Database) -> Result<HashSet<Value>, QueryError> {
+    let table = db.table(&sq.from).map_err(|_| QueryError::UnknownTable(sq.from.clone()))?;
+    let sources = vec![table];
+    let col = crate::bind::resolve(&sources, &sq.select)?;
+    let mut out = HashSet::new();
+    for (ri, row) in table.rows().iter().enumerate() {
+        let keep = match &sq.filter {
+            None => true,
+            Some(pred) => eval_predicate(pred, &[ri, usize::MAX], &sources, db)?,
+        };
+        if keep && !row[col.1].is_null() {
+            out.insert(row[col.1].clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use nl2vis_data::schema::{ColumnDef, DatabaseSchema, ForeignKey, TableDef};
+    use nl2vis_data::value::{DataType::*, Date};
+
+    fn db() -> Database {
+        let mut s = DatabaseSchema::new("club", "sports");
+        s.tables.push(TableDef::new(
+            "technician",
+            vec![
+                ColumnDef::new("tech_id", Int),
+                ColumnDef::new("name", Text),
+                ColumnDef::new("team", Text),
+                ColumnDef::new("age", Int),
+                ColumnDef::new("rating", Float),
+                ColumnDef::new("hired", Date),
+            ],
+        ));
+        s.tables.push(TableDef::new(
+            "machine",
+            vec![
+                ColumnDef::new("machine_id", Int),
+                ColumnDef::new("tech_id", Int),
+                ColumnDef::new("value", Float),
+            ],
+        ));
+        s.foreign_keys.push(ForeignKey::new("machine", "tech_id", "technician", "tech_id"));
+        let mut d = Database::new(s);
+        let date = |y, m, dd| Value::Date(Date::new(y, m, dd).unwrap());
+        let rows: Vec<Vec<Value>> = vec![
+            vec![1.into(), "ann".into(), "NYY".into(), 30.into(), 4.5.into(), date(2020, 1, 6)],
+            vec![2.into(), "bob".into(), "BOS".into(), 35.into(), 3.0.into(), date(2020, 2, 3)],
+            vec![3.into(), "cat".into(), "BOS".into(), 28.into(), 5.0.into(), date(2021, 2, 9)],
+            vec![4.into(), "dan".into(), "LAD".into(), 41.into(), 2.5.into(), date(2021, 7, 5)],
+            vec![5.into(), "eve".into(), "BOS".into(), 35.into(), 4.0.into(), date(2020, 1, 7)],
+        ];
+        for r in rows {
+            d.insert("technician", r).unwrap();
+        }
+        for (m, t, v) in [(10, 1, 100.0), (11, 2, 50.0), (12, 2, 75.0), (13, 3, 20.0)] {
+            d.insert("machine", vec![m.into(), t.into(), v.into()]).unwrap();
+        }
+        d.validate().unwrap();
+        d
+    }
+
+    fn run(src: &str) -> ResultSet {
+        execute(&parse(src).unwrap(), &db()).unwrap()
+    }
+
+    #[test]
+    fn count_group_by() {
+        let r = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY team ASC");
+        assert_eq!(
+            r.rows,
+            vec![
+                (Value::from("BOS"), Value::Int(3), None),
+                (Value::from("LAD"), Value::Int(1), None),
+                (Value::from("NYY"), Value::Int(1), None),
+            ]
+        );
+        assert!(r.ordered);
+    }
+
+    #[test]
+    fn where_filter() {
+        let r = run("VISUALIZE bar SELECT name , age FROM technician WHERE team != \"NYY\" ORDER BY name ASC");
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0].0, Value::from("bob"));
+    }
+
+    #[test]
+    fn sum_int_stays_int_avg_is_float() {
+        let r = run("VISUALIZE bar SELECT team , SUM(age) FROM technician GROUP BY team ORDER BY team ASC");
+        assert_eq!(r.rows[0].1, Value::Int(98)); // BOS: 35+28+35
+        let r = run("VISUALIZE bar SELECT team , AVG(age) FROM technician GROUP BY team ORDER BY team ASC");
+        assert_eq!(r.rows[0].1, Value::Float(98.0 / 3.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let r = run("VISUALIZE bar SELECT team , MAX(rating) FROM technician GROUP BY team ORDER BY team ASC");
+        assert_eq!(r.rows[0].1, Value::Float(5.0));
+        let r = run("VISUALIZE bar SELECT team , MIN(age) FROM technician GROUP BY team ORDER BY team ASC");
+        assert_eq!(r.rows[0].1, Value::Int(28));
+    }
+
+    #[test]
+    fn implicit_group_by_when_aggregate() {
+        // No GROUP BY clause, but COUNT(y) still groups by x.
+        let r = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician ORDER BY team ASC");
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn join_execution() {
+        let r = run(
+            "VISUALIZE bar SELECT name , SUM(value) FROM technician JOIN machine ON technician.tech_id = machine.tech_id GROUP BY name ORDER BY name ASC",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                (Value::from("ann"), Value::Float(100.0), None),
+                (Value::from("bob"), Value::Float(125.0), None),
+                (Value::from("cat"), Value::Float(20.0), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn bin_by_year_month_weekday() {
+        let r = run("VISUALIZE line SELECT hired , COUNT(hired) FROM technician BIN hired BY year ORDER BY hired ASC");
+        assert_eq!(
+            r.rows,
+            vec![(Value::Int(2020), Value::Int(3), None), (Value::Int(2021), Value::Int(2), None)]
+        );
+        let r = run("VISUALIZE line SELECT hired , COUNT(hired) FROM technician BIN hired BY month ORDER BY hired ASC");
+        assert_eq!(r.rows[0].0, Value::from("2020-01"));
+        let r = run("VISUALIZE bar SELECT hired , COUNT(hired) FROM technician BIN hired BY weekday ORDER BY hired ASC");
+        // Mondays: 2020-01-06, 2020-02-03 and 2021-07-05.
+        assert_eq!(r.rows[0].0, Value::from("Monday"));
+        assert_eq!(r.rows[0].1, Value::Int(3));
+    }
+
+    #[test]
+    fn weekday_ordering_is_calendar_not_alphabetical() {
+        let r = run("VISUALIZE bar SELECT hired , COUNT(hired) FROM technician BIN hired BY weekday ORDER BY hired ASC");
+        let labels: Vec<String> = r.rows.iter().map(|(x, _, _)| x.render()).collect();
+        // Monday must come before Tuesday even though alphabetically it doesn't.
+        let mon = labels.iter().position(|l| l == "Monday").unwrap();
+        let tue = labels.iter().position(|l| l == "Tuesday").unwrap();
+        assert!(mon < tue);
+    }
+
+    #[test]
+    fn color_series_grouping() {
+        let r = run("VISUALIZE bar SELECT age , COUNT(age) FROM technician GROUP BY age , team ORDER BY age ASC");
+        // (35, BOS) has two members (bob, eve).
+        assert!(r
+            .rows
+            .iter()
+            .any(|(x, y, s)| *x == Value::Int(35) && *y == Value::Int(2) && *s == Some(Value::from("BOS"))));
+        assert_eq!(r.series_label.as_deref(), Some("team"));
+    }
+
+    #[test]
+    fn subquery_in_and_not_in() {
+        let r = run(
+            "VISUALIZE bar SELECT name , age FROM technician WHERE tech_id IN ( SELECT tech_id FROM machine WHERE value > 60.0 ) ORDER BY name ASC",
+        );
+        assert_eq!(r.rows.len(), 2); // ann (100), bob (75)
+        let r = run(
+            "VISUALIZE bar SELECT name , age FROM technician WHERE tech_id NOT IN ( SELECT tech_id FROM machine ) ORDER BY name ASC",
+        );
+        let names: Vec<String> = r.rows.iter().map(|(x, _, _)| x.render()).collect();
+        assert_eq!(names, vec!["dan", "eve"]);
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let r = run("VISUALIZE bar SELECT name , age FROM technician WHERE team = \"BOS\" AND age > 30");
+        assert_eq!(r.rows.len(), 2);
+        let r = run("VISUALIZE bar SELECT name , age FROM technician WHERE team = \"LAD\" OR age < 29");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_desc_by_y() {
+        let r = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY y DESC");
+        assert_eq!(r.rows[0].1, Value::Int(3));
+    }
+
+    #[test]
+    fn order_by_agg_column_name_sorts_y() {
+        let r = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY COUNT(team) DESC");
+        assert_eq!(r.rows[0].0, Value::from("BOS"));
+    }
+
+    #[test]
+    fn date_comparison_filter() {
+        let r = run("VISUALIZE bar SELECT name , age FROM technician WHERE hired >= \"2021-01-01\" ORDER BY name ASC");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        let e = execute(
+            &parse("VISUALIZE bar SELECT name , age FROM technician WHERE name > 5").unwrap(),
+            &db(),
+        );
+        assert!(matches!(e, Err(QueryError::Incomparable { .. })));
+    }
+
+    #[test]
+    fn same_data_ignores_labels_and_order_when_unordered() {
+        let a = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team");
+        let b = run("VISUALIZE bar SELECT team , COUNT(tech_id) FROM technician GROUP BY team");
+        assert!(a.same_data(&b));
+        let c = run("VISUALIZE pie SELECT team , COUNT(team) FROM technician GROUP BY team");
+        assert!(!a.same_data(&c)); // chart type differs
+    }
+
+    #[test]
+    fn same_data_respects_explicit_order() {
+        let asc = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY team ASC");
+        let desc = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY team DESC");
+        assert!(!asc.same_data(&desc));
+        // But an ordered result still matches an unordered one on data.
+        let un = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team");
+        assert!(asc.same_data(&un));
+    }
+
+    #[test]
+    fn float_rounding_in_comparison() {
+        let mut a = run("VISUALIZE bar SELECT team , AVG(rating) FROM technician GROUP BY team");
+        let b = a.clone();
+        // Perturb beyond representation noise but below the rounding grid.
+        if let Value::Float(f) = &mut a.rows[0].1 {
+            *f += 1e-12;
+        }
+        assert!(a.same_data(&b));
+    }
+
+    #[test]
+    fn text_table_rendering() {
+        let r = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY team ASC");
+        let t = r.to_text_table();
+        assert!(t.starts_with("team"));
+        assert!(t.contains("BOS"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn null_never_matches_filter() {
+        let mut d = db();
+        d.insert(
+            "technician",
+            vec![6.into(), "fay".into(), Value::Null, 50.into(), Value::Null, Value::Null],
+        )
+        .unwrap();
+        let q = parse("VISUALIZE bar SELECT name , age FROM technician WHERE team != \"NYY\"")
+            .unwrap();
+        let r = execute(&q, &d).unwrap();
+        assert!(!r.rows.iter().any(|(x, _, _)| x.render() == "fay"));
+    }
+
+    #[test]
+    fn scatter_raw_points_no_grouping() {
+        let r = run("VISUALIZE scatter SELECT age , rating FROM technician");
+        assert_eq!(r.rows.len(), 5);
+        assert!(!r.ordered);
+    }
+
+    #[test]
+    fn empty_table_yields_empty_result() {
+        let s = {
+            let mut s = DatabaseSchema::new("d", "x");
+            s.tables.push(TableDef::new(
+                "t",
+                vec![ColumnDef::new("a", Text), ColumnDef::new("b", Int)],
+            ));
+            s
+        };
+        let d = Database::new(s);
+        let r = execute(&parse("VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a").unwrap(), &d)
+            .unwrap();
+        assert!(r.rows.is_empty());
+        // Non-aggregate over empty table is empty too.
+        let r = execute(&parse("VISUALIZE scatter SELECT b , b FROM t").unwrap(), &d).unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn all_null_measure_aggregates_to_null_not_panic() {
+        let mut s = DatabaseSchema::new("d", "x");
+        s.tables.push(TableDef::new(
+            "t",
+            vec![ColumnDef::new("k", Text), ColumnDef::new("v", Float)],
+        ));
+        let mut d = Database::new(s);
+        d.insert("t", vec!["a".into(), Value::Null]).unwrap();
+        d.insert("t", vec!["a".into(), Value::Null]).unwrap();
+        let r = execute(&parse("VISUALIZE bar SELECT k , SUM(v) FROM t GROUP BY k").unwrap(), &d)
+            .unwrap();
+        assert_eq!(r.rows, vec![(Value::from("a"), Value::Null, None)]);
+        let r = execute(&parse("VISUALIZE bar SELECT k , MIN(v) FROM t GROUP BY k").unwrap(), &d)
+            .unwrap();
+        assert_eq!(r.rows[0].1, Value::Null);
+        // COUNT of an all-null column is 0, not NULL.
+        let r = execute(&parse("VISUALIZE bar SELECT k , COUNT(v) FROM t GROUP BY k").unwrap(), &d)
+            .unwrap();
+        assert_eq!(r.rows[0].1, Value::Int(0));
+    }
+
+    #[test]
+    fn join_fan_out_multiplies_rows() {
+        // Each technician row joins every matching machine row.
+        let r = run(
+            "VISUALIZE bar SELECT name , COUNT(machine_id) FROM technician JOIN machine ON technician.tech_id = machine.tech_id GROUP BY name ORDER BY name ASC",
+        );
+        // bob owns machines 11 and 12.
+        let bob = r.rows.iter().find(|(x, _, _)| x.render() == "bob").unwrap();
+        assert_eq!(bob.1, Value::Int(2));
+        // Technicians without machines are absent (inner join).
+        assert!(!r.rows.iter().any(|(x, _, _)| x.render() == "dan"));
+    }
+
+    #[test]
+    fn quarter_bins_cross_years() {
+        let r = run("VISUALIZE bar SELECT hired , COUNT(hired) FROM technician BIN hired BY quarter ORDER BY hired ASC");
+        let labels: Vec<String> = r.rows.iter().map(|(x, _, _)| x.render()).collect();
+        assert!(labels.contains(&"2020-Q1".to_string()));
+        assert!(labels.contains(&"2021-Q1".to_string()));
+        // Lexicographic order on yyyy-Qq is chronological.
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted);
+    }
+
+    #[test]
+    fn weekday_descending_order() {
+        let r = run("VISUALIZE bar SELECT hired , COUNT(hired) FROM technician BIN hired BY weekday ORDER BY hired DESC");
+        let ranks: Vec<u8> = r.rows.iter().map(|(x, _, _)| weekday_rank(x)).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(ranks, sorted, "weekday DESC must be reverse calendar order");
+    }
+
+    #[test]
+    fn subquery_unknown_table_is_error() {
+        let q = parse(
+            "VISUALIZE bar SELECT name , age FROM technician WHERE tech_id IN ( SELECT x FROM nonexistent )",
+        )
+        .unwrap();
+        assert!(matches!(execute(&q, &db()), Err(QueryError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn count_star_counts_all_rows_per_group() {
+        let r = run("VISUALIZE bar SELECT team , COUNT(*) FROM technician GROUP BY team ORDER BY team ASC");
+        let total: i64 = r.rows.iter().filter_map(|(_, y, _)| y.as_int()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn group_with_x_and_color_covers_all_rows() {
+        let r = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team , age");
+        let total: i64 = r.rows.iter().filter_map(|(_, y, _)| y.as_int()).sum();
+        assert_eq!(total, 5, "every row lands in exactly one (team, age) cell");
+    }
+}

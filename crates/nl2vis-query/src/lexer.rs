@@ -1,0 +1,338 @@
+//! The VQL tokenizer.
+//!
+//! Keywords are case-insensitive; identifiers keep their original spelling
+//! (binding is case-insensitive). Strings accept single or double quotes —
+//! LLM outputs in the paper's logs mix both — with backslash escapes.
+
+use crate::error::QueryError;
+
+/// A lexical token with its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keyword-ness is decided by the parser).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` (also `<>`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Is this a word equal (case-insensitively) to `kw`?
+    pub fn is_word(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes VQL source text.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let offset = pos;
+        let kind = match c {
+            b'(' => {
+                pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                pos += 1;
+                TokenKind::RParen
+            }
+            b',' => {
+                pos += 1;
+                TokenKind::Comma
+            }
+            b'.' if !bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) => {
+                pos += 1;
+                TokenKind::Dot
+            }
+            b'*' => {
+                pos += 1;
+                TokenKind::Star
+            }
+            b'=' => {
+                pos += 1;
+                // Tolerate `==` (common LLM slip).
+                if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                }
+                TokenKind::Eq
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    TokenKind::Ne
+                } else {
+                    return Err(QueryError::Lex {
+                        offset,
+                        message: "expected `!=`".to_string(),
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    TokenKind::Le
+                } else if bytes.get(pos + 1) == Some(&b'>') {
+                    pos += 2;
+                    TokenKind::Ne
+                } else {
+                    pos += 1;
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    TokenKind::Ge
+                } else {
+                    pos += 1;
+                    TokenKind::Gt
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => {
+                            return Err(QueryError::Lex {
+                                offset,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                        Some(&b) if b == quote => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            pos += 1;
+                            match bytes.get(pos) {
+                                Some(&e) => {
+                                    s.push(match e {
+                                        b'n' => '\n',
+                                        b't' => '\t',
+                                        other => other as char,
+                                    });
+                                    pos += 1;
+                                }
+                                None => {
+                                    return Err(QueryError::Lex {
+                                        offset,
+                                        message: "unterminated escape".to_string(),
+                                    })
+                                }
+                            }
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar.
+                            let rest = &input[pos..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            pos += ch.len_utf8();
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = pos;
+                if c == b'-' {
+                    pos += 1;
+                    if !bytes.get(pos).is_some_and(u8::is_ascii_digit) {
+                        return Err(QueryError::Lex {
+                            offset,
+                            message: "expected digits after `-`".to_string(),
+                        });
+                    }
+                }
+                while bytes.get(pos).is_some_and(u8::is_ascii_digit) {
+                    pos += 1;
+                }
+                let mut is_float = false;
+                if bytes.get(pos) == Some(&b'.') && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    pos += 1;
+                    while bytes.get(pos).is_some_and(u8::is_ascii_digit) {
+                        pos += 1;
+                    }
+                }
+                let text = &input[start..pos];
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| QueryError::Lex {
+                        offset,
+                        message: format!("invalid float `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| QueryError::Lex {
+                        offset,
+                        message: format!("invalid integer `{text}`"),
+                    })?)
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while bytes
+                    .get(pos)
+                    .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    pos += 1;
+                }
+                TokenKind::Word(input[start..pos].to_string())
+            }
+            _ => {
+                return Err(QueryError::Lex {
+                    offset,
+                    message: format!("unexpected character `{}`", input[pos..].chars().next().unwrap()),
+                })
+            }
+        };
+        tokens.push(Token { kind, offset });
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_punctuation() {
+        let ks = kinds("VISUALIZE bar SELECT name , COUNT(name)");
+        assert_eq!(ks[0], TokenKind::Word("VISUALIZE".into()));
+        assert_eq!(ks[1], TokenKind::Word("bar".into()));
+        assert_eq!(ks[3], TokenKind::Word("name".into()));
+        assert_eq!(ks[4], TokenKind::Comma);
+        assert_eq!(ks[6], TokenKind::LParen);
+        assert_eq!(ks[8], TokenKind::RParen);
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != < <= > >= <> =="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 -7 3.5 -0.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Float(3.5),
+                TokenKind::Float(-0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_dot() {
+        assert_eq!(
+            kinds("a.b"),
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Dot,
+                TokenKind::Word("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(kinds("\"NYY\""), vec![TokenKind::Str("NYY".into()), TokenKind::Eof]);
+        assert_eq!(kinds("'NYY'"), vec![TokenKind::Str("NYY".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds(r#""a\"b""#),
+            vec![TokenKind::Str("a\"b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("\"abc"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(lex("a # b"), Err(QueryError::Lex { .. })));
+        assert!(matches!(lex("!x"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn unicode_in_string() {
+        assert_eq!(kinds("'héllo😀'"), vec![TokenKind::Str("héllo😀".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = lex("ab cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 3);
+    }
+}

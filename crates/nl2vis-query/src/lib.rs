@@ -1,0 +1,51 @@
+//! The **VQL** (Visualization Query Language) implementation.
+//!
+//! VQL is the flat, sequence-friendly visualization query language the paper
+//! adopts from DeepEye / nvBench (Table 1 of the paper). A query looks like:
+//!
+//! ```text
+//! VISUALIZE bar
+//! SELECT name , COUNT(name)
+//! FROM technician
+//! WHERE team != "NYY"
+//! GROUP BY name
+//! ORDER BY name ASC
+//! ```
+//!
+//! This crate provides:
+//!
+//! - [`ast`]: the abstract syntax tree ([`VqlQuery`] and
+//!   friends), including the `JOIN`, `BIN`, grouping/color, `AND`/`OR`
+//!   predicate and nested-subquery forms of the paper's grammar;
+//! - [`lexer`] / [`parser`]: a hand-written tokenizer and recursive-descent
+//!   parser with positioned errors;
+//! - [`printer`]: the canonical textual rendering (parse ∘ print = id);
+//! - [`canon`]: AST canonicalization used by the Exact-Accuracy metric;
+//! - [`bind`]: semantic resolution of table/column references against a
+//!   [`Database`](nl2vis_data::Database);
+//! - [`exec`]: the query executor (filter, join, bin, group, aggregate,
+//!   order) producing a [`ResultSet`];
+//! - [`component`]: decomposition of a query into the visual-part /
+//!   data-part components used by the paper's failure analysis (Fig. 11);
+//! - [`sql`]: VQL → SQL translation (the nvBench lineage), for running
+//!   generated queries on a real engine.
+
+pub mod ast;
+pub mod bind;
+pub mod canon;
+pub mod component;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod sql;
+
+pub use ast::{
+    AggFunc, Bin, BinUnit, ChartType, CmpOp, ColumnRef, Join, Literal, OrderBy, OrderTarget,
+    Predicate, SelectExpr, SortDir, SubQuery, VqlQuery,
+};
+pub use error::QueryError;
+pub use exec::{execute, ResultSet};
+pub use parser::parse;
+pub use sql::to_sql;

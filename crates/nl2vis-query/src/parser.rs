@@ -1,0 +1,507 @@
+//! Recursive-descent parser for VQL.
+//!
+//! The clause order after `FROM` is tolerant (`WHERE`, `BIN`, `GROUP BY`,
+//! `ORDER BY` may appear in any order, each at most once) because model
+//! outputs in the paper's study vary in clause ordering while remaining
+//! semantically unambiguous.
+
+use crate::ast::*;
+use crate::error::QueryError;
+use crate::lexer::{lex, Token, TokenKind};
+use nl2vis_data::value::Date;
+
+/// Parses a VQL query from text.
+pub fn parse(input: &str) -> Result<VqlQuery, QueryError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { offset: self.offset(), message: message.into() }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_word(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), QueryError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, QueryError> {
+        match self.peek() {
+            TokenKind::Word(w) if !is_reserved(w) => {
+                let w = w.clone();
+                self.bump();
+                Ok(w)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), QueryError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing tokens"))
+        }
+    }
+
+    fn query(&mut self) -> Result<VqlQuery, QueryError> {
+        self.expect_keyword("VISUALIZE")?;
+        let chart_word = self.ident("chart type")?;
+        let chart = ChartType::from_keyword(&chart_word)
+            .ok_or_else(|| self.err(format!("unknown chart type `{chart_word}`")))?;
+        self.expect_keyword("SELECT")?;
+        let x = self.select_expr()?;
+        self.expect_kind(&TokenKind::Comma, "`,` between SELECT items")?;
+        let y = self.select_expr()?;
+        self.expect_keyword("FROM")?;
+        let from = self.ident("table name")?;
+
+        let mut q = VqlQuery::new(chart, x, y, from);
+
+        // JOIN comes immediately after FROM when present.
+        if self.eat_keyword("JOIN") {
+            let table = self.ident("joined table name")?;
+            self.expect_keyword("ON")?;
+            let left = self.column_ref()?;
+            self.expect_kind(&TokenKind::Eq, "`=` in join condition")?;
+            let right = self.column_ref()?;
+            q.join = Some(Join { table, left, right });
+        }
+
+        // Remaining clauses in any order, each at most once.
+        loop {
+            if self.peek().is_word("WHERE") {
+                if q.filter.is_some() {
+                    return Err(self.err("duplicate WHERE clause"));
+                }
+                self.bump();
+                q.filter = Some(self.predicate()?);
+            } else if self.peek().is_word("BIN") {
+                if q.bin.is_some() {
+                    return Err(self.err("duplicate BIN clause"));
+                }
+                self.bump();
+                let column = self.column_ref()?;
+                self.expect_keyword("BY")?;
+                let unit_word = self.ident("bin unit")?;
+                let unit = BinUnit::from_keyword(&unit_word)
+                    .ok_or_else(|| self.err(format!("unknown bin unit `{unit_word}`")))?;
+                q.bin = Some(Bin { column, unit });
+            } else if self.peek().is_word("GROUP") {
+                if !q.group_by.is_empty() {
+                    return Err(self.err("duplicate GROUP BY clause"));
+                }
+                self.bump();
+                self.expect_keyword("BY")?;
+                q.group_by.push(self.column_ref()?);
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                    q.group_by.push(self.column_ref()?);
+                }
+            } else if self.peek().is_word("ORDER") {
+                if q.order.is_some() {
+                    return Err(self.err("duplicate ORDER BY clause"));
+                }
+                self.bump();
+                self.expect_keyword("BY")?;
+                let target = self.order_target()?;
+                let dir = if self.eat_keyword("ASC") {
+                    SortDir::Asc
+                } else if self.eat_keyword("DESC") {
+                    SortDir::Desc
+                } else {
+                    SortDir::Asc
+                };
+                q.order = Some(OrderBy { target, dir });
+            } else {
+                break;
+            }
+        }
+        Ok(q)
+    }
+
+    fn select_expr(&mut self) -> Result<SelectExpr, QueryError> {
+        if let TokenKind::Word(w) = self.peek() {
+            if let Some(func) = AggFunc::from_keyword(w) {
+                if matches!(self.peek2(), TokenKind::LParen) {
+                    self.bump(); // agg keyword
+                    self.bump(); // (
+                    let arg = if matches!(self.peek(), TokenKind::Star) {
+                        self.bump();
+                        None
+                    } else {
+                        Some(self.column_ref()?)
+                    };
+                    self.expect_kind(&TokenKind::RParen, "`)` after aggregate argument")?;
+                    return Ok(SelectExpr::Agg { func, arg });
+                }
+            }
+        }
+        Ok(SelectExpr::Column(self.column_ref()?))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, QueryError> {
+        let first = self.ident("column name")?;
+        if matches!(self.peek(), TokenKind::Dot) {
+            self.bump();
+            let column = self.ident("column name after `.`")?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::new(first))
+        }
+    }
+
+    fn order_target(&mut self) -> Result<OrderTarget, QueryError> {
+        // Bare X / Y axis keywords, else a column reference.
+        if let TokenKind::Word(w) = self.peek() {
+            if w.eq_ignore_ascii_case("x") && !matches!(self.peek2(), TokenKind::Dot) {
+                self.bump();
+                return Ok(OrderTarget::X);
+            }
+            if w.eq_ignore_ascii_case("y") && !matches!(self.peek2(), TokenKind::Dot) {
+                self.bump();
+                return Ok(OrderTarget::Y);
+            }
+        }
+        // Aggregate expression in ORDER BY (e.g. `ORDER BY COUNT(name) DESC`)
+        // is resolved to the Y axis.
+        if let TokenKind::Word(w) = self.peek() {
+            if AggFunc::from_keyword(w).is_some() && matches!(self.peek2(), TokenKind::LParen) {
+                self.bump();
+                self.bump();
+                if matches!(self.peek(), TokenKind::Star) {
+                    self.bump();
+                } else {
+                    self.column_ref()?;
+                }
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                return Ok(OrderTarget::Y);
+            }
+        }
+        Ok(OrderTarget::Column(self.column_ref()?))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, QueryError> {
+        self.or_term()
+    }
+
+    fn or_term(&mut self) -> Result<Predicate, QueryError> {
+        let mut left = self.and_term()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_term()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_term(&mut self) -> Result<Predicate, QueryError> {
+        let mut left = self.atom()?;
+        while self.eat_keyword("AND") {
+            let right = self.atom()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Predicate, QueryError> {
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            let inner = self.predicate()?;
+            self.expect_kind(&TokenKind::RParen, "`)` closing predicate group")?;
+            return Ok(inner);
+        }
+        let col = self.column_ref()?;
+        // IN / NOT IN subquery.
+        let negated = if self.peek().is_word("NOT") {
+            self.bump();
+            self.expect_keyword("IN")?;
+            true
+        } else if self.peek().is_word("IN") {
+            self.bump();
+            false
+        } else {
+            let op = match self.bump() {
+                TokenKind::Eq => CmpOp::Eq,
+                TokenKind::Ne => CmpOp::Ne,
+                TokenKind::Lt => CmpOp::Lt,
+                TokenKind::Le => CmpOp::Le,
+                TokenKind::Gt => CmpOp::Gt,
+                TokenKind::Ge => CmpOp::Ge,
+                _ => return Err(self.err("expected comparison operator")),
+            };
+            let value = self.literal()?;
+            return Ok(Predicate::Cmp { col, op, value });
+        };
+        self.expect_kind(&TokenKind::LParen, "`(` opening subquery")?;
+        self.expect_keyword("SELECT")?;
+        let select = self.column_ref()?;
+        self.expect_keyword("FROM")?;
+        let from = self.ident("subquery table")?;
+        let filter = if self.eat_keyword("WHERE") {
+            Some(Box::new(self.predicate()?))
+        } else {
+            None
+        };
+        self.expect_kind(&TokenKind::RParen, "`)` closing subquery")?;
+        Ok(Predicate::InSubquery { col, negated, subquery: SubQuery { select, from, filter } })
+    }
+
+    fn literal(&mut self) -> Result<Literal, QueryError> {
+        match self.bump() {
+            TokenKind::Int(i) => Ok(Literal::Int(i)),
+            TokenKind::Float(f) => Ok(Literal::Float(f)),
+            TokenKind::Str(s) => {
+                // Quoted ISO dates become Date literals so date comparisons
+                // work against Date columns.
+                if let Some(d) = Date::parse(&s) {
+                    Ok(Literal::Date(d))
+                } else {
+                    Ok(Literal::Text(s))
+                }
+            }
+            TokenKind::Word(w) if w.eq_ignore_ascii_case("true") => Ok(Literal::Bool(true)),
+            TokenKind::Word(w) if w.eq_ignore_ascii_case("false") => Ok(Literal::Bool(false)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected literal value"))
+            }
+        }
+    }
+}
+
+/// Words that cannot be used as bare identifiers.
+fn is_reserved(w: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "VISUALIZE", "SELECT", "FROM", "JOIN", "ON", "WHERE", "BIN", "BY", "GROUP", "ORDER",
+        "AND", "OR", "NOT", "IN", "ASC", "DESC",
+    ];
+    RESERVED.iter().any(|r| r.eq_ignore_ascii_case(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_1() {
+        // Example 1 from the paper (§2.1).
+        let q = parse(
+            "VISUALIZE bar SELECT name , COUNT(name) FROM technician \
+             WHERE team != \"NYY\" GROUP BY name ORDER BY name ASC",
+        )
+        .unwrap();
+        assert_eq!(q.chart, ChartType::Bar);
+        assert_eq!(q.x, SelectExpr::Column(ColumnRef::new("name")));
+        assert_eq!(
+            q.y,
+            SelectExpr::Agg { func: AggFunc::Count, arg: Some(ColumnRef::new("name")) }
+        );
+        assert_eq!(q.from, "technician");
+        assert!(matches!(
+            q.filter,
+            Some(Predicate::Cmp { op: CmpOp::Ne, .. })
+        ));
+        assert_eq!(q.group_by, vec![ColumnRef::new("name")]);
+        assert_eq!(
+            q.order,
+            Some(OrderBy { target: OrderTarget::Column(ColumnRef::new("name")), dir: SortDir::Asc })
+        );
+    }
+
+    #[test]
+    fn parses_join() {
+        let q = parse(
+            "VISUALIZE scatter SELECT age , salary FROM employee \
+             JOIN department ON employee.dept_id = department.id",
+        )
+        .unwrap();
+        let j = q.join.unwrap();
+        assert_eq!(j.table, "department");
+        assert_eq!(j.left, ColumnRef::qualified("employee", "dept_id"));
+        assert_eq!(j.right, ColumnRef::qualified("department", "id"));
+    }
+
+    #[test]
+    fn parses_bin() {
+        let q = parse(
+            "VISUALIZE line SELECT date , COUNT(date) FROM payments BIN date BY month",
+        )
+        .unwrap();
+        let b = q.bin.unwrap();
+        assert_eq!(b.unit, BinUnit::Month);
+        assert_eq!(b.column, ColumnRef::new("date"));
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse("VISUALIZE bar SELECT city , COUNT(*) FROM shops").unwrap();
+        assert_eq!(q.y, SelectExpr::Agg { func: AggFunc::Count, arg: None });
+    }
+
+    #[test]
+    fn parses_and_or_precedence() {
+        let q = parse(
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 OR y < 2 AND z = 3",
+        )
+        .unwrap();
+        // AND binds tighter: Or(x>1, And(y<2, z=3))
+        match q.filter.unwrap() {
+            Predicate::Or(l, r) => {
+                assert!(matches!(*l, Predicate::Cmp { .. }));
+                assert!(matches!(*r, Predicate::And(_, _)));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesized_predicate() {
+        let q = parse(
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE ( x > 1 OR y < 2 ) AND z = 3",
+        )
+        .unwrap();
+        assert!(matches!(q.filter.unwrap(), Predicate::And(_, _)));
+    }
+
+    #[test]
+    fn parses_subquery() {
+        let q = parse(
+            "VISUALIZE pie SELECT team , COUNT(team) FROM player WHERE team NOT IN \
+             ( SELECT team FROM champion WHERE year >= 2010 ) GROUP BY team",
+        )
+        .unwrap();
+        match q.filter.unwrap() {
+            Predicate::InSubquery { negated, subquery, .. } => {
+                assert!(negated);
+                assert_eq!(subquery.from, "champion");
+                assert!(subquery.filter.is_some());
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_with_color() {
+        let q = parse("VISUALIZE bar SELECT year , SUM(sales) FROM s GROUP BY year , region")
+            .unwrap();
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.color(), Some(&ColumnRef::new("region")));
+    }
+
+    #[test]
+    fn order_variants() {
+        let q = parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY x DESC").unwrap();
+        assert_eq!(q.order.unwrap(), OrderBy { target: OrderTarget::X, dir: SortDir::Desc });
+        let q = parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY COUNT(a) DESC").unwrap();
+        assert_eq!(q.order.unwrap().target, OrderTarget::Y);
+        let q = parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a").unwrap();
+        assert_eq!(q.order.unwrap().dir, SortDir::Asc);
+    }
+
+    #[test]
+    fn clause_order_tolerant() {
+        let q = parse(
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a ASC GROUP BY a WHERE b = 1",
+        )
+        .unwrap();
+        assert!(q.filter.is_some());
+        assert!(q.order.is_some());
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse("visualize BAR select a , count(a) from t group by a").is_ok());
+    }
+
+    #[test]
+    fn date_literals_detected() {
+        let q = parse("VISUALIZE line SELECT d , COUNT(d) FROM t WHERE d >= '2020-01-01'")
+            .unwrap();
+        match q.filter.unwrap() {
+            Predicate::Cmp { value: Literal::Date(d), .. } => assert_eq!(d.year, 2020),
+            other => panic!("expected date literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "SELECT a , b FROM t",
+            "VISUALIZE donut SELECT a , b FROM t",
+            "VISUALIZE bar SELECT a FROM t",
+            "VISUALIZE bar SELECT a , b",
+            "VISUALIZE bar SELECT a , b FROM t WHERE",
+            "VISUALIZE bar SELECT a , b FROM t WHERE x >",
+            "VISUALIZE bar SELECT a , b FROM t GROUP a",
+            "VISUALIZE bar SELECT a , b FROM t trailing junk",
+            "VISUALIZE bar SELECT a , b FROM t WHERE x = 1 WHERE y = 2",
+            "VISUALIZE bar SELECT a , b FROM t BIN d BY decade",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn duplicate_clause_rejected() {
+        assert!(parse("VISUALIZE bar SELECT a , b FROM t GROUP BY a GROUP BY b").is_err());
+        assert!(parse("VISUALIZE bar SELECT a , b FROM t ORDER BY a ORDER BY b").is_err());
+    }
+
+    #[test]
+    fn qualified_columns_in_select() {
+        let q = parse("VISUALIZE bar SELECT emp.name , COUNT(emp.name) FROM emp").unwrap();
+        assert_eq!(q.x, SelectExpr::Column(ColumnRef::qualified("emp", "name")));
+    }
+}

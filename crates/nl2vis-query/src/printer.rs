@@ -1,0 +1,230 @@
+//! Canonical textual rendering of VQL ASTs.
+//!
+//! `parse(print(q)) == q` for every well-formed query (verified by property
+//! tests in `tests/`). Printing is the bridge between model outputs (which
+//! are text) and the evaluation pipeline (which works on ASTs).
+
+use crate::ast::*;
+
+/// Prints a query in canonical clause order:
+/// `VISUALIZE … SELECT … FROM … [JOIN …] [WHERE …] [BIN …] [GROUP BY …]
+/// [ORDER BY …]`.
+pub fn print(q: &VqlQuery) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("VISUALIZE ");
+    out.push_str(q.chart.keyword());
+    out.push_str(" SELECT ");
+    out.push_str(&q.x.to_string());
+    out.push_str(" , ");
+    out.push_str(&q.y.to_string());
+    out.push_str(" FROM ");
+    out.push_str(&q.from);
+    if let Some(j) = &q.join {
+        out.push_str(" JOIN ");
+        out.push_str(&j.table);
+        out.push_str(" ON ");
+        out.push_str(&j.left.to_string());
+        out.push_str(" = ");
+        out.push_str(&j.right.to_string());
+    }
+    if let Some(f) = &q.filter {
+        out.push_str(" WHERE ");
+        print_predicate(&mut out, f, false);
+    }
+    if let Some(b) = &q.bin {
+        out.push_str(" BIN ");
+        out.push_str(&b.column.to_string());
+        out.push_str(" BY ");
+        out.push_str(b.unit.keyword());
+    }
+    if !q.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, g) in q.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" , ");
+            }
+            out.push_str(&g.to_string());
+        }
+    }
+    if let Some(o) = &q.order {
+        out.push_str(" ORDER BY ");
+        match &o.target {
+            OrderTarget::X => out.push('x'),
+            OrderTarget::Y => out.push('y'),
+            OrderTarget::Column(c) => out.push_str(&c.to_string()),
+        }
+        out.push(' ');
+        out.push_str(o.dir.keyword());
+    }
+    out
+}
+
+/// Prints the *sketch* of a query: the clause-keyword skeleton with slots,
+/// used as the intermediate representation of the paper's chain-of-thought
+/// strategy (§5.3.2) and by the simulated LLM's demonstration learning.
+/// Example: `VISUALIZE[bar] SELECT[col,COUNT] FROM WHERE[1] GROUP ORDER`.
+pub fn print_sketch(q: &VqlQuery) -> String {
+    let mut out = String::new();
+    out.push_str("VISUALIZE[");
+    out.push_str(q.chart.keyword());
+    out.push_str("] SELECT[");
+    out.push_str(match &q.x {
+        SelectExpr::Column(_) => "col",
+        SelectExpr::Agg { .. } => "agg",
+    });
+    out.push(',');
+    out.push_str(match &q.y {
+        SelectExpr::Column(_) => "col",
+        SelectExpr::Agg { func, .. } => func.keyword(),
+    });
+    out.push_str("] FROM");
+    if q.join.is_some() {
+        out.push_str(" JOIN");
+    }
+    if let Some(f) = &q.filter {
+        out.push_str(&format!(" WHERE[{}{}]", f.atom_count(), if f.has_subquery() { ",nested" } else { "" }));
+    }
+    if let Some(b) = &q.bin {
+        out.push_str(&format!(" BIN[{}]", b.unit.keyword()));
+    }
+    if !q.group_by.is_empty() {
+        out.push_str(if q.group_by.len() > 1 { " GROUP[color]" } else { " GROUP" });
+    }
+    if let Some(o) = &q.order {
+        out.push_str(&format!(" ORDER[{}]", o.dir.keyword()));
+    }
+    out
+}
+
+fn print_predicate(out: &mut String, p: &Predicate, parenthesize_or: bool) {
+    match p {
+        Predicate::Cmp { col, op, value } => {
+            out.push_str(&col.to_string());
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            out.push_str(&value.to_string());
+        }
+        Predicate::InSubquery { col, negated, subquery } => {
+            out.push_str(&col.to_string());
+            out.push_str(if *negated { " NOT IN ( SELECT " } else { " IN ( SELECT " });
+            out.push_str(&subquery.select.to_string());
+            out.push_str(" FROM ");
+            out.push_str(&subquery.from);
+            if let Some(f) = &subquery.filter {
+                out.push_str(" WHERE ");
+                print_predicate(out, f, false);
+            }
+            out.push_str(" )");
+        }
+        Predicate::And(a, b) => {
+            // AND binds tighter than OR, so OR children need parens; a
+            // right-nested AND needs parens too or it would reparse
+            // left-associated.
+            print_predicate(out, a, true);
+            out.push_str(" AND ");
+            if matches!(**b, Predicate::And(..)) {
+                out.push_str("( ");
+                print_predicate(out, b, false);
+                out.push_str(" )");
+            } else {
+                print_predicate(out, b, true);
+            }
+        }
+        Predicate::Or(a, b) => {
+            if parenthesize_or {
+                out.push_str("( ");
+            }
+            print_predicate(out, a, false);
+            out.push_str(" OR ");
+            if matches!(**b, Predicate::Or(..)) {
+                out.push_str("( ");
+                print_predicate(out, b, false);
+                out.push_str(" )");
+            } else {
+                print_predicate(out, b, false);
+            }
+            if parenthesize_or {
+                out.push_str(" )");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let q = parse(src).unwrap();
+        let printed = print(&q);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(q, reparsed, "roundtrip failed for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for src in [
+            "VISUALIZE bar SELECT name , COUNT(name) FROM technician WHERE team != \"NYY\" GROUP BY name ORDER BY name ASC",
+            "VISUALIZE line SELECT date , COUNT(date) FROM payments BIN date BY month",
+            "VISUALIZE scatter SELECT age , salary FROM emp JOIN dept ON emp.d = dept.id",
+            "VISUALIZE pie SELECT t , COUNT(t) FROM p WHERE t NOT IN ( SELECT t FROM c WHERE y >= 2010 ) GROUP BY t",
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE ( x > 1 OR y < 2 ) AND z = 3",
+            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 OR y < 2 AND z = 3",
+            "VISUALIZE bar SELECT year , SUM(sales) FROM s GROUP BY year , region",
+            "VISUALIZE bar SELECT a , COUNT(*) FROM t ORDER BY y DESC",
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t WHERE n = 2.5",
+            "VISUALIZE line SELECT d , COUNT(d) FROM t WHERE d >= \"2020-01-01\"",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn or_inside_and_gets_parens() {
+        let q = parse("VISUALIZE bar SELECT a , b FROM t WHERE ( x = 1 OR y = 2 ) AND z = 3")
+            .unwrap();
+        let printed = print(&q);
+        assert!(printed.contains("( x = 1 OR y = 2 ) AND z = 3"), "{printed}");
+    }
+
+    #[test]
+    fn canonical_clause_order() {
+        let q = parse(
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a ASC GROUP BY a WHERE b = 1",
+        )
+        .unwrap();
+        let printed = print(&q);
+        let w = printed.find(" WHERE ").unwrap();
+        let g = printed.find(" GROUP BY ").unwrap();
+        let o = printed.find(" ORDER BY ").unwrap();
+        assert!(w < g && g < o, "{printed}");
+    }
+
+    #[test]
+    fn sketch_shapes() {
+        let q = parse(
+            "VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE a = 1 AND b = 2 GROUP BY name ORDER BY name DESC",
+        )
+        .unwrap();
+        assert_eq!(
+            print_sketch(&q),
+            "VISUALIZE[bar] SELECT[col,COUNT] FROM WHERE[2] GROUP ORDER[DESC]"
+        );
+        let q = parse(
+            "VISUALIZE scatter SELECT a , b FROM t JOIN u ON t.k = u.k WHERE k IN ( SELECT k FROM u ) GROUP BY a , c",
+        )
+        .unwrap();
+        assert_eq!(
+            print_sketch(&q),
+            "VISUALIZE[scatter] SELECT[col,col] FROM JOIN WHERE[1,nested] GROUP[color]"
+        );
+    }
+
+    #[test]
+    fn axis_order_targets_print() {
+        let q = parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY x DESC").unwrap();
+        assert!(print(&q).ends_with("ORDER BY x DESC"));
+    }
+}

@@ -1,0 +1,234 @@
+//! VQL → SQL translation.
+//!
+//! VQL descends from NL2SQL (nvBench was synthesized from Spider), and every
+//! VQL query has a natural SQL reading: the `VISUALIZE` clause drops (it only
+//! affects rendering), `SELECT x, y` keeps its meaning, and `BIN` becomes a
+//! date-part expression. This module emits portable SQL:92-style text with
+//! `EXTRACT` for date parts, so generated queries can run on a real engine
+//! for cross-validation of the built-in executor.
+
+use crate::ast::*;
+
+/// Translates a VQL query into a SQL `SELECT` statement.
+///
+/// Dialect notes: `BIN ... BY weekday` has no portable SQL:92 form and is
+/// emitted using the common `EXTRACT(DOW FROM col)` (PostgreSQL); month and
+/// quarter bins concatenate the year so bins do not merge across years,
+/// matching the executor's semantics.
+pub fn to_sql(q: &VqlQuery) -> String {
+    let mut out = String::from("SELECT ");
+    out.push_str(&select_item(q, &q.x));
+    out.push_str(" AS x, ");
+    out.push_str(&select_item(q, &q.y));
+    out.push_str(" AS y");
+    if let Some(color) = q.color() {
+        out.push_str(&format!(", {color} AS series"));
+    }
+    out.push_str(" FROM ");
+    out.push_str(&q.from);
+    if let Some(j) = &q.join {
+        out.push_str(&format!(" JOIN {} ON {} = {}", j.table, j.left, j.right));
+    }
+    if let Some(f) = &q.filter {
+        out.push_str(" WHERE ");
+        out.push_str(&predicate_sql(f));
+    }
+    if !q.group_by.is_empty() || (q.y.is_aggregate() && q.x.column().is_some()) {
+        out.push_str(" GROUP BY ");
+        if q.group_by.is_empty() {
+            out.push_str(&x_expr(q));
+        } else {
+            let keys: Vec<String> = q
+                .group_by
+                .iter()
+                .enumerate()
+                .map(|(i, g)| {
+                    // The first grouping key is the (possibly binned) x.
+                    if i == 0 && q.x.column().is_some_and(|xc| xc.column == g.column) {
+                        x_expr(q)
+                    } else {
+                        g.to_string()
+                    }
+                })
+                .collect();
+            out.push_str(&keys.join(", "));
+        }
+    }
+    if let Some(o) = &q.order {
+        out.push_str(" ORDER BY ");
+        out.push_str(&match &o.target {
+            OrderTarget::X => "x".to_string(),
+            OrderTarget::Y => "y".to_string(),
+            OrderTarget::Column(c) => {
+                if q.x.column().is_some_and(|xc| xc.column.eq_ignore_ascii_case(&c.column)) {
+                    "x".to_string()
+                } else {
+                    c.to_string()
+                }
+            }
+        });
+        out.push(' ');
+        out.push_str(o.dir.keyword());
+    }
+    out.push(';');
+    out
+}
+
+/// The x select item with binning applied.
+fn x_expr(q: &VqlQuery) -> String {
+    let raw = q.x.column().map(ToString::to_string).unwrap_or_else(|| "*".to_string());
+    match &q.bin {
+        Some(bin) if q.x.column() == Some(&bin.column) => bin_expr(&raw, bin.unit),
+        _ => raw,
+    }
+}
+
+fn bin_expr(col: &str, unit: BinUnit) -> String {
+    match unit {
+        BinUnit::Year => format!("EXTRACT(YEAR FROM {col})"),
+        BinUnit::Month => {
+            format!("EXTRACT(YEAR FROM {col}) || '-' || EXTRACT(MONTH FROM {col})")
+        }
+        BinUnit::Weekday => format!("EXTRACT(DOW FROM {col})"),
+        BinUnit::Quarter => {
+            format!("EXTRACT(YEAR FROM {col}) || '-Q' || EXTRACT(QUARTER FROM {col})")
+        }
+    }
+}
+
+fn select_item(q: &VqlQuery, e: &SelectExpr) -> String {
+    match e {
+        SelectExpr::Column(c) => {
+            // The x column may be binned.
+            if q.x.column() == Some(c) {
+                x_expr(q)
+            } else {
+                c.to_string()
+            }
+        }
+        SelectExpr::Agg { func, arg } => {
+            let inner = arg.as_ref().map(ToString::to_string).unwrap_or_else(|| "*".to_string());
+            format!("{}({inner})", func.keyword())
+        }
+    }
+}
+
+fn predicate_sql(p: &Predicate) -> String {
+    match p {
+        Predicate::Cmp { col, op, value } => {
+            let op_text = match op {
+                CmpOp::Ne => "<>".to_string(),
+                other => other.symbol().to_string(),
+            };
+            format!("{col} {op_text} {}", literal_sql(value))
+        }
+        Predicate::And(a, b) => {
+            format!("{} AND {}", group_or(a), group_or(b))
+        }
+        Predicate::Or(a, b) => {
+            format!("{} OR {}", predicate_sql(a), predicate_sql(b))
+        }
+        Predicate::InSubquery { col, negated, subquery } => {
+            let keyword = if *negated { "NOT IN" } else { "IN" };
+            let mut inner = format!("SELECT {} FROM {}", subquery.select, subquery.from);
+            if let Some(f) = &subquery.filter {
+                inner.push_str(&format!(" WHERE {}", predicate_sql(f)));
+            }
+            format!("{col} {keyword} ({inner})")
+        }
+    }
+}
+
+fn group_or(p: &Predicate) -> String {
+    match p {
+        Predicate::Or(..) => format!("({})", predicate_sql(p)),
+        other => predicate_sql(other),
+    }
+}
+
+fn literal_sql(l: &Literal) -> String {
+    match l {
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(f) => format!("{f}"),
+        Literal::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Literal::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Literal::Date(d) => format!("DATE '{d}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sql(src: &str) -> String {
+        to_sql(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn paper_example_1() {
+        assert_eq!(
+            sql("VISUALIZE bar SELECT name , COUNT(name) FROM technician WHERE team != \"NYY\" GROUP BY name ORDER BY name ASC"),
+            "SELECT name AS x, COUNT(name) AS y FROM technician WHERE team <> 'NYY' GROUP BY name ORDER BY x ASC;"
+        );
+    }
+
+    #[test]
+    fn join_and_qualifiers() {
+        assert_eq!(
+            sql("VISUALIZE bar SELECT t.a , SUM(u.v) FROM t JOIN u ON t.k = u.k GROUP BY t.a"),
+            "SELECT t.a AS x, SUM(u.v) AS y FROM t JOIN u ON t.k = u.k GROUP BY t.a;"
+        );
+    }
+
+    #[test]
+    fn bin_becomes_extract() {
+        assert_eq!(
+            sql("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY year GROUP BY d"),
+            "SELECT EXTRACT(YEAR FROM d) AS x, COUNT(d) AS y FROM t GROUP BY EXTRACT(YEAR FROM d);"
+        );
+        assert!(sql("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY month GROUP BY d")
+            .contains("EXTRACT(MONTH FROM d)"));
+        assert!(sql("VISUALIZE bar SELECT d , COUNT(d) FROM t BIN d BY weekday GROUP BY d")
+            .contains("EXTRACT(DOW FROM d)"));
+    }
+
+    #[test]
+    fn color_adds_series_column_and_group_key() {
+        assert_eq!(
+            sql("VISUALIZE bar SELECT year , SUM(sales) FROM s GROUP BY year , region"),
+            "SELECT year AS x, SUM(sales) AS y, region AS series FROM s GROUP BY year, region;"
+        );
+    }
+
+    #[test]
+    fn predicates_and_literals() {
+        let s = sql(
+            "VISUALIZE bar SELECT a , COUNT(*) FROM t WHERE ( x > 1 OR y = \"it's\" ) AND z <= 2.5 GROUP BY a",
+        );
+        assert!(s.contains("(x > 1 OR y = 'it''s') AND z <= 2.5"), "{s}");
+        assert!(s.contains("COUNT(*)"));
+    }
+
+    #[test]
+    fn subquery_and_dates() {
+        let s = sql(
+            "VISUALIZE pie SELECT t , COUNT(t) FROM p WHERE k NOT IN ( SELECT k FROM c WHERE d >= \"2020-01-01\" ) GROUP BY t",
+        );
+        assert!(s.contains("k NOT IN (SELECT k FROM c WHERE d >= DATE '2020-01-01')"), "{s}");
+    }
+
+    #[test]
+    fn implicit_group_by_for_aggregates() {
+        assert_eq!(
+            sql("VISUALIZE bar SELECT team , COUNT(team) FROM technician"),
+            "SELECT team AS x, COUNT(team) AS y FROM technician GROUP BY team;"
+        );
+    }
+
+    #[test]
+    fn order_by_y_and_desc() {
+        assert!(sql("VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY y DESC")
+            .ends_with("ORDER BY y DESC;"));
+    }
+}

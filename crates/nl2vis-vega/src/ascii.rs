@@ -1,0 +1,198 @@
+//! Terminal chart rendering, used by the interactive examples and the user
+//! study's command-line interface (the paper's user study, §5.2.2, drove
+//! text-davinci-003 through a command-line tool).
+
+use nl2vis_data::Value;
+use nl2vis_query::ast::ChartType;
+use nl2vis_query::exec::ResultSet;
+
+const BAR_WIDTH: usize = 40;
+
+/// Renders a result set as a terminal chart.
+pub fn render_ascii(result: &ResultSet) -> String {
+    if result.rows.is_empty() {
+        return format!("({} chart of {}: empty result)\n", result.chart, result.x_label);
+    }
+    match result.chart {
+        ChartType::Bar | ChartType::Pie => render_bars(result),
+        ChartType::Line => render_series(result, '*'),
+        ChartType::Scatter => render_series(result, 'o'),
+    }
+}
+
+fn numeric(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(0.0)
+}
+
+fn render_bars(result: &ResultSet) -> String {
+    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(f64::MIN, f64::max).max(1.0);
+    let label_w = result
+        .rows
+        .iter()
+        .map(|(x, _, s)| {
+            x.render().chars().count()
+                + s.as_ref().map(|sv| sv.render().chars().count() + 3).unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(1);
+    let mut out = format!("{} | {}\n", result.x_label, result.y_label);
+    for (x, y, s) in &result.rows {
+        let label = match s {
+            Some(sv) => format!("{} [{}]", x.render(), sv.render()),
+            None => x.render(),
+        };
+        let filled = ((numeric(y) / y_max) * BAR_WIDTH as f64).round().max(0.0) as usize;
+        // Numeric values display rounded (float arithmetic noise like
+        // 63634.53999999999 is accurate but unreadable).
+        let shown = match y.as_f64() {
+            Some(v) if y.data_type() == Some(nl2vis_data::value::DataType::Float) => {
+                format_num((v * 100.0).round() / 100.0)
+            }
+            _ => y.render(),
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {shown}\n",
+            "█".repeat(filled.min(BAR_WIDTH)),
+        ));
+    }
+    if result.chart == ChartType::Pie {
+        let total: f64 = result.rows.iter().map(|(_, y, _)| numeric(y)).sum();
+        if total > 0.0 {
+            out.push_str("shares: ");
+            let shares: Vec<String> = result
+                .rows
+                .iter()
+                .map(|(x, y, _)| format!("{}={:.0}%", x.render(), numeric(y) / total * 100.0))
+                .collect();
+            out.push_str(&shares.join(" "));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn render_series(result: &ResultSet, mark: char) -> String {
+    const ROWS: usize = 12;
+    const COLS: usize = 56;
+    let y_min = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(f64::MAX, f64::min);
+    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(f64::MIN, f64::max);
+    let span = (y_max - y_min).max(1e-9);
+    let n = result.rows.len();
+    let mut grid = vec![vec![' '; COLS]; ROWS];
+    for (i, (_, y, _)) in result.rows.iter().enumerate() {
+        let col = if n <= 1 { 0 } else { i * (COLS - 1) / (n - 1) };
+        let frac = (numeric(y) - y_min) / span;
+        let row = ROWS - 1 - ((frac * (ROWS - 1) as f64).round() as usize).min(ROWS - 1);
+        grid[row][col] = mark;
+    }
+    let mut out = format!("{} vs {}\n", result.y_label, result.x_label);
+    out.push_str(&format!("{:>8} ┤", format_num(y_max)));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..ROWS - 1] {
+        out.push_str("         │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} ┤", format_num(y_min)));
+    out.push_str(&grid[ROWS - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("         └");
+    out.push_str(&"─".repeat(COLS));
+    out.push('\n');
+    // X extremes.
+    let first = result.rows.first().map(|(x, _, _)| x.render()).unwrap_or_default();
+    let last = result.rows.last().map(|(x, _, _)| x.render()).unwrap_or_default();
+    out.push_str(&format!("          {first}{:>width$}\n", last, width = COLS.saturating_sub(first.chars().count())));
+    out
+}
+
+fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(chart: ChartType, rows: Vec<(Value, Value, Option<Value>)>) -> ResultSet {
+        ResultSet {
+            chart,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series_label: None,
+            rows,
+            ordered: false,
+        }
+    }
+
+    #[test]
+    fn bar_has_blocks_and_values() {
+        let text = render_ascii(&rs(
+            ChartType::Bar,
+            vec![(Value::from("a"), Value::Int(4), None), (Value::from("bb"), Value::Int(2), None)],
+        ));
+        assert!(text.contains('█'));
+        assert!(text.contains("a "));
+        assert!(text.contains("4"));
+        // Longest bar is the max value.
+        let a_blocks = text.lines().find(|l| l.starts_with("a ")).unwrap().matches('█').count();
+        let b_blocks = text.lines().find(|l| l.starts_with("bb")).unwrap().matches('█').count();
+        assert!(a_blocks > b_blocks);
+    }
+
+    #[test]
+    fn pie_shows_shares() {
+        let text = render_ascii(&rs(
+            ChartType::Pie,
+            vec![(Value::from("a"), Value::Int(1), None), (Value::from("b"), Value::Int(3), None)],
+        ));
+        assert!(text.contains("a=25%"));
+        assert!(text.contains("b=75%"));
+    }
+
+    #[test]
+    fn line_plots_marks() {
+        let text = render_ascii(&rs(
+            ChartType::Line,
+            vec![
+                (Value::Int(1), Value::Int(1), None),
+                (Value::Int(2), Value::Int(5), None),
+                (Value::Int(3), Value::Int(3), None),
+            ],
+        ));
+        assert_eq!(text.matches('*').count(), 3);
+    }
+
+    #[test]
+    fn scatter_uses_o() {
+        let text = render_ascii(&rs(
+            ChartType::Scatter,
+            vec![(Value::Int(1), Value::Int(1), None), (Value::Int(2), Value::Int(2), None)],
+        ));
+        assert_eq!(text.matches('o').count(), 2);
+    }
+
+    #[test]
+    fn empty_result_message() {
+        let text = render_ascii(&rs(ChartType::Bar, vec![]));
+        assert!(text.contains("empty result"));
+    }
+
+    #[test]
+    fn series_labels_in_bars() {
+        let r = ResultSet {
+            chart: ChartType::Bar,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series_label: Some("s".into()),
+            rows: vec![(Value::from("a"), Value::Int(1), Some(Value::from("g1")))],
+            ordered: false,
+        };
+        assert!(render_ascii(&r).contains("a [g1]"));
+    }
+}

@@ -1,0 +1,520 @@
+//! Vega-Lite → VQL import: the reverse of [`crate::spec`].
+//!
+//! The paper (§6.2) names "direct generation of diverse Vega-Lite
+//! specifications" as future work and argues VQL is the more robust
+//! intermediate. This module makes the comparison concrete: it translates a
+//! practical subset of Vega-Lite v5 — named data sources, the four marks,
+//! field/aggregate/timeUnit/sort encodings, color series, and `filter`
+//! transforms (predicate objects or `datum.` expressions) — into VQL, so a
+//! model that emits Vega-Lite JSON can be evaluated through the same
+//! executor and metrics as one that emits VQL.
+
+use nl2vis_data::value::Date;
+use nl2vis_data::Json;
+use nl2vis_query::ast::*;
+
+/// Errors from Vega-Lite import.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// The document is not valid JSON.
+    Json(String),
+    /// A required piece is missing.
+    Missing(&'static str),
+    /// A construct is outside the supported subset.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ImportError::Missing(what) => write!(f, "missing {what}"),
+            ImportError::Unsupported(what) => write!(f, "unsupported Vega-Lite construct: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Parses a Vega-Lite v5 document (text) into a VQL query.
+pub fn from_vega_lite_text(text: &str) -> Result<VqlQuery, ImportError> {
+    let json = Json::parse(text).map_err(|e| ImportError::Json(e.to_string()))?;
+    from_vega_lite(&json)
+}
+
+/// Translates a parsed Vega-Lite v5 document into a VQL query.
+pub fn from_vega_lite(spec: &Json) -> Result<VqlQuery, ImportError> {
+    // Data source: a named table. Inline values carry no table identity and
+    // cannot be re-grounded.
+    let from = spec
+        .get("data")
+        .and_then(|d| d.get("name"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(ImportError::Missing("data.name (inline values have no source table)"))?;
+
+    // Mark.
+    let mark = match spec.get("mark") {
+        Some(Json::String(s)) => s.clone(),
+        Some(obj) => obj
+            .get("type")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or(ImportError::Missing("mark.type"))?,
+        None => return Err(ImportError::Missing("mark")),
+    };
+    let chart = match mark.as_str() {
+        "bar" => ChartType::Bar,
+        "arc" => ChartType::Pie,
+        "line" | "area" | "trail" => ChartType::Line,
+        "point" | "circle" | "square" | "tick" => ChartType::Scatter,
+        other => return Err(ImportError::Unsupported(format!("mark `{other}`"))),
+    };
+
+    let encoding = spec.get("encoding").ok_or(ImportError::Missing("encoding"))?;
+
+    // Pie charts encode x as color and y as theta; others use x/y.
+    let (x_enc, y_enc) = if chart == ChartType::Pie {
+        (
+            encoding.get("color").ok_or(ImportError::Missing("encoding.color (pie)"))?,
+            encoding.get("theta").ok_or(ImportError::Missing("encoding.theta (pie)"))?,
+        )
+    } else {
+        (
+            encoding.get("x").ok_or(ImportError::Missing("encoding.x"))?,
+            encoding.get("y").ok_or(ImportError::Missing("encoding.y"))?,
+        )
+    };
+
+    let x_field = field_of(x_enc).ok_or(ImportError::Missing("encoding.x.field"))?;
+    let x = SelectExpr::Column(ColumnRef::new(x_field.clone()));
+    let y = select_expr_of(y_enc)?;
+
+    let mut q = VqlQuery::new(chart, x, y, from);
+
+    // Temporal binning from the x encoding's timeUnit.
+    if let Some(unit) = x_enc.get("timeUnit").and_then(Json::as_str) {
+        let unit = match unit {
+            "year" => BinUnit::Year,
+            "month" | "yearmonth" => BinUnit::Month,
+            "day" => BinUnit::Weekday,
+            "quarter" | "yearquarter" => BinUnit::Quarter,
+            other => return Err(ImportError::Unsupported(format!("timeUnit `{other}`"))),
+        };
+        q.bin = Some(Bin { column: ColumnRef::new(x_field.clone()), unit });
+    }
+
+    // Aggregated queries group by x; a color field (non-pie) is the series.
+    if q.y.is_aggregate() {
+        q.group_by.push(ColumnRef::new(x_field.clone()));
+    }
+    if chart != ChartType::Pie {
+        if let Some(color_field) = encoding.get("color").and_then(field_of) {
+            if q.group_by.is_empty() {
+                q.group_by.push(ColumnRef::new(x_field.clone()));
+            }
+            q.group_by.push(ColumnRef::new(color_field));
+        }
+    }
+
+    // Sorting from the x encoding's sort.
+    if let Some(sort) = x_enc.get("sort") {
+        q.order = Some(order_of(sort, &x_field)?);
+    }
+
+    // Filter transforms.
+    for t in spec.get("transform").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(filter) = t.get("filter") {
+            let p = predicate_of(filter)?;
+            q.filter = Some(match q.filter.take() {
+                Some(prev) => Predicate::And(Box::new(prev), Box::new(p)),
+                None => p,
+            });
+        } else {
+            return Err(ImportError::Unsupported("non-filter transform".to_string()));
+        }
+    }
+
+    Ok(q)
+}
+
+fn field_of(enc: &Json) -> Option<String> {
+    enc.get("field").and_then(Json::as_str).map(str::to_string)
+}
+
+fn select_expr_of(enc: &Json) -> Result<SelectExpr, ImportError> {
+    let aggregate = enc.get("aggregate").and_then(Json::as_str);
+    let field = field_of(enc);
+    match aggregate {
+        None => Ok(SelectExpr::Column(ColumnRef::new(
+            field.ok_or(ImportError::Missing("encoding field"))?,
+        ))),
+        Some(agg) => {
+            let func = match agg {
+                "count" => AggFunc::Count,
+                "sum" => AggFunc::Sum,
+                "mean" | "average" => AggFunc::Avg,
+                "min" => AggFunc::Min,
+                "max" => AggFunc::Max,
+                other => return Err(ImportError::Unsupported(format!("aggregate `{other}`"))),
+            };
+            Ok(SelectExpr::Agg { func, arg: field.map(ColumnRef::new) })
+        }
+    }
+}
+
+fn order_of(sort: &Json, x_field: &str) -> Result<OrderBy, ImportError> {
+    match sort {
+        Json::String(s) => match s.as_str() {
+            "ascending" => Ok(OrderBy {
+                target: OrderTarget::Column(ColumnRef::new(x_field)),
+                dir: SortDir::Asc,
+            }),
+            "descending" => Ok(OrderBy {
+                target: OrderTarget::Column(ColumnRef::new(x_field)),
+                dir: SortDir::Desc,
+            }),
+            "y" => Ok(OrderBy { target: OrderTarget::Y, dir: SortDir::Asc }),
+            "-y" => Ok(OrderBy { target: OrderTarget::Y, dir: SortDir::Desc }),
+            "x" => Ok(OrderBy { target: OrderTarget::X, dir: SortDir::Asc }),
+            "-x" => Ok(OrderBy { target: OrderTarget::X, dir: SortDir::Desc }),
+            other => Err(ImportError::Unsupported(format!("sort `{other}`"))),
+        },
+        Json::Null => Ok(OrderBy {
+            target: OrderTarget::Column(ColumnRef::new(x_field)),
+            dir: SortDir::Asc,
+        }),
+        other => Err(ImportError::Unsupported(format!("sort {other}"))),
+    }
+}
+
+/// Parses a Vega-Lite filter: either a predicate object
+/// (`{"field": "age", "gt": 30}`) or a `datum.` expression string
+/// (`"datum.age > 30 && datum.team !== 'NYY'"`).
+fn predicate_of(filter: &Json) -> Result<Predicate, ImportError> {
+    match filter {
+        Json::Object(_) => {
+            let field = filter
+                .get("field")
+                .and_then(Json::as_str)
+                .ok_or(ImportError::Missing("filter.field"))?;
+            let col = ColumnRef::new(field);
+            for (key, op) in [
+                ("equal", CmpOp::Eq),
+                ("lt", CmpOp::Lt),
+                ("lte", CmpOp::Le),
+                ("gt", CmpOp::Gt),
+                ("gte", CmpOp::Ge),
+            ] {
+                if let Some(v) = filter.get(key) {
+                    return Ok(Predicate::Cmp { col, op, value: literal_of(v)? });
+                }
+            }
+            if let Some(one_of) = filter.get("oneOf").and_then(Json::as_array) {
+                // oneOf desugars to an OR chain of equalities.
+                let mut lits = one_of.iter().map(literal_of);
+                let first = lits
+                    .next()
+                    .ok_or(ImportError::Unsupported("empty oneOf".to_string()))??;
+                let mut acc = Predicate::Cmp { col: col.clone(), op: CmpOp::Eq, value: first };
+                for lit in lits {
+                    acc = Predicate::Or(
+                        Box::new(acc),
+                        Box::new(Predicate::Cmp { col: col.clone(), op: CmpOp::Eq, value: lit? }),
+                    );
+                }
+                return Ok(acc);
+            }
+            Err(ImportError::Unsupported("filter predicate without operator".to_string()))
+        }
+        Json::String(expr) => parse_datum_expr(expr),
+        other => Err(ImportError::Unsupported(format!("filter {other}"))),
+    }
+}
+
+fn literal_of(v: &Json) -> Result<Literal, ImportError> {
+    Ok(match v {
+        Json::Number(n) => {
+            if n.fract() == 0.0 {
+                Literal::Int(*n as i64)
+            } else {
+                Literal::Float(*n)
+            }
+        }
+        Json::String(s) => match Date::parse(s) {
+            Some(d) => Literal::Date(d),
+            None => Literal::Text(s.clone()),
+        },
+        Json::Bool(b) => Literal::Bool(*b),
+        other => return Err(ImportError::Unsupported(format!("literal {other}"))),
+    })
+}
+
+/// Parses `datum.<col> <op> <literal>` chains joined by `&&` / `||`
+/// (left-associative, `&&` binding tighter, matching Vega expression
+/// semantics closely enough for filters).
+fn parse_datum_expr(expr: &str) -> Result<Predicate, ImportError> {
+    // Split on || first (lowest precedence).
+    let or_parts: Vec<&str> = expr.split("||").collect();
+    let mut or_acc: Option<Predicate> = None;
+    for or_part in or_parts {
+        let and_parts: Vec<&str> = or_part.split("&&").collect();
+        let mut and_acc: Option<Predicate> = None;
+        for atom in and_parts {
+            let p = parse_datum_atom(atom.trim())?;
+            and_acc = Some(match and_acc {
+                None => p,
+                Some(prev) => Predicate::And(Box::new(prev), Box::new(p)),
+            });
+        }
+        let clause = and_acc.ok_or(ImportError::Unsupported("empty clause".to_string()))?;
+        or_acc = Some(match or_acc {
+            None => clause,
+            Some(prev) => Predicate::Or(Box::new(prev), Box::new(clause)),
+        });
+    }
+    or_acc.ok_or(ImportError::Unsupported("empty filter expression".to_string()))
+}
+
+fn parse_datum_atom(atom: &str) -> Result<Predicate, ImportError> {
+    const OPS: [(&str, CmpOp); 8] = [
+        ("!==", CmpOp::Ne),
+        ("===", CmpOp::Eq),
+        ("!=", CmpOp::Ne),
+        ("==", CmpOp::Eq),
+        (">=", CmpOp::Ge),
+        ("<=", CmpOp::Le),
+        (">", CmpOp::Gt),
+        ("<", CmpOp::Lt),
+    ];
+    for (sym, op) in OPS {
+        if let Some(pos) = atom.find(sym) {
+            let lhs = atom[..pos].trim();
+            let rhs = atom[pos + sym.len()..].trim();
+            let col = lhs
+                .strip_prefix("datum.")
+                .or_else(|| lhs.strip_prefix("datum['").map(|s| s.trim_end_matches("']")))
+                .ok_or_else(|| {
+                    ImportError::Unsupported(format!("expected datum.<field>, got `{lhs}`"))
+                })?;
+            let value = if let Some(stripped) =
+                rhs.strip_prefix('\'').and_then(|r| r.strip_suffix('\''))
+            {
+                match Date::parse(stripped) {
+                    Some(d) => Literal::Date(d),
+                    None => Literal::Text(stripped.to_string()),
+                }
+            } else if rhs == "true" || rhs == "false" {
+                Literal::Bool(rhs == "true")
+            } else if let Ok(i) = rhs.parse::<i64>() {
+                Literal::Int(i)
+            } else if let Ok(f) = rhs.parse::<f64>() {
+                Literal::Float(f)
+            } else {
+                return Err(ImportError::Unsupported(format!("literal `{rhs}`")));
+            };
+            return Ok(Predicate::Cmp { col: ColumnRef::new(col), op, value });
+        }
+    }
+    Err(ImportError::Unsupported(format!("no comparison in `{atom}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_query::canon::exact_match;
+    use nl2vis_query::parse;
+
+    fn vql(src: &str) -> VqlQuery {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn bar_with_count_and_sort() {
+        let q = from_vega_lite_text(
+            r#"{
+                "data": {"name": "technician"},
+                "mark": "bar",
+                "encoding": {
+                    "x": {"field": "team", "type": "nominal", "sort": "ascending"},
+                    "y": {"field": "team", "aggregate": "count"}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(exact_match(
+            &q,
+            &vql("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY team ASC")
+        ));
+    }
+
+    #[test]
+    fn pie_uses_theta_and_color() {
+        let q = from_vega_lite_text(
+            r#"{
+                "data": {"name": "sales"},
+                "mark": "arc",
+                "encoding": {
+                    "theta": {"field": "amount", "aggregate": "sum"},
+                    "color": {"field": "region"}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(exact_match(
+            &q,
+            &vql("VISUALIZE pie SELECT region , SUM(amount) FROM sales GROUP BY region")
+        ));
+    }
+
+    #[test]
+    fn time_unit_becomes_bin() {
+        let q = from_vega_lite_text(
+            r#"{
+                "data": {"name": "payments"},
+                "mark": "line",
+                "encoding": {
+                    "x": {"field": "pay_date", "type": "temporal", "timeUnit": "yearmonth"},
+                    "y": {"aggregate": "count", "field": "pay_date"}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(q.bin.as_ref().unwrap().unit, BinUnit::Month);
+        assert_eq!(q.chart, ChartType::Line);
+    }
+
+    #[test]
+    fn filter_predicate_objects() {
+        let q = from_vega_lite_text(
+            r#"{
+                "data": {"name": "t"},
+                "mark": "bar",
+                "encoding": {
+                    "x": {"field": "a"},
+                    "y": {"field": "b", "aggregate": "mean"}
+                },
+                "transform": [
+                    {"filter": {"field": "age", "gt": 30}},
+                    {"filter": {"field": "team", "equal": "BOS"}}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert!(exact_match(
+            &q,
+            &vql("VISUALIZE bar SELECT a , AVG(b) FROM t WHERE age > 30 AND team = \"BOS\" GROUP BY a")
+        ));
+    }
+
+    #[test]
+    fn filter_datum_expression() {
+        let q = from_vega_lite_text(
+            r#"{
+                "data": {"name": "t"},
+                "mark": "point",
+                "encoding": {"x": {"field": "a"}, "y": {"field": "b"}},
+                "transform": [{"filter": "datum.age > 30 && datum.team !== 'NYY' || datum.vip === true"}]
+            }"#,
+        )
+        .unwrap();
+        assert!(exact_match(
+            &q,
+            &vql("VISUALIZE scatter SELECT a , b FROM t WHERE age > 30 AND team != \"NYY\" OR vip = true")
+        ));
+    }
+
+    #[test]
+    fn one_of_desugars_to_or() {
+        let q = from_vega_lite_text(
+            r#"{
+                "data": {"name": "t"},
+                "mark": "bar",
+                "encoding": {"x": {"field": "a"}, "y": {"aggregate": "count"}},
+                "transform": [{"filter": {"field": "team", "oneOf": ["BOS", "NYY"]}}]
+            }"#,
+        )
+        .unwrap();
+        assert!(exact_match(
+            &q,
+            &vql("VISUALIZE bar SELECT a , COUNT(*) FROM t WHERE team = \"BOS\" OR team = \"NYY\" GROUP BY a")
+        ));
+    }
+
+    #[test]
+    fn color_series_on_bar() {
+        let q = from_vega_lite_text(
+            r#"{
+                "data": {"name": "s"},
+                "mark": {"type": "bar"},
+                "encoding": {
+                    "x": {"field": "year"},
+                    "y": {"field": "sales", "aggregate": "sum"},
+                    "color": {"field": "region"}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(exact_match(
+            &q,
+            &vql("VISUALIZE bar SELECT year , SUM(sales) FROM s GROUP BY year , region")
+        ));
+    }
+
+    #[test]
+    fn roundtrip_with_exporter() {
+        use nl2vis_data::schema::{ColumnDef, DatabaseSchema, TableDef};
+        use nl2vis_data::value::DataType::*;
+        use nl2vis_data::{Database, Value};
+        // Export a query + result, rewrite the data to a named source, and
+        // import it back: execution-equivalent query.
+        let mut s = DatabaseSchema::new("d", "x");
+        s.tables.push(TableDef::new(
+            "sales",
+            vec![ColumnDef::new("region", Text), ColumnDef::new("amount", Int)],
+        ));
+        let mut db = Database::new(s);
+        for (r, a) in [("east", 10i64), ("west", 25)] {
+            db.insert("sales", vec![r.into(), Value::Int(a)]).unwrap();
+        }
+        let q = vql("VISUALIZE bar SELECT region , SUM(amount) FROM sales GROUP BY region ORDER BY region ASC");
+        let result = nl2vis_query::execute(&q, &db).unwrap();
+        let mut spec = crate::spec::to_vega_lite(&q, &result);
+        spec.set("data", Json::object(vec![("name", Json::from("sales"))]));
+        // The exporter labels the y field "sum(amount)"; rewrite it the way a
+        // generator targeting a named source would.
+        let encoding = spec.get("encoding").unwrap().clone();
+        let mut y = encoding.get("y").unwrap().clone();
+        y.set("field", Json::from("amount"));
+        y.set("aggregate", Json::from("sum"));
+        let mut enc = encoding;
+        enc.set("y", y);
+        spec.set("encoding", enc);
+
+        let imported = from_vega_lite(&spec).unwrap();
+        let reexecuted = nl2vis_query::execute(&imported, &db).unwrap();
+        assert!(reexecuted.same_data(&result));
+    }
+
+    #[test]
+    fn inline_values_are_rejected() {
+        let err = from_vega_lite_text(
+            r#"{"data": {"values": [{"a": 1}]}, "mark": "bar",
+                "encoding": {"x": {"field": "a"}, "y": {"field": "a"}}}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ImportError::Missing(_)));
+    }
+
+    #[test]
+    fn unsupported_constructs_are_reported() {
+        let boxplot = r#"{"data": {"name": "t"}, "mark": "boxplot",
+            "encoding": {"x": {"field": "a"}, "y": {"field": "b"}}}"#;
+        assert!(matches!(
+            from_vega_lite_text(boxplot),
+            Err(ImportError::Unsupported(_))
+        ));
+        let bad_json = from_vega_lite_text("{not json");
+        assert!(matches!(bad_json, Err(ImportError::Json(_))));
+    }
+}

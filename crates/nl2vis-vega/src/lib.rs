@@ -1,0 +1,24 @@
+//! Language-aware rendering (§3.4 of the paper): translating executed VQL
+//! queries into Vega-Lite specifications and rendering them as charts.
+//!
+//! The paper's pipeline renders a VQL query in three steps: the query is
+//! executed over the grounded table, translated into a visualization
+//! specification (Vega-Lite JSON), and drawn. This crate implements all
+//! three rendering targets:
+//!
+//! - [`spec`]: VQL → Vega-Lite v5 JSON (with inline data values);
+//! - [`svg`]: a self-contained SVG renderer for bar / line / scatter / pie
+//!   charts including stacked bars and colored series;
+//! - [`ascii`]: a terminal renderer used by the interactive examples and the
+//!   simulated user study;
+//! - [`import`]: the reverse translation — a practical Vega-Lite v5 subset
+//!   back into VQL (the paper's §6.2 direct-Vega-Lite direction), so
+//!   JSON-emitting models share the same evaluation path.
+
+pub mod ascii;
+pub mod import;
+pub mod spec;
+pub mod svg;
+
+pub use import::{from_vega_lite, from_vega_lite_text, ImportError};
+pub use spec::to_vega_lite;

@@ -1,0 +1,396 @@
+//! A self-contained SVG chart renderer.
+//!
+//! Renders an executed [`ResultSet`] as a standalone SVG document. Supports
+//! the four VQL chart types, with stacked bars / colored series when the
+//! result carries a series column. The renderer is deliberately simple —
+//! fixed canvas, linear scales, categorical x for bar/pie — but it makes the
+//! whole pipeline of the paper (NL → VQL → spec → chart) actually end in a
+//! picture.
+
+use nl2vis_data::Value;
+use nl2vis_query::ast::ChartType;
+use nl2vis_query::exec::ResultSet;
+use std::collections::BTreeSet;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_LEFT: f64 = 60.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 30.0;
+const MARGIN_BOTTOM: f64 = 60.0;
+
+/// Categorical color palette (Vega's `category10`).
+const PALETTE: [&str; 10] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf",
+];
+
+/// Renders a result set as an SVG document string.
+pub fn render_svg(result: &ResultSet) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\">\n"
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{} — {} by {}</text>\n",
+        WIDTH / 2.0,
+        escape(result.chart.keyword()),
+        escape(&result.y_label),
+        escape(&result.x_label)
+    ));
+    if result.rows.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#888\">(empty result)</text>\n",
+            WIDTH / 2.0,
+            HEIGHT / 2.0
+        ));
+        out.push_str("</svg>\n");
+        return out;
+    }
+    match result.chart {
+        ChartType::Pie => render_pie(result, &mut out),
+        ChartType::Bar => render_bar(result, &mut out),
+        ChartType::Line => render_line(result, &mut out),
+        ChartType::Scatter => render_scatter(result, &mut out),
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn plot_width() -> f64 {
+    WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+}
+fn plot_height() -> f64 {
+    HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+}
+
+fn numeric(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(0.0)
+}
+
+/// Distinct series values in first-appearance order, if any.
+fn series_values(result: &ResultSet) -> Vec<Value> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for (_, _, s) in &result.rows {
+        if let Some(sv) = s {
+            if seen.insert(sv.clone()) {
+                out.push(sv.clone());
+            }
+        }
+    }
+    out
+}
+
+fn series_color(series: &[Value], v: &Option<Value>) -> &'static str {
+    match v {
+        None => PALETTE[0],
+        Some(sv) => {
+            let idx = series.iter().position(|s| s == sv).unwrap_or(0);
+            PALETTE[idx % PALETTE.len()]
+        }
+    }
+}
+
+/// Distinct x categories in row order.
+fn x_categories(result: &ResultSet) -> Vec<Value> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for (x, _, _) in &result.rows {
+        if seen.insert(x.clone()) {
+            out.push(x.clone());
+        }
+    }
+    out
+}
+
+fn axes(out: &mut String, result: &ResultSet, y_max: f64) {
+    let x0 = MARGIN_LEFT;
+    let y0 = MARGIN_TOP + plot_height();
+    out.push_str(&format!(
+        "<line x1=\"{x0}\" y1=\"{y0}\" x2=\"{}\" y2=\"{y0}\" stroke=\"#333\"/>\n",
+        x0 + plot_width()
+    ));
+    out.push_str(&format!(
+        "<line x1=\"{x0}\" y1=\"{MARGIN_TOP}\" x2=\"{x0}\" y2=\"{y0}\" stroke=\"#333\"/>\n"
+    ));
+    // Y ticks: 5 divisions.
+    for i in 0..=5 {
+        let frac = i as f64 / 5.0;
+        let y = y0 - frac * plot_height();
+        let label = y_max * frac;
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" font-size=\"10\">{}</text>\n",
+            x0 - 6.0,
+            y + 3.0,
+            format_tick(label)
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{y}\" x2=\"{x0}\" y2=\"{y}\" stroke=\"#999\"/>\n",
+            x0 - 4.0
+        ));
+    }
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\">{}</text>\n",
+        MARGIN_LEFT + plot_width() / 2.0,
+        HEIGHT - 8.0,
+        escape(&result.x_label)
+    ));
+}
+
+fn format_tick(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn render_bar(result: &ResultSet, out: &mut String) {
+    let cats = x_categories(result);
+    let series = series_values(result);
+    // Stacked bars: totals per category set the y scale.
+    let mut totals = vec![0.0; cats.len()];
+    for (x, y, _) in &result.rows {
+        let idx = cats.iter().position(|c| c == x).unwrap();
+        totals[idx] += numeric(y).max(0.0);
+    }
+    let y_max = totals.iter().cloned().fold(1.0_f64, f64::max);
+    axes(out, result, y_max);
+
+    let band = plot_width() / cats.len() as f64;
+    let bar_w = (band * 0.7).max(1.0);
+    let y0 = MARGIN_TOP + plot_height();
+    let mut stack_base = vec![0.0; cats.len()];
+
+    for (x, y, s) in &result.rows {
+        let idx = cats.iter().position(|c| c == x).unwrap();
+        let value = numeric(y).max(0.0);
+        let h = value / y_max * plot_height();
+        let base = stack_base[idx];
+        stack_base[idx] += h;
+        let cx = MARGIN_LEFT + band * idx as f64 + (band - bar_w) / 2.0;
+        out.push_str(&format!(
+            "<rect x=\"{cx:.1}\" y=\"{:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" fill=\"{}\"/>\n",
+            y0 - base - h,
+            series_color(&series, s)
+        ));
+    }
+    // Category labels.
+    for (idx, c) in cats.iter().enumerate() {
+        let cx = MARGIN_LEFT + band * (idx as f64 + 0.5);
+        out.push_str(&format!(
+            "<text x=\"{cx:.1}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+            y0 + 14.0,
+            escape(&c.render())
+        ));
+    }
+    legend(out, &series);
+}
+
+fn render_line(result: &ResultSet, out: &mut String) {
+    let cats = x_categories(result);
+    let series = series_values(result);
+    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(1.0_f64, f64::max);
+    axes(out, result, y_max);
+    let y0 = MARGIN_TOP + plot_height();
+    let step = plot_width() / (cats.len().max(2) - 1) as f64;
+
+    let groups: Vec<Option<Value>> = if series.is_empty() {
+        vec![None]
+    } else {
+        series.iter().cloned().map(Some).collect()
+    };
+    for g in &groups {
+        let mut points = Vec::new();
+        for (x, y, s) in &result.rows {
+            if s == g || (g.is_none() && s.is_none()) {
+                let idx = cats.iter().position(|c| c == x).unwrap();
+                let px = MARGIN_LEFT + step * idx as f64;
+                let py = y0 - numeric(y) / y_max * plot_height();
+                points.push(format!("{px:.1},{py:.1}"));
+            }
+        }
+        out.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\n",
+            points.join(" "),
+            series_color(&series, g)
+        ));
+    }
+    for (idx, c) in cats.iter().enumerate() {
+        let cx = MARGIN_LEFT + step * idx as f64;
+        out.push_str(&format!(
+            "<text x=\"{cx:.1}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+            y0 + 14.0,
+            escape(&c.render())
+        ));
+    }
+    legend(out, &series);
+}
+
+fn render_scatter(result: &ResultSet, out: &mut String) {
+    let series = series_values(result);
+    let x_max = result.rows.iter().map(|(x, _, _)| numeric(x)).fold(1.0_f64, f64::max);
+    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(1.0_f64, f64::max);
+    axes(out, result, y_max);
+    let y0 = MARGIN_TOP + plot_height();
+    for (x, y, s) in &result.rows {
+        let px = MARGIN_LEFT + numeric(x) / x_max * plot_width();
+        let py = y0 - numeric(y) / y_max * plot_height();
+        out.push_str(&format!(
+            "<circle cx=\"{px:.1}\" cy=\"{py:.1}\" r=\"4\" fill=\"{}\" fill-opacity=\"0.7\"/>\n",
+            series_color(&series, s)
+        ));
+    }
+    legend(out, &series);
+}
+
+fn render_pie(result: &ResultSet, out: &mut String) {
+    let cx = WIDTH / 2.0;
+    let cy = (HEIGHT + MARGIN_TOP) / 2.0;
+    let radius = (plot_height() / 2.0) - 10.0;
+    let total: f64 = result.rows.iter().map(|(_, y, _)| numeric(y).max(0.0)).sum();
+    if total <= 0.0 {
+        return;
+    }
+    let mut angle = -std::f64::consts::FRAC_PI_2;
+    for (i, (x, y, _)) in result.rows.iter().enumerate() {
+        let frac = numeric(y).max(0.0) / total;
+        let sweep = frac * std::f64::consts::TAU;
+        let (x1, y1) = (cx + radius * angle.cos(), cy + radius * angle.sin());
+        let end = angle + sweep;
+        let (x2, y2) = (cx + radius * end.cos(), cy + radius * end.sin());
+        let large = i32::from(sweep > std::f64::consts::PI);
+        out.push_str(&format!(
+            "<path d=\"M{cx:.1},{cy:.1} L{x1:.1},{y1:.1} A{radius:.1},{radius:.1} 0 {large} 1 {x2:.1},{y2:.1} Z\" fill=\"{}\"/>\n",
+            PALETTE[i % PALETTE.len()]
+        ));
+        // Slice label at the middle angle.
+        let mid = angle + sweep / 2.0;
+        let (lx, ly) = (cx + (radius + 16.0) * mid.cos(), cy + (radius + 16.0) * mid.sin());
+        out.push_str(&format!(
+            "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+            escape(&x.render())
+        ));
+        angle = end;
+    }
+}
+
+fn legend(out: &mut String, series: &[Value]) {
+    for (i, s) in series.iter().enumerate() {
+        let y = MARGIN_TOP + 14.0 * i as f64;
+        let x = WIDTH - MARGIN_RIGHT - 90.0;
+        out.push_str(&format!(
+            "<rect x=\"{x}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n",
+            y - 9.0,
+            PALETTE[i % PALETTE.len()]
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{y}\" font-size=\"10\">{}</text>\n",
+            x + 14.0,
+            escape(&s.render())
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_query::ast::ChartType;
+
+    fn rs(chart: ChartType, rows: Vec<(Value, Value, Option<Value>)>) -> ResultSet {
+        ResultSet {
+            chart,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series_label: rows.iter().any(|r| r.2.is_some()).then(|| "s".to_string()),
+            rows,
+            ordered: false,
+        }
+    }
+
+    #[test]
+    fn bar_svg_has_rects() {
+        let svg = render_svg(&rs(
+            ChartType::Bar,
+            vec![
+                (Value::from("a"), Value::Int(3), None),
+                (Value::from("b"), Value::Int(5), None),
+            ],
+        ));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 2);
+    }
+
+    #[test]
+    fn stacked_bar_has_colored_rects_and_legend() {
+        let svg = render_svg(&rs(
+            ChartType::Bar,
+            vec![
+                (Value::from("a"), Value::Int(3), Some(Value::from("s1"))),
+                (Value::from("a"), Value::Int(2), Some(Value::from("s2"))),
+            ],
+        ));
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+        assert!(svg.contains(">s1</text>"));
+    }
+
+    #[test]
+    fn line_svg_has_polyline() {
+        let svg = render_svg(&rs(
+            ChartType::Line,
+            vec![
+                (Value::Int(2020), Value::Int(3), None),
+                (Value::Int(2021), Value::Int(5), None),
+            ],
+        ));
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn scatter_svg_has_circles() {
+        let svg = render_svg(&rs(
+            ChartType::Scatter,
+            vec![
+                (Value::Float(1.0), Value::Float(2.0), None),
+                (Value::Float(3.0), Value::Float(4.0), None),
+            ],
+        ));
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn pie_svg_has_arcs() {
+        let svg = render_svg(&rs(
+            ChartType::Pie,
+            vec![
+                (Value::from("a"), Value::Int(1), None),
+                (Value::from("b"), Value::Int(3), None),
+            ],
+        ));
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn empty_result_renders_placeholder() {
+        let svg = render_svg(&rs(ChartType::Bar, vec![]));
+        assert!(svg.contains("empty result"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = render_svg(&rs(
+            ChartType::Bar,
+            vec![(Value::from("a<b&c"), Value::Int(1), None)],
+        ));
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b&c"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Conversational NL2VIS (the paper's §6.2 future-work direction): one
+//! initial request, then a chain of follow-up revisions, with undo.
+//!
+//! ```text
+//! cargo run --release --example conversation
+//! ```
+
+use nl2vis::prelude::*;
+
+fn main() {
+    let mut schema = DatabaseSchema::new("club", "sports");
+    schema.tables.push(TableDef::new(
+        "technician",
+        vec![
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("team", DataType::Text),
+            ColumnDef::new("age", DataType::Int),
+            ColumnDef::new("salary", DataType::Float),
+        ],
+    ));
+    let mut db = Database::new(schema);
+    for (n, t, a, s) in [
+        ("ann", "NYY", 36, 88_000.0),
+        ("bob", "BOS", 33, 72_000.0),
+        ("cat", "BOS", 29, 95_000.0),
+        ("dan", "LAD", 41, 64_000.0),
+        ("eve", "BOS", 30, 81_000.0),
+        ("fay", "NYY", 27, 59_000.0),
+    ] {
+        db.insert("technician", vec![n.into(), t.into(), Value::Int(a), Value::Float(s)])
+            .unwrap();
+    }
+
+    let pipeline = Pipeline::new("gpt-4", 1);
+    let mut session = Conversation::new(&pipeline, &db);
+
+    for utterance in [
+        "Show a bar chart of the number of technicians for each team.",
+        "make it a pie chart",
+        "only technicians with age over 30",
+        "switch to the average salary",
+        "undo",
+    ] {
+        println!(">>> {utterance}");
+        match session.say(utterance) {
+            Ok(turn) => {
+                println!(
+                    "[{:?}] VQL: {}",
+                    turn.kind,
+                    nl2vis::query::printer::print(&turn.visualization.vql)
+                );
+                println!("{}", turn.visualization.ascii());
+            }
+            Err(e) => println!("  failed: {e}\n"),
+        }
+    }
+    println!("turns in history: {}", session.history().len());
+}

@@ -1,0 +1,46 @@
+//! Bring your own data: load CSV text into a database (column types
+//! inferred) and visualize it with natural language.
+//!
+//! ```text
+//! cargo run --release --example custom_data
+//! ```
+
+use nl2vis::data::database_from_csv;
+use nl2vis::prelude::*;
+
+const ORDERS_CSV: &str = "\
+city,amount,order_date,express
+Lisbon,120.5,2024-01-03,true
+Oslo,89.0,2024-01-15,false
+Lisbon,230.25,2024-02-02,true
+Kyoto,45.0,2024-02-20,false
+Oslo,310.75,2024-03-05,true
+Kyoto,150.0,2024-03-18,false
+Lisbon,75.5,2024-04-01,true
+";
+
+fn main() {
+    let db = database_from_csv("orders_db", "retail", &[("orders", ORDERS_CSV)])
+        .expect("CSV loads");
+    println!("loaded `{}`: {} rows", db.name(), db.total_rows());
+    for c in &db.table("orders").unwrap().def.columns {
+        println!("  {} : {}", c.name, c.dtype);
+    }
+    println!();
+
+    let pipeline = Pipeline::new("gpt-4", 3);
+    for question in [
+        "Show a bar chart of the total amount for each city.",
+        "Draw a line chart of the number of orders, binned by month.",
+        "Show a pie chart of the number of orders for each city where express is true.",
+    ] {
+        println!("Q: {question}");
+        match pipeline.run(&db, question) {
+            Ok(vis) => {
+                println!("VQL: {}", nl2vis::query::printer::print(&vis.vql));
+                println!("{}", vis.ascii());
+            }
+            Err(e) => println!("  failed: {e}\n"),
+        }
+    }
+}

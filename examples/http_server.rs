@@ -1,0 +1,43 @@
+//! The paper drives its models through the OpenAI HTTP API; this example
+//! serves the simulated model on localhost and runs the pipeline over the
+//! wire.
+//!
+//! ```text
+//! cargo run --example http_server
+//! ```
+
+use nl2vis::llm::http::{CompletionServer, HttpLlmClient};
+use nl2vis::prelude::*;
+
+fn main() {
+    // Serve a simulated gpt-4 on an ephemeral local port.
+    let server = CompletionServer::start(SimLlm::new(ModelProfile::gpt_4(), 99))
+        .expect("server starts");
+    println!("completion server listening on http://{}", server.address());
+
+    // A database to visualize.
+    let mut schema = DatabaseSchema::new("fleet", "logistics");
+    schema.tables.push(TableDef::new(
+        "shipment",
+        vec![
+            ColumnDef::new("destination", DataType::Text),
+            ColumnDef::new("weight_kg", DataType::Float),
+        ],
+    ));
+    let mut db = Database::new(schema);
+    for (dest, w) in [("Lisbon", 12.5), ("Oslo", 30.0), ("Lisbon", 7.25), ("Kyoto", 18.0)] {
+        db.insert("shipment", vec![dest.into(), Value::Float(w)]).unwrap();
+    }
+
+    // The pipeline talks HTTP — swap the address for a real endpoint and
+    // nothing else changes.
+    let client = HttpLlmClient::new(server.address(), "gpt-4");
+    let pipeline = Pipeline::with_client(Box::new(client));
+    let vis = pipeline
+        .run(&db, "Draw a pie chart of the total weight kg for each destination.")
+        .expect("visualization over HTTP");
+
+    println!("\nVQL: {}", nl2vis::query::printer::print(&vis.vql));
+    println!("\n{}", vis.ascii());
+    println!("(server shuts down when this process exits)");
+}

@@ -1,0 +1,59 @@
+//! RQ1 in miniature: serialize the same table under every strategy of the
+//! paper's Figure 4, show the prompts, and compare whether the model solves
+//! the same question under each.
+//!
+//! ```text
+//! cargo run --example prompt_formats
+//! ```
+
+use nl2vis::corpus::{Corpus, CorpusConfig};
+use nl2vis::prelude::*;
+use nl2vis::prompt::build_prompt;
+use nl2vis::query::canon::exact_match;
+
+fn main() {
+    let corpus = Corpus::build(&CorpusConfig::small(7));
+    // Pick a hard test example so formats can differ.
+    let example = corpus
+        .examples
+        .iter()
+        .find(|e| e.hardness == Hardness::Hard && !e.is_join)
+        .expect("a hard example");
+    let db = corpus.catalog.database(&example.db).unwrap();
+
+    println!("Q: {}", example.nl);
+    println!("gold VQL: {}\n", nl2vis::query::printer::print(&example.vql));
+
+    let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+    println!("{:<20} {:>7} {:>7}  prediction", "format", "tokens", "exact?");
+    println!("{}", "-".repeat(96));
+    for format in PromptFormat::all() {
+        let options = PromptOptions { format, ..Default::default() };
+        let prompt = build_prompt(&options, db, &example.nl, &[], |_: &Example| unreachable!());
+        let completion = llm.complete(&prompt.text);
+        let verdict = nl2vis::llm::extract_vql(&completion)
+            .and_then(|t| nl2vis::query::parse(t).ok())
+            .map(|pred| exact_match(&pred, &example.vql));
+        println!(
+            "{:<20} {:>7} {:>7}  {}",
+            format.name(),
+            prompt.tokens,
+            match verdict {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "n/a",
+            },
+            completion.chars().take(72).collect::<String>()
+        );
+    }
+
+    // Show one serialization of each family in full.
+    for format in [
+        PromptFormat::ColumnList,
+        PromptFormat::Table2Nl,
+        PromptFormat::Table2Json,
+        PromptFormat::Table2Code,
+    ] {
+        println!("\n=== {} ===\n{}", format.name(), format.serialize(db, &example.nl));
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a table, ask a question in English, get a chart.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nl2vis::prelude::*;
+
+fn main() {
+    // 1. A grounded table (the paper's Example 1 uses a technician roster).
+    let mut schema = DatabaseSchema::new("club", "sports");
+    schema.tables.push(TableDef::new(
+        "technician",
+        vec![
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("team", DataType::Text),
+            ColumnDef::new("age", DataType::Int),
+        ],
+    ));
+    let mut db = Database::new(schema);
+    for (name, team, age) in [
+        ("ann", "NYY", 36),
+        ("bob", "BOS", 33),
+        ("cat", "BOS", 29),
+        ("dan", "LAD", 41),
+        ("eve", "BOS", 30),
+        ("fay", "NYY", 27),
+    ] {
+        db.insert("technician", vec![name.into(), team.into(), Value::Int(age)]).unwrap();
+    }
+
+    // 2. The pipeline over a simulated gpt-4.
+    let pipeline = Pipeline::new("gpt-4", 42);
+
+    // 3. Natural language in; VQL, data, and charts out.
+    let question =
+        "Show a bar chart of the number of technicians for each team, excluding the team \"NYY\", \
+         rank the x-axis in ascending order.";
+    let vis = pipeline.run(&db, question).expect("visualization");
+
+    println!("Q: {question}\n");
+    println!("VQL: {}\n", nl2vis::query::printer::print(&vis.vql));
+    println!("{}\n", vis.ascii());
+    println!("Vega-Lite spec:\n{}", vis.vega_lite().to_pretty());
+
+    let path = std::env::temp_dir().join("nl2vis_quickstart.svg");
+    std::fs::write(&path, vis.svg()).expect("write svg");
+    println!("\nSVG written to {}", path.display());
+}

@@ -1,0 +1,179 @@
+//! A conversational NL2VIS session (the paper's §6.2 future-work
+//! direction): the first utterance creates a visualization through the full
+//! pipeline; later utterances are interpreted as *follow-up revisions*
+//! ("make it a pie", "only the BOS team", "sort by the value descending")
+//! when they parse as such, and as fresh requests otherwise.
+
+use crate::pipeline::{Pipeline, PipelineError, Visualization};
+use nl2vis_data::Database;
+use nl2vis_llm::followup::parse_follow_up;
+use nl2vis_llm::recover::RecoveredSchema;
+use nl2vis_query::ast::VqlQuery;
+use nl2vis_query::execute;
+
+/// How a conversation turn was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnKind {
+    /// A fresh request through the full pipeline.
+    Fresh,
+    /// A revision of the previous query.
+    FollowUp,
+    /// An undo of the previous turn.
+    Undo,
+}
+
+/// One completed conversation turn.
+#[derive(Debug, Clone)]
+pub struct Turn {
+    /// What the user said.
+    pub utterance: String,
+    /// How it was handled.
+    pub kind: TurnKind,
+    /// The resulting visualization.
+    pub visualization: Visualization,
+}
+
+/// A multi-turn session over one database.
+pub struct Conversation<'a> {
+    pipeline: &'a Pipeline,
+    db: &'a Database,
+    schema: RecoveredSchema,
+    history: Vec<Turn>,
+}
+
+impl<'a> Conversation<'a> {
+    /// Opens a session.
+    pub fn new(pipeline: &'a Pipeline, db: &'a Database) -> Conversation<'a> {
+        Conversation {
+            pipeline,
+            db,
+            schema: RecoveredSchema::from_database(db),
+            history: Vec::new(),
+        }
+    }
+
+    /// The current (latest) query, if any turn succeeded.
+    pub fn current(&self) -> Option<&VqlQuery> {
+        self.history.last().map(|t| &t.visualization.vql)
+    }
+
+    /// All completed turns.
+    pub fn history(&self) -> &[Turn] {
+        &self.history
+    }
+
+    /// Handles one utterance: follow-up revision when the previous chart
+    /// exists and the utterance parses as one, "undo" to pop a turn, a fresh
+    /// pipeline request otherwise.
+    pub fn say(&mut self, utterance: &str) -> Result<&Turn, PipelineError> {
+        let trimmed = utterance.trim();
+        if trimmed.eq_ignore_ascii_case("undo") && self.history.len() >= 2 {
+            self.history.pop();
+            let prev = self.history.last_mut().expect("history non-empty");
+            prev.kind = TurnKind::Undo;
+            return Ok(self.history.last().expect("history non-empty"));
+        }
+
+        if let Some(prev) = self.history.last() {
+            let know_all = |_: &str| true;
+            let edits =
+                parse_follow_up(trimmed, &prev.visualization.vql, &self.schema, &know_all);
+            if !edits.is_empty() {
+                let mut revised = prev.visualization.vql.clone();
+                for e in &edits {
+                    revised = e.apply(&revised);
+                }
+                let data = execute(&revised, self.db)?;
+                self.history.push(Turn {
+                    utterance: trimmed.to_string(),
+                    kind: TurnKind::FollowUp,
+                    visualization: Visualization {
+                        vql: revised,
+                        data,
+                        completion: format!("[follow-up: {} edit(s)]", edits.len()),
+                    },
+                });
+                return Ok(self.history.last().expect("just pushed"));
+            }
+        }
+
+        let vis = self.pipeline.run(self.db, trimmed)?;
+        self.history.push(Turn {
+            utterance: trimmed.to_string(),
+            kind: TurnKind::Fresh,
+            visualization: vis,
+        });
+        Ok(self.history.last().expect("just pushed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_data::schema::{ColumnDef, DatabaseSchema, TableDef};
+    use nl2vis_data::value::DataType::*;
+    use nl2vis_data::Value;
+    use nl2vis_query::ast::{ChartType, Predicate};
+
+    fn db() -> Database {
+        let mut s = DatabaseSchema::new("club", "sports");
+        s.tables.push(TableDef::new(
+            "technician",
+            vec![
+                ColumnDef::new("name", Text),
+                ColumnDef::new("team", Text),
+                ColumnDef::new("age", Int),
+            ],
+        ));
+        let mut d = Database::new(s);
+        for (n, t, a) in [
+            ("ann", "NYY", 36),
+            ("bob", "BOS", 33),
+            ("cat", "BOS", 29),
+            ("dan", "LAD", 41),
+        ] {
+            d.insert("technician", vec![n.into(), t.into(), Value::Int(a)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn multi_turn_session() {
+        let d = db();
+        let pipeline = Pipeline::new("gpt-4", 1);
+        let mut session = Conversation::new(&pipeline, &d);
+
+        let t1 = session
+            .say("Show a bar chart of the number of technicians for each team.")
+            .unwrap();
+        assert_eq!(t1.kind, TurnKind::Fresh);
+        assert_eq!(t1.visualization.vql.chart, ChartType::Bar);
+
+        let t2 = session.say("make it a pie chart").unwrap();
+        assert_eq!(t2.kind, TurnKind::FollowUp);
+        assert_eq!(t2.visualization.vql.chart, ChartType::Pie);
+
+        let t3 = session.say("only technicians with age over 30").unwrap();
+        assert_eq!(t3.kind, TurnKind::FollowUp);
+        assert!(matches!(t3.visualization.vql.filter, Some(Predicate::Cmp { .. })));
+        assert!(t3.visualization.data.rows.len() <= 3);
+
+        // Undo pops back to the pie without the filter.
+        let t4 = session.say("undo").unwrap();
+        assert!(t4.visualization.vql.filter.is_none());
+        assert_eq!(session.history().len(), 2);
+    }
+
+    #[test]
+    fn fresh_request_after_follow_ups() {
+        let d = db();
+        let pipeline = Pipeline::new("gpt-4", 1);
+        let mut session = Conversation::new(&pipeline, &d);
+        session.say("Show a bar chart of the number of technicians for each team.").unwrap();
+        session.say("make it a pie chart").unwrap();
+        let t = session
+            .say("Display a scatter plot of age against age in the technician table.")
+            .unwrap();
+        assert_eq!(t.kind, TurnKind::Fresh);
+    }
+}

@@ -1,0 +1,86 @@
+//! # nl2vis
+//!
+//! Automated data visualization from natural language via (simulated) large
+//! language models — a production-grade Rust reproduction of
+//! *"Automated Data Visualization from Natural Language via Large Language
+//! Models: An Exploratory Study"* (SIGMOD 2024).
+//!
+//! The workspace implements the paper's entire stack from scratch:
+//!
+//! - [`data`]: typed values, relational schemas, an in-memory database,
+//!   JSON/CSV infrastructure, a deterministic RNG;
+//! - [`query`]: the VQL visualization query language — parser, binder,
+//!   executor, canonicalizer, component taxonomy;
+//! - [`vega`]: VQL → Vega-Lite translation plus SVG and terminal renderers;
+//! - [`corpus`]: a synthetic nvBench-style benchmark generator with
+//!   in-domain / cross-domain splits;
+//! - [`prompt`]: the fourteen table-serialization strategies of the paper's
+//!   Figure 4 and in-context-learning prompt assembly;
+//! - [`llm`]: a mechanistic simulated LLM (schema recovery, linking,
+//!   grounding, failure-taxonomy error model) behind an OpenAI-compatible
+//!   HTTP transport;
+//! - [`baselines`]: trained Seq2Vis / Transformer / ncNet / RGVisNet /
+//!   Chat2Vis / T5 models;
+//! - [`eval`]: the paper's metrics, failure analysis, iterative-repair
+//!   strategies, and user-study simulation;
+//! - `bench` ([`crate::bench`]): the experiment harness regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nl2vis::prelude::*;
+//!
+//! // A small database.
+//! let mut schema = DatabaseSchema::new("shop", "retail");
+//! schema.tables.push(TableDef::new(
+//!     "sales",
+//!     vec![
+//!         ColumnDef::new("region", DataType::Text),
+//!         ColumnDef::new("amount", DataType::Int),
+//!     ],
+//! ));
+//! let mut db = Database::new(schema);
+//! for (r, a) in [("east", 10), ("west", 25), ("east", 5)] {
+//!     db.insert("sales", vec![r.into(), Value::Int(a)]).unwrap();
+//! }
+//!
+//! // Ask in natural language.
+//! let pipeline = Pipeline::new("gpt-4", 1);
+//! let vis = pipeline
+//!     .run(&db, "Show a bar chart of the total amount for each region.")
+//!     .unwrap();
+//! assert_eq!(vis.vql.chart, ChartType::Bar);
+//! assert!(!vis.data.rows.is_empty());
+//! println!("{}", vis.ascii());
+//! ```
+
+pub use nl2vis_baselines as baselines;
+pub use nl2vis_bench as bench;
+pub use nl2vis_corpus as corpus;
+pub use nl2vis_data as data;
+pub use nl2vis_eval as eval;
+pub use nl2vis_llm as llm;
+pub use nl2vis_prompt as prompt;
+pub use nl2vis_query as query;
+pub use nl2vis_vega as vega;
+
+pub mod conversation;
+pub mod pipeline;
+
+pub use conversation::{Conversation, Turn, TurnKind};
+pub use pipeline::{Pipeline, PipelineError, Visualization};
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::conversation::{Conversation, Turn, TurnKind};
+    pub use crate::pipeline::{Pipeline, PipelineError, Visualization};
+    pub use nl2vis_corpus::{Corpus, CorpusConfig, Example, Hardness};
+    pub use nl2vis_data::schema::{ColumnDef, DatabaseSchema, ForeignKey, TableDef};
+    pub use nl2vis_data::value::{DataType, Date, Value};
+    pub use nl2vis_data::{database_from_csv, Catalog, Database, Json, Rng};
+    pub use nl2vis_llm::{LlmClient, ModelProfile, SimLlm};
+    pub use nl2vis_prompt::{PromptFormat, PromptOptions};
+    pub use nl2vis_query::ast::{ChartType, VqlQuery};
+    pub use nl2vis_query::exec::ResultSet;
+    pub use nl2vis_query::{execute, parse};
+}

@@ -1,0 +1,175 @@
+//! The end-to-end NL2VIS pipeline of the paper's Figure 3: natural language
+//! plus a grounded table goes in; prompt construction, (simulated) LLM
+//! completion, VQL parsing, execution, and Vega-Lite / chart rendering come
+//! out.
+
+use nl2vis_corpus::Example;
+use nl2vis_data::{Database, Json};
+use nl2vis_llm::{extract_vql, LlmClient, ModelProfile, SimLlm};
+use nl2vis_prompt::{build_prompt, PromptOptions};
+use nl2vis_query::ast::VqlQuery;
+use nl2vis_query::exec::ResultSet;
+use nl2vis_query::{execute, parse, QueryError};
+use nl2vis_vega::{ascii, spec, svg};
+
+/// Errors the pipeline can surface.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The model produced no parseable VQL.
+    NoQuery {
+        /// Raw model output, for inspection.
+        completion: String,
+    },
+    /// The generated query failed to parse or execute.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NoQuery { completion } => {
+                write!(f, "model produced no VQL: {completion:.80}")
+            }
+            PipelineError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<QueryError> for PipelineError {
+    fn from(e: QueryError) -> PipelineError {
+        PipelineError::Query(e)
+    }
+}
+
+/// A completed visualization: the query, its executed data, and renderers.
+#[derive(Debug, Clone)]
+pub struct Visualization {
+    /// The generated VQL query.
+    pub vql: VqlQuery,
+    /// Executed result data.
+    pub data: ResultSet,
+    /// The raw model completion.
+    pub completion: String,
+}
+
+impl Visualization {
+    /// The Vega-Lite v5 specification with inline data.
+    pub fn vega_lite(&self) -> Json {
+        spec::to_vega_lite(&self.vql, &self.data)
+    }
+
+    /// A standalone SVG document.
+    pub fn svg(&self) -> String {
+        svg::render_svg(&self.data)
+    }
+
+    /// A terminal rendering.
+    pub fn ascii(&self) -> String {
+        ascii::render_ascii(&self.data)
+    }
+}
+
+/// The end-to-end pipeline over a pluggable model.
+pub struct Pipeline {
+    client: Box<dyn LlmClient + Send + Sync>,
+    /// Prompt construction options (format, budget, CoT, persona).
+    pub options: PromptOptions,
+}
+
+impl Pipeline {
+    /// Builds a pipeline over a simulated model by API name (`"gpt-4"`,
+    /// `"text-davinci-003"`, ...). Unknown names fall back to
+    /// `text-davinci-003`, the paper's workhorse.
+    pub fn new(model: &str, seed: u64) -> Pipeline {
+        let profile = ModelProfile::by_name(model).unwrap_or_else(ModelProfile::davinci_003);
+        Pipeline::with_client(Box::new(SimLlm::new(profile, seed)))
+    }
+
+    /// Builds a pipeline over any [`LlmClient`] (e.g. the HTTP client).
+    pub fn with_client(client: Box<dyn LlmClient + Send + Sync>) -> Pipeline {
+        Pipeline { client, options: PromptOptions::default() }
+    }
+
+    /// The backing model's name.
+    pub fn model(&self) -> &str {
+        self.client.name()
+    }
+
+    /// Runs the zero-shot pipeline: question in, rendered visualization out.
+    pub fn run(&self, db: &Database, question: &str) -> Result<Visualization, PipelineError> {
+        self.run_with_demos(db, question, &[], |_| unreachable!("no demonstrations"))
+    }
+
+    /// Runs the pipeline with in-context demonstrations (each resolved to
+    /// its own database by `db_of`).
+    pub fn run_with_demos<'a, F>(
+        &self,
+        db: &Database,
+        question: &str,
+        demos: &[&'a Example],
+        db_of: F,
+    ) -> Result<Visualization, PipelineError>
+    where
+        F: Fn(&'a Example) -> &'a Database,
+    {
+        let prompt = build_prompt(&self.options, db, question, demos, db_of);
+        let completion = self.client.complete(&prompt.text);
+        let vql_text = extract_vql(&completion)
+            .ok_or_else(|| PipelineError::NoQuery { completion: completion.clone() })?;
+        let vql = parse(vql_text)?;
+        let data = execute(&vql, db)?;
+        Ok(Visualization { vql, data, completion })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_data::schema::{ColumnDef, DatabaseSchema, TableDef};
+    use nl2vis_data::value::DataType::*;
+    use nl2vis_data::Value;
+
+    fn db() -> Database {
+        let mut s = DatabaseSchema::new("shop", "retail");
+        s.tables.push(TableDef::new(
+            "sales",
+            vec![ColumnDef::new("region", Text), ColumnDef::new("amount", Int)],
+        ));
+        let mut d = Database::new(s);
+        for (r, a) in [("east", 10i64), ("west", 25), ("east", 5), ("north", 40)] {
+            d.insert("sales", vec![r.into(), Value::Int(a)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn zero_shot_pipeline_end_to_end() {
+        let p = Pipeline::new("gpt-4", 7);
+        let vis = p
+            .run(&db(), "Show a bar chart of the total amount for each region.")
+            .expect("pipeline succeeds");
+        assert!(!vis.data.rows.is_empty());
+        assert!(vis.svg().starts_with("<svg"));
+        assert!(vis.ascii().contains('█'));
+        let spec = vis.vega_lite();
+        assert_eq!(spec.get("mark").and_then(Json::as_str), Some("bar"));
+    }
+
+    #[test]
+    fn unknown_model_falls_back() {
+        let p = Pipeline::new("nonexistent-model", 1);
+        assert_eq!(p.model(), "text-davinci-003");
+    }
+
+    #[test]
+    fn pipeline_surfaces_model_failures() {
+        // A question over an empty schema cannot be grounded.
+        let s = DatabaseSchema::new("empty", "none");
+        let d = Database::new(s);
+        let p = Pipeline::new("gpt-4", 7);
+        let out = p.run(&d, "Show a bar chart of things.");
+        assert!(out.is_err());
+    }
+}

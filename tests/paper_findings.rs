@@ -1,0 +1,166 @@
+//! The paper's six key findings, asserted as executable tests over a
+//! reduced experiment context. Each test states the finding it checks.
+
+use nl2vis::bench::experiments;
+use nl2vis::bench::ExperimentContext;
+use nl2vis::corpus::CorpusConfig;
+use nl2vis::eval::optimize::{run_strategy, Strategy};
+use nl2vis::eval::runner::{evaluate_llm, LlmEvalConfig};
+use nl2vis::eval::FailureTaxonomy;
+use nl2vis::llm::{ModelProfile, SimLlm};
+use nl2vis::prompt::PromptFormat;
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::with_config(
+        &CorpusConfig { seed: 99, instances_per_domain: 2, queries_per_db: 10, paraphrases: (2, 3) },
+        99,
+        Some(150),
+    )
+}
+
+/// Finding 1: representing tables in programming-language form (SQL/code)
+/// beats the flat schema serialization.
+#[test]
+fn finding1_programming_formats_beat_flat_schema() {
+    let c = ctx();
+    let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+    let run = |format: PromptFormat| {
+        let config = LlmEvalConfig { format, shots: 1, ..Default::default() };
+        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit)
+            .overall()
+    };
+    let schema = run(PromptFormat::Schema);
+    let sql = run(PromptFormat::Table2Sql);
+    let code = run(PromptFormat::Table2Code);
+    assert!(
+        sql.exec() > schema.exec() + 0.05,
+        "Table2SQL ({:.2}) must clearly beat flat Schema ({:.2})",
+        sql.exec(),
+        schema.exec()
+    );
+    assert!(code.exec() > schema.exec(), "Table2Code must beat flat Schema");
+}
+
+/// Finding 2 (table content): the schema is the load-bearing prompt
+/// component — appending row values barely moves overall accuracy, while
+/// relationship (FK) knowledge is what join scenarios need.
+#[test]
+fn finding2_schema_is_sufficient() {
+    let c = ctx();
+    let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+    let eval = |format: PromptFormat| {
+        let config = LlmEvalConfig { format, shots: 3, ..Default::default() };
+        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit)
+    };
+    let schema_only = eval(PromptFormat::ColumnList);
+    let with_fk = eval(PromptFormat::ColumnListFk);
+    let with_values = eval(PromptFormat::ColumnListFkValue);
+
+    // Content (row values) adds little beyond schema+relationships.
+    assert!(
+        with_values.overall().exec() <= with_fk.overall().exec() + 0.10,
+        "row content should not be the decisive factor: +Value {:.2} vs +FK {:.2}",
+        with_values.overall().exec(),
+        with_fk.overall().exec()
+    );
+    // Relationships matter for the join scenario.
+    assert!(
+        with_fk.join().exec() >= schema_only.join().exec(),
+        "+FK join exec ({:.2}) must not trail schema-only ({:.2})",
+        with_fk.join().exec(),
+        schema_only.join().exec()
+    );
+}
+
+/// Finding 3: LLMs outperform the trained seq2seq baselines cross-domain.
+#[test]
+fn finding3_llms_beat_baselines_cross_domain() {
+    use nl2vis::baselines::Seq2Vis;
+    use nl2vis::eval::runner::evaluate_model;
+    let c = ctx();
+    let s2v = Seq2Vis::train(&c.corpus, &c.cross_split.train);
+    let r_s2v = evaluate_model(&s2v, &c.corpus, &c.cross_split.test, c.limit);
+    let llm = SimLlm::new(ModelProfile::gpt_4(), 3);
+    let config = LlmEvalConfig { shots: 10, token_budget: 8192, ..Default::default() };
+    let r_llm =
+        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit);
+    assert!(
+        r_llm.overall().exact() > r_s2v.overall().exact() + 0.2,
+        "gpt-4 ({:.2}) must dominate Seq2Vis ({:.2}) cross-domain",
+        r_llm.overall().exact(),
+        r_s2v.overall().exact()
+    );
+}
+
+/// Finding (RQ2-1): more demonstrations improve inference-only models.
+#[test]
+fn finding_more_shots_help() {
+    let c = ctx();
+    let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+    let run = |k: usize| {
+        let config = LlmEvalConfig { shots: k, ..Default::default() };
+        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit)
+            .overall()
+            .exec()
+    };
+    let zero = run(0);
+    let twenty = run(20);
+    assert!(
+        twenty > zero + 0.1,
+        "20-shot ({twenty:.2}) must clearly beat 0-shot ({zero:.2})"
+    );
+}
+
+/// Finding (RQ2 in-domain vs cross-domain): seeing the test database's
+/// schema in demonstrations is a large advantage.
+#[test]
+fn finding_in_domain_beats_cross_domain() {
+    let c = ctx();
+    let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+    let config = LlmEvalConfig { shots: 10, ..Default::default() };
+    let ind = evaluate_llm(&llm, &c.corpus, &c.in_split.train, &c.in_split.test, &config, c.limit);
+    let cross =
+        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit);
+    assert!(
+        ind.overall().exact() > cross.overall().exact() + 0.05,
+        "in-domain ({:.2}) must beat cross-domain ({:.2})",
+        ind.overall().exact(),
+        cross.overall().exact()
+    );
+}
+
+/// Finding 5: failures concentrate in the data part, led by conditions.
+#[test]
+fn finding5_failure_taxonomy_shape() {
+    let c = ctx();
+    let (report, _) = experiments::base_failure_run(&c);
+    let taxonomy = FailureTaxonomy::from_report(&report);
+    assert!(taxonomy.failures >= 10, "need failures to analyze, got {}", taxonomy.failures);
+    assert!(
+        taxonomy.data_share() > taxonomy.visual_share(),
+        "data-part errors ({:.2}) must dominate visual-part errors ({:.2})",
+        taxonomy.data_share(),
+        taxonomy.visual_share()
+    );
+    assert!(taxonomy.share_of("cond") > 0.15, "conditions lead the data-part failures");
+}
+
+/// Finding 6: iterative strategies rescue failures, with the
+/// code-interpreter strongest.
+#[test]
+fn finding6_strategies_rescue_failures() {
+    let c = ctx();
+    let (report, config) = experiments::base_failure_run(&c);
+    let failed = report.failed_ids();
+    assert!(failed.len() >= 10);
+    let cot = run_strategy(Strategy::ChainOfThought, &c.corpus, &c.cross_split.train, &failed, &config, 5);
+    let ci = run_strategy(Strategy::CodeInterpreter, &c.corpus, &c.cross_split.train, &failed, &config, 5);
+    assert!(cot.exec_rate() > 0.0, "CoT rescues something");
+    assert!(
+        ci.exec_rate() >= cot.exec_rate(),
+        "code-interpreter ({:.2}) is at least CoT ({:.2})",
+        ci.exec_rate(),
+        cot.exec_rate()
+    );
+    assert!(ci.exec_rate() > 0.25, "code-interpreter rescues a sizable share");
+}

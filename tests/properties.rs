@@ -1,0 +1,304 @@
+//! Property-based tests over the core language and data structures.
+
+use nl2vis::data::{Json, Value};
+use nl2vis::query::ast::*;
+use nl2vis::query::canon::{canonicalize, exact_match};
+use nl2vis::query::parser::parse;
+use nl2vis::query::printer::print;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("not reserved", |s| {
+        ![
+            "visualize", "select", "from", "join", "on", "where", "bin", "by", "group", "order",
+            "and", "or", "not", "in", "asc", "desc", "true", "false", "count", "sum", "avg",
+            "min", "max", "mean", "x", "y",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(table, column)| ColumnRef { table, column })
+}
+
+fn chart() -> impl Strategy<Value = ChartType> {
+    prop_oneof![
+        Just(ChartType::Bar),
+        Just(ChartType::Pie),
+        Just(ChartType::Line),
+        Just(ChartType::Scatter),
+    ]
+}
+
+fn agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn select_expr() -> impl Strategy<Value = SelectExpr> {
+    prop_oneof![
+        column_ref().prop_map(SelectExpr::Column),
+        (agg(), proptest::option::of(column_ref()))
+            .prop_map(|(func, arg)| SelectExpr::Agg { func, arg }),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Literal::Int(i64::from(i))),
+        (-1000i32..1000, 1u8..100).prop_map(|(n, d)| Literal::Float(f64::from(n) + f64::from(d) / 100.0)),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Literal::Text),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    let atom = prop_oneof![
+        (column_ref(), cmp_op(), literal())
+            .prop_map(|(col, op, value)| Predicate::Cmp { col, op, value }),
+        (column_ref(), any::<bool>(), column_ref(), ident())
+            .prop_map(|(col, negated, select, from)| Predicate::InSubquery {
+                col,
+                negated,
+                subquery: SubQuery { select, from, filter: None },
+            }),
+    ];
+    atom.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn bin_unit() -> impl Strategy<Value = BinUnit> {
+    prop_oneof![
+        Just(BinUnit::Year),
+        Just(BinUnit::Month),
+        Just(BinUnit::Weekday),
+        Just(BinUnit::Quarter),
+    ]
+}
+
+fn order_by() -> impl Strategy<Value = OrderBy> {
+    (
+        prop_oneof![
+            Just(OrderTarget::X),
+            Just(OrderTarget::Y),
+            column_ref().prop_map(OrderTarget::Column),
+        ],
+        prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)],
+    )
+        .prop_map(|(target, dir)| OrderBy { target, dir })
+}
+
+prop_compose! {
+    fn vql_query()(
+        chart in chart(),
+        x in select_expr(),
+        y in select_expr(),
+        from in ident(),
+        join in proptest::option::of((ident(), column_ref(), column_ref())),
+        filter in proptest::option::of(predicate()),
+        bin in proptest::option::of((column_ref(), bin_unit())),
+        group in proptest::collection::vec(column_ref(), 0..3),
+        order in proptest::option::of(order_by()),
+    ) -> VqlQuery {
+        VqlQuery {
+            chart,
+            x,
+            y,
+            from,
+            join: join.map(|(table, left, right)| Join { table, left, right }),
+            filter,
+            bin: bin.map(|(column, unit)| Bin { column, unit }),
+            group_by: group,
+            order,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The printer emits text the parser maps back to the same AST.
+    #[test]
+    fn print_parse_roundtrip(q in vql_query()) {
+        let text = print(&q);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("printed query failed to reparse: `{text}`: {e}"));
+        prop_assert_eq!(&q, &reparsed);
+    }
+
+    /// Canonicalization is idempotent.
+    #[test]
+    fn canonicalize_idempotent(q in vql_query()) {
+        let once = canonicalize(&q);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Exact match is reflexive and invariant under re-printing.
+    #[test]
+    fn exact_match_reflexive(q in vql_query()) {
+        prop_assert!(exact_match(&q, &q));
+        let reparsed = parse(&print(&q)).unwrap();
+        prop_assert!(exact_match(&q, &reparsed));
+    }
+
+    /// Commuting AND/OR operands preserves exact match.
+    #[test]
+    fn predicate_commutativity(
+        mut q in vql_query(),
+        a in predicate(),
+        b in predicate(),
+        conj in any::<bool>(),
+    ) {
+        let (p1, p2) = if conj {
+            (
+                Predicate::And(Box::new(a.clone()), Box::new(b.clone())),
+                Predicate::And(Box::new(b), Box::new(a)),
+            )
+        } else {
+            (
+                Predicate::Or(Box::new(a.clone()), Box::new(b.clone())),
+                Predicate::Or(Box::new(b), Box::new(a)),
+            )
+        };
+        q.filter = Some(p1);
+        let mut q2 = q.clone();
+        q2.filter = Some(p2);
+        prop_assert!(exact_match(&q, &q2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// JSON serialization round-trips through the parser.
+    #[test]
+    fn json_roundtrip(v in json_value()) {
+        let compact = v.to_compact();
+        let reparsed = Json::parse(&compact)
+            .unwrap_or_else(|e| panic!("bad json `{compact}`: {e}"));
+        prop_assert_eq!(&v, &reparsed);
+        // Pretty printing parses back too.
+        let pretty = v.to_pretty();
+        prop_assert_eq!(&v, &Json::parse(&pretty).unwrap());
+    }
+
+    /// Value ordering is a total order (antisymmetric + transitive on samples).
+    #[test]
+    fn value_total_order(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering;
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The executor is total: any syntactically valid query against a real
+    /// database either executes or returns a typed error — it never panics,
+    /// and successful results are well-formed.
+    #[test]
+    fn executor_never_panics(q in vql_query()) {
+        use nl2vis::corpus::domains::all_domains;
+        use nl2vis::corpus::generate::instantiate;
+        use nl2vis::data::Rng;
+        let db = instantiate(&all_domains()[0], 0, &mut Rng::new(11));
+        match nl2vis::query::execute(&q, &db) {
+            Ok(result) => {
+                for (x, y, s) in &result.rows {
+                    let _ = (x.render(), y.render());
+                    if result.series_label.is_none() {
+                        prop_assert!(s.is_none());
+                    }
+                }
+                // Whatever executes also renders everywhere.
+                let _ = nl2vis::vega::svg::render_svg(&result);
+                let _ = nl2vis::vega::ascii::render_ascii(&result);
+                let spec = nl2vis::vega::to_vega_lite(&q, &result);
+                prop_assert!(Json::parse(&spec.to_compact()).is_ok());
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Corruption keeps queries printable and reparseable (the simulated
+    /// LLM's output is always lexically valid VQL).
+    #[test]
+    fn corruption_preserves_printability(q in vql_query(), seed in any::<u64>()) {
+        use nl2vis::corpus::domains::all_domains;
+        use nl2vis::corpus::generate::instantiate;
+        use nl2vis::data::Rng;
+        use nl2vis::llm::recover::RecoveredSchema;
+        let db = instantiate(&all_domains()[1], 0, &mut Rng::new(3));
+        let schema = RecoveredSchema::from_database(&db);
+        let mut corrupted = q.clone();
+        nl2vis::llm::corrupt_query(&mut corrupted, &schema, 0.9, 1.0, &mut Rng::new(seed));
+        let printed = nl2vis::query::printer::print(&corrupted);
+        nl2vis::query::parse(&printed)
+            .unwrap_or_else(|e| panic!("corrupted query unparseable `{printed}`: {e}"));
+    }
+}
+
+fn json_value() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1_000_000i64..1_000_000).prop_map(|n| Json::Number(n as f64)),
+        (-1000i32..1000, 1u8..100)
+            .prop_map(|(n, d)| Json::Number(f64::from(n) + f64::from(d) / 128.0)),
+        "[ -~]{0,16}".prop_map(Json::String),
+        "\\PC{0,8}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|members| {
+                Json::Object(members)
+            }),
+        ]
+    })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        (1990i32..2030, 1u8..=12, 1u8..=28).prop_map(|(y, m, d)| {
+            Value::Date(nl2vis::data::value::Date::new(y, m, d).unwrap())
+        }),
+    ]
+}
