@@ -24,7 +24,9 @@ impl Chat2Vis {
     /// Creates the pipeline over a davinci-class simulated backend.
     pub fn new(seed: u64) -> Chat2Vis {
         // code-davinci-002 is the same generation as text-davinci-002.
-        Chat2Vis { llm: SimLlm::new(ModelProfile::davinci_002(), seed) }
+        Chat2Vis {
+            llm: SimLlm::new(ModelProfile::davinci_002(), seed),
+        }
     }
 }
 

@@ -29,7 +29,13 @@ pub struct NcNet {
 impl NcNet {
     /// Trains (indexes) the model.
     pub fn train(corpus: &Corpus, train_ids: &[usize]) -> NcNet {
-        NcNet { index: RetrievalIndex::build_with(corpus, train_ids, crate::retrieval::TokenMode::Content) }
+        NcNet {
+            index: RetrievalIndex::build_with(
+                corpus,
+                train_ids,
+                crate::retrieval::TokenMode::Content,
+            ),
+        }
     }
 }
 
@@ -81,14 +87,18 @@ fn chart_signal(question: &str) -> Option<ChartType> {
 /// Columns of the database whose identifier tokens all appear in the
 /// question (the copy mechanism's candidates).
 fn mentioned_columns(question: &str, db: &Database) -> Vec<String> {
-    let q_tokens: std::collections::HashSet<String> =
-        nl2vis_data::text::words(question).into_iter().map(|w| nl2vis_data::text::singularize(&w)).collect();
+    let q_tokens: std::collections::HashSet<String> = nl2vis_data::text::words(question)
+        .into_iter()
+        .map(|w| nl2vis_data::text::singularize(&w))
+        .collect();
     let mut out = Vec::new();
     for t in db.tables() {
         for c in &t.def.columns {
             let tokens = split_identifier(&c.name);
             if !tokens.is_empty()
-                && tokens.iter().all(|w| q_tokens.contains(&nl2vis_data::text::singularize(w)))
+                && tokens
+                    .iter()
+                    .all(|w| q_tokens.contains(&nl2vis_data::text::singularize(w)))
                 && !out.contains(&c.name)
             {
                 out.push(c.name.clone());
@@ -114,7 +124,13 @@ fn best_table(db: &Database, current: &str) -> Option<String> {
         .iter()
         .map(|t| (name_similarity(current, &t.def.name), t.def.name.clone()))
         .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(s, name)| if s > 0.0 { name } else { db.tables()[0].def.name.clone() })
+        .map(|(s, name)| {
+            if s > 0.0 {
+                name
+            } else {
+                db.tables()[0].def.name.clone()
+            }
+        })
 }
 
 fn best_column(
@@ -127,9 +143,17 @@ fn best_column(
     // hinted table a weak one.
     let mut best: Option<(f64, String)> = None;
     for t in db.tables() {
-        let table_weight = if t.def.name.eq_ignore_ascii_case(table_hint) { 1.1 } else { 1.0 };
+        let table_weight = if t.def.name.eq_ignore_ascii_case(table_hint) {
+            1.1
+        } else {
+            1.0
+        };
         for c in &t.def.columns {
-            let mention_bonus = if mentioned.contains(&c.name) { 0.6 } else { 0.0 };
+            let mention_bonus = if mentioned.contains(&c.name) {
+                0.6
+            } else {
+                0.0
+            };
             let s = name_similarity(current, &c.name) * table_weight + mention_bonus;
             if s > 0.0 && best.as_ref().is_none_or(|(bs, _)| s > *bs) {
                 best = Some((s, c.name.clone()));
@@ -184,9 +208,16 @@ fn remap_colref(c: &mut ColumnRef, db: &Database, table_hint: &str, mentioned: &
         c.column = mapped;
         // Fix up the qualifier to the owning table.
         if let Some(t) = &mut c.table {
-            if db.table(t).ok().and_then(|tb| tb.def.column_index(&c.column)).is_none() {
-                if let Some(owner) =
-                    db.tables().iter().find(|tb| tb.def.column_index(&c.column).is_some())
+            if db
+                .table(t)
+                .ok()
+                .and_then(|tb| tb.def.column_index(&c.column))
+                .is_none()
+            {
+                if let Some(owner) = db
+                    .tables()
+                    .iter()
+                    .find(|tb| tb.def.column_index(&c.column).is_some())
                 {
                     *t = owner.def.name.clone();
                 }
@@ -227,11 +258,16 @@ mod tests {
         let ids: Vec<usize> = c.examples.iter().map(|e| e.id).collect();
         let m = NcNet::train(&c, &ids);
         // Take a bar-chart example and ask for a pie with the same content.
-        let e = c.examples.iter().find(|e| e.vql.chart == ChartType::Bar).unwrap();
-        let altered = e.nl.replacen("bar chart", "pie chart", 1)
-            .replacen("bar graph", "pie chart", 1)
-            .replacen("histogram", "pie chart", 1)
-            .replacen("bars", "pie", 1);
+        let e = c
+            .examples
+            .iter()
+            .find(|e| e.vql.chart == ChartType::Bar)
+            .unwrap();
+        let altered =
+            e.nl.replacen("bar chart", "pie chart", 1)
+                .replacen("bar graph", "pie chart", 1)
+                .replacen("histogram", "pie chart", 1)
+                .replacen("bars", "pie", 1);
         if altered != e.nl {
             let db = c.catalog.database(&e.db).unwrap();
             let pred = m.predict(&altered, db).unwrap();
@@ -243,13 +279,20 @@ mod tests {
     fn identifiers_stay_in_test_vocabulary_cross_domain() {
         let c = Corpus::build(&CorpusConfig::small(43));
         let db0 = c.examples[0].db.clone();
-        let ids: Vec<usize> =
-            c.examples.iter().filter(|e| e.db == db0).map(|e| e.id).collect();
+        let ids: Vec<usize> = c
+            .examples
+            .iter()
+            .filter(|e| e.db == db0)
+            .map(|e| e.id)
+            .collect();
         let m = NcNet::train(&c, &ids);
         let other = c.examples.iter().find(|e| e.db != db0).unwrap();
         let db = c.catalog.database(&other.db).unwrap();
         if let Some(pred) = m.predict(&other.nl, db) {
-            assert!(db.table(&pred.from).is_ok(), "FROM should be remapped into the test DB");
+            assert!(
+                db.table(&pred.from).is_ok(),
+                "FROM should be remapped into the test DB"
+            );
         }
     }
 

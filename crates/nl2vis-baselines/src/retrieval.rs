@@ -11,10 +11,43 @@ use std::collections::HashSet;
 /// paraphrases; a plain LSTM does not — which is one of the reasons the
 /// Transformer baseline outscores Seq2Vis in-domain (Table 3).
 const FILLER: &[&str] = &[
-    "show", "draw", "plot", "visualize", "display", "give", "me", "create", "a", "an", "the",
-    "of", "chart", "graph", "for", "each", "by", "per", "grouped", "across", "from", "in",
-    "using", "table", "records", "where", "is", "order", "sorted", "ordered", "ranked", "rank",
-    "ascending", "descending", "and", "or", "to",
+    "show",
+    "draw",
+    "plot",
+    "visualize",
+    "display",
+    "give",
+    "me",
+    "create",
+    "a",
+    "an",
+    "the",
+    "of",
+    "chart",
+    "graph",
+    "for",
+    "each",
+    "by",
+    "per",
+    "grouped",
+    "across",
+    "from",
+    "in",
+    "using",
+    "table",
+    "records",
+    "where",
+    "is",
+    "order",
+    "sorted",
+    "ordered",
+    "ranked",
+    "rank",
+    "ascending",
+    "descending",
+    "and",
+    "or",
+    "to",
 ];
 
 /// How the index represents questions.
@@ -86,10 +119,15 @@ impl RetrievalIndex {
     /// The `k` most similar entries to the question, best first.
     pub fn top(&self, question: &str, k: usize) -> Vec<(f64, &Entry)> {
         let q = tokenize(question, self.mode);
-        let mut scored: Vec<(f64, &Entry)> =
-            self.entries.iter().map(|e| (jaccard_sets(&q, &e.tokens), e)).collect();
+        let mut scored: Vec<(f64, &Entry)> = self
+            .entries
+            .iter()
+            .map(|e| (jaccard_sets(&q, &e.tokens), e))
+            .collect();
         scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.id.cmp(&b.1.id))
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.id.cmp(&b.1.id))
         });
         scored.truncate(k);
         scored
@@ -112,9 +150,10 @@ fn tokenize(text: &str, mode: TokenMode) -> HashSet<String> {
     };
     match mode {
         TokenMode::Raw => words(text).into_iter().collect(),
-        TokenMode::Content => {
-            words(text).into_iter().filter(|w| !FILLER.contains(&w.as_str())).collect()
-        }
+        TokenMode::Content => words(text)
+            .into_iter()
+            .filter(|w| !FILLER.contains(&w.as_str()))
+            .collect(),
         TokenMode::Template => words(text)
             .into_iter()
             .filter(|w| !FILLER.contains(&w.as_str()))

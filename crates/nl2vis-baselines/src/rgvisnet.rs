@@ -29,7 +29,13 @@ pub struct RgVisNet {
 impl RgVisNet {
     /// Trains (indexes the prototype codebase).
     pub fn train(corpus: &Corpus, train_ids: &[usize]) -> RgVisNet {
-        RgVisNet { index: RetrievalIndex::build_with(corpus, train_ids, crate::retrieval::TokenMode::Content) }
+        RgVisNet {
+            index: RetrievalIndex::build_with(
+                corpus,
+                train_ids,
+                crate::retrieval::TokenMode::Content,
+            ),
+        }
     }
 }
 
@@ -110,8 +116,12 @@ mod tests {
     fn regrounds_on_unseen_database() {
         let c = Corpus::build(&CorpusConfig::small(47));
         let db0 = c.examples[0].db.clone();
-        let train_ids: Vec<usize> =
-            c.examples.iter().filter(|e| e.db == db0).map(|e| e.id).collect();
+        let train_ids: Vec<usize> = c
+            .examples
+            .iter()
+            .filter(|e| e.db == db0)
+            .map(|e| e.id)
+            .collect();
         let m = RgVisNet::train(&c, &train_ids);
         // Predictions on unseen databases use the test schema's identifiers.
         let mut correct = 0;
@@ -119,7 +129,10 @@ mod tests {
         for e in c.examples.iter().filter(|e| e.db != db0).take(40) {
             let db = c.catalog.database(&e.db).unwrap();
             if let Some(pred) = m.predict(&e.nl, db) {
-                assert!(db.table(&pred.from).is_ok(), "grounded FROM must exist in test DB");
+                assert!(
+                    db.table(&pred.from).is_ok(),
+                    "grounded FROM must exist in test DB"
+                );
                 total += 1;
                 if exact_match(&pred, &e.vql) {
                     correct += 1;
@@ -127,7 +140,10 @@ mod tests {
             }
         }
         assert!(total > 10);
-        assert!(correct > 0, "re-grounding should solve some unseen-DB queries");
+        assert!(
+            correct > 0,
+            "re-grounding should solve some unseen-DB queries"
+        );
     }
 
     #[test]
@@ -141,10 +157,16 @@ mod tests {
         for id in split.test.iter().take(60) {
             let e = c.example(*id).unwrap();
             let db = c.catalog.database(&e.db).unwrap();
-            if rg.predict(&e.nl, db).is_some_and(|p| exact_match(&p, &e.vql)) {
+            if rg
+                .predict(&e.nl, db)
+                .is_some_and(|p| exact_match(&p, &e.vql))
+            {
                 rg_ok += 1;
             }
-            if s2v.predict(&e.nl, db).is_some_and(|p| exact_match(&p, &e.vql)) {
+            if s2v
+                .predict(&e.nl, db)
+                .is_some_and(|p| exact_match(&p, &e.vql))
+            {
                 s2v_ok += 1;
             }
         }

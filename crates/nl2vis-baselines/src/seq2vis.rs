@@ -25,7 +25,9 @@ impl Seq2Vis {
     /// "Trains" the model on the given training split (builds the learned
     /// pattern memory).
     pub fn train(corpus: &Corpus, train_ids: &[usize]) -> Seq2Vis {
-        Seq2Vis { index: RetrievalIndex::build(corpus, train_ids) }
+        Seq2Vis {
+            index: RetrievalIndex::build(corpus, train_ids),
+        }
     }
 }
 
@@ -67,8 +69,12 @@ mod tests {
         let c = Corpus::build(&CorpusConfig::small(37));
         // Train only on one database's examples.
         let db0 = c.examples[0].db.clone();
-        let ids: Vec<usize> =
-            c.examples.iter().filter(|e| e.db == db0).map(|e| e.id).collect();
+        let ids: Vec<usize> = c
+            .examples
+            .iter()
+            .filter(|e| e.db == db0)
+            .map(|e| e.id)
+            .collect();
         let m = Seq2Vis::train(&c, &ids);
         // Predict on a different database: the output references the
         // training database's tables (the memorization failure mode).
@@ -79,7 +85,10 @@ mod tests {
             let train_db = c.catalog.database(&db0).unwrap();
             let from_in_train = train_db.table(&pred.from).is_ok();
             assert!(from_in_train || from_exists);
-            assert!(from_in_train, "seq2seq memorization should copy training tables");
+            assert!(
+                from_in_train,
+                "seq2seq memorization should copy training tables"
+            );
         }
     }
 

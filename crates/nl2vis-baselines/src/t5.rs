@@ -21,10 +21,10 @@ use nl2vis_corpus::pools::SYNONYMS;
 use nl2vis_corpus::Corpus;
 use nl2vis_data::text::{split_identifier, words};
 use nl2vis_data::{Database, Rng};
+use nl2vis_llm::corrupt_query;
 use nl2vis_llm::recover::RecoveredSchema;
 use nl2vis_llm::sim::fnv1a;
 use nl2vis_llm::understand::{ground, parse_question};
-use nl2vis_llm::corrupt_query;
 use nl2vis_query::ast::{ColumnRef, Predicate, SelectExpr, VqlQuery};
 use std::collections::HashMap;
 
@@ -96,7 +96,9 @@ impl Lexicon {
     pub fn fit(corpus: &Corpus, train_ids: &[usize]) -> Lexicon {
         let mut counts: HashMap<(String, String), u32> = HashMap::new();
         for id in train_ids {
-            let Some(e) = corpus.example(*id) else { continue };
+            let Some(e) = corpus.example(*id) else {
+                continue;
+            };
             let q_words = words(&e.nl);
             let mut schema_words = Vec::new();
             collect_column_words(&e.vql, &mut schema_words);
@@ -111,7 +113,10 @@ impl Lexicon {
 
     /// Total observations of (phrase word, schema word).
     pub fn count(&self, phrase_word: &str, schema_word: &str) -> u32 {
-        self.counts.get(&(phrase_word.to_string(), schema_word.to_string())).copied().unwrap_or(0)
+        self.counts
+            .get(&(phrase_word.to_string(), schema_word.to_string()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Has the model learned the synonym-dictionary entry for `alias`?
@@ -126,7 +131,10 @@ impl Lexicon {
 
     /// Number of learned (above-threshold) synonym entries.
     pub fn learned_entries(&self, threshold: u32) -> usize {
-        SYNONYMS.iter().filter(|(a, _)| self.knows_alias(a, threshold)).count()
+        SYNONYMS
+            .iter()
+            .filter(|(a, _)| self.knows_alias(a, threshold))
+            .count()
     }
 }
 
@@ -182,7 +190,11 @@ impl T5Model {
         T5Model {
             size,
             lexicon: Lexicon::fit(corpus, train_ids),
-            memory: RetrievalIndex::build_with(corpus, train_ids, crate::retrieval::TokenMode::Template),
+            memory: RetrievalIndex::build_with(
+                corpus,
+                train_ids,
+                crate::retrieval::TokenMode::Template,
+            ),
             seed,
             name: match size {
                 T5Size::Small => "T5-Small",
@@ -251,7 +263,12 @@ mod tests {
     use nl2vis_query::canon::exact_match;
 
     fn setup() -> (Corpus, Vec<usize>) {
-        let c = Corpus::build(&CorpusConfig { seed: 59, instances_per_domain: 1, queries_per_db: 16, paraphrases: (2, 3) });
+        let c = Corpus::build(&CorpusConfig {
+            seed: 59,
+            instances_per_domain: 1,
+            queries_per_db: 16,
+            paraphrases: (2, 3),
+        });
         let ids: Vec<usize> = c.examples.iter().map(|e| e.id).collect();
         (c, ids)
     }
@@ -273,9 +290,16 @@ mod tests {
         let (c, ids) = setup();
         let small = T5Model::train(&c, &ids, T5Size::Small, 1);
         let base = T5Model::train(&c, &ids, T5Size::Base, 1);
-        let s = small.lexicon().learned_entries(T5Size::Small.lexicon_threshold());
-        let b = base.lexicon().learned_entries(T5Size::Base.lexicon_threshold());
-        assert!(b >= s, "base ({b}) should learn at least as much as small ({s})");
+        let s = small
+            .lexicon()
+            .learned_entries(T5Size::Small.lexicon_threshold());
+        let b = base
+            .lexicon()
+            .learned_entries(T5Size::Base.lexicon_threshold());
+        assert!(
+            b >= s,
+            "base ({b}) should learn at least as much as small ({s})"
+        );
     }
 
     #[test]
@@ -285,11 +309,16 @@ mod tests {
         let mut exact = 0;
         for e in c.examples.iter().take(40) {
             let db = c.catalog.database(&e.db).unwrap();
-            if m.predict(&e.nl, db).is_some_and(|p| exact_match(&p, &e.vql)) {
+            if m.predict(&e.nl, db)
+                .is_some_and(|p| exact_match(&p, &e.vql))
+            {
                 exact += 1;
             }
         }
-        assert!(exact >= 36, "fine-tuned model should reproduce training data, got {exact}/40");
+        assert!(
+            exact >= 36,
+            "fine-tuned model should reproduce training data, got {exact}/40"
+        );
     }
 
     #[test]
@@ -303,14 +332,23 @@ mod tests {
         for id in split.test.iter().take(60) {
             let e = c.example(*id).unwrap();
             let db = c.catalog.database(&e.db).unwrap();
-            if t5.predict(&e.nl, db).is_some_and(|p| exact_match(&p, &e.vql)) {
+            if t5
+                .predict(&e.nl, db)
+                .is_some_and(|p| exact_match(&p, &e.vql))
+            {
                 t5_ok += 1;
             }
-            if s2v.predict(&e.nl, db).is_some_and(|p| exact_match(&p, &e.vql)) {
+            if s2v
+                .predict(&e.nl, db)
+                .is_some_and(|p| exact_match(&p, &e.vql))
+            {
                 s2v_ok += 1;
             }
         }
-        assert!(t5_ok > s2v_ok, "T5 ({t5_ok}) should beat Seq2Vis ({s2v_ok}) cross-domain");
+        assert!(
+            t5_ok > s2v_ok,
+            "T5 ({t5_ok}) should beat Seq2Vis ({s2v_ok}) cross-domain"
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ pub struct TransformerModel {
 impl TransformerModel {
     /// Trains (indexes) the model.
     pub fn train(corpus: &Corpus, train_ids: &[usize]) -> TransformerModel {
-        TransformerModel { index: RetrievalIndex::build_with(corpus, train_ids, crate::retrieval::TokenMode::Content) }
+        TransformerModel {
+            index: RetrievalIndex::build_with(
+                corpus,
+                train_ids,
+                crate::retrieval::TokenMode::Content,
+            ),
+        }
     }
 }
 
@@ -69,8 +75,10 @@ fn substitute_literals(p: &mut Predicate, pool: &mut Vec<Literal>) {
             let compatible = |a: &Literal, b: &Literal| {
                 matches!(
                     (a, b),
-                    (Literal::Int(_) | Literal::Float(_), Literal::Int(_) | Literal::Float(_))
-                        | (Literal::Text(_), Literal::Text(_))
+                    (
+                        Literal::Int(_) | Literal::Float(_),
+                        Literal::Int(_) | Literal::Float(_)
+                    ) | (Literal::Text(_), Literal::Text(_))
                         | (Literal::Date(_), Literal::Date(_))
                         | (Literal::Bool(_), Literal::Bool(_))
                 )
@@ -106,7 +114,11 @@ mod tests {
         // Find a training example with an integer filter literal and perturb
         // the number in the question.
         for e in &c.examples {
-            if let Some(Predicate::Cmp { value: Literal::Int(n), .. }) = &e.vql.filter {
+            if let Some(Predicate::Cmp {
+                value: Literal::Int(n),
+                ..
+            }) = &e.vql.filter
+            {
                 let modified = e.nl.replace(&n.to_string(), "1234");
                 if modified == e.nl {
                     continue;
@@ -114,7 +126,11 @@ mod tests {
                 let db = c.catalog.database(&e.db).unwrap();
                 let pred = m.predict(&modified, db).unwrap();
                 if let Some(Predicate::Cmp { value, .. }) = &pred.filter {
-                    assert_eq!(*value, Literal::Int(1234), "copy mechanism should copy 1234");
+                    assert_eq!(
+                        *value,
+                        Literal::Int(1234),
+                        "copy mechanism should copy 1234"
+                    );
                     return;
                 }
             }

@@ -11,13 +11,20 @@ fn main() {
     let mut alias_words = 0;
     for id in ctx.cross_split.test.iter().take(250) {
         let e = ctx.corpus.example(*id).unwrap();
-        if e.nl.contains("pay") || e.nl.contains("wage") || e.nl.contains("worth") { alias_words += 1; }
+        if e.nl.contains("pay") || e.nl.contains("wage") || e.nl.contains("worth") {
+            alias_words += 1;
+        }
         let db = ctx.corpus.catalog.database(&e.db).unwrap();
         let schema = RecoveredSchema::from_database(db);
         let intent = parse_question(&e.nl);
         let a = ground(&intent, &schema, &yes).map(|g| print(&g.query));
         let b = ground(&intent, &schema, &no).map(|g| print(&g.query));
-        if a != b { diffs += 1; if diffs <= 3 { println!("NL: {}\n  yes: {:?}\n  no:  {:?}", e.nl, a, b); } }
+        if a != b {
+            diffs += 1;
+            if diffs <= 3 {
+                println!("NL: {}\n  yes: {:?}\n  no:  {:?}", e.nl, a, b);
+            }
+        }
     }
     println!("ground diffs: {diffs}/250, alias-ish questions: {alias_words}");
 }

@@ -3,19 +3,51 @@
 //! ```text
 //! cargo run -p nl2vis-bench --bin experiments --release -- all
 //! cargo run -p nl2vis-bench --bin experiments --release -- table3 fig11 --fast
+//! cargo run -p nl2vis-bench --bin experiments --release -- all --fast --trace=trace.jsonl
 //! ```
+//!
+//! Every phase runs under a `bench.*` span, so the run ends with a
+//! telemetry summary table (per-stage latency percentiles plus the
+//! pipeline/eval counters accumulated underneath). `--trace=<path>` streams
+//! the raw span/counter/error events as JSONL to a file (`-` for stderr).
 
 use nl2vis_bench::experiments;
 use nl2vis_bench::ExperimentContext;
+use nl2vis_obs as obs;
 
 const ALL: &[&str] = &[
-    "table2", "fig6", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13",
-    "ablations", "ext_vega", "hardness",
+    "table2",
+    "fig6",
+    "table3",
+    "table4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig13",
+    "ablations",
+    "ext_vega",
+    "hardness",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    if let Some(path) = args.iter().find_map(|a| a.strip_prefix("--trace=")) {
+        let sink: obs::JsonlSink = if path == "-" {
+            obs::JsonlSink::stderr()
+        } else {
+            match std::fs::File::create(path) {
+                Ok(f) => obs::JsonlSink::new(Box::new(f)),
+                Err(e) => {
+                    eprintln!("cannot open trace file `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        obs::set_sink(std::sync::Arc::new(sink));
+    }
     let mut requested: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -35,18 +67,23 @@ fn main() {
         "building corpus ({}) ...",
         if fast { "fast profile" } else { "full profile" }
     );
-    let started = std::time::Instant::now();
-    let ctx = if fast { ExperimentContext::fast() } else { ExperimentContext::full() };
+    let corpus_span = obs::span!("bench.corpus_build");
+    let ctx = if fast {
+        ExperimentContext::fast()
+    } else {
+        ExperimentContext::full()
+    };
     eprintln!(
         "corpus ready: {} databases, {} examples ({:.1}s)\n",
         ctx.corpus.catalog.len(),
         ctx.corpus.examples.len(),
-        started.elapsed().as_secs_f64()
+        corpus_span.elapsed().as_secs_f64()
     );
+    drop(corpus_span);
 
     let mut fig9_done = false;
     for name in requested {
-        let t = std::time::Instant::now();
+        let span = obs::span!(format!("bench.{name}"));
         let text = match name {
             "table2" => experiments::table2(&ctx).1,
             "fig6" => experiments::fig6(&ctx).1,
@@ -69,6 +106,12 @@ fn main() {
             _ => unreachable!("validated above"),
         };
         println!("{text}");
-        eprintln!("[{name} took {:.1}s]\n", t.elapsed().as_secs_f64());
+        eprintln!("[{name} took {:.1}s]\n", span.elapsed().as_secs_f64());
     }
+
+    // Everything above recorded into the global registry — the bench.*
+    // spans, the eval runner's per-example latencies and worker stats, and
+    // any pipeline/llm counters. Close the run with the summary table.
+    println!("{}", obs::report::render_summary(obs::global()));
+    obs::sink::sink().flush();
 }

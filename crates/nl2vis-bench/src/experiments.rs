@@ -2,7 +2,9 @@
 
 use crate::render::{acc, pct, table};
 use crate::ExperimentContext;
-use nl2vis_baselines::{Chat2Vis, NcNet, Nl2VisModel, RgVisNet, Seq2Vis, T5Model, T5Size, TransformerModel};
+use nl2vis_baselines::{
+    Chat2Vis, NcNet, Nl2VisModel, RgVisNet, Seq2Vis, T5Model, T5Size, TransformerModel,
+};
 use nl2vis_corpus::{Hardness, Split};
 use nl2vis_eval::optimize::{run_strategy, Strategy};
 use nl2vis_eval::runner::{evaluate_llm, evaluate_model, EvalReport, LlmEvalConfig, Selection};
@@ -39,12 +41,18 @@ fn davinci003(ctx: &ExperimentContext) -> SimLlm {
 
 /// **Table 2**: prompt-format comparison for `text-davinci-003`, 1-shot,
 /// under cross-domain and in-domain settings, split by join scenario.
-pub fn table2(ctx: &ExperimentContext) -> (Vec<(PromptFormat, DomainScores, DomainScores)>, String) {
+pub fn table2(
+    ctx: &ExperimentContext,
+) -> (Vec<(PromptFormat, DomainScores, DomainScores)>, String) {
     let llm = davinci003(ctx);
     let mut rows_struct = Vec::new();
     let mut rows = Vec::new();
     for format in PromptFormat::table2_rows() {
-        let config = LlmEvalConfig { format, shots: 1, ..Default::default() };
+        let config = LlmEvalConfig {
+            format,
+            shots: 1,
+            ..Default::default()
+        };
         let cross = scores(&evaluate_llm(
             &llm,
             &ctx.corpus,
@@ -82,8 +90,19 @@ pub fn table2(ctx: &ExperimentContext) -> (Vec<(PromptFormat, DomainScores, Doma
         "Table 2: text-davinci-003, 1-shot, by table serialization strategy\n{}",
         table(
             &[
-                "format", "x-nj-Exa", "x-nj-Exe", "x-j-Exa", "x-j-Exe", "x-all-Exa", "x-all-Exe",
-                "i-nj-Exa", "i-nj-Exe", "i-j-Exa", "i-j-Exe", "i-all-Exa", "i-all-Exe",
+                "format",
+                "x-nj-Exa",
+                "x-nj-Exe",
+                "x-j-Exa",
+                "x-j-Exe",
+                "x-all-Exa",
+                "x-all-Exe",
+                "i-nj-Exa",
+                "i-nj-Exe",
+                "i-j-Exa",
+                "i-j-Exe",
+                "i-all-Exa",
+                "i-all-Exe",
             ],
             &rows,
         )
@@ -119,12 +138,29 @@ pub fn fig6(ctx: &ExperimentContext) -> (Vec<(String, usize, bool, Pair)>, Strin
     let mut rows = Vec::new();
     for (name, format) in variants {
         for cross in [true, false] {
-            let split: &Split = if cross { &ctx.cross_split } else { &ctx.in_split };
-            let mut cells = vec![name.to_string(), if cross { "cross" } else { "in" }.to_string()];
+            let split: &Split = if cross {
+                &ctx.cross_split
+            } else {
+                &ctx.in_split
+            };
+            let mut cells = vec![
+                name.to_string(),
+                if cross { "cross" } else { "in" }.to_string(),
+            ];
             for k in shots {
-                let config = LlmEvalConfig { format, shots: k, ..Default::default() };
-                let report =
-                    evaluate_llm(&llm, &ctx.corpus, &split.train, &split.test, &config, ctx.limit);
+                let config = LlmEvalConfig {
+                    format,
+                    shots: k,
+                    ..Default::default()
+                };
+                let report = evaluate_llm(
+                    &llm,
+                    &ctx.corpus,
+                    &split.train,
+                    &split.test,
+                    &config,
+                    ctx.limit,
+                );
                 let pair = (report.overall().exact(), report.overall().exec());
                 results.push((name.to_string(), k, cross, pair));
                 cells.push(format!("{}/{}", acc(pair.0), acc(pair.1)));
@@ -134,7 +170,10 @@ pub fn fig6(ctx: &ExperimentContext) -> (Vec<(String, usize, bool, Pair)>, Strin
     }
     let text = format!(
         "Figure 6: Exact/Execution accuracy vs demonstrations (text-davinci-003)\n{}",
-        table(&["variant", "setting", "k=1", "k=3", "k=5", "k=7", "k=15"], &rows)
+        table(
+            &["variant", "setting", "k=1", "k=3", "k=5", "k=7", "k=15"],
+            &rows
+        )
     );
     (results, text)
 }
@@ -147,9 +186,19 @@ pub fn table3(ctx: &ExperimentContext) -> (Vec<(String, Pair, Pair)>, String) {
     let run_trained = |make: &dyn Fn(&[usize]) -> Box<dyn Nl2VisModel + Sync>,
                        results: &mut Vec<(String, Pair, Pair)>| {
         let cross_model = make(&ctx.cross_split.train);
-        let cross = evaluate_model(cross_model.as_ref(), &ctx.corpus, &ctx.cross_split.test, ctx.limit);
+        let cross = evaluate_model(
+            cross_model.as_ref(),
+            &ctx.corpus,
+            &ctx.cross_split.test,
+            ctx.limit,
+        );
         let in_model = make(&ctx.in_split.train);
-        let ind = evaluate_model(in_model.as_ref(), &ctx.corpus, &ctx.in_split.test, ctx.limit);
+        let ind = evaluate_model(
+            in_model.as_ref(),
+            &ctx.corpus,
+            &ctx.in_split.test,
+            ctx.limit,
+        );
         results.push((
             cross_model.name().to_string(),
             (cross.overall().exact(), cross.overall().exec()),
@@ -157,10 +206,22 @@ pub fn table3(ctx: &ExperimentContext) -> (Vec<(String, Pair, Pair)>, String) {
         ));
     };
 
-    run_trained(&|ids| Box::new(Seq2Vis::train(&ctx.corpus, ids)), &mut results);
-    run_trained(&|ids| Box::new(TransformerModel::train(&ctx.corpus, ids)), &mut results);
-    run_trained(&|ids| Box::new(NcNet::train(&ctx.corpus, ids)), &mut results);
-    run_trained(&|ids| Box::new(RgVisNet::train(&ctx.corpus, ids)), &mut results);
+    run_trained(
+        &|ids| Box::new(Seq2Vis::train(&ctx.corpus, ids)),
+        &mut results,
+    );
+    run_trained(
+        &|ids| Box::new(TransformerModel::train(&ctx.corpus, ids)),
+        &mut results,
+    );
+    run_trained(
+        &|ids| Box::new(NcNet::train(&ctx.corpus, ids)),
+        &mut results,
+    );
+    run_trained(
+        &|ids| Box::new(RgVisNet::train(&ctx.corpus, ids)),
+        &mut results,
+    );
 
     // Chat2Vis is zero-shot (no training split involved).
     {
@@ -175,11 +236,25 @@ pub fn table3(ctx: &ExperimentContext) -> (Vec<(String, Pair, Pair)>, String) {
     }
 
     run_trained(
-        &|ids| Box::new(T5Model::train(&ctx.corpus, ids, T5Size::Small, ctx.seed ^ 0x75)),
+        &|ids| {
+            Box::new(T5Model::train(
+                &ctx.corpus,
+                ids,
+                T5Size::Small,
+                ctx.seed ^ 0x75,
+            ))
+        },
         &mut results,
     );
     run_trained(
-        &|ids| Box::new(T5Model::train(&ctx.corpus, ids, T5Size::Base, ctx.seed ^ 0x76)),
+        &|ids| {
+            Box::new(T5Model::train(
+                &ctx.corpus,
+                ids,
+                T5Size::Base,
+                ctx.seed ^ 0x76,
+            ))
+        },
         &mut results,
     );
 
@@ -217,12 +292,21 @@ pub fn table3(ctx: &ExperimentContext) -> (Vec<(String, Pair, Pair)>, String) {
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|(name, cross, ind)| {
-            vec![name.clone(), acc(cross.0), acc(cross.1), acc(ind.0), acc(ind.1)]
+            vec![
+                name.clone(),
+                acc(cross.0),
+                acc(cross.1),
+                acc(ind.0),
+                acc(ind.1),
+            ]
         })
         .collect();
     let text = format!(
         "Table 3: LLMs vs baselines (20-shot Table2SQL for inference-only)\n{}",
-        table(&["model", "cross-Exa", "cross-Exe", "in-Exa", "in-Exe"], &rows)
+        table(
+            &["model", "cross-Exa", "cross-Exe", "in-Exa", "in-Exe"],
+            &rows
+        )
     );
     (results, text)
 }
@@ -233,9 +317,12 @@ pub fn table3(ctx: &ExperimentContext) -> (Vec<(String, Pair, Pair)>, String) {
 pub fn table4(ctx: &ExperimentContext) -> (Vec<Vec<String>>, String) {
     // Measure local completions/second for one profile as a grounding point.
     let llm = davinci003(ctx);
-    let config = LlmEvalConfig { shots: 5, ..Default::default() };
+    let config = LlmEvalConfig {
+        shots: 5,
+        ..Default::default()
+    };
     let n = 30.min(ctx.cross_split.test.len());
-    let started = std::time::Instant::now();
+    let probe = nl2vis_obs::span!("bench.table4_probe");
     let _ = evaluate_llm(
         &llm,
         &ctx.corpus,
@@ -244,18 +331,33 @@ pub fn table4(ctx: &ExperimentContext) -> (Vec<Vec<String>>, String) {
         &config,
         Some(n),
     );
-    let elapsed = started.elapsed().as_secs_f64();
+    let elapsed = probe.elapsed().as_secs_f64();
+    drop(probe);
     let per_query_ms = elapsed / n.max(1) as f64 * 1000.0;
 
     let mut rows = vec![
-        vec!["T5-Small".into(), "60M".into(), "3 days (fine-tune)".into(), "200MB".into()],
-        vec!["T5-Base".into(), "220M".into(), "5 days (fine-tune)".into(), "500MB".into()],
+        vec![
+            "T5-Small".into(),
+            "60M".into(),
+            "3 days (fine-tune)".into(),
+            "200MB".into(),
+        ],
+        vec![
+            "T5-Base".into(),
+            "220M".into(),
+            "5 days (fine-tune)".into(),
+            "500MB".into(),
+        ],
     ];
     for p in ModelProfile::all_inference() {
         rows.push(vec![
             p.name.to_string(),
             p.params.to_string(),
-            format!("{:.0} ms/query (simulated: {:.1} ms)", p.ms_per_token * 60.0, per_query_ms),
+            format!(
+                "{:.0} ms/query (simulated: {:.1} ms)",
+                p.ms_per_token * 60.0,
+                per_query_ms
+            ),
             p.model_size.to_string(),
         ]);
     }
@@ -302,7 +404,10 @@ pub fn fig7(ctx: &ExperimentContext) -> (Vec<(String, usize, Pair)>, String) {
         let pair = (report.overall().exact(), report.overall().exec());
         results.push((m.name().to_string(), usize::MAX, pair));
         let mut cells = vec![format!("{} (fine-tuned)", m.name())];
-        cells.extend(std::iter::repeat_n(format!("{}/{}", acc(pair.0), acc(pair.1)), shots.len()));
+        cells.extend(std::iter::repeat_n(
+            format!("{}/{}", acc(pair.0), acc(pair.1)),
+            shots.len(),
+        ));
         rows.push(cells);
     }
     let header: Vec<String> = std::iter::once("model".to_string())
@@ -359,7 +464,10 @@ pub fn fig9_fig10(ctx: &ExperimentContext) -> (nl2vis_eval::StudyReport, String)
     // is noisy.
     let mut report = nl2vis_eval::StudyReport::default();
     for salt in [0x95u64, 0x96] {
-        let config = StudyConfig { seed: ctx.seed ^ salt, ..Default::default() };
+        let config = StudyConfig {
+            seed: ctx.seed ^ salt,
+            ..Default::default()
+        };
         report
             .sessions
             .extend(run_study(&ctx.corpus, &ctx.in_split.train, &config).sessions);
@@ -383,7 +491,8 @@ pub fn fig9_fig10(ctx: &ExperimentContext) -> (nl2vis_eval::StudyReport, String)
         }
         rate_rows.push(cells);
     }
-    let text = format!
+    let text =
+        format!
         ("Figure 9: average user time composition\n{}\nFigure 10: success rates by difficulty\n{}",
         table(&["user", "compose", "revise", "prompt-gen", "vql-gen"], &time_rows),
         table(&["user", "easy", "medium", "hard", "extra hard"], &rate_rows)
@@ -395,7 +504,10 @@ pub fn fig9_fig10(ctx: &ExperimentContext) -> (nl2vis_eval::StudyReport, String)
 /// 20-shot, Table2SQL, cross-domain.
 pub fn base_failure_run(ctx: &ExperimentContext) -> (EvalReport, LlmEvalConfig) {
     let llm = davinci003(ctx);
-    let config = LlmEvalConfig { shots: 20, ..Default::default() };
+    let config = LlmEvalConfig {
+        shots: 20,
+        ..Default::default()
+    };
     let report = evaluate_llm(
         &llm,
         &ctx.corpus,
@@ -484,7 +596,11 @@ pub fn ablations(ctx: &ExperimentContext) -> String {
             ("same-database", Selection::SameDatabase),
             ("grouped 4x1", Selection::Grouped { dbs: 4, per_db: 1 }),
         ] {
-            let config = LlmEvalConfig { shots: 4, selection, ..Default::default() };
+            let config = LlmEvalConfig {
+                shots: 4,
+                selection,
+                ..Default::default()
+            };
             let r = evaluate_llm(
                 &llm,
                 &ctx.corpus,
@@ -517,9 +633,17 @@ pub fn ablations(ctx: &ExperimentContext) -> String {
         let learned = with_cross.lexicon().learned_entries(1);
         let mut rows = Vec::new();
         for (label, model, test) in [
-            ("fine-tuned, cross-domain", mk(&ctx.cross_split.train), &ctx.cross_split.test),
+            (
+                "fine-tuned, cross-domain",
+                mk(&ctx.cross_split.train),
+                &ctx.cross_split.test,
+            ),
             ("knocked out, cross-domain", mk(&[]), &ctx.cross_split.test),
-            ("fine-tuned, in-domain", mk(&ctx.in_split.train), &ctx.in_split.test),
+            (
+                "fine-tuned, in-domain",
+                mk(&ctx.in_split.train),
+                &ctx.in_split.test,
+            ),
             ("knocked out, in-domain", mk(&[]), &ctx.in_split.test),
         ] {
             let r = evaluate_model(&model, &ctx.corpus, test, ctx.limit);
@@ -545,8 +669,15 @@ pub fn ablations(ctx: &ExperimentContext) -> String {
         use nl2vis_llm::understand::{ground, parse_question};
         let know_all = |_: &str| true;
         let mut acc_ub = Accuracy::default();
-        for id in ctx.cross_split.test.iter().take(ctx.limit.unwrap_or(usize::MAX)) {
-            let Some(e) = ctx.corpus.example(*id) else { continue };
+        for id in ctx
+            .cross_split
+            .test
+            .iter()
+            .take(ctx.limit.unwrap_or(usize::MAX))
+        {
+            let Some(e) = ctx.corpus.example(*id) else {
+                continue;
+            };
             let db = ctx.corpus.catalog.database(&e.db).expect("db");
             let schema = RecoveredSchema::from_database(db);
             let intent = parse_question(&e.nl);
@@ -576,7 +707,10 @@ pub fn ablations(ctx: &ExperimentContext) -> String {
         muted.demo_copy = 0.0;
         let copy_on = SimLlm::new(ModelProfile::davinci_003(), ctx.seed ^ 0x11);
         let copy_off = SimLlm::new(muted, ctx.seed ^ 0x11);
-        let config = LlmEvalConfig { shots: 20, ..Default::default() };
+        let config = LlmEvalConfig {
+            shots: 20,
+            ..Default::default()
+        };
         let r_on = evaluate_llm(
             &copy_on,
             &ctx.corpus,
@@ -628,9 +762,16 @@ pub fn ext_vega(ctx: &ExperimentContext) -> (Vec<(String, usize, Pair, f64)>, St
     let llm = davinci003(ctx);
     let mut results = Vec::new();
     let mut rows = Vec::new();
-    for (label, answer) in [("VQL", AnswerFormat::Vql), ("Vega-Lite", AnswerFormat::VegaLite)] {
+    for (label, answer) in [
+        ("VQL", AnswerFormat::Vql),
+        ("Vega-Lite", AnswerFormat::VegaLite),
+    ] {
         for shots in [1usize, 5, 20] {
-            let config = LlmEvalConfig { answer, shots, ..Default::default() };
+            let config = LlmEvalConfig {
+                answer,
+                shots,
+                ..Default::default()
+            };
             let report = evaluate_llm(
                 &llm,
                 &ctx.corpus,
@@ -660,7 +801,10 @@ pub fn ext_vega(ctx: &ExperimentContext) -> (Vec<(String, usize, Pair, f64)>, St
     let text = format!(
         "Extension (paper §6.2): output formalism — VQL intermediate vs direct Vega-Lite\n\
          (text-davinci-003, Table2SQL serialization, cross-domain)\n{}",
-        table(&["output", "shots", "Exa", "Exe", "malformed", "join-Exe"], &rows)
+        table(
+            &["output", "shots", "Exa", "Exe", "malformed", "join-Exe"],
+            &rows
+        )
     );
     (results, text)
 }

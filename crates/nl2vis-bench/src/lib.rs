@@ -34,7 +34,12 @@ impl ExperimentContext {
     /// A reduced context for quick runs (`--fast`) and integration tests.
     pub fn fast() -> ExperimentContext {
         ExperimentContext::with_config(
-            &CorpusConfig { seed: 20240115, instances_per_domain: 1, queries_per_db: 14, paraphrases: (2, 3) },
+            &CorpusConfig {
+                seed: 20240115,
+                instances_per_domain: 1,
+                queries_per_db: 14,
+                paraphrases: (2, 3),
+            },
             20240115,
             Some(80),
         )
@@ -49,6 +54,12 @@ impl ExperimentContext {
         let corpus = Corpus::build(config);
         let in_split = corpus.split_in_domain(seed);
         let cross_split = corpus.split_cross_domain(seed);
-        ExperimentContext { corpus, in_split, cross_split, seed, limit }
+        ExperimentContext {
+            corpus,
+            in_split,
+            cross_split,
+            seed,
+            limit,
+        }
     }
 }

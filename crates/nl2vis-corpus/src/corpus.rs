@@ -66,7 +66,12 @@ impl Default for CorpusConfig {
 impl CorpusConfig {
     /// A reduced configuration for fast unit tests and examples.
     pub fn small(seed: u64) -> CorpusConfig {
-        CorpusConfig { seed, instances_per_domain: 1, queries_per_db: 10, paraphrases: (2, 3) }
+        CorpusConfig {
+            seed,
+            instances_per_domain: 1,
+            queries_per_db: 10,
+            paraphrases: (2, 3),
+        }
     }
 }
 
@@ -121,7 +126,9 @@ impl Corpus {
                     attempts += 1;
                     let weights: Vec<f64> = hardness_weights.iter().map(|(_, w)| *w).collect();
                     let hardness = hardness_weights[synth_rng.pick_weighted(&weights)].0;
-                    let Some(vql) = synthesize(&db, hardness, &mut synth_rng) else { continue };
+                    let Some(vql) = synthesize(&db, hardness, &mut synth_rng) else {
+                        continue;
+                    };
                     let (lo, hi) = config.paraphrases;
                     let n_para = lo + nl_rng.below_usize(hi.saturating_sub(lo) + 1);
                     for _ in 0..n_para.max(1) {
@@ -186,10 +193,8 @@ impl Corpus {
         // and the non-join scenario (single-table domains like weather have
         // no foreign keys).
         let mut rng = Rng::new(seed ^ 0xCD);
-        let mut joinable: Vec<&str> =
-            by_domain.keys().copied().filter(|d| has_join[d]).collect();
-        let mut plain: Vec<&str> =
-            by_domain.keys().copied().filter(|d| !has_join[d]).collect();
+        let mut joinable: Vec<&str> = by_domain.keys().copied().filter(|d| has_join[d]).collect();
+        let mut plain: Vec<&str> = by_domain.keys().copied().filter(|d| !has_join[d]).collect();
         rng.shuffle(&mut joinable);
         rng.shuffle(&mut plain);
         // Interleave so each decile has a proportional mix.
@@ -209,7 +214,11 @@ impl Corpus {
         let n = domains.len();
         let n_train = (n * 7).div_ceil(10);
         let n_valid = (n * 2) / 10;
-        let mut split = Split { train: vec![], valid: vec![], test: vec![] };
+        let mut split = Split {
+            train: vec![],
+            valid: vec![],
+            test: vec![],
+        };
         for (i, domain) in domains.iter().enumerate() {
             let bucket = if i < n_train {
                 &mut split.train
@@ -298,7 +307,10 @@ mod tests {
         let db_of = |id: &usize| c.example(*id).unwrap().db.clone();
         let train_dbs: HashSet<_> = s.train.iter().map(db_of).collect();
         let test_dbs: HashSet<_> = s.test.iter().map(db_of).collect();
-        assert!(train_dbs.is_disjoint(&test_dbs), "cross-domain split leaks databases");
+        assert!(
+            train_dbs.is_disjoint(&test_dbs),
+            "cross-domain split leaks databases"
+        );
         assert!(!test_dbs.is_empty());
     }
 

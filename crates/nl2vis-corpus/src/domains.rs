@@ -92,7 +92,13 @@ const fn col(
     aliases: &'static [&'static str],
     role: ColRole,
 ) -> ColSpec {
-    ColSpec { name, dtype, gen, aliases, role }
+    ColSpec {
+        name,
+        dtype,
+        gen,
+        aliases,
+        role,
+    }
 }
 
 use ColGen::{Bool, Cat, DateBetween, Fk, FloatRange, FromPool, IntRange, Serial};
@@ -114,11 +120,29 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (18, 30),
                 columns: &[
                     col("tech_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PERSON_NAMES), &["technician"], Label),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["technician"],
+                        Label,
+                    ),
                     col("team", TText, Cat(TEAMS), &["squad", "club"], Category),
                     col("age", TInt, IntRange(22, 55), &["age"], Measure),
-                    col("salary", TFloat, FloatRange(30_000.0, 120_000.0), &["pay", "wage"], Measure),
-                    col("hire_date", TDate, DateBetween(2012, 2023), &["hired", "joined"], Temporal),
+                    col(
+                        "salary",
+                        TFloat,
+                        FloatRange(30_000.0, 120_000.0),
+                        &["pay", "wage"],
+                        Measure,
+                    ),
+                    col(
+                        "hire_date",
+                        TDate,
+                        DateBetween(2012, 2023),
+                        &["hired", "joined"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -127,8 +151,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("machine_id", TInt, Serial, &[], Id),
                     col("tech_id", TInt, Fk("technician"), &[], Id),
-                    col("machine_series", TText, Cat(PRODUCTS), &["series"], Category),
-                    col("value", TFloat, FloatRange(1_000.0, 90_000.0), &["worth", "cost"], Measure),
+                    col(
+                        "machine_series",
+                        TText,
+                        Cat(PRODUCTS),
+                        &["series"],
+                        Category,
+                    ),
+                    col(
+                        "value",
+                        TFloat,
+                        FloatRange(1_000.0, 90_000.0),
+                        &["worth", "cost"],
+                        Measure,
+                    ),
                     col("quality_rank", TInt, IntRange(1, 10), &["rank"], Measure),
                 ],
             },
@@ -145,10 +181,28 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("student_id", TInt, Serial, &[], Id),
                     col("name", TText, FromPool(PERSON_NAMES), &["student"], Label),
-                    col("department", TText, Cat(DEPARTMENTS), &["division", "major"], Category),
+                    col(
+                        "department",
+                        TText,
+                        Cat(DEPARTMENTS),
+                        &["division", "major"],
+                        Category,
+                    ),
                     col("gpa", TFloat, FloatRange(2.0, 4.0), &["grade"], Measure),
-                    col("credits", TInt, IntRange(0, 140), &["credit hours"], Measure),
-                    col("enroll_date", TDate, DateBetween(2016, 2023), &["enrolled"], Temporal),
+                    col(
+                        "credits",
+                        TInt,
+                        IntRange(0, 140),
+                        &["credit hours"],
+                        Measure,
+                    ),
+                    col(
+                        "enroll_date",
+                        TDate,
+                        DateBetween(2016, 2023),
+                        &["enrolled"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -157,7 +211,13 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("course_id", TInt, Serial, &[], Id),
                     col("title", TText, FromPool(PRODUCTS), &["course"], Label),
-                    col("department", TText, Cat(DEPARTMENTS), &["division"], Category),
+                    col(
+                        "department",
+                        TText,
+                        Cat(DEPARTMENTS),
+                        &["division"],
+                        Category,
+                    ),
                     col("credits", TInt, IntRange(1, 5), &["credit hours"], Measure),
                 ],
             },
@@ -186,10 +246,28 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (14, 24),
                 columns: &[
                     col("doctor_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PERSON_NAMES), &["doctor", "physician"], Label),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["doctor", "physician"],
+                        Label,
+                    ),
                     col("specialty", TText, Cat(SPECIALTIES), &["field"], Category),
-                    col("salary", TFloat, FloatRange(90_000.0, 300_000.0), &["pay", "earnings"], Measure),
-                    col("experience_years", TInt, IntRange(1, 35), &["experience"], Measure),
+                    col(
+                        "salary",
+                        TFloat,
+                        FloatRange(90_000.0, 300_000.0),
+                        &["pay", "earnings"],
+                        Measure,
+                    ),
+                    col(
+                        "experience_years",
+                        TInt,
+                        IntRange(1, 35),
+                        &["experience"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -198,8 +276,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("appointment_id", TInt, Serial, &[], Id),
                     col("doctor_id", TInt, Fk("doctor"), &[], Id),
-                    col("visit_date", TDate, DateBetween(2020, 2023), &["visit"], Temporal),
-                    col("fee", TFloat, FloatRange(40.0, 500.0), &["cost", "charge"], Measure),
+                    col(
+                        "visit_date",
+                        TDate,
+                        DateBetween(2020, 2023),
+                        &["visit"],
+                        Temporal,
+                    ),
+                    col(
+                        "fee",
+                        TFloat,
+                        FloatRange(40.0, 500.0),
+                        &["cost", "charge"],
+                        Measure,
+                    ),
                     col("urgent", TBool, Bool, &["emergency"], Category),
                 ],
             },
@@ -215,9 +305,21 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (25, 50),
                 columns: &[
                     col("customer_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PERSON_NAMES), &["customer", "client", "buyer"], Label),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["customer", "client", "buyer"],
+                        Label,
+                    ),
                     col("city", TText, Cat(CITIES), &["location", "town"], Category),
-                    col("loyalty_points", TInt, IntRange(0, 5000), &["points"], Measure),
+                    col(
+                        "loyalty_points",
+                        TInt,
+                        IntRange(0, 5000),
+                        &["points"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -226,10 +328,34 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("purchase_id", TInt, Serial, &[], Id),
                     col("customer_id", TInt, Fk("customer"), &[], Id),
-                    col("category", TText, Cat(PRODUCT_CATEGORIES), &["kind", "type"], Category),
-                    col("amount", TFloat, FloatRange(5.0, 900.0), &["sum", "spending"], Measure),
-                    col("purchase_date", TDate, DateBetween(2019, 2023), &["bought"], Temporal),
-                    col("payment_method", TText, Cat(PAYMENT_METHODS), &["payment"], Category),
+                    col(
+                        "category",
+                        TText,
+                        Cat(PRODUCT_CATEGORIES),
+                        &["kind", "type"],
+                        Category,
+                    ),
+                    col(
+                        "amount",
+                        TFloat,
+                        FloatRange(5.0, 900.0),
+                        &["sum", "spending"],
+                        Measure,
+                    ),
+                    col(
+                        "purchase_date",
+                        TDate,
+                        DateBetween(2019, 2023),
+                        &["bought"],
+                        Temporal,
+                    ),
+                    col(
+                        "payment_method",
+                        TText,
+                        Cat(PAYMENT_METHODS),
+                        &["payment"],
+                        Category,
+                    ),
                 ],
             },
         ],
@@ -245,10 +371,28 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("flight_id", TInt, Serial, &[], Id),
                     col("airline", TText, Cat(AIRLINES), &["carrier"], Category),
-                    col("origin", TText, Cat(CITIES), &["origin city", "source city"], Category),
-                    col("miles", TFloat, FloatRange(100.0, 5_000.0), &["distance", "mileage"], Measure),
+                    col(
+                        "origin",
+                        TText,
+                        Cat(CITIES),
+                        &["origin city", "source city"],
+                        Category,
+                    ),
+                    col(
+                        "miles",
+                        TFloat,
+                        FloatRange(100.0, 5_000.0),
+                        &["distance", "mileage"],
+                        Measure,
+                    ),
                     col("seats", TInt, IntRange(50, 300), &["capacity"], Measure),
-                    col("depart_date", TDate, DateBetween(2021, 2023), &["departure"], Temporal),
+                    col(
+                        "depart_date",
+                        TDate,
+                        DateBetween(2021, 2023),
+                        &["departure"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -257,8 +401,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("booking_id", TInt, Serial, &[], Id),
                     col("flight_id", TInt, Fk("flight"), &[], Id),
-                    col("price", TFloat, FloatRange(60.0, 1_500.0), &["cost", "fee", "fare"], Measure),
-                    col("class", TText, Cat(&["Economy", "Business", "First"]), &["cabin"], Category),
+                    col(
+                        "price",
+                        TFloat,
+                        FloatRange(60.0, 1_500.0),
+                        &["cost", "fee", "fare"],
+                        Measure,
+                    ),
+                    col(
+                        "class",
+                        TText,
+                        Cat(&["Economy", "Business", "First"]),
+                        &["cabin"],
+                        Category,
+                    ),
                 ],
             },
         ],
@@ -273,9 +429,21 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (15, 28),
                 columns: &[
                     col("artist_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PERSON_NAMES), &["artist", "musician"], Label),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["artist", "musician"],
+                        Label,
+                    ),
                     col("genre", TText, Cat(GENRES), &["style"], Category),
-                    col("debut_year", TInt, IntRange(1975, 2020), &["debut"], Measure),
+                    col(
+                        "debut_year",
+                        TInt,
+                        IntRange(1975, 2020),
+                        &["debut"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -285,8 +453,20 @@ static DOMAINS: &[DomainSpec] = &[
                     col("album_id", TInt, Serial, &[], Id),
                     col("artist_id", TInt, Fk("artist"), &[], Id),
                     col("title", TText, FromPool(PRODUCTS), &["album"], Label),
-                    col("sales", TFloat, FloatRange(1_000.0, 2_000_000.0), &["revenue", "turnover"], Measure),
-                    col("release_date", TDate, DateBetween(2000, 2023), &["released"], Temporal),
+                    col(
+                        "sales",
+                        TFloat,
+                        FloatRange(1_000.0, 2_000_000.0),
+                        &["revenue", "turnover"],
+                        Measure,
+                    ),
+                    col(
+                        "release_date",
+                        TDate,
+                        DateBetween(2000, 2023),
+                        &["released"],
+                        Temporal,
+                    ),
                 ],
             },
         ],
@@ -301,11 +481,35 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (25, 50),
                 columns: &[
                     col("film_id", TInt, Serial, &[], Id),
-                    col("title", TText, FromPool(PRODUCTS), &["film", "movie"], Label),
+                    col(
+                        "title",
+                        TText,
+                        FromPool(PRODUCTS),
+                        &["film", "movie"],
+                        Label,
+                    ),
                     col("rating", TText, Cat(RATINGS), &["certificate"], Category),
-                    col("length_minutes", TInt, IntRange(70, 210), &["duration", "runtime"], Measure),
-                    col("gross", TFloat, FloatRange(100_000.0, 900_000_000.0), &["box office", "revenue"], Measure),
-                    col("release_date", TDate, DateBetween(1995, 2023), &["released"], Temporal),
+                    col(
+                        "length_minutes",
+                        TInt,
+                        IntRange(70, 210),
+                        &["duration", "runtime"],
+                        Measure,
+                    ),
+                    col(
+                        "gross",
+                        TFloat,
+                        FloatRange(100_000.0, 900_000_000.0),
+                        &["box office", "revenue"],
+                        Measure,
+                    ),
+                    col(
+                        "release_date",
+                        TDate,
+                        DateBetween(1995, 2023),
+                        &["released"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -330,7 +534,13 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (20, 40),
                 columns: &[
                     col("restaurant_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PRODUCTS), &["restaurant", "eatery"], Label),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PRODUCTS),
+                        &["restaurant", "eatery"],
+                        Label,
+                    ),
                     col("cuisine", TText, Cat(CUISINES), &["food type"], Category),
                     col("city", TText, Cat(CITIES), &["location", "town"], Category),
                     col("stars", TFloat, FloatRange(1.0, 5.0), &["rating"], Measure),
@@ -342,8 +552,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("inspection_id", TInt, Serial, &[], Id),
                     col("restaurant_id", TInt, Fk("restaurant"), &[], Id),
-                    col("inspect_date", TDate, DateBetween(2018, 2023), &["inspected"], Temporal),
-                    col("score", TInt, IntRange(50, 100), &["grade", "mark"], Measure),
+                    col(
+                        "inspect_date",
+                        TDate,
+                        DateBetween(2018, 2023),
+                        &["inspected"],
+                        Temporal,
+                    ),
+                    col(
+                        "score",
+                        TInt,
+                        IntRange(50, 100),
+                        &["grade", "mark"],
+                        Measure,
+                    ),
                 ],
             },
         ],
@@ -361,7 +583,13 @@ static DOMAINS: &[DomainSpec] = &[
                     col("title", TText, FromPool(PRODUCTS), &["book"], Label),
                     col("publisher", TText, Cat(PUBLISHERS), &["press"], Category),
                     col("pages", TInt, IntRange(80, 1200), &["length"], Measure),
-                    col("publish_date", TDate, DateBetween(1990, 2023), &["published"], Temporal),
+                    col(
+                        "publish_date",
+                        TDate,
+                        DateBetween(1990, 2023),
+                        &["published"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -370,7 +598,13 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("loan_id", TInt, Serial, &[], Id),
                     col("book_id", TInt, Fk("book"), &[], Id),
-                    col("member_city", TText, Cat(CITIES), &["borrower city"], Category),
+                    col(
+                        "member_city",
+                        TText,
+                        Cat(CITIES),
+                        &["borrower city"],
+                        Category,
+                    ),
                     col("days_kept", TInt, IntRange(1, 60), &["loan days"], Measure),
                 ],
             },
@@ -386,10 +620,34 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (30, 55),
                 columns: &[
                     col("employee_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PERSON_NAMES), &["employee", "staff", "worker"], Label),
-                    col("job_title", TText, Cat(JOB_TITLES), &["role", "position"], Category),
-                    col("salary", TFloat, FloatRange(35_000.0, 220_000.0), &["pay", "wage", "earnings"], Measure),
-                    col("hire_date", TDate, DateBetween(2008, 2023), &["hired", "joined"], Temporal),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["employee", "staff", "worker"],
+                        Label,
+                    ),
+                    col(
+                        "job_title",
+                        TText,
+                        Cat(JOB_TITLES),
+                        &["role", "position"],
+                        Category,
+                    ),
+                    col(
+                        "salary",
+                        TFloat,
+                        FloatRange(35_000.0, 220_000.0),
+                        &["pay", "wage", "earnings"],
+                        Measure,
+                    ),
+                    col(
+                        "hire_date",
+                        TDate,
+                        DateBetween(2008, 2023),
+                        &["hired", "joined"],
+                        Temporal,
+                    ),
                     col("remote", TBool, Bool, &["works remotely"], Category),
                 ],
             },
@@ -398,8 +656,20 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (10, 18),
                 columns: &[
                     col("project_id", TInt, Serial, &[], Id),
-                    col("project_name", TText, FromPool(PRODUCTS), &["project"], Label),
-                    col("budget", TFloat, FloatRange(10_000.0, 2_000_000.0), &["funding"], Measure),
+                    col(
+                        "project_name",
+                        TText,
+                        FromPool(PRODUCTS),
+                        &["project"],
+                        Label,
+                    ),
+                    col(
+                        "budget",
+                        TFloat,
+                        FloatRange(10_000.0, 2_000_000.0),
+                        &["funding"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -427,10 +697,34 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (30, 60),
                 columns: &[
                     col("account_id", TInt, Serial, &[], Id),
-                    col("holder_name", TText, FromPool(PERSON_NAMES), &["holder", "owner"], Label),
-                    col("account_type", TText, Cat(ACCOUNT_TYPES), &["kind"], Category),
-                    col("balance", TFloat, FloatRange(-2_000.0, 250_000.0), &["funds", "deposit"], Measure),
-                    col("open_date", TDate, DateBetween(2010, 2023), &["opened"], Temporal),
+                    col(
+                        "holder_name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["holder", "owner"],
+                        Label,
+                    ),
+                    col(
+                        "account_type",
+                        TText,
+                        Cat(ACCOUNT_TYPES),
+                        &["kind"],
+                        Category,
+                    ),
+                    col(
+                        "balance",
+                        TFloat,
+                        FloatRange(-2_000.0, 250_000.0),
+                        &["funds", "deposit"],
+                        Measure,
+                    ),
+                    col(
+                        "open_date",
+                        TDate,
+                        DateBetween(2010, 2023),
+                        &["opened"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -439,8 +733,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("transaction_id", TInt, Serial, &[], Id),
                     col("account_id", TInt, Fk("account"), &[], Id),
-                    col("amount", TFloat, FloatRange(1.0, 9_000.0), &["sum"], Measure),
-                    col("channel", TText, Cat(&["ATM", "Online", "Branch", "Mobile"]), &["method"], Category),
+                    col(
+                        "amount",
+                        TFloat,
+                        FloatRange(1.0, 9_000.0),
+                        &["sum"],
+                        Measure,
+                    ),
+                    col(
+                        "channel",
+                        TText,
+                        Cat(&["ATM", "Online", "Branch", "Mobile"]),
+                        &["method"],
+                        Category,
+                    ),
                 ],
             },
         ],
@@ -457,8 +763,20 @@ static DOMAINS: &[DomainSpec] = &[
                     col("property_id", TInt, Serial, &[], Id),
                     col("city", TText, Cat(CITIES), &["location", "town"], Category),
                     col("bedrooms", TInt, IntRange(1, 6), &["rooms"], Measure),
-                    col("price", TFloat, FloatRange(90_000.0, 2_500_000.0), &["cost", "asking"], Measure),
-                    col("list_date", TDate, DateBetween(2018, 2023), &["listed"], Temporal),
+                    col(
+                        "price",
+                        TFloat,
+                        FloatRange(90_000.0, 2_500_000.0),
+                        &["cost", "asking"],
+                        Measure,
+                    ),
+                    col(
+                        "list_date",
+                        TDate,
+                        DateBetween(2018, 2023),
+                        &["listed"],
+                        Temporal,
+                    ),
                     col("sold", TBool, Bool, &["is sold"], Category),
                 ],
             },
@@ -467,8 +785,20 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (8, 14),
                 columns: &[
                     col("agent_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PERSON_NAMES), &["agent", "realtor"], Label),
-                    col("commission_rate", TFloat, FloatRange(0.01, 0.06), &["commission"], Measure),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["agent", "realtor"],
+                        Label,
+                    ),
+                    col(
+                        "commission_rate",
+                        TFloat,
+                        FloatRange(0.01, 0.06),
+                        &["commission"],
+                        Measure,
+                    ),
                 ],
             },
         ],
@@ -477,20 +807,42 @@ static DOMAINS: &[DomainSpec] = &[
     DomainSpec {
         domain: "weather",
         db_base: "climate_log",
-        tables: &[
-            TableSpec {
-                name: "observation",
-                rows: (60, 110),
-                columns: &[
-                    col("observation_id", TInt, Serial, &[], Id),
-                    col("station_city", TText, Cat(CITIES), &["station", "location"], Category),
-                    col("obs_date", TDate, DateBetween(2020, 2023), &["observed"], Temporal),
-                    col("temp_celsius", TFloat, FloatRange(-20.0, 42.0), &["temperature"], Measure),
-                    col("precipitation_mm", TFloat, FloatRange(0.0, 80.0), &["rainfall"], Measure),
-                    col("condition", TText, Cat(CONDITIONS), &["sky"], Category),
-                ],
-            },
-        ],
+        tables: &[TableSpec {
+            name: "observation",
+            rows: (60, 110),
+            columns: &[
+                col("observation_id", TInt, Serial, &[], Id),
+                col(
+                    "station_city",
+                    TText,
+                    Cat(CITIES),
+                    &["station", "location"],
+                    Category,
+                ),
+                col(
+                    "obs_date",
+                    TDate,
+                    DateBetween(2020, 2023),
+                    &["observed"],
+                    Temporal,
+                ),
+                col(
+                    "temp_celsius",
+                    TFloat,
+                    FloatRange(-20.0, 42.0),
+                    &["temperature"],
+                    Measure,
+                ),
+                col(
+                    "precipitation_mm",
+                    TFloat,
+                    FloatRange(0.0, 80.0),
+                    &["rainfall"],
+                    Measure,
+                ),
+                col("condition", TText, Cat(CONDITIONS), &["sky"], Category),
+            ],
+        }],
         fks: &[],
     },
     DomainSpec {
@@ -502,9 +854,21 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (25, 50),
                 columns: &[
                     col("vehicle_id", TInt, Serial, &[], Id),
-                    col("make", TText, Cat(MAKES), &["brand", "manufacturer"], Category),
+                    col(
+                        "make",
+                        TText,
+                        Cat(MAKES),
+                        &["brand", "manufacturer"],
+                        Category,
+                    ),
                     col("model_year", TInt, IntRange(2005, 2024), &["year"], Measure),
-                    col("price", TFloat, FloatRange(4_000.0, 140_000.0), &["cost", "sticker"], Measure),
+                    col(
+                        "price",
+                        TFloat,
+                        FloatRange(4_000.0, 140_000.0),
+                        &["cost", "sticker"],
+                        Measure,
+                    ),
                     col("electric", TBool, Bool, &["is electric", "ev"], Category),
                 ],
             },
@@ -514,8 +878,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("sale_id", TInt, Serial, &[], Id),
                     col("vehicle_id", TInt, Fk("vehicle"), &[], Id),
-                    col("sale_date", TDate, DateBetween(2019, 2023), &["sold"], Temporal),
-                    col("discount", TFloat, FloatRange(0.0, 8_000.0), &["rebate"], Measure),
+                    col(
+                        "sale_date",
+                        TDate,
+                        DateBetween(2019, 2023),
+                        &["sold"],
+                        Temporal,
+                    ),
+                    col(
+                        "discount",
+                        TFloat,
+                        FloatRange(0.0, 8_000.0),
+                        &["rebate"],
+                        Measure,
+                    ),
                 ],
             },
         ],
@@ -530,10 +906,28 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (40, 80),
                 columns: &[
                     col("shipment_id", TInt, Serial, &[], Id),
-                    col("destination_country", TText, Cat(COUNTRIES), &["destination"], Category),
-                    col("weight_kg", TFloat, FloatRange(0.5, 900.0), &["weight"], Measure),
+                    col(
+                        "destination_country",
+                        TText,
+                        Cat(COUNTRIES),
+                        &["destination"],
+                        Category,
+                    ),
+                    col(
+                        "weight_kg",
+                        TFloat,
+                        FloatRange(0.5, 900.0),
+                        &["weight"],
+                        Measure,
+                    ),
                     col("priority", TText, Cat(PRIORITIES), &["urgency"], Category),
-                    col("ship_date", TDate, DateBetween(2021, 2023), &["shipped"], Temporal),
+                    col(
+                        "ship_date",
+                        TDate,
+                        DateBetween(2021, 2023),
+                        &["shipped"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -558,7 +952,13 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("room_id", TInt, Serial, &[], Id),
                     col("room_type", TText, Cat(ROOM_TYPES), &["kind"], Category),
-                    col("nightly_rate", TFloat, FloatRange(60.0, 900.0), &["price", "cost", "rate"], Measure),
+                    col(
+                        "nightly_rate",
+                        TFloat,
+                        FloatRange(60.0, 900.0),
+                        &["price", "cost", "rate"],
+                        Measure,
+                    ),
                     col("floor", TInt, IntRange(1, 20), &["level"], Measure),
                 ],
             },
@@ -568,9 +968,21 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("reservation_id", TInt, Serial, &[], Id),
                     col("room_id", TInt, Fk("room"), &[], Id),
-                    col("guest_name", TText, FromPool(PERSON_NAMES), &["guest"], Label),
+                    col(
+                        "guest_name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["guest"],
+                        Label,
+                    ),
                     col("nights", TInt, IntRange(1, 14), &["stay length"], Measure),
-                    col("checkin_date", TDate, DateBetween(2021, 2023), &["check in"], Temporal),
+                    col(
+                        "checkin_date",
+                        TDate,
+                        DateBetween(2021, 2023),
+                        &["check in"],
+                        Temporal,
+                    ),
                 ],
             },
         ],
@@ -585,9 +997,27 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (12, 22),
                 columns: &[
                     col("plant_id", TInt, Serial, &[], Id),
-                    col("plant_name", TText, FromPool(PRODUCTS), &["plant", "station"], Label),
-                    col("fuel", TText, Cat(&["Solar", "Wind", "Gas", "Hydro", "Nuclear"]), &["source"], Category),
-                    col("capacity_mw", TFloat, FloatRange(5.0, 1200.0), &["capacity", "size"], Measure),
+                    col(
+                        "plant_name",
+                        TText,
+                        FromPool(PRODUCTS),
+                        &["plant", "station"],
+                        Label,
+                    ),
+                    col(
+                        "fuel",
+                        TText,
+                        Cat(&["Solar", "Wind", "Gas", "Hydro", "Nuclear"]),
+                        &["source"],
+                        Category,
+                    ),
+                    col(
+                        "capacity_mw",
+                        TFloat,
+                        FloatRange(5.0, 1200.0),
+                        &["capacity", "size"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -596,8 +1026,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("reading_id", TInt, Serial, &[], Id),
                     col("plant_id", TInt, Fk("plant"), &[], Id),
-                    col("read_date", TDate, DateBetween(2021, 2023), &["recorded"], Temporal),
-                    col("output_mwh", TFloat, FloatRange(0.0, 900.0), &["output", "production"], Measure),
+                    col(
+                        "read_date",
+                        TDate,
+                        DateBetween(2021, 2023),
+                        &["recorded"],
+                        Temporal,
+                    ),
+                    col(
+                        "output_mwh",
+                        TFloat,
+                        FloatRange(0.0, 900.0),
+                        &["output", "production"],
+                        Measure,
+                    ),
                 ],
             },
         ],
@@ -612,10 +1054,34 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (30, 55),
                 columns: &[
                     col("subscriber_id", TInt, Serial, &[], Id),
-                    col("name", TText, FromPool(PERSON_NAMES), &["subscriber", "client"], Label),
-                    col("plan", TText, Cat(&["Basic", "Plus", "Premium", "Family"]), &["tier"], Category),
-                    col("monthly_fee", TFloat, FloatRange(10.0, 120.0), &["fee", "cost"], Measure),
-                    col("signup_date", TDate, DateBetween(2017, 2023), &["signed up", "joined"], Temporal),
+                    col(
+                        "name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["subscriber", "client"],
+                        Label,
+                    ),
+                    col(
+                        "plan",
+                        TText,
+                        Cat(&["Basic", "Plus", "Premium", "Family"]),
+                        &["tier"],
+                        Category,
+                    ),
+                    col(
+                        "monthly_fee",
+                        TFloat,
+                        FloatRange(10.0, 120.0),
+                        &["fee", "cost"],
+                        Measure,
+                    ),
+                    col(
+                        "signup_date",
+                        TDate,
+                        DateBetween(2017, 2023),
+                        &["signed up", "joined"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -624,7 +1090,13 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("call_id", TInt, Serial, &[], Id),
                     col("subscriber_id", TInt, Fk("subscriber"), &[], Id),
-                    col("minutes", TFloat, FloatRange(0.2, 180.0), &["duration", "length"], Measure),
+                    col(
+                        "minutes",
+                        TFloat,
+                        FloatRange(0.2, 180.0),
+                        &["duration", "length"],
+                        Measure,
+                    ),
                     col("international", TBool, Bool, &["abroad"], Category),
                 ],
             },
@@ -641,8 +1113,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("farm_id", TInt, Serial, &[], Id),
                     col("farm_name", TText, FromPool(PRODUCTS), &["farm"], Label),
-                    col("county", TText, Cat(CITIES), &["region", "location"], Category),
-                    col("acres", TFloat, FloatRange(20.0, 3000.0), &["area", "size"], Measure),
+                    col(
+                        "county",
+                        TText,
+                        Cat(CITIES),
+                        &["region", "location"],
+                        Category,
+                    ),
+                    col(
+                        "acres",
+                        TFloat,
+                        FloatRange(20.0, 3000.0),
+                        &["area", "size"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -651,9 +1135,27 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("harvest_id", TInt, Serial, &[], Id),
                     col("farm_id", TInt, Fk("farm"), &[], Id),
-                    col("crop", TText, Cat(&["Wheat", "Corn", "Soy", "Barley", "Oats"]), &["produce"], Category),
-                    col("yield_tons", TFloat, FloatRange(1.0, 400.0), &["yield", "output"], Measure),
-                    col("harvest_date", TDate, DateBetween(2019, 2023), &["harvested"], Temporal),
+                    col(
+                        "crop",
+                        TText,
+                        Cat(&["Wheat", "Corn", "Soy", "Barley", "Oats"]),
+                        &["produce"],
+                        Category,
+                    ),
+                    col(
+                        "yield_tons",
+                        TFloat,
+                        FloatRange(1.0, 400.0),
+                        &["yield", "output"],
+                        Measure,
+                    ),
+                    col(
+                        "harvest_date",
+                        TDate,
+                        DateBetween(2019, 2023),
+                        &["harvested"],
+                        Temporal,
+                    ),
                 ],
             },
         ],
@@ -668,9 +1170,27 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (24, 44),
                 columns: &[
                     col("player_id", TInt, Serial, &[], Id),
-                    col("handle", TText, FromPool(PERSON_NAMES), &["player", "gamer"], Label),
-                    col("main_role", TText, Cat(&["Tank", "Support", "Carry", "Flex"]), &["role", "position"], Category),
-                    col("rating", TInt, IntRange(800, 3200), &["elo", "skill rating"], Measure),
+                    col(
+                        "handle",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["player", "gamer"],
+                        Label,
+                    ),
+                    col(
+                        "main_role",
+                        TText,
+                        Cat(&["Tank", "Support", "Carry", "Flex"]),
+                        &["role", "position"],
+                        Category,
+                    ),
+                    col(
+                        "rating",
+                        TInt,
+                        IntRange(800, 3200),
+                        &["elo", "skill rating"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -681,7 +1201,13 @@ static DOMAINS: &[DomainSpec] = &[
                     col("player_id", TInt, Fk("player"), &[], Id),
                     col("kills", TInt, IntRange(0, 30), &["eliminations"], Measure),
                     col("won", TBool, Bool, &["victory"], Category),
-                    col("played_date", TDate, DateBetween(2022, 2023), &["played"], Temporal),
+                    col(
+                        "played_date",
+                        TDate,
+                        DateBetween(2022, 2023),
+                        &["played"],
+                        Temporal,
+                    ),
                 ],
             },
         ],
@@ -696,9 +1222,27 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (16, 30),
                 columns: &[
                     col("exhibit_id", TInt, Serial, &[], Id),
-                    col("title", TText, FromPool(PRODUCTS), &["exhibit", "exhibition"], Label),
-                    col("wing", TText, Cat(&["East", "West", "North", "Modern", "Ancient"]), &["hall", "section"], Category),
-                    col("insured_value", TFloat, FloatRange(10_000.0, 5_000_000.0), &["value", "worth"], Measure),
+                    col(
+                        "title",
+                        TText,
+                        FromPool(PRODUCTS),
+                        &["exhibit", "exhibition"],
+                        Label,
+                    ),
+                    col(
+                        "wing",
+                        TText,
+                        Cat(&["East", "West", "North", "Modern", "Ancient"]),
+                        &["hall", "section"],
+                        Category,
+                    ),
+                    col(
+                        "insured_value",
+                        TFloat,
+                        FloatRange(10_000.0, 5_000_000.0),
+                        &["value", "worth"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -707,8 +1251,20 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("visit_id", TInt, Serial, &[], Id),
                     col("exhibit_id", TInt, Fk("exhibit"), &[], Id),
-                    col("visit_date", TDate, DateBetween(2021, 2023), &["visited"], Temporal),
-                    col("visitors", TInt, IntRange(5, 900), &["attendance", "audience"], Measure),
+                    col(
+                        "visit_date",
+                        TDate,
+                        DateBetween(2021, 2023),
+                        &["visited"],
+                        Temporal,
+                    ),
+                    col(
+                        "visitors",
+                        TInt,
+                        IntRange(5, 900),
+                        &["attendance", "audience"],
+                        Measure,
+                    ),
                 ],
             },
         ],
@@ -723,8 +1279,20 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (10, 18),
                 columns: &[
                     col("route_id", TInt, Serial, &[], Id),
-                    col("route_name", TText, FromPool(PRODUCTS), &["route", "line"], Label),
-                    col("mode", TText, Cat(&["Bus", "Tram", "Subway", "Ferry"]), &["vehicle kind"], Category),
+                    col(
+                        "route_name",
+                        TText,
+                        FromPool(PRODUCTS),
+                        &["route", "line"],
+                        Label,
+                    ),
+                    col(
+                        "mode",
+                        TText,
+                        Cat(&["Bus", "Tram", "Subway", "Ferry"]),
+                        &["vehicle kind"],
+                        Category,
+                    ),
                     col("stops", TInt, IntRange(6, 48), &["stations"], Measure),
                 ],
             },
@@ -734,9 +1302,21 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("ride_id", TInt, Serial, &[], Id),
                     col("route_id", TInt, Fk("route"), &[], Id),
-                    col("ride_date", TDate, DateBetween(2022, 2023), &["taken"], Temporal),
+                    col(
+                        "ride_date",
+                        TDate,
+                        DateBetween(2022, 2023),
+                        &["taken"],
+                        Temporal,
+                    ),
                     col("passengers", TInt, IntRange(1, 400), &["riders"], Measure),
-                    col("fare_total", TFloat, FloatRange(2.0, 900.0), &["fare", "revenue"], Measure),
+                    col(
+                        "fare_total",
+                        TFloat,
+                        FloatRange(2.0, 900.0),
+                        &["fare", "revenue"],
+                        Measure,
+                    ),
                 ],
             },
         ],
@@ -751,10 +1331,34 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (28, 50),
                 columns: &[
                     col("policy_id", TInt, Serial, &[], Id),
-                    col("holder_name", TText, FromPool(PERSON_NAMES), &["holder", "owner"], Label),
-                    col("coverage_type", TText, Cat(&["Auto", "Home", "Life", "Travel"]), &["coverage kind", "line of business"], Category),
-                    col("premium", TFloat, FloatRange(200.0, 6_000.0), &["price", "cost"], Measure),
-                    col("start_date", TDate, DateBetween(2015, 2023), &["started"], Temporal),
+                    col(
+                        "holder_name",
+                        TText,
+                        FromPool(PERSON_NAMES),
+                        &["holder", "owner"],
+                        Label,
+                    ),
+                    col(
+                        "coverage_type",
+                        TText,
+                        Cat(&["Auto", "Home", "Life", "Travel"]),
+                        &["coverage kind", "line of business"],
+                        Category,
+                    ),
+                    col(
+                        "premium",
+                        TFloat,
+                        FloatRange(200.0, 6_000.0),
+                        &["price", "cost"],
+                        Measure,
+                    ),
+                    col(
+                        "start_date",
+                        TDate,
+                        DateBetween(2015, 2023),
+                        &["started"],
+                        Temporal,
+                    ),
                 ],
             },
             TableSpec {
@@ -763,7 +1367,13 @@ static DOMAINS: &[DomainSpec] = &[
                 columns: &[
                     col("claim_id", TInt, Serial, &[], Id),
                     col("policy_id", TInt, Fk("policy"), &[], Id),
-                    col("amount", TFloat, FloatRange(100.0, 90_000.0), &["payout", "sum"], Measure),
+                    col(
+                        "amount",
+                        TFloat,
+                        FloatRange(100.0, 90_000.0),
+                        &["payout", "sum"],
+                        Measure,
+                    ),
                     col("approved", TBool, Bool, &["accepted"], Category),
                 ],
             },
@@ -779,9 +1389,21 @@ static DOMAINS: &[DomainSpec] = &[
                 rows: (20, 38),
                 columns: &[
                     col("seller_id", TInt, Serial, &[], Id),
-                    col("shop_name", TText, FromPool(PRODUCTS), &["seller", "shop", "store"], Label),
+                    col(
+                        "shop_name",
+                        TText,
+                        FromPool(PRODUCTS),
+                        &["seller", "shop", "store"],
+                        Label,
+                    ),
                     col("country", TText, Cat(COUNTRIES), &["location"], Category),
-                    col("rating_avg", TFloat, FloatRange(1.0, 5.0), &["average rating"], Measure),
+                    col(
+                        "rating_avg",
+                        TFloat,
+                        FloatRange(1.0, 5.0),
+                        &["average rating"],
+                        Measure,
+                    ),
                 ],
             },
             TableSpec {
@@ -791,7 +1413,13 @@ static DOMAINS: &[DomainSpec] = &[
                     col("review_id", TInt, Serial, &[], Id),
                     col("seller_id", TInt, Fk("seller"), &[], Id),
                     col("stars", TInt, IntRange(1, 5), &["score", "rating"], Measure),
-                    col("review_date", TDate, DateBetween(2021, 2023), &["reviewed"], Temporal),
+                    col(
+                        "review_date",
+                        TDate,
+                        DateBetween(2021, 2023),
+                        &["reviewed"],
+                        Temporal,
+                    ),
                     col("verified", TBool, Bool, &["confirmed"], Category),
                 ],
             },
@@ -799,7 +1427,6 @@ static DOMAINS: &[DomainSpec] = &[
         fks: &[("review", "seller_id", "seller", "seller_id")],
     },
 ];
-
 
 impl DomainSpec {
     /// The table spec by name.
@@ -811,7 +1438,9 @@ impl DomainSpec {
 impl TableSpec {
     /// Index of the primary-key column (the first `Serial` column), if any.
     pub fn primary_key(&self) -> Option<usize> {
-        self.columns.iter().position(|c| matches!(c.gen, ColGen::Serial))
+        self.columns
+            .iter()
+            .position(|c| matches!(c.gen, ColGen::Serial))
     }
 }
 
@@ -864,10 +1493,14 @@ mod tests {
         // so query synthesis never starves.
         for d in all_domains() {
             let has_x = d.tables.iter().any(|t| {
-                t.columns.iter().any(|c| matches!(c.role, ColRole::Category | ColRole::Label))
+                t.columns
+                    .iter()
+                    .any(|c| matches!(c.role, ColRole::Category | ColRole::Label))
             });
-            let has_measure =
-                d.tables.iter().any(|t| t.columns.iter().any(|c| c.role == ColRole::Measure));
+            let has_measure = d
+                .tables
+                .iter()
+                .any(|t| t.columns.iter().any(|c| c.role == ColRole::Measure));
             assert!(has_x && has_measure, "domain {} lacks material", d.domain);
         }
     }

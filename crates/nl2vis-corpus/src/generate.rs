@@ -37,9 +37,13 @@ pub fn instantiate(spec: &DomainSpec, instance: usize, rng: &mut Rng) -> Databas
         schema.tables.push(def);
     }
     for (ft, fc, tt, tc) in spec.fks {
-        schema.foreign_keys.push(ForeignKey::new(*ft, *fc, *tt, *tc));
+        schema
+            .foreign_keys
+            .push(ForeignKey::new(*ft, *fc, *tt, *tc));
     }
-    schema.check().expect("domain templates produce valid schemas");
+    schema
+        .check()
+        .expect("domain templates produce valid schemas");
 
     let mut db = Database::new(schema);
 
@@ -60,11 +64,13 @@ pub fn instantiate(spec: &DomainSpec, instance: usize, rng: &mut Rng) -> Databas
             pk_values.insert(t.name, rows.iter().map(|r| r[pk].clone()).collect());
         }
         for row in rows {
-            db.insert(t.name, row).expect("generated rows satisfy the schema");
+            db.insert(t.name, row)
+                .expect("generated rows satisfy the schema");
         }
     }
 
-    db.validate().expect("generated data is referentially consistent");
+    db.validate()
+        .expect("generated data is referentially consistent");
     db
 }
 
@@ -102,9 +108,9 @@ fn generate_value(
         }
         ColGen::Bool => Value::Bool(rng.chance(0.5)),
         ColGen::Fk(parent) => {
-            let parents = pk_values
-                .get(parent)
-                .unwrap_or_else(|| panic!("parent `{parent}` of {table}.{column} not generated yet"));
+            let parents = pk_values.get(parent).unwrap_or_else(|| {
+                panic!("parent `{parent}` of {table}.{column} not generated yet")
+            });
             parents[rng.below_usize(parents.len())].clone()
         }
     }
@@ -152,17 +158,27 @@ mod tests {
     fn label_columns_disambiguate_after_pool_exhaustion() {
         // The student table can exceed the 49-name pool; labels then carry
         // suffixes rather than colliding silently.
-        let college = all_domains().iter().find(|d| d.domain == "college").unwrap();
+        let college = all_domains()
+            .iter()
+            .find(|d| d.domain == "college")
+            .unwrap();
         let mut rng = Rng::new(3);
         let db = instantiate(college, 0, &mut rng);
         let students = db.table("student").unwrap();
         let names = students.distinct_values(1);
-        assert_eq!(names.len(), students.len(), "label column should be distinct");
+        assert_eq!(
+            names.len(),
+            students.len(),
+            "label column should be distinct"
+        );
     }
 
     #[test]
     fn dates_within_declared_range() {
-        let spec = all_domains().iter().find(|d| d.domain == "weather").unwrap();
+        let spec = all_domains()
+            .iter()
+            .find(|d| d.domain == "weather")
+            .unwrap();
         let db = instantiate(spec, 0, &mut Rng::new(11));
         let obs = db.table("observation").unwrap();
         let col = obs.def.column_index("obs_date").unwrap();

@@ -118,7 +118,9 @@ fn database_to_json(db: &Database) -> Json {
 /// Loads a corpus from its JSON document.
 pub fn corpus_from_json(doc: &Json) -> Result<Corpus, IoError> {
     if doc.get("format").and_then(Json::as_str) != Some("nl2vis-corpus/v1") {
-        return Err(IoError::Schema("missing or unknown `format` marker".to_string()));
+        return Err(IoError::Schema(
+            "missing or unknown `format` marker".to_string(),
+        ));
     }
     let mut catalog = Catalog::new();
     for dbj in doc.get("databases").and_then(Json::as_array).unwrap_or(&[]) {
@@ -149,7 +151,10 @@ pub fn corpus_from_json(doc: &Json) -> Result<Corpus, IoError> {
             db: field("db")?,
             domain: field("domain")?,
             nl: field("nl")?,
-            is_join: ej.get("is_join").and_then(Json::as_bool).unwrap_or(vql.is_join()),
+            is_join: ej
+                .get("is_join")
+                .and_then(Json::as_bool)
+                .unwrap_or(vql.is_join()),
             vql,
             hardness,
         });
@@ -162,7 +167,10 @@ fn database_from_json(dbj: &Json) -> Result<Database, IoError> {
         .get("name")
         .and_then(Json::as_str)
         .ok_or_else(|| IoError::Schema("database missing `name`".to_string()))?;
-    let domain = dbj.get("domain").and_then(Json::as_str).unwrap_or("unknown");
+    let domain = dbj
+        .get("domain")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
     let mut schema = DatabaseSchema::new(name, domain);
     let tables = dbj
         .get("tables")
@@ -197,7 +205,12 @@ fn database_from_json(dbj: &Json) -> Result<Database, IoError> {
             let aliases: Vec<String> = cj
                 .get("aliases")
                 .and_then(Json::as_array)
-                .map(|a| a.iter().filter_map(Json::as_str).map(str::to_string).collect())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
                 .unwrap_or_default();
             columns.push(ColumnDef::new(cname, dtype).with_aliases(aliases));
         }
@@ -223,13 +236,19 @@ fn database_from_json(dbj: &Json) -> Result<Database, IoError> {
         all_rows.push((tname.to_string(), rows));
         schema.tables.push(def);
     }
-    for fkj in dbj.get("foreign_keys").and_then(Json::as_array).unwrap_or(&[]) {
+    for fkj in dbj
+        .get("foreign_keys")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
         let parts = fkj
             .as_array()
             .filter(|a| a.len() == 4)
             .ok_or_else(|| IoError::Schema("foreign key is not a 4-array".to_string()))?;
         let s = |i: usize| parts[i].as_str().unwrap_or_default().to_string();
-        schema.foreign_keys.push(ForeignKey::new(s(0), s(1), s(2), s(3)));
+        schema
+            .foreign_keys
+            .push(ForeignKey::new(s(0), s(1), s(2), s(3)));
     }
     schema.check().map_err(IoError::Schema)?;
     let mut db = Database::new(schema);
@@ -249,11 +268,13 @@ fn value_from_json(v: &Json, dtype: DataType) -> Result<Value, IoError> {
         (Json::Number(n), DataType::Float) => Value::Float(*n),
         (Json::String(s), DataType::Text) => Value::Text(s.clone()),
         (Json::Bool(b), DataType::Bool) => Value::Bool(*b),
-        (Json::String(s), DataType::Date) => Value::Date(
-            Date::parse(s).ok_or_else(|| IoError::Schema(format!("bad date `{s}`")))?,
-        ),
+        (Json::String(s), DataType::Date) => {
+            Value::Date(Date::parse(s).ok_or_else(|| IoError::Schema(format!("bad date `{s}`")))?)
+        }
         (other, dtype) => {
-            return Err(IoError::Schema(format!("value {other} does not fit type {dtype}")))
+            return Err(IoError::Schema(format!(
+                "value {other} does not fit type {dtype}"
+            )))
         }
     })
 }
@@ -278,7 +299,12 @@ mod tests {
             assert_eq!(a.id, b.id);
             assert_eq!(a.nl, b.nl);
             assert_eq!(a.hardness, b.hardness);
-            assert!(exact_match(&a.vql, &b.vql), "{} vs {}", print(&a.vql), print(&b.vql));
+            assert!(
+                exact_match(&a.vql, &b.vql),
+                "{} vs {}",
+                print(&a.vql),
+                print(&b.vql)
+            );
         }
         // Databases round-trip with data: every example still executes to
         // the same result.

@@ -11,50 +11,152 @@
 
 /// First names used for person-like label columns.
 pub const PERSON_NAMES: &[&str] = &[
-    "Olivia", "Liam", "Emma", "Noah", "Ava", "Ethan", "Sophia", "Mason", "Isabella", "Logan",
-    "Mia", "Lucas", "Amelia", "Jackson", "Harper", "Aiden", "Evelyn", "Carter", "Abigail",
-    "Sebastian", "Emily", "Mateo", "Ella", "Daniel", "Scarlett", "Henry", "Grace", "Owen",
-    "Chloe", "Wyatt", "Victoria", "Jack", "Riley", "Luke", "Aria", "Gabriel", "Lily", "Anthony",
-    "Aubrey", "Isaac", "Zoey", "Grayson", "Penelope", "Julian", "Layla", "Levi", "Nora",
-    "Christopher", "Camila", "Joshua",
+    "Olivia",
+    "Liam",
+    "Emma",
+    "Noah",
+    "Ava",
+    "Ethan",
+    "Sophia",
+    "Mason",
+    "Isabella",
+    "Logan",
+    "Mia",
+    "Lucas",
+    "Amelia",
+    "Jackson",
+    "Harper",
+    "Aiden",
+    "Evelyn",
+    "Carter",
+    "Abigail",
+    "Sebastian",
+    "Emily",
+    "Mateo",
+    "Ella",
+    "Daniel",
+    "Scarlett",
+    "Henry",
+    "Grace",
+    "Owen",
+    "Chloe",
+    "Wyatt",
+    "Victoria",
+    "Jack",
+    "Riley",
+    "Luke",
+    "Aria",
+    "Gabriel",
+    "Lily",
+    "Anthony",
+    "Aubrey",
+    "Isaac",
+    "Zoey",
+    "Grayson",
+    "Penelope",
+    "Julian",
+    "Layla",
+    "Levi",
+    "Nora",
+    "Christopher",
+    "Camila",
+    "Joshua",
 ];
 
 /// City names for location columns.
 pub const CITIES: &[&str] = &[
-    "Springfield", "Riverton", "Lakewood", "Fairview", "Madison", "Georgetown", "Arlington",
-    "Clinton", "Salem", "Bristol", "Dover", "Hudson", "Kingston", "Milton", "Newport", "Oxford",
-    "Ashland", "Burlington", "Clayton", "Dayton", "Easton", "Franklin", "Greenville", "Hamilton",
+    "Springfield",
+    "Riverton",
+    "Lakewood",
+    "Fairview",
+    "Madison",
+    "Georgetown",
+    "Arlington",
+    "Clinton",
+    "Salem",
+    "Bristol",
+    "Dover",
+    "Hudson",
+    "Kingston",
+    "Milton",
+    "Newport",
+    "Oxford",
+    "Ashland",
+    "Burlington",
+    "Clayton",
+    "Dayton",
+    "Easton",
+    "Franklin",
+    "Greenville",
+    "Hamilton",
 ];
 
 /// Team codes for sports domains.
 pub const TEAMS: &[&str] = &["NYY", "BOS", "LAD", "CHC", "ATL", "HOU", "SEA", "SFG"];
 
 /// Academic departments.
-pub const DEPARTMENTS: &[&str] =
-    &["Biology", "Chemistry", "Physics", "Mathematics", "History", "Economics", "Literature"];
+pub const DEPARTMENTS: &[&str] = &[
+    "Biology",
+    "Chemistry",
+    "Physics",
+    "Mathematics",
+    "History",
+    "Economics",
+    "Literature",
+];
 
 /// Product categories for retail domains.
-pub const PRODUCT_CATEGORIES: &[&str] =
-    &["Electronics", "Clothing", "Grocery", "Toys", "Furniture", "Sports", "Books"];
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "Electronics",
+    "Clothing",
+    "Grocery",
+    "Toys",
+    "Furniture",
+    "Sports",
+    "Books",
+];
 
 /// Product names.
 pub const PRODUCTS: &[&str] = &[
-    "Widget", "Gadget", "Sprocket", "Gizmo", "Doohickey", "Contraption", "Apparatus", "Device",
-    "Fixture", "Instrument", "Module", "Component", "Unit", "Kit", "Bundle", "Pack",
+    "Widget",
+    "Gadget",
+    "Sprocket",
+    "Gizmo",
+    "Doohickey",
+    "Contraption",
+    "Apparatus",
+    "Device",
+    "Fixture",
+    "Instrument",
+    "Module",
+    "Component",
+    "Unit",
+    "Kit",
+    "Bundle",
+    "Pack",
 ];
 
 /// Airline codes.
 pub const AIRLINES: &[&str] = &["UA", "DL", "AA", "SW", "JB", "AK"];
 
 /// Music genres.
-pub const GENRES: &[&str] = &["Rock", "Pop", "Jazz", "Classical", "HipHop", "Country", "Folk"];
+pub const GENRES: &[&str] = &[
+    "Rock",
+    "Pop",
+    "Jazz",
+    "Classical",
+    "HipHop",
+    "Country",
+    "Folk",
+];
 
 /// Movie ratings.
 pub const RATINGS: &[&str] = &["G", "PG", "PG13", "R"];
 
 /// Cuisine types.
-pub const CUISINES: &[&str] =
-    &["Italian", "Mexican", "Japanese", "Indian", "French", "Thai", "Greek"];
+pub const CUISINES: &[&str] = &[
+    "Italian", "Mexican", "Japanese", "Indian", "French", "Thai", "Greek",
+];
 
 /// Room types for hotels.
 pub const ROOM_TYPES: &[&str] = &["Single", "Double", "Suite", "Deluxe"];
@@ -69,22 +171,49 @@ pub const CONDITIONS: &[&str] = &["Sunny", "Cloudy", "Rain", "Snow", "Fog", "Sto
 pub const MAKES: &[&str] = &["Toyota", "Ford", "Honda", "BMW", "Tesla", "Volvo", "Kia"];
 
 /// Medical specialties.
-pub const SPECIALTIES: &[&str] =
-    &["Cardiology", "Neurology", "Pediatrics", "Oncology", "Radiology", "Surgery"];
+pub const SPECIALTIES: &[&str] = &[
+    "Cardiology",
+    "Neurology",
+    "Pediatrics",
+    "Oncology",
+    "Radiology",
+    "Surgery",
+];
 
 /// Book publishers.
-pub const PUBLISHERS: &[&str] = &["Acme Press", "Summit Books", "Harbor House", "Northstar", "Quill"];
+pub const PUBLISHERS: &[&str] = &[
+    "Acme Press",
+    "Summit Books",
+    "Harbor House",
+    "Northstar",
+    "Quill",
+];
 
 /// Payment methods.
 pub const PAYMENT_METHODS: &[&str] = &["Cash", "Card", "Transfer", "Voucher"];
 
 /// Job titles.
-pub const JOB_TITLES: &[&str] =
-    &["Engineer", "Analyst", "Manager", "Designer", "Technician", "Director", "Clerk"];
+pub const JOB_TITLES: &[&str] = &[
+    "Engineer",
+    "Analyst",
+    "Manager",
+    "Designer",
+    "Technician",
+    "Director",
+    "Clerk",
+];
 
 /// Countries.
-pub const COUNTRIES: &[&str] =
-    &["USA", "Canada", "Mexico", "Brazil", "Germany", "France", "Japan", "Australia"];
+pub const COUNTRIES: &[&str] = &[
+    "USA",
+    "Canada",
+    "Mexico",
+    "Brazil",
+    "Germany",
+    "France",
+    "Japan",
+    "Australia",
+];
 
 /// Severity/priority labels.
 pub const PRIORITIES: &[&str] = &["Low", "Medium", "High", "Critical"];
@@ -290,7 +419,11 @@ pub fn canonical_word(word: &str) -> &str {
 
 /// All alias words that map to the given canonical word.
 pub fn aliases_of(canonical: &str) -> Vec<&'static str> {
-    SYNONYMS.iter().filter(|(_, c)| *c == canonical).map(|(a, _)| *a).collect()
+    SYNONYMS
+        .iter()
+        .filter(|(_, c)| *c == canonical)
+        .map(|(a, _)| *a)
+        .collect()
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ pub fn realize(q: &VqlQuery, db: &Database, rng: &mut Rng) -> String {
     // "against" form of plain scatters doesn't fit it.
     let group_first = rng.chance(0.25)
         && q.x.column().is_some()
-        && !(q.chart == ChartType::Scatter && !q.y.is_aggregate());
+        && (q.chart != ChartType::Scatter || q.y.is_aggregate());
 
     if group_first {
         let xc = q.x.column().expect("guarded above");
@@ -34,8 +34,15 @@ pub fn realize(q: &VqlQuery, db: &Database, rng: &mut Rng) -> String {
         parts.push(format!("{command} {chart_phrase} of"));
         parts.push(y_phrase(q, db, rng));
     } else {
-        let command =
-            *rng.pick(&["Show", "Draw", "Plot", "Visualize", "Display", "Give me", "Create"]);
+        let command = *rng.pick(&[
+            "Show",
+            "Draw",
+            "Plot",
+            "Visualize",
+            "Display",
+            "Give me",
+            "Create",
+        ]);
         let chart_phrase = chart_phrase(q.chart, rng);
         parts.push(format!("{command} {chart_phrase} of"));
         parts.push(y_phrase(q, db, rng));
@@ -43,8 +50,12 @@ pub fn realize(q: &VqlQuery, db: &Database, rng: &mut Rng) -> String {
         // X grouping phrase (except plain scatter, where "against" reads
         // better).
         if q.chart == ChartType::Scatter && !q.y.is_aggregate() {
-            let x =
-                column_phrase(q.x.column().expect("scatter x is a column"), &q.from, db, rng);
+            let x = column_phrase(
+                q.x.column().expect("scatter x is a column"),
+                &q.from,
+                db,
+                rng,
+            );
             parts.push(format!("against {x}"));
         } else if let Some(xc) = q.x.column() {
             let per = *rng.pick(&["for each", "by", "per", "grouped by", "across"]);
@@ -175,13 +186,22 @@ fn filter_phrase(p: &Predicate, from: &str, db: &Database, rng: &mut Rng) -> Str
             filter_phrase(a, from, db, rng),
             strip_lead(&filter_phrase(b, from, db, rng))
         ),
-        Predicate::InSubquery { col, negated, subquery } => {
+        Predicate::InSubquery {
+            col,
+            negated,
+            subquery,
+        } => {
             let c = column_phrase(col, from, db, rng);
             let child = split_identifier(&subquery.from).join(" ");
             let inner = subquery
                 .filter
                 .as_ref()
-                .map(|f| format!(" {}", strip_lead(&filter_phrase(f, &subquery.from, db, rng))))
+                .map(|f| {
+                    format!(
+                        " {}",
+                        strip_lead(&filter_phrase(f, &subquery.from, db, rng))
+                    )
+                })
                 .unwrap_or_default();
             if *negated {
                 format!("where {c} has no matching {child} entry{inner}")
@@ -277,10 +297,19 @@ mod tests {
         let db = setup();
         let mut rng = Rng::new(2);
         for _ in 0..30 {
-            let Some(q) = synthesize(&db, Hardness::Hard, &mut rng) else { continue };
-            if let Some(Predicate::Cmp { value: Literal::Text(s), .. }) = &q.filter {
+            let Some(q) = synthesize(&db, Hardness::Hard, &mut rng) else {
+                continue;
+            };
+            if let Some(Predicate::Cmp {
+                value: Literal::Text(s),
+                ..
+            }) = &q.filter
+            {
                 let nl = realize(&q, &db, &mut rng);
-                assert!(nl.contains(&format!("\"{s}\"")), "literal missing from: {nl}");
+                assert!(
+                    nl.contains(&format!("\"{s}\"")),
+                    "literal missing from: {nl}"
+                );
                 return;
             }
         }
@@ -295,7 +324,9 @@ mod tests {
         let signal = match q.chart {
             ChartType::Bar => ["bar", "histogram"].iter().any(|w| nl.contains(w)),
             ChartType::Pie => ["pie", "donut"].iter().any(|w| nl.contains(w)),
-            ChartType::Line => ["line", "trend", "time series"].iter().any(|w| nl.contains(w)),
+            ChartType::Line => ["line", "trend", "time series"]
+                .iter()
+                .any(|w| nl.contains(w)),
             ChartType::Scatter => ["scatter", "point"].iter().any(|w| nl.contains(w)),
         };
         assert!(signal, "chart type unsignaled in: {nl}");

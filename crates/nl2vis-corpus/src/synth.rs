@@ -28,7 +28,12 @@ pub enum Hardness {
 impl Hardness {
     /// All levels, easy first.
     pub fn all() -> [Hardness; 4] {
-        [Hardness::Easy, Hardness::Medium, Hardness::Hard, Hardness::Extra]
+        [
+            Hardness::Easy,
+            Hardness::Medium,
+            Hardness::Hard,
+            Hardness::Extra,
+        ]
     }
 
     /// Display label matching the paper ("easy", "medium", "hard", "extra hard").
@@ -151,10 +156,18 @@ fn try_synthesize(db: &Database, hardness: Hardness, rng: &mut Rng) -> Option<Vq
         }
     }
 
-    let cats: Vec<_> =
-        columns.iter().filter(|(_, r, ..)| matches!(r, Role::Category | Role::Label)).collect();
-    let measures: Vec<_> = columns.iter().filter(|(_, r, ..)| *r == Role::Measure).collect();
-    let temporals: Vec<_> = columns.iter().filter(|(_, r, ..)| *r == Role::Temporal).collect();
+    let cats: Vec<_> = columns
+        .iter()
+        .filter(|(_, r, ..)| matches!(r, Role::Category | Role::Label))
+        .collect();
+    let measures: Vec<_> = columns
+        .iter()
+        .filter(|(_, r, ..)| *r == Role::Measure)
+        .collect();
+    let temporals: Vec<_> = columns
+        .iter()
+        .filter(|(_, r, ..)| *r == Role::Temporal)
+        .collect();
 
     // Pick a chart pattern supported by the available columns.
     #[derive(Clone, Copy, PartialEq)]
@@ -183,15 +196,31 @@ fn try_synthesize(db: &Database, hardness: Hardness, rng: &mut Rng) -> Option<Vq
     let (chart, x, y) = match pattern {
         Pattern::CatAgg => {
             let xcol = rng.pick(&cats).0.clone();
-            let chart = if rng.chance(0.25) { ChartType::Pie } else { ChartType::Bar };
+            let chart = if rng.chance(0.25) {
+                ChartType::Pie
+            } else {
+                ChartType::Bar
+            };
             let y = pick_aggregate(&xcol, &measures, rng);
             (chart, SelectExpr::Column(xcol), y)
         }
         Pattern::TimeAgg => {
             let xcol = rng.pick(&temporals).0.clone();
-            let unit = *rng.pick(&[BinUnit::Year, BinUnit::Month, BinUnit::Weekday, BinUnit::Quarter]);
-            bin = Some(Bin { column: xcol.clone(), unit });
-            let chart = if rng.chance(0.7) { ChartType::Line } else { ChartType::Bar };
+            let unit = *rng.pick(&[
+                BinUnit::Year,
+                BinUnit::Month,
+                BinUnit::Weekday,
+                BinUnit::Quarter,
+            ]);
+            bin = Some(Bin {
+                column: xcol.clone(),
+                unit,
+            });
+            let chart = if rng.chance(0.7) {
+                ChartType::Line
+            } else {
+                ChartType::Bar
+            };
             let y = pick_aggregate(&xcol, &measures, rng);
             (chart, SelectExpr::Column(xcol), y)
         }
@@ -199,7 +228,11 @@ fn try_synthesize(db: &Database, hardness: Hardness, rng: &mut Rng) -> Option<Vq
             let idx = rng.sample_indices(measures.len(), 2);
             let xcol = measures[idx[0]].0.clone();
             let ycol = measures[idx[1]].0.clone();
-            (ChartType::Scatter, SelectExpr::Column(xcol), SelectExpr::Column(ycol))
+            (
+                ChartType::Scatter,
+                SelectExpr::Column(xcol),
+                SelectExpr::Column(ycol),
+            )
         }
     };
 
@@ -284,7 +317,11 @@ fn try_synthesize(db: &Database, hardness: Hardness, rng: &mut Rng) -> Option<Vq
         } else {
             OrderTarget::X
         };
-        let dir = if rng.chance(0.6) { SortDir::Asc } else { SortDir::Desc };
+        let dir = if rng.chance(0.6) {
+            SortDir::Asc
+        } else {
+            SortDir::Desc
+        };
         q.order = Some(OrderBy { target, dir });
     }
 
@@ -297,19 +334,28 @@ fn pick_aggregate(
     rng: &mut Rng,
 ) -> SelectExpr {
     // Measures from a different column than x.
-    let usable: Vec<_> = measures.iter().filter(|(c, ..)| c.column != xcol.column).collect();
+    let usable: Vec<_> = measures
+        .iter()
+        .filter(|(c, ..)| c.column != xcol.column)
+        .collect();
     if !usable.is_empty() && rng.chance(0.45) {
         #[allow(clippy::explicit_auto_deref)] // clippy's suggestion does not typecheck here
-    let picked: &(ColumnRef, Role, DataType, usize, usize) = **rng.pick(&usable);
+        let picked: &(ColumnRef, Role, DataType, usize, usize) = **rng.pick(&usable);
         let (m, dtype) = (picked.0.clone(), picked.2);
         let funcs: &[AggFunc] = if dtype.is_numeric() {
             &[AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min]
         } else {
             &[AggFunc::Count]
         };
-        SelectExpr::Agg { func: *rng.pick(funcs), arg: Some(m) }
+        SelectExpr::Agg {
+            func: *rng.pick(funcs),
+            arg: Some(m),
+        }
     } else {
-        SelectExpr::Agg { func: AggFunc::Count, arg: Some(xcol.clone()) }
+        SelectExpr::Agg {
+            func: AggFunc::Count,
+            arg: Some(xcol.clone()),
+        }
     }
 }
 
@@ -336,7 +382,11 @@ fn make_atom(
     let (op, lit) = match role {
         Role::Category => {
             let v = rng.pick(&values).clone();
-            let op = if rng.chance(0.75) { CmpOp::Eq } else { CmpOp::Ne };
+            let op = if rng.chance(0.75) {
+                CmpOp::Eq
+            } else {
+                CmpOp::Ne
+            };
             (op, value_to_literal(&v)?)
         }
         Role::Measure | Role::Temporal => {
@@ -351,7 +401,11 @@ fn make_atom(
         }
         _ => return None,
     };
-    Some(Predicate::Cmp { col: col.clone(), op, value: lit })
+    Some(Predicate::Cmp {
+        col: col.clone(),
+        op,
+        value: lit,
+    })
 }
 
 fn value_to_literal(v: &Value) -> Option<Literal> {
@@ -366,7 +420,11 @@ fn value_to_literal(v: &Value) -> Option<Literal> {
 }
 
 fn combine_atoms(mut atoms: Vec<Predicate>, rng: &mut Rng) -> Option<Predicate> {
-    let first = if atoms.is_empty() { return None } else { atoms.remove(0) };
+    let first = if atoms.is_empty() {
+        return None;
+    } else {
+        atoms.remove(0)
+    };
     let mut acc = first;
     for a in atoms {
         acc = if rng.chance(0.6) {
@@ -443,8 +501,7 @@ mod tests {
         let db = sample_db(5);
         let mut rng = Rng::new(9);
         for h in Hardness::all() {
-            let q = synthesize(&db, h, &mut rng)
-                .unwrap_or_else(|| panic!("no query for {h}"));
+            let q = synthesize(&db, h, &mut rng).unwrap_or_else(|| panic!("no query for {h}"));
             let r = execute(&q, &db).unwrap();
             assert!(!r.rows.is_empty());
         }
@@ -470,7 +527,9 @@ mod tests {
         let mut saw_subquery = false;
         let mut saw_two_atoms = false;
         for _ in 0..60 {
-            let Some(q) = synthesize(&db, Hardness::Extra, &mut rng) else { continue };
+            let Some(q) = synthesize(&db, Hardness::Extra, &mut rng) else {
+                continue;
+            };
             saw_join |= q.join.is_some();
             if let Some(f) = &q.filter {
                 saw_subquery |= f.has_subquery();
@@ -479,7 +538,10 @@ mod tests {
         }
         assert!(saw_join, "extra hardness should sometimes join");
         assert!(saw_subquery, "extra hardness should sometimes nest");
-        assert!(saw_two_atoms, "extra hardness should sometimes have compound filters");
+        assert!(
+            saw_two_atoms,
+            "extra hardness should sometimes have compound filters"
+        );
     }
 
     #[test]
@@ -496,7 +558,11 @@ mod tests {
                     assert!(!r.rows.is_empty(), "{}: {h}", spec.domain);
                 }
             }
-            assert!(produced >= 2, "domain {} produced too few queries", spec.domain);
+            assert!(
+                produced >= 2,
+                "domain {} produced too few queries",
+                spec.domain
+            );
         }
     }
 

@@ -26,7 +26,9 @@ impl Catalog {
 
     /// Borrows a database by name.
     pub fn database(&self, name: &str) -> Result<&Database, DataError> {
-        self.databases.get(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
+        self.databases
+            .get(name)
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
     }
 
     /// Number of databases.
@@ -51,8 +53,11 @@ impl Catalog {
 
     /// The set of distinct domains represented.
     pub fn domains(&self) -> Vec<&str> {
-        let mut ds: Vec<&str> =
-            self.databases.values().map(|d| d.schema.domain.as_str()).collect();
+        let mut ds: Vec<&str> = self
+            .databases
+            .values()
+            .map(|d| d.schema.domain.as_str())
+            .collect();
         ds.sort_unstable();
         ds.dedup();
         ds
@@ -75,7 +80,8 @@ mod tests {
 
     fn db(name: &str, domain: &str) -> Database {
         let mut s = DatabaseSchema::new(name, domain);
-        s.tables.push(TableDef::new("t", vec![ColumnDef::new("a", Int)]));
+        s.tables
+            .push(TableDef::new("t", vec![ColumnDef::new("a", Int)]));
         Database::new(s)
     }
 

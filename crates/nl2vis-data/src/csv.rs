@@ -20,7 +20,10 @@ pub fn write_record(fields: &[String]) -> String {
 
 /// Writes multiple rows as CSV text, one record per line with `\n`.
 pub fn write_rows(rows: &[Vec<String>]) -> String {
-    rows.iter().map(|r| write_record(r)).collect::<Vec<_>>().join("\n")
+    rows.iter()
+        .map(|r| write_record(r))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn escape_field(f: &str) -> String {
@@ -102,7 +105,10 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>, DataError> {
         }
     }
     if in_quotes {
-        return Err(DataError::CsvParse { line, message: "unterminated quoted field".to_string() });
+        return Err(DataError::CsvParse {
+            line,
+            message: "unterminated quoted field".to_string(),
+        });
     }
     if any_char && (!field.is_empty() || !record.is_empty()) {
         record.push(field);

@@ -18,7 +18,11 @@ pub struct Database {
 impl Database {
     /// Creates a database with empty tables for every schema table.
     pub fn new(schema: DatabaseSchema) -> Database {
-        let tables = schema.tables.iter().map(|t| Table::new(t.clone())).collect();
+        let tables = schema
+            .tables
+            .iter()
+            .map(|t| Table::new(t.clone()))
+            .collect();
         Database { schema, tables }
     }
 
@@ -62,15 +66,20 @@ impl Database {
         for fk in &self.schema.foreign_keys {
             let from = self.table(&fk.from_table)?;
             let to = self.table(&fk.to_table)?;
-            let from_idx = from.def.column_index(&fk.from_column).ok_or_else(|| {
-                DataError::UnknownColumn {
-                    table: fk.from_table.clone(),
-                    column: fk.from_column.clone(),
-                }
-            })?;
-            let to_idx = to.def.column_index(&fk.to_column).ok_or_else(|| {
-                DataError::UnknownColumn { table: fk.to_table.clone(), column: fk.to_column.clone() }
-            })?;
+            let from_idx =
+                from.def
+                    .column_index(&fk.from_column)
+                    .ok_or_else(|| DataError::UnknownColumn {
+                        table: fk.from_table.clone(),
+                        column: fk.from_column.clone(),
+                    })?;
+            let to_idx =
+                to.def
+                    .column_index(&fk.to_column)
+                    .ok_or_else(|| DataError::UnknownColumn {
+                        table: fk.to_table.clone(),
+                        column: fk.to_column.clone(),
+                    })?;
             let referents: HashSet<_> = to.column_values(to_idx).cloned().collect();
             for v in from.column_values(from_idx) {
                 if !v.is_null() && !referents.contains(v) {
@@ -103,23 +112,36 @@ mod tests {
         s.tables.push(
             TableDef::new(
                 "customers",
-                vec![ColumnDef::new("customer_id", Int), ColumnDef::new("name", Text)],
+                vec![
+                    ColumnDef::new("customer_id", Int),
+                    ColumnDef::new("name", Text),
+                ],
             )
             .with_primary_key("customer_id"),
         );
         s.tables.push(TableDef::new(
             "orders",
-            vec![ColumnDef::new("order_id", Int), ColumnDef::new("customer_id", Int)],
+            vec![
+                ColumnDef::new("order_id", Int),
+                ColumnDef::new("customer_id", Int),
+            ],
         ));
-        s.foreign_keys.push(ForeignKey::new("orders", "customer_id", "customers", "customer_id"));
+        s.foreign_keys.push(ForeignKey::new(
+            "orders",
+            "customer_id",
+            "customers",
+            "customer_id",
+        ));
         Database::new(s)
     }
 
     #[test]
     fn insert_and_validate_ok() {
         let mut d = db();
-        d.insert("customers", vec![Value::Int(1), Value::from("ann")]).unwrap();
-        d.insert("orders", vec![Value::Int(10), Value::Int(1)]).unwrap();
+        d.insert("customers", vec![Value::Int(1), Value::from("ann")])
+            .unwrap();
+        d.insert("orders", vec![Value::Int(10), Value::Int(1)])
+            .unwrap();
         d.validate().unwrap();
         assert_eq!(d.total_rows(), 2);
     }
@@ -127,14 +149,19 @@ mod tests {
     #[test]
     fn fk_violation_detected() {
         let mut d = db();
-        d.insert("orders", vec![Value::Int(10), Value::Int(99)]).unwrap();
-        assert!(matches!(d.validate(), Err(DataError::ForeignKeyViolation { .. })));
+        d.insert("orders", vec![Value::Int(10), Value::Int(99)])
+            .unwrap();
+        assert!(matches!(
+            d.validate(),
+            Err(DataError::ForeignKeyViolation { .. })
+        ));
     }
 
     #[test]
     fn null_fk_allowed() {
         let mut d = db();
-        d.insert("orders", vec![Value::Int(10), Value::Null]).unwrap();
+        d.insert("orders", vec![Value::Int(10), Value::Null])
+            .unwrap();
         d.validate().unwrap();
     }
 
@@ -147,8 +174,10 @@ mod tests {
     #[test]
     fn duplicate_pk_detected() {
         let mut d = db();
-        d.insert("customers", vec![Value::Int(1), Value::from("a")]).unwrap();
-        d.insert("customers", vec![Value::Int(1), Value::from("b")]).unwrap();
+        d.insert("customers", vec![Value::Int(1), Value::from("a")])
+            .unwrap();
+        d.insert("customers", vec![Value::Int(1), Value::from("b")])
+            .unwrap();
         assert!(matches!(d.validate(), Err(DataError::DuplicateKey { .. })));
     }
 }

@@ -73,16 +73,28 @@ impl fmt::Display for DataError {
             DataError::UnknownColumn { table, column } => {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
-            DataError::RowArity { table, expected, got } => write!(
+            DataError::RowArity {
+                table,
+                expected,
+                got,
+            } => write!(
                 f,
                 "row in table `{table}` has {got} cells, expected {expected}"
             ),
-            DataError::TypeMismatch { table, column, expected, got } => write!(
+            DataError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
                 f,
                 "value `{got}` in `{table}.{column}` does not match declared type {expected}"
             ),
             DataError::ForeignKeyViolation { from, to, value } => {
-                write!(f, "foreign key {from} -> {to}: value `{value}` has no referent")
+                write!(
+                    f,
+                    "foreign key {from} -> {to}: value `{value}` has no referent"
+                )
             }
             DataError::DuplicateKey { table, value } => {
                 write!(f, "duplicate primary key `{value}` in table `{table}`")
@@ -105,11 +117,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = DataError::UnknownColumn { table: "t".into(), column: "c".into() };
+        let e = DataError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
         assert_eq!(e.to_string(), "unknown column `c` in table `t`");
-        let e = DataError::RowArity { table: "t".into(), expected: 3, got: 2 };
+        let e = DataError::RowArity {
+            table: "t".into(),
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("2 cells"));
-        let e = DataError::JsonParse { offset: 7, message: "bad".into() };
+        let e = DataError::JsonParse {
+            offset: 7,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("byte 7"));
     }
 }

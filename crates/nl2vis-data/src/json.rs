@@ -154,7 +154,10 @@ impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed, trailing
     /// garbage rejected).
     pub fn parse(input: &str) -> Result<Json, DataError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -207,7 +210,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> DataError {
-        DataError::JsonParse { offset: self.pos, message: message.to_string() }
+        DataError::JsonParse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -404,7 +410,9 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>().map(Json::Number).map_err(|_| self.err("invalid number"))
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.err("invalid number"))
     }
 }
 

@@ -113,13 +113,21 @@ pub fn database_from_csv(
                     })
                 })
                 .collect();
-            db.insert(&table_name, values.map_err(|e| match e {
-                DataError::TypeMismatch { table, expected, got, .. } => DataError::CsvParse {
-                    line: i + 2,
-                    message: format!("table `{table}`: `{got}` is not a {expected}"),
-                },
-                other => other,
-            })?)?;
+            db.insert(
+                &table_name,
+                values.map_err(|e| match e {
+                    DataError::TypeMismatch {
+                        table,
+                        expected,
+                        got,
+                        ..
+                    } => DataError::CsvParse {
+                        line: i + 2,
+                        message: format!("table `{table}`: `{got}` is not a {expected}"),
+                    },
+                    other => other,
+                })?,
+            )?;
         }
     }
     Ok(db)
@@ -141,7 +149,13 @@ mod tests {
         let types: Vec<DataType> = t.def.columns.iter().map(|c| c.dtype).collect();
         assert_eq!(
             types,
-            vec![DataType::Text, DataType::Int, DataType::Float, DataType::Date, DataType::Bool]
+            vec![
+                DataType::Text,
+                DataType::Int,
+                DataType::Float,
+                DataType::Date,
+                DataType::Bool
+            ]
         );
         assert_eq!(t.len(), 3);
         // Empty cell loads as NULL.
@@ -161,8 +175,14 @@ mod tests {
     fn type_inference_rules() {
         assert_eq!(infer_column_type(["1", "2"].into_iter()), DataType::Int);
         assert_eq!(infer_column_type(["1", "2.5"].into_iter()), DataType::Float);
-        assert_eq!(infer_column_type(["2024-01-01"].into_iter()), DataType::Date);
-        assert_eq!(infer_column_type(["true", "no"].into_iter()), DataType::Bool);
+        assert_eq!(
+            infer_column_type(["2024-01-01"].into_iter()),
+            DataType::Date
+        );
+        assert_eq!(
+            infer_column_type(["true", "no"].into_iter()),
+            DataType::Bool
+        );
         assert_eq!(infer_column_type(["1", "x"].into_iter()), DataType::Text);
         assert_eq!(infer_column_type(["", ""].into_iter()), DataType::Text);
         assert_eq!(infer_column_type(["", "7"].into_iter()), DataType::Int);
@@ -178,19 +198,14 @@ mod tests {
 
     #[test]
     fn multiple_tables() {
-        let db = database_from_csv(
-            "d",
-            "x",
-            &[("a", "k,v\n1,one\n"), ("b", "k,w\n1,2\n")],
-        )
-        .unwrap();
+        let db =
+            database_from_csv("d", "x", &[("a", "k,v\n1,one\n"), ("b", "k,w\n1,2\n")]).unwrap();
         assert_eq!(db.tables().len(), 2);
     }
 
     #[test]
     fn duplicate_table_names_rejected() {
-        let err =
-            database_from_csv("d", "x", &[("t", "a\n1\n"), ("t", "b\n2\n")]).unwrap_err();
+        let err = database_from_csv("d", "x", &[("t", "a\n1\n"), ("t", "b\n2\n")]).unwrap_err();
         assert!(matches!(err, DataError::CsvParse { .. }));
     }
 }

@@ -25,7 +25,9 @@ impl Rng {
     /// adding cases does not perturb the stream other cases observe.
     pub fn fork(&self, stream: u64) -> Rng {
         // Mix the stream id through one SplitMix step of a copied state.
-        let mut child = Rng { state: self.state ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+        let mut child = Rng {
+            state: self.state ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
         child.next_u64();
         child
     }

@@ -23,7 +23,11 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Creates a column without aliases.
     pub fn new(name: impl Into<String>, dtype: DataType) -> ColumnDef {
-        ColumnDef { name: name.into(), dtype, aliases: Vec::new() }
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            aliases: Vec::new(),
+        }
     }
 
     /// Builder-style alias attachment.
@@ -51,7 +55,11 @@ pub struct TableDef {
 impl TableDef {
     /// Creates a table definition.
     pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> TableDef {
-        TableDef { name: name.into(), columns, primary_key: None }
+        TableDef {
+            name: name.into(),
+            columns,
+            primary_key: None,
+        }
     }
 
     /// Builder-style primary key by column name. Panics if unknown (schema
@@ -66,7 +74,9 @@ impl TableDef {
 
     /// Index of a column by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Column def by case-insensitive name.
@@ -147,7 +157,9 @@ impl DatabaseSchema {
 
     /// Looks up a table by case-insensitive name.
     pub fn table(&self, name: &str) -> Option<&TableDef> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     /// Foreign keys touching (from or to) the named table.
@@ -240,7 +252,12 @@ mod tests {
             )
             .with_primary_key("order_id"),
         );
-        s.foreign_keys.push(ForeignKey::new("orders", "customer_id", "customers", "customer_id"));
+        s.foreign_keys.push(ForeignKey::new(
+            "orders",
+            "customer_id",
+            "customers",
+            "customer_id",
+        ));
         s
     }
 
@@ -252,14 +269,20 @@ mod tests {
     #[test]
     fn check_rejects_duplicate_tables() {
         let mut s = sample();
-        s.tables.push(TableDef::new("Customers", vec![ColumnDef::new("x", Int)]));
+        s.tables
+            .push(TableDef::new("Customers", vec![ColumnDef::new("x", Int)]));
         assert!(s.check().is_err());
     }
 
     #[test]
     fn check_rejects_bad_fk() {
         let mut s = sample();
-        s.foreign_keys.push(ForeignKey::new("orders", "nope", "customers", "customer_id"));
+        s.foreign_keys.push(ForeignKey::new(
+            "orders",
+            "nope",
+            "customers",
+            "customer_id",
+        ));
         assert!(s.check().is_err());
     }
 

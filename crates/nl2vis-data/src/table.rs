@@ -20,7 +20,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table for a definition.
     pub fn new(def: TableDef) -> Table {
-        Table { def, rows: Vec::new() }
+        Table {
+            def,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row after arity- and type-checking it.
@@ -92,7 +95,9 @@ impl Table {
 
     /// Verifies primary-key uniqueness.
     pub fn check_primary_key(&self) -> Result<(), DataError> {
-        let Some(pk) = self.def.primary_key else { return Ok(()) };
+        let Some(pk) = self.def.primary_key else {
+            return Ok(());
+        };
         let mut seen = std::collections::HashSet::new();
         for row in &self.rows {
             if !seen.insert(row[pk].clone()) {
@@ -125,7 +130,8 @@ mod tests {
     #[test]
     fn push_and_read() {
         let mut tab = t();
-        tab.push_row(vec![Value::Int(1), Value::Text("ann".into())]).unwrap();
+        tab.push_row(vec![Value::Int(1), Value::Text("ann".into())])
+            .unwrap();
         assert_eq!(tab.len(), 1);
         assert_eq!(tab.row(0).unwrap()[1], Value::Text("ann".into()));
     }
@@ -134,7 +140,14 @@ mod tests {
     fn arity_checked() {
         let mut tab = t();
         let err = tab.push_row(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, DataError::RowArity { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            DataError::RowArity {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -148,16 +161,23 @@ mod tests {
     #[test]
     fn primary_key_uniqueness() {
         let mut tab = t();
-        tab.push_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
-        tab.push_row(vec![Value::Int(1), Value::Text("b".into())]).unwrap();
-        assert!(matches!(tab.check_primary_key(), Err(DataError::DuplicateKey { .. })));
+        tab.push_row(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
+        tab.push_row(vec![Value::Int(1), Value::Text("b".into())])
+            .unwrap();
+        assert!(matches!(
+            tab.check_primary_key(),
+            Err(DataError::DuplicateKey { .. })
+        ));
     }
 
     #[test]
     fn distinct_skips_nulls_and_dups() {
         let mut tab = t();
-        tab.push_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
-        tab.push_row(vec![Value::Int(2), Value::Text("a".into())]).unwrap();
+        tab.push_row(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
+        tab.push_row(vec![Value::Int(2), Value::Text("a".into())])
+            .unwrap();
         tab.push_row(vec![Value::Int(3), Value::Null]).unwrap();
         assert_eq!(tab.distinct_values(1), vec![Value::Text("a".into())]);
     }
@@ -165,7 +185,8 @@ mod tests {
     #[test]
     fn head_caps_at_len() {
         let mut tab = t();
-        tab.push_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        tab.push_row(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
         assert_eq!(tab.head(10).len(), 1);
         assert_eq!(tab.head(0).len(), 0);
     }

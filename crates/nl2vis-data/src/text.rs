@@ -23,7 +23,10 @@ pub fn split_identifier(ident: &str) -> Vec<String> {
             current.push(c.to_ascii_lowercase());
             prev_lower = false;
         } else if c.is_ascii_digit() {
-            if !current.chars().next_back().is_some_and(|p| p.is_ascii_digit())
+            if !current
+                .chars()
+                .next_back()
+                .is_some_and(|p| p.is_ascii_digit())
                 && !current.is_empty()
             {
                 flush(&mut words, &mut current);
@@ -148,7 +151,10 @@ mod tests {
     fn split_snake_camel_digits() {
         assert_eq!(split_identifier("order_id"), vec!["order", "id"]);
         assert_eq!(split_identifier("orderID2"), vec!["order", "id", "2"]);
-        assert_eq!(split_identifier("CamelCaseName"), vec!["camel", "case", "name"]);
+        assert_eq!(
+            split_identifier("CamelCaseName"),
+            vec!["camel", "case", "name"]
+        );
         assert_eq!(split_identifier("kebab-case"), vec!["kebab", "case"]);
         assert_eq!(split_identifier("a.b c"), vec!["a", "b", "c"]);
         assert!(split_identifier("").is_empty());
@@ -156,7 +162,10 @@ mod tests {
 
     #[test]
     fn words_strip_punctuation() {
-        assert_eq!(words("List the top 5, please!"), vec!["list", "the", "top", "5", "please"]);
+        assert_eq!(
+            words("List the top 5, please!"),
+            vec!["list", "the", "top", "5", "please"]
+        );
     }
 
     #[test]

@@ -137,8 +137,15 @@ impl Date {
 
     /// English weekday name.
     pub fn weekday_name(self) -> &'static str {
-        ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
-            [usize::from(self.weekday())]
+        [
+            "Monday",
+            "Tuesday",
+            "Wednesday",
+            "Thursday",
+            "Friday",
+            "Saturday",
+            "Sunday",
+        ][usize::from(self.weekday())]
     }
 
     /// Quarter of the year, 1-4.
@@ -462,9 +469,18 @@ mod tests {
 
     #[test]
     fn parse_typed_values() {
-        assert_eq!(Value::parse_typed("42", DataType::Int), Some(Value::Int(42)));
-        assert_eq!(Value::parse_typed("4.5", DataType::Float), Some(Value::Float(4.5)));
-        assert_eq!(Value::parse_typed("yes", DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(
+            Value::parse_typed("42", DataType::Int),
+            Some(Value::Int(42))
+        );
+        assert_eq!(
+            Value::parse_typed("4.5", DataType::Float),
+            Some(Value::Float(4.5))
+        );
+        assert_eq!(
+            Value::parse_typed("yes", DataType::Bool),
+            Some(Value::Bool(true))
+        );
         assert_eq!(Value::parse_typed("", DataType::Int), Some(Value::Null));
         assert_eq!(Value::parse_typed("zzz", DataType::Int), None);
         assert_eq!(
@@ -481,11 +497,13 @@ mod tests {
 
     #[test]
     fn type_rank_order() {
-        let mut vs = [Value::Text("x".into()),
+        let mut vs = [
+            Value::Text("x".into()),
             Value::Date(Date::new(2020, 1, 1).unwrap()),
             Value::Int(5),
             Value::Bool(true),
-            Value::Null];
+            Value::Null,
+        ];
         vs.sort();
         assert!(vs[0].is_null());
         assert!(matches!(vs[1], Value::Bool(_)));

@@ -63,26 +63,46 @@ impl FailureTaxonomy {
                 name,
                 visual,
                 count,
-                share: if total == 0 { 0.0 } else { count as f64 / total as f64 },
+                share: if total == 0 {
+                    0.0
+                } else {
+                    count as f64 / total as f64
+                },
             })
             .collect();
         buckets.sort_by(|a, b| b.count.cmp(&a.count).then(a.name.cmp(b.name)));
-        FailureTaxonomy { buckets, failures, parse_failures }
+        FailureTaxonomy {
+            buckets,
+            failures,
+            parse_failures,
+        }
     }
 
     /// Share of attributions in the visual part.
     pub fn visual_share(&self) -> f64 {
-        self.buckets.iter().filter(|b| b.visual).map(|b| b.share).sum()
+        self.buckets
+            .iter()
+            .filter(|b| b.visual)
+            .map(|b| b.share)
+            .sum()
     }
 
     /// Share of attributions in the data part.
     pub fn data_share(&self) -> f64 {
-        self.buckets.iter().filter(|b| !b.visual).map(|b| b.share).sum()
+        self.buckets
+            .iter()
+            .filter(|b| !b.visual)
+            .map(|b| b.share)
+            .sum()
     }
 
     /// Share of one named bucket.
     pub fn share_of(&self, name: &str) -> f64 {
-        self.buckets.iter().find(|b| b.name == name).map(|b| b.share).unwrap_or(0.0)
+        self.buckets
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.share)
+            .unwrap_or(0.0)
     }
 
     /// Renders the taxonomy as an aligned text table.
@@ -123,7 +143,10 @@ pub fn primary_bucket(components: &[Component]) -> Option<&'static str> {
         Component::AxisX,
         Component::VisType,
     ];
-    priority.into_iter().find(|p| components.contains(p)).map(|c| c.bucket())
+    priority
+        .into_iter()
+        .find(|p| components.contains(p))
+        .map(|c| c.bucket())
 }
 
 #[cfg(test)]
@@ -179,6 +202,7 @@ mod tests {
                     "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
                 ),
             ],
+            ..Default::default()
         };
         let tax = FailureTaxonomy::from_report(&report);
         assert_eq!(tax.failures, 2);
@@ -194,6 +218,7 @@ mod tests {
                 "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
                 "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
             )],
+            ..Default::default()
         };
         let tax = FailureTaxonomy::from_report(&report);
         assert_eq!(tax.failures, 0);
@@ -215,6 +240,7 @@ mod tests {
                 "VISUALIZE pie SELECT a , COUNT(a) FROM t GROUP BY a",
                 "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
             )],
+            ..Default::default()
         };
         let text = FailureTaxonomy::from_report(&report).to_text();
         assert!(text.contains("failures: 1"));

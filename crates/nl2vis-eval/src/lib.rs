@@ -11,5 +11,8 @@ pub mod userstudy;
 pub use failure::FailureTaxonomy;
 pub use metrics::{score_completion, score_query, Accuracy, EvalOutcome};
 pub use optimize::{apply_strategy, run_strategy, Strategy, StrategyReport};
-pub use runner::{evaluate_llm, evaluate_model, EvalReport, LlmEvalConfig, Selection};
+pub use runner::{
+    evaluate_llm, evaluate_llm_with_progress, evaluate_model, evaluate_model_with_progress,
+    EvalReport, LlmEvalConfig, Selection, WorkerStats,
+};
 pub use userstudy::{run_study, StudyConfig, StudyReport, UserKind};

@@ -151,7 +151,8 @@ mod tests {
             (date(2020, 1, 9), 20, "Cash"),
             (date(2020, 2, 5), 30, "Card"),
         ] {
-            d.insert("payments", vec![t, Value::Int(a), m.into()]).unwrap();
+            d.insert("payments", vec![t, Value::Int(a), m.into()])
+                .unwrap();
         }
         d
     }
@@ -159,7 +160,9 @@ mod tests {
     #[test]
     fn exact_implies_exec() {
         let d = db();
-        let gold = parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
+        let gold =
+            parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
         let o = score_query(&gold, &gold, &d);
         assert!(o.exact && o.exec);
         assert!(o.components_wrong.is_empty());
@@ -186,8 +189,12 @@ mod tests {
     #[test]
     fn wrong_chart_fails_execution() {
         let d = db();
-        let gold = parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
-        let pred = parse("VISUALIZE pie SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
+        let gold =
+            parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
+        let pred =
+            parse("VISUALIZE pie SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
         let o = score_query(&pred, &gold, &d);
         assert!(!o.exact && !o.exec);
         assert_eq!(o.components_wrong, vec![Component::VisType]);
@@ -196,8 +203,11 @@ mod tests {
     #[test]
     fn unexecutable_prediction_fails_exec() {
         let d = db();
-        let gold = parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
-        let pred = parse("VISUALIZE bar SELECT nonexistent , COUNT(nonexistent) FROM payments").unwrap();
+        let gold =
+            parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
+        let pred =
+            parse("VISUALIZE bar SELECT nonexistent , COUNT(nonexistent) FROM payments").unwrap();
         let o = score_query(&pred, &gold, &d);
         assert!(!o.exec);
     }
@@ -205,7 +215,9 @@ mod tests {
     #[test]
     fn parse_failure_scored() {
         let d = db();
-        let gold = parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
+        let gold =
+            parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
         let o = score_completion("I am sorry, I cannot help with that.", &gold, &d);
         assert!(o.parse_failed);
         assert!(o.failed());
@@ -214,7 +226,9 @@ mod tests {
     #[test]
     fn completion_with_marker_scored() {
         let d = db();
-        let gold = parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
+        let gold =
+            parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
         let o = score_completion(
             "VQL: VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method",
             &gold,
@@ -241,8 +255,12 @@ mod tests {
     #[test]
     fn accuracy_accumulator() {
         let d = db();
-        let gold = parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
-        let bad = parse("VISUALIZE pie SELECT method , COUNT(method) FROM payments GROUP BY method").unwrap();
+        let gold =
+            parse("VISUALIZE bar SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
+        let bad =
+            parse("VISUALIZE pie SELECT method , COUNT(method) FROM payments GROUP BY method")
+                .unwrap();
         let mut acc = Accuracy::default();
         acc.record(&score_query(&gold, &gold, &d));
         acc.record(&score_query(&bad, &gold, &d));

@@ -65,7 +65,10 @@ pub fn apply_strategy(
     seed: u64,
 ) -> EvalOutcome {
     let llm = SimLlm::new(strategy.model(), seed);
-    let db = corpus.catalog.database(&example.db).expect("example database exists");
+    let db = corpus
+        .catalog
+        .database(&example.db)
+        .expect("example database exists");
     let demos = pick_demos(corpus, train_ids, example, base);
 
     let mut options = PromptOptions {
@@ -80,21 +83,37 @@ pub fn apply_strategy(
             // The sketch-first intermediate suppresses structural slips and
             // mildly reduces overall error.
             options.chain_of_thought = true;
-            GenOptions { attempt: 101, error_scale: 1.02, structural_scale: 0.95 }
+            GenOptions {
+                attempt: 101,
+                error_scale: 1.02,
+                structural_scale: 0.95,
+            }
         }
         Strategy::RolePlay => {
             // The persona stabilizes output formatting and focus.
             options.role_play = true;
-            GenOptions { attempt: 102, error_scale: 0.78, structural_scale: 1.0 }
+            GenOptions {
+                attempt: 102,
+                error_scale: 0.78,
+                structural_scale: 1.0,
+            }
         }
         Strategy::SelfRepair => {
             // "Fix the given VQL": the model revisits its own output with
             // the error in view; a strong targeted reduction.
-            GenOptions { attempt: 103, error_scale: 0.72, structural_scale: 0.72 }
+            GenOptions {
+                attempt: 103,
+                error_scale: 0.72,
+                structural_scale: 0.72,
+            }
         }
         Strategy::CodeInterpreter => {
             // Handled below with an execute-and-retry loop.
-            GenOptions { attempt: 104, error_scale: 0.45, structural_scale: 0.45 }
+            GenOptions {
+                attempt: 104,
+                error_scale: 0.45,
+                structural_scale: 0.45,
+            }
         }
     };
 
@@ -106,15 +125,21 @@ pub fn apply_strategy(
         // often across samples) — the paper's "demonstrate programming
         // proficiency within a conversational context".
         let prompt = build_prompt(&options, db, &example.nl, &demos, |d| {
-            corpus.catalog.database(&d.db).expect("demo database exists")
+            corpus
+                .catalog
+                .database(&d.db)
+                .expect("demo database exists")
         });
         let mut executable: Vec<(String, nl2vis_query::ResultSet)> = Vec::new();
         let mut last_completion = String::new();
         for attempt in 0..8u64 {
-            let g = GenOptions { attempt: 200 + attempt, ..gen.clone() };
+            let g = GenOptions {
+                attempt: 200 + attempt,
+                ..gen.clone()
+            };
             let completion = llm.complete_with(&prompt.text, &g);
-            let parsed = nl2vis_llm::extract_vql(&completion)
-                .and_then(|t| nl2vis_query::parse(t).ok());
+            let parsed =
+                nl2vis_llm::extract_vql(&completion).and_then(|t| nl2vis_query::parse(t).ok());
             if let Some(pred) = parsed {
                 if let Ok(result) = execute(&pred, db) {
                     if !result.rows.is_empty() {
@@ -132,7 +157,10 @@ pub fn apply_strategy(
         let mut best_idx = 0;
         let mut best_votes = 0;
         for (i, (_, result)) in executable.iter().enumerate() {
-            let votes = executable.iter().filter(|(_, r)| r.same_data(result)).count();
+            let votes = executable
+                .iter()
+                .filter(|(_, r)| r.same_data(result))
+                .count();
             if votes > best_votes {
                 best_votes = votes;
                 best_idx = i;
@@ -142,7 +170,10 @@ pub fn apply_strategy(
     }
 
     let prompt = build_prompt(&options, db, &example.nl, &demos, |d| {
-        corpus.catalog.database(&d.db).expect("demo database exists")
+        corpus
+            .catalog
+            .database(&d.db)
+            .expect("demo database exists")
     });
     let completion = llm.complete_with(&prompt.text, &gen);
     score_completion(&completion, &example.vql, db)
@@ -191,7 +222,9 @@ pub fn run_strategy(
         by_chart: Vec::new(),
     };
     for id in failed_ids {
-        let Some(example) = corpus.example(*id) else { continue };
+        let Some(example) = corpus.example(*id) else {
+            continue;
+        };
         report.attempted += 1;
         let outcome = apply_strategy(strategy, corpus, train_ids, example, base, seed);
         let chart = example.vql.extended_chart_label().to_string();
@@ -221,9 +254,17 @@ mod tests {
     use nl2vis_corpus::CorpusConfig;
 
     fn base_run() -> (Corpus, Vec<usize>, Vec<usize>, LlmEvalConfig) {
-        let c = Corpus::build(&CorpusConfig { seed: 67, instances_per_domain: 1, queries_per_db: 12, paraphrases: (2, 3) });
+        let c = Corpus::build(&CorpusConfig {
+            seed: 67,
+            instances_per_domain: 1,
+            queries_per_db: 12,
+            paraphrases: (2, 3),
+        });
         let split = c.split_cross_domain(1);
-        let config = LlmEvalConfig { shots: 5, ..Default::default() };
+        let config = LlmEvalConfig {
+            shots: 5,
+            ..Default::default()
+        };
         let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
         let report = evaluate_llm(&llm, &c, &split.train, &split.test, &config, Some(60));
         let failed = report.failed_ids();
@@ -233,10 +274,16 @@ mod tests {
     #[test]
     fn strategies_rescue_some_failures() {
         let (c, train, failed, config) = base_run();
-        assert!(!failed.is_empty(), "base run should have failures to repair");
+        assert!(
+            !failed.is_empty(),
+            "base run should have failures to repair"
+        );
         let ci = run_strategy(Strategy::CodeInterpreter, &c, &train, &failed, &config, 5);
         assert_eq!(ci.attempted, failed.len());
-        assert!(ci.rescued_exec > 0, "code-interpreter should rescue something");
+        assert!(
+            ci.rescued_exec > 0,
+            "code-interpreter should rescue something"
+        );
     }
 
     #[test]

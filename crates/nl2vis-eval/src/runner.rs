@@ -7,6 +7,7 @@ use crate::metrics::{score_completion, score_query, Accuracy, EvalOutcome};
 use nl2vis_baselines::Nl2VisModel;
 use nl2vis_corpus::{Corpus, Example, Hardness};
 use nl2vis_llm::{GenOptions, LlmClient};
+use nl2vis_obs as obs;
 use nl2vis_prompt::select::{select_by_similarity, select_grouped, select_same_database, DemoPool};
 use nl2vis_prompt::{build_prompt, AnswerFormat, PromptFormat, PromptOptions};
 use nl2vis_query::component::Component;
@@ -46,6 +47,9 @@ pub struct LlmEvalConfig {
     pub role_play: bool,
     /// Generation options forwarded to the model.
     pub gen: GenOptions,
+    /// Worker-thread cap for parallel evaluation. `None` uses the machine's
+    /// available parallelism, capped at 8 (the historical default).
+    pub workers: Option<usize>,
 }
 
 impl Default for LlmEvalConfig {
@@ -59,6 +63,7 @@ impl Default for LlmEvalConfig {
             chain_of_thought: false,
             role_play: false,
             gen: GenOptions::default(),
+            workers: None,
         }
     }
 }
@@ -78,11 +83,40 @@ pub struct ExampleResult {
     pub completion: Option<String>,
 }
 
+/// Throughput of one evaluation worker thread.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Examples the worker processed.
+    pub examples: usize,
+    /// Wall-clock time the worker ran.
+    pub elapsed: std::time::Duration,
+}
+
+impl WorkerStats {
+    /// Examples per second (0 for an instantaneous batch).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.examples as f64 / secs
+        }
+    }
+}
+
 /// An aggregated evaluation report.
 #[derive(Debug, Clone, Default)]
 pub struct EvalReport {
     /// Per-example results.
     pub results: Vec<ExampleResult>,
+    /// Examples dropped because a worker panicked while scoring them (also
+    /// counted on the `eval.worker_panics` metric). The rest of the report
+    /// stays valid — a panic no longer poisons the whole run.
+    pub worker_panics: usize,
+    /// Per-worker throughput of the parallel evaluation.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl EvalReport {
@@ -117,7 +151,11 @@ impl EvalReport {
 
     /// Ids of failed examples (neither exact nor execution accurate).
     pub fn failed_ids(&self) -> Vec<usize> {
-        self.results.iter().filter(|r| r.outcome.failed()).map(|r| r.id).collect()
+        self.results
+            .iter()
+            .filter(|r| r.outcome.failed())
+            .map(|r| r.id)
+            .collect()
     }
 
     /// Exports per-example results as CSV (id, hardness, join, exact, exec,
@@ -162,9 +200,7 @@ impl EvalReport {
                 let agree = self
                     .results
                     .iter()
-                    .filter(|r| {
-                        !r.outcome.parse_failed && !r.outcome.components_wrong.contains(&c)
-                    })
+                    .filter(|r| !r.outcome.parse_failed && !r.outcome.components_wrong.contains(&c))
                     .count() as f64;
                 (c, agree / n)
             })
@@ -215,9 +251,7 @@ pub fn pick_demos_pooled<'a>(
     match config.selection {
         Selection::Similarity => pool.select_similar(&test.nl, config.shots, test.id),
         Selection::SameDatabase => pool.select_same_db(&test.nl, config.shots, test.id),
-        Selection::Grouped { dbs, per_db } => {
-            pool.select_grouped(&test.nl, dbs, per_db, test.id)
-        }
+        Selection::Grouped { dbs, per_db } => pool.select_grouped(&test.nl, dbs, per_db, test.id),
     }
 }
 
@@ -232,35 +266,64 @@ pub fn evaluate_llm(
     config: &LlmEvalConfig,
     limit: Option<usize>,
 ) -> EvalReport {
-    let ids: Vec<usize> = test_ids.iter().copied().take(limit.unwrap_or(usize::MAX)).collect();
-    let candidates: Vec<&Example> =
-        train_ids.iter().filter_map(|id| corpus.example(*id)).collect();
+    evaluate_llm_with_progress(llm, corpus, train_ids, test_ids, config, limit, |_, _| {})
+}
+
+/// [`evaluate_llm`] with a progress callback, invoked after each scored
+/// example with `(completed, total)` — from evaluation worker threads, so
+/// the callback must be cheap and `Sync`.
+pub fn evaluate_llm_with_progress(
+    llm: &(dyn LlmClient + Sync),
+    corpus: &Corpus,
+    train_ids: &[usize],
+    test_ids: &[usize],
+    config: &LlmEvalConfig,
+    limit: Option<usize>,
+    progress: impl Fn(usize, usize) + Sync,
+) -> EvalReport {
+    let _span = obs::span!("eval.llm_run");
+    let ids: Vec<usize> = test_ids
+        .iter()
+        .copied()
+        .take(limit.unwrap_or(usize::MAX))
+        .collect();
+    let candidates: Vec<&Example> = train_ids
+        .iter()
+        .filter_map(|id| corpus.example(*id))
+        .collect();
     let pool = DemoPool::new(&candidates);
-    let results = parallel_map(&ids, |id| {
-        let test = corpus.example(*id)?;
-        let db = corpus.catalog.database(&test.db).ok()?;
-        let demos = pick_demos_pooled(&pool, test, config);
-        let options = PromptOptions {
-            format: config.format,
-            answer: config.answer,
-            token_budget: config.token_budget,
-            chain_of_thought: config.chain_of_thought,
-            role_play: config.role_play,
-        };
-        let prompt = build_prompt(&options, db, &test.nl, &demos, |d| {
-            corpus.catalog.database(&d.db).expect("demo database exists")
-        });
-        let completion = llm.complete_with(&prompt.text, &config.gen);
-        let outcome = score_completion(&completion, &test.vql, db);
-        Some(ExampleResult {
-            id: test.id,
-            outcome,
-            is_join: test.is_join,
-            hardness: test.hardness,
-            completion: Some(completion),
-        })
-    });
-    EvalReport { results }
+    parallel_map(
+        &ids,
+        config.workers,
+        |id| {
+            let test = corpus.example(*id)?;
+            let db = corpus.catalog.database(&test.db).ok()?;
+            let demos = pick_demos_pooled(&pool, test, config);
+            let options = PromptOptions {
+                format: config.format,
+                answer: config.answer,
+                token_budget: config.token_budget,
+                chain_of_thought: config.chain_of_thought,
+                role_play: config.role_play,
+            };
+            let prompt = build_prompt(&options, db, &test.nl, &demos, |d| {
+                corpus
+                    .catalog
+                    .database(&d.db)
+                    .expect("demo database exists")
+            });
+            let completion = llm.complete_with(&prompt.text, &config.gen);
+            let outcome = score_completion(&completion, &test.vql, db);
+            Some(ExampleResult {
+                id: test.id,
+                outcome,
+                is_join: test.is_join,
+                hardness: test.hardness,
+                completion: Some(completion),
+            })
+        },
+        progress,
+    )
 }
 
 /// Evaluates a trained baseline model over the test ids.
@@ -270,52 +333,173 @@ pub fn evaluate_model(
     test_ids: &[usize],
     limit: Option<usize>,
 ) -> EvalReport {
-    let ids: Vec<usize> = test_ids.iter().copied().take(limit.unwrap_or(usize::MAX)).collect();
-    let results = parallel_map(&ids, |id| {
-        let test = corpus.example(*id)?;
-        let db = corpus.catalog.database(&test.db).ok()?;
-        let outcome = match model.predict(&test.nl, db) {
-            Some(pred) => score_query(&pred, &test.vql, db),
-            None => EvalOutcome {
-                predicted: None,
-                exact: false,
-                exec: false,
-                components_wrong: Vec::new(),
-                parse_failed: true,
-            },
-        };
-        Some(ExampleResult {
-            id: test.id,
-            outcome,
-            is_join: test.is_join,
-            hardness: test.hardness,
-            completion: None,
-        })
-    });
-    EvalReport { results }
+    evaluate_model_with_progress(model, corpus, test_ids, limit, |_, _| {})
 }
 
-/// Order-preserving parallel map over ids using scoped threads.
-fn parallel_map<F>(ids: &[usize], f: F) -> Vec<ExampleResult>
+/// [`evaluate_model`] with a progress callback (see
+/// [`evaluate_llm_with_progress`]).
+pub fn evaluate_model_with_progress(
+    model: &(dyn Nl2VisModel + Sync),
+    corpus: &Corpus,
+    test_ids: &[usize],
+    limit: Option<usize>,
+    progress: impl Fn(usize, usize) + Sync,
+) -> EvalReport {
+    let _span = obs::span!("eval.model_run");
+    let ids: Vec<usize> = test_ids
+        .iter()
+        .copied()
+        .take(limit.unwrap_or(usize::MAX))
+        .collect();
+    parallel_map(
+        &ids,
+        None,
+        |id| {
+            let test = corpus.example(*id)?;
+            let db = corpus.catalog.database(&test.db).ok()?;
+            let outcome = match model.predict(&test.nl, db) {
+                Some(pred) => score_query(&pred, &test.vql, db),
+                None => EvalOutcome {
+                    predicted: None,
+                    exact: false,
+                    exec: false,
+                    components_wrong: Vec::new(),
+                    parse_failed: true,
+                },
+            };
+            Some(ExampleResult {
+                id: test.id,
+                outcome,
+                is_join: test.is_join,
+                hardness: test.hardness,
+                completion: None,
+            })
+        },
+        progress,
+    )
+}
+
+/// The default evaluation worker count: available parallelism, capped at 8.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+/// One instrumented evaluation step: times the example into
+/// `eval.example_latency_us`, converts a panic into a counted miss, and
+/// reports progress.
+fn run_one<F, P>(
+    id: &usize,
+    f: &F,
+    total: usize,
+    done: &std::sync::atomic::AtomicUsize,
+    progress: &P,
+    panics: &mut usize,
+) -> Option<ExampleResult>
 where
     F: Fn(&usize) -> Option<ExampleResult> + Sync,
+    P: Fn(usize, usize) + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    if ids.len() < 8 || workers < 2 {
-        return ids.iter().filter_map(&f).collect();
+    let started = std::time::Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(id)));
+    obs::global()
+        .histogram("eval.example_latency_us")
+        .record_duration(started.elapsed());
+    obs::global().counter("eval.examples_total").inc();
+    let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+    progress(completed, total);
+    match result {
+        Ok(r) => r,
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            obs::count("eval.worker_panics", 1);
+            obs::error("eval", "worker_panic", &format!("example {id}: {message}"));
+            *panics += 1;
+            None
+        }
     }
-    let chunk = ids.len().div_ceil(workers);
+}
+
+/// Order-preserving parallel map over ids using scoped threads. Worker
+/// panics are caught per example and surfaced as
+/// [`EvalReport::worker_panics`] (plus the `eval.worker_panics` counter)
+/// instead of aborting the run.
+fn parallel_map<F, P>(ids: &[usize], workers: Option<usize>, f: F, progress: P) -> EvalReport
+where
+    F: Fn(&usize) -> Option<ExampleResult> + Sync,
+    P: Fn(usize, usize) + Sync,
+{
+    let workers = workers.unwrap_or_else(default_workers).max(1);
+    let total = ids.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    if total < 8 || workers < 2 {
+        let started = std::time::Instant::now();
+        let mut panics = 0usize;
+        let results: Vec<ExampleResult> = ids
+            .iter()
+            .filter_map(|id| run_one(id, &f, total, &done, &progress, &mut panics))
+            .collect();
+        let stats = vec![WorkerStats {
+            worker: 0,
+            examples: total,
+            elapsed: started.elapsed(),
+        }];
+        return EvalReport {
+            results,
+            worker_panics: panics,
+            worker_stats: stats,
+        };
+    }
+    let chunk = total.div_ceil(workers);
     let mut out: Vec<Option<ExampleResult>> = Vec::new();
+    let mut worker_panics = 0usize;
+    let mut worker_stats = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = ids
             .chunks(chunk)
-            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<_>>()))
+            .map(|part| {
+                scope.spawn(|| {
+                    let started = std::time::Instant::now();
+                    let mut panics = 0usize;
+                    let results: Vec<Option<ExampleResult>> = part
+                        .iter()
+                        .map(|id| run_one(id, &f, total, &done, &progress, &mut panics))
+                        .collect();
+                    (results, panics, started.elapsed())
+                })
+            })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("evaluation worker panicked"));
+        for (worker, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((results, panics, elapsed)) => {
+                    worker_stats.push(WorkerStats {
+                        worker,
+                        examples: results.len(),
+                        elapsed,
+                    });
+                    worker_panics += panics;
+                    out.extend(results);
+                }
+                // Unreachable in practice (panics are caught per example),
+                // but a dead worker must not take the report down with it.
+                Err(_) => {
+                    obs::count("eval.worker_panics", 1);
+                    worker_panics += 1;
+                }
+            }
         }
     });
-    out.into_iter().flatten().collect()
+    EvalReport {
+        results: out.into_iter().flatten().collect(),
+        worker_panics,
+        worker_stats,
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +510,12 @@ mod tests {
     use nl2vis_llm::{ModelProfile, SimLlm};
 
     fn fixture() -> Corpus {
-        Corpus::build(&CorpusConfig { seed: 61, instances_per_domain: 1, queries_per_db: 12, paraphrases: (2, 3) })
+        Corpus::build(&CorpusConfig {
+            seed: 61,
+            instances_per_domain: 1,
+            queries_per_db: 12,
+            paraphrases: (2, 3),
+        })
     }
 
     #[test]
@@ -335,7 +524,10 @@ mod tests {
         // cross-domain test fold varies a lot at this corpus size.
         let c = fixture();
         let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
-        let config = LlmEvalConfig { shots: 5, ..Default::default() };
+        let config = LlmEvalConfig {
+            shots: 5,
+            ..Default::default()
+        };
         let mut acc_in = Accuracy::default();
         let mut acc_cross = Accuracy::default();
         for seed in 1..=3 {
@@ -362,8 +554,7 @@ mod tests {
         let r = evaluate_model(&m, &c, &split.test, Some(30));
         assert_eq!(r.results.len(), 30.min(split.test.len()));
         assert_eq!(r.join().n() + r.non_join().n(), r.overall().n());
-        let by_hardness: usize =
-            Hardness::all().iter().map(|h| r.by_hardness(*h).n()).sum();
+        let by_hardness: usize = Hardness::all().iter().map(|h| r.by_hardness(*h).n()).sum();
         assert_eq!(by_hardness, r.overall().n());
     }
 
@@ -386,8 +577,7 @@ mod tests {
         let r = evaluate_model(&m, &c, &split.test, Some(30));
         let failed = r.failed_ids();
         assert!(failed.len() <= r.results.len());
-        let total_component_failures: usize =
-            r.component_failures().iter().map(|(_, n)| n).sum();
+        let total_component_failures: usize = r.component_failures().iter().map(|(_, n)| n).sum();
         // Every non-parse failure contributes at least one wrong component.
         let non_parse_failures = r
             .results
@@ -407,8 +597,12 @@ mod tests {
         let records = nl2vis_data::csv::parse(&csv_text).unwrap();
         assert_eq!(records.len(), 11); // header + 10 results
         assert_eq!(records[0][0], "id");
-        assert!(records[1][1] == "easy" || records[1][1] == "medium"
-            || records[1][1] == "hard" || records[1][1] == "extra hard");
+        assert!(
+            records[1][1] == "easy"
+                || records[1][1] == "medium"
+                || records[1][1] == "hard"
+                || records[1][1] == "extra hard"
+        );
     }
 
     #[test]
@@ -424,7 +618,10 @@ mod tests {
         // is at least the exact accuracy.
         let exact = r.overall().exact();
         for (component, accuracy) in r.component_accuracy() {
-            assert!(accuracy + 1e-9 >= exact, "{component}: {accuracy} < {exact}");
+            assert!(
+                accuracy + 1e-9 >= exact,
+                "{component}: {accuracy} < {exact}"
+            );
         }
     }
 
@@ -436,5 +633,110 @@ mod tests {
         let r = evaluate_model(&m, &c, &split.test, None);
         let ids: Vec<usize> = r.results.iter().map(|x| x.id).collect();
         assert_eq!(ids, split.test[..ids.len()].to_vec());
+        assert_eq!(r.worker_panics, 0);
+        let processed: usize = r.worker_stats.iter().map(|w| w.examples).sum();
+        assert_eq!(processed, ids.len());
+    }
+
+    #[test]
+    fn worker_cap_is_configurable_and_results_identical() {
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+        let base = LlmEvalConfig::default();
+        let capped = LlmEvalConfig {
+            workers: Some(2),
+            ..Default::default()
+        };
+        let wide = LlmEvalConfig {
+            workers: Some(16),
+            ..Default::default()
+        };
+        let r_base = evaluate_llm(&llm, &c, &split.train, &split.test, &base, Some(24));
+        let r_capped = evaluate_llm(&llm, &c, &split.train, &split.test, &capped, Some(24));
+        let r_wide = evaluate_llm(&llm, &c, &split.train, &split.test, &wide, Some(24));
+        let key = |r: &EvalReport| -> Vec<(usize, bool, bool)> {
+            r.results
+                .iter()
+                .map(|x| (x.id, x.outcome.exact, x.outcome.exec))
+                .collect()
+        };
+        assert_eq!(key(&r_base), key(&r_capped));
+        assert_eq!(key(&r_base), key(&r_wide));
+        // A 2-worker run over >= 8 examples splits into exactly 2 batches.
+        assert_eq!(r_capped.worker_stats.len(), 2);
+        assert!(r_wide.worker_stats.len() > 2);
+    }
+
+    #[test]
+    fn progress_callback_sees_every_example() {
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+        let config = LlmEvalConfig::default();
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let max_seen = std::sync::atomic::AtomicUsize::new(0);
+        let n = 20.min(split.test.len());
+        let r = evaluate_llm_with_progress(
+            &llm,
+            &c,
+            &split.train,
+            &split.test,
+            &config,
+            Some(n),
+            |done, total| {
+                assert_eq!(total, n);
+                assert!(done >= 1 && done <= total);
+                calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                max_seen.fetch_max(done, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), n);
+        assert_eq!(max_seen.load(std::sync::atomic::Ordering::Relaxed), n);
+        assert_eq!(r.results.len(), n);
+    }
+
+    /// A model that panics on some questions must not poison the report:
+    /// the surviving examples score normally and the panics are counted.
+    #[test]
+    fn worker_panics_are_counted_not_fatal() {
+        struct PanickyLlm {
+            inner: SimLlm,
+        }
+        impl nl2vis_llm::LlmClient for PanickyLlm {
+            fn complete(&self, prompt: &str) -> String {
+                // Deterministic subset: panic whenever the prompt length is
+                // divisible by 3 (roughly a third of the examples).
+                if prompt.len() % 3 == 0 {
+                    panic!("simulated scoring crash");
+                }
+                self.inner.complete(prompt)
+            }
+            fn name(&self) -> &str {
+                "panicky"
+            }
+        }
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let llm = PanickyLlm {
+            inner: SimLlm::new(ModelProfile::davinci_003(), 3),
+        };
+        let config = LlmEvalConfig::default();
+        let n = 30.min(split.test.len());
+        let panics_before = nl2vis_obs::global().counter("eval.worker_panics").get();
+        // The default panic hook prints a backtrace per panic; silence it
+        // for this test so the suite's output stays readable.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = evaluate_llm(&llm, &c, &split.train, &split.test, &config, Some(n));
+        std::panic::set_hook(prev_hook);
+        assert!(r.worker_panics > 0, "the panic subset must be non-empty");
+        assert_eq!(r.results.len() + r.worker_panics, n);
+        assert!(
+            nl2vis_obs::global().counter("eval.worker_panics").get()
+                >= panics_before + r.worker_panics as u64
+        );
+        // Surviving results still aggregate.
+        let _ = r.overall();
     }
 }

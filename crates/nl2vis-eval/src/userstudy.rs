@@ -123,8 +123,7 @@ impl StudyReport {
 
     /// Mean of a per-session time component for a user group.
     pub fn mean_seconds<F: Fn(&Session) -> f64>(&self, user: UserKind, f: F) -> f64 {
-        let relevant: Vec<&Session> =
-            self.sessions.iter().filter(|s| s.user == user).collect();
+        let relevant: Vec<&Session> = self.sessions.iter().filter(|s| s.user == user).collect();
         if relevant.is_empty() {
             return 0.0;
         }
@@ -150,7 +149,13 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> StudyConfig {
-        StudyConfig { databases: 5, per_cell: 3, max_revisions: 3, shots: 20, seed: 2023 }
+        StudyConfig {
+            databases: 5,
+            per_cell: 3,
+            max_revisions: 3,
+            shots: 20,
+            seed: 2023,
+        }
     }
 }
 
@@ -159,7 +164,10 @@ impl Default for StudyConfig {
 pub fn run_study(corpus: &Corpus, train_ids: &[usize], config: &StudyConfig) -> StudyReport {
     let mut rng = Rng::new(config.seed);
     let llm = SimLlm::new(ModelProfile::davinci_003(), config.seed ^ 0xA5);
-    let eval_config = LlmEvalConfig { shots: config.shots, ..Default::default() };
+    let eval_config = LlmEvalConfig {
+        shots: config.shots,
+        ..Default::default()
+    };
 
     // Pick target visualizations: `databases` random DBs, `per_cell` per
     // difficulty level from each.
@@ -182,7 +190,16 @@ pub fn run_study(corpus: &Corpus, train_ids: &[usize], config: &StudyConfig) -> 
     let mut report = StudyReport::default();
     for user in [UserKind::Expert, UserKind::NonExpert] {
         for target in &targets {
-            let session = run_session(corpus, train_ids, &llm, &eval_config, target, user, config, &mut rng);
+            let session = run_session(
+                corpus,
+                train_ids,
+                &llm,
+                &eval_config,
+                target,
+                user,
+                config,
+                &mut rng,
+            );
             report.sessions.push(session);
         }
     }
@@ -200,7 +217,10 @@ fn run_session(
     config: &StudyConfig,
     rng: &mut Rng,
 ) -> Session {
-    let db = corpus.catalog.database(&target.db).expect("target database exists");
+    let db = corpus
+        .catalog
+        .database(&target.db)
+        .expect("target database exists");
     let defect_rate = user.defect_rate(target.hardness);
 
     // The user composes a query: the ideal phrasing with skill-dependent
@@ -233,14 +253,20 @@ fn run_session(
             ..Default::default()
         };
         let prompt = build_prompt(&options, db, &question, &demos, |d| {
-            corpus.catalog.database(&d.db).expect("demo database exists")
+            corpus
+                .catalog
+                .database(&d.db)
+                .expect("demo database exists")
         });
         // The paper reports ~3 s prompt assembly and ~2 s generation.
         prompt_seconds += 3.0 + rng.gauss().abs() * 0.4;
         generate_seconds += 2.0 + rng.gauss().abs() * 0.3;
 
         // Each round is a fresh model sample (a real conversation retries).
-        let gen = nl2vis_llm::GenOptions { attempt: round as u64, ..Default::default() };
+        let gen = nl2vis_llm::GenOptions {
+            attempt: round as u64,
+            ..Default::default()
+        };
         let completion = llm.complete_with(&prompt.text, &gen);
         let outcome = score_completion(&completion, &target.vql, db);
         if outcome.exec {
@@ -313,8 +339,17 @@ fn apply_defects(ideal: &str, defects: &[Defect]) -> String {
     let drops = defects.iter().filter(|d| **d == Defect::DropTail).count();
     if drops > 0 {
         // Split at clause-marker words and drop that many tail segments.
-        let markers = [" where ", " sorted by ", " ordered by ", " binned by ", " colored by ",
-            " stacked by ", " split by ", " rank the ", " keeping only "];
+        let markers = [
+            " where ",
+            " sorted by ",
+            " ordered by ",
+            " binned by ",
+            " colored by ",
+            " stacked by ",
+            " split by ",
+            " rank the ",
+            " keeping only ",
+        ];
         let mut cut = s.len();
         let mut boundaries: Vec<usize> = markers
             .iter()
@@ -333,9 +368,19 @@ fn apply_defects(ideal: &str, defects: &[Defect]) -> String {
     }
     if defects.contains(&Defect::VagueChart) {
         for phrase in [
-            "bar chart", "bar graph", "histogram", "pie chart", "donut-style breakdown",
-            "line chart", "trend line", "time series", "scatter plot", "scatter chart",
-            "point cloud", "bars", "pie",
+            "bar chart",
+            "bar graph",
+            "histogram",
+            "pie chart",
+            "donut-style breakdown",
+            "line chart",
+            "trend line",
+            "time series",
+            "scatter plot",
+            "scatter chart",
+            "point cloud",
+            "bars",
+            "pie",
         ] {
             if s.contains(phrase) {
                 s = s.replacen(phrase, "chart", 1);
@@ -352,9 +397,19 @@ mod tests {
     use nl2vis_corpus::CorpusConfig;
 
     fn study() -> StudyReport {
-        let c = Corpus::build(&CorpusConfig { seed: 71, instances_per_domain: 1, queries_per_db: 16, paraphrases: (2, 3) });
+        let c = Corpus::build(&CorpusConfig {
+            seed: 71,
+            instances_per_domain: 1,
+            queries_per_db: 16,
+            paraphrases: (2, 3),
+        });
         let split = c.split_in_domain(1);
-        let config = StudyConfig { databases: 5, per_cell: 3, shots: 8, ..Default::default() };
+        let config = StudyConfig {
+            databases: 5,
+            per_cell: 3,
+            shots: 8,
+            ..Default::default()
+        };
         run_study(&c, &split.train, &config)
     }
 
@@ -362,8 +417,7 @@ mod tests {
     fn experts_outperform_non_experts_overall() {
         let r = study();
         let rate = |user: UserKind| {
-            let sessions: Vec<&Session> =
-                r.sessions.iter().filter(|s| s.user == user).collect();
+            let sessions: Vec<&Session> = r.sessions.iter().filter(|s| s.user == user).collect();
             sessions.iter().filter(|s| s.success).count() as f64 / sessions.len() as f64
         };
         let expert = rate(UserKind::Expert);
@@ -379,7 +433,10 @@ mod tests {
         let r = study();
         let e = r.mean_seconds(UserKind::Expert, |s| s.compose_seconds);
         let n = r.mean_seconds(UserKind::NonExpert, |s| s.compose_seconds);
-        assert!(n > e, "non-experts ({n:.0}s) should compose slower than experts ({e:.0}s)");
+        assert!(
+            n > e,
+            "non-experts ({n:.0}s) should compose slower than experts ({e:.0}s)"
+        );
     }
 
     #[test]
@@ -398,8 +455,16 @@ mod tests {
         let r = study();
         assert!(r.sessions.iter().any(|s| s.user == UserKind::Expert));
         assert!(r.sessions.iter().any(|s| s.user == UserKind::NonExpert));
-        let expert_n = r.sessions.iter().filter(|s| s.user == UserKind::Expert).count();
-        let novice_n = r.sessions.iter().filter(|s| s.user == UserKind::NonExpert).count();
+        let expert_n = r
+            .sessions
+            .iter()
+            .filter(|s| s.user == UserKind::Expert)
+            .count();
+        let novice_n = r
+            .sessions
+            .iter()
+            .filter(|s| s.user == UserKind::NonExpert)
+            .count();
         assert_eq!(expert_n, novice_n, "both groups attempt the same targets");
     }
 

@@ -47,44 +47,44 @@ impl Edit {
             Edit::Chart(c) => q.chart = *c,
             Edit::AddFilter(p) => {
                 q.filter = Some(match q.filter.take() {
-                    Some(existing) => {
-                        Predicate::And(Box::new(existing), Box::new(p.clone()))
-                    }
+                    Some(existing) => Predicate::And(Box::new(existing), Box::new(p.clone())),
                     None => p.clone(),
                 });
             }
             Edit::ClearFilter => q.filter = None,
             Edit::Order(o) => q.order = Some(o.clone()),
             Edit::ClearOrder => q.order = None,
-            Edit::Agg(func, target) => {
-                match &mut q.y {
-                    SelectExpr::Agg { func: f, arg } => {
-                        *f = *func;
-                        if let Some(t) = target {
-                            *arg = Some(t.clone());
-                        }
-                    }
-                    SelectExpr::Column(c) => {
-                        let arg = target.clone().unwrap_or_else(|| c.clone());
-                        q.y = SelectExpr::Agg { func: *func, arg: Some(arg) };
-                        if q.group_by.is_empty() {
-                            if let Some(xc) = q.x.column() {
-                                q.group_by.push(xc.clone());
-                            }
-                        }
+            Edit::Agg(func, target) => match &mut q.y {
+                SelectExpr::Agg { func: f, arg } => {
+                    *f = *func;
+                    if let Some(t) = target {
+                        *arg = Some(t.clone());
                     }
                 }
-            }
-            Edit::Bin(unit) => {
-                match &mut q.bin {
-                    Some(b) => b.unit = *unit,
-                    None => {
+                SelectExpr::Column(c) => {
+                    let arg = target.clone().unwrap_or_else(|| c.clone());
+                    q.y = SelectExpr::Agg {
+                        func: *func,
+                        arg: Some(arg),
+                    };
+                    if q.group_by.is_empty() {
                         if let Some(xc) = q.x.column() {
-                            q.bin = Some(Bin { column: xc.clone(), unit: *unit });
+                            q.group_by.push(xc.clone());
                         }
                     }
                 }
-            }
+            },
+            Edit::Bin(unit) => match &mut q.bin {
+                Some(b) => b.unit = *unit,
+                None => {
+                    if let Some(xc) = q.x.column() {
+                        q.bin = Some(Bin {
+                            column: xc.clone(),
+                            unit: *unit,
+                        });
+                    }
+                }
+            },
             Edit::Color(c) => {
                 if q.group_by.is_empty() {
                     if let Some(xc) = q.x.column() {
@@ -116,8 +116,12 @@ pub fn parse_follow_up(
     let mut edits = Vec::new();
 
     // Chart change: "make it a pie chart", "as bars", "switch to a line".
-    if lower.contains("make it") || lower.contains("as a") || lower.contains("switch to")
-        || lower.contains("instead") || lower.contains("turn it into") || lower.contains("show it as")
+    if lower.contains("make it")
+        || lower.contains("as a")
+        || lower.contains("switch to")
+        || lower.contains("instead")
+        || lower.contains("turn it into")
+        || lower.contains("show it as")
     {
         for t in &toks {
             if let QTok::Word(w) = t {
@@ -168,9 +172,7 @@ pub fn parse_follow_up(
     // Bin change: "by month instead", "bin by quarter".
     if lower.contains("instead") || lower.contains("bin") {
         for unit in BinUnit::all() {
-            if lower.contains(unit.keyword())
-                && prev.bin.as_ref().map(|b| b.unit) != Some(unit)
-            {
+            if lower.contains(unit.keyword()) && prev.bin.as_ref().map(|b| b.unit) != Some(unit) {
                 edits.push(Edit::Bin(unit));
                 break;
             }
@@ -201,25 +203,32 @@ pub fn parse_follow_up(
 
     // Ordering: "sort by the value descending", "sort ascending".
     if lower.contains("sort") || lower.contains("order it") || lower.contains("rank") {
-        let dir = if lower.contains("desc") || lower.contains("largest") || lower.contains("decreas")
-        {
-            SortDir::Desc
-        } else {
-            SortDir::Asc
-        };
-        let target = if lower.contains("value") || lower.contains("y axis") || lower.contains("measure")
-        {
-            OrderTarget::Y
-        } else if let Some(xc) = prev.x.column() {
-            OrderTarget::Column(xc.clone())
-        } else {
-            OrderTarget::X
-        };
+        let dir =
+            if lower.contains("desc") || lower.contains("largest") || lower.contains("decreas") {
+                SortDir::Desc
+            } else {
+                SortDir::Asc
+            };
+        let target =
+            if lower.contains("value") || lower.contains("y axis") || lower.contains("measure") {
+                OrderTarget::Y
+            } else if let Some(xc) = prev.x.column() {
+                OrderTarget::Column(xc.clone())
+            } else {
+                OrderTarget::X
+            };
         edits.push(Edit::Order(OrderBy { target, dir }));
     }
 
     // Color/series: "split it by region", "color by team".
-    for marker in ["split it by ", "split by ", "color by ", "colored by ", "stack by ", "break it down by "] {
+    for marker in [
+        "split it by ",
+        "split by ",
+        "color by ",
+        "colored by ",
+        "stack by ",
+        "break it down by ",
+    ] {
         if let Some(pos) = lower.find(marker) {
             let phrase = lower[pos + marker.len()..]
                 .trim_end_matches('.')
@@ -279,9 +288,15 @@ fn parse_narrowing(
                         _ => None,
                     })
                     .collect();
-                comparison = if preceding.iter().any(|w| ["over", "above", "more"].contains(w)) {
+                comparison = if preceding
+                    .iter()
+                    .any(|w| ["over", "above", "more"].contains(w))
+                {
                     CmpOp::Gt
-                } else if preceding.iter().any(|w| ["under", "below", "less"].contains(w)) {
+                } else if preceding
+                    .iter()
+                    .any(|w| ["under", "below", "less"].contains(w))
+                {
                     CmpOp::Lt
                 } else {
                     CmpOp::Eq
@@ -317,7 +332,13 @@ fn parse_narrowing(
         .collect();
     let mention = words
         .iter()
-        .filter(|w| !["only", "the", "just", "rows", "keep", "show", "over", "above", "under", "below", "more", "less", "than"].contains(&w.as_str()))
+        .filter(|w| {
+            ![
+                "only", "the", "just", "rows", "keep", "show", "over", "above", "under", "below",
+                "more", "less", "than",
+            ]
+            .contains(&w.as_str())
+        })
         .cloned()
         .collect::<Vec<_>>()
         .join(" ");
@@ -330,7 +351,11 @@ fn parse_narrowing(
         Some(l) => column_ref_for(prev, &l),
         None => prev.x.column()?.clone(),
     };
-    Some(Predicate::Cmp { col, op: comparison, value: literal })
+    Some(Predicate::Cmp {
+        col,
+        op: comparison,
+        value: literal,
+    })
 }
 
 /// Qualifies a linked column the way the previous query's references are
@@ -359,8 +384,8 @@ mod tests {
     fn setup() -> (VqlQuery, RecoveredSchema) {
         let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
         let schema = RecoveredSchema::from_database(&db);
-        let q = parse("VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team")
-            .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team").unwrap();
         (q, schema)
     }
 
@@ -409,9 +434,8 @@ mod tests {
     fn filters_accumulate_with_and() {
         let (q, s) = setup();
         let first = parse_follow_up("only the \"BOS\" team", &q, &s, &KNOW_ALL)[0].apply(&q);
-        let second =
-            parse_follow_up("only technicians with age over 30", &first, &s, &KNOW_ALL)[0]
-                .apply(&first);
+        let second = parse_follow_up("only technicians with age over 30", &first, &s, &KNOW_ALL)[0]
+            .apply(&first);
         assert!(matches!(second.filter, Some(Predicate::And(_, _))));
     }
 
@@ -430,7 +454,10 @@ mod tests {
         let edits = parse_follow_up("sort by the value descending", &q, &s, &KNOW_ALL);
         assert_eq!(
             edits,
-            vec![Edit::Order(OrderBy { target: OrderTarget::Y, dir: SortDir::Desc })]
+            vec![Edit::Order(OrderBy {
+                target: OrderTarget::Y,
+                dir: SortDir::Desc
+            })]
         );
     }
 
@@ -445,7 +472,10 @@ mod tests {
         let revised = edits[0].apply(&q);
         assert_eq!(
             revised.y,
-            SelectExpr::Agg { func: AggFunc::Avg, arg: Some(ColumnRef::new("salary")) }
+            SelectExpr::Agg {
+                func: AggFunc::Avg,
+                arg: Some(ColumnRef::new("salary"))
+            }
         );
     }
 
@@ -490,8 +520,8 @@ mod tests {
     fn edits_execute_on_the_database() {
         let db = instantiate(&all_domains()[0], 0, &mut Rng::new(2));
         let s = RecoveredSchema::from_database(&db);
-        let q = parse("VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team")
-            .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT team , COUNT(name) FROM technician GROUP BY team").unwrap();
         let base_rows = nl2vis_query::execute(&q, &db).unwrap().rows.len();
         for text in [
             "make it a pie chart",

@@ -11,11 +11,14 @@
 use crate::client::LlmClient;
 use crate::sim::SimLlm;
 use nl2vis_data::Json;
+use nl2vis_obs as obs;
+use nl2vis_obs::MetricsRegistry;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Errors from the HTTP layer.
 #[derive(Debug)]
@@ -47,26 +50,67 @@ impl From<std::io::Error> for HttpError {
 }
 
 /// A completion server exposing a [`SimLlm`] on `127.0.0.1`.
+///
+/// Each connection is served on its own thread (concurrent clients are
+/// never head-of-line blocked behind a slow completion), and every request
+/// is instrumented against a shared [`MetricsRegistry`]:
+///
+/// - `llm.requests_total` / `llm.request_latency_us` — completion calls;
+/// - `server.http_requests_total`, `llm.status_<code>` — all traffic;
+/// - `server.active_connections` / `server.concurrent_peak` — in-flight
+///   connection gauge and its high-water mark;
+/// - one `llm` access-log event per request on the installed sink.
+///
+/// Besides the OpenAI-compatible surface, the server exposes
+/// `GET /metrics` (plain-text exposition of the registry) and
+/// `GET /healthz`.
 pub struct CompletionServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl CompletionServer {
-    /// Starts the server on an ephemeral local port.
+    /// Starts the server on an ephemeral local port, instrumented against
+    /// the process-wide global registry.
     pub fn start(llm: SimLlm) -> Result<CompletionServer, HttpError> {
+        CompletionServer::start_with_registry(llm, Arc::clone(obs::global()))
+    }
+
+    /// Starts the server against an explicit registry (test isolation, or
+    /// one registry per hosted model).
+    pub fn start_with_registry(
+        llm: SimLlm,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<CompletionServer, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_list = Arc::clone(&connections);
+        let reg = Arc::clone(&registry);
+        let llm = Arc::new(llm);
         let handle = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let _ = stream.set_nonblocking(false);
-                        let _ = handle_connection(stream, &llm);
+                        let llm = Arc::clone(&llm);
+                        let reg = Arc::clone(&reg);
+                        let worker = std::thread::spawn(move || {
+                            let active = reg.gauge("server.active_connections");
+                            let now_active = active.add(1);
+                            reg.gauge("server.concurrent_peak").set_max(now_active);
+                            let _ = handle_connection(stream, &llm, &reg);
+                            active.add(-1);
+                        });
+                        let mut conns = conn_list.lock().expect("connection list");
+                        conns.retain(|h| !h.is_finished());
+                        conns.push(worker);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(std::time::Duration::from_millis(5));
@@ -75,12 +119,23 @@ impl CompletionServer {
                 }
             }
         });
-        Ok(CompletionServer { addr, stop, handle: Some(handle) })
+        Ok(CompletionServer {
+            addr,
+            stop,
+            handle: Some(handle),
+            connections,
+            registry,
+        })
     }
 
     /// The server's base URL host:port.
     pub fn address(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// The registry this server records into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 }
 
@@ -90,16 +145,25 @@ impl Drop for CompletionServer {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        let conns = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for c in conns {
+            let _ = c.join();
+        }
     }
 }
 
-fn handle_connection(stream: TcpStream, llm: &SimLlm) -> Result<(), HttpError> {
+fn handle_connection(
+    stream: TcpStream,
+    llm: &SimLlm,
+    registry: &MetricsRegistry,
+) -> Result<(), HttpError> {
+    let started = Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
 
     let mut content_length = 0usize;
     loop {
@@ -117,31 +181,68 @@ fn handle_connection(stream: TcpStream, llm: &SimLlm) -> Result<(), HttpError> {
     reader.read_exact(&mut body)?;
     let body = String::from_utf8_lossy(&body).to_string();
 
-    let (status, response_body) = route(method, path, &body, llm);
+    let (status, response_body, content_type) = route(&method, &path, &body, llm, registry);
+
+    registry.counter("server.http_requests_total").inc();
+    registry.counter(&format!("llm.status_{status}")).inc();
+    let elapsed = started.elapsed();
+    if method == "POST" && path == "/v1/completions" {
+        registry.counter("llm.requests_total").inc();
+        registry
+            .histogram("llm.request_latency_us")
+            .record_duration(elapsed);
+    }
+    obs::log(
+        "llm",
+        "access",
+        vec![
+            ("method".to_string(), method),
+            ("path".to_string(), path),
+            ("status".to_string(), status.to_string()),
+            ("bytes".to_string(), response_body.len().to_string()),
+            ("duration_us".to_string(), elapsed.as_micros().to_string()),
+        ],
+    );
+
     let mut out = stream;
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{response_body}",
-        if status == 200 { "OK" } else { "Bad Request" },
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{response_body}",
+        match status {
+            200 => "OK",
+            404 => "Not Found",
+            _ => "Bad Request",
+        },
         response_body.len()
     )?;
     out.flush()?;
     Ok(())
 }
 
-fn route(method: &str, path: &str, body: &str, llm: &SimLlm) -> (u16, String) {
+const JSON: &str = "application/json";
+const TEXT: &str = "text/plain; charset=utf-8";
+
+fn route(
+    method: &str,
+    path: &str,
+    body: &str,
+    llm: &SimLlm,
+    registry: &MetricsRegistry,
+) -> (u16, String, &'static str) {
     match (method, path) {
         ("POST", "/v1/completions") => match Json::parse(body) {
             Ok(req) => {
                 let prompt = req.get("prompt").and_then(Json::as_str).unwrap_or("");
-                let requested_model =
-                    req.get("model").and_then(Json::as_str).unwrap_or(llm.profile.name);
+                let requested_model = req
+                    .get("model")
+                    .and_then(Json::as_str)
+                    .unwrap_or(llm.profile.name);
                 if requested_model != llm.profile.name {
                     let err = Json::object(vec![(
                         "error",
                         Json::from(format!("model `{requested_model}` not hosted here").as_str()),
                     )]);
-                    return (400, err.to_compact());
+                    return (400, err.to_compact(), JSON);
                 }
                 let completion = llm.complete(prompt);
                 let response = Json::object(vec![
@@ -156,18 +257,35 @@ fn route(method: &str, path: &str, body: &str, llm: &SimLlm) -> (u16, String) {
                         ])]),
                     ),
                 ]);
-                (200, response.to_compact())
+                (200, response.to_compact(), JSON)
             }
-            Err(e) => (400, Json::object(vec![("error", Json::from(e.to_string().as_str()))]).to_compact()),
+            Err(e) => (
+                400,
+                Json::object(vec![("error", Json::from(e.to_string().as_str()))]).to_compact(),
+                JSON,
+            ),
         },
         ("GET", "/v1/models") => {
             let response = Json::object(vec![(
                 "data",
-                Json::Array(vec![Json::object(vec![("id", Json::from(llm.profile.name))])]),
+                Json::Array(vec![Json::object(vec![(
+                    "id",
+                    Json::from(llm.profile.name),
+                )])]),
             )]);
-            (200, response.to_compact())
+            (200, response.to_compact(), JSON)
         }
-        _ => (404, r#"{"error":"not found"}"#.to_string()),
+        ("GET", "/metrics") => (200, obs::report::render_exposition(registry), TEXT),
+        ("GET", "/healthz") => (
+            200,
+            Json::object(vec![
+                ("status", Json::from("ok")),
+                ("model", Json::from(llm.profile.name)),
+            ])
+            .to_compact(),
+            JSON,
+        ),
+        _ => (404, r#"{"error":"not found"}"#.to_string(), JSON),
     }
 }
 
@@ -181,7 +299,10 @@ pub struct HttpLlmClient {
 impl HttpLlmClient {
     /// Creates a client for a server address.
     pub fn new(addr: std::net::SocketAddr, model: impl Into<String>) -> HttpLlmClient {
-        HttpLlmClient { addr, model: model.into() }
+        HttpLlmClient {
+            addr,
+            model: model.into(),
+        }
     }
 
     /// Issues a completion request.
@@ -225,8 +346,7 @@ impl HttpLlmClient {
         if status != 200 {
             return Err(HttpError::Status(status, body));
         }
-        let json =
-            Json::parse(&body).map_err(|e| HttpError::Protocol(format!("bad body: {e}")))?;
+        let json = Json::parse(&body).map_err(|e| HttpError::Protocol(format!("bad body: {e}")))?;
         json.get("choices")
             .and_then(|c| c.at(0))
             .and_then(|c| c.get("text"))
@@ -238,7 +358,8 @@ impl HttpLlmClient {
 
 impl LlmClient for HttpLlmClient {
     fn complete(&self, prompt: &str) -> String {
-        self.complete_http(prompt).unwrap_or_else(|e| format!("error: {e}"))
+        self.complete_http(prompt)
+            .unwrap_or_else(|e| format!("error: {e}"))
     }
 
     fn name(&self) -> &str {
@@ -309,9 +430,15 @@ mod tests {
         let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
         let server = CompletionServer::start(llm).unwrap();
         let mut stream = TcpStream::connect(server.address()).unwrap();
-        write!(stream, "GET /nope HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET /nope HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
         let mut response = String::new();
-        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
     }
 
@@ -350,14 +477,113 @@ mod tests {
         assert!(!out.is_empty());
     }
 
+    /// Issues a bare GET and returns the whole HTTP response as text.
+    fn raw_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
+        response
+    }
+
+    #[test]
+    fn healthz_reports_ok_and_hosted_model() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+        let server = CompletionServer::start_with_registry(llm, registry).unwrap();
+        let response = raw_get(server.address(), "/healthz");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains(r#""status":"ok""#), "{response}");
+        assert!(response.contains("gpt-4"), "{response}");
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_request_counters_and_latency() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+        let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+        let client = HttpLlmClient::new(server.address(), "gpt-4");
+        for i in 0..3 {
+            let prompt = format!(
+                "-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: question {i}\nVQL:"
+            );
+            client.complete_http(&prompt).unwrap();
+        }
+        let response = raw_get(server.address(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        assert!(response.contains("llm.requests_total 3"), "{response}");
+        assert!(response.contains("llm.status_200"), "{response}");
+        assert!(
+            response.contains("llm.request_latency_us count 3"),
+            "{response}"
+        );
+        assert!(response.contains("p95"), "{response}");
+        // The registry handle agrees with the exposition.
+        assert_eq!(registry.counter("llm.requests_total").get(), 3);
+        assert!(registry.histogram("llm.request_latency_us").count() == 3);
+        // /metrics and /healthz traffic is counted, completions are not
+        // inflated by it.
+        assert!(registry.counter("server.http_requests_total").get() >= 4);
+    }
+
+    #[test]
+    fn concurrent_connections_record_a_peak_gauge() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+        let addr = server.address();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = HttpLlmClient::new(addr, "text-davinci-003");
+                    let prompt = format!(
+                        "-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: peak {i}\nVQL:"
+                    );
+                    client.complete_http(&prompt).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(!h.join().unwrap().is_empty());
+        }
+        assert_eq!(registry.counter("llm.requests_total").get(), 8);
+        let peak = registry.gauge("server.concurrent_peak").get();
+        assert!(
+            peak >= 1,
+            "peak gauge must have recorded at least one connection: {peak}"
+        );
+        // Connection threads decrement the gauge just after the response is
+        // flushed; give them a moment to drain.
+        for _ in 0..100 {
+            if registry.gauge("server.active_connections").get() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(registry.gauge("server.active_connections").get(), 0);
+    }
+
     #[test]
     fn models_endpoint_lists_hosted_model() {
         let llm = SimLlm::new(ModelProfile::turbo_16k(), 1);
         let server = CompletionServer::start(llm).unwrap();
         let mut stream = TcpStream::connect(server.address()).unwrap();
-        write!(stream, "GET /v1/models HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET /v1/models HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
         let mut response = String::new();
-        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
         assert!(response.contains("gpt-3.5-turbo-16k"));
     }
 }

@@ -15,8 +15,8 @@ use std::collections::HashSet;
 
 /// Stopwords ignored during phrase↔identifier matching.
 const STOPWORDS: &[&str] = &[
-    "the", "a", "an", "of", "each", "every", "all", "per", "for", "by", "in", "on", "their",
-    "its", "his", "her", "records", "rows", "entries", "table", "is",
+    "the", "a", "an", "of", "each", "every", "all", "per", "for", "by", "in", "on", "their", "its",
+    "his", "her", "records", "rows", "entries", "table", "is",
 ];
 
 /// A successful link.
@@ -79,9 +79,8 @@ pub fn link_column_in(
         return None;
     }
 
-    let in_scope = |name: &str| {
-        scope.is_none_or(|tables| tables.iter().any(|t| t.eq_ignore_ascii_case(name)))
-    };
+    let in_scope =
+        |name: &str| scope.is_none_or(|tables| tables.iter().any(|t| t.eq_ignore_ascii_case(name)));
     let candidates: Vec<(String, Option<String>)> = if schema.attributed {
         schema
             .tables
@@ -94,13 +93,19 @@ pub fn link_column_in(
             })
             .collect()
     } else {
-        schema.unattributed_columns.iter().map(|c| (c.clone(), None)).collect()
+        schema
+            .unattributed_columns
+            .iter()
+            .map(|c| (c.clone(), None))
+            .collect()
     };
 
     let mut best: Option<Link> = None;
     for (column, table) in candidates {
-        let col_tokens: HashSet<String> =
-            split_identifier(&column).iter().map(|w| singularize(w)).collect();
+        let col_tokens: HashSet<String> = split_identifier(&column)
+            .iter()
+            .map(|w| singularize(w))
+            .collect();
         // A phrase token covers a column token directly or via a known
         // synonym entry.
         let mut used_syn = false;
@@ -110,9 +115,7 @@ pub fn link_column_in(
             if col_tokens.contains(t) {
                 covered_phrase += 1;
                 covered_cols.insert(col_tokens.get(t).unwrap());
-            } else if let Some(ct) =
-                col_tokens.iter().find(|ct| synonym_match(t, ct, knows))
-            {
+            } else if let Some(ct) = col_tokens.iter().find(|ct| synonym_match(t, ct, knows)) {
                 covered_phrase += 1;
                 covered_cols.insert(ct);
                 used_syn = true;
@@ -144,7 +147,12 @@ pub fn link_column_in(
                 }
             };
             if better {
-                best = Some(Link { column, table, score, via_synonym });
+                best = Some(Link {
+                    column,
+                    table,
+                    score,
+                    via_synonym,
+                });
             }
         }
     }
@@ -167,13 +175,13 @@ pub fn link_table_with(
     let tokens: HashSet<String> = content_tokens(phrase).into_iter().collect();
     let mut best: Option<(f64, String)> = None;
     for t in &schema.tables {
-        let name_tokens: Vec<String> =
-            split_identifier(&t.name).iter().map(|w| singularize(w)).collect();
+        let name_tokens: Vec<String> = split_identifier(&t.name)
+            .iter()
+            .map(|w| singularize(w))
+            .collect();
         let inter = name_tokens
             .iter()
-            .filter(|w| {
-                tokens.contains(*w) || tokens.iter().any(|p| synonym_match(p, w, knows))
-            })
+            .filter(|w| tokens.contains(*w) || tokens.iter().any(|p| synonym_match(p, w, knows)))
             .count();
         if inter == 0 {
             continue;
@@ -190,7 +198,10 @@ pub fn link_table_with(
 /// the table's entities ("the number of technicians"). Prefers a column
 /// named `name`/`title`, else the first text column that is not a key.
 pub fn label_column(schema: &RecoveredSchema, table: &str) -> Option<String> {
-    let t = schema.tables.iter().find(|t| t.name.eq_ignore_ascii_case(table))?;
+    let t = schema
+        .tables
+        .iter()
+        .find(|t| t.name.eq_ignore_ascii_case(table))?;
     for (c, _) in &t.columns {
         if c == "name" || c == "title" || c.ends_with("_name") || c.ends_with("_title") {
             return Some(c.clone());
@@ -201,7 +212,9 @@ pub fn label_column(schema: &RecoveredSchema, table: &str) -> Option<String> {
         .find(|(c, ty)| {
             !c.ends_with("_id")
                 && c != "id"
-                && ty.map(|t| t == nl2vis_data::value::DataType::Text).unwrap_or(true)
+                && ty
+                    .map(|t| t == nl2vis_data::value::DataType::Text)
+                    .unwrap_or(true)
         })
         .map(|(c, _)| c.clone())
 }
@@ -210,11 +223,7 @@ pub fn label_column(schema: &RecoveredSchema, table: &str) -> Option<String> {
 /// recovered foreign keys, then (when the format carried none) by guessing a
 /// same-named column pair — the heuristic an LLM falls back on, and a source
 /// of join errors for FK-less formats.
-pub fn find_join(
-    schema: &RecoveredSchema,
-    a: &str,
-    b: &str,
-) -> Option<(String, String, bool)> {
+pub fn find_join(schema: &RecoveredSchema, a: &str, b: &str) -> Option<(String, String, bool)> {
     for (ft, fc, tt, tc) in &schema.fks {
         if ft.eq_ignore_ascii_case(a) && tt.eq_ignore_ascii_case(b) {
             return Some((fc.clone(), tc.clone(), true));
@@ -224,8 +233,14 @@ pub fn find_join(
         }
     }
     // Heuristic: a column name shared by both tables.
-    let ta = schema.tables.iter().find(|t| t.name.eq_ignore_ascii_case(a))?;
-    let tb = schema.tables.iter().find(|t| t.name.eq_ignore_ascii_case(b))?;
+    let ta = schema
+        .tables
+        .iter()
+        .find(|t| t.name.eq_ignore_ascii_case(a))?;
+    let tb = schema
+        .tables
+        .iter()
+        .find(|t| t.name.eq_ignore_ascii_case(b))?;
     for (ca, _) in &ta.columns {
         if tb.columns.iter().any(|(cb, _)| cb.eq_ignore_ascii_case(ca)) {
             // Prefer id-ish columns.
@@ -246,8 +261,8 @@ pub fn find_join(
 mod tests {
     use super::*;
     use crate::recover::recover;
-    use nl2vis_corpus::generate::instantiate;
     use nl2vis_corpus::domains::all_domains;
+    use nl2vis_corpus::generate::instantiate;
     use nl2vis_data::Rng;
     use nl2vis_prompt::PromptFormat;
 
@@ -296,7 +311,10 @@ mod tests {
     #[test]
     fn table_linking() {
         let s = schema(PromptFormat::Table2Sql);
-        assert_eq!(link_table("the technician table", &s).as_deref(), Some("technician"));
+        assert_eq!(
+            link_table("the technician table", &s).as_deref(),
+            Some("technician")
+        );
         assert_eq!(link_table("machines", &s).as_deref(), Some("machine"));
         assert_eq!(link_table("the aardvark registry", &s), None);
     }
@@ -335,8 +353,8 @@ mod tests {
             for t in db.tables() {
                 for c in &t.def.columns {
                     for alias in &c.aliases {
-                        let column_hit = link_column(alias, &s, &know_all)
-                            .is_some_and(|l| l.column == c.name);
+                        let column_hit =
+                            link_column(alias, &s, &know_all).is_some_and(|l| l.column == c.name);
                         let table_hit = link_table_with(alias, &s, &know_all)
                             .is_some_and(|tn| tn.eq_ignore_ascii_case(&t.def.name));
                         assert!(
@@ -354,6 +372,9 @@ mod tests {
 
     #[test]
     fn content_tokens_strip_stopwords() {
-        assert_eq!(content_tokens("the number of the teams"), vec!["number", "team"]);
+        assert_eq!(
+            content_tokens("the number of the teams"),
+            vec!["number", "team"]
+        );
     }
 }

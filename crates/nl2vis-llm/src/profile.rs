@@ -134,7 +134,9 @@ impl ModelProfile {
 
     /// Profile by API name.
     pub fn by_name(name: &str) -> Option<ModelProfile> {
-        ModelProfile::all_inference().into_iter().find(|p| p.name == name)
+        ModelProfile::all_inference()
+            .into_iter()
+            .find(|p| p.name == name)
     }
 }
 

@@ -55,7 +55,14 @@ pub fn parse_prompt(text: &str) -> Option<PromptView> {
     let question = q_part;
     let vega_output = test_part.trim_end().ends_with("VL:");
 
-    Some(PromptView { vega_output, chain_of_thought, role_play, demos, test_schema, question })
+    Some(PromptView {
+        vega_output,
+        chain_of_thought,
+        role_play,
+        demos,
+        test_schema,
+        question,
+    })
 }
 
 fn parse_demo(chunk: &str) -> Option<DemoView> {
@@ -78,13 +85,21 @@ fn parse_demo(chunk: &str) -> Option<DemoView> {
     if question.is_empty() || vql.is_empty() {
         return None;
     }
-    Some(DemoView { schema, question, sketch, vql })
+    Some(DemoView {
+        schema,
+        question,
+        sketch,
+        vql,
+    })
 }
 
 /// Splits a section into (database text, remainder after it), using the
 /// `Q:` line as the boundary.
 fn split_db_block(section: &str) -> Option<(String, String)> {
-    let after_marker = section.split_once(DATABASE_MARKER).map(|(_, r)| r).unwrap_or(section);
+    let after_marker = section
+        .split_once(DATABASE_MARKER)
+        .map(|(_, r)| r)
+        .unwrap_or(section);
     let q_pos = after_marker.find("\nQ: ")?;
     let db_text = after_marker[..q_pos].trim().to_string();
     let rest = after_marker[q_pos..].trim_start().to_string();
@@ -136,10 +151,16 @@ mod tests {
         let db = c.catalog.database(&e.db).unwrap();
         let demos: Vec<&Example> = c.examples.iter().skip(1).take(1).collect();
         for format in PromptFormat::all() {
-            let o = PromptOptions { format, token_budget: 50_000, ..Default::default() };
-            let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
-            let view = parse_prompt(&p.text)
-                .unwrap_or_else(|| panic!("{format}: prompt did not parse"));
+            let o = PromptOptions {
+                format,
+                token_budget: 50_000,
+                ..Default::default()
+            };
+            let p = build_prompt(&o, db, &e.nl, &demos, |d| {
+                c.catalog.database(&d.db).unwrap()
+            });
+            let view =
+                parse_prompt(&p.text).unwrap_or_else(|| panic!("{format}: prompt did not parse"));
             assert_eq!(view.question, e.nl, "{format}");
             assert!(
                 !view.test_schema.tables.is_empty()
@@ -156,12 +177,22 @@ mod tests {
         let e = &c.examples[0];
         let db = c.catalog.database(&e.db).unwrap();
         let demos: Vec<&Example> = c.examples.iter().skip(1).take(1).collect();
-        let o = PromptOptions { chain_of_thought: true, role_play: true, ..Default::default() };
-        let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        let o = PromptOptions {
+            chain_of_thought: true,
+            role_play: true,
+            ..Default::default()
+        };
+        let p = build_prompt(&o, db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
         let view = parse_prompt(&p.text).unwrap();
         assert!(view.chain_of_thought);
         assert!(view.role_play);
-        assert!(view.demos[0].sketch.as_deref().unwrap().starts_with("VISUALIZE["));
+        assert!(view.demos[0]
+            .sketch
+            .as_deref()
+            .unwrap()
+            .starts_with("VISUALIZE["));
     }
 
     #[test]

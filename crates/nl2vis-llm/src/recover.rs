@@ -53,7 +53,12 @@ impl RecoveredSchema {
                 .iter()
                 .map(|t| RecoveredTable {
                     name: t.def.name.clone(),
-                    columns: t.def.columns.iter().map(|c| (c.name.clone(), Some(c.dtype))).collect(),
+                    columns: t
+                        .def
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), Some(c.dtype)))
+                        .collect(),
                     sample_row: t.row(0).map(|r| r.iter().map(|v| v.render()).collect()),
                     primary_key: t.def.primary_key.map(|i| t.def.columns[i].name.clone()),
                 })
@@ -84,7 +89,10 @@ impl RecoveredSchema {
                 .flat_map(|t| t.columns.iter().map(|(c, _)| c.as_str()))
                 .collect()
         } else {
-            self.unattributed_columns.iter().map(String::as_str).collect()
+            self.unattributed_columns
+                .iter()
+                .map(String::as_str)
+                .collect()
         }
     }
 
@@ -94,7 +102,11 @@ impl RecoveredSchema {
     pub fn table_of(&self, column: &str) -> Option<&str> {
         self.tables
             .iter()
-            .find(|t| t.columns.iter().any(|(c, _)| c.eq_ignore_ascii_case(column)))
+            .find(|t| {
+                t.columns
+                    .iter()
+                    .any(|(c, _)| c.eq_ignore_ascii_case(column))
+            })
             .map(|t| t.name.as_str())
     }
 
@@ -136,7 +148,10 @@ pub fn recover(text: &str) -> RecoveredSchema {
         recover_prose(text)
     } else if trimmed.contains(" = [ ") {
         recover_column_list(text)
-    } else if trimmed.lines().any(|l| l.contains(" ( ") && l.trim_end().ends_with(')')) {
+    } else if trimmed
+        .lines()
+        .any(|l| l.contains(" ( ") && l.trim_end().ends_with(')'))
+    {
         recover_table_column(text)
     } else if trimmed.contains("\nColumns: ") || trimmed.contains("Columns: ") {
         recover_flat(text)
@@ -157,7 +172,10 @@ fn dtype_from_name(name: &str) -> Option<DataType> {
 }
 
 fn recover_flat(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: false, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: false,
+        ..Default::default()
+    };
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("Database: ") {
             s.database = Some(rest.trim().to_string());
@@ -171,15 +189,21 @@ fn recover_flat(text: &str) -> RecoveredSchema {
                 });
             }
         } else if let Some(rest) = line.strip_prefix("Columns: ") {
-            s.unattributed_columns =
-                rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+            s.unattributed_columns = rest
+                .split(',')
+                .map(|c| c.trim().to_string())
+                .filter(|c| !c.is_empty())
+                .collect();
         }
     }
     s
 }
 
 fn recover_table_column(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("Database: ") {
             s.database = Some(rest.trim().to_string());
@@ -191,14 +215,22 @@ fn recover_table_column(text: &str) -> RecoveredSchema {
                 .map(|c| (c.trim().to_string(), None))
                 .filter(|(c, _)| !c.is_empty())
                 .collect();
-            s.tables.push(RecoveredTable { name, columns, sample_row: None, primary_key: None });
+            s.tables.push(RecoveredTable {
+                name,
+                columns,
+                sample_row: None,
+                primary_key: None,
+            });
         }
     }
     s
 }
 
 fn recover_column_list(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     let mut current_rows_table: Option<usize> = None;
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("Database: ") {
@@ -211,7 +243,12 @@ fn recover_column_list(text: &str) -> RecoveredSchema {
                 .map(|c| (c.trim().to_string(), None))
                 .filter(|(c, _)| !c.is_empty())
                 .collect();
-            s.tables.push(RecoveredTable { name, columns, sample_row: None, primary_key: None });
+            s.tables.push(RecoveredTable {
+                name,
+                columns,
+                sample_row: None,
+                primary_key: None,
+            });
             current_rows_table = None;
         } else if let Some(rest) = line.strip_prefix("Foreign key: ") {
             if let Some(fk) = parse_fk_eq(rest) {
@@ -238,11 +275,19 @@ fn parse_fk_eq(text: &str) -> Option<(String, String, String, String)> {
     let (lhs, rhs) = text.split_once('=')?;
     let (ft, fc) = lhs.trim().split_once('.')?;
     let (tt, tc) = rhs.trim().split_once('.')?;
-    Some((ft.to_string(), fc.to_string(), tt.to_string(), tc.to_string()))
+    Some((
+        ft.to_string(),
+        fc.to_string(),
+        tt.to_string(),
+        tc.to_string(),
+    ))
 }
 
 fn recover_prose(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     if let Some(start) = text.find('"') {
         if let Some(end) = text[start + 1..].find('"') {
             s.database = Some(text[start + 1..start + 1 + end].to_string());
@@ -251,7 +296,9 @@ fn recover_prose(text: &str) -> RecoveredSchema {
     // Sentences like: The table X records N entries and includes the fields a, b, c.
     for sentence in text.split(". ") {
         if let Some(rest) = sentence.trim().strip_prefix("The table ") {
-            let Some((name, tail)) = rest.split_once(' ') else { continue };
+            let Some((name, tail)) = rest.split_once(' ') else {
+                continue;
+            };
             if let Some(fields) = tail.split("includes the fields ").nth(1) {
                 let columns = fields
                     .trim_end_matches('.')
@@ -281,7 +328,10 @@ fn recover_prose(text: &str) -> RecoveredSchema {
 }
 
 fn recover_chat2vis(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     for line in text.lines() {
         let mut table = RecoveredTable {
             name: String::new(),
@@ -313,12 +363,19 @@ fn recover_chat2vis(text: &str) -> RecoveredSchema {
 }
 
 fn recover_json(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     let Ok(j) = Json::parse(text) else { return s };
     s.database = j.get("database").and_then(Json::as_str).map(str::to_string);
     if let Some(tables) = j.get("tables").and_then(Json::as_array) {
         for t in tables {
-            let name = t.get("name").and_then(Json::as_str).unwrap_or_default().to_string();
+            let name = t
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
             let columns = t
                 .get("columns")
                 .and_then(Json::as_array)
@@ -326,8 +383,10 @@ fn recover_json(text: &str) -> RecoveredSchema {
                     cols.iter()
                         .filter_map(|c| {
                             let cname = c.get("name").and_then(Json::as_str)?;
-                            let ty =
-                                c.get("type").and_then(Json::as_str).and_then(dtype_from_name);
+                            let ty = c
+                                .get("type")
+                                .and_then(Json::as_str)
+                                .and_then(dtype_from_name);
                             Some((cname.to_string(), ty))
                         })
                         .collect()
@@ -341,9 +400,16 @@ fn recover_json(text: &str) -> RecoveredSchema {
                     })
                     .collect()
             });
-            let primary_key =
-                t.get("primary_key").and_then(Json::as_str).map(str::to_string);
-            s.tables.push(RecoveredTable { name, columns, sample_row, primary_key });
+            let primary_key = t
+                .get("primary_key")
+                .and_then(Json::as_str)
+                .map(str::to_string);
+            s.tables.push(RecoveredTable {
+                name,
+                columns,
+                sample_row,
+                primary_key,
+            });
         }
     }
     if let Some(fks) = j.get("foreign_keys").and_then(Json::as_array) {
@@ -351,7 +417,12 @@ fn recover_json(text: &str) -> RecoveredSchema {
             let from = fk.get("from").and_then(Json::as_str).unwrap_or_default();
             let to = fk.get("to").and_then(Json::as_str).unwrap_or_default();
             if let (Some((ft, fc)), Some((tt, tc))) = (from.split_once('.'), to.split_once('.')) {
-                s.fks.push((ft.to_string(), fc.to_string(), tt.to_string(), tc.to_string()));
+                s.fks.push((
+                    ft.to_string(),
+                    fc.to_string(),
+                    tt.to_string(),
+                    tc.to_string(),
+                ));
             }
         }
     }
@@ -359,7 +430,10 @@ fn recover_json(text: &str) -> RecoveredSchema {
 }
 
 fn recover_csv(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     let mut lines = text.lines().peekable();
     while let Some(line) = lines.next() {
         if let Some(name) = line.strip_prefix("# table: ") {
@@ -388,7 +462,10 @@ fn recover_csv(text: &str) -> RecoveredSchema {
 }
 
 fn recover_markdown(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     let mut lines = text.lines().peekable();
     while let Some(line) = lines.next() {
         if let Some(name) = line.strip_prefix("### ") {
@@ -400,12 +477,12 @@ fn recover_markdown(text: &str) -> RecoveredSchema {
                 .filter(|(c, _)| !c.is_empty())
                 .collect();
             lines.next(); // separator row
-            let sample_row = lines
-                .peek()
-                .filter(|l| l.starts_with('|'))
-                .map(|l| {
-                    l.trim_matches('|').split('|').map(|c| c.trim().to_string()).collect()
-                });
+            let sample_row = lines.peek().filter(|l| l.starts_with('|')).map(|l| {
+                l.trim_matches('|')
+                    .split('|')
+                    .map(|c| c.trim().to_string())
+                    .collect()
+            });
             if sample_row.is_some() {
                 lines.next();
             }
@@ -421,12 +498,19 @@ fn recover_markdown(text: &str) -> RecoveredSchema {
 }
 
 fn recover_xml(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     s.database = attr(text, "database", "name");
     for chunk in text.split("<table ").skip(1) {
         let name = attr_inline(chunk, "name").unwrap_or_default();
-        let mut table =
-            RecoveredTable { name, columns: vec![], sample_row: None, primary_key: None };
+        let mut table = RecoveredTable {
+            name,
+            columns: vec![],
+            sample_row: None,
+            primary_key: None,
+        };
         let body = chunk.split("</table>").next().unwrap_or("");
         for col_chunk in body.split("<column ").skip(1) {
             let cname = attr_inline(col_chunk, "name").unwrap_or_default();
@@ -438,15 +522,25 @@ fn recover_xml(text: &str) -> RecoveredSchema {
             }
             table.columns.push((cname, ty));
         }
-        if let Some(row) = body.split("<row>").nth(1).and_then(|r| r.split("</row>").next()) {
+        if let Some(row) = body
+            .split("<row>")
+            .nth(1)
+            .and_then(|r| r.split("</row>").next())
+        {
             let mut cells = Vec::new();
             for (cname, _) in &table.columns {
                 let open = format!("<{cname}>");
                 let close = format!("</{cname}>");
-                if let Some(v) =
-                    row.split(open.as_str()).nth(1).and_then(|r| r.split(close.as_str()).next())
+                if let Some(v) = row
+                    .split(open.as_str())
+                    .nth(1)
+                    .and_then(|r| r.split(close.as_str()).next())
                 {
-                    cells.push(v.replace("&amp;", "&").replace("&lt;", "<").replace("&gt;", ">"));
+                    cells.push(
+                        v.replace("&amp;", "&")
+                            .replace("&lt;", "<")
+                            .replace("&gt;", ">"),
+                    );
                 }
             }
             if !cells.is_empty() {
@@ -459,7 +553,12 @@ fn recover_xml(text: &str) -> RecoveredSchema {
         let from = attr_inline(chunk, "from").unwrap_or_default();
         let to = attr_inline(chunk, "to").unwrap_or_default();
         if let (Some((ft, fc)), Some((tt, tc))) = (from.split_once('.'), to.split_once('.')) {
-            s.fks.push((ft.to_string(), fc.to_string(), tt.to_string(), tc.to_string()));
+            s.fks.push((
+                ft.to_string(),
+                fc.to_string(),
+                tt.to_string(),
+                tc.to_string(),
+            ));
         }
     }
     s
@@ -467,7 +566,9 @@ fn recover_xml(text: &str) -> RecoveredSchema {
 
 fn attr(text: &str, tag: &str, name: &str) -> Option<String> {
     let open = format!("<{tag} ");
-    text.split(open.as_str()).nth(1).and_then(|chunk| attr_inline(chunk, name))
+    text.split(open.as_str())
+        .nth(1)
+        .and_then(|chunk| attr_inline(chunk, name))
 }
 
 fn attr_inline(chunk: &str, name: &str) -> Option<String> {
@@ -477,7 +578,10 @@ fn attr_inline(chunk: &str, name: &str) -> Option<String> {
 }
 
 fn recover_sql(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     for stmt in text.split("CREATE TABLE ").skip(1) {
         let Some(open) = stmt.find('(') else { continue };
         let name = stmt[..open].trim().to_string();
@@ -485,15 +589,25 @@ fn recover_sql(text: &str) -> RecoveredSchema {
             Some(end) => &stmt[open + 1..end],
             None => &stmt[open + 1..],
         };
-        let mut table =
-            RecoveredTable { name: name.clone(), columns: vec![], sample_row: None, primary_key: None };
+        let mut table = RecoveredTable {
+            name: name.clone(),
+            columns: vec![],
+            sample_row: None,
+            primary_key: None,
+        };
         for line in body.split(",\n") {
             let line = line.trim().trim_end_matches(',');
             if let Some(rest) = line.strip_prefix("FOREIGN KEY (") {
                 // FOREIGN KEY (col) REFERENCES parent(pcol)
-                let Some((fc, tail)) = rest.split_once(')') else { continue };
-                let Some(refpart) = tail.split("REFERENCES ").nth(1) else { continue };
-                let Some((tt, tcpart)) = refpart.split_once('(') else { continue };
+                let Some((fc, tail)) = rest.split_once(')') else {
+                    continue;
+                };
+                let Some(refpart) = tail.split("REFERENCES ").nth(1) else {
+                    continue;
+                };
+                let Some((tt, tcpart)) = refpart.split_once('(') else {
+                    continue;
+                };
                 let tc = tcpart.trim_end_matches([')', ';', ' ']);
                 s.fks.push((
                     name.clone(),
@@ -523,8 +637,7 @@ fn recover_sql(text: &str) -> RecoveredSchema {
         } else if let Some(rest) = line.strip_prefix("-- ") {
             if let Some(ti) = current {
                 if s.tables[ti].sample_row.is_none() && rest.contains(" | ") {
-                    s.tables[ti].sample_row =
-                        Some(rest.split(" | ").map(str::to_string).collect());
+                    s.tables[ti].sample_row = Some(rest.split(" | ").map(str::to_string).collect());
                 }
             }
         }
@@ -533,7 +646,10 @@ fn recover_sql(text: &str) -> RecoveredSchema {
 }
 
 fn recover_code(text: &str) -> RecoveredSchema {
-    let mut s = RecoveredSchema { attributed: true, ..Default::default() };
+    let mut s = RecoveredSchema {
+        attributed: true,
+        ..Default::default()
+    };
     let mut current: Option<RecoveredTable> = None;
     // Class names are PascalCase of table names; remember the mapping for FKs.
     let mut class_to_table: Vec<(String, String)> = Vec::new();
@@ -574,7 +690,9 @@ fn recover_code(text: &str) -> RecoveredSchema {
     }
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("ForeignKey(source=") {
-            let Some((src, tail)) = rest.split_once(", target=") else { continue };
+            let Some((src, tail)) = rest.split_once(", target=") else {
+                continue;
+            };
             let tgt = tail.trim_end_matches(')');
             let (Some((fclass, fc)), Some((tclass, tc))) =
                 (src.split_once('.'), tgt.split_once('.'))
@@ -588,7 +706,12 @@ fn recover_code(text: &str) -> RecoveredSchema {
                     .map(|(_, t)| t.clone())
                     .unwrap_or_else(|| de_pascal(class))
             };
-            s.fks.push((resolve(fclass), fc.to_string(), resolve(tclass), tc.to_string()));
+            s.fks.push((
+                resolve(fclass),
+                fc.to_string(),
+                resolve(tclass),
+                tc.to_string(),
+            ));
         }
     }
     s
@@ -680,7 +803,10 @@ mod tests {
         ] {
             let r = recover(&f.serialize(&d, "the NYY team"));
             let tech = r.tables.iter().find(|t| t.name == "technician").unwrap();
-            let row = tech.sample_row.as_ref().unwrap_or_else(|| panic!("{f}: no row"));
+            let row = tech
+                .sample_row
+                .as_ref()
+                .unwrap_or_else(|| panic!("{f}: no row"));
             assert_eq!(row.len(), 6, "{f}: row {row:?}");
         }
     }
@@ -764,13 +890,17 @@ mod tests {
             ("has<angle>&amp", 3),
             ("has'apostrophe", 4),
         ] {
-            d.insert("notes", vec![label.into(), Value::Int(n)]).unwrap();
+            d.insert("notes", vec![label.into(), Value::Int(n)])
+                .unwrap();
         }
         for f in PromptFormat::all() {
             let text = f.serialize(&d, "the note has,comma");
             let r = recover(&text);
             if f.attributes_columns() {
-                let t = r.tables.iter().find(|t| t.name == "notes")
+                let t = r
+                    .tables
+                    .iter()
+                    .find(|t| t.name == "notes")
                     .unwrap_or_else(|| panic!("{f}: table lost"));
                 assert_eq!(t.columns.len(), 2, "{f}: columns corrupted by cell content");
             }

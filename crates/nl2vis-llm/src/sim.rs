@@ -44,7 +44,11 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> GenOptions {
-        GenOptions { attempt: 0, error_scale: 1.0, structural_scale: 1.0 }
+        GenOptions {
+            attempt: 0,
+            error_scale: 1.0,
+            structural_scale: 1.0,
+        }
     }
 }
 
@@ -91,15 +95,13 @@ impl SimLlm {
         // borderline ones (the paper's modest CoT/role-play gains).
         let mut decision_rng =
             Rng::new(fnv1a(&view.question) ^ schema_digest(&view.test_schema) ^ 0x5EED_D1FF);
-        let mut rng = Rng::new(
-            fnv1a(prompt) ^ self.seed.rotate_left(17) ^ opts.attempt.wrapping_mul(0x9E37),
-        );
+        let mut rng =
+            Rng::new(fnv1a(prompt) ^ self.seed.rotate_left(17) ^ opts.attempt.wrapping_mul(0x9E37));
 
         // Grammar discipline: with no demonstrations the model sometimes
         // answers in the wrong formalism entirely.
-        let discipline = 1.0
-            - (1.0 - self.profile.grammar_discipline)
-                / (1.0 + view.demos.len() as f64);
+        let discipline =
+            1.0 - (1.0 - self.profile.grammar_discipline) / (1.0 + view.demos.len() as f64);
         if !rng.chance(discipline) {
             return format!(
                 "SELECT * FROM {} -- here is a SQL query answering the question",
@@ -159,7 +161,11 @@ impl SimLlm {
             return json;
         }
         if view.chain_of_thought {
-            format!("Sketch: {}\nVQL: {}", print_sketch(&grounding.query), print(&grounding.query))
+            format!(
+                "Sketch: {}\nVQL: {}",
+                print_sketch(&grounding.query),
+                print(&grounding.query)
+            )
         } else {
             print(&grounding.query)
         }
@@ -241,8 +247,6 @@ impl SimLlm {
 
         err.clamp(0.02, 0.96)
     }
-
-
 }
 
 /// Applies the failure-taxonomy-shaped corruption plan to a query. Public
@@ -272,7 +276,11 @@ pub fn corrupt_query_with(
     detail_rng: &mut Rng,
 ) {
     /// (Fig. 11 weight, structural?, corruption operator).
-    type PlanEntry = (f64, bool, fn(&mut VqlQuery, &RecoveredSchema, &mut Rng) -> bool);
+    type PlanEntry = (
+        f64,
+        bool,
+        fn(&mut VqlQuery, &RecoveredSchema, &mut Rng) -> bool,
+    );
     let plan: [PlanEntry; 9] = [
         (0.38, false, corrupt_cond),
         (0.08, false, corrupt_y),
@@ -299,8 +307,7 @@ pub fn corrupt_query_with(
             // A slip always lands somewhere: when the targeted clause is
             // absent the mistake surfaces in the dominant buckets instead
             // (a wrong condition or a wrong measure).
-            let changed =
-                plan[idx].2(q, schema, detail_rng) || corrupt_cond(q, schema, detail_rng);
+            let changed = plan[idx].2(q, schema, detail_rng) || corrupt_cond(q, schema, detail_rng);
             if !changed {
                 corrupt_y(q, schema, detail_rng);
             }
@@ -345,11 +352,16 @@ fn corrupt_y(q: &mut VqlQuery, schema: &RecoveredSchema, rng: &mut Rng) -> bool 
         SelectExpr::Agg { func, arg } => {
             if rng.chance(0.6) || arg.is_none() {
                 // Wrong aggregate function.
-                let alternatives: Vec<AggFunc> =
-                    [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min]
-                        .into_iter()
-                        .filter(|f| f != func)
-                        .collect();
+                let alternatives: Vec<AggFunc> = [
+                    AggFunc::Count,
+                    AggFunc::Sum,
+                    AggFunc::Avg,
+                    AggFunc::Max,
+                    AggFunc::Min,
+                ]
+                .into_iter()
+                .filter(|f| f != func)
+                .collect();
                 *func = *rng.pick(&alternatives);
                 true
             } else if let Some(a) = arg {
@@ -410,7 +422,11 @@ fn corrupt_cond(q: &mut VqlQuery, schema: &RecoveredSchema, rng: &mut Rng) -> bo
                 };
                 q.order = Some(OrderBy {
                     target,
-                    dir: if rng.chance(0.5) { SortDir::Asc } else { SortDir::Desc },
+                    dir: if rng.chance(0.5) {
+                        SortDir::Asc
+                    } else {
+                        SortDir::Desc
+                    },
                 });
             }
             (Some(o), _) => {
@@ -445,8 +461,10 @@ fn corrupt_group(q: &mut VqlQuery, schema: &RecoveredSchema, rng: &mut Rng) -> b
 fn corrupt_bin(q: &mut VqlQuery, _schema: &RecoveredSchema, rng: &mut Rng) -> bool {
     if let Some(bin) = &mut q.bin {
         if rng.chance(0.6) {
-            let alternatives: Vec<BinUnit> =
-                BinUnit::all().into_iter().filter(|u| *u != bin.unit).collect();
+            let alternatives: Vec<BinUnit> = BinUnit::all()
+                .into_iter()
+                .filter(|u| *u != bin.unit)
+                .collect();
             bin.unit = *rng.pick(&alternatives);
         } else {
             q.bin = None;
@@ -581,7 +599,9 @@ fn flip_op(p: &mut Predicate) {
 
 fn flip_nested(p: &mut Predicate, rng: &mut Rng) {
     match p {
-        Predicate::InSubquery { negated, subquery, .. } => {
+        Predicate::InSubquery {
+            negated, subquery, ..
+        } => {
             if rng.chance(0.5) {
                 *negated = !*negated;
             } else {
@@ -599,15 +619,18 @@ fn flip_nested(p: &mut Predicate, rng: &mut Rng) {
 /// The gold VQL of a near-duplicate demonstration over the same table set,
 /// if one exists: the candidate a completion model echoes.
 pub fn copyable_demo(view: &PromptView) -> Option<String> {
-    let test_tables: HashSet<&str> =
-        view.test_schema.tables.iter().map(|t| t.name.as_str()).collect();
+    let test_tables: HashSet<&str> = view
+        .test_schema
+        .tables
+        .iter()
+        .map(|t| t.name.as_str())
+        .collect();
     if test_tables.is_empty() {
         return None;
     }
     let mut best: Option<(f64, &str)> = None;
     for d in &view.demos {
-        let demo_tables: HashSet<&str> =
-            d.schema.tables.iter().map(|t| t.name.as_str()).collect();
+        let demo_tables: HashSet<&str> = d.schema.tables.iter().map(|t| t.name.as_str()).collect();
         if demo_tables != test_tables {
             continue;
         }
@@ -621,14 +644,17 @@ pub fn copyable_demo(view: &PromptView) -> Option<String> {
 
 /// Did any demonstration show the same table set as the test schema?
 pub fn schema_seen_in_demos(view: &PromptView) -> bool {
-    let test_tables: HashSet<&str> =
-        view.test_schema.tables.iter().map(|t| t.name.as_str()).collect();
+    let test_tables: HashSet<&str> = view
+        .test_schema
+        .tables
+        .iter()
+        .map(|t| t.name.as_str())
+        .collect();
     if test_tables.is_empty() {
         return false;
     }
     view.demos.iter().any(|d| {
-        let demo_tables: HashSet<&str> =
-            d.schema.tables.iter().map(|t| t.name.as_str()).collect();
+        let demo_tables: HashSet<&str> = d.schema.tables.iter().map(|t| t.name.as_str()).collect();
         demo_tables == test_tables
     })
 }
@@ -676,7 +702,9 @@ pub fn schema_digest(schema: &RecoveredSchema) -> u64 {
         h = h.wrapping_mul(37).wrapping_add(fnv1a(c));
     }
     for (a, b, c, d) in &schema.fks {
-        h ^= fnv1a(a) ^ fnv1a(b).rotate_left(13) ^ fnv1a(c).rotate_left(27)
+        h ^= fnv1a(a)
+            ^ fnv1a(b).rotate_left(13)
+            ^ fnv1a(c).rotate_left(27)
             ^ fnv1a(d).rotate_left(41);
     }
     h
@@ -705,7 +733,11 @@ mod tests {
     fn prompt_for(c: &Corpus, id: usize, demos: &[&Example], cot: bool) -> String {
         let e = c.example(id).unwrap();
         let db = c.catalog.database(&e.db).unwrap();
-        let o = PromptOptions { chain_of_thought: cot, token_budget: 60_000, ..Default::default() };
+        let o = PromptOptions {
+            chain_of_thought: cot,
+            token_budget: 60_000,
+            ..Default::default()
+        };
         build_prompt(&o, db, &e.nl, demos, |d| c.catalog.database(&d.db).unwrap()).text
     }
 
@@ -734,7 +766,15 @@ mod tests {
         let llm = SimLlm::new(ModelProfile::davinci_002(), 3);
         let p = prompt_for(&c, 0, &[], false);
         let outs: HashSet<String> = (0..12)
-            .map(|a| llm.complete_with(&p, &GenOptions { attempt: a, ..Default::default() }))
+            .map(|a| {
+                llm.complete_with(
+                    &p,
+                    &GenOptions {
+                        attempt: a,
+                        ..Default::default()
+                    },
+                )
+            })
             .collect();
         assert!(outs.len() > 1, "attempts should vary the output");
     }
@@ -760,17 +800,17 @@ mod tests {
         let mut correct = [0usize; 2];
         for (bucket, k) in [(0usize, 0usize), (1, 10)] {
             for e in c.examples.iter().take(n) {
-                let demos: Vec<&Example> = nl2vis_prompt::select::select_by_similarity(
-                    &pool,
-                    &e.nl,
-                    k + 1,
-                )
-                .into_iter()
-                .filter(|d| d.id != e.id)
-                .take(k)
-                .collect();
+                let demos: Vec<&Example> =
+                    nl2vis_prompt::select::select_by_similarity(&pool, &e.nl, k + 1)
+                        .into_iter()
+                        .filter(|d| d.id != e.id)
+                        .take(k)
+                        .collect();
                 let db = c.catalog.database(&e.db).unwrap();
-                let o = PromptOptions { token_budget: 60_000, ..Default::default() };
+                let o = PromptOptions {
+                    token_budget: 60_000,
+                    ..Default::default()
+                };
                 let p = build_prompt(&o, db, &e.nl, &demos, |d| {
                     c.catalog.database(&d.db).unwrap()
                 });
@@ -802,10 +842,15 @@ mod tests {
             token_budget: 60_000,
             ..Default::default()
         };
-        let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        let p = build_prompt(&o, db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
         let llm = SimLlm::new(ModelProfile::gpt_4(), 7);
         let out = llm.complete(&p.text);
-        assert!(out.trim_start().starts_with('{'), "expected JSON, got: {out}");
+        assert!(
+            out.trim_start().starts_with('{'),
+            "expected JSON, got: {out}"
+        );
         // Well-formed outputs import back into VQL.
         if let Ok(q) = nl2vis_vega::import::from_vega_lite_text(&out) {
             assert!(!q.from.is_empty());
@@ -840,8 +885,10 @@ mod tests {
     fn knowledge_gate_is_deterministic_and_calibrated() {
         let strong = SimLlm::new(ModelProfile::gpt_4(), 42);
         let gate = strong.knowledge_gate();
-        let aliases: Vec<&str> =
-            nl2vis_corpus::pools::SYNONYMS.iter().map(|(a, _)| *a).collect();
+        let aliases: Vec<&str> = nl2vis_corpus::pools::SYNONYMS
+            .iter()
+            .map(|(a, _)| *a)
+            .collect();
         let known = aliases.iter().filter(|a| gate(a)).count();
         let rate = known as f64 / aliases.len() as f64;
         assert!(rate > 0.80, "gpt-4 should know most synonyms, got {rate}");

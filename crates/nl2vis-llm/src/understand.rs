@@ -61,7 +61,8 @@ pub fn question_tokens(text: &str) -> Vec<QTok> {
             if c == '-' {
                 i += 1;
             }
-            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '-')
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '-')
             {
                 i += 1;
             }
@@ -327,9 +328,7 @@ fn segment(tokens: &[QTok]) -> Vec<(SegKind, Vec<QTok>)> {
             // start of the sentence where only a group phrase ("For each
             // team, show ...") is meaningful.
             Some((len, kind))
-                if !segments[0].1.is_empty()
-                    || segments.len() > 1
-                    || kind == SegKind::GroupX =>
+                if !segments[0].1.is_empty() || segments.len() > 1 || kind == SegKind::GroupX =>
             {
                 segments.push((kind, Vec::new()));
                 target = segments.len() - 1;
@@ -390,8 +389,10 @@ fn detect_aggregate(head: &[QTok]) -> (Option<AggFunc>, String) {
     for i in 0..head.len() {
         for (marker, func) in AGG_MARKERS {
             if marker.len() <= head.len() - i {
-                let is_match =
-                    marker.iter().enumerate().all(|(j, mw)| head[i + j].word() == Some(mw));
+                let is_match = marker
+                    .iter()
+                    .enumerate()
+                    .all(|(j, mw)| head[i + j].word() == Some(mw));
                 if is_match {
                     let rest = words_of(&head[i + marker.len()..]);
                     return (Some(*func), rest);
@@ -434,8 +435,15 @@ fn parse_filter_segment(toks: &[QTok], intent: &mut Intent) {
     // `<col> appears among the <child> entries [cond]`.
     let phrase = words_of(toks);
     if let Some((col, rest)) = phrase.split_once(" has no matching ") {
-        let child = rest.split(" entry").next().unwrap_or(rest).trim().to_string();
-        let inner = rest.split_once(" entry ").and_then(|(_, tail)| parse_atom_text(tail));
+        let child = rest
+            .split(" entry")
+            .next()
+            .unwrap_or(rest)
+            .trim()
+            .to_string();
+        let inner = rest
+            .split_once(" entry ")
+            .and_then(|(_, tail)| parse_atom_text(tail));
         intent.subquery = Some(SubqueryIntent {
             col_phrase: col.to_string(),
             negated: true,
@@ -445,8 +453,15 @@ fn parse_filter_segment(toks: &[QTok], intent: &mut Intent) {
         return;
     }
     if let Some((col, rest)) = phrase.split_once(" appears among the ") {
-        let child = rest.split(" entries").next().unwrap_or(rest).trim().to_string();
-        let inner = rest.split_once(" entries ").and_then(|(_, tail)| parse_atom_text(tail));
+        let child = rest
+            .split(" entries")
+            .next()
+            .unwrap_or(rest)
+            .trim()
+            .to_string();
+        let inner = rest
+            .split_once(" entries ")
+            .and_then(|(_, tail)| parse_atom_text(tail));
         intent.subquery = Some(SubqueryIntent {
             col_phrase: col.to_string(),
             negated: false,
@@ -492,8 +507,10 @@ fn parse_atom(toks: &[QTok]) -> Option<FilterAtom> {
     for i in 0..toks.len() {
         for (marker, op) in REL_MARKERS {
             if marker.len() <= toks.len() - i {
-                let is_match =
-                    marker.iter().enumerate().all(|(j, mw)| toks[i + j].word() == Some(mw));
+                let is_match = marker
+                    .iter()
+                    .enumerate()
+                    .all(|(j, mw)| toks[i + j].word() == Some(mw));
                 if is_match {
                     let col_phrase = words_of(&toks[..i]);
                     let value = literal_of(&toks[i + marker.len()..])?;
@@ -548,7 +565,12 @@ fn parse_order(toks: &[QTok], explicit_x: bool) -> Option<(OrderIntent, SortDir)
     if explicit_x {
         return Some((OrderIntent::X, dir));
     }
-    let target_phrase = phrase.split(" in ").next().unwrap_or(&phrase).trim().to_string();
+    let target_phrase = phrase
+        .split(" in ")
+        .next()
+        .unwrap_or(&phrase)
+        .trim()
+        .to_string();
     if ["the value", "the y axis", "the measure"].contains(&target_phrase.as_str()) {
         Some((OrderIntent::Y, dir))
     } else {
@@ -629,7 +651,12 @@ pub fn ground(
         // (which is usually the table's `_id` key).
         if let Some(table) = link_table_with(phrase, schema, knows) {
             if let Some(column) = label_column(schema, &table) {
-                return Some(Link { column, table: Some(table), score: 0.7, via_synonym: false });
+                return Some(Link {
+                    column,
+                    table: Some(table),
+                    score: 0.7,
+                    via_synonym: false,
+                });
             }
         }
         if let Some(l) = col {
@@ -646,7 +673,10 @@ pub fn ground(
     };
 
     // X column.
-    let x_link = intent.x_phrase.as_deref().and_then(|p| link_axis(p, &mut risk, AxisSlot::X));
+    let x_link = intent
+        .x_phrase
+        .as_deref()
+        .and_then(|p| link_axis(p, &mut risk, AxisSlot::X));
 
     // Y column.
     let y_link = if intent.y_phrase.is_empty() {
@@ -661,7 +691,10 @@ pub fn ground(
         .as_deref()
         .and_then(|p| link_table(p, schema))
         .or_else(|| {
-            intent.join_phrases.as_ref().and_then(|(a, _)| link_table(a, schema))
+            intent
+                .join_phrases
+                .as_ref()
+                .and_then(|(a, _)| link_table(a, schema))
         });
 
     let fallback_table = || -> Option<String> {
@@ -717,24 +750,22 @@ pub fn ground(
     }
 
     let join = match &joined_table {
-        Some(jt) if !jt.eq_ignore_ascii_case(&from) => {
-            match find_join(schema, &from, jt) {
-                Some((left, right, confident)) => {
-                    if !confident {
-                        risk.join_guessed = true;
-                    }
-                    Some(Join {
-                        table: jt.clone(),
-                        left: ColumnRef::qualified(from.clone(), left),
-                        right: ColumnRef::qualified(jt.clone(), right),
-                    })
-                }
-                None => {
+        Some(jt) if !jt.eq_ignore_ascii_case(&from) => match find_join(schema, &from, jt) {
+            Some((left, right, confident)) => {
+                if !confident {
                     risk.join_guessed = true;
-                    None
                 }
+                Some(Join {
+                    table: jt.clone(),
+                    left: ColumnRef::qualified(from.clone(), left),
+                    right: ColumnRef::qualified(jt.clone(), right),
+                })
             }
-        }
+            None => {
+                risk.join_guessed = true;
+                None
+            }
+        },
         _ => None,
     };
     let has_join = join.is_some();
@@ -777,15 +808,24 @@ pub fn ground(
     // Assemble y.
     let y_expr = match intent.agg {
         Some(AggFunc::Count) => {
-            let arg = y_link.as_ref().map(&colref).unwrap_or_else(|| x_col.clone());
-            SelectExpr::Agg { func: AggFunc::Count, arg: Some(arg) }
+            let arg = y_link
+                .as_ref()
+                .map(&colref)
+                .unwrap_or_else(|| x_col.clone());
+            SelectExpr::Agg {
+                func: AggFunc::Count,
+                arg: Some(arg),
+            }
         }
         Some(func) => {
             let arg = match &y_link {
                 Some(l) => colref(l),
                 None => x_col.clone(),
             };
-            SelectExpr::Agg { func, arg: Some(arg) }
+            SelectExpr::Agg {
+                func,
+                arg: Some(arg),
+            }
         }
         None => match &y_link {
             Some(l) => SelectExpr::Column(colref(l)),
@@ -821,7 +861,12 @@ pub fn ground(
     }
 
     let chart = intent.chart.unwrap_or(ChartType::Bar);
-    let mut q = VqlQuery::new(chart, SelectExpr::Column(x_col.clone()), y_expr, from.clone());
+    let mut q = VqlQuery::new(
+        chart,
+        SelectExpr::Column(x_col.clone()),
+        y_expr,
+        from.clone(),
+    );
     q.join = join;
 
     // In-scope tables: filters and order targets reference the tables the
@@ -860,14 +905,16 @@ pub fn ground(
                 let clash = schema
                     .type_of(&l.column)
                     .is_some_and(|ty| !compatible(ty, &atom.value));
-                if clash && literal_type(&atom.value) == Some(nl2vis_data::value::DataType::Text)
-                {
+                if clash && literal_type(&atom.value) == Some(nl2vis_data::value::DataType::Text) {
                     // Redirect to the label column of the same table.
                     let redirected = l
                         .table
                         .as_deref()
                         .and_then(|t| label_column(schema, t))
-                        .map(|column| Link { column, ..l.clone() });
+                        .map(|column| Link {
+                            column,
+                            ..l.clone()
+                        });
                     colref(&redirected.unwrap_or(l))
                 } else {
                     colref(&l)
@@ -878,7 +925,11 @@ pub fn ground(
                 continue;
             }
         };
-        let p = Predicate::Cmp { col, op: atom.op, value: atom.value.clone() };
+        let p = Predicate::Cmp {
+            col,
+            op: atom.op,
+            value: atom.value.clone(),
+        };
         predicate = Some(match predicate {
             None => p,
             Some(prev) => {
@@ -917,7 +968,11 @@ pub fn ground(
             let p = Predicate::InSubquery {
                 col: col.clone(),
                 negated: sq.negated,
-                subquery: SubQuery { select: col.clone(), from: child, filter: inner },
+                subquery: SubQuery {
+                    select: col.clone(),
+                    from: child,
+                    filter: inner,
+                },
             };
             predicate = Some(match predicate {
                 None => p,
@@ -931,7 +986,10 @@ pub fn ground(
 
     // Bin.
     if let Some(unit) = intent.bin {
-        q.bin = Some(Bin { column: x_col.clone(), unit });
+        q.bin = Some(Bin {
+            column: x_col.clone(),
+            unit,
+        });
     }
 
     // Grouping: aggregate queries group by x; a color adds the series key.
@@ -963,7 +1021,10 @@ pub fn ground(
                 None => OrderTarget::Column(x_col.clone()),
             },
         };
-        q.order = Some(OrderBy { target: t, dir: *dir });
+        q.order = Some(OrderBy {
+            target: t,
+            dir: *dir,
+        });
     }
 
     Some(Grounding { query: q, risk })
@@ -987,7 +1048,8 @@ mod tests {
 
     #[test]
     fn tokenizer_preserves_literals() {
-        let toks = question_tokens("where pay is over 42.5 and team is not \"NYY\" after 2020-01-06");
+        let toks =
+            question_tokens("where pay is over 42.5 and team is not \"NYY\" after 2020-01-06");
         assert!(toks.contains(&QTok::Num(42.5)));
         assert!(toks.contains(&QTok::Quoted("NYY".into())));
         assert!(toks.contains(&QTok::DateTok(Date::new(2020, 1, 6).unwrap())));
@@ -1116,7 +1178,8 @@ mod tests {
     #[test]
     fn scatter_against() {
         let s = schema();
-        let i = parse_question("Display a scatter plot of salary against age in the technician table.");
+        let i =
+            parse_question("Display a scatter plot of salary against age in the technician table.");
         let g = ground(&i, &s, &KNOW_ALL).unwrap();
         assert_eq!(g.query.chart, ChartType::Scatter);
         assert_eq!(g.query.x, SelectExpr::Column(ColumnRef::new("age")));

@@ -1,0 +1,138 @@
+//! # nl2vis-obs — std-only tracing and metrics for the nl2vis stack
+//!
+//! The paper this workspace reproduces is a *measurement* study, and the
+//! ROADMAP pushes the reproduction toward a production-scale serving
+//! system; both need the system to observe itself. This crate is that
+//! substrate, with **zero external dependencies**:
+//!
+//! - [`registry`]: a global, thread-safe [`MetricsRegistry`] of named
+//!   [`Counter`]s, [`Gauge`]s, and log-scale latency [`Histogram`]s with
+//!   p50/p95/p99 summaries. Handles are `Arc`s updated with relaxed
+//!   atomics, so instrumented hot paths never contend on the registry.
+//! - [`span`]: RAII [`Span`] guards (`let _s = span!("pipeline.parse");`)
+//!   that time a scope, nest into a per-request trace, and feed the
+//!   `<name>.duration_us` histogram.
+//! - [`sink`]: a pluggable [`EventSink`] receiving structured events
+//!   (span open/close, counter deltas, errors, access logs); the
+//!   [`JsonlSink`] writes one JSON object per line, the [`MemorySink`]
+//!   captures lines for tests, and the default [`NullSink`] makes
+//!   telemetry free when nobody is listening.
+//! - [`report`]: text rendering — [`report::render_exposition`] backs the
+//!   server's `GET /metrics`, [`report::render_summary`] prints the CLI
+//!   telemetry table.
+//!
+//! ## Naming convention
+//!
+//! Metric names are `component.verb_noun` (`llm.requests_total`,
+//! `pipeline.errors_total`, `eval.worker_panics`); histograms carry a unit
+//! suffix (`_us`); per-kind error counters extend the component with the
+//! kind (`pipeline.error.parse`). Span names are `component.stage` and
+//! materialize as `<component>.<stage>.duration_us` histograms.
+//!
+//! ## Example
+//!
+//! ```
+//! use nl2vis_obs as obs;
+//!
+//! obs::count("demo.requests_total", 1);
+//! {
+//!     let _span = obs::span!("demo.handle");
+//!     // ... work ...
+//! }
+//! let summary = obs::registry::global()
+//!     .histogram("demo.handle.duration_us")
+//!     .summary();
+//! assert!(summary.count >= 1);
+//! assert!(obs::report::render_exposition(obs::registry::global())
+//!     .contains("demo.requests_total"));
+//! ```
+
+pub mod registry;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use registry::{global, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
+pub use sink::{
+    disable_sink, emit, set_sink, sink_active, Event, EventSink, JsonlSink, MemorySink, NullSink,
+};
+pub use span::{current_trace, Span};
+
+/// Adds `delta` to the global counter `name` and emits a
+/// [`Event::CounterDelta`] to the installed sink.
+pub fn count(name: &str, delta: u64) {
+    let counter = registry::global().counter(name);
+    counter.add(delta);
+    if sink::sink_active() {
+        sink::emit(&Event::CounterDelta {
+            name: name.to_string(),
+            delta,
+            value: counter.get(),
+        });
+    }
+}
+
+/// Records an error: bumps `component.errors_total` and the per-kind
+/// counter `component.error.<kind>`, and emits an [`Event::Error`].
+pub fn error(component: &str, kind: &str, message: &str) {
+    registry::global()
+        .counter(&format!("{component}.errors_total"))
+        .inc();
+    registry::global()
+        .counter(&format!("{component}.error.{kind}"))
+        .inc();
+    if sink::sink_active() {
+        sink::emit(&Event::Error {
+            component: component.to_string(),
+            kind: kind.to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Emits a structured log line (e.g. an HTTP access log) to the sink.
+pub fn log(component: &str, message: &str, fields: Vec<(String, String)>) {
+    if sink::sink_active() {
+        sink::emit(&Event::Log {
+            component: component.to_string(),
+            message: message.to_string(),
+            fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn count_updates_registry_and_sink() {
+        let sink = Arc::new(MemorySink::new());
+        set_sink(sink.clone());
+        let before = registry::global().counter("lib.count_test_total").get();
+        count("lib.count_test_total", 3);
+        assert_eq!(
+            registry::global().counter("lib.count_test_total").get(),
+            before + 3
+        );
+        assert!(sink
+            .lines()
+            .iter()
+            .any(|l| l.contains("lib.count_test_total") && l.contains("\"delta\":3")));
+        disable_sink();
+    }
+
+    #[test]
+    fn error_bumps_total_and_kind_counters() {
+        let before = registry::global().counter("libtest.errors_total").get();
+        error("libtest", "parse", "bad token");
+        error("libtest", "execute", "missing table");
+        assert_eq!(
+            registry::global().counter("libtest.errors_total").get(),
+            before + 2
+        );
+        assert_eq!(registry::global().counter("libtest.error.parse").get(), 1);
+        assert_eq!(registry::global().counter("libtest.error.execute").get(), 1);
+    }
+}

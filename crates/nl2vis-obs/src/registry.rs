@@ -1,0 +1,414 @@
+//! The metrics registry: named counters, gauges, and log-scale latency
+//! histograms behind lock-free handles.
+//!
+//! Metric names follow the `component.verb_noun` convention
+//! (`llm.requests_total`, `pipeline.errors_total`, `eval.worker_panics`);
+//! histograms append a unit suffix (`llm.request_latency_us`). Handles are
+//! `Arc`s obtained once and updated with plain atomics, so the hot path
+//! never touches the registry lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways, tracking e.g. in-flight
+/// request counts. [`Gauge::set_max`] keeps high-water marks such as
+/// `server.concurrent_peak`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `n` and returns the new value.
+    pub fn add(&self, n: i64) -> i64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values whose bit length is
+/// `i`, i.e. the range `[2^(i-1), 2^i - 1]`; bucket 0 holds zeros. 64-bit
+/// values therefore always land in `0..=64`.
+pub const BUCKETS: usize = 65;
+
+/// A log-scale (power-of-two bucketed) histogram of `u64` samples —
+/// typically latencies in microseconds. Recording is a single relaxed
+/// atomic add; percentile summaries interpolate inside the winning bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the bucket a value falls in: its bit length.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else {
+        (
+            1u64 << (i - 1),
+            (1u64 << (i - 1)).wrapping_mul(2).wrapping_sub(1),
+        )
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration in whole microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// An immutable summary (count/sum/min/max and p50/p95/p99).
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        let pct = |q: f64| percentile(&counts, count, q, min, max);
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// Estimates the `q`-quantile from bucket counts by linear interpolation
+/// inside the bucket holding the target rank, clamped to the observed
+/// min/max so tails don't overshoot real data.
+fn percentile(counts: &[u64], total: u64, q: f64, min: u64, max: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            let within = (rank - seen) as f64 / c as f64;
+            let est = lo as f64 + (hi - lo) as f64 * within;
+            return est.clamp(min as f64, max as f64);
+        }
+        seen += c;
+    }
+    max as f64
+}
+
+/// A point-in-time histogram summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A thread-safe registry of named metrics. Lookup takes a short-lived
+/// lock and returns an [`Arc`] handle; updates through the handle are
+/// lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (the global one is usually what you want —
+    /// [`global`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Sorted `(name, value)` pairs of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().expect("counter map");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Sorted `(name, value)` pairs of every gauge.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        let map = self.gauges.lock().expect("gauge map");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Sorted `(name, summary)` pairs of every histogram.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        let map = self.histograms.lock().expect("histogram map");
+        map.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
+    }
+
+    /// Drops every registered metric (test isolation).
+    pub fn clear(&self) {
+        self.counters.lock().expect("counter map").clear();
+        self.gauges.lock().expect("gauge map").clear();
+        self.histograms.lock().expect("histogram map").clear();
+    }
+}
+
+/// The process-wide registry all instrumented components default to.
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_atomicity_under_threads() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("test.increments_total");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        // The registry hands back the same underlying counter.
+        assert_eq!(registry.counter("test.increments_total").get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_peak() {
+        let g = Gauge::default();
+        assert_eq!(g.add(3), 3);
+        assert_eq!(g.add(-1), 2);
+        g.set_max(10);
+        g.set_max(4); // lower — ignored
+        assert_eq!(g.get(), 10);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_partition_u64() {
+        // Buckets tile the space with no gaps or overlaps.
+        assert_eq!(bucket_bounds(0), (0, 0));
+        for i in 1..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            let (next_lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, next_lo, "bucket {i} must abut bucket {}", i + 1);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_percentiles_on_uniform_data() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // Log-scale buckets are coarse: accept estimates within the true
+        // value's power-of-two bucket.
+        assert!((256.0..=1024.0).contains(&s.p50), "p50 {}", s.p50);
+        assert!((512.0..=1024.0).contains(&s.p95), "p95 {}", s.p95);
+        assert!((512.0..=1024.0).contains(&s.p99), "p99 {}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_single_value_is_exact() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        let s = h.summary();
+        // All mass in one bucket, clamped to observed min==max.
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p95, 42.0);
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.max, 42);
+    }
+
+    #[test]
+    fn histogram_empty_summary_is_zero() {
+        let s = Histogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.min, s.max), (0, 0));
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_concurrent_records_are_all_counted() {
+        let h = Arc::new(Histogram::default());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+        let s = h.summary();
+        assert_eq!(s.count, 20_000);
+    }
+
+    #[test]
+    fn registry_enumerations_are_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b.z_total").inc();
+        r.counter("a.z_total").add(2);
+        r.gauge("m.depth").set(5);
+        r.histogram("l.latency_us").record(10);
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec!["a.z_total".to_string(), "b.z_total".to_string()]
+        );
+        assert_eq!(r.gauges(), vec![("m.depth".to_string(), 5)]);
+        assert_eq!(r.histograms()[0].0, "l.latency_us");
+        r.clear();
+        assert!(r.counters().is_empty());
+    }
+}

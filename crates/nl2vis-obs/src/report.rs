@@ -1,0 +1,199 @@
+//! Rendering a [`MetricsRegistry`](crate::registry::MetricsRegistry) for
+//! humans and scrapers: a plain-text exposition for `GET /metrics` and a
+//! fixed-width telemetry summary table for CLI output.
+
+use crate::registry::MetricsRegistry;
+
+/// Text exposition of every metric in the registry, one per line —
+/// the body served by `GET /metrics`.
+///
+/// ```text
+/// # counters
+/// llm.requests_total 4
+/// # gauges
+/// server.concurrent_peak 2
+/// # histograms (microseconds)
+/// llm.request_latency_us count 4 sum 1234 min 80 max 900 p50 150 p95 880 p99 896
+/// ```
+pub fn render_exposition(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let counters = registry.counters();
+    if !counters.is_empty() {
+        out.push_str("# counters\n");
+        for (name, v) in counters {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+    }
+    let gauges = registry.gauges();
+    if !gauges.is_empty() {
+        out.push_str("# gauges\n");
+        for (name, v) in gauges {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+    }
+    let histograms = registry.histograms();
+    if !histograms.is_empty() {
+        out.push_str("# histograms (microseconds)\n");
+        for (name, s) in histograms {
+            out.push_str(&format!(
+                "{name} count {} sum {} min {} max {} p50 {:.0} p95 {:.0} p99 {:.0}\n",
+                s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("# no metrics recorded\n");
+    }
+    out
+}
+
+/// A fixed-width table from a header and rows (column widths fit content).
+fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().take(cols).enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().take(cols).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            line.extend(std::iter::repeat_n(' ', widths[i] - cell.chars().count()));
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let mut out = render(&head);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render(row));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{us:.0}us")
+    }
+}
+
+/// The human-readable telemetry summary: latency histograms as a
+/// count/mean/percentile table followed by counters and gauges.
+pub fn render_summary(registry: &MetricsRegistry) -> String {
+    let mut out = String::from("telemetry summary\n");
+    let histograms = registry.histograms();
+    if !histograms.is_empty() {
+        let rows: Vec<Vec<String>> = histograms
+            .iter()
+            .map(|(name, s)| {
+                vec![
+                    name.clone(),
+                    s.count.to_string(),
+                    fmt_us(s.mean()),
+                    fmt_us(s.p50),
+                    fmt_us(s.p95),
+                    fmt_us(s.p99),
+                    fmt_us(s.max as f64),
+                ]
+            })
+            .collect();
+        out.push_str(&text_table(
+            &[
+                "span / histogram",
+                "count",
+                "mean",
+                "p50",
+                "p95",
+                "p99",
+                "max",
+            ],
+            &rows,
+        ));
+    }
+    let counters = registry.counters();
+    if !counters.is_empty() {
+        out.push('\n');
+        let rows: Vec<Vec<String>> = counters
+            .iter()
+            .map(|(n, v)| vec![n.clone(), v.to_string()])
+            .collect();
+        out.push_str(&text_table(&["counter", "value"], &rows));
+    }
+    let gauges = registry.gauges();
+    if !gauges.is_empty() {
+        out.push('\n');
+        let rows: Vec<Vec<String>> = gauges
+            .iter()
+            .map(|(n, v)| vec![n.clone(), v.to_string()])
+            .collect();
+        out.push_str(&text_table(&["gauge", "value"], &rows));
+    }
+    if histograms_empty_and_no_scalars(registry) {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn histograms_empty_and_no_scalars(registry: &MetricsRegistry) -> bool {
+    registry.histograms().is_empty()
+        && registry.counters().is_empty()
+        && registry.gauges().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("llm.requests_total").add(4);
+        r.gauge("server.concurrent_peak").set(2);
+        for v in [80u64, 120, 150, 900] {
+            r.histogram("llm.request_latency_us").record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn exposition_lists_every_metric_kind() {
+        let text = render_exposition(&populated());
+        assert!(
+            text.contains("# counters\nllm.requests_total 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("server.concurrent_peak 2"), "{text}");
+        assert!(
+            text.contains("llm.request_latency_us count 4 sum 1250"),
+            "{text}"
+        );
+        assert!(text.contains("p95"), "{text}");
+    }
+
+    #[test]
+    fn exposition_of_empty_registry_says_so() {
+        assert!(render_exposition(&MetricsRegistry::new()).contains("no metrics"));
+    }
+
+    #[test]
+    fn summary_renders_aligned_table_with_units() {
+        let text = render_summary(&populated());
+        assert!(text.contains("span / histogram"), "{text}");
+        assert!(text.contains("llm.request_latency_us"), "{text}");
+        assert!(text.contains("us") || text.contains("ms"), "{text}");
+        assert!(text.contains("llm.requests_total"), "{text}");
+        // Header separator line present.
+        assert!(text.lines().any(|l| l.starts_with("---")), "{text}");
+    }
+}

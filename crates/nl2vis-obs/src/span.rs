@@ -1,0 +1,170 @@
+//! Lightweight RAII spans.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and drop,
+//! records the duration into the global histogram `<name>.duration_us`, and
+//! emits `span_open` / `span_close` events to the installed sink. Spans
+//! opened while another span is live on the same thread nest under it, and
+//! every top-level span starts a new *trace* — so one pipeline request
+//! produces one trace whose child spans are its stages.
+
+use crate::registry;
+use crate::sink::{emit, Event};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Stack of `(span_id, trace_id)` for the spans live on this thread.
+    static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The trace id of the innermost live span on this thread, if any.
+pub fn current_trace() -> Option<u64> {
+    STACK.with(|s| s.borrow().last().map(|&(_, trace)| trace))
+}
+
+/// An open span; closes (and records its duration) on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    id: u64,
+    trace: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span named `name`, nesting under the innermost live span on
+    /// this thread (or starting a new trace at top level).
+    pub fn enter(name: impl Into<String>) -> Span {
+        let name = name.into();
+        let id = next_id();
+        let (trace, parent) = STACK.with(|s| {
+            let stack = s.borrow();
+            match stack.last() {
+                Some(&(parent_id, trace)) => (trace, Some(parent_id)),
+                None => (next_id(), None),
+            }
+        });
+        emit(&Event::SpanOpen {
+            trace,
+            span: id,
+            parent,
+            name: name.clone(),
+        });
+        STACK.with(|s| s.borrow_mut().push((id, trace)));
+        Span {
+            name,
+            id,
+            trace,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The trace this span belongs to.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Elapsed time since the span opened.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration = self.start.elapsed();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop this span; tolerate out-of-order drops by removing by id.
+            if let Some(pos) = stack.iter().rposition(|&(id, _)| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        registry::global()
+            .histogram(&format!("{}.duration_us", self.name))
+            .record_duration(duration);
+        emit(&Event::SpanClose {
+            trace: self.trace,
+            span: self.id,
+            name: self.name.clone(),
+            duration_us: duration.as_micros().min(u64::MAX as u128) as u64,
+        });
+    }
+}
+
+/// Opens a [`Span`]; bind it to a local so it lives to the end of the
+/// scope: `let _span = span!("pipeline.parse");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_share_a_trace() {
+        let outer = Span::enter("test.outer");
+        let inner = Span::enter("test.inner");
+        assert_eq!(inner.trace(), outer.trace());
+        assert_ne!(inner.id(), outer.id());
+        assert_eq!(current_trace(), Some(outer.trace()));
+        drop(inner);
+        drop(outer);
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn top_level_spans_start_fresh_traces() {
+        let a = Span::enter("test.first");
+        let trace_a = a.trace();
+        drop(a);
+        let b = Span::enter("test.second");
+        assert_ne!(b.trace(), trace_a);
+    }
+
+    #[test]
+    fn dropped_span_records_duration_histogram() {
+        {
+            let _span = crate::span!("test.timed_stage");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = registry::global().histogram("test.timed_stage.duration_us");
+        assert!(h.count() >= 1);
+        assert!(
+            h.summary().max >= 1_000,
+            "slept 2ms, saw {}us",
+            h.summary().max
+        );
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_the_stack() {
+        let a = Span::enter("test.a");
+        let b = Span::enter("test.b");
+        drop(a); // dropped before its child
+        assert_eq!(current_trace(), Some(b.trace()));
+        drop(b);
+        assert_eq!(current_trace(), None);
+    }
+}

@@ -140,7 +140,13 @@ where
     }
     text.push_str(&tail);
     let tokens = approx_token_count(&text);
-    Prompt { text, included_demos: included, requested_demos: demos.len(), format: options.format, tokens }
+    Prompt {
+        text,
+        included_demos: included,
+        requested_demos: demos.len(),
+        format: options.format,
+        tokens,
+    }
 }
 
 fn render_demo(options: &PromptOptions, demo: &Example, db: &Database) -> String {
@@ -196,12 +202,21 @@ mod tests {
         let e = &c.examples[0];
         let db = c.catalog.database(&e.db).unwrap();
         let demos: Vec<&Example> = c.examples.iter().skip(1).take(10).collect();
-        let tight = PromptOptions { token_budget: 600, ..Default::default() };
-        let p = build_prompt(&tight, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        let tight = PromptOptions {
+            token_budget: 600,
+            ..Default::default()
+        };
+        let p = build_prompt(&tight, db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
         assert!(p.included_demos < 10, "tight budget must drop demos");
-        let generous = PromptOptions { token_budget: 100_000, ..Default::default() };
-        let p2 =
-            build_prompt(&generous, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        let generous = PromptOptions {
+            token_budget: 100_000,
+            ..Default::default()
+        };
+        let p2 = build_prompt(&generous, db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
         assert_eq!(p2.included_demos, 10);
         assert!(p2.tokens > p.tokens);
     }
@@ -213,9 +228,15 @@ mod tests {
         let db = c.catalog.database(&e.db).unwrap();
         let demos: Vec<&Example> = c.examples.iter().skip(1).take(12).collect();
         let fit = |format: PromptFormat| {
-            let o = PromptOptions { format, token_budget: 2500, ..Default::default() };
-            build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap())
-                .included_demos
+            let o = PromptOptions {
+                format,
+                token_budget: 2500,
+                ..Default::default()
+            };
+            build_prompt(&o, db, &e.nl, &demos, |d| {
+                c.catalog.database(&d.db).unwrap()
+            })
+            .included_demos
         };
         assert!(
             fit(PromptFormat::TableColumn) >= fit(PromptFormat::Table2Code),
@@ -229,8 +250,13 @@ mod tests {
         let e = &c.examples[0];
         let db = c.catalog.database(&e.db).unwrap();
         let demos: Vec<&Example> = c.examples.iter().skip(1).take(1).collect();
-        let o = PromptOptions { chain_of_thought: true, ..Default::default() };
-        let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
+        let o = PromptOptions {
+            chain_of_thought: true,
+            ..Default::default()
+        };
+        let p = build_prompt(&o, db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
         assert!(p.text.contains("Sketch: VISUALIZE["));
         assert!(p.text.contains("step by step"));
         assert!(p.text.trim_end().ends_with("Sketch:"));
@@ -241,9 +267,14 @@ mod tests {
         let c = fixture();
         let e = &c.examples[0];
         let db = c.catalog.database(&e.db).unwrap();
-        let o = PromptOptions { role_play: true, ..Default::default() };
+        let o = PromptOptions {
+            role_play: true,
+            ..Default::default()
+        };
         let p = build_prompt(&o, db, &e.nl, &[], |d| c.catalog.database(&d.db).unwrap());
-        assert!(p.text.starts_with("You are a data visualization assistant."));
+        assert!(p
+            .text
+            .starts_with("You are a data visualization assistant."));
     }
 
     #[test]
@@ -257,9 +288,17 @@ mod tests {
             token_budget: 50_000,
             ..Default::default()
         };
-        let p = build_prompt(&o, db, &e.nl, &demos, |d| c.catalog.database(&d.db).unwrap());
-        assert!(p.text.trim_end().ends_with("VL:"), "cue should request Vega-Lite");
-        assert!(p.text.contains("VL: {"), "demo answers should be JSON specs");
+        let p = build_prompt(&o, db, &e.nl, &demos, |d| {
+            c.catalog.database(&d.db).unwrap()
+        });
+        assert!(
+            p.text.trim_end().ends_with("VL:"),
+            "cue should request Vega-Lite"
+        );
+        assert!(
+            p.text.contains("VL: {"),
+            "demo answers should be JSON specs"
+        );
         assert!(!p.text.contains("VQL: VISUALIZE"));
     }
 

@@ -13,11 +13,52 @@ use std::collections::{BTreeMap, HashSet};
 /// would otherwise dominate the Jaccard signal and drown out the schema
 /// words that identify the relevant database.
 const FILLER: &[&str] = &[
-    "show", "draw", "plot", "visualize", "display", "give", "me", "create", "a", "an", "the",
-    "of", "chart", "graph", "for", "each", "by", "per", "grouped", "across", "from", "in",
-    "using", "table", "records", "where", "is", "order", "sorted", "ordered", "ranked", "rank",
-    "ascending", "descending", "and", "or", "to", "number", "how", "many", "count", "total",
-    "sum", "average", "mean", "combined",
+    "show",
+    "draw",
+    "plot",
+    "visualize",
+    "display",
+    "give",
+    "me",
+    "create",
+    "a",
+    "an",
+    "the",
+    "of",
+    "chart",
+    "graph",
+    "for",
+    "each",
+    "by",
+    "per",
+    "grouped",
+    "across",
+    "from",
+    "in",
+    "using",
+    "table",
+    "records",
+    "where",
+    "is",
+    "order",
+    "sorted",
+    "ordered",
+    "ranked",
+    "rank",
+    "ascending",
+    "descending",
+    "and",
+    "or",
+    "to",
+    "number",
+    "how",
+    "many",
+    "count",
+    "total",
+    "sum",
+    "average",
+    "mean",
+    "combined",
 ];
 
 /// Content-word Jaccard similarity between two questions.
@@ -27,7 +68,10 @@ fn content_jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
 
 /// Extracts the content-word set of a question.
 fn content_set(text: &str) -> HashSet<String> {
-    words(text).into_iter().filter(|w| !FILLER.contains(&w.as_str())).collect()
+    words(text)
+        .into_iter()
+        .filter(|w| !FILLER.contains(&w.as_str()))
+        .collect()
 }
 
 /// A demonstration pool with precomputed content-word sets, so repeated
@@ -39,7 +83,9 @@ pub struct DemoPool<'a> {
 impl<'a> DemoPool<'a> {
     /// Builds the pool from candidate examples.
     pub fn new(pool: &[&'a Example]) -> DemoPool<'a> {
-        DemoPool { entries: pool.iter().map(|e| (*e, content_set(&e.nl))).collect() }
+        DemoPool {
+            entries: pool.iter().map(|e| (*e, content_set(&e.nl))).collect(),
+        }
     }
 
     /// Number of pooled examples.
@@ -62,7 +108,9 @@ impl<'a> DemoPool<'a> {
             .map(|(e, set)| (content_jaccard(&q, set), *e))
             .collect();
         scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.id.cmp(&b.1.id))
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.id.cmp(&b.1.id))
         });
         scored.into_iter().take(k).map(|(_, e)| e).collect()
     }
@@ -106,10 +154,11 @@ impl<'a> DemoPool<'a> {
             slot.0 = slot.0.max(content_jaccard(&q, set));
             slot.1.push(e);
         }
-        let mut ranked: Vec<(&str, f64)> =
-            by_db.iter().map(|(db, (s, _))| (*db, *s)).collect();
+        let mut ranked: Vec<(&str, f64)> = by_db.iter().map(|(db, (s, _))| (*db, *s)).collect();
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
         });
         let mut out = Vec::new();
         for (db, _) in ranked.into_iter().take(dbs) {
@@ -127,10 +176,15 @@ pub fn select_by_similarity<'a>(
     k: usize,
 ) -> Vec<&'a Example> {
     let q = content_set(question);
-    let mut scored: Vec<(f64, &Example)> =
-        pool.iter().map(|e| (content_jaccard(&q, &content_set(&e.nl)), *e)).collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
-        .then(a.1.id.cmp(&b.1.id)));
+    let mut scored: Vec<(f64, &Example)> = pool
+        .iter()
+        .map(|e| (content_jaccard(&q, &content_set(&e.nl)), *e))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.id.cmp(&b.1.id))
+    });
     scored.into_iter().take(k).map(|(_, e)| e).collect()
 }
 
@@ -183,8 +237,11 @@ pub fn select_grouped<'a>(
             (*db, score)
         })
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-        .then(a.0.cmp(b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(b.0))
+    });
     let mut out = Vec::new();
     for (db, _) in ranked.into_iter().take(n_dbs) {
         out.extend(select_by_similarity(&by_db[db], question, per_db));

@@ -58,8 +58,20 @@ impl PromptFormat {
     pub fn all() -> [PromptFormat; 14] {
         use PromptFormat::*;
         [
-            Schema, TableColumn, ColumnList, ColumnListFk, ColumnListFkValue, Table2Nl, Chat2Vis,
-            Table2Json, Table2Csv, Table2Md, Table2Xml, Table2Sql, Table2SqlSelect, Table2Code,
+            Schema,
+            TableColumn,
+            ColumnList,
+            ColumnListFk,
+            ColumnListFkValue,
+            Table2Nl,
+            Chat2Vis,
+            Table2Json,
+            Table2Csv,
+            Table2Md,
+            Table2Xml,
+            Table2Sql,
+            Table2SqlSelect,
+            Table2Code,
         ]
     }
 
@@ -67,8 +79,17 @@ impl PromptFormat {
     pub fn table2_rows() -> [PromptFormat; 11] {
         use PromptFormat::*;
         [
-            Schema, TableColumn, ColumnList, Table2Nl, Chat2Vis, Table2Json, Table2Csv, Table2Md,
-            Table2Xml, Table2Sql, Table2Code,
+            Schema,
+            TableColumn,
+            ColumnList,
+            Table2Nl,
+            Chat2Vis,
+            Table2Json,
+            Table2Csv,
+            Table2Md,
+            Table2Xml,
+            Table2Sql,
+            Table2Code,
         ]
     }
 
@@ -164,7 +185,13 @@ impl std::fmt::Display for PromptFormat {
 pub fn most_relevant_row(table: &Table, question: &str) -> Option<usize> {
     (0..table.len()).max_by(|&a, &b| {
         let render = |i: usize| {
-            table.row(i).unwrap().iter().map(|v| v.render()).collect::<Vec<_>>().join(" ")
+            table
+                .row(i)
+                .unwrap()
+                .iter()
+                .map(|v| v.render())
+                .collect::<Vec<_>>()
+                .join(" ")
         };
         jaccard(question, &render(a))
             .partial_cmp(&jaccard(question, &render(b)))
@@ -193,7 +220,11 @@ fn schema_flat(db: &Database) -> String {
 fn table_column(db: &Database) -> String {
     let mut out = format!("Database: {}\n", db.name());
     for t in db.tables() {
-        out.push_str(&format!("{} ( {} )\n", t.def.name, t.def.column_names().join(" , ")));
+        out.push_str(&format!(
+            "{} ( {} )\n",
+            t.def.name,
+            t.def.column_names().join(" , ")
+        ));
     }
     out.trim_end().to_string()
 }
@@ -201,7 +232,11 @@ fn table_column(db: &Database) -> String {
 fn column_list(db: &Database, fks: bool, rows: usize, question: &str) -> String {
     let mut out = format!("Database: {}\n", db.name());
     for t in db.tables() {
-        out.push_str(&format!("{} = [ {} ]\n", t.def.name, t.def.column_names().join(" , ")));
+        out.push_str(&format!(
+            "{} = [ {} ]\n",
+            t.def.name,
+            t.def.column_names().join(" , ")
+        ));
     }
     if fks {
         for fk in &db.schema.foreign_keys {
@@ -216,8 +251,7 @@ fn column_list(db: &Database, fks: bool, rows: usize, question: &str) -> String 
             let anchor = most_relevant_row(t, question).unwrap_or(0);
             out.push_str(&format!("Rows of {}:\n", t.def.name));
             for i in anchor..(anchor + rows).min(t.len()) {
-                let cells: Vec<String> =
-                    t.row(i).unwrap().iter().map(|v| v.render()).collect();
+                let cells: Vec<String> = t.row(i).unwrap().iter().map(|v| v.render()).collect();
                 out.push_str(&format!("( {} )\n", cells.join(" , ")));
             }
         }
@@ -264,7 +298,11 @@ fn chat2vis(db: &Database) -> String {
             t.def.column_names().join(", ")
         ));
         for c in &t.def.columns {
-            out.push_str(&format!("The column '{}' has data type {}. ", c.name, c.dtype.name()));
+            out.push_str(&format!(
+                "The column '{}' has data type {}. ",
+                c.name,
+                c.dtype.name()
+            ));
         }
         out.push('\n');
     }
@@ -307,8 +345,14 @@ fn table2json(db: &Database, question: &str) -> String {
         .iter()
         .map(|fk| {
             Json::object(vec![
-                ("from", Json::from(format!("{}.{}", fk.from_table, fk.from_column).as_str())),
-                ("to", Json::from(format!("{}.{}", fk.to_table, fk.to_column).as_str())),
+                (
+                    "from",
+                    Json::from(format!("{}.{}", fk.from_table, fk.from_column).as_str()),
+                ),
+                (
+                    "to",
+                    Json::from(format!("{}.{}", fk.to_table, fk.to_column).as_str()),
+                ),
             ])
         })
         .collect();
@@ -354,7 +398,11 @@ fn table2xml(db: &Database, question: &str) -> String {
     for t in db.tables() {
         out.push_str(&format!("  <table name=\"{}\">\n", t.def.name));
         for (i, c) in t.def.columns.iter().enumerate() {
-            let pk = if t.def.primary_key == Some(i) { " key=\"primary\"" } else { "" };
+            let pk = if t.def.primary_key == Some(i) {
+                " key=\"primary\""
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "    <column name=\"{}\" type=\"{}\"{pk}/>\n",
                 c.name,
@@ -364,7 +412,12 @@ fn table2xml(db: &Database, question: &str) -> String {
         if let Some(i) = most_relevant_row(t, question) {
             out.push_str("    <row>");
             for (c, v) in t.def.columns.iter().zip(t.row(i).unwrap()) {
-                out.push_str(&format!("<{}>{}</{}>", c.name, xml_escape(&v.render()), c.name));
+                out.push_str(&format!(
+                    "<{}>{}</{}>",
+                    c.name,
+                    xml_escape(&v.render()),
+                    c.name
+                ));
             }
             out.push_str("</row>\n");
         }
@@ -381,7 +434,9 @@ fn table2xml(db: &Database, question: &str) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn table2sql(db: &Database, select_rows: usize, question: &str) -> String {
@@ -390,7 +445,11 @@ fn table2sql(db: &Database, select_rows: usize, question: &str) -> String {
         out.push_str(&format!("CREATE TABLE {} (\n", t.def.name));
         let mut lines = Vec::new();
         for (i, c) in t.def.columns.iter().enumerate() {
-            let pk = if t.def.primary_key == Some(i) { " PRIMARY KEY" } else { "" };
+            let pk = if t.def.primary_key == Some(i) {
+                " PRIMARY KEY"
+            } else {
+                ""
+            };
             lines.push(format!("  {} {}{pk}", c.name, c.dtype.sql_name()));
         }
         for fk in &db.schema.foreign_keys {
@@ -406,7 +465,10 @@ fn table2sql(db: &Database, select_rows: usize, question: &str) -> String {
     }
     if select_rows > 0 {
         for t in db.tables() {
-            out.push_str(&format!("-- SELECT * FROM {} LIMIT {select_rows};\n", t.def.name));
+            out.push_str(&format!(
+                "-- SELECT * FROM {} LIMIT {select_rows};\n",
+                t.def.name
+            ));
             let anchor = most_relevant_row(t, question).unwrap_or(0);
             // Anchor window: the most relevant row plus its successors.
             let start = anchor.min(t.len().saturating_sub(select_rows));
@@ -419,16 +481,28 @@ fn table2sql(db: &Database, select_rows: usize, question: &str) -> String {
     out.trim_end().to_string()
 }
 
-fn table2code(db: &Database, ) -> String {
+fn table2code(db: &Database) -> String {
     // Python class-based representation with type hints (§3.2.D): classes for
     // each table, attributes with type hints, and explicit key objects.
     let mut out = String::from("import datetime\nfrom dataclasses import dataclass\n\n");
     for t in db.tables() {
         out.push_str(&format!("@dataclass\nclass {}:\n", pascal(&t.def.name)));
-        out.push_str(&format!("    \"\"\"Table {} of database {}.\"\"\"\n", t.def.name, db.name()));
+        out.push_str(&format!(
+            "    \"\"\"Table {} of database {}.\"\"\"\n",
+            t.def.name,
+            db.name()
+        ));
         for (i, c) in t.def.columns.iter().enumerate() {
-            let marker = if t.def.primary_key == Some(i) { "  # primary key" } else { "" };
-            out.push_str(&format!("    {}: {}{marker}\n", c.name, c.dtype.python_name()));
+            let marker = if t.def.primary_key == Some(i) {
+                "  # primary key"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {}: {}{marker}\n",
+                c.name,
+                c.dtype.python_name()
+            ));
         }
         out.push('\n');
     }
@@ -474,7 +548,10 @@ mod tests {
         for f in PromptFormat::all() {
             let s = f.serialize(&d, "count technicians per team");
             assert!(!s.is_empty(), "{f} empty");
-            assert!(s.contains("technician") || s.contains("Technician"), "{f}: {s}");
+            assert!(
+                s.contains("technician") || s.contains("Technician"),
+                "{f}: {s}"
+            );
         }
     }
 
@@ -515,7 +592,11 @@ mod tests {
         assert_eq!(tables.len(), 2);
         assert!(tables[0].get("primary_key").is_some());
         assert!(tables[0].get("sample_row").is_some());
-        assert!(!j.get("foreign_keys").and_then(Json::as_array).unwrap().is_empty());
+        assert!(!j
+            .get("foreign_keys")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -35,7 +35,12 @@ impl ChartType {
 
     /// All chart types.
     pub fn all() -> [ChartType; 4] {
-        [ChartType::Bar, ChartType::Pie, ChartType::Line, ChartType::Scatter]
+        [
+            ChartType::Bar,
+            ChartType::Pie,
+            ChartType::Line,
+            ChartType::Scatter,
+        ]
     }
 
     /// Parses a chart-type keyword (case-insensitive).
@@ -114,12 +119,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Unqualified reference.
     pub fn new(column: impl Into<String>) -> ColumnRef {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 
     /// Qualified reference.
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
-        ColumnRef { table: Some(table.into()), column: column.into() }
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -221,7 +232,12 @@ impl BinUnit {
 
     /// All bin units.
     pub fn all() -> [BinUnit; 4] {
-        [BinUnit::Year, BinUnit::Month, BinUnit::Weekday, BinUnit::Quarter]
+        [
+            BinUnit::Year,
+            BinUnit::Month,
+            BinUnit::Weekday,
+            BinUnit::Quarter,
+        ]
     }
 }
 
@@ -457,7 +473,12 @@ pub struct VqlQuery {
 impl VqlQuery {
     /// Creates the minimal query: `VISUALIZE \<chart\> SELECT \<x\>, \<y\> FROM
     /// \<table\>`.
-    pub fn new(chart: ChartType, x: SelectExpr, y: SelectExpr, from: impl Into<String>) -> VqlQuery {
+    pub fn new(
+        chart: ChartType,
+        x: SelectExpr,
+        y: SelectExpr,
+        from: impl Into<String>,
+    ) -> VqlQuery {
         VqlQuery {
             chart,
             x,
@@ -533,7 +554,10 @@ mod tests {
         VqlQuery::new(
             ChartType::Bar,
             SelectExpr::Column(ColumnRef::new("name")),
-            SelectExpr::Agg { func: AggFunc::Count, arg: Some(ColumnRef::new("name")) },
+            SelectExpr::Agg {
+                func: AggFunc::Count,
+                arg: Some(ColumnRef::new("name")),
+            },
             "technician",
         )
     }
@@ -549,7 +573,13 @@ mod tests {
 
     #[test]
     fn agg_keywords_roundtrip() {
-        for a in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for a in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             assert_eq!(AggFunc::from_keyword(a.keyword()), Some(a));
         }
         assert_eq!(AggFunc::from_keyword("mean"), Some(AggFunc::Avg));
@@ -557,19 +587,41 @@ mod tests {
 
     #[test]
     fn select_expr_labels() {
-        let e = SelectExpr::Agg { func: AggFunc::Count, arg: Some(ColumnRef::new("name")) };
+        let e = SelectExpr::Agg {
+            func: AggFunc::Count,
+            arg: Some(ColumnRef::new("name")),
+        };
         assert_eq!(e.label(), "count(name)");
-        assert_eq!(SelectExpr::Agg { func: AggFunc::Count, arg: None }.label(), "count(*)");
+        assert_eq!(
+            SelectExpr::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+            .label(),
+            "count(*)"
+        );
         assert_eq!(SelectExpr::Column(ColumnRef::new("x")).label(), "x");
     }
 
     #[test]
     fn predicate_atom_count() {
         let p = Predicate::And(
-            Box::new(Predicate::cmp(ColumnRef::new("a"), CmpOp::Gt, Literal::Int(1))),
+            Box::new(Predicate::cmp(
+                ColumnRef::new("a"),
+                CmpOp::Gt,
+                Literal::Int(1),
+            )),
             Box::new(Predicate::Or(
-                Box::new(Predicate::cmp(ColumnRef::new("b"), CmpOp::Eq, Literal::Int(2))),
-                Box::new(Predicate::cmp(ColumnRef::new("c"), CmpOp::Lt, Literal::Int(3))),
+                Box::new(Predicate::cmp(
+                    ColumnRef::new("b"),
+                    CmpOp::Eq,
+                    Literal::Int(2),
+                )),
+                Box::new(Predicate::cmp(
+                    ColumnRef::new("c"),
+                    CmpOp::Lt,
+                    Literal::Int(3),
+                )),
             )),
         );
         assert_eq!(p.atom_count(), 3);
@@ -590,9 +642,15 @@ mod tests {
     fn hardness_monotone() {
         let simple = base();
         let mut complex = base();
-        complex.filter =
-            Some(Predicate::cmp(ColumnRef::new("team"), CmpOp::Ne, Literal::Text("NYY".into())));
-        complex.order = Some(OrderBy { target: OrderTarget::X, dir: SortDir::Asc });
+        complex.filter = Some(Predicate::cmp(
+            ColumnRef::new("team"),
+            CmpOp::Ne,
+            Literal::Text("NYY".into()),
+        ));
+        complex.order = Some(OrderBy {
+            target: OrderTarget::X,
+            dir: SortDir::Asc,
+        });
         complex.join = Some(Join {
             table: "machine".into(),
             left: ColumnRef::qualified("technician", "id"),

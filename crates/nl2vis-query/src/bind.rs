@@ -110,11 +110,23 @@ pub fn bind<'a>(query: &'a VqlQuery, db: &'a Database) -> Result<BoundQuery<'a>,
     };
 
     // Order target column, when named explicitly, must resolve.
-    if let Some(OrderBy { target: OrderTarget::Column(c), .. }) = &query.order {
+    if let Some(OrderBy {
+        target: OrderTarget::Column(c),
+        ..
+    }) = &query.order
+    {
         resolve(&sources, c)?;
     }
 
-    Ok(BoundQuery { query, sources, x, y, join_keys, bin, color })
+    Ok(BoundQuery {
+        query,
+        sources,
+        x,
+        y,
+        join_keys,
+        bin,
+        color,
+    })
 }
 
 fn bind_expr(sources: &[&Table], expr: &SelectExpr) -> Result<BoundExpr, QueryError> {
@@ -196,9 +208,17 @@ mod tests {
         ));
         s.tables.push(TableDef::new(
             "department",
-            vec![ColumnDef::new("dept_id", Int), ColumnDef::new("dept_name", Text)],
+            vec![
+                ColumnDef::new("dept_id", Int),
+                ColumnDef::new("dept_name", Text),
+            ],
         ));
-        s.foreign_keys.push(ForeignKey::new("employee", "dept_id", "department", "dept_id"));
+        s.foreign_keys.push(ForeignKey::new(
+            "employee",
+            "dept_id",
+            "department",
+            "dept_id",
+        ));
         Database::new(s)
     }
 
@@ -255,12 +275,12 @@ mod tests {
     #[test]
     fn bin_requires_date() {
         let d = db();
-        let ok = parse("VISUALIZE line SELECT hired , COUNT(hired) FROM employee BIN hired BY year")
-            .unwrap();
-        assert!(bind(&ok, &d).is_ok());
-        let bad =
-            parse("VISUALIZE line SELECT name , COUNT(name) FROM employee BIN name BY year")
+        let ok =
+            parse("VISUALIZE line SELECT hired , COUNT(hired) FROM employee BIN hired BY year")
                 .unwrap();
+        assert!(bind(&ok, &d).is_ok());
+        let bad = parse("VISUALIZE line SELECT name , COUNT(name) FROM employee BIN name BY year")
+            .unwrap();
         assert!(matches!(bind(&bad, &d), Err(QueryError::NotTemporal(_))));
     }
 

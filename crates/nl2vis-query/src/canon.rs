@@ -30,14 +30,27 @@ pub fn canonicalize(q: &VqlQuery) -> VqlQuery {
         if right.table.is_none() {
             right.table = Some(j.table.to_ascii_lowercase());
         }
-        let (left, right) =
-            if format!("{left}") <= format!("{right}") { (left, right) } else { (right, left) };
-        Join { table: j.table.to_ascii_lowercase(), left, right }
+        let (left, right) = if format!("{left}") <= format!("{right}") {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        Join {
+            table: j.table.to_ascii_lowercase(),
+            left,
+            right,
+        }
     });
     out.filter = q.filter.as_ref().map(|f| canon_pred(f, q));
-    out.bin = q.bin.as_ref().map(|b| Bin { column: canon_col(&b.column, q), unit: b.unit });
+    out.bin = q.bin.as_ref().map(|b| Bin {
+        column: canon_col(&b.column, q),
+        unit: b.unit,
+    });
     out.group_by = q.group_by.iter().map(|g| canon_col(g, q)).collect();
-    out.order = q.order.as_ref().map(|o| OrderBy { target: canon_order(&o.target, q), dir: o.dir });
+    out.order = q.order.as_ref().map(|o| OrderBy {
+        target: canon_order(&o.target, q),
+        dir: o.dir,
+    });
     out
 }
 
@@ -49,9 +62,10 @@ pub fn exact_match(a: &VqlQuery, b: &VqlQuery) -> bool {
 fn canon_expr(e: &SelectExpr, q: &VqlQuery) -> SelectExpr {
     match e {
         SelectExpr::Column(c) => SelectExpr::Column(canon_col(c, q)),
-        SelectExpr::Agg { func, arg } => {
-            SelectExpr::Agg { func: *func, arg: arg.as_ref().map(|c| canon_col(c, q)) }
-        }
+        SelectExpr::Agg { func, arg } => SelectExpr::Agg {
+            func: *func,
+            arg: arg.as_ref().map(|c| canon_col(c, q)),
+        },
     }
 }
 
@@ -60,7 +74,10 @@ fn canon_col(c: &ColumnRef, q: &VqlQuery) -> ColumnRef {
     let table = c.table.as_ref().map(|t| t.to_ascii_lowercase());
     // Drop the qualifier on single-table queries — it carries no information.
     if q.join.is_none() {
-        return ColumnRef { table: None, column };
+        return ColumnRef {
+            table: None,
+            column,
+        };
     }
     ColumnRef { table, column }
 }
@@ -72,7 +89,11 @@ fn canon_pred(p: &Predicate, q: &VqlQuery) -> Predicate {
             op: *op,
             value: canon_literal(value),
         },
-        Predicate::InSubquery { col, negated, subquery } => Predicate::InSubquery {
+        Predicate::InSubquery {
+            col,
+            negated,
+            subquery,
+        } => Predicate::InSubquery {
             col: canon_col(col, q),
             negated: *negated,
             subquery: SubQuery {
@@ -136,7 +157,10 @@ fn predicate_key(p: &Predicate) -> String {
         order: None,
     })
     .split(" WHERE ")
-    .nth(1) { s.push_str(t) }
+    .nth(1)
+    {
+        s.push_str(t)
+    }
     s
 }
 
@@ -153,9 +177,13 @@ fn canon_order(t: &OrderTarget, q: &VqlQuery) -> OrderTarget {
         OrderTarget::X => OrderTarget::X,
         OrderTarget::Y => OrderTarget::Y,
         OrderTarget::Column(c) => {
-            let is_x = q.x.column().is_some_and(|xc| xc.column.eq_ignore_ascii_case(&c.column));
+            let is_x =
+                q.x.column()
+                    .is_some_and(|xc| xc.column.eq_ignore_ascii_case(&c.column));
             let is_plain_y = !q.y.is_aggregate()
-                && q.y.column().is_some_and(|yc| yc.column.eq_ignore_ascii_case(&c.column));
+                && q.y
+                    .column()
+                    .is_some_and(|yc| yc.column.eq_ignore_ascii_case(&c.column));
             if is_plain_y && !is_x {
                 OrderTarget::Y
             } else if is_x {

@@ -37,7 +37,10 @@ pub enum Component {
 impl Component {
     /// Is this component part of the *visual* part of the query?
     pub fn is_visual(self) -> bool {
-        matches!(self, Component::VisType | Component::AxisX | Component::AxisY)
+        matches!(
+            self,
+            Component::VisType | Component::AxisX | Component::AxisY
+        )
     }
 
     /// The paper's Fig. 11 bucket name for this component.
@@ -102,10 +105,23 @@ pub fn fingerprint(q: &VqlQuery, c: Component) -> String {
             None => String::new(),
             Some(f) => {
                 // Reuse the printer by embedding the predicate in a dummy query.
-                let printed = crate::printer::print(&VqlQuery { filter: Some(f.clone()), ..q.clone() });
-                printed.split(" WHERE ").nth(1).unwrap_or("").split(" BIN ").next().unwrap_or("")
-                    .split(" GROUP BY ").next().unwrap_or("")
-                    .split(" ORDER BY ").next().unwrap_or("")
+                let printed = crate::printer::print(&VqlQuery {
+                    filter: Some(f.clone()),
+                    ..q.clone()
+                });
+                printed
+                    .split(" WHERE ")
+                    .nth(1)
+                    .unwrap_or("")
+                    .split(" BIN ")
+                    .next()
+                    .unwrap_or("")
+                    .split(" GROUP BY ")
+                    .next()
+                    .unwrap_or("")
+                    .split(" ORDER BY ")
+                    .next()
+                    .unwrap_or("")
                     .to_string()
             }
         },
@@ -214,8 +230,12 @@ mod tests {
 
     #[test]
     fn bin_group_order_diffs() {
-        let a = q("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY month GROUP BY d ORDER BY d ASC");
-        let b = q("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY year GROUP BY d ORDER BY d DESC");
+        let a = q(
+            "VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY month GROUP BY d ORDER BY d ASC",
+        );
+        let b = q(
+            "VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY year GROUP BY d ORDER BY d DESC",
+        );
         let ds = diff(&a, &b);
         assert!(ds.contains(&Component::Bin));
         assert!(ds.contains(&Component::Order));
@@ -225,7 +245,8 @@ mod tests {
     #[test]
     fn subquery_diff_detected() {
         let a = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE k IN ( SELECT k FROM u )");
-        let b = q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE k NOT IN ( SELECT k FROM u )");
+        let b =
+            q("VISUALIZE bar SELECT name , COUNT(name) FROM t WHERE k NOT IN ( SELECT k FROM u )");
         let d = diff(&a, &b);
         assert!(d.contains(&Component::Subquery));
     }

@@ -83,10 +83,15 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(QueryError::UnknownTable("t".into()).to_string().contains("`t`"));
-        assert!(QueryError::Parse { offset: 4, message: "x".into() }
+        assert!(QueryError::UnknownTable("t".into())
             .to_string()
-            .contains("byte 4"));
+            .contains("`t`"));
+        assert!(QueryError::Parse {
+            offset: 4,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("byte 4"));
         let e: QueryError = nl2vis_data::DataError::UnknownTable("q".into()).into();
         assert!(matches!(e, QueryError::Data(_)));
     }

@@ -123,7 +123,9 @@ pub fn execute(query: &VqlQuery, db: &Database) -> Result<ResultSet, QueryError>
     // 1. Scan / join into combined rows. Each combined row stores one slice
     //    of values per source.
     let combined: Vec<[usize; 2]> = match bound.join_keys {
-        None => (0..bound.sources[0].len()).map(|i| [i, usize::MAX]).collect(),
+        None => (0..bound.sources[0].len())
+            .map(|i| [i, usize::MAX])
+            .collect(),
         Some((l, r)) => {
             // Hash join: build on the joined (right) table.
             let right = bound.sources[1];
@@ -204,7 +206,13 @@ pub fn execute(query: &VqlQuery, db: &Database) -> Result<ResultSet, QueryError>
         let y_addr = bound.y.addr().expect("non-aggregate y always has a column");
         filtered
             .iter()
-            .map(|row| (x_of(row), fetch(row, y_addr), bound.color.map(|c| fetch(row, c))))
+            .map(|row| {
+                (
+                    x_of(row),
+                    fetch(row, y_addr),
+                    bound.color.map(|c| fetch(row, c)),
+                )
+            })
             .collect()
     };
 
@@ -233,7 +241,11 @@ pub fn execute(query: &VqlQuery, db: &Database) -> Result<ResultSet, QueryError>
         };
         let weekday_x = matches!(bound.bin, Some((_, BinUnit::Weekday)));
         rows.sort_by(|a, b| {
-            let (ka, kb) = if sort_on_x { (&a.0, &b.0) } else { (&a.1, &b.1) };
+            let (ka, kb) = if sort_on_x {
+                (&a.0, &b.0)
+            } else {
+                (&a.1, &b.1)
+            };
             let ord = if sort_on_x && weekday_x {
                 weekday_rank(ka).cmp(&weekday_rank(kb))
             } else {
@@ -250,21 +262,41 @@ pub fn execute(query: &VqlQuery, db: &Database) -> Result<ResultSet, QueryError>
     let x_label = query.x.label();
     let y_label = query.y.label();
 
-    Ok(ResultSet { chart: query.chart, x_label, y_label, series_label, rows, ordered })
+    Ok(ResultSet {
+        chart: query.chart,
+        x_label,
+        y_label,
+        series_label,
+        rows,
+        ordered,
+    })
 }
 
 fn weekday_rank(v: &Value) -> u8 {
-    const NAMES: [&str; 7] =
-        ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"];
+    const NAMES: [&str; 7] = [
+        "Monday",
+        "Tuesday",
+        "Wednesday",
+        "Thursday",
+        "Friday",
+        "Saturday",
+        "Sunday",
+    ];
     match v {
-        Value::Text(s) => NAMES.iter().position(|n| n == s).map(|i| i as u8).unwrap_or(7),
+        Value::Text(s) => NAMES
+            .iter()
+            .position(|n| n == s)
+            .map(|i| i as u8)
+            .unwrap_or(7),
         _ => 7,
     }
 }
 
 /// Applies a temporal bin to a value. Non-date values pass through NULL.
 pub fn bin_value(v: &Value, unit: BinUnit) -> Value {
-    let Some(d) = v.as_date() else { return Value::Null };
+    let Some(d) = v.as_date() else {
+        return Value::Null;
+    };
     match unit {
         BinUnit::Year => Value::Int(i64::from(d.year)),
         BinUnit::Month => Value::Text(format!("{:04}-{:02}", d.year, d.month)),
@@ -310,7 +342,11 @@ where
             if count == 0 {
                 return Ok(Value::Null);
             }
-            let result = if func == AggFunc::Avg { total / count as f64 } else { total };
+            let result = if func == AggFunc::Avg {
+                total / count as f64
+            } else {
+                total
+            };
             // SUM over an integer column stays integral.
             let int_input = column_type(sources, a) == nl2vis_data::value::DataType::Int;
             if func == AggFunc::Sum && int_input {
@@ -388,7 +424,11 @@ fn eval_predicate(
                 CmpOp::Ge => ord.is_ge(),
             })
         }
-        Predicate::InSubquery { col, negated, subquery } => {
+        Predicate::InSubquery {
+            col,
+            negated,
+            subquery,
+        } => {
             let addr = crate::bind::resolve(sources, col)?;
             let cell = sources[addr.0].rows()[row[addr.0]][addr.1].clone();
             if cell.is_null() {
@@ -403,7 +443,9 @@ fn eval_predicate(
 
 /// Evaluates a nested data subquery to the set of its selected values.
 pub fn eval_subquery(sq: &SubQuery, db: &Database) -> Result<HashSet<Value>, QueryError> {
-    let table = db.table(&sq.from).map_err(|_| QueryError::UnknownTable(sq.from.clone()))?;
+    let table = db
+        .table(&sq.from)
+        .map_err(|_| QueryError::UnknownTable(sq.from.clone()))?;
     let sources = vec![table];
     let col = crate::bind::resolve(&sources, &sq.select)?;
     let mut out = HashSet::new();
@@ -447,21 +489,62 @@ mod tests {
                 ColumnDef::new("value", Float),
             ],
         ));
-        s.foreign_keys.push(ForeignKey::new("machine", "tech_id", "technician", "tech_id"));
+        s.foreign_keys.push(ForeignKey::new(
+            "machine",
+            "tech_id",
+            "technician",
+            "tech_id",
+        ));
         let mut d = Database::new(s);
         let date = |y, m, dd| Value::Date(Date::new(y, m, dd).unwrap());
         let rows: Vec<Vec<Value>> = vec![
-            vec![1.into(), "ann".into(), "NYY".into(), 30.into(), 4.5.into(), date(2020, 1, 6)],
-            vec![2.into(), "bob".into(), "BOS".into(), 35.into(), 3.0.into(), date(2020, 2, 3)],
-            vec![3.into(), "cat".into(), "BOS".into(), 28.into(), 5.0.into(), date(2021, 2, 9)],
-            vec![4.into(), "dan".into(), "LAD".into(), 41.into(), 2.5.into(), date(2021, 7, 5)],
-            vec![5.into(), "eve".into(), "BOS".into(), 35.into(), 4.0.into(), date(2020, 1, 7)],
+            vec![
+                1.into(),
+                "ann".into(),
+                "NYY".into(),
+                30.into(),
+                4.5.into(),
+                date(2020, 1, 6),
+            ],
+            vec![
+                2.into(),
+                "bob".into(),
+                "BOS".into(),
+                35.into(),
+                3.0.into(),
+                date(2020, 2, 3),
+            ],
+            vec![
+                3.into(),
+                "cat".into(),
+                "BOS".into(),
+                28.into(),
+                5.0.into(),
+                date(2021, 2, 9),
+            ],
+            vec![
+                4.into(),
+                "dan".into(),
+                "LAD".into(),
+                41.into(),
+                2.5.into(),
+                date(2021, 7, 5),
+            ],
+            vec![
+                5.into(),
+                "eve".into(),
+                "BOS".into(),
+                35.into(),
+                4.0.into(),
+                date(2020, 1, 7),
+            ],
         ];
         for r in rows {
             d.insert("technician", r).unwrap();
         }
         for (m, t, v) in [(10, 1, 100.0), (11, 2, 50.0), (12, 2, 75.0), (13, 3, 20.0)] {
-            d.insert("machine", vec![m.into(), t.into(), v.into()]).unwrap();
+            d.insert("machine", vec![m.into(), t.into(), v.into()])
+                .unwrap();
         }
         d.validate().unwrap();
         d
@@ -494,9 +577,13 @@ mod tests {
 
     #[test]
     fn sum_int_stays_int_avg_is_float() {
-        let r = run("VISUALIZE bar SELECT team , SUM(age) FROM technician GROUP BY team ORDER BY team ASC");
+        let r = run(
+            "VISUALIZE bar SELECT team , SUM(age) FROM technician GROUP BY team ORDER BY team ASC",
+        );
         assert_eq!(r.rows[0].1, Value::Int(98)); // BOS: 35+28+35
-        let r = run("VISUALIZE bar SELECT team , AVG(age) FROM technician GROUP BY team ORDER BY team ASC");
+        let r = run(
+            "VISUALIZE bar SELECT team , AVG(age) FROM technician GROUP BY team ORDER BY team ASC",
+        );
         assert_eq!(r.rows[0].1, Value::Float(98.0 / 3.0));
     }
 
@@ -504,7 +591,9 @@ mod tests {
     fn min_max() {
         let r = run("VISUALIZE bar SELECT team , MAX(rating) FROM technician GROUP BY team ORDER BY team ASC");
         assert_eq!(r.rows[0].1, Value::Float(5.0));
-        let r = run("VISUALIZE bar SELECT team , MIN(age) FROM technician GROUP BY team ORDER BY team ASC");
+        let r = run(
+            "VISUALIZE bar SELECT team , MIN(age) FROM technician GROUP BY team ORDER BY team ASC",
+        );
         assert_eq!(r.rows[0].1, Value::Int(28));
     }
 
@@ -535,7 +624,10 @@ mod tests {
         let r = run("VISUALIZE line SELECT hired , COUNT(hired) FROM technician BIN hired BY year ORDER BY hired ASC");
         assert_eq!(
             r.rows,
-            vec![(Value::Int(2020), Value::Int(3), None), (Value::Int(2021), Value::Int(2), None)]
+            vec![
+                (Value::Int(2020), Value::Int(3), None),
+                (Value::Int(2021), Value::Int(2), None)
+            ]
         );
         let r = run("VISUALIZE line SELECT hired , COUNT(hired) FROM technician BIN hired BY month ORDER BY hired ASC");
         assert_eq!(r.rows[0].0, Value::from("2020-01"));
@@ -559,10 +651,9 @@ mod tests {
     fn color_series_grouping() {
         let r = run("VISUALIZE bar SELECT age , COUNT(age) FROM technician GROUP BY age , team ORDER BY age ASC");
         // (35, BOS) has two members (bob, eve).
-        assert!(r
-            .rows
-            .iter()
-            .any(|(x, y, s)| *x == Value::Int(35) && *y == Value::Int(2) && *s == Some(Value::from("BOS"))));
+        assert!(r.rows.iter().any(|(x, y, s)| *x == Value::Int(35)
+            && *y == Value::Int(2)
+            && *s == Some(Value::from("BOS"))));
         assert_eq!(r.series_label.as_deref(), Some("team"));
     }
 
@@ -581,15 +672,20 @@ mod tests {
 
     #[test]
     fn and_or_semantics() {
-        let r = run("VISUALIZE bar SELECT name , age FROM technician WHERE team = \"BOS\" AND age > 30");
+        let r = run(
+            "VISUALIZE bar SELECT name , age FROM technician WHERE team = \"BOS\" AND age > 30",
+        );
         assert_eq!(r.rows.len(), 2);
-        let r = run("VISUALIZE bar SELECT name , age FROM technician WHERE team = \"LAD\" OR age < 29");
+        let r =
+            run("VISUALIZE bar SELECT name , age FROM technician WHERE team = \"LAD\" OR age < 29");
         assert_eq!(r.rows.len(), 2);
     }
 
     #[test]
     fn order_desc_by_y() {
-        let r = run("VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY y DESC");
+        let r = run(
+            "VISUALIZE bar SELECT team , COUNT(team) FROM technician GROUP BY team ORDER BY y DESC",
+        );
         assert_eq!(r.rows[0].1, Value::Int(3));
     }
 
@@ -658,11 +754,18 @@ mod tests {
         let mut d = db();
         d.insert(
             "technician",
-            vec![6.into(), "fay".into(), Value::Null, 50.into(), Value::Null, Value::Null],
+            vec![
+                6.into(),
+                "fay".into(),
+                Value::Null,
+                50.into(),
+                Value::Null,
+                Value::Null,
+            ],
         )
         .unwrap();
-        let q = parse("VISUALIZE bar SELECT name , age FROM technician WHERE team != \"NYY\"")
-            .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT name , age FROM technician WHERE team != \"NYY\"").unwrap();
         let r = execute(&q, &d).unwrap();
         assert!(!r.rows.iter().any(|(x, _, _)| x.render() == "fay"));
     }
@@ -685,8 +788,11 @@ mod tests {
             s
         };
         let d = Database::new(s);
-        let r = execute(&parse("VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a").unwrap(), &d)
-            .unwrap();
+        let r = execute(
+            &parse("VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a").unwrap(),
+            &d,
+        )
+        .unwrap();
         assert!(r.rows.is_empty());
         // Non-aggregate over empty table is empty too.
         let r = execute(&parse("VISUALIZE scatter SELECT b , b FROM t").unwrap(), &d).unwrap();
@@ -703,15 +809,24 @@ mod tests {
         let mut d = Database::new(s);
         d.insert("t", vec!["a".into(), Value::Null]).unwrap();
         d.insert("t", vec!["a".into(), Value::Null]).unwrap();
-        let r = execute(&parse("VISUALIZE bar SELECT k , SUM(v) FROM t GROUP BY k").unwrap(), &d)
-            .unwrap();
+        let r = execute(
+            &parse("VISUALIZE bar SELECT k , SUM(v) FROM t GROUP BY k").unwrap(),
+            &d,
+        )
+        .unwrap();
         assert_eq!(r.rows, vec![(Value::from("a"), Value::Null, None)]);
-        let r = execute(&parse("VISUALIZE bar SELECT k , MIN(v) FROM t GROUP BY k").unwrap(), &d)
-            .unwrap();
+        let r = execute(
+            &parse("VISUALIZE bar SELECT k , MIN(v) FROM t GROUP BY k").unwrap(),
+            &d,
+        )
+        .unwrap();
         assert_eq!(r.rows[0].1, Value::Null);
         // COUNT of an all-null column is 0, not NULL.
-        let r = execute(&parse("VISUALIZE bar SELECT k , COUNT(v) FROM t GROUP BY k").unwrap(), &d)
-            .unwrap();
+        let r = execute(
+            &parse("VISUALIZE bar SELECT k , COUNT(v) FROM t GROUP BY k").unwrap(),
+            &d,
+        )
+        .unwrap();
         assert_eq!(r.rows[0].1, Value::Int(0));
     }
 
@@ -755,12 +870,17 @@ mod tests {
             "VISUALIZE bar SELECT name , age FROM technician WHERE tech_id IN ( SELECT x FROM nonexistent )",
         )
         .unwrap();
-        assert!(matches!(execute(&q, &db()), Err(QueryError::UnknownTable(_))));
+        assert!(matches!(
+            execute(&q, &db()),
+            Err(QueryError::UnknownTable(_))
+        ));
     }
 
     #[test]
     fn count_star_counts_all_rows_per_group() {
-        let r = run("VISUALIZE bar SELECT team , COUNT(*) FROM technician GROUP BY team ORDER BY team ASC");
+        let r = run(
+            "VISUALIZE bar SELECT team , COUNT(*) FROM technician GROUP BY team ORDER BY team ASC",
+        );
         let total: i64 = r.rows.iter().filter_map(|(_, y, _)| y.as_int()).sum();
         assert_eq!(total, 5);
     }

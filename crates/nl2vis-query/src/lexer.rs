@@ -194,7 +194,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
                     pos += 1;
                 }
                 let mut is_float = false;
-                if bytes.get(pos) == Some(&b'.') && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
+                if bytes.get(pos) == Some(&b'.')
+                    && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
                 {
                     is_float = true;
                     pos += 1;
@@ -228,13 +229,19 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
             _ => {
                 return Err(QueryError::Lex {
                     offset,
-                    message: format!("unexpected character `{}`", input[pos..].chars().next().unwrap()),
+                    message: format!(
+                        "unexpected character `{}`",
+                        input[pos..].chars().next().unwrap()
+                    ),
                 })
             }
         };
         tokens.push(Token { kind, offset });
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -305,8 +312,14 @@ mod tests {
 
     #[test]
     fn strings_both_quotes() {
-        assert_eq!(kinds("\"NYY\""), vec![TokenKind::Str("NYY".into()), TokenKind::Eof]);
-        assert_eq!(kinds("'NYY'"), vec![TokenKind::Str("NYY".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("\"NYY\""),
+            vec![TokenKind::Str("NYY".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("'NYY'"),
+            vec![TokenKind::Str("NYY".into()), TokenKind::Eof]
+        );
         assert_eq!(
             kinds(r#""a\"b""#),
             vec![TokenKind::Str("a\"b".into()), TokenKind::Eof]
@@ -326,7 +339,10 @@ mod tests {
 
     #[test]
     fn unicode_in_string() {
-        assert_eq!(kinds("'héllo😀'"), vec![TokenKind::Str("héllo😀".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("'héllo😀'"),
+            vec![TokenKind::Str("héllo😀".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

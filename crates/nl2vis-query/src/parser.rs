@@ -46,7 +46,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { offset: self.offset(), message: message.into() }
+        QueryError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -293,7 +296,15 @@ impl Parser {
             None
         };
         self.expect_kind(&TokenKind::RParen, "`)` closing subquery")?;
-        Ok(Predicate::InSubquery { col, negated, subquery: SubQuery { select, from, filter } })
+        Ok(Predicate::InSubquery {
+            col,
+            negated,
+            subquery: SubQuery {
+                select,
+                from,
+                filter,
+            },
+        })
     }
 
     fn literal(&mut self) -> Result<Literal, QueryError> {
@@ -322,8 +333,22 @@ impl Parser {
 /// Words that cannot be used as bare identifiers.
 fn is_reserved(w: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "VISUALIZE", "SELECT", "FROM", "JOIN", "ON", "WHERE", "BIN", "BY", "GROUP", "ORDER",
-        "AND", "OR", "NOT", "IN", "ASC", "DESC",
+        "VISUALIZE",
+        "SELECT",
+        "FROM",
+        "JOIN",
+        "ON",
+        "WHERE",
+        "BIN",
+        "BY",
+        "GROUP",
+        "ORDER",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "ASC",
+        "DESC",
     ];
     RESERVED.iter().any(|r| r.eq_ignore_ascii_case(w))
 }
@@ -344,7 +369,10 @@ mod tests {
         assert_eq!(q.x, SelectExpr::Column(ColumnRef::new("name")));
         assert_eq!(
             q.y,
-            SelectExpr::Agg { func: AggFunc::Count, arg: Some(ColumnRef::new("name")) }
+            SelectExpr::Agg {
+                func: AggFunc::Count,
+                arg: Some(ColumnRef::new("name"))
+            }
         );
         assert_eq!(q.from, "technician");
         assert!(matches!(
@@ -354,7 +382,10 @@ mod tests {
         assert_eq!(q.group_by, vec![ColumnRef::new("name")]);
         assert_eq!(
             q.order,
-            Some(OrderBy { target: OrderTarget::Column(ColumnRef::new("name")), dir: SortDir::Asc })
+            Some(OrderBy {
+                target: OrderTarget::Column(ColumnRef::new("name")),
+                dir: SortDir::Asc
+            })
         );
     }
 
@@ -373,10 +404,8 @@ mod tests {
 
     #[test]
     fn parses_bin() {
-        let q = parse(
-            "VISUALIZE line SELECT date , COUNT(date) FROM payments BIN date BY month",
-        )
-        .unwrap();
+        let q = parse("VISUALIZE line SELECT date , COUNT(date) FROM payments BIN date BY month")
+            .unwrap();
         let b = q.bin.unwrap();
         assert_eq!(b.unit, BinUnit::Month);
         assert_eq!(b.column, ColumnRef::new("date"));
@@ -385,15 +414,19 @@ mod tests {
     #[test]
     fn parses_count_star() {
         let q = parse("VISUALIZE bar SELECT city , COUNT(*) FROM shops").unwrap();
-        assert_eq!(q.y, SelectExpr::Agg { func: AggFunc::Count, arg: None });
+        assert_eq!(
+            q.y,
+            SelectExpr::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+        );
     }
 
     #[test]
     fn parses_and_or_precedence() {
-        let q = parse(
-            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 OR y < 2 AND z = 3",
-        )
-        .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT a , SUM(b) FROM t WHERE x > 1 OR y < 2 AND z = 3").unwrap();
         // AND binds tighter: Or(x>1, And(y<2, z=3))
         match q.filter.unwrap() {
             Predicate::Or(l, r) => {
@@ -406,10 +439,8 @@ mod tests {
 
     #[test]
     fn parses_parenthesized_predicate() {
-        let q = parse(
-            "VISUALIZE bar SELECT a , SUM(b) FROM t WHERE ( x > 1 OR y < 2 ) AND z = 3",
-        )
-        .unwrap();
+        let q = parse("VISUALIZE bar SELECT a , SUM(b) FROM t WHERE ( x > 1 OR y < 2 ) AND z = 3")
+            .unwrap();
         assert!(matches!(q.filter.unwrap(), Predicate::And(_, _)));
     }
 
@@ -421,7 +452,9 @@ mod tests {
         )
         .unwrap();
         match q.filter.unwrap() {
-            Predicate::InSubquery { negated, subquery, .. } => {
+            Predicate::InSubquery {
+                negated, subquery, ..
+            } => {
                 assert!(negated);
                 assert_eq!(subquery.from, "champion");
                 assert!(subquery.filter.is_some());
@@ -432,8 +465,8 @@ mod tests {
 
     #[test]
     fn parses_group_with_color() {
-        let q = parse("VISUALIZE bar SELECT year , SUM(sales) FROM s GROUP BY year , region")
-            .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT year , SUM(sales) FROM s GROUP BY year , region").unwrap();
         assert_eq!(q.group_by.len(), 2);
         assert_eq!(q.color(), Some(&ColumnRef::new("region")));
     }
@@ -441,7 +474,13 @@ mod tests {
     #[test]
     fn order_variants() {
         let q = parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY x DESC").unwrap();
-        assert_eq!(q.order.unwrap(), OrderBy { target: OrderTarget::X, dir: SortDir::Desc });
+        assert_eq!(
+            q.order.unwrap(),
+            OrderBy {
+                target: OrderTarget::X,
+                dir: SortDir::Desc
+            }
+        );
         let q = parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY COUNT(a) DESC").unwrap();
         assert_eq!(q.order.unwrap().target, OrderTarget::Y);
         let q = parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a").unwrap();
@@ -450,10 +489,9 @@ mod tests {
 
     #[test]
     fn clause_order_tolerant() {
-        let q = parse(
-            "VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a ASC GROUP BY a WHERE b = 1",
-        )
-        .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a ASC GROUP BY a WHERE b = 1")
+                .unwrap();
         assert!(q.filter.is_some());
         assert!(q.order.is_some());
         assert_eq!(q.group_by.len(), 1);
@@ -466,10 +504,12 @@ mod tests {
 
     #[test]
     fn date_literals_detected() {
-        let q = parse("VISUALIZE line SELECT d , COUNT(d) FROM t WHERE d >= '2020-01-01'")
-            .unwrap();
+        let q = parse("VISUALIZE line SELECT d , COUNT(d) FROM t WHERE d >= '2020-01-01'").unwrap();
         match q.filter.unwrap() {
-            Predicate::Cmp { value: Literal::Date(d), .. } => assert_eq!(d.year, 2020),
+            Predicate::Cmp {
+                value: Literal::Date(d),
+                ..
+            } => assert_eq!(d.year, 2020),
             other => panic!("expected date literal, got {other:?}"),
         }
     }

@@ -82,13 +82,21 @@ pub fn print_sketch(q: &VqlQuery) -> String {
         out.push_str(" JOIN");
     }
     if let Some(f) = &q.filter {
-        out.push_str(&format!(" WHERE[{}{}]", f.atom_count(), if f.has_subquery() { ",nested" } else { "" }));
+        out.push_str(&format!(
+            " WHERE[{}{}]",
+            f.atom_count(),
+            if f.has_subquery() { ",nested" } else { "" }
+        ));
     }
     if let Some(b) = &q.bin {
         out.push_str(&format!(" BIN[{}]", b.unit.keyword()));
     }
     if !q.group_by.is_empty() {
-        out.push_str(if q.group_by.len() > 1 { " GROUP[color]" } else { " GROUP" });
+        out.push_str(if q.group_by.len() > 1 {
+            " GROUP[color]"
+        } else {
+            " GROUP"
+        });
     }
     if let Some(o) = &q.order {
         out.push_str(&format!(" ORDER[{}]", o.dir.keyword()));
@@ -105,9 +113,17 @@ fn print_predicate(out: &mut String, p: &Predicate, parenthesize_or: bool) {
             out.push(' ');
             out.push_str(&value.to_string());
         }
-        Predicate::InSubquery { col, negated, subquery } => {
+        Predicate::InSubquery {
+            col,
+            negated,
+            subquery,
+        } => {
             out.push_str(&col.to_string());
-            out.push_str(if *negated { " NOT IN ( SELECT " } else { " IN ( SELECT " });
+            out.push_str(if *negated {
+                " NOT IN ( SELECT "
+            } else {
+                " IN ( SELECT "
+            });
             out.push_str(&subquery.select.to_string());
             out.push_str(" FROM ");
             out.push_str(&subquery.from);
@@ -183,18 +199,20 @@ mod tests {
 
     #[test]
     fn or_inside_and_gets_parens() {
-        let q = parse("VISUALIZE bar SELECT a , b FROM t WHERE ( x = 1 OR y = 2 ) AND z = 3")
-            .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT a , b FROM t WHERE ( x = 1 OR y = 2 ) AND z = 3").unwrap();
         let printed = print(&q);
-        assert!(printed.contains("( x = 1 OR y = 2 ) AND z = 3"), "{printed}");
+        assert!(
+            printed.contains("( x = 1 OR y = 2 ) AND z = 3"),
+            "{printed}"
+        );
     }
 
     #[test]
     fn canonical_clause_order() {
-        let q = parse(
-            "VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a ASC GROUP BY a WHERE b = 1",
-        )
-        .unwrap();
+        let q =
+            parse("VISUALIZE bar SELECT a , COUNT(a) FROM t ORDER BY a ASC GROUP BY a WHERE b = 1")
+                .unwrap();
         let printed = print(&q);
         let w = printed.find(" WHERE ").unwrap();
         let g = printed.find(" GROUP BY ").unwrap();

@@ -60,7 +60,10 @@ pub fn to_sql(q: &VqlQuery) -> String {
             OrderTarget::X => "x".to_string(),
             OrderTarget::Y => "y".to_string(),
             OrderTarget::Column(c) => {
-                if q.x.column().is_some_and(|xc| xc.column.eq_ignore_ascii_case(&c.column)) {
+                if q.x
+                    .column()
+                    .is_some_and(|xc| xc.column.eq_ignore_ascii_case(&c.column))
+                {
                     "x".to_string()
                 } else {
                     c.to_string()
@@ -76,7 +79,10 @@ pub fn to_sql(q: &VqlQuery) -> String {
 
 /// The x select item with binning applied.
 fn x_expr(q: &VqlQuery) -> String {
-    let raw = q.x.column().map(ToString::to_string).unwrap_or_else(|| "*".to_string());
+    let raw =
+        q.x.column()
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "*".to_string());
     match &q.bin {
         Some(bin) if q.x.column() == Some(&bin.column) => bin_expr(&raw, bin.unit),
         _ => raw,
@@ -107,7 +113,10 @@ fn select_item(q: &VqlQuery, e: &SelectExpr) -> String {
             }
         }
         SelectExpr::Agg { func, arg } => {
-            let inner = arg.as_ref().map(ToString::to_string).unwrap_or_else(|| "*".to_string());
+            let inner = arg
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "*".to_string());
             format!("{}({inner})", func.keyword())
         }
     }
@@ -128,7 +137,11 @@ fn predicate_sql(p: &Predicate) -> String {
         Predicate::Or(a, b) => {
             format!("{} OR {}", predicate_sql(a), predicate_sql(b))
         }
-        Predicate::InSubquery { col, negated, subquery } => {
+        Predicate::InSubquery {
+            col,
+            negated,
+            subquery,
+        } => {
             let keyword = if *negated { "NOT IN" } else { "IN" };
             let mut inner = format!("SELECT {} FROM {}", subquery.select, subquery.from);
             if let Some(f) = &subquery.filter {
@@ -187,10 +200,14 @@ mod tests {
             sql("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY year GROUP BY d"),
             "SELECT EXTRACT(YEAR FROM d) AS x, COUNT(d) AS y FROM t GROUP BY EXTRACT(YEAR FROM d);"
         );
-        assert!(sql("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY month GROUP BY d")
-            .contains("EXTRACT(MONTH FROM d)"));
-        assert!(sql("VISUALIZE bar SELECT d , COUNT(d) FROM t BIN d BY weekday GROUP BY d")
-            .contains("EXTRACT(DOW FROM d)"));
+        assert!(
+            sql("VISUALIZE line SELECT d , COUNT(d) FROM t BIN d BY month GROUP BY d")
+                .contains("EXTRACT(MONTH FROM d)")
+        );
+        assert!(
+            sql("VISUALIZE bar SELECT d , COUNT(d) FROM t BIN d BY weekday GROUP BY d")
+                .contains("EXTRACT(DOW FROM d)")
+        );
     }
 
     #[test]
@@ -215,7 +232,10 @@ mod tests {
         let s = sql(
             "VISUALIZE pie SELECT t , COUNT(t) FROM p WHERE k NOT IN ( SELECT k FROM c WHERE d >= \"2020-01-01\" ) GROUP BY t",
         );
-        assert!(s.contains("k NOT IN (SELECT k FROM c WHERE d >= DATE '2020-01-01')"), "{s}");
+        assert!(
+            s.contains("k NOT IN (SELECT k FROM c WHERE d >= DATE '2020-01-01')"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -228,7 +248,9 @@ mod tests {
 
     #[test]
     fn order_by_y_and_desc() {
-        assert!(sql("VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY y DESC")
-            .ends_with("ORDER BY y DESC;"));
+        assert!(
+            sql("VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY y DESC")
+                .ends_with("ORDER BY y DESC;")
+        );
     }
 }

@@ -11,7 +11,10 @@ const BAR_WIDTH: usize = 40;
 /// Renders a result set as a terminal chart.
 pub fn render_ascii(result: &ResultSet) -> String {
     if result.rows.is_empty() {
-        return format!("({} chart of {}: empty result)\n", result.chart, result.x_label);
+        return format!(
+            "({} chart of {}: empty result)\n",
+            result.chart, result.x_label
+        );
     }
     match result.chart {
         ChartType::Bar | ChartType::Pie => render_bars(result),
@@ -25,13 +28,20 @@ fn numeric(v: &Value) -> f64 {
 }
 
 fn render_bars(result: &ResultSet) -> String {
-    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(f64::MIN, f64::max).max(1.0);
+    let y_max = result
+        .rows
+        .iter()
+        .map(|(_, y, _)| numeric(y))
+        .fold(f64::MIN, f64::max)
+        .max(1.0);
     let label_w = result
         .rows
         .iter()
         .map(|(x, _, s)| {
             x.render().chars().count()
-                + s.as_ref().map(|sv| sv.render().chars().count() + 3).unwrap_or(0)
+                + s.as_ref()
+                    .map(|sv| sv.render().chars().count() + 3)
+                    .unwrap_or(0)
         })
         .max()
         .unwrap_or(1);
@@ -74,8 +84,16 @@ fn render_bars(result: &ResultSet) -> String {
 fn render_series(result: &ResultSet, mark: char) -> String {
     const ROWS: usize = 12;
     const COLS: usize = 56;
-    let y_min = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(f64::MAX, f64::min);
-    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(f64::MIN, f64::max);
+    let y_min = result
+        .rows
+        .iter()
+        .map(|(_, y, _)| numeric(y))
+        .fold(f64::MAX, f64::min);
+    let y_max = result
+        .rows
+        .iter()
+        .map(|(_, y, _)| numeric(y))
+        .fold(f64::MIN, f64::max);
     let span = (y_max - y_min).max(1e-9);
     let n = result.rows.len();
     let mut grid = vec![vec![' '; COLS]; ROWS];
@@ -101,9 +119,21 @@ fn render_series(result: &ResultSet, mark: char) -> String {
     out.push_str(&"─".repeat(COLS));
     out.push('\n');
     // X extremes.
-    let first = result.rows.first().map(|(x, _, _)| x.render()).unwrap_or_default();
-    let last = result.rows.last().map(|(x, _, _)| x.render()).unwrap_or_default();
-    out.push_str(&format!("          {first}{:>width$}\n", last, width = COLS.saturating_sub(first.chars().count())));
+    let first = result
+        .rows
+        .first()
+        .map(|(x, _, _)| x.render())
+        .unwrap_or_default();
+    let last = result
+        .rows
+        .last()
+        .map(|(x, _, _)| x.render())
+        .unwrap_or_default();
+    out.push_str(&format!(
+        "          {first}{:>width$}\n",
+        last,
+        width = COLS.saturating_sub(first.chars().count())
+    ));
     out
 }
 
@@ -134,14 +164,27 @@ mod tests {
     fn bar_has_blocks_and_values() {
         let text = render_ascii(&rs(
             ChartType::Bar,
-            vec![(Value::from("a"), Value::Int(4), None), (Value::from("bb"), Value::Int(2), None)],
+            vec![
+                (Value::from("a"), Value::Int(4), None),
+                (Value::from("bb"), Value::Int(2), None),
+            ],
         ));
         assert!(text.contains('█'));
         assert!(text.contains("a "));
         assert!(text.contains("4"));
         // Longest bar is the max value.
-        let a_blocks = text.lines().find(|l| l.starts_with("a ")).unwrap().matches('█').count();
-        let b_blocks = text.lines().find(|l| l.starts_with("bb")).unwrap().matches('█').count();
+        let a_blocks = text
+            .lines()
+            .find(|l| l.starts_with("a "))
+            .unwrap()
+            .matches('█')
+            .count();
+        let b_blocks = text
+            .lines()
+            .find(|l| l.starts_with("bb"))
+            .unwrap()
+            .matches('█')
+            .count();
         assert!(a_blocks > b_blocks);
     }
 
@@ -149,7 +192,10 @@ mod tests {
     fn pie_shows_shares() {
         let text = render_ascii(&rs(
             ChartType::Pie,
-            vec![(Value::from("a"), Value::Int(1), None), (Value::from("b"), Value::Int(3), None)],
+            vec![
+                (Value::from("a"), Value::Int(1), None),
+                (Value::from("b"), Value::Int(3), None),
+            ],
         ));
         assert!(text.contains("a=25%"));
         assert!(text.contains("b=75%"));
@@ -172,7 +218,10 @@ mod tests {
     fn scatter_uses_o() {
         let text = render_ascii(&rs(
             ChartType::Scatter,
-            vec![(Value::Int(1), Value::Int(1), None), (Value::Int(2), Value::Int(2), None)],
+            vec![
+                (Value::Int(1), Value::Int(1), None),
+                (Value::Int(2), Value::Int(2), None),
+            ],
         ));
         assert_eq!(text.matches('o').count(), 2);
     }

@@ -51,7 +51,9 @@ pub fn from_vega_lite(spec: &Json) -> Result<VqlQuery, ImportError> {
         .and_then(|d| d.get("name"))
         .and_then(Json::as_str)
         .map(str::to_string)
-        .ok_or(ImportError::Missing("data.name (inline values have no source table)"))?;
+        .ok_or(ImportError::Missing(
+            "data.name (inline values have no source table)",
+        ))?;
 
     // Mark.
     let mark = match spec.get("mark") {
@@ -71,18 +73,28 @@ pub fn from_vega_lite(spec: &Json) -> Result<VqlQuery, ImportError> {
         other => return Err(ImportError::Unsupported(format!("mark `{other}`"))),
     };
 
-    let encoding = spec.get("encoding").ok_or(ImportError::Missing("encoding"))?;
+    let encoding = spec
+        .get("encoding")
+        .ok_or(ImportError::Missing("encoding"))?;
 
     // Pie charts encode x as color and y as theta; others use x/y.
     let (x_enc, y_enc) = if chart == ChartType::Pie {
         (
-            encoding.get("color").ok_or(ImportError::Missing("encoding.color (pie)"))?,
-            encoding.get("theta").ok_or(ImportError::Missing("encoding.theta (pie)"))?,
+            encoding
+                .get("color")
+                .ok_or(ImportError::Missing("encoding.color (pie)"))?,
+            encoding
+                .get("theta")
+                .ok_or(ImportError::Missing("encoding.theta (pie)"))?,
         )
     } else {
         (
-            encoding.get("x").ok_or(ImportError::Missing("encoding.x"))?,
-            encoding.get("y").ok_or(ImportError::Missing("encoding.y"))?,
+            encoding
+                .get("x")
+                .ok_or(ImportError::Missing("encoding.x"))?,
+            encoding
+                .get("y")
+                .ok_or(ImportError::Missing("encoding.y"))?,
         )
     };
 
@@ -101,7 +113,10 @@ pub fn from_vega_lite(spec: &Json) -> Result<VqlQuery, ImportError> {
             "quarter" | "yearquarter" => BinUnit::Quarter,
             other => return Err(ImportError::Unsupported(format!("timeUnit `{other}`"))),
         };
-        q.bin = Some(Bin { column: ColumnRef::new(x_field.clone()), unit });
+        q.bin = Some(Bin {
+            column: ColumnRef::new(x_field.clone()),
+            unit,
+        });
     }
 
     // Aggregated queries group by x; a color field (non-pie) is the series.
@@ -123,7 +138,11 @@ pub fn from_vega_lite(spec: &Json) -> Result<VqlQuery, ImportError> {
     }
 
     // Filter transforms.
-    for t in spec.get("transform").and_then(Json::as_array).unwrap_or(&[]) {
+    for t in spec
+        .get("transform")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
         if let Some(filter) = t.get("filter") {
             let p = predicate_of(filter)?;
             q.filter = Some(match q.filter.take() {
@@ -158,7 +177,10 @@ fn select_expr_of(enc: &Json) -> Result<SelectExpr, ImportError> {
                 "max" => AggFunc::Max,
                 other => return Err(ImportError::Unsupported(format!("aggregate `{other}`"))),
             };
-            Ok(SelectExpr::Agg { func, arg: field.map(ColumnRef::new) })
+            Ok(SelectExpr::Agg {
+                func,
+                arg: field.map(ColumnRef::new),
+            })
         }
     }
 }
@@ -174,10 +196,22 @@ fn order_of(sort: &Json, x_field: &str) -> Result<OrderBy, ImportError> {
                 target: OrderTarget::Column(ColumnRef::new(x_field)),
                 dir: SortDir::Desc,
             }),
-            "y" => Ok(OrderBy { target: OrderTarget::Y, dir: SortDir::Asc }),
-            "-y" => Ok(OrderBy { target: OrderTarget::Y, dir: SortDir::Desc }),
-            "x" => Ok(OrderBy { target: OrderTarget::X, dir: SortDir::Asc }),
-            "-x" => Ok(OrderBy { target: OrderTarget::X, dir: SortDir::Desc }),
+            "y" => Ok(OrderBy {
+                target: OrderTarget::Y,
+                dir: SortDir::Asc,
+            }),
+            "-y" => Ok(OrderBy {
+                target: OrderTarget::Y,
+                dir: SortDir::Desc,
+            }),
+            "x" => Ok(OrderBy {
+                target: OrderTarget::X,
+                dir: SortDir::Asc,
+            }),
+            "-x" => Ok(OrderBy {
+                target: OrderTarget::X,
+                dir: SortDir::Desc,
+            }),
             other => Err(ImportError::Unsupported(format!("sort `{other}`"))),
         },
         Json::Null => Ok(OrderBy {
@@ -207,7 +241,11 @@ fn predicate_of(filter: &Json) -> Result<Predicate, ImportError> {
                 ("gte", CmpOp::Ge),
             ] {
                 if let Some(v) = filter.get(key) {
-                    return Ok(Predicate::Cmp { col, op, value: literal_of(v)? });
+                    return Ok(Predicate::Cmp {
+                        col,
+                        op,
+                        value: literal_of(v)?,
+                    });
                 }
             }
             if let Some(one_of) = filter.get("oneOf").and_then(Json::as_array) {
@@ -216,16 +254,26 @@ fn predicate_of(filter: &Json) -> Result<Predicate, ImportError> {
                 let first = lits
                     .next()
                     .ok_or(ImportError::Unsupported("empty oneOf".to_string()))??;
-                let mut acc = Predicate::Cmp { col: col.clone(), op: CmpOp::Eq, value: first };
+                let mut acc = Predicate::Cmp {
+                    col: col.clone(),
+                    op: CmpOp::Eq,
+                    value: first,
+                };
                 for lit in lits {
                     acc = Predicate::Or(
                         Box::new(acc),
-                        Box::new(Predicate::Cmp { col: col.clone(), op: CmpOp::Eq, value: lit? }),
+                        Box::new(Predicate::Cmp {
+                            col: col.clone(),
+                            op: CmpOp::Eq,
+                            value: lit?,
+                        }),
                     );
                 }
                 return Ok(acc);
             }
-            Err(ImportError::Unsupported("filter predicate without operator".to_string()))
+            Err(ImportError::Unsupported(
+                "filter predicate without operator".to_string(),
+            ))
         }
         Json::String(expr) => parse_datum_expr(expr),
         other => Err(ImportError::Unsupported(format!("filter {other}"))),
@@ -273,7 +321,9 @@ fn parse_datum_expr(expr: &str) -> Result<Predicate, ImportError> {
             Some(prev) => Predicate::Or(Box::new(prev), Box::new(clause)),
         });
     }
-    or_acc.ok_or(ImportError::Unsupported("empty filter expression".to_string()))
+    or_acc.ok_or(ImportError::Unsupported(
+        "empty filter expression".to_string(),
+    ))
 }
 
 fn parse_datum_atom(atom: &str) -> Result<Predicate, ImportError> {
@@ -293,30 +343,38 @@ fn parse_datum_atom(atom: &str) -> Result<Predicate, ImportError> {
             let rhs = atom[pos + sym.len()..].trim();
             let col = lhs
                 .strip_prefix("datum.")
-                .or_else(|| lhs.strip_prefix("datum['").map(|s| s.trim_end_matches("']")))
+                .or_else(|| {
+                    lhs.strip_prefix("datum['")
+                        .map(|s| s.trim_end_matches("']"))
+                })
                 .ok_or_else(|| {
                     ImportError::Unsupported(format!("expected datum.<field>, got `{lhs}`"))
                 })?;
-            let value = if let Some(stripped) =
-                rhs.strip_prefix('\'').and_then(|r| r.strip_suffix('\''))
-            {
-                match Date::parse(stripped) {
-                    Some(d) => Literal::Date(d),
-                    None => Literal::Text(stripped.to_string()),
-                }
-            } else if rhs == "true" || rhs == "false" {
-                Literal::Bool(rhs == "true")
-            } else if let Ok(i) = rhs.parse::<i64>() {
-                Literal::Int(i)
-            } else if let Ok(f) = rhs.parse::<f64>() {
-                Literal::Float(f)
-            } else {
-                return Err(ImportError::Unsupported(format!("literal `{rhs}`")));
-            };
-            return Ok(Predicate::Cmp { col: ColumnRef::new(col), op, value });
+            let value =
+                if let Some(stripped) = rhs.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+                    match Date::parse(stripped) {
+                        Some(d) => Literal::Date(d),
+                        None => Literal::Text(stripped.to_string()),
+                    }
+                } else if rhs == "true" || rhs == "false" {
+                    Literal::Bool(rhs == "true")
+                } else if let Ok(i) = rhs.parse::<i64>() {
+                    Literal::Int(i)
+                } else if let Ok(f) = rhs.parse::<f64>() {
+                    Literal::Float(f)
+                } else {
+                    return Err(ImportError::Unsupported(format!("literal `{rhs}`")));
+                };
+            return Ok(Predicate::Cmp {
+                col: ColumnRef::new(col),
+                op,
+                value,
+            });
         }
     }
-    Err(ImportError::Unsupported(format!("no comparison in `{atom}`")))
+    Err(ImportError::Unsupported(format!(
+        "no comparison in `{atom}`"
+    )))
 }
 
 #[cfg(test)]
@@ -471,7 +529,10 @@ mod tests {
         let mut s = DatabaseSchema::new("d", "x");
         s.tables.push(TableDef::new(
             "sales",
-            vec![ColumnDef::new("region", Text), ColumnDef::new("amount", Int)],
+            vec![
+                ColumnDef::new("region", Text),
+                ColumnDef::new("amount", Int),
+            ],
         ));
         let mut db = Database::new(s);
         for (r, a) in [("east", 10i64), ("west", 25)] {

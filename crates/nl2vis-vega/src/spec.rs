@@ -128,7 +128,10 @@ pub fn to_vega_lite(query: &VqlQuery, result: &ResultSet) -> Json {
     // documentation purposes; the inline data is already binned by the
     // executor, so the spec notes the unit in a comment-like field.
     let mut spec = Json::object(vec![
-        ("$schema", Json::from("https://vega.github.io/schema/vega-lite/v5.json")),
+        (
+            "$schema",
+            Json::from("https://vega.github.io/schema/vega-lite/v5.json"),
+        ),
         (
             "description",
             Json::from(format!("VQL: {}", nl2vis_query::printer::print(query)).as_str()),
@@ -171,7 +174,11 @@ pub fn to_vega_lite_named(query: &VqlQuery) -> Json {
         ChartType::Line => "line",
         ChartType::Scatter => "point",
     };
-    let x_field = query.x.column().map(|c| c.column.clone()).unwrap_or_default();
+    let x_field = query
+        .x
+        .column()
+        .map(|c| c.column.clone())
+        .unwrap_or_default();
 
     let mut x_enc = Json::object(vec![("field", Json::from(x_field.as_str()))]);
     if let Some(bin) = &query.bin {
@@ -203,9 +210,7 @@ pub fn to_vega_lite_named(query: &VqlQuery) -> Json {
     }
 
     let y_enc = match &query.y {
-        SelectExpr::Column(c) => {
-            Json::object(vec![("field", Json::from(c.column.as_str()))])
-        }
+        SelectExpr::Column(c) => Json::object(vec![("field", Json::from(c.column.as_str()))]),
         SelectExpr::Agg { func, arg } => {
             let agg = match func {
                 AggFunc::Count => "count",
@@ -241,8 +246,14 @@ pub fn to_vega_lite_named(query: &VqlQuery) -> Json {
     };
 
     let mut spec = Json::object(vec![
-        ("$schema", Json::from("https://vega.github.io/schema/vega-lite/v5.json")),
-        ("data", Json::object(vec![("name", Json::from(query.from.as_str()))])),
+        (
+            "$schema",
+            Json::from("https://vega.github.io/schema/vega-lite/v5.json"),
+        ),
+        (
+            "data",
+            Json::object(vec![("name", Json::from(query.from.as_str()))]),
+        ),
         ("mark", Json::from(mark)),
         ("encoding", encoding),
     ]);
@@ -343,7 +354,8 @@ mod tests {
             ("east", 20, "store", date(2020, 2, 1)),
             ("west", 5, "web", date(2021, 1, 1)),
         ] {
-            d.insert("sales", vec![r.into(), (a as i64).into(), c.into(), t]).unwrap();
+            d.insert("sales", vec![r.into(), (a as i64).into(), c.into(), t])
+                .unwrap();
         }
         d
     }
@@ -360,18 +372,28 @@ mod tests {
         assert_eq!(s.get("mark").and_then(Json::as_str), Some("bar"));
         let enc = s.get("encoding").unwrap();
         assert_eq!(
-            enc.get("x").and_then(|x| x.get("field")).and_then(Json::as_str),
+            enc.get("x")
+                .and_then(|x| x.get("field"))
+                .and_then(Json::as_str),
             Some("region")
         );
         assert_eq!(
-            enc.get("x").and_then(|x| x.get("type")).and_then(Json::as_str),
+            enc.get("x")
+                .and_then(|x| x.get("type"))
+                .and_then(Json::as_str),
             Some("nominal")
         );
         assert_eq!(
-            enc.get("y").and_then(|y| y.get("type")).and_then(Json::as_str),
+            enc.get("y")
+                .and_then(|y| y.get("type"))
+                .and_then(Json::as_str),
             Some("quantitative")
         );
-        let values = s.get("data").and_then(|d| d.get("values")).and_then(Json::as_array).unwrap();
+        let values = s
+            .get("data")
+            .and_then(|d| d.get("values"))
+            .and_then(Json::as_array)
+            .unwrap();
         assert_eq!(values.len(), 2);
     }
 
@@ -392,7 +414,9 @@ mod tests {
         );
         let enc = s.get("encoding").unwrap();
         assert_eq!(
-            enc.get("color").and_then(|c| c.get("field")).and_then(Json::as_str),
+            enc.get("color")
+                .and_then(|c| c.get("field"))
+                .and_then(Json::as_str),
             Some("channel")
         );
     }
@@ -404,7 +428,9 @@ mod tests {
         );
         let enc = s.get("encoding").unwrap();
         assert_eq!(
-            enc.get("x").and_then(|x| x.get("sort")).and_then(Json::as_str),
+            enc.get("x")
+                .and_then(|x| x.get("sort"))
+                .and_then(Json::as_str),
             Some("descending")
         );
         let s = spec_for(
@@ -412,7 +438,9 @@ mod tests {
         );
         let enc = s.get("encoding").unwrap();
         assert_eq!(
-            enc.get("x").and_then(|x| x.get("sort")).and_then(Json::as_str),
+            enc.get("x")
+                .and_then(|x| x.get("sort"))
+                .and_then(Json::as_str),
             Some("-y")
         );
     }
@@ -463,7 +491,9 @@ mod tests {
         let spec = to_vega_lite_named(&q);
         // The joined table is gone and the nested filter dropped.
         assert_eq!(
-            spec.get("data").and_then(|d| d.get("name")).and_then(Json::as_str),
+            spec.get("data")
+                .and_then(|d| d.get("name"))
+                .and_then(Json::as_str),
             Some("t")
         );
         assert!(spec.get("transform").is_none());
@@ -472,6 +502,10 @@ mod tests {
     #[test]
     fn description_contains_vql() {
         let s = spec_for("VISUALIZE bar SELECT region , COUNT(region) FROM sales GROUP BY region");
-        assert!(s.get("description").and_then(Json::as_str).unwrap().starts_with("VQL: VISUALIZE"));
+        assert!(s
+            .get("description")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("VQL: VISUALIZE"));
     }
 }

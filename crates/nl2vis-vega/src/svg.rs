@@ -59,7 +59,10 @@ pub fn render_svg(result: &ResultSet) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn plot_width() -> f64 {
@@ -196,7 +199,11 @@ fn render_bar(result: &ResultSet, out: &mut String) {
 fn render_line(result: &ResultSet, out: &mut String) {
     let cats = x_categories(result);
     let series = series_values(result);
-    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(1.0_f64, f64::max);
+    let y_max = result
+        .rows
+        .iter()
+        .map(|(_, y, _)| numeric(y))
+        .fold(1.0_f64, f64::max);
     axes(out, result, y_max);
     let y0 = MARGIN_TOP + plot_height();
     let step = plot_width() / (cats.len().max(2) - 1) as f64;
@@ -235,8 +242,16 @@ fn render_line(result: &ResultSet, out: &mut String) {
 
 fn render_scatter(result: &ResultSet, out: &mut String) {
     let series = series_values(result);
-    let x_max = result.rows.iter().map(|(x, _, _)| numeric(x)).fold(1.0_f64, f64::max);
-    let y_max = result.rows.iter().map(|(_, y, _)| numeric(y)).fold(1.0_f64, f64::max);
+    let x_max = result
+        .rows
+        .iter()
+        .map(|(x, _, _)| numeric(x))
+        .fold(1.0_f64, f64::max);
+    let y_max = result
+        .rows
+        .iter()
+        .map(|(_, y, _)| numeric(y))
+        .fold(1.0_f64, f64::max);
     axes(out, result, y_max);
     let y0 = MARGIN_TOP + plot_height();
     for (x, y, s) in &result.rows {
@@ -254,7 +269,11 @@ fn render_pie(result: &ResultSet, out: &mut String) {
     let cx = WIDTH / 2.0;
     let cy = (HEIGHT + MARGIN_TOP) / 2.0;
     let radius = (plot_height() / 2.0) - 10.0;
-    let total: f64 = result.rows.iter().map(|(_, y, _)| numeric(y).max(0.0)).sum();
+    let total: f64 = result
+        .rows
+        .iter()
+        .map(|(_, y, _)| numeric(y).max(0.0))
+        .sum();
     if total <= 0.0 {
         return;
     }
@@ -272,7 +291,10 @@ fn render_pie(result: &ResultSet, out: &mut String) {
         ));
         // Slice label at the middle angle.
         let mid = angle + sweep / 2.0;
-        let (lx, ly) = (cx + (radius + 16.0) * mid.cos(), cy + (radius + 16.0) * mid.sin());
+        let (lx, ly) = (
+            cx + (radius + 16.0) * mid.cos(),
+            cy + (radius + 16.0) * mid.sin(),
+        );
         out.push_str(&format!(
             "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
             escape(&x.render())

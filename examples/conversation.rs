@@ -27,8 +27,11 @@ fn main() {
         ("eve", "BOS", 30, 81_000.0),
         ("fay", "NYY", 27, 59_000.0),
     ] {
-        db.insert("technician", vec![n.into(), t.into(), Value::Int(a), Value::Float(s)])
-            .unwrap();
+        db.insert(
+            "technician",
+            vec![n.into(), t.into(), Value::Int(a), Value::Float(s)],
+        )
+        .unwrap();
     }
 
     let pipeline = Pipeline::new("gpt-4", 1);

@@ -20,8 +20,8 @@ Lisbon,75.5,2024-04-01,true
 ";
 
 fn main() {
-    let db = database_from_csv("orders_db", "retail", &[("orders", ORDERS_CSV)])
-        .expect("CSV loads");
+    let db =
+        database_from_csv("orders_db", "retail", &[("orders", ORDERS_CSV)]).expect("CSV loads");
     println!("loaded `{}`: {} rows", db.name(), db.total_rows());
     for c in &db.table("orders").unwrap().def.columns {
         println!("  {} : {}", c.name, c.dtype);

@@ -17,7 +17,10 @@ fn main() {
 
     // Base run: davinci-003, 5-shot, Table2SQL (cross-domain).
     let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
-    let config = LlmEvalConfig { shots: 5, ..Default::default() };
+    let config = LlmEvalConfig {
+        shots: 5,
+        ..Default::default()
+    };
     let report = evaluate_llm(&llm, &corpus, &split.train, &split.test, &config, Some(80));
     let failed = report.failed_ids();
     println!(

@@ -22,13 +22,22 @@ fn main() {
     let db = corpus.catalog.database(&example.db).unwrap();
 
     println!("Q: {}", example.nl);
-    println!("gold VQL: {}\n", nl2vis::query::printer::print(&example.vql));
+    println!(
+        "gold VQL: {}\n",
+        nl2vis::query::printer::print(&example.vql)
+    );
 
     let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
-    println!("{:<20} {:>7} {:>7}  prediction", "format", "tokens", "exact?");
+    println!(
+        "{:<20} {:>7} {:>7}  prediction",
+        "format", "tokens", "exact?"
+    );
     println!("{}", "-".repeat(96));
     for format in PromptFormat::all() {
-        let options = PromptOptions { format, ..Default::default() };
+        let options = PromptOptions {
+            format,
+            ..Default::default()
+        };
         let prompt = build_prompt(&options, db, &example.nl, &[], |_: &Example| unreachable!());
         let completion = llm.complete(&prompt.text);
         let verdict = nl2vis::llm::extract_vql(&completion)
@@ -54,6 +63,10 @@ fn main() {
         PromptFormat::Table2Json,
         PromptFormat::Table2Code,
     ] {
-        println!("\n=== {} ===\n{}", format.name(), format.serialize(db, &example.nl));
+        println!(
+            "\n=== {} ===\n{}",
+            format.name(),
+            format.serialize(db, &example.nl)
+        );
     }
 }

@@ -26,7 +26,11 @@ fn main() {
         ("eve", "BOS", 30),
         ("fay", "NYY", 27),
     ] {
-        db.insert("technician", vec![name.into(), team.into(), Value::Int(age)]).unwrap();
+        db.insert(
+            "technician",
+            vec![name.into(), team.into(), Value::Int(age)],
+        )
+        .unwrap();
     }
 
     // 2. The pipeline over a simulated gpt-4.

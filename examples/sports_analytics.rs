@@ -14,7 +14,10 @@ use nl2vis::prompt::select::select_by_similarity;
 fn main() {
     // Build the benchmark corpus (databases + training examples).
     let corpus = Corpus::build(&CorpusConfig::small(7));
-    let db = corpus.catalog.database("baseball_club").expect("sports database");
+    let db = corpus
+        .catalog
+        .database("baseball_club")
+        .expect("sports database");
     println!(
         "database `{}` ({} tables, {} rows total)\n",
         db.name(),
@@ -24,8 +27,11 @@ fn main() {
 
     // Training pool for demonstrations: everything *not* on this database
     // (the paper's cross-domain regime).
-    let pool: Vec<&Example> =
-        corpus.examples.iter().filter(|e| e.db != db.name()).collect();
+    let pool: Vec<&Example> = corpus
+        .examples
+        .iter()
+        .filter(|e| e.db != db.name())
+        .collect();
 
     let mut pipeline = Pipeline::new("text-davinci-003", 20240115);
     pipeline.options.format = PromptFormat::Table2Sql;

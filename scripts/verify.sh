@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Local verification gate: the tier-1 checks plus formatting and lints.
+#
+#   scripts/verify.sh            # run everything available
+#
+# Steps that need a missing toolchain component (rustfmt, clippy) are
+# skipped with a notice instead of failing, so the script is useful both
+# in full dev environments and in minimal/offline containers.
+set -u
+
+cd "$(dirname "$0")/.."
+
+failures=0
+run() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    if "$@"; then
+        echo "==> ${name}: ok"
+    else
+        echo "==> ${name}: FAILED"
+        failures=$((failures + 1))
+    fi
+    echo
+}
+
+# Tier 1: the repo must build and its tests must pass.
+run "cargo build --release" cargo build --release
+run "cargo test" cargo test -q
+
+# Formatting — skip gracefully if rustfmt isn't installed.
+if cargo fmt --version >/dev/null 2>&1; then
+    run "cargo fmt --check" cargo fmt --all -- --check
+else
+    echo "==> cargo fmt --check: skipped (rustfmt not installed)"
+    echo
+fi
+
+# Lints — skip gracefully if clippy isn't installed.
+if cargo clippy --version >/dev/null 2>&1; then
+    run "cargo clippy" cargo clippy --all-targets -- -D warnings
+else
+    echo "==> cargo clippy: skipped (clippy not installed)"
+    echo
+fi
+
+if [ "${failures}" -ne 0 ]; then
+    echo "verify: ${failures} step(s) failed"
+    exit 1
+fi
+echo "verify: all steps passed"

@@ -76,8 +76,7 @@ impl<'a> Conversation<'a> {
 
         if let Some(prev) = self.history.last() {
             let know_all = |_: &str| true;
-            let edits =
-                parse_follow_up(trimmed, &prev.visualization.vql, &self.schema, &know_all);
+            let edits = parse_follow_up(trimmed, &prev.visualization.vql, &self.schema, &know_all);
             if !edits.is_empty() {
                 let mut revised = prev.visualization.vql.clone();
                 for e in &edits {
@@ -132,7 +131,8 @@ mod tests {
             ("cat", "BOS", 29),
             ("dan", "LAD", 41),
         ] {
-            d.insert("technician", vec![n.into(), t.into(), Value::Int(a)]).unwrap();
+            d.insert("technician", vec![n.into(), t.into(), Value::Int(a)])
+                .unwrap();
         }
         d
     }
@@ -155,7 +155,10 @@ mod tests {
 
         let t3 = session.say("only technicians with age over 30").unwrap();
         assert_eq!(t3.kind, TurnKind::FollowUp);
-        assert!(matches!(t3.visualization.vql.filter, Some(Predicate::Cmp { .. })));
+        assert!(matches!(
+            t3.visualization.vql.filter,
+            Some(Predicate::Cmp { .. })
+        ));
         assert!(t3.visualization.data.rows.len() <= 3);
 
         // Undo pops back to the pie without the filter.
@@ -169,7 +172,9 @@ mod tests {
         let d = db();
         let pipeline = Pipeline::new("gpt-4", 1);
         let mut session = Conversation::new(&pipeline, &d);
-        session.say("Show a bar chart of the number of technicians for each team.").unwrap();
+        session
+            .say("Show a bar chart of the number of technicians for each team.")
+            .unwrap();
         session.say("make it a pie chart").unwrap();
         let t = session
             .say("Display a scatter plot of age against age in the technician table.")

@@ -23,6 +23,9 @@
 //!   Chat2Vis / T5 models;
 //! - [`eval`]: the paper's metrics, failure analysis, iterative-repair
 //!   strategies, and user-study simulation;
+//! - [`obs`]: the std-only observability substrate — metrics registry,
+//!   RAII spans, JSONL event sinks, text reports — every layer above
+//!   records into;
 //! - `bench` ([`crate::bench`]): the experiment harness regenerating every table and figure.
 //!
 //! ## Quickstart
@@ -60,6 +63,7 @@ pub use nl2vis_corpus as corpus;
 pub use nl2vis_data as data;
 pub use nl2vis_eval as eval;
 pub use nl2vis_llm as llm;
+pub use nl2vis_obs as obs;
 pub use nl2vis_prompt as prompt;
 pub use nl2vis_query as query;
 pub use nl2vis_vega as vega;

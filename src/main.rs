@@ -23,7 +23,12 @@ fn main() {
     println!("nl2vis — natural language to visualization (simulated LLM backend)");
     println!("generating benchmark databases ...");
     let corpus = Corpus::build(&CorpusConfig::small(20240115));
-    let names: Vec<String> = corpus.catalog.names().iter().map(|s| s.to_string()).collect();
+    let names: Vec<String> = corpus
+        .catalog
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut db_name = names.first().cloned().expect("catalog non-empty");
     let mut model = "text-davinci-003".to_string();
     let mut pipeline = Pipeline::new(&model, 7);
@@ -51,7 +56,13 @@ fn main() {
                 "quit" | "q" | "exit" => break,
                 "help" => {
                     println!(
-                        ":dbs | :db <name> | :schema | :model <name> | :vql | :sql | :vega | :svg <path> | :reset | :quit"
+                        ":dbs | :db <name> | :schema | :model <name> | :vql | :sql | :vega | :svg <path> | :metrics | :reset | :quit"
+                    );
+                }
+                "metrics" => {
+                    print!(
+                        "{}",
+                        nl2vis::obs::report::render_summary(nl2vis::obs::global())
                     );
                 }
                 "dbs" => {

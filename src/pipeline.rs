@@ -6,6 +6,7 @@
 use nl2vis_corpus::Example;
 use nl2vis_data::{Database, Json};
 use nl2vis_llm::{extract_vql, LlmClient, ModelProfile, SimLlm};
+use nl2vis_obs as obs;
 use nl2vis_prompt::{build_prompt, PromptOptions};
 use nl2vis_query::ast::VqlQuery;
 use nl2vis_query::exec::ResultSet;
@@ -89,7 +90,10 @@ impl Pipeline {
 
     /// Builds a pipeline over any [`LlmClient`] (e.g. the HTTP client).
     pub fn with_client(client: Box<dyn LlmClient + Send + Sync>) -> Pipeline {
-        Pipeline { client, options: PromptOptions::default() }
+        Pipeline {
+            client,
+            options: PromptOptions::default(),
+        }
     }
 
     /// The backing model's name.
@@ -104,6 +108,11 @@ impl Pipeline {
 
     /// Runs the pipeline with in-context demonstrations (each resolved to
     /// its own database by `db_of`).
+    ///
+    /// Every run is one trace: a `pipeline.run` root span with child spans
+    /// for the five stages (`prompt_build`, `completion`, `extract`,
+    /// `parse`, `execute`), plus per-error-kind counters
+    /// (`pipeline.error.{no_query,parse,execute}`).
     pub fn run_with_demos<'a, F>(
         &self,
         db: &Database,
@@ -114,13 +123,46 @@ impl Pipeline {
     where
         F: Fn(&'a Example) -> &'a Database,
     {
-        let prompt = build_prompt(&self.options, db, question, demos, db_of);
-        let completion = self.client.complete(&prompt.text);
-        let vql_text = extract_vql(&completion)
-            .ok_or_else(|| PipelineError::NoQuery { completion: completion.clone() })?;
-        let vql = parse(vql_text)?;
-        let data = execute(&vql, db)?;
-        Ok(Visualization { vql, data, completion })
+        let _trace = obs::span!("pipeline.run");
+        obs::count("pipeline.runs_total", 1);
+        let prompt = {
+            let _s = obs::span!("pipeline.prompt_build");
+            build_prompt(&self.options, db, question, demos, db_of)
+        };
+        let completion = {
+            let _s = obs::span!("pipeline.completion");
+            self.client.complete(&prompt.text)
+        };
+        let vql_text = {
+            let _s = obs::span!("pipeline.extract");
+            extract_vql(&completion)
+        };
+        let Some(vql_text) = vql_text else {
+            obs::error("pipeline", "no_query", &completion);
+            return Err(PipelineError::NoQuery { completion });
+        };
+        let vql = {
+            let _s = obs::span!("pipeline.parse");
+            parse(vql_text)
+        }
+        .map_err(|e| {
+            obs::error("pipeline", "parse", &e.to_string());
+            PipelineError::Query(e)
+        })?;
+        let data = {
+            let _s = obs::span!("pipeline.execute");
+            execute(&vql, db)
+        }
+        .map_err(|e| {
+            obs::error("pipeline", "execute", &e.to_string());
+            PipelineError::Query(e)
+        })?;
+        obs::count("pipeline.success_total", 1);
+        Ok(Visualization {
+            vql,
+            data,
+            completion,
+        })
     }
 }
 
@@ -135,7 +177,10 @@ mod tests {
         let mut s = DatabaseSchema::new("shop", "retail");
         s.tables.push(TableDef::new(
             "sales",
-            vec![ColumnDef::new("region", Text), ColumnDef::new("amount", Int)],
+            vec![
+                ColumnDef::new("region", Text),
+                ColumnDef::new("amount", Int),
+            ],
         ));
         let mut d = Database::new(s);
         for (r, a) in [("east", 10i64), ("west", 25), ("east", 5), ("north", 40)] {
@@ -148,7 +193,10 @@ mod tests {
     fn zero_shot_pipeline_end_to_end() {
         let p = Pipeline::new("gpt-4", 7);
         let vis = p
-            .run(&db(), "Show a bar chart of the total amount for each region.")
+            .run(
+                &db(),
+                "Show a bar chart of the total amount for each region.",
+            )
             .expect("pipeline succeeds");
         assert!(!vis.data.rows.is_empty());
         assert!(vis.svg().starts_with("<svg"));
@@ -169,7 +217,82 @@ mod tests {
         let s = DatabaseSchema::new("empty", "none");
         let d = Database::new(s);
         let p = Pipeline::new("gpt-4", 7);
+        let errors_before = obs::global().counter("pipeline.errors_total").get();
         let out = p.run(&d, "Show a bar chart of things.");
         assert!(out.is_err());
+        assert!(
+            obs::global().counter("pipeline.errors_total").get() > errors_before,
+            "a failed run must bump the pipeline error counter"
+        );
+    }
+
+    /// The five stage spans of one request land in the JSONL sink, share
+    /// the request's trace id, and carry non-negative durations.
+    #[test]
+    fn stage_spans_reach_the_jsonl_sink() {
+        let sink = std::sync::Arc::new(obs::MemorySink::new());
+        obs::set_sink(sink.clone());
+        let p = Pipeline::new("gpt-4", 7);
+        p.run(
+            &db(),
+            "Show a bar chart of the total amount for each region.",
+        )
+        .expect("pipeline succeeds");
+        obs::disable_sink();
+
+        let events: Vec<Json> = sink
+            .lines()
+            .iter()
+            .map(|l| Json::parse(l).expect("sink lines are valid JSON"))
+            .collect();
+        // The trace of this request: the one owning the last
+        // `pipeline.execute` close (other tests may run concurrently).
+        let trace = events
+            .iter()
+            .rev()
+            .find(|e| {
+                e.get("event").and_then(Json::as_str) == Some("span_close")
+                    && e.get("name").and_then(Json::as_str) == Some("pipeline.execute")
+            })
+            .and_then(|e| e.get("trace").and_then(Json::as_f64))
+            .expect("an execute span closed");
+        let closed: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("event").and_then(Json::as_str) == Some("span_close")
+                    && e.get("trace").and_then(Json::as_f64) == Some(trace)
+            })
+            .collect();
+        for stage in [
+            "pipeline.prompt_build",
+            "pipeline.completion",
+            "pipeline.extract",
+            "pipeline.parse",
+            "pipeline.execute",
+            "pipeline.run",
+        ] {
+            let span = closed
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(stage))
+                .unwrap_or_else(|| panic!("stage span `{stage}` missing from trace"));
+            let duration = span
+                .get("duration_us")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("`{stage}` close lacks duration_us"));
+            assert!(duration >= 0.0, "{stage} duration {duration}");
+        }
+        // Stage spans nest under the root span: same trace, parent set.
+        let opens: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("event").and_then(Json::as_str) == Some("span_open")
+                    && e.get("trace").and_then(Json::as_f64) == Some(trace)
+                    && e.get("name").and_then(Json::as_str) != Some("pipeline.run")
+            })
+            .collect();
+        assert_eq!(opens.len(), 5, "five stage spans open");
+        assert!(opens
+            .iter()
+            .all(|e| e.get("parent").and_then(Json::as_f64).is_some()));
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-66278d2e1548e07b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-66278d2e1548e07b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d86654fb76d3af8a.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d86654fb76d3af8a: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nl2vis-09c530cad1d4e831.d: src/main.rs
+
+/root/repo/target/debug/deps/nl2vis-09c530cad1d4e831: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nl2vis-16e0775e39d82f82.d: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/nl2vis-16e0775e39d82f82: src/lib.rs src/conversation.rs src/pipeline.rs
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nl2vis-24f45bd1732f35c2.d: src/lib.rs src/conversation.rs src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis-24f45bd1732f35c2.rmeta: src/lib.rs src/conversation.rs src/pipeline.rs Cargo.toml
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

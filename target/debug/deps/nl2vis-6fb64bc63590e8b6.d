@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nl2vis-6fb64bc63590e8b6.d: src/main.rs
+
+/root/repo/target/debug/deps/nl2vis-6fb64bc63590e8b6: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nl2vis-7370dc20d09ee4bf.d: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libnl2vis-7370dc20d09ee4bf.rlib: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libnl2vis-7370dc20d09ee4bf.rmeta: src/lib.rs src/conversation.rs src/pipeline.rs
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:

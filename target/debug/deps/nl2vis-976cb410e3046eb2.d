@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nl2vis-976cb410e3046eb2.d: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/nl2vis-976cb410e3046eb2: src/lib.rs src/conversation.rs src/pipeline.rs
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:

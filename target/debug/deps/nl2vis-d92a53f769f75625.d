@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nl2vis-d92a53f769f75625.d: src/lib.rs src/conversation.rs src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis-d92a53f769f75625.rmeta: src/lib.rs src/conversation.rs src/pipeline.rs Cargo.toml
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nl2vis_baselines-291ec8a4429ec88e.d: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+/root/repo/target/debug/deps/libnl2vis_baselines-291ec8a4429ec88e.rlib: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+/root/repo/target/debug/deps/libnl2vis_baselines-291ec8a4429ec88e.rmeta: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+crates/nl2vis-baselines/src/lib.rs:
+crates/nl2vis-baselines/src/chat2vis.rs:
+crates/nl2vis-baselines/src/ncnet.rs:
+crates/nl2vis-baselines/src/retrieval.rs:
+crates/nl2vis-baselines/src/rgvisnet.rs:
+crates/nl2vis-baselines/src/seq2vis.rs:
+crates/nl2vis-baselines/src/t5.rs:
+crates/nl2vis-baselines/src/transformer.rs:

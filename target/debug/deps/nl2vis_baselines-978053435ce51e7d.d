@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nl2vis_baselines-978053435ce51e7d.d: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_baselines-978053435ce51e7d.rmeta: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs Cargo.toml
+
+crates/nl2vis-baselines/src/lib.rs:
+crates/nl2vis-baselines/src/chat2vis.rs:
+crates/nl2vis-baselines/src/ncnet.rs:
+crates/nl2vis-baselines/src/retrieval.rs:
+crates/nl2vis-baselines/src/rgvisnet.rs:
+crates/nl2vis-baselines/src/seq2vis.rs:
+crates/nl2vis-baselines/src/t5.rs:
+crates/nl2vis-baselines/src/transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

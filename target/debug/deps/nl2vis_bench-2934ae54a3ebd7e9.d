@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nl2vis_bench-2934ae54a3ebd7e9.d: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_bench-2934ae54a3ebd7e9.rmeta: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs Cargo.toml
+
+crates/nl2vis-bench/src/lib.rs:
+crates/nl2vis-bench/src/experiments.rs:
+crates/nl2vis-bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nl2vis_bench-88a1c51f19de0f73.d: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/debug/deps/libnl2vis_bench-88a1c51f19de0f73.rlib: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/debug/deps/libnl2vis_bench-88a1c51f19de0f73.rmeta: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+crates/nl2vis-bench/src/lib.rs:
+crates/nl2vis-bench/src/experiments.rs:
+crates/nl2vis-bench/src/render.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nl2vis_corpus-8ee3f9017599ad2c.d: crates/nl2vis-corpus/src/lib.rs crates/nl2vis-corpus/src/corpus.rs crates/nl2vis-corpus/src/domains.rs crates/nl2vis-corpus/src/generate.rs crates/nl2vis-corpus/src/io.rs crates/nl2vis-corpus/src/pools.rs crates/nl2vis-corpus/src/realize.rs crates/nl2vis-corpus/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_corpus-8ee3f9017599ad2c.rmeta: crates/nl2vis-corpus/src/lib.rs crates/nl2vis-corpus/src/corpus.rs crates/nl2vis-corpus/src/domains.rs crates/nl2vis-corpus/src/generate.rs crates/nl2vis-corpus/src/io.rs crates/nl2vis-corpus/src/pools.rs crates/nl2vis-corpus/src/realize.rs crates/nl2vis-corpus/src/synth.rs Cargo.toml
+
+crates/nl2vis-corpus/src/lib.rs:
+crates/nl2vis-corpus/src/corpus.rs:
+crates/nl2vis-corpus/src/domains.rs:
+crates/nl2vis-corpus/src/generate.rs:
+crates/nl2vis-corpus/src/io.rs:
+crates/nl2vis-corpus/src/pools.rs:
+crates/nl2vis-corpus/src/realize.rs:
+crates/nl2vis-corpus/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nl2vis_data-f12199bf51b3d999.d: crates/nl2vis-data/src/lib.rs crates/nl2vis-data/src/catalog.rs crates/nl2vis-data/src/csv.rs crates/nl2vis-data/src/database.rs crates/nl2vis-data/src/error.rs crates/nl2vis-data/src/json.rs crates/nl2vis-data/src/load.rs crates/nl2vis-data/src/rng.rs crates/nl2vis-data/src/schema.rs crates/nl2vis-data/src/table.rs crates/nl2vis-data/src/text.rs crates/nl2vis-data/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_data-f12199bf51b3d999.rmeta: crates/nl2vis-data/src/lib.rs crates/nl2vis-data/src/catalog.rs crates/nl2vis-data/src/csv.rs crates/nl2vis-data/src/database.rs crates/nl2vis-data/src/error.rs crates/nl2vis-data/src/json.rs crates/nl2vis-data/src/load.rs crates/nl2vis-data/src/rng.rs crates/nl2vis-data/src/schema.rs crates/nl2vis-data/src/table.rs crates/nl2vis-data/src/text.rs crates/nl2vis-data/src/value.rs Cargo.toml
+
+crates/nl2vis-data/src/lib.rs:
+crates/nl2vis-data/src/catalog.rs:
+crates/nl2vis-data/src/csv.rs:
+crates/nl2vis-data/src/database.rs:
+crates/nl2vis-data/src/error.rs:
+crates/nl2vis-data/src/json.rs:
+crates/nl2vis-data/src/load.rs:
+crates/nl2vis-data/src/rng.rs:
+crates/nl2vis-data/src/schema.rs:
+crates/nl2vis-data/src/table.rs:
+crates/nl2vis-data/src/text.rs:
+crates/nl2vis-data/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

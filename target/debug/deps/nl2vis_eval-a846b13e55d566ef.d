@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nl2vis_eval-a846b13e55d566ef.d: crates/nl2vis-eval/src/lib.rs crates/nl2vis-eval/src/failure.rs crates/nl2vis-eval/src/metrics.rs crates/nl2vis-eval/src/optimize.rs crates/nl2vis-eval/src/runner.rs crates/nl2vis-eval/src/userstudy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_eval-a846b13e55d566ef.rmeta: crates/nl2vis-eval/src/lib.rs crates/nl2vis-eval/src/failure.rs crates/nl2vis-eval/src/metrics.rs crates/nl2vis-eval/src/optimize.rs crates/nl2vis-eval/src/runner.rs crates/nl2vis-eval/src/userstudy.rs Cargo.toml
+
+crates/nl2vis-eval/src/lib.rs:
+crates/nl2vis-eval/src/failure.rs:
+crates/nl2vis-eval/src/metrics.rs:
+crates/nl2vis-eval/src/optimize.rs:
+crates/nl2vis-eval/src/runner.rs:
+crates/nl2vis-eval/src/userstudy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

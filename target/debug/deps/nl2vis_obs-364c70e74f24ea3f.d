@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nl2vis_obs-364c70e74f24ea3f.d: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs
+
+/root/repo/target/debug/deps/nl2vis_obs-364c70e74f24ea3f: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs
+
+crates/nl2vis-obs/src/lib.rs:
+crates/nl2vis-obs/src/registry.rs:
+crates/nl2vis-obs/src/report.rs:
+crates/nl2vis-obs/src/sink.rs:
+crates/nl2vis-obs/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nl2vis_obs-cf3d22232cc89fdb.d: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_obs-cf3d22232cc89fdb.rmeta: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs Cargo.toml
+
+crates/nl2vis-obs/src/lib.rs:
+crates/nl2vis-obs/src/registry.rs:
+crates/nl2vis-obs/src/report.rs:
+crates/nl2vis-obs/src/sink.rs:
+crates/nl2vis-obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

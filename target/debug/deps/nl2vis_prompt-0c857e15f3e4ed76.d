@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nl2vis_prompt-0c857e15f3e4ed76.d: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+/root/repo/target/debug/deps/libnl2vis_prompt-0c857e15f3e4ed76.rlib: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+/root/repo/target/debug/deps/libnl2vis_prompt-0c857e15f3e4ed76.rmeta: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+crates/nl2vis-prompt/src/lib.rs:
+crates/nl2vis-prompt/src/icl.rs:
+crates/nl2vis-prompt/src/select.rs:
+crates/nl2vis-prompt/src/serialize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nl2vis_prompt-cb31c92755118bab.d: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_prompt-cb31c92755118bab.rmeta: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs Cargo.toml
+
+crates/nl2vis-prompt/src/lib.rs:
+crates/nl2vis-prompt/src/icl.rs:
+crates/nl2vis-prompt/src/select.rs:
+crates/nl2vis-prompt/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

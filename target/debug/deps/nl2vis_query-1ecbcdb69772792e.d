@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/nl2vis_query-1ecbcdb69772792e.d: crates/nl2vis-query/src/lib.rs crates/nl2vis-query/src/ast.rs crates/nl2vis-query/src/bind.rs crates/nl2vis-query/src/canon.rs crates/nl2vis-query/src/component.rs crates/nl2vis-query/src/error.rs crates/nl2vis-query/src/exec.rs crates/nl2vis-query/src/lexer.rs crates/nl2vis-query/src/parser.rs crates/nl2vis-query/src/printer.rs crates/nl2vis-query/src/sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_query-1ecbcdb69772792e.rmeta: crates/nl2vis-query/src/lib.rs crates/nl2vis-query/src/ast.rs crates/nl2vis-query/src/bind.rs crates/nl2vis-query/src/canon.rs crates/nl2vis-query/src/component.rs crates/nl2vis-query/src/error.rs crates/nl2vis-query/src/exec.rs crates/nl2vis-query/src/lexer.rs crates/nl2vis-query/src/parser.rs crates/nl2vis-query/src/printer.rs crates/nl2vis-query/src/sql.rs Cargo.toml
+
+crates/nl2vis-query/src/lib.rs:
+crates/nl2vis-query/src/ast.rs:
+crates/nl2vis-query/src/bind.rs:
+crates/nl2vis-query/src/canon.rs:
+crates/nl2vis-query/src/component.rs:
+crates/nl2vis-query/src/error.rs:
+crates/nl2vis-query/src/exec.rs:
+crates/nl2vis-query/src/lexer.rs:
+crates/nl2vis-query/src/parser.rs:
+crates/nl2vis-query/src/printer.rs:
+crates/nl2vis-query/src/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nl2vis_vega-b65e7fbb1935fbf9.d: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnl2vis_vega-b65e7fbb1935fbf9.rmeta: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs Cargo.toml
+
+crates/nl2vis-vega/src/lib.rs:
+crates/nl2vis-vega/src/ascii.rs:
+crates/nl2vis-vega/src/import.rs:
+crates/nl2vis-vega/src/spec.rs:
+crates/nl2vis-vega/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nl2vis_vega-f927b752416f837c.d: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+/root/repo/target/debug/deps/libnl2vis_vega-f927b752416f837c.rlib: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+/root/repo/target/debug/deps/libnl2vis_vega-f927b752416f837c.rmeta: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+crates/nl2vis-vega/src/lib.rs:
+crates/nl2vis-vega/src/ascii.rs:
+crates/nl2vis-vega/src/import.rs:
+crates/nl2vis-vega/src/spec.rs:
+crates/nl2vis-vega/src/svg.rs:

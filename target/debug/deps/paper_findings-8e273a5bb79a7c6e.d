@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_findings-8e273a5bb79a7c6e.d: tests/paper_findings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_findings-8e273a5bb79a7c6e.rmeta: tests/paper_findings.rs Cargo.toml
+
+tests/paper_findings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_findings-c5a63972ce5fc9d8.d: tests/paper_findings.rs
+
+/root/repo/target/debug/deps/paper_findings-c5a63972ce5fc9d8: tests/paper_findings.rs
+
+tests/paper_findings.rs:

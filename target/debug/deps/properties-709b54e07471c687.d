@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-709b54e07471c687.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-709b54e07471c687: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conversation-19ba478251d036ad.d: examples/conversation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconversation-19ba478251d036ad.rmeta: examples/conversation.rs Cargo.toml
+
+examples/conversation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conversation-ba3b59080443ba44.d: examples/conversation.rs
+
+/root/repo/target/debug/examples/conversation-ba3b59080443ba44: examples/conversation.rs
+
+examples/conversation.rs:

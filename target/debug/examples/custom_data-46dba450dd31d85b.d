@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_data-46dba450dd31d85b.d: examples/custom_data.rs
+
+/root/repo/target/debug/examples/custom_data-46dba450dd31d85b: examples/custom_data.rs
+
+examples/custom_data.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_data-d45dcaa4f4c977b6.d: examples/custom_data.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_data-d45dcaa4f4c977b6.rmeta: examples/custom_data.rs Cargo.toml
+
+examples/custom_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/http_server-d92b18eb3c2dcc36.d: examples/http_server.rs
+
+/root/repo/target/debug/examples/http_server-d92b18eb3c2dcc36: examples/http_server.rs
+
+examples/http_server.rs:

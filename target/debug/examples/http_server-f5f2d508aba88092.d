@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/http_server-f5f2d508aba88092.d: examples/http_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhttp_server-f5f2d508aba88092.rmeta: examples/http_server.rs Cargo.toml
+
+examples/http_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iterative_repair-47601c88733c50ea.d: examples/iterative_repair.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiterative_repair-47601c88733c50ea.rmeta: examples/iterative_repair.rs Cargo.toml
+
+examples/iterative_repair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iterative_repair-fcbdfd7aa34f2875.d: examples/iterative_repair.rs
+
+/root/repo/target/debug/examples/iterative_repair-fcbdfd7aa34f2875: examples/iterative_repair.rs
+
+examples/iterative_repair.rs:

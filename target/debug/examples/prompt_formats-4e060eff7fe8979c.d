@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prompt_formats-4e060eff7fe8979c.d: examples/prompt_formats.rs
+
+/root/repo/target/debug/examples/prompt_formats-4e060eff7fe8979c: examples/prompt_formats.rs
+
+examples/prompt_formats.rs:

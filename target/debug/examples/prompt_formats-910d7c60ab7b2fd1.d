@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/prompt_formats-910d7c60ab7b2fd1.d: examples/prompt_formats.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprompt_formats-910d7c60ab7b2fd1.rmeta: examples/prompt_formats.rs Cargo.toml
+
+examples/prompt_formats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

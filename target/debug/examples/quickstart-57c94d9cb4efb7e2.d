@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-57c94d9cb4efb7e2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-57c94d9cb4efb7e2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sports_analytics-3fc6fb395b5760bb.d: examples/sports_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsports_analytics-3fc6fb395b5760bb.rmeta: examples/sports_analytics.rs Cargo.toml
+
+examples/sports_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sports_analytics-5549ec740521fbbe.d: examples/sports_analytics.rs
+
+/root/repo/target/debug/examples/sports_analytics-5549ec740521fbbe: examples/sports_analytics.rs
+
+examples/sports_analytics.rs:

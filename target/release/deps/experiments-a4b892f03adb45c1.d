@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-a4b892f03adb45c1.d: crates/nl2vis-bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-a4b892f03adb45c1: crates/nl2vis-bench/src/bin/experiments.rs
+
+crates/nl2vis-bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nl2vis-2393c32275d58021.d: src/main.rs
+
+/root/repo/target/release/deps/nl2vis-2393c32275d58021: src/main.rs
+
+src/main.rs:

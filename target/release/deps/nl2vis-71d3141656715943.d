@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nl2vis-71d3141656715943.d: src/main.rs
+
+/root/repo/target/release/deps/nl2vis-71d3141656715943: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nl2vis-8ce351ba4c82c36a.d: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libnl2vis-8ce351ba4c82c36a.rlib: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libnl2vis-8ce351ba4c82c36a.rmeta: src/lib.rs src/conversation.rs src/pipeline.rs
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nl2vis-d51195a9fbe51320.d: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libnl2vis-d51195a9fbe51320.rlib: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libnl2vis-d51195a9fbe51320.rmeta: src/lib.rs src/conversation.rs src/pipeline.rs
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:

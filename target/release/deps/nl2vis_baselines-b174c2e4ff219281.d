@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nl2vis_baselines-b174c2e4ff219281.d: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+/root/repo/target/release/deps/libnl2vis_baselines-b174c2e4ff219281.rlib: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+/root/repo/target/release/deps/libnl2vis_baselines-b174c2e4ff219281.rmeta: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+crates/nl2vis-baselines/src/lib.rs:
+crates/nl2vis-baselines/src/chat2vis.rs:
+crates/nl2vis-baselines/src/ncnet.rs:
+crates/nl2vis-baselines/src/retrieval.rs:
+crates/nl2vis-baselines/src/rgvisnet.rs:
+crates/nl2vis-baselines/src/seq2vis.rs:
+crates/nl2vis-baselines/src/t5.rs:
+crates/nl2vis-baselines/src/transformer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nl2vis_bench-4be79fceb52e6f73.d: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/release/deps/libnl2vis_bench-4be79fceb52e6f73.rlib: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/release/deps/libnl2vis_bench-4be79fceb52e6f73.rmeta: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+crates/nl2vis-bench/src/lib.rs:
+crates/nl2vis-bench/src/experiments.rs:
+crates/nl2vis-bench/src/render.rs:

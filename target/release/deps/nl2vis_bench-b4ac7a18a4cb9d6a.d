@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nl2vis_bench-b4ac7a18a4cb9d6a.d: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/release/deps/libnl2vis_bench-b4ac7a18a4cb9d6a.rlib: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/release/deps/libnl2vis_bench-b4ac7a18a4cb9d6a.rmeta: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+crates/nl2vis-bench/src/lib.rs:
+crates/nl2vis-bench/src/experiments.rs:
+crates/nl2vis-bench/src/render.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nl2vis_corpus-aa5d9cf48bb80531.d: crates/nl2vis-corpus/src/lib.rs crates/nl2vis-corpus/src/corpus.rs crates/nl2vis-corpus/src/domains.rs crates/nl2vis-corpus/src/generate.rs crates/nl2vis-corpus/src/io.rs crates/nl2vis-corpus/src/pools.rs crates/nl2vis-corpus/src/realize.rs crates/nl2vis-corpus/src/synth.rs
+
+/root/repo/target/release/deps/libnl2vis_corpus-aa5d9cf48bb80531.rlib: crates/nl2vis-corpus/src/lib.rs crates/nl2vis-corpus/src/corpus.rs crates/nl2vis-corpus/src/domains.rs crates/nl2vis-corpus/src/generate.rs crates/nl2vis-corpus/src/io.rs crates/nl2vis-corpus/src/pools.rs crates/nl2vis-corpus/src/realize.rs crates/nl2vis-corpus/src/synth.rs
+
+/root/repo/target/release/deps/libnl2vis_corpus-aa5d9cf48bb80531.rmeta: crates/nl2vis-corpus/src/lib.rs crates/nl2vis-corpus/src/corpus.rs crates/nl2vis-corpus/src/domains.rs crates/nl2vis-corpus/src/generate.rs crates/nl2vis-corpus/src/io.rs crates/nl2vis-corpus/src/pools.rs crates/nl2vis-corpus/src/realize.rs crates/nl2vis-corpus/src/synth.rs
+
+crates/nl2vis-corpus/src/lib.rs:
+crates/nl2vis-corpus/src/corpus.rs:
+crates/nl2vis-corpus/src/domains.rs:
+crates/nl2vis-corpus/src/generate.rs:
+crates/nl2vis-corpus/src/io.rs:
+crates/nl2vis-corpus/src/pools.rs:
+crates/nl2vis-corpus/src/realize.rs:
+crates/nl2vis-corpus/src/synth.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/nl2vis_data-771be4fd4bc72a3d.d: crates/nl2vis-data/src/lib.rs crates/nl2vis-data/src/catalog.rs crates/nl2vis-data/src/csv.rs crates/nl2vis-data/src/database.rs crates/nl2vis-data/src/error.rs crates/nl2vis-data/src/json.rs crates/nl2vis-data/src/load.rs crates/nl2vis-data/src/rng.rs crates/nl2vis-data/src/schema.rs crates/nl2vis-data/src/table.rs crates/nl2vis-data/src/text.rs crates/nl2vis-data/src/value.rs
+
+/root/repo/target/release/deps/libnl2vis_data-771be4fd4bc72a3d.rlib: crates/nl2vis-data/src/lib.rs crates/nl2vis-data/src/catalog.rs crates/nl2vis-data/src/csv.rs crates/nl2vis-data/src/database.rs crates/nl2vis-data/src/error.rs crates/nl2vis-data/src/json.rs crates/nl2vis-data/src/load.rs crates/nl2vis-data/src/rng.rs crates/nl2vis-data/src/schema.rs crates/nl2vis-data/src/table.rs crates/nl2vis-data/src/text.rs crates/nl2vis-data/src/value.rs
+
+/root/repo/target/release/deps/libnl2vis_data-771be4fd4bc72a3d.rmeta: crates/nl2vis-data/src/lib.rs crates/nl2vis-data/src/catalog.rs crates/nl2vis-data/src/csv.rs crates/nl2vis-data/src/database.rs crates/nl2vis-data/src/error.rs crates/nl2vis-data/src/json.rs crates/nl2vis-data/src/load.rs crates/nl2vis-data/src/rng.rs crates/nl2vis-data/src/schema.rs crates/nl2vis-data/src/table.rs crates/nl2vis-data/src/text.rs crates/nl2vis-data/src/value.rs
+
+crates/nl2vis-data/src/lib.rs:
+crates/nl2vis-data/src/catalog.rs:
+crates/nl2vis-data/src/csv.rs:
+crates/nl2vis-data/src/database.rs:
+crates/nl2vis-data/src/error.rs:
+crates/nl2vis-data/src/json.rs:
+crates/nl2vis-data/src/load.rs:
+crates/nl2vis-data/src/rng.rs:
+crates/nl2vis-data/src/schema.rs:
+crates/nl2vis-data/src/table.rs:
+crates/nl2vis-data/src/text.rs:
+crates/nl2vis-data/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nl2vis_eval-fe518abb1dfe35bf.d: crates/nl2vis-eval/src/lib.rs crates/nl2vis-eval/src/failure.rs crates/nl2vis-eval/src/metrics.rs crates/nl2vis-eval/src/optimize.rs crates/nl2vis-eval/src/runner.rs crates/nl2vis-eval/src/userstudy.rs
+
+/root/repo/target/release/deps/libnl2vis_eval-fe518abb1dfe35bf.rlib: crates/nl2vis-eval/src/lib.rs crates/nl2vis-eval/src/failure.rs crates/nl2vis-eval/src/metrics.rs crates/nl2vis-eval/src/optimize.rs crates/nl2vis-eval/src/runner.rs crates/nl2vis-eval/src/userstudy.rs
+
+/root/repo/target/release/deps/libnl2vis_eval-fe518abb1dfe35bf.rmeta: crates/nl2vis-eval/src/lib.rs crates/nl2vis-eval/src/failure.rs crates/nl2vis-eval/src/metrics.rs crates/nl2vis-eval/src/optimize.rs crates/nl2vis-eval/src/runner.rs crates/nl2vis-eval/src/userstudy.rs
+
+crates/nl2vis-eval/src/lib.rs:
+crates/nl2vis-eval/src/failure.rs:
+crates/nl2vis-eval/src/metrics.rs:
+crates/nl2vis-eval/src/optimize.rs:
+crates/nl2vis-eval/src/runner.rs:
+crates/nl2vis-eval/src/userstudy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nl2vis_obs-37e78f2fe077806d.d: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs
+
+/root/repo/target/release/deps/libnl2vis_obs-37e78f2fe077806d.rlib: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs
+
+/root/repo/target/release/deps/libnl2vis_obs-37e78f2fe077806d.rmeta: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs
+
+crates/nl2vis-obs/src/lib.rs:
+crates/nl2vis-obs/src/registry.rs:
+crates/nl2vis-obs/src/report.rs:
+crates/nl2vis-obs/src/sink.rs:
+crates/nl2vis-obs/src/span.rs:

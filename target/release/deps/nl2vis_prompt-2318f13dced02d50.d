@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nl2vis_prompt-2318f13dced02d50.d: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+/root/repo/target/release/deps/libnl2vis_prompt-2318f13dced02d50.rlib: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+/root/repo/target/release/deps/libnl2vis_prompt-2318f13dced02d50.rmeta: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+crates/nl2vis-prompt/src/lib.rs:
+crates/nl2vis-prompt/src/icl.rs:
+crates/nl2vis-prompt/src/select.rs:
+crates/nl2vis-prompt/src/serialize.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/nl2vis_query-5f4fe2f0b87b1ce4.d: crates/nl2vis-query/src/lib.rs crates/nl2vis-query/src/ast.rs crates/nl2vis-query/src/bind.rs crates/nl2vis-query/src/canon.rs crates/nl2vis-query/src/component.rs crates/nl2vis-query/src/error.rs crates/nl2vis-query/src/exec.rs crates/nl2vis-query/src/lexer.rs crates/nl2vis-query/src/parser.rs crates/nl2vis-query/src/printer.rs crates/nl2vis-query/src/sql.rs
+
+/root/repo/target/release/deps/libnl2vis_query-5f4fe2f0b87b1ce4.rlib: crates/nl2vis-query/src/lib.rs crates/nl2vis-query/src/ast.rs crates/nl2vis-query/src/bind.rs crates/nl2vis-query/src/canon.rs crates/nl2vis-query/src/component.rs crates/nl2vis-query/src/error.rs crates/nl2vis-query/src/exec.rs crates/nl2vis-query/src/lexer.rs crates/nl2vis-query/src/parser.rs crates/nl2vis-query/src/printer.rs crates/nl2vis-query/src/sql.rs
+
+/root/repo/target/release/deps/libnl2vis_query-5f4fe2f0b87b1ce4.rmeta: crates/nl2vis-query/src/lib.rs crates/nl2vis-query/src/ast.rs crates/nl2vis-query/src/bind.rs crates/nl2vis-query/src/canon.rs crates/nl2vis-query/src/component.rs crates/nl2vis-query/src/error.rs crates/nl2vis-query/src/exec.rs crates/nl2vis-query/src/lexer.rs crates/nl2vis-query/src/parser.rs crates/nl2vis-query/src/printer.rs crates/nl2vis-query/src/sql.rs
+
+crates/nl2vis-query/src/lib.rs:
+crates/nl2vis-query/src/ast.rs:
+crates/nl2vis-query/src/bind.rs:
+crates/nl2vis-query/src/canon.rs:
+crates/nl2vis-query/src/component.rs:
+crates/nl2vis-query/src/error.rs:
+crates/nl2vis-query/src/exec.rs:
+crates/nl2vis-query/src/lexer.rs:
+crates/nl2vis-query/src/parser.rs:
+crates/nl2vis-query/src/printer.rs:
+crates/nl2vis-query/src/sql.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nl2vis_vega-2780739b737247c4.d: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+/root/repo/target/release/deps/libnl2vis_vega-2780739b737247c4.rlib: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+/root/repo/target/release/deps/libnl2vis_vega-2780739b737247c4.rmeta: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+crates/nl2vis-vega/src/lib.rs:
+crates/nl2vis-vega/src/ascii.rs:
+crates/nl2vis-vega/src/import.rs:
+crates/nl2vis-vega/src/spec.rs:
+crates/nl2vis-vega/src/svg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/http_server-89aac6ebc97a7993.d: examples/http_server.rs
+
+/root/repo/target/release/examples/http_server-89aac6ebc97a7993: examples/http_server.rs
+
+examples/http_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_server-ff0a4a5cd6a52ab3.d: examples/probe_server.rs
+
+/root/repo/target/release/examples/probe_server-ff0a4a5cd6a52ab3: examples/probe_server.rs
+
+examples/probe_server.rs:

@@ -47,7 +47,10 @@ fn pipeline_solves_corpus_examples_end_to_end() {
             exec_correct += 1;
         }
     }
-    assert!(produced * 10 >= attempted * 8, "most runs should produce charts: {produced}/{attempted}");
+    assert!(
+        produced * 10 >= attempted * 8,
+        "most runs should produce charts: {produced}/{attempted}"
+    );
     assert!(
         exec_correct * 2 >= attempted,
         "gpt-4 with demos should solve at least half: {exec_correct}/{attempted}"
@@ -106,12 +109,23 @@ fn gold_queries_render_through_every_stage() {
 #[test]
 fn catalog_integrity_across_corpus() {
     let corpus = fixture();
-    corpus.catalog.validate().expect("every generated database is consistent");
+    corpus
+        .catalog
+        .validate()
+        .expect("every generated database is consistent");
     // Splits cover all examples exactly once.
     for seed in [1u64, 2, 3] {
-        for split in [corpus.split_in_domain(seed), corpus.split_cross_domain(seed)] {
-            let mut all: Vec<usize> =
-                split.train.iter().chain(&split.valid).chain(&split.test).copied().collect();
+        for split in [
+            corpus.split_in_domain(seed),
+            corpus.split_cross_domain(seed),
+        ] {
+            let mut all: Vec<usize> = split
+                .train
+                .iter()
+                .chain(&split.valid)
+                .chain(&split.test)
+                .copied()
+                .collect();
             all.sort_unstable();
             let mut expected: Vec<usize> = corpus.examples.iter().map(|e| e.id).collect();
             expected.sort_unstable();
@@ -133,7 +147,11 @@ fn baselines_and_llms_coexist_in_one_harness() {
 
     let r_t5 = evaluate_model(&t5, &corpus, &split.test, Some(40));
     let r_s2v = evaluate_model(&s2v, &corpus, &split.test, Some(40));
-    let config = LlmEvalConfig { shots: 10, token_budget: 8192, ..Default::default() };
+    let config = LlmEvalConfig {
+        shots: 10,
+        token_budget: 8192,
+        ..Default::default()
+    };
     let r_llm = evaluate_llm(&llm, &corpus, &split.train, &split.test, &config, Some(40));
 
     // The paper's headline ordering, cross-domain: LLM ≥ fine-tuned ≥ seq2seq.

