@@ -4,7 +4,15 @@
 //! cargo run -p nl2vis-bench --bin experiments --release -- all
 //! cargo run -p nl2vis-bench --bin experiments --release -- table3 fig11 --fast
 //! cargo run -p nl2vis-bench --bin experiments --release -- all --fast --trace=trace.jsonl
+//! cargo run -p nl2vis-bench --bin experiments --release -- transport --fast \
+//!     --fault=drop=0.1,500=0.08,stall=0.05,stall_ms=1500,seed=7 --retries=4
 //! ```
+//!
+//! The `transport` experiment serves the model over HTTP twice — cleanly
+//! and through a fault-injecting server — and shows that retries keep
+//! accuracy identical while residual transport failures land in the
+//! `error.transport` bucket. `--fault=<spec>` sets the injected fault rates
+//! (see `FaultInjector::parse`), `--retries=<n>` the client attempt budget.
 //!
 //! Every phase runs under a `bench.*` span, so the run ends with a
 //! telemetry summary table (per-stage latency percentiles plus the
@@ -29,7 +37,13 @@ const ALL: &[&str] = &[
     "ablations",
     "ext_vega",
     "hardness",
+    "transport",
 ];
+
+/// Fault spec used by the `transport` experiment when `--fault=` is absent:
+/// enough drops, 500s and deadline-tripping stalls to exercise every retry
+/// path, deterministic under the fixed seed.
+const DEFAULT_FAULT_SPEC: &str = "drop=0.1,500=0.08,stall=0.05,stall_ms=1500,seed=7";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +62,25 @@ fn main() {
         };
         obs::set_sink(std::sync::Arc::new(sink));
     }
+    let fault_spec = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--fault="))
+        .unwrap_or(DEFAULT_FAULT_SPEC)
+        .to_string();
+    if let Err(e) = nl2vis_llm::FaultInjector::parse(&fault_spec) {
+        eprintln!("invalid --fault spec: {e}");
+        std::process::exit(2);
+    }
+    let retries: u32 = match args.iter().find_map(|a| a.strip_prefix("--retries=")) {
+        None => 4,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid --retries value `{v}`: expected an integer >= 1");
+                std::process::exit(2);
+            }
+        },
+    };
     let mut requested: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -103,6 +136,7 @@ fn main() {
             "ablations" => experiments::ablations(&ctx),
             "ext_vega" => experiments::ext_vega(&ctx).1,
             "hardness" => experiments::hardness(&ctx).1,
+            "transport" => experiments::transport(&ctx, &fault_spec, retries).1,
             _ => unreachable!("validated above"),
         };
         println!("{text}");

@@ -832,3 +832,125 @@ pub fn hardness(ctx: &ExperimentContext) -> (Vec<(Hardness, Pair, usize)>, Strin
     );
     (results, text)
 }
+
+/// Summary of one transport-resilience comparison (see [`transport`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TransportResilience {
+    /// (exact, exec) over the fault-free HTTP run.
+    pub clean: Pair,
+    /// (exact, exec) over the fault-injected HTTP run.
+    pub faulty: Pair,
+    /// Examples scored in the clean run.
+    pub clean_n: usize,
+    /// Examples scored in the faulty run (excludes transport failures).
+    pub faulty_n: usize,
+    /// Examples lost to transport in the faulty run.
+    pub transport_failures: usize,
+    /// Retries the resilient client issued during the faulty run.
+    pub retries: u64,
+    /// Faults the server injected during the faulty run.
+    pub faults_injected: u64,
+}
+
+/// **Transport resilience**: the same model, split and prompts, served
+/// twice over HTTP — once cleanly, once through a fault-injecting server
+/// (drops, 500s, stalls) with a retrying client. When retries recover every
+/// transient fault, both runs must report *identical* accuracy: Execution
+/// Accuracy is a property of the model, not of the wire. Residual faults
+/// (beyond the retry budget) land in the `error.transport` bucket, never in
+/// the model-failure counts.
+pub fn transport(
+    ctx: &ExperimentContext,
+    fault_spec: &str,
+    retries: u32,
+) -> (TransportResilience, String) {
+    use nl2vis_llm::http::{CompletionServer, HttpLlmClient, Timeouts};
+    use nl2vis_llm::{FaultInjector, ResilientLlmClient, RetryPolicy};
+    use nl2vis_obs::MetricsRegistry;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let llm = davinci003(ctx);
+    let config = LlmEvalConfig::default();
+    // Deadlines tight enough that an injected stall (default 1500 ms) trips
+    // the read deadline and converts into a retried timeout.
+    let timeouts = Timeouts {
+        connect: Duration::from_secs(2),
+        read: Duration::from_secs(1),
+        write: Duration::from_secs(1),
+    };
+    let policy = RetryPolicy {
+        jitter_seed: ctx.seed,
+        ..RetryPolicy::attempts(retries)
+    };
+
+    let run = |faults: FaultInjector| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = CompletionServer::start_with_faults(llm.clone(), registry, faults)
+            .expect("server starts");
+        let client = ResilientLlmClient::new(
+            HttpLlmClient::with_timeouts(server.address(), llm.profile.name, timeouts),
+            policy,
+        );
+        let report = evaluate_llm(
+            &client,
+            &ctx.corpus,
+            &ctx.cross_split.train,
+            &ctx.cross_split.test,
+            &config,
+            ctx.limit,
+        );
+        let injected = server.faults().injected();
+        (report, injected)
+    };
+
+    let retries_counter = nl2vis_obs::global().counter("llm.retries_total");
+    let (clean_report, _) = run(FaultInjector::none());
+    let retries_before = retries_counter.get();
+    let faults = FaultInjector::parse(fault_spec).expect("fault spec validated by caller");
+    let (faulty_report, faults_injected) = run(faults);
+    let retries_used = retries_counter.get() - retries_before;
+
+    let summary = TransportResilience {
+        clean: (
+            clean_report.overall().exact(),
+            clean_report.overall().exec(),
+        ),
+        faulty: (
+            faulty_report.overall().exact(),
+            faulty_report.overall().exec(),
+        ),
+        clean_n: clean_report.overall().n(),
+        faulty_n: faulty_report.overall().n(),
+        transport_failures: faulty_report.transport_failures(),
+        retries: retries_used,
+        faults_injected,
+    };
+    let text = format!(
+        "Transport resilience (text-davinci-003 over HTTP, cross-domain, fault spec `{fault_spec}`, {retries} attempts)\n{}\
+         retries issued: {}   faults injected: {}\n\
+         transport failures are excluded from accuracy and counted under error.transport\n",
+        table(
+            &["run", "Exa", "Exe", "scored", "transport-failed"],
+            &[
+                vec![
+                    "clean".to_string(),
+                    acc(summary.clean.0),
+                    acc(summary.clean.1),
+                    summary.clean_n.to_string(),
+                    "0".to_string(),
+                ],
+                vec![
+                    "faulty+retry".to_string(),
+                    acc(summary.faulty.0),
+                    acc(summary.faulty.1),
+                    summary.faulty_n.to_string(),
+                    summary.transport_failures.to_string(),
+                ],
+            ],
+        ),
+        summary.retries,
+        summary.faults_injected,
+    );
+    (summary, text)
+}

@@ -29,6 +29,11 @@ pub struct FailureTaxonomy {
     pub failures: usize,
     /// Failures whose output did not even parse as VQL.
     pub parse_failures: usize,
+    /// Examples whose *transport* failed. These are infrastructure
+    /// failures, never attributed to any model bucket: the model produced
+    /// no output to classify, so folding them into the taxonomy (as the
+    /// old string-folding transport once did) would corrupt it.
+    pub transport_failures: usize,
 }
 
 impl FailureTaxonomy {
@@ -37,7 +42,12 @@ impl FailureTaxonomy {
         let mut counts: BTreeMap<&'static str, (bool, usize)> = BTreeMap::new();
         let mut failures = 0usize;
         let mut parse_failures = 0usize;
+        let mut transport_failures = 0usize;
         for r in &report.results {
+            if !r.scored() {
+                transport_failures += 1;
+                continue;
+            }
             if !r.outcome.failed() {
                 continue;
             }
@@ -75,6 +85,7 @@ impl FailureTaxonomy {
             buckets,
             failures,
             parse_failures,
+            transport_failures,
         }
     }
 
@@ -108,9 +119,10 @@ impl FailureTaxonomy {
     /// Renders the taxonomy as an aligned text table.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "failures: {} (unparseable: {})\nvisual part: {:.1}%  data part: {:.1}%\n",
+            "failures: {} (unparseable: {}; transport, excluded: {})\nvisual part: {:.1}%  data part: {:.1}%\n",
             self.failures,
             self.parse_failures,
+            self.transport_failures,
             self.visual_share() * 100.0,
             self.data_share() * 100.0
         );
@@ -182,6 +194,7 @@ mod tests {
             is_join: false,
             hardness: Hardness::Easy,
             completion: None,
+            transport_error: None,
         }
     }
 
@@ -223,6 +236,39 @@ mod tests {
         let tax = FailureTaxonomy::from_report(&report);
         assert_eq!(tax.failures, 0);
         assert!(tax.buckets.is_empty());
+    }
+
+    #[test]
+    fn transport_failures_are_counted_but_never_bucketed() {
+        use crate::metrics::EvalOutcome;
+        let mut transport = result(
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
+            "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
+        );
+        transport.outcome = EvalOutcome::unscored();
+        transport.transport_error = Some("transport error (timeout, 3 attempts): ...".to_string());
+        let report = EvalReport {
+            results: vec![
+                transport,
+                result(
+                    "VISUALIZE pie SELECT a , COUNT(a) FROM t GROUP BY a",
+                    "VISUALIZE bar SELECT a , COUNT(a) FROM t GROUP BY a",
+                ),
+            ],
+            ..Default::default()
+        };
+        let tax = FailureTaxonomy::from_report(&report);
+        // The transport row is not a model failure: one genuine failure,
+        // one transport failure, zero parse failures.
+        assert_eq!(tax.failures, 1);
+        assert_eq!(tax.transport_failures, 1);
+        assert_eq!(tax.parse_failures, 0);
+        assert!(tax.share_of("type") > 0.0);
+        assert!(tax.to_text().contains("transport, excluded: 1"));
+        // The accuracy denominator excludes the transport row too.
+        assert_eq!(report.overall().n(), 1);
+        assert_eq!(report.transport_failures(), 1);
+        assert_eq!(report.failed_ids().len(), 1);
     }
 
     #[test]

@@ -29,6 +29,21 @@ impl EvalOutcome {
     pub fn failed(&self) -> bool {
         !self.exact && !self.exec
     }
+
+    /// The placeholder outcome for an example that was never scored because
+    /// the transport failed (no completion exists to score). Carried by
+    /// [`crate::runner::ExampleResult`]s whose `transport_error` is set;
+    /// every aggregate excludes such rows, so none of these fields count
+    /// toward any metric.
+    pub fn unscored() -> EvalOutcome {
+        EvalOutcome {
+            predicted: None,
+            exact: false,
+            exec: false,
+            components_wrong: Vec::new(),
+            parse_failed: false,
+        }
+    }
 }
 
 /// Scores a raw model completion against the gold query over the database.

@@ -81,6 +81,21 @@ pub struct ExampleResult {
     pub hardness: Hardness,
     /// The raw completion (LLM runs) for failure inspection.
     pub completion: Option<String>,
+    /// Set when the transport failed and no completion ever existed. Such
+    /// rows are *infrastructure* failures: they are excluded from every
+    /// accuracy aggregate and from the failure taxonomy (attributing them
+    /// to the model would silently corrupt both, since the model said
+    /// nothing), and surface instead through
+    /// [`EvalReport::transport_failures`] and the `eval.error.transport`
+    /// counter.
+    pub transport_error: Option<String>,
+}
+
+impl ExampleResult {
+    /// Whether this example produced a scoreable completion.
+    pub fn scored(&self) -> bool {
+        self.transport_error.is_none()
+    }
 }
 
 /// Throughput of one evaluation worker thread.
@@ -140,21 +155,38 @@ impl EvalReport {
         self.accuracy(|r| r.hardness == h)
     }
 
-    /// Accuracy over a filtered subset.
+    /// Accuracy over a filtered subset. Transport-failed examples never
+    /// enter the accumulator — neither numerator nor denominator — because
+    /// no model output exists to score (the VisEval attribution rule).
     pub fn accuracy<F: Fn(&ExampleResult) -> bool>(&self, keep: F) -> Accuracy {
         let mut acc = Accuracy::default();
-        for r in self.results.iter().filter(|r| keep(r)) {
+        for r in self.results.iter().filter(|r| r.scored() && keep(r)) {
             acc.record(&r.outcome);
         }
         acc
     }
 
     /// Ids of failed examples (neither exact nor execution accurate).
+    /// Transport failures are not model failures and are listed by
+    /// [`EvalReport::transport_failed_ids`] instead.
     pub fn failed_ids(&self) -> Vec<usize> {
         self.results
             .iter()
-            .filter(|r| r.outcome.failed())
+            .filter(|r| r.scored() && r.outcome.failed())
             .map(|r| r.id)
+            .collect()
+    }
+
+    /// Number of examples whose transport failed (never scored).
+    pub fn transport_failures(&self) -> usize {
+        self.results.iter().filter(|r| !r.scored()).count()
+    }
+
+    /// Ids of examples whose transport failed, with the failure message.
+    pub fn transport_failed_ids(&self) -> Vec<(usize, String)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.transport_error.as_ref().map(|e| (r.id, e.clone())))
             .collect()
     }
 
@@ -169,6 +201,7 @@ impl EvalReport {
             "exec".into(),
             "parse_failed".into(),
             "wrong_components".into(),
+            "transport_failed".into(),
         ]];
         for r in &self.results {
             rows.push(vec![
@@ -184,6 +217,7 @@ impl EvalReport {
                     .map(ToString::to_string)
                     .collect::<Vec<_>>()
                     .join(";"),
+                (!r.scored()).to_string(),
             ]);
         }
         nl2vis_data::csv::write_rows(&rows)
@@ -191,16 +225,21 @@ impl EvalReport {
 
     /// Component accuracy (the paper's third metric): the share of
     /// predictions agreeing with gold on each query component. Unparseable
-    /// outputs count as disagreeing on every component.
+    /// outputs count as disagreeing on every component; transport failures
+    /// are excluded outright (no prediction exists).
     pub fn component_accuracy(&self) -> Vec<(Component, f64)> {
-        let n = self.results.len().max(1) as f64;
+        let n = self.results.iter().filter(|r| r.scored()).count().max(1) as f64;
         Component::all()
             .into_iter()
             .map(|c| {
                 let agree = self
                     .results
                     .iter()
-                    .filter(|r| !r.outcome.parse_failed && !r.outcome.components_wrong.contains(&c))
+                    .filter(|r| {
+                        r.scored()
+                            && !r.outcome.parse_failed
+                            && !r.outcome.components_wrong.contains(&c)
+                    })
                     .count() as f64;
                 (c, agree / n)
             })
@@ -211,7 +250,11 @@ impl EvalReport {
     pub fn component_failures(&self) -> Vec<(Component, usize)> {
         let mut counts: Vec<(Component, usize)> =
             Component::all().into_iter().map(|c| (c, 0)).collect();
-        for r in self.results.iter().filter(|r| r.outcome.failed()) {
+        for r in self
+            .results
+            .iter()
+            .filter(|r| r.scored() && r.outcome.failed())
+        {
             for c in &r.outcome.components_wrong {
                 if let Some(slot) = counts.iter_mut().find(|(cc, _)| cc == c) {
                     slot.1 += 1;
@@ -312,7 +355,24 @@ pub fn evaluate_llm_with_progress(
                     .database(&d.db)
                     .expect("demo database exists")
             });
-            let completion = llm.complete_with(&prompt.text, &config.gen);
+            // The typed completion path: a transport failure here means the
+            // model never spoke, so the example must land in
+            // `eval.error.transport` — not in the accuracy denominator and
+            // not in the failure taxonomy.
+            let completion = match llm.try_complete_with(&prompt.text, &config.gen) {
+                Ok(completion) => completion,
+                Err(e) => {
+                    obs::transport_error("eval", &format!("example {}: {e}", test.id));
+                    return Some(ExampleResult {
+                        id: test.id,
+                        outcome: EvalOutcome::unscored(),
+                        is_join: test.is_join,
+                        hardness: test.hardness,
+                        completion: None,
+                        transport_error: Some(e.to_string()),
+                    });
+                }
+            };
             let outcome = score_completion(&completion, &test.vql, db);
             Some(ExampleResult {
                 id: test.id,
@@ -320,6 +380,7 @@ pub fn evaluate_llm_with_progress(
                 is_join: test.is_join,
                 hardness: test.hardness,
                 completion: Some(completion),
+                transport_error: None,
             })
         },
         progress,
@@ -373,6 +434,7 @@ pub fn evaluate_model_with_progress(
                 is_join: test.is_join,
                 hardness: test.hardness,
                 completion: None,
+                transport_error: None,
             })
         },
         progress,

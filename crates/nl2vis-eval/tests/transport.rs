@@ -1,0 +1,208 @@
+//! Transport-attribution integration tests: the eval runner over a
+//! fault-injecting HTTP server. The invariants under test are the PR's
+//! acceptance criteria — (1) when retries absorb every injected fault, a
+//! faulty run scores identically to a fault-free one; (2) residual
+//! transport failures land in the `error.transport` bucket and never move
+//! any model-failure count.
+
+use nl2vis_corpus::{Corpus, CorpusConfig};
+use nl2vis_eval::failure::FailureTaxonomy;
+use nl2vis_eval::runner::{evaluate_llm, EvalReport, LlmEvalConfig};
+use nl2vis_llm::http::{CompletionServer, HttpLlmClient, Timeouts};
+use nl2vis_llm::{Fault, FaultInjector, ModelProfile, ResilientLlmClient, RetryPolicy, SimLlm};
+use nl2vis_obs::MetricsRegistry;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture() -> Corpus {
+    Corpus::build(&CorpusConfig {
+        seed: 61,
+        instances_per_domain: 1,
+        queries_per_db: 12,
+        paraphrases: (2, 3),
+    })
+}
+
+fn server_with(faults: FaultInjector) -> CompletionServer {
+    let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+    CompletionServer::start_with_faults(llm, Arc::new(MetricsRegistry::new()), faults)
+        .expect("server starts")
+}
+
+fn client_for(server: &CompletionServer, policy: RetryPolicy) -> ResilientLlmClient {
+    // A tight read deadline so injected stalls trip it quickly; generous
+    // enough that healthy sim completions never do.
+    let timeouts = Timeouts {
+        connect: Duration::from_secs(2),
+        read: Duration::from_millis(500),
+        write: Duration::from_secs(2),
+    };
+    ResilientLlmClient::new(
+        HttpLlmClient::with_timeouts(server.address(), "text-davinci-003", timeouts),
+        policy,
+    )
+}
+
+fn fast_policy(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: attempts,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(10),
+        jitter_seed: 9,
+    }
+}
+
+fn key(r: &EvalReport) -> Vec<(usize, bool, bool)> {
+    r.results
+        .iter()
+        .map(|x| (x.id, x.outcome.exact, x.outcome.exec))
+        .collect()
+}
+
+/// Drops, 500s and deadline-tripping stalls — every fault class at once —
+/// must be invisible in the scores when the retry budget covers them: the
+/// faulty run completes (no hang) and matches the fault-free run
+/// example-for-example.
+#[test]
+fn recovered_faults_leave_accuracy_identical_to_clean_run() {
+    let corpus = fixture();
+    let split = corpus.split_cross_domain(1);
+    let config = LlmEvalConfig::default();
+    let n = 12;
+
+    let clean_server = server_with(FaultInjector::none());
+    let clean = client_for(&clean_server, fast_policy(4));
+    let r_clean = evaluate_llm(&clean, &corpus, &split.train, &split.test, &config, Some(n));
+
+    let faulty_server = server_with(FaultInjector::script(vec![
+        Fault::Drop,
+        Fault::Http500,
+        Fault::Stall(Duration::from_millis(1200)),
+    ]));
+    let faulty = client_for(&faulty_server, fast_policy(4));
+    let retries_before = nl2vis_obs::global().counter("llm.retries_total").get();
+    let r_faulty = evaluate_llm(
+        &faulty,
+        &corpus,
+        &split.train,
+        &split.test,
+        &config,
+        Some(n),
+    );
+
+    assert_eq!(faulty_server.faults().injected(), 3, "all faults fired");
+    assert!(
+        nl2vis_obs::global().counter("llm.retries_total").get() >= retries_before + 3,
+        "each injected fault forces at least one retry"
+    );
+    assert_eq!(
+        r_faulty.transport_failures(),
+        0,
+        "retries absorbed every fault"
+    );
+    assert_eq!(
+        key(&r_clean),
+        key(&r_faulty),
+        "scores must be fault-invariant"
+    );
+    assert_eq!(r_clean.overall().exact(), r_faulty.overall().exact());
+    assert_eq!(r_clean.overall().exec(), r_faulty.overall().exec());
+}
+
+/// A fault that outlives the retry budget becomes a transport failure on
+/// exactly that example: it leaves the accuracy denominator and the failure
+/// taxonomy, while every other example scores exactly as in the clean run —
+/// the model-failure counts do not move.
+#[test]
+fn unrecovered_fault_is_excluded_without_moving_model_failures() {
+    let corpus = fixture();
+    let split = corpus.split_cross_domain(1);
+    // Sequential (single worker) so the injected fault lands on the first
+    // completion request — i.e. the first test example — deterministically.
+    let config = LlmEvalConfig {
+        workers: Some(1),
+        ..Default::default()
+    };
+    let n = 6;
+
+    let clean_server = server_with(FaultInjector::none());
+    let clean = client_for(&clean_server, fast_policy(4));
+    let r_clean = evaluate_llm(&clean, &corpus, &split.train, &split.test, &config, Some(n));
+
+    let faulty_server = server_with(FaultInjector::script(vec![Fault::Drop]));
+    let faulty = client_for(&faulty_server, RetryPolicy::no_retry());
+    let transport_before = nl2vis_obs::global().counter("eval.error.transport").get();
+    let r_faulty = evaluate_llm(
+        &faulty,
+        &corpus,
+        &split.train,
+        &split.test,
+        &config,
+        Some(n),
+    );
+
+    // Exactly the first example is lost to transport, and it is reported
+    // as such — id, message, counter.
+    assert_eq!(r_faulty.transport_failures(), 1);
+    let lost = r_faulty.transport_failed_ids();
+    assert_eq!(lost.len(), 1);
+    assert_eq!(lost[0].0, split.test[0]);
+    assert!(lost[0].1.contains("transport error"), "{}", lost[0].1);
+    assert!(nl2vis_obs::global().counter("eval.error.transport").get() > transport_before);
+
+    // Every surviving example scores exactly as in the clean run.
+    let clean_rest: Vec<_> = key(&r_clean).into_iter().skip(1).collect();
+    let faulty_rest: Vec<_> = key(&r_faulty)
+        .into_iter()
+        .filter(|(id, _, _)| *id != split.test[0])
+        .collect();
+    assert_eq!(clean_rest, faulty_rest);
+
+    // The denominator shrinks by one; model-failure counts are untouched.
+    assert_eq!(r_faulty.overall().n(), r_clean.overall().n() - 1);
+    let tax_clean = FailureTaxonomy::from_report(&r_clean);
+    let tax_faulty = FailureTaxonomy::from_report(&r_faulty);
+    assert_eq!(tax_faulty.transport_failures, 1);
+    let first_failed_clean = r_clean.results[0].outcome.failed() as usize;
+    assert_eq!(tax_faulty.failures, tax_clean.failures - first_failed_clean);
+    assert_eq!(tax_faulty.parse_failures, tax_clean.parse_failures);
+}
+
+/// Total outage: every request dropped, retries exhausted everywhere. The
+/// run still terminates, scores nothing, blames the model for nothing.
+#[test]
+fn total_outage_scores_nothing_and_blames_the_model_for_nothing() {
+    let corpus = fixture();
+    let split = corpus.split_cross_domain(1);
+    let config = LlmEvalConfig::default();
+    let n = 5;
+
+    let server = server_with(FaultInjector::random(7, 1.0, 0.0, 0.0, Duration::ZERO));
+    let client = client_for(&server, fast_policy(2));
+    let transport_before = nl2vis_obs::global().counter("eval.error.transport").get();
+    let report = evaluate_llm(
+        &client,
+        &corpus,
+        &split.train,
+        &split.test,
+        &config,
+        Some(n),
+    );
+
+    assert_eq!(report.results.len(), n);
+    assert_eq!(report.transport_failures(), n);
+    assert_eq!(report.overall().n(), 0, "nothing enters the denominator");
+    assert!(report.failed_ids().is_empty(), "no model failures");
+    assert!(
+        nl2vis_obs::global().counter("eval.error.transport").get() >= transport_before + n as u64
+    );
+    let tax = FailureTaxonomy::from_report(&report);
+    assert_eq!(tax.failures, 0);
+    assert_eq!(tax.parse_failures, 0);
+    assert_eq!(tax.transport_failures, n);
+    assert!(tax.buckets.is_empty());
+    // Every transport row carries the bounded-attempts message.
+    for (_, msg) in report.transport_failed_ids() {
+        assert!(msg.contains("2 attempt"), "{msg}");
+    }
+}

@@ -2,8 +2,82 @@
 //! repair strategies, user-study simulator) talks to an [`LlmClient`], so a
 //! simulated model, an HTTP-fronted model, or a real remote endpoint are
 //! interchangeable.
+//!
+//! Remote backends can fail for reasons the model is not responsible for —
+//! a refused connection, a stalled socket, a 5xx from the serving layer.
+//! Those failures must never be scored as model output (the paper's
+//! Execution Accuracy and failure taxonomy both assume every scored
+//! completion is something the model actually said), so the trait carries a
+//! *typed* completion path, [`LlmClient::try_complete_with`], whose error
+//! arm is a [`TransportError`]. Scoring code (the eval runner, the
+//! pipeline) uses the typed path; the infallible `complete` surface remains
+//! for display-only callers and for backends that cannot fail.
 
 use crate::sim::{GenOptions, SimLlm};
+
+/// Why a completion never produced model output.
+///
+/// The distinction that matters downstream is *attribution*: all of these
+/// mean the infrastructure failed, so the request lands in the
+/// `error.transport` bucket instead of the model-failure taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// A read/write/connect deadline expired.
+    Timeout,
+    /// The connection could not be established.
+    Connect,
+    /// The peer closed the connection before sending a response.
+    ConnectionClosed,
+    /// The server answered with a non-2xx status.
+    Status(u16),
+    /// The response violated the HTTP or JSON protocol.
+    Protocol,
+    /// Any other socket-level failure.
+    Io,
+}
+
+impl std::fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportErrorKind::Timeout => write!(f, "timeout"),
+            TransportErrorKind::Connect => write!(f, "connect"),
+            TransportErrorKind::ConnectionClosed => write!(f, "connection-closed"),
+            TransportErrorKind::Status(code) => write!(f, "status-{code}"),
+            TransportErrorKind::Protocol => write!(f, "protocol"),
+            TransportErrorKind::Io => write!(f, "io"),
+        }
+    }
+}
+
+/// A completion request that failed below the model: no text was generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// What went wrong.
+    pub kind: TransportErrorKind,
+    /// How many attempts were made before giving up (1 = no retries).
+    pub attempts: u32,
+    /// Human-readable detail of the last failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transport error ({}, {} attempt{}): {}",
+            self.kind,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The typed result of a completion call: model text, or a transport
+/// failure that must be attributed to the infrastructure.
+pub type CompletionOutcome = Result<String, TransportError>;
 
 /// A text-completion model.
 pub trait LlmClient {
@@ -17,6 +91,17 @@ pub trait LlmClient {
     /// options (e.g. remote HTTP models) fall back to plain completion.
     fn complete_with(&self, prompt: &str, _opts: &GenOptions) -> String {
         self.complete(prompt)
+    }
+
+    /// Completes a prompt, surfacing transport failures as a typed error
+    /// instead of folding them into the completion text. Local backends
+    /// cannot fail and use this default; remote backends override it.
+    ///
+    /// Scoring paths (the eval runner, the pipeline) must call this, never
+    /// `complete`, so infrastructure failures land in `error.transport`
+    /// rather than the model-failure counts.
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        Ok(self.complete_with(prompt, opts))
     }
 }
 
@@ -46,5 +131,33 @@ mod tests {
         assert_eq!(client.name(), "gpt-4");
         let out = client.complete("not a prompt");
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn local_backends_never_fail_the_typed_path() {
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 1);
+        let client: &dyn LlmClient = &llm;
+        let out = client
+            .try_complete_with("not a prompt", &GenOptions::default())
+            .expect("a local model has no transport");
+        assert_eq!(out, client.complete("not a prompt"));
+    }
+
+    #[test]
+    fn transport_error_display_is_informative() {
+        let e = TransportError {
+            kind: TransportErrorKind::Status(503),
+            attempts: 3,
+            message: "http 503: overloaded".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("status-503"), "{text}");
+        assert!(text.contains("3 attempts"), "{text}");
+        let single = TransportError {
+            kind: TransportErrorKind::Timeout,
+            attempts: 1,
+            message: "read deadline".to_string(),
+        };
+        assert!(single.to_string().contains("1 attempt)"));
     }
 }

@@ -1,0 +1,261 @@
+//! Deterministic fault injection for the completion server.
+//!
+//! Testing the transport's resilience (deadlines, retries, typed failure
+//! attribution) offline requires a server that misbehaves *on demand and
+//! reproducibly*. A [`FaultInjector`] decides, per completion request, to
+//! serve normally, stall before responding (to trip client read deadlines),
+//! drop the connection without a response, or answer `500`. Decisions come
+//! from either a fixed script (exact control in tests) or a seeded random
+//! plan (rate-based chaos for whole eval runs) — never from ambient
+//! entropy, so every run replays bit-identically.
+
+use nl2vis_data::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One injected misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Serve the request normally.
+    None,
+    /// Sleep this long before responding (long enough stalls trip the
+    /// client's read deadline).
+    Stall(Duration),
+    /// Close the connection without sending any response.
+    Drop,
+    /// Respond `500 Internal Server Error`.
+    Http500,
+}
+
+impl Fault {
+    /// Metric suffix for the `server.fault.<label>` counter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::Stall(_) => "stall",
+            Fault::Drop => "drop",
+            Fault::Http500 => "http500",
+        }
+    }
+}
+
+/// How faults are scheduled over the request sequence.
+#[derive(Debug, Clone)]
+enum FaultPlan {
+    /// Request `n` gets `faults[n]`; requests past the end serve normally.
+    Script(Vec<Fault>),
+    /// Independent per-request draws at fixed rates from a seeded stream.
+    Random {
+        seed: u64,
+        drop: f64,
+        http500: f64,
+        stall: f64,
+        stall_for: Duration,
+    },
+}
+
+/// A per-request fault decider shared by all server connection threads.
+///
+/// The injector is positional: an atomic counter assigns each completion
+/// request the next index in the plan, so concurrent connections cannot
+/// change *which* faults fire, only which client observes them. Retries
+/// advance the counter too — a scripted `[Drop]` therefore kills exactly
+/// one request and lets its retry through, which is exactly the shape the
+/// recovery tests need.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counter: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector that never fires.
+    pub fn none() -> FaultInjector {
+        FaultInjector::script(Vec::new())
+    }
+
+    /// Plays the given faults in request order, then serves normally.
+    pub fn script(faults: Vec<Fault>) -> FaultInjector {
+        FaultInjector {
+            plan: FaultPlan::Script(faults),
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Independent per-request draws: `drop`, `http500` and `stall` are
+    /// probabilities in `[0, 1]`, tried in that order; `stall_for` is the
+    /// injected stall length.
+    pub fn random(
+        seed: u64,
+        drop: f64,
+        http500: f64,
+        stall: f64,
+        stall_for: Duration,
+    ) -> FaultInjector {
+        FaultInjector {
+            plan: FaultPlan::Random {
+                seed,
+                drop,
+                http500,
+                stall,
+                stall_for,
+            },
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses a CLI fault spec: comma-separated `key=value` pairs with keys
+    /// `drop`, `500`, `stall` (probabilities), `stall_ms` (stall length,
+    /// default 200) and `seed` (default 0). `"off"` or the empty string
+    /// yield an injector that never fires.
+    ///
+    /// Example: `drop=0.2,500=0.1,stall=0.05,stall_ms=50,seed=7`.
+    pub fn parse(spec: &str) -> Result<FaultInjector, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "off" {
+            return Ok(FaultInjector::none());
+        }
+        let (mut drop, mut http500, mut stall) = (0.0f64, 0.0f64, 0.0f64);
+        let mut stall_ms = 200u64;
+        let mut seed = 0u64;
+        for pair in spec.split(',') {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{pair}` is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault probability `{v}` is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault probability `{v}` outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key.trim() {
+                "drop" => drop = prob(value)?,
+                "500" | "http500" => http500 = prob(value)?,
+                "stall" => stall = prob(value)?,
+                "stall_ms" => {
+                    stall_ms = value
+                        .parse()
+                        .map_err(|_| format!("stall_ms `{value}` is not an integer"))?
+                }
+                "seed" => {
+                    seed = value
+                        .parse()
+                        .map_err(|_| format!("seed `{value}` is not an integer"))?
+                }
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(FaultInjector::random(
+            seed,
+            drop,
+            http500,
+            stall,
+            Duration::from_millis(stall_ms),
+        ))
+    }
+
+    /// Decides the fault for the next request and advances the sequence.
+    pub fn next(&self) -> Fault {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let fault = match &self.plan {
+            FaultPlan::Script(faults) => faults.get(n as usize).copied().unwrap_or(Fault::None),
+            FaultPlan::Random {
+                seed,
+                drop,
+                http500,
+                stall,
+                stall_for,
+            } => {
+                // One independent stream per request index: concurrency
+                // cannot reorder the draws a given index observes.
+                let mut rng = Rng::new(seed ^ (n.wrapping_add(1)).wrapping_mul(0x9E37_79B9));
+                if rng.chance(*drop) {
+                    Fault::Drop
+                } else if rng.chance(*http500) {
+                    Fault::Http500
+                } else if rng.chance(*stall) {
+                    Fault::Stall(*stall_for)
+                } else {
+                    Fault::None
+                }
+            }
+        };
+        if fault != Fault::None {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// Requests seen so far.
+    pub fn requests(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far (requests that did not serve normally).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_plays_in_order_then_goes_quiet() {
+        let inj = FaultInjector::script(vec![Fault::Drop, Fault::Http500]);
+        assert_eq!(inj.next(), Fault::Drop);
+        assert_eq!(inj.next(), Fault::Http500);
+        assert_eq!(inj.next(), Fault::None);
+        assert_eq!(inj.next(), Fault::None);
+        assert_eq!(inj.requests(), 4);
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let a = FaultInjector::random(7, 0.3, 0.2, 0.1, Duration::from_millis(50));
+        let b = FaultInjector::random(7, 0.3, 0.2, 0.1, Duration::from_millis(50));
+        let seq_a: Vec<Fault> = (0..200).map(|_| a.next()).collect();
+        let seq_b: Vec<Fault> = (0..200).map(|_| b.next()).collect();
+        assert_eq!(seq_a, seq_b);
+        // The rates actually fire.
+        assert!(seq_a.contains(&Fault::Drop));
+        assert!(seq_a.contains(&Fault::Http500));
+        assert!(seq_a.iter().any(|f| matches!(f, Fault::Stall(_))));
+        assert!(seq_a.contains(&Fault::None));
+        // A different seed reorders the sequence.
+        let c = FaultInjector::random(8, 0.3, 0.2, 0.1, Duration::from_millis(50));
+        let seq_c: Vec<Fault> = (0..200).map(|_| c.next()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let inj = FaultInjector::random(1, 0.0, 0.0, 0.0, Duration::from_millis(1));
+        assert!((0..100).all(|_| inj.next() == Fault::None));
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn spec_parsing_roundtrip_and_errors() {
+        let inj = FaultInjector::parse("drop=1.0,stall_ms=5,seed=3").unwrap();
+        assert_eq!(inj.next(), Fault::Drop);
+        let inj = FaultInjector::parse("stall=1.0,stall_ms=25").unwrap();
+        assert_eq!(inj.next(), Fault::Stall(Duration::from_millis(25)));
+        let inj = FaultInjector::parse("500=1.0").unwrap();
+        assert_eq!(inj.next(), Fault::Http500);
+        assert_eq!(FaultInjector::parse("off").unwrap().next(), Fault::None);
+        assert_eq!(FaultInjector::parse("").unwrap().next(), Fault::None);
+        assert!(FaultInjector::parse("drop=2.0").is_err());
+        assert!(FaultInjector::parse("drop").is_err());
+        assert!(FaultInjector::parse("banana=0.5").is_err());
+        assert!(FaultInjector::parse("stall_ms=abc").is_err());
+    }
+}

@@ -8,7 +8,8 @@
 //! the [`crate::client::LlmClient`] trait, so swapping the
 //! simulated backend for a real endpoint is a URL change.
 
-use crate::client::LlmClient;
+use crate::client::{CompletionOutcome, LlmClient, TransportError, TransportErrorKind};
+use crate::fault::{Fault, FaultInjector};
 use crate::sim::SimLlm;
 use nl2vis_data::Json;
 use nl2vis_obs as obs;
@@ -18,13 +19,28 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Largest request/response body either side will buffer. Prompts run to
+/// tens of kilobytes; anything past this is a protocol violation, not a
+/// bigger prompt, and must not translate an untrusted `Content-Length`
+/// header into an allocation.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Read/write deadlines applied to every accepted server connection. A
+/// stalled or dead peer releases its connection thread after this long
+/// instead of holding it (and the active-connection gauge) forever.
+const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Errors from the HTTP layer.
 #[derive(Debug)]
 pub enum HttpError {
     /// Socket-level failure.
     Io(std::io::Error),
+    /// A connect/read/write deadline expired.
+    Timeout(String),
+    /// The peer closed the connection before sending a response.
+    Closed,
     /// Malformed HTTP traffic.
     Protocol(String),
     /// Non-2xx status.
@@ -35,6 +51,8 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Timeout(stage) => write!(f, "timed out: {stage}"),
+            HttpError::Closed => write!(f, "connection closed before a response"),
             HttpError::Protocol(m) => write!(f, "protocol error: {m}"),
             HttpError::Status(code, body) => write!(f, "http {code}: {body}"),
         }
@@ -45,7 +63,41 @@ impl std::error::Error for HttpError {}
 
 impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> HttpError {
-        HttpError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                HttpError::Timeout(e.to_string())
+            }
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+impl HttpError {
+    /// The attribution bucket this failure belongs to.
+    pub fn transport_kind(&self) -> TransportErrorKind {
+        match self {
+            HttpError::Timeout(_) => TransportErrorKind::Timeout,
+            HttpError::Closed => TransportErrorKind::ConnectionClosed,
+            HttpError::Status(code, _) => TransportErrorKind::Status(*code),
+            HttpError::Protocol(_) => TransportErrorKind::Protocol,
+            HttpError::Io(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                TransportErrorKind::Connect
+            }
+            HttpError::Io(_) => TransportErrorKind::Io,
+        }
+    }
+
+    /// Converts the final failure of `attempts` tries into the typed
+    /// [`TransportError`] scored paths consume, recording it on the
+    /// `llm.error.transport` counter.
+    pub fn into_transport_error(self, attempts: u32) -> TransportError {
+        let error = TransportError {
+            kind: self.transport_kind(),
+            attempts,
+            message: self.to_string(),
+        };
+        obs::transport_error("llm", &error.message);
+        error
     }
 }
 
@@ -70,6 +122,7 @@ pub struct CompletionServer {
     handle: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
     registry: Arc<MetricsRegistry>,
+    faults: Arc<FaultInjector>,
 }
 
 impl CompletionServer {
@@ -85,37 +138,56 @@ impl CompletionServer {
         llm: SimLlm,
         registry: Arc<MetricsRegistry>,
     ) -> Result<CompletionServer, HttpError> {
+        CompletionServer::start_with_faults(llm, registry, FaultInjector::none())
+    }
+
+    /// Starts the server with a [`FaultInjector`] deciding, per completion
+    /// request, whether to stall, drop the connection, or answer `500` —
+    /// the offline test double for a flaky remote API.
+    pub fn start_with_faults(
+        llm: SimLlm,
+        registry: Arc<MetricsRegistry>,
+        faults: FaultInjector,
+    ) -> Result<CompletionServer, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let conn_list = Arc::clone(&connections);
         let reg = Arc::clone(&registry);
         let llm = Arc::new(llm);
-        let handle = std::thread::spawn(move || {
-            while !stop_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
-                        let llm = Arc::clone(&llm);
-                        let reg = Arc::clone(&reg);
-                        let worker = std::thread::spawn(move || {
-                            let active = reg.gauge("server.active_connections");
-                            let now_active = active.add(1);
-                            reg.gauge("server.concurrent_peak").set_max(now_active);
-                            let _ = handle_connection(stream, &llm, &reg);
-                            active.add(-1);
-                        });
-                        let mut conns = conn_list.lock().expect("connection list");
-                        conns.retain(|h| !h.is_finished());
-                        conns.push(worker);
+        let faults = Arc::new(faults);
+        let fault_plan = Arc::clone(&faults);
+        // The accept loop blocks in `accept` — zero CPU while idle — and is
+        // woken on shutdown by `Drop` connecting to the listener itself.
+        let handle = std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    let llm = Arc::clone(&llm);
+                    let reg = Arc::clone(&reg);
+                    let faults = Arc::clone(&fault_plan);
+                    let worker = std::thread::spawn(move || {
+                        let active = reg.gauge("server.active_connections");
+                        let now_active = active.add(1);
+                        reg.gauge("server.concurrent_peak").set_max(now_active);
+                        let _ = handle_connection(stream, &llm, &reg, &faults);
+                        active.add(-1);
+                    });
+                    let mut conns = conn_list.lock().expect("connection list");
+                    conns.retain(|h| !h.is_finished());
+                    conns.push(worker);
+                }
+                Err(_) => {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
                     }
-                    Err(_) => break,
+                    // Transient accept failure (e.g. fd pressure): back off
+                    // briefly instead of spinning.
+                    std::thread::sleep(Duration::from_millis(10));
                 }
             }
         });
@@ -125,6 +197,7 @@ impl CompletionServer {
             handle: Some(handle),
             connections,
             registry,
+            faults,
         })
     }
 
@@ -137,11 +210,20 @@ impl CompletionServer {
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
     }
+
+    /// The fault injector driving this server (inactive unless the server
+    /// was started with [`CompletionServer::start_with_faults`]).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
 }
 
 impl Drop for CompletionServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept loop with a throwaway connection; the
+        // loop re-checks the stop flag before serving it.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -152,15 +234,41 @@ impl Drop for CompletionServer {
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    llm: &SimLlm,
-    registry: &MetricsRegistry,
-) -> Result<(), HttpError> {
-    let started = Instant::now();
-    let mut reader = BufReader::new(stream.try_clone()?);
+/// A parsed inbound request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// A request that could not be read: the status and body of the error
+/// response the client deserves before the connection closes.
+struct BadRequest {
+    status: u16,
+    message: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request. Every failure mode maps to the error
+/// response the client should see: malformed or oversized headers/bodies
+/// are `400`/`413`, and an io failure mid-request (peer died, read
+/// deadline) still yields a best-effort `400` instead of a bare closed
+/// socket.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest> {
+    let io_err = |e: std::io::Error| BadRequest::new(400, format!("request read failed: {e}"));
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    reader.read_line(&mut request_line).map_err(io_err)?;
+    if request_line.is_empty() {
+        return Err(BadRequest::new(400, "empty request"));
+    }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("").to_string();
@@ -168,25 +276,124 @@ fn handle_connection(
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        reader.read_line(&mut line).map_err(io_err)?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
         }
         if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = v.trim().parse().unwrap_or(0);
+            // A Content-Length we cannot parse means we cannot know where
+            // the body ends: reject, never silently assume an empty body.
+            content_length = v
+                .trim()
+                .parse()
+                .map_err(|_| BadRequest::new(400, format!("malformed content-length: `{v}`")))?;
         }
     }
+    if content_length > MAX_BODY_BYTES {
+        // Reject from the untrusted header alone — allocating
+        // `content_length` bytes first would let a single request OOM the
+        // server.
+        return Err(BadRequest::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+        ));
+    }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8_lossy(&body).to_string();
+    reader.read_exact(&mut body).map_err(io_err)?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).to_string(),
+    })
+}
 
-    let (status, response_body, content_type) = route(&method, &path, &body, llm, registry);
+/// Writes one `Connection: close` response. Best-effort by construction:
+/// the caller decides whether a write failure matters.
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+) -> Result<(), HttpError> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        match status {
+            200 => "OK",
+            404 => "Not Found",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Bad Request",
+        },
+        body.len()
+    )?;
+    stream.flush()?;
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    llm: &SimLlm,
+    registry: &MetricsRegistry,
+    faults: &FaultInjector,
+) -> Result<(), HttpError> {
+    let started = Instant::now();
+    // Deadlines on both directions: a stalled or vanished peer frees this
+    // thread after SERVER_IO_TIMEOUT instead of parking it forever.
+    let _ = stream.set_read_timeout(Some(SERVER_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(bad) => {
+            registry.counter("server.bad_requests_total").inc();
+            registry
+                .counter(&format!("llm.status_{}", bad.status))
+                .inc();
+            let body = Json::object(vec![("error", Json::from(bad.message.as_str()))]).to_compact();
+            // Best-effort: the peer may already be gone.
+            let _ = respond(&mut out, bad.status, &body, JSON);
+            return Err(HttpError::Protocol(bad.message));
+        }
+    };
+
+    let is_completion = request.method == "POST" && request.path == "/v1/completions";
+    let fault = if is_completion {
+        faults.next()
+    } else {
+        Fault::None
+    };
+    if fault != Fault::None {
+        registry.counter("server.faults_injected_total").inc();
+        registry
+            .counter(&format!("server.fault.{}", fault.label()))
+            .inc();
+    }
+    if let Fault::Stall(pause) = fault {
+        std::thread::sleep(pause);
+    }
+    if fault == Fault::Drop {
+        // Close without a response: the client sees a clean EOF.
+        return Ok(());
+    }
+
+    let (status, response_body, content_type) = if fault == Fault::Http500 {
+        (
+            500,
+            Json::object(vec![("error", Json::from("injected server error"))]).to_compact(),
+            JSON,
+        )
+    } else {
+        route(&request.method, &request.path, &request.body, llm, registry)
+    };
 
     registry.counter("server.http_requests_total").inc();
     registry.counter(&format!("llm.status_{status}")).inc();
     let elapsed = started.elapsed();
-    if method == "POST" && path == "/v1/completions" {
+    if is_completion {
         registry.counter("llm.requests_total").inc();
         registry
             .histogram("llm.request_latency_us")
@@ -196,27 +403,15 @@ fn handle_connection(
         "llm",
         "access",
         vec![
-            ("method".to_string(), method),
-            ("path".to_string(), path),
+            ("method".to_string(), request.method),
+            ("path".to_string(), request.path),
             ("status".to_string(), status.to_string()),
             ("bytes".to_string(), response_body.len().to_string()),
             ("duration_us".to_string(), elapsed.as_micros().to_string()),
         ],
     );
 
-    let mut out = stream;
-    write!(
-        out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{response_body}",
-        match status {
-            200 => "OK",
-            404 => "Not Found",
-            _ => "Bad Request",
-        },
-        response_body.len()
-    )?;
-    out.flush()?;
-    Ok(())
+    respond(&mut out, status, &response_body, content_type)
 }
 
 const JSON: &str = "application/json";
@@ -289,30 +484,72 @@ fn route(
     }
 }
 
+/// Connect/read/write deadlines for [`HttpLlmClient`].
+///
+/// Defaults are generous for a local simulated backend; eval runs against
+/// flaky or remote endpoints tighten them so a stalled peer costs one
+/// deadline, not an eval worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeouts {
+    /// TCP connect deadline.
+    pub connect: Duration,
+    /// Socket read deadline (per read syscall).
+    pub read: Duration,
+    /// Socket write deadline (per write syscall).
+    pub write: Duration,
+}
+
+impl Default for Timeouts {
+    fn default() -> Timeouts {
+        Timeouts {
+            connect: Duration::from_secs(2),
+            read: Duration::from_secs(15),
+            write: Duration::from_secs(15),
+        }
+    }
+}
+
 /// A client for the completions protocol.
 pub struct HttpLlmClient {
     addr: std::net::SocketAddr,
     /// Model name sent with each request.
     pub model: String,
+    /// Connect/read/write deadlines applied to every request.
+    pub timeouts: Timeouts,
 }
 
 impl HttpLlmClient {
-    /// Creates a client for a server address.
+    /// Creates a client for a server address with default [`Timeouts`].
     pub fn new(addr: std::net::SocketAddr, model: impl Into<String>) -> HttpLlmClient {
+        HttpLlmClient::with_timeouts(addr, model, Timeouts::default())
+    }
+
+    /// Creates a client with explicit deadlines.
+    pub fn with_timeouts(
+        addr: std::net::SocketAddr,
+        model: impl Into<String>,
+        timeouts: Timeouts,
+    ) -> HttpLlmClient {
         HttpLlmClient {
             addr,
             model: model.into(),
+            timeouts,
         }
     }
 
-    /// Issues a completion request.
+    /// Issues a completion request. Every socket operation runs under the
+    /// client's [`Timeouts`], so a stalled or vanished server surfaces as
+    /// [`HttpError::Timeout`] / [`HttpError::Closed`] instead of hanging
+    /// the caller forever.
     pub fn complete_http(&self, prompt: &str) -> Result<String, HttpError> {
         let request = Json::object(vec![
             ("model", Json::from(self.model.as_str())),
             ("prompt", Json::from(prompt)),
         ])
         .to_compact();
-        let mut stream = TcpStream::connect(self.addr)?;
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeouts.connect)?;
+        stream.set_read_timeout(Some(self.timeouts.read))?;
+        stream.set_write_timeout(Some(self.timeouts.write))?;
         write!(
             stream,
             "POST /v1/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{request}",
@@ -323,7 +560,11 @@ impl HttpLlmClient {
 
         let mut reader = BufReader::new(stream);
         let mut status_line = String::new();
-        reader.read_line(&mut status_line)?;
+        if reader.read_line(&mut status_line)? == 0 {
+            // Clean EOF before any response byte: the server (or an
+            // injected fault) dropped the connection.
+            return Err(HttpError::Closed);
+        }
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
@@ -332,13 +573,24 @@ impl HttpLlmClient {
         let mut content_length = 0usize;
         loop {
             let mut line = String::new();
-            reader.read_line(&mut line)?;
+            if reader.read_line(&mut line)? == 0 {
+                return Err(HttpError::Protocol(
+                    "truncated response headers".to_string(),
+                ));
+            }
             if line.trim_end().is_empty() {
                 break;
             }
             if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-                content_length = v.trim().parse().unwrap_or(0);
+                content_length = v.trim().parse().map_err(|_| {
+                    HttpError::Protocol(format!("malformed response content-length: `{v}`"))
+                })?;
             }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::Protocol(format!(
+                "response body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )));
         }
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body)?;
@@ -357,13 +609,25 @@ impl HttpLlmClient {
 }
 
 impl LlmClient for HttpLlmClient {
+    /// Infallible display-only surface. Transport failures return a marker
+    /// string that cannot parse as VQL *and* are recorded on
+    /// `llm.error.transport` — but scoring paths must use
+    /// [`LlmClient::try_complete_with`], which keeps the failure typed
+    /// instead of folding it into scoreable text.
     fn complete(&self, prompt: &str) -> String {
-        self.complete_http(prompt)
-            .unwrap_or_else(|e| format!("error: {e}"))
+        match self.complete_http(prompt) {
+            Ok(text) => text,
+            Err(e) => format!("[{}]", e.into_transport_error(1)),
+        }
     }
 
     fn name(&self) -> &str {
         &self.model
+    }
+
+    fn try_complete_with(&self, prompt: &str, _opts: &crate::sim::GenOptions) -> CompletionOutcome {
+        self.complete_http(prompt)
+            .map_err(|e| e.into_transport_error(1))
     }
 }
 
@@ -568,6 +832,67 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         assert_eq!(registry.gauge("server.active_connections").get(), 0);
+    }
+
+    #[test]
+    fn malformed_content_length_is_rejected_with_400() {
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let mut stream = TcpStream::connect(server.address()).unwrap();
+        write!(
+            stream,
+            "POST /v1/completions HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("malformed content-length"), "{response}");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_with_413() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+        let mut stream = TcpStream::connect(server.address()).unwrap();
+        // Declares a body far past the cap; the server must reject from the
+        // header alone rather than allocate half a gigabyte.
+        write!(
+            stream,
+            "POST /v1/completions HTTP/1.1\r\nHost: x\r\nContent-Length: 536870912\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        assert_eq!(registry.counter("server.bad_requests_total").get(), 1);
+    }
+
+    #[test]
+    fn truncated_body_gets_best_effort_400() {
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 1);
+        let server = CompletionServer::start(llm).unwrap();
+        let mut stream = TcpStream::connect(server.address()).unwrap();
+        // Promise 100 bytes, deliver 3, then half-close: the server's
+        // read_exact fails mid-request and the client must still see a
+        // status line, not a bare closed socket.
+        write!(
+            stream,
+            "POST /v1/completions HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\nabc"
+        )
+        .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("request read failed"), "{response}");
     }
 
     #[test]

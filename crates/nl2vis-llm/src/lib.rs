@@ -16,18 +16,34 @@
 //! - [`sim`]: the generation engine with a failure-taxonomy-shaped seeded
 //!   error model;
 //! - [`http`] / [`client`]: an OpenAI-compatible HTTP transport (client and
-//!   local server) behind a uniform [`client::LlmClient`] trait.
+//!   local server) behind a uniform [`client::LlmClient`] trait, with
+//!   connect/read/write deadlines on both sides;
+//! - [`resilient`]: a [`resilient::RetryPolicy`] (bounded attempts, capped
+//!   exponential backoff, deterministic jitter) distinguishing transient
+//!   transport faults from semantic rejections;
+//! - [`fault`]: a deterministic [`fault::FaultInjector`] for the server —
+//!   stalls, dropped connections and injected 500s, scripted or seeded —
+//!   so the resilience layer is testable entirely offline.
+//!
+//! Transport failures travel as the typed
+//! [`client::TransportError`] (the error arm of
+//! [`client::CompletionOutcome`]) and are counted under
+//! `llm.error.transport`; they must never be scored as model output.
 
 pub mod client;
+pub mod fault;
 pub mod followup;
 pub mod http;
 pub mod link;
 pub mod profile;
 pub mod prompt_parse;
 pub mod recover;
+pub mod resilient;
 pub mod sim;
 pub mod understand;
 
-pub use client::LlmClient;
+pub use client::{CompletionOutcome, LlmClient, TransportError, TransportErrorKind};
+pub use fault::{Fault, FaultInjector};
 pub use profile::ModelProfile;
+pub use resilient::{ResilientLlmClient, RetryPolicy};
 pub use sim::{corrupt_query, extract_vql, GenOptions, SimLlm};

@@ -1,0 +1,263 @@
+//! Retry with bounded, deterministic backoff around the HTTP transport.
+//!
+//! Transient infrastructure faults (a refused connect, a dropped
+//! connection, a tripped deadline, a 5xx) deserve another attempt;
+//! semantic rejections (4xx: wrong model, malformed request) do not — the
+//! server will say the same thing again. [`RetryPolicy`] encodes that
+//! split plus a capped exponential backoff whose jitter comes from a
+//! seeded [`Rng`], so a retried eval run replays its exact sleep schedule.
+//! [`ResilientLlmClient`] wraps [`HttpLlmClient`] with the policy and
+//! surfaces the final verdict as the typed [`CompletionOutcome`] —
+//! transport failures stay attributable and never leak into scoreable
+//! completion text.
+
+use crate::client::{CompletionOutcome, LlmClient, TransportError};
+use crate::http::{HttpError, HttpLlmClient};
+use crate::sim::GenOptions;
+use nl2vis_data::Rng;
+use nl2vis_obs as obs;
+use std::time::Duration;
+
+/// Bounded retry with capped exponential backoff and deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff (applied before jitter halving).
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream; same seed, same sleep schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, typed error on failure).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// A policy with `max_attempts` attempts and default backoff shape.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based: the sleep after
+    /// the first failure is `backoff(0)`). Exponential with a cap, jittered
+    /// into `[cap/2, cap]` by the seeded stream — decorrelating concurrent
+    /// clients without sacrificing replayability.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(20))
+            .min(self.max_backoff);
+        let half = exp / 2;
+        if half.is_zero() {
+            return exp;
+        }
+        let mut rng = Rng::new(self.jitter_seed ^ u64::from(retry).wrapping_mul(0x9E37_79B9));
+        half + Duration::from_nanos(rng.below(half.as_nanos().min(u128::from(u64::MAX)) as u64))
+    }
+
+    /// Whether a failure is worth retrying: connectivity loss, deadlines
+    /// and 5xx are transient; 4xx and protocol violations are semantic and
+    /// deterministic, so retrying them only burns the attempt budget.
+    pub fn is_transient(error: &HttpError) -> bool {
+        match error {
+            HttpError::Timeout(_) | HttpError::Closed => true,
+            HttpError::Status(code, _) => *code >= 500,
+            HttpError::Protocol(_) => false,
+            HttpError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+        }
+    }
+}
+
+/// An [`HttpLlmClient`] wrapped in a [`RetryPolicy`].
+///
+/// Each retry is visible on the `llm.retries_total` counter; a request
+/// that exhausts its attempts (or fails permanently) lands on
+/// `llm.error.transport` and returns the typed [`TransportError`].
+pub struct ResilientLlmClient {
+    inner: HttpLlmClient,
+    policy: RetryPolicy,
+}
+
+impl ResilientLlmClient {
+    /// Wraps a client in a retry policy.
+    pub fn new(inner: HttpLlmClient, policy: RetryPolicy) -> ResilientLlmClient {
+        ResilientLlmClient { inner, policy }
+    }
+
+    /// The wrapped policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Completes a prompt, retrying transient transport faults under the
+    /// policy. Returns the typed outcome; never folds a failure into text.
+    pub fn try_complete(&self, prompt: &str) -> Result<String, TransportError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last: Option<HttpError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                obs::count("llm.retries_total", 1);
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+            }
+            match self.inner.complete_http(prompt) {
+                Ok(text) => {
+                    if attempt > 0 {
+                        obs::count("llm.retry_success_total", 1);
+                    }
+                    return Ok(text);
+                }
+                Err(e) if RetryPolicy::is_transient(&e) => last = Some(e),
+                Err(e) => return Err(e.into_transport_error(attempt + 1)),
+            }
+        }
+        let final_error = last.expect("at least one attempt ran");
+        Err(final_error.into_transport_error(attempts))
+    }
+}
+
+impl LlmClient for ResilientLlmClient {
+    /// Display-only surface; see [`HttpLlmClient::complete`] for the
+    /// marker-string contract. Scoring paths use `try_complete_with`.
+    fn complete(&self, prompt: &str) -> String {
+        match self.try_complete(prompt) {
+            Ok(text) => text,
+            Err(e) => format!("[{e}]"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.inner.model
+    }
+
+    fn try_complete_with(&self, prompt: &str, _opts: &GenOptions) -> CompletionOutcome {
+        self.try_complete(prompt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            jitter_seed: 42,
+        };
+        // Jitter keeps each backoff in [exp/2, exp]; exp doubles then caps.
+        let expected_exp = [10u64, 20, 40, 80, 80, 80];
+        for (retry, exp_ms) in expected_exp.iter().enumerate() {
+            let b = policy.backoff(retry as u32);
+            let exp = Duration::from_millis(*exp_ms);
+            assert!(b >= exp / 2, "retry {retry}: {b:?} < {:?}", exp / 2);
+            assert!(b <= exp, "retry {retry}: {b:?} > {exp:?}");
+        }
+        // Same seed, same schedule; different seed, (almost surely) not.
+        let again = policy;
+        assert_eq!(policy.backoff(2), again.backoff(2));
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy
+        };
+        assert_ne!(policy.backoff(2), other.backoff(2));
+    }
+
+    #[test]
+    fn giant_retry_index_does_not_overflow() {
+        let policy = RetryPolicy::default();
+        let b = policy.backoff(u32::MAX);
+        assert!(b <= policy.max_backoff);
+    }
+
+    #[test]
+    fn transience_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(RetryPolicy::is_transient(&HttpError::Timeout(
+            "read".to_string()
+        )));
+        assert!(RetryPolicy::is_transient(&HttpError::Closed));
+        assert!(RetryPolicy::is_transient(&HttpError::Status(
+            500,
+            String::new()
+        )));
+        assert!(RetryPolicy::is_transient(&HttpError::Status(
+            503,
+            String::new()
+        )));
+        assert!(RetryPolicy::is_transient(&HttpError::Io(Error::new(
+            ErrorKind::ConnectionRefused,
+            "refused"
+        ))));
+        // Semantic failures are deterministic: retrying cannot help.
+        assert!(!RetryPolicy::is_transient(&HttpError::Status(
+            400,
+            String::new()
+        )));
+        assert!(!RetryPolicy::is_transient(&HttpError::Status(
+            404,
+            String::new()
+        )));
+        assert!(!RetryPolicy::is_transient(&HttpError::Protocol(
+            "bad body".to_string()
+        )));
+    }
+
+    #[test]
+    fn refused_connection_exhausts_attempts_with_typed_error() {
+        // Bind then drop a listener: the port refuses connections.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 1,
+        };
+        let client = ResilientLlmClient::new(HttpLlmClient::new(addr, "gpt-4"), policy);
+        let retries_before = obs::global().counter("llm.retries_total").get();
+        let err = client.try_complete("Q: hello\nVQL:").unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert!(
+            matches!(
+                err.kind,
+                crate::client::TransportErrorKind::Connect | crate::client::TransportErrorKind::Io
+            ),
+            "{err}"
+        );
+        assert!(obs::global().counter("llm.retries_total").get() >= retries_before + 2);
+    }
+}

@@ -90,6 +90,15 @@ pub fn error(component: &str, kind: &str, message: &str) {
     }
 }
 
+/// Records an infrastructure failure: a request that died below the model
+/// (connect/timeout/5xx/dropped socket). Lands on `component.error.transport`
+/// — the attribution bucket evaluation reads to keep transport failures out
+/// of the model-failure taxonomy (Execution Accuracy must only count
+/// completions the model actually produced).
+pub fn transport_error(component: &str, message: &str) {
+    error(component, "transport", message);
+}
+
 /// Emits a structured log line (e.g. an HTTP access log) to the sink.
 pub fn log(component: &str, message: &str, fields: Vec<(String, String)>) {
     if sink::sink_active() {
@@ -134,5 +143,15 @@ mod tests {
         );
         assert_eq!(registry::global().counter("libtest.error.parse").get(), 1);
         assert_eq!(registry::global().counter("libtest.error.execute").get(), 1);
+    }
+
+    #[test]
+    fn transport_errors_get_their_own_bucket() {
+        let before = registry::global().counter("obslib.error.transport").get();
+        transport_error("obslib", "connect refused after 3 attempts");
+        assert_eq!(
+            registry::global().counter("obslib.error.transport").get(),
+            before + 1
+        );
     }
 }

@@ -28,6 +28,12 @@ run() {
 run "cargo build --release" cargo build --release
 run "cargo test" cargo test -q
 
+# Transport resilience: the fault-injection suites, run explicitly so a
+# hang (lost deadline, missed retry) fails loudly here rather than
+# stalling the full test run.
+run "fault injection (llm)" cargo test -q -p nl2vis-llm --test fault_injection
+run "fault injection (eval)" cargo test -q -p nl2vis-eval --test transport
+
 # Formatting — skip gracefully if rustfmt isn't installed.
 if cargo fmt --version >/dev/null 2>&1; then
     run "cargo fmt --check" cargo fmt --all -- --check

@@ -5,7 +5,7 @@
 
 use nl2vis_corpus::Example;
 use nl2vis_data::{Database, Json};
-use nl2vis_llm::{extract_vql, LlmClient, ModelProfile, SimLlm};
+use nl2vis_llm::{extract_vql, GenOptions, LlmClient, ModelProfile, SimLlm, TransportError};
 use nl2vis_obs as obs;
 use nl2vis_prompt::{build_prompt, PromptOptions};
 use nl2vis_query::ast::VqlQuery;
@@ -16,6 +16,13 @@ use nl2vis_vega::{ascii, spec, svg};
 /// Errors the pipeline can surface.
 #[derive(Debug)]
 pub enum PipelineError {
+    /// The request never reached the model: the transport failed (refused
+    /// connect, deadline, 5xx, dropped socket). Distinct from [`NoQuery`]
+    /// by construction — the model said nothing, so nothing is attributed
+    /// to it.
+    ///
+    /// [`NoQuery`]: PipelineError::NoQuery
+    Transport(TransportError),
     /// The model produced no parseable VQL.
     NoQuery {
         /// Raw model output, for inspection.
@@ -28,6 +35,7 @@ pub enum PipelineError {
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PipelineError::Transport(e) => write!(f, "{e}"),
             PipelineError::NoQuery { completion } => {
                 write!(f, "model produced no VQL: {completion:.80}")
             }
@@ -131,8 +139,13 @@ impl Pipeline {
         };
         let completion = {
             let _s = obs::span!("pipeline.completion");
-            self.client.complete(&prompt.text)
+            self.client
+                .try_complete_with(&prompt.text, &GenOptions::default())
         };
+        let completion = completion.map_err(|e| {
+            obs::error("pipeline", "transport", &e.to_string());
+            PipelineError::Transport(e)
+        })?;
         let vql_text = {
             let _s = obs::span!("pipeline.extract");
             extract_vql(&completion)
@@ -223,6 +236,32 @@ mod tests {
         assert!(
             obs::global().counter("pipeline.errors_total").get() > errors_before,
             "a failed run must bump the pipeline error counter"
+        );
+    }
+
+    /// A dead endpoint must surface as a typed transport error — counted
+    /// under `pipeline.error.transport`, never scored as model output.
+    #[test]
+    fn transport_failure_is_typed_not_scoreable() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let client = nl2vis_llm::http::HttpLlmClient::new(addr, "gpt-4");
+        let p = Pipeline::with_client(Box::new(client));
+        let transport_before = obs::global().counter("pipeline.error.transport").get();
+        match p.run(
+            &db(),
+            "Show a bar chart of the total amount for each region.",
+        ) {
+            Err(PipelineError::Transport(e)) => {
+                assert!(e.attempts >= 1);
+            }
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+        assert_eq!(
+            obs::global().counter("pipeline.error.transport").get(),
+            transport_before + 1
         );
     }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg-6b5466dbc201f325.d: crates/nl2vis-bench/src/bin/dbg.rs
+
+/root/repo/target/debug/deps/dbg-6b5466dbc201f325: crates/nl2vis-bench/src/bin/dbg.rs
+
+crates/nl2vis-bench/src/bin/dbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg-e7dffce0455cfa7b.d: crates/nl2vis-bench/src/bin/dbg.rs
+
+/root/repo/target/debug/deps/dbg-e7dffce0455cfa7b: crates/nl2vis-bench/src/bin/dbg.rs
+
+crates/nl2vis-bench/src/bin/dbg.rs:

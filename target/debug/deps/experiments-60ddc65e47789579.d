@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-60ddc65e47789579.d: crates/nl2vis-bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-60ddc65e47789579: crates/nl2vis-bench/src/bin/experiments.rs
+
+crates/nl2vis-bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-6279403f123f42bb.d: crates/nl2vis-bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-6279403f123f42bb: crates/nl2vis-bench/src/bin/experiments.rs
+
+crates/nl2vis-bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-8d468a734adf4f00.d: crates/nl2vis-llm/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-8d468a734adf4f00: crates/nl2vis-llm/tests/fault_injection.rs
+
+crates/nl2vis-llm/tests/fault_injection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nl2vis_bench-c242bfce5659dc39.d: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/debug/deps/nl2vis_bench-c242bfce5659dc39: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+crates/nl2vis-bench/src/lib.rs:
+crates/nl2vis-bench/src/experiments.rs:
+crates/nl2vis-bench/src/render.rs:

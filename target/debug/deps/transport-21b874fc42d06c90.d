@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport-21b874fc42d06c90.d: crates/nl2vis-eval/tests/transport.rs
+
+/root/repo/target/debug/deps/transport-21b874fc42d06c90: crates/nl2vis-eval/tests/transport.rs
+
+crates/nl2vis-eval/tests/transport.rs:
