@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg-e84416f91dac98d3.d: crates/nl2vis-bench/src/bin/dbg.rs
+
+/root/repo/target/debug/deps/libdbg-e84416f91dac98d3.rmeta: crates/nl2vis-bench/src/bin/dbg.rs
+
+crates/nl2vis-bench/src/bin/dbg.rs:

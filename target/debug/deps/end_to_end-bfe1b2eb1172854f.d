@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bfe1b2eb1172854f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-bfe1b2eb1172854f.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e73c3435e194e8ce.d: crates/nl2vis-bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-e73c3435e194e8ce.rmeta: crates/nl2vis-bench/src/bin/experiments.rs
+
+crates/nl2vis-bench/src/bin/experiments.rs:

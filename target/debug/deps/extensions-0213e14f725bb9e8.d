@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-0213e14f725bb9e8.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-0213e14f725bb9e8.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

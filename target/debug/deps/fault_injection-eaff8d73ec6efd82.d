@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-eaff8d73ec6efd82.d: crates/nl2vis-llm/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-eaff8d73ec6efd82.rmeta: crates/nl2vis-llm/tests/fault_injection.rs
+
+crates/nl2vis-llm/tests/fault_injection.rs:

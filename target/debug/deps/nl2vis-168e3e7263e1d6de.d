@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nl2vis-168e3e7263e1d6de.d: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libnl2vis-168e3e7263e1d6de.rmeta: src/lib.rs src/conversation.rs src/pipeline.rs
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nl2vis-93cddc5aa88c8d1e.d: src/main.rs
+
+/root/repo/target/debug/deps/libnl2vis-93cddc5aa88c8d1e.rmeta: src/main.rs
+
+src/main.rs:

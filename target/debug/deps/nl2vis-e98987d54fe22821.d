@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nl2vis-e98987d54fe22821.d: src/lib.rs src/conversation.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libnl2vis-e98987d54fe22821.rmeta: src/lib.rs src/conversation.rs src/pipeline.rs
+
+src/lib.rs:
+src/conversation.rs:
+src/pipeline.rs:

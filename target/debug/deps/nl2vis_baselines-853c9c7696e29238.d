@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nl2vis_baselines-853c9c7696e29238.d: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+/root/repo/target/debug/deps/libnl2vis_baselines-853c9c7696e29238.rmeta: crates/nl2vis-baselines/src/lib.rs crates/nl2vis-baselines/src/chat2vis.rs crates/nl2vis-baselines/src/ncnet.rs crates/nl2vis-baselines/src/retrieval.rs crates/nl2vis-baselines/src/rgvisnet.rs crates/nl2vis-baselines/src/seq2vis.rs crates/nl2vis-baselines/src/t5.rs crates/nl2vis-baselines/src/transformer.rs
+
+crates/nl2vis-baselines/src/lib.rs:
+crates/nl2vis-baselines/src/chat2vis.rs:
+crates/nl2vis-baselines/src/ncnet.rs:
+crates/nl2vis-baselines/src/retrieval.rs:
+crates/nl2vis-baselines/src/rgvisnet.rs:
+crates/nl2vis-baselines/src/seq2vis.rs:
+crates/nl2vis-baselines/src/t5.rs:
+crates/nl2vis-baselines/src/transformer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nl2vis_bench-ca59c3ff154b9ade.d: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+/root/repo/target/debug/deps/libnl2vis_bench-ca59c3ff154b9ade.rmeta: crates/nl2vis-bench/src/lib.rs crates/nl2vis-bench/src/experiments.rs crates/nl2vis-bench/src/render.rs
+
+crates/nl2vis-bench/src/lib.rs:
+crates/nl2vis-bench/src/experiments.rs:
+crates/nl2vis-bench/src/render.rs:

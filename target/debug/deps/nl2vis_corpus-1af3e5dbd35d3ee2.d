@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nl2vis_corpus-1af3e5dbd35d3ee2.d: crates/nl2vis-corpus/src/lib.rs crates/nl2vis-corpus/src/corpus.rs crates/nl2vis-corpus/src/domains.rs crates/nl2vis-corpus/src/generate.rs crates/nl2vis-corpus/src/io.rs crates/nl2vis-corpus/src/pools.rs crates/nl2vis-corpus/src/realize.rs crates/nl2vis-corpus/src/synth.rs
+
+/root/repo/target/debug/deps/libnl2vis_corpus-1af3e5dbd35d3ee2.rmeta: crates/nl2vis-corpus/src/lib.rs crates/nl2vis-corpus/src/corpus.rs crates/nl2vis-corpus/src/domains.rs crates/nl2vis-corpus/src/generate.rs crates/nl2vis-corpus/src/io.rs crates/nl2vis-corpus/src/pools.rs crates/nl2vis-corpus/src/realize.rs crates/nl2vis-corpus/src/synth.rs
+
+crates/nl2vis-corpus/src/lib.rs:
+crates/nl2vis-corpus/src/corpus.rs:
+crates/nl2vis-corpus/src/domains.rs:
+crates/nl2vis-corpus/src/generate.rs:
+crates/nl2vis-corpus/src/io.rs:
+crates/nl2vis-corpus/src/pools.rs:
+crates/nl2vis-corpus/src/realize.rs:
+crates/nl2vis-corpus/src/synth.rs:

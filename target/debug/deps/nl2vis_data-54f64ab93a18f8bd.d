@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nl2vis_data-54f64ab93a18f8bd.d: crates/nl2vis-data/src/lib.rs crates/nl2vis-data/src/catalog.rs crates/nl2vis-data/src/csv.rs crates/nl2vis-data/src/database.rs crates/nl2vis-data/src/error.rs crates/nl2vis-data/src/json.rs crates/nl2vis-data/src/load.rs crates/nl2vis-data/src/rng.rs crates/nl2vis-data/src/schema.rs crates/nl2vis-data/src/table.rs crates/nl2vis-data/src/text.rs crates/nl2vis-data/src/value.rs
+
+/root/repo/target/debug/deps/libnl2vis_data-54f64ab93a18f8bd.rmeta: crates/nl2vis-data/src/lib.rs crates/nl2vis-data/src/catalog.rs crates/nl2vis-data/src/csv.rs crates/nl2vis-data/src/database.rs crates/nl2vis-data/src/error.rs crates/nl2vis-data/src/json.rs crates/nl2vis-data/src/load.rs crates/nl2vis-data/src/rng.rs crates/nl2vis-data/src/schema.rs crates/nl2vis-data/src/table.rs crates/nl2vis-data/src/text.rs crates/nl2vis-data/src/value.rs
+
+crates/nl2vis-data/src/lib.rs:
+crates/nl2vis-data/src/catalog.rs:
+crates/nl2vis-data/src/csv.rs:
+crates/nl2vis-data/src/database.rs:
+crates/nl2vis-data/src/error.rs:
+crates/nl2vis-data/src/json.rs:
+crates/nl2vis-data/src/load.rs:
+crates/nl2vis-data/src/rng.rs:
+crates/nl2vis-data/src/schema.rs:
+crates/nl2vis-data/src/table.rs:
+crates/nl2vis-data/src/text.rs:
+crates/nl2vis-data/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nl2vis_eval-b8b395abc7aef29f.d: crates/nl2vis-eval/src/lib.rs crates/nl2vis-eval/src/failure.rs crates/nl2vis-eval/src/metrics.rs crates/nl2vis-eval/src/optimize.rs crates/nl2vis-eval/src/runner.rs crates/nl2vis-eval/src/userstudy.rs
+
+/root/repo/target/debug/deps/libnl2vis_eval-b8b395abc7aef29f.rmeta: crates/nl2vis-eval/src/lib.rs crates/nl2vis-eval/src/failure.rs crates/nl2vis-eval/src/metrics.rs crates/nl2vis-eval/src/optimize.rs crates/nl2vis-eval/src/runner.rs crates/nl2vis-eval/src/userstudy.rs
+
+crates/nl2vis-eval/src/lib.rs:
+crates/nl2vis-eval/src/failure.rs:
+crates/nl2vis-eval/src/metrics.rs:
+crates/nl2vis-eval/src/optimize.rs:
+crates/nl2vis-eval/src/runner.rs:
+crates/nl2vis-eval/src/userstudy.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nl2vis_llm-bab2fe3f289a96f8.d: crates/nl2vis-llm/src/lib.rs crates/nl2vis-llm/src/client.rs crates/nl2vis-llm/src/fault.rs crates/nl2vis-llm/src/followup.rs crates/nl2vis-llm/src/http.rs crates/nl2vis-llm/src/link.rs crates/nl2vis-llm/src/profile.rs crates/nl2vis-llm/src/prompt_parse.rs crates/nl2vis-llm/src/recover.rs crates/nl2vis-llm/src/resilient.rs crates/nl2vis-llm/src/sim.rs crates/nl2vis-llm/src/understand.rs
+
+/root/repo/target/debug/deps/libnl2vis_llm-bab2fe3f289a96f8.rmeta: crates/nl2vis-llm/src/lib.rs crates/nl2vis-llm/src/client.rs crates/nl2vis-llm/src/fault.rs crates/nl2vis-llm/src/followup.rs crates/nl2vis-llm/src/http.rs crates/nl2vis-llm/src/link.rs crates/nl2vis-llm/src/profile.rs crates/nl2vis-llm/src/prompt_parse.rs crates/nl2vis-llm/src/recover.rs crates/nl2vis-llm/src/resilient.rs crates/nl2vis-llm/src/sim.rs crates/nl2vis-llm/src/understand.rs
+
+crates/nl2vis-llm/src/lib.rs:
+crates/nl2vis-llm/src/client.rs:
+crates/nl2vis-llm/src/fault.rs:
+crates/nl2vis-llm/src/followup.rs:
+crates/nl2vis-llm/src/http.rs:
+crates/nl2vis-llm/src/link.rs:
+crates/nl2vis-llm/src/profile.rs:
+crates/nl2vis-llm/src/prompt_parse.rs:
+crates/nl2vis-llm/src/recover.rs:
+crates/nl2vis-llm/src/resilient.rs:
+crates/nl2vis-llm/src/sim.rs:
+crates/nl2vis-llm/src/understand.rs:

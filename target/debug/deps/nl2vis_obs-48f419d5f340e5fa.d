@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nl2vis_obs-48f419d5f340e5fa.d: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs
+
+/root/repo/target/debug/deps/libnl2vis_obs-48f419d5f340e5fa.rmeta: crates/nl2vis-obs/src/lib.rs crates/nl2vis-obs/src/registry.rs crates/nl2vis-obs/src/report.rs crates/nl2vis-obs/src/sink.rs crates/nl2vis-obs/src/span.rs
+
+crates/nl2vis-obs/src/lib.rs:
+crates/nl2vis-obs/src/registry.rs:
+crates/nl2vis-obs/src/report.rs:
+crates/nl2vis-obs/src/sink.rs:
+crates/nl2vis-obs/src/span.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nl2vis_prompt-3374435d09c33e89.d: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+/root/repo/target/debug/deps/libnl2vis_prompt-3374435d09c33e89.rmeta: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+crates/nl2vis-prompt/src/lib.rs:
+crates/nl2vis-prompt/src/icl.rs:
+crates/nl2vis-prompt/src/select.rs:
+crates/nl2vis-prompt/src/serialize.rs:

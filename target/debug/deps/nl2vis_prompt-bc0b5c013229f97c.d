@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nl2vis_prompt-bc0b5c013229f97c.d: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+/root/repo/target/debug/deps/libnl2vis_prompt-bc0b5c013229f97c.rmeta: crates/nl2vis-prompt/src/lib.rs crates/nl2vis-prompt/src/icl.rs crates/nl2vis-prompt/src/select.rs crates/nl2vis-prompt/src/serialize.rs
+
+crates/nl2vis-prompt/src/lib.rs:
+crates/nl2vis-prompt/src/icl.rs:
+crates/nl2vis-prompt/src/select.rs:
+crates/nl2vis-prompt/src/serialize.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nl2vis_query-4e34c496aa5ad04d.d: crates/nl2vis-query/src/lib.rs crates/nl2vis-query/src/ast.rs crates/nl2vis-query/src/bind.rs crates/nl2vis-query/src/canon.rs crates/nl2vis-query/src/component.rs crates/nl2vis-query/src/error.rs crates/nl2vis-query/src/exec.rs crates/nl2vis-query/src/lexer.rs crates/nl2vis-query/src/parser.rs crates/nl2vis-query/src/printer.rs crates/nl2vis-query/src/sql.rs
+
+/root/repo/target/debug/deps/libnl2vis_query-4e34c496aa5ad04d.rmeta: crates/nl2vis-query/src/lib.rs crates/nl2vis-query/src/ast.rs crates/nl2vis-query/src/bind.rs crates/nl2vis-query/src/canon.rs crates/nl2vis-query/src/component.rs crates/nl2vis-query/src/error.rs crates/nl2vis-query/src/exec.rs crates/nl2vis-query/src/lexer.rs crates/nl2vis-query/src/parser.rs crates/nl2vis-query/src/printer.rs crates/nl2vis-query/src/sql.rs
+
+crates/nl2vis-query/src/lib.rs:
+crates/nl2vis-query/src/ast.rs:
+crates/nl2vis-query/src/bind.rs:
+crates/nl2vis-query/src/canon.rs:
+crates/nl2vis-query/src/component.rs:
+crates/nl2vis-query/src/error.rs:
+crates/nl2vis-query/src/exec.rs:
+crates/nl2vis-query/src/lexer.rs:
+crates/nl2vis-query/src/parser.rs:
+crates/nl2vis-query/src/printer.rs:
+crates/nl2vis-query/src/sql.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nl2vis_vega-adf29a73730e1772.d: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+/root/repo/target/debug/deps/libnl2vis_vega-adf29a73730e1772.rmeta: crates/nl2vis-vega/src/lib.rs crates/nl2vis-vega/src/ascii.rs crates/nl2vis-vega/src/import.rs crates/nl2vis-vega/src/spec.rs crates/nl2vis-vega/src/svg.rs
+
+crates/nl2vis-vega/src/lib.rs:
+crates/nl2vis-vega/src/ascii.rs:
+crates/nl2vis-vega/src/import.rs:
+crates/nl2vis-vega/src/spec.rs:
+crates/nl2vis-vega/src/svg.rs:

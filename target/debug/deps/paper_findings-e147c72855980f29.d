@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_findings-e147c72855980f29.d: tests/paper_findings.rs
+
+/root/repo/target/debug/deps/libpaper_findings-e147c72855980f29.rmeta: tests/paper_findings.rs
+
+tests/paper_findings.rs:

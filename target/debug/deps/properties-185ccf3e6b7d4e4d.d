@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-185ccf3e6b7d4e4d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-185ccf3e6b7d4e4d.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport-8faa93880da24c1d.d: crates/nl2vis-eval/tests/transport.rs
+
+/root/repo/target/debug/deps/libtransport-8faa93880da24c1d.rmeta: crates/nl2vis-eval/tests/transport.rs
+
+crates/nl2vis-eval/tests/transport.rs:
