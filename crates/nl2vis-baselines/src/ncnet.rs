@@ -123,7 +123,7 @@ fn best_table(db: &Database, current: &str) -> Option<String> {
     db.tables()
         .iter()
         .map(|t| (name_similarity(current, &t.def.name), t.def.name.clone()))
-        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
         .map(|(s, name)| {
             if s > 0.0 {
                 name

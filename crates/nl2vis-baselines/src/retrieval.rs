@@ -124,11 +124,10 @@ impl RetrievalIndex {
             .iter()
             .map(|e| (jaccard_sets(&q, &e.tokens), e))
             .collect();
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.id.cmp(&b.1.id))
-        });
+        // total_cmp, not partial_cmp-to-Equal: a comparator where NaN
+        // equals everything is not transitive, and sort_by may reorder
+        // well-behaved entries around it.
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
         scored.truncate(k);
         scored
     }

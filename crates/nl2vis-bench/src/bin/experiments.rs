@@ -14,6 +14,12 @@
 //! `error.transport` bucket. `--fault=<spec>` sets the injected fault rates
 //! (see `FaultInjector::parse`), `--retries=<n>` the client attempt budget.
 //!
+//! The `serving` experiment runs one eval twice through a shared completion
+//! cache against a live HTTP server with injected per-request latency: the
+//! warm run must match the cold run's scores while serving from memory.
+//! `--cache=<capacity>` sets the cache entry budget (default 4096). The
+//! cold/warm comparison is also written to `BENCH_serving.json`.
+//!
 //! Every phase runs under a `bench.*` span, so the run ends with a
 //! telemetry summary table (per-stage latency percentiles plus the
 //! pipeline/eval counters accumulated underneath). `--trace=<path>` streams
@@ -38,7 +44,38 @@ const ALL: &[&str] = &[
     "ext_vega",
     "hardness",
     "transport",
+    "serving",
 ];
+
+/// Serializes the serving-path comparison for `BENCH_serving.json`.
+fn serving_json(
+    s: &experiments::ServingSummary,
+    cache_capacity: usize,
+    fast: bool,
+) -> nl2vis_data::Json {
+    use nl2vis_data::Json;
+    Json::object(vec![
+        ("experiment", Json::String("serving".to_string())),
+        (
+            "profile",
+            Json::String(if fast { "fast" } else { "full" }.to_string()),
+        ),
+        ("cache_capacity", Json::Number(cache_capacity as f64)),
+        ("examples", Json::Number(s.n as f64)),
+        ("cold_wall_ms", Json::Number(s.cold_wall_ms)),
+        ("warm_wall_ms", Json::Number(s.warm_wall_ms)),
+        ("cold_connections", Json::Number(s.cold_connections as f64)),
+        ("warm_connections", Json::Number(s.warm_connections as f64)),
+        ("warm_hit_rate", Json::Number(s.warm_hit_rate)),
+        ("cache_hits", Json::Number(s.hits as f64)),
+        ("cache_misses", Json::Number(s.misses as f64)),
+        ("cold_exact", Json::Number(s.cold.0)),
+        ("cold_exec", Json::Number(s.cold.1)),
+        ("warm_exact", Json::Number(s.warm.0)),
+        ("warm_exec", Json::Number(s.warm.1)),
+        ("scores_identical", Json::Bool(s.identical)),
+    ])
+}
 
 /// Fault spec used by the `transport` experiment when `--fault=` is absent:
 /// enough drops, 500s and deadline-tripping stalls to exercise every retry
@@ -77,6 +114,16 @@ fn main() {
             Ok(n) if n >= 1 => n,
             _ => {
                 eprintln!("invalid --retries value `{v}`: expected an integer >= 1");
+                std::process::exit(2);
+            }
+        },
+    };
+    let cache_capacity: usize = match args.iter().find_map(|a| a.strip_prefix("--cache=")) {
+        None => 4096,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid --cache value `{v}`: expected an integer >= 1");
                 std::process::exit(2);
             }
         },
@@ -137,6 +184,16 @@ fn main() {
             "ext_vega" => experiments::ext_vega(&ctx).1,
             "hardness" => experiments::hardness(&ctx).1,
             "transport" => experiments::transport(&ctx, &fault_spec, retries).1,
+            "serving" => {
+                let (summary, text) = experiments::serving(&ctx, cache_capacity);
+                if let Err(e) = std::fs::write(
+                    "BENCH_serving.json",
+                    serving_json(&summary, cache_capacity, fast).to_pretty(),
+                ) {
+                    eprintln!("cannot write BENCH_serving.json: {e}");
+                }
+                text
+            }
             _ => unreachable!("validated above"),
         };
         println!("{text}");

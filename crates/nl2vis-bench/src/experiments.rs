@@ -954,3 +954,138 @@ pub fn transport(
     );
     (summary, text)
 }
+
+/// Summary of the serving-path caching comparison (see [`serving`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServingSummary {
+    /// Wall-clock of the cold (cache-empty) eval run, in milliseconds.
+    pub cold_wall_ms: f64,
+    /// Wall-clock of the warm (repeat) eval run, in milliseconds.
+    pub warm_wall_ms: f64,
+    /// TCP connections the server accepted during the cold run.
+    pub cold_connections: u64,
+    /// TCP connections the server accepted during the warm run.
+    pub warm_connections: u64,
+    /// Cache hit rate of the warm run alone.
+    pub warm_hit_rate: f64,
+    /// Total cache hits across both runs.
+    pub hits: u64,
+    /// Total cache misses across both runs.
+    pub misses: u64,
+    /// (exact, exec) of the cold run.
+    pub cold: Pair,
+    /// (exact, exec) of the warm run.
+    pub warm: Pair,
+    /// Examples scored per run.
+    pub n: usize,
+    /// Did both runs score identically (they must — a hit replays the
+    /// exact completion)?
+    pub identical: bool,
+}
+
+/// **Serving-path caching**: one eval run served over HTTP twice through a
+/// shared completion cache. The cold run misses everything and pays the
+/// (injected) upstream latency per request; the warm run replays the same
+/// prompts and must serve from memory — same accuracy, ≥90% hits, fewer
+/// TCP connections, and a fraction of the wall-clock. Every request pays a
+/// deterministic injected stall standing in for real model inference, so
+/// the cold/warm gap is reproducible rather than noise.
+pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummary, String) {
+    use nl2vis_cache::{CachedLlmClient, CompletionCache};
+    use nl2vis_llm::http::{CompletionServer, HttpLlmClient};
+    use nl2vis_llm::FaultInjector;
+    use nl2vis_obs::MetricsRegistry;
+    use std::sync::Arc;
+
+    let llm = davinci003(ctx);
+    let config = LlmEvalConfig::default();
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = CompletionServer::start_with_faults(
+        llm.clone(),
+        Arc::clone(&registry),
+        FaultInjector::parse("stall=1.0,stall_ms=3,seed=1").expect("static spec"),
+    )
+    .expect("server starts");
+    let cache = Arc::new(CompletionCache::in_memory(cache_capacity));
+    let client = CachedLlmClient::with_cache(
+        HttpLlmClient::new(server.address(), llm.profile.name),
+        Arc::clone(&cache),
+    );
+
+    let run = || {
+        let started = std::time::Instant::now();
+        let report = evaluate_llm(
+            &client,
+            &ctx.corpus,
+            &ctx.cross_split.train,
+            &ctx.cross_split.test,
+            &config,
+            ctx.limit,
+        );
+        (report, started.elapsed())
+    };
+
+    let (cold_report, cold_wall) = run();
+    let cold_connections = registry.counter("server.connections_total").get();
+    let cold_stats = cache.stats();
+    let (warm_report, warm_wall) = run();
+    let warm_connections = registry.counter("server.connections_total").get() - cold_connections;
+    let stats = cache.stats();
+
+    let warm_hits = stats.hits - cold_stats.hits;
+    let warm_lookups = (stats.hits + stats.misses) - (cold_stats.hits + cold_stats.misses);
+    let summary = ServingSummary {
+        cold_wall_ms: cold_wall.as_secs_f64() * 1e3,
+        warm_wall_ms: warm_wall.as_secs_f64() * 1e3,
+        cold_connections,
+        warm_connections,
+        warm_hit_rate: if warm_lookups == 0 {
+            0.0
+        } else {
+            warm_hits as f64 / warm_lookups as f64
+        },
+        hits: stats.hits,
+        misses: stats.misses,
+        cold: (cold_report.overall().exact(), cold_report.overall().exec()),
+        warm: (warm_report.overall().exact(), warm_report.overall().exec()),
+        n: cold_report.overall().n(),
+        identical: cold_report
+            .results
+            .iter()
+            .map(|x| (x.id, x.outcome.exact, x.outcome.exec))
+            .eq(warm_report
+                .results
+                .iter()
+                .map(|x| (x.id, x.outcome.exact, x.outcome.exec))),
+    };
+    let text = format!(
+        "Serving-path caching (text-davinci-003 over HTTP, cross-domain, {} examples, cache capacity {cache_capacity}, 3 ms injected upstream latency)\n{}\
+         warm hit rate: {}   scores identical across runs: {}\n\
+         single-flight waits: {}   evictions: {}\n",
+        summary.n,
+        table(
+            &["run", "Exa", "Exe", "wall-ms", "tcp-conns"],
+            &[
+                vec![
+                    "cold".to_string(),
+                    acc(summary.cold.0),
+                    acc(summary.cold.1),
+                    format!("{:.0}", summary.cold_wall_ms),
+                    summary.cold_connections.to_string(),
+                ],
+                vec![
+                    "warm".to_string(),
+                    acc(summary.warm.0),
+                    acc(summary.warm.1),
+                    format!("{:.0}", summary.warm_wall_ms),
+                    summary.warm_connections.to_string(),
+                ],
+            ],
+        ),
+        pct(summary.warm_hit_rate),
+        summary.identical,
+        stats.singleflight_waits,
+        stats.evictions,
+    );
+    (summary, text)
+}

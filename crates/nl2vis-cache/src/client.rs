@@ -1,0 +1,497 @@
+//! The completion cache and the [`LlmClient`] wrapper that serves from it.
+//!
+//! [`CompletionCache`] composes the three mechanisms of this crate —
+//! sharded LRU, single-flight, JSONL persistence — behind one call,
+//! [`CompletionCache::complete_through`]. [`CachedLlmClient`] keys that
+//! call by a canonical hash input of (model, generation options, prompt)
+//! and wraps any inner [`LlmClient`], so it composes with
+//! `ResilientLlmClient`: the cache sits *outside* retry, and a completion
+//! only enters the cache after the whole retry budget concluded in model
+//! text. Transport errors — timeouts, refused connects, 4xx/5xx — are
+//! **never** cached: the next identical request goes upstream again.
+
+use crate::lru::ShardedLru;
+use crate::persist::{load, Appender};
+use crate::singleflight::{FlightRole, SingleFlight};
+use nl2vis_llm::{CompletionOutcome, GenOptions, LlmClient};
+use nl2vis_obs as obs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Unit separator: cannot occur in model names and never terminates a
+/// prompt, so the canonical key decomposes unambiguously.
+const SEP: char = '\u{1f}';
+
+/// The canonical cache key of a completion request: model configuration
+/// plus the exact prompt. Two requests share a key iff the backend would
+/// be asked the exact same question.
+pub fn completion_key(model: &str, opts: &GenOptions, prompt: &str) -> String {
+    format!(
+        "{model}{SEP}attempt={};error_scale={};structural_scale={}{SEP}{prompt}",
+        opts.attempt, opts.error_scale, opts.structural_scale
+    )
+}
+
+/// Cache sizing and persistence configuration.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum number of cached completions (approximate: capacity is
+    /// split evenly across shards).
+    pub capacity: usize,
+    /// Number of independently locked LRU shards.
+    pub shards: usize,
+    /// When set, completions are appended to this JSONL file and replayed
+    /// on open for a warm cross-run start.
+    pub persist: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            capacity: 4096,
+            shards: 8,
+            persist: None,
+        }
+    }
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that went upstream.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Successful completions inserted.
+    pub insertions: u64,
+    /// Requests that deduplicated into a concurrent identical flight.
+    pub singleflight_waits: u64,
+    /// Entries replayed from the persistence file on open.
+    pub persisted_loads: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, capacity-bounded completion cache with single-flight
+/// deduplication and optional JSONL persistence.
+///
+/// Every event is mirrored onto the global [`nl2vis_obs`] registry
+/// (`cache.hits`, `cache.misses`, `cache.evictions`, `cache.insertions`,
+/// `cache.singleflight_waits`) and tracked locally for [`CompletionCache::stats`].
+pub struct CompletionCache {
+    lru: ShardedLru<String>,
+    flight: SingleFlight<CompletionOutcome>,
+    appender: Option<Mutex<Appender>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+    singleflight_waits: AtomicU64,
+    persisted_loads: u64,
+}
+
+impl CompletionCache {
+    /// Opens a cache. With `config.persist` set, the existing file is
+    /// replayed (malformed lines skipped) and subsequent insertions are
+    /// appended to it.
+    pub fn open(config: CacheConfig) -> std::io::Result<CompletionCache> {
+        let lru = ShardedLru::new(config.capacity, config.shards);
+        let (appender, persisted_loads) = match &config.persist {
+            None => (None, 0),
+            Some(path) => {
+                let loaded = load(path, |key, completion| {
+                    lru.insert(key, completion);
+                })?;
+                obs::count("cache.persist_loaded", loaded as u64);
+                (Some(Mutex::new(Appender::open(path)?)), loaded as u64)
+            }
+        };
+        Ok(CompletionCache {
+            lru,
+            flight: SingleFlight::new(),
+            appender,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            singleflight_waits: AtomicU64::new(0),
+            persisted_loads,
+        })
+    }
+
+    /// An in-memory cache of `capacity` completions with default sharding.
+    pub fn in_memory(capacity: usize) -> CompletionCache {
+        CompletionCache::open(CacheConfig {
+            capacity,
+            persist: None,
+            ..CacheConfig::default()
+        })
+        .expect("in-memory caches cannot fail to open")
+    }
+
+    /// Number of cached completions.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            singleflight_waits: self.singleflight_waits.load(Ordering::Relaxed),
+            persisted_loads: self.persisted_loads,
+        }
+    }
+
+    /// Looks up a completion without going upstream (counts a hit or miss).
+    pub fn get(&self, key: &str) -> Option<String> {
+        match self.lru.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::count("cache.hits", 1);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::count("cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a successful completion (persisting it when configured).
+    pub fn insert(&self, key: &str, completion: &str) {
+        if self.lru.insert(key.to_string(), completion.to_string()) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::count("cache.evictions", 1);
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        obs::count("cache.insertions", 1);
+        if let Some(appender) = &self.appender {
+            // Best-effort: a full disk degrades persistence, not serving.
+            if let Err(e) = appender
+                .lock()
+                .expect("cache appender")
+                .append(key, completion)
+            {
+                obs::error("cache", "persist", &e.to_string());
+            }
+        }
+    }
+
+    /// The serving-path entry point: returns the cached completion for
+    /// `key`, or runs `work` under single-flight deduplication. Only
+    /// successful outcomes enter the cache; an `Err` (transport failure)
+    /// is returned to this request — and to any request deduplicated into
+    /// the same flight — but never stored.
+    pub fn complete_through<F>(&self, key: &str, work: F) -> CompletionOutcome
+    where
+        F: FnOnce() -> CompletionOutcome,
+    {
+        if let Some(hit) = self.get(key) {
+            return Ok(hit);
+        }
+        let (outcome, role) = self.flight.run(key, || {
+            // Re-check under the flight: a concurrent leader may have
+            // populated the cache between our miss and winning the flight.
+            // That is a logical hit (this request never goes upstream), so
+            // it counts as one.
+            if let Some(hit) = self.lru.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::count("cache.hits", 1);
+                return Ok(hit);
+            }
+            let outcome = work();
+            if let Ok(completion) = &outcome {
+                self.insert(key, completion);
+            }
+            outcome
+        });
+        if role == FlightRole::Waiter {
+            self.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+            obs::count("cache.singleflight_waits", 1);
+        }
+        outcome
+    }
+}
+
+/// An [`LlmClient`] wrapper that serves completions through a
+/// [`CompletionCache`].
+///
+/// The cache is shared (`Arc`), so many clients — one per eval worker, or
+/// the pipeline plus the eval runner — can serve from the same entries.
+pub struct CachedLlmClient<C> {
+    inner: C,
+    cache: Arc<CompletionCache>,
+}
+
+impl<C: LlmClient> CachedLlmClient<C> {
+    /// Wraps `inner` with a fresh in-memory cache of `capacity` entries.
+    pub fn new(inner: C, capacity: usize) -> CachedLlmClient<C> {
+        CachedLlmClient::with_cache(inner, Arc::new(CompletionCache::in_memory(capacity)))
+    }
+
+    /// Wraps `inner` over a shared cache.
+    pub fn with_cache(inner: C, cache: Arc<CompletionCache>) -> CachedLlmClient<C> {
+        CachedLlmClient { inner, cache }
+    }
+
+    /// The shared cache handle.
+    pub fn cache(&self) -> &Arc<CompletionCache> {
+        &self.cache
+    }
+
+    /// The wrapped client.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: LlmClient> LlmClient for CachedLlmClient<C> {
+    /// Display-only surface: transport failures fold into a marker string
+    /// (the same contract as `HttpLlmClient::complete`); scoring paths use
+    /// [`LlmClient::try_complete_with`].
+    fn complete(&self, prompt: &str) -> String {
+        match self.try_complete_with(prompt, &GenOptions::default()) {
+            Ok(text) => text,
+            Err(e) => format!("[{e}]"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete_with(&self, prompt: &str, opts: &GenOptions) -> String {
+        match self.try_complete_with(prompt, opts) {
+            Ok(text) => text,
+            Err(e) => format!("[{e}]"),
+        }
+    }
+
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        let key = completion_key(self.inner.name(), opts, prompt);
+        self.cache
+            .complete_through(&key, || self.inner.try_complete_with(prompt, opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nl2vis_llm::{TransportError, TransportErrorKind};
+    use std::sync::atomic::AtomicUsize;
+
+    /// A scriptable fake backend: pops the next outcome per call and
+    /// counts upstream traffic.
+    struct ScriptedLlm {
+        outcomes: Mutex<Vec<CompletionOutcome>>,
+        calls: AtomicUsize,
+    }
+
+    impl ScriptedLlm {
+        fn new(outcomes: Vec<CompletionOutcome>) -> ScriptedLlm {
+            ScriptedLlm {
+                outcomes: Mutex::new(outcomes),
+                calls: AtomicUsize::new(0),
+            }
+        }
+
+        fn calls(&self) -> usize {
+            self.calls.load(Ordering::SeqCst)
+        }
+    }
+
+    impl LlmClient for ScriptedLlm {
+        fn complete(&self, prompt: &str) -> String {
+            self.try_complete_with(prompt, &GenOptions::default())
+                .unwrap_or_else(|e| format!("[{e}]"))
+        }
+
+        fn name(&self) -> &str {
+            "scripted"
+        }
+
+        fn try_complete_with(&self, prompt: &str, _opts: &GenOptions) -> CompletionOutcome {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let mut outcomes = self.outcomes.lock().unwrap();
+            if outcomes.is_empty() {
+                Ok(format!("echo:{prompt}"))
+            } else {
+                outcomes.remove(0)
+            }
+        }
+    }
+
+    fn transport_err() -> TransportError {
+        TransportError {
+            kind: TransportErrorKind::Timeout,
+            attempts: 3,
+            message: "read deadline".to_string(),
+        }
+    }
+
+    #[test]
+    fn key_distinguishes_model_opts_and_prompt() {
+        let base = GenOptions::default();
+        let retry = GenOptions {
+            attempt: 1,
+            ..GenOptions::default()
+        };
+        let k1 = completion_key("gpt-4", &base, "p");
+        assert_eq!(k1, completion_key("gpt-4", &base, "p"));
+        assert_ne!(k1, completion_key("gpt-3.5-turbo-16k", &base, "p"));
+        assert_ne!(k1, completion_key("gpt-4", &retry, "p"));
+        assert_ne!(k1, completion_key("gpt-4", &base, "p2"));
+    }
+
+    #[test]
+    fn second_identical_request_is_a_hit() {
+        let client = CachedLlmClient::new(ScriptedLlm::new(vec![]), 16);
+        let a = client
+            .try_complete_with("q", &GenOptions::default())
+            .unwrap();
+        let b = client
+            .try_complete_with("q", &GenOptions::default())
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(client.inner().calls(), 1, "the repeat must not go upstream");
+        let stats = client.cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_errors_are_returned_but_never_cached() {
+        let client = CachedLlmClient::new(
+            ScriptedLlm::new(vec![Err(transport_err()), Ok("recovered".to_string())]),
+            16,
+        );
+        let first = client.try_complete_with("q", &GenOptions::default());
+        assert!(first.is_err());
+        assert_eq!(client.cache().len(), 0, "failures must not be stored");
+        // The identical retry goes upstream again and succeeds...
+        let second = client.try_complete_with("q", &GenOptions::default());
+        assert_eq!(second.unwrap(), "recovered");
+        assert_eq!(client.inner().calls(), 2);
+        // ...and only now is the entry cached.
+        let third = client.try_complete_with("q", &GenOptions::default());
+        assert_eq!(third.unwrap(), "recovered");
+        assert_eq!(client.inner().calls(), 2);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_make_one_upstream_call() {
+        struct SlowLlm {
+            calls: AtomicUsize,
+        }
+        impl LlmClient for SlowLlm {
+            fn complete(&self, prompt: &str) -> String {
+                self.try_complete_with(prompt, &GenOptions::default())
+                    .unwrap()
+            }
+            fn name(&self) -> &str {
+                "slow"
+            }
+            fn try_complete_with(&self, prompt: &str, _opts: &GenOptions) -> CompletionOutcome {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                Ok(format!("slow:{prompt}"))
+            }
+        }
+        let client = Arc::new(CachedLlmClient::new(
+            SlowLlm {
+                calls: AtomicUsize::new(0),
+            },
+            16,
+        ));
+        let gate = Arc::new(std::sync::Barrier::new(6));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let client = Arc::clone(&client);
+            let gate = Arc::clone(&gate);
+            handles.push(std::thread::spawn(move || {
+                gate.wait();
+                client
+                    .try_complete_with("same prompt", &GenOptions::default())
+                    .unwrap()
+            }));
+        }
+        let results: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.iter().all(|r| r == "slow:same prompt"));
+        assert_eq!(
+            client.inner().calls.load(Ordering::SeqCst),
+            1,
+            "exactly one upstream call for six concurrent identical requests"
+        );
+        let stats = client.cache().stats();
+        assert_eq!(stats.singleflight_waits + stats.hits, 5);
+    }
+
+    #[test]
+    fn eviction_counts_and_capacity_hold_under_churn() {
+        let client = CachedLlmClient::new(ScriptedLlm::new(vec![]), 4);
+        for i in 0..32 {
+            client
+                .try_complete_with(&format!("prompt {i}"), &GenOptions::default())
+                .unwrap();
+        }
+        let stats = client.cache().stats();
+        assert!(client.cache().len() <= 8, "len {}", client.cache().len());
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.insertions, 32);
+    }
+
+    #[test]
+    fn persistence_roundtrip_warms_a_fresh_cache() {
+        let path = std::env::temp_dir().join(format!(
+            "nl2vis-cache-roundtrip-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = CacheConfig {
+            capacity: 16,
+            shards: 2,
+            persist: Some(path.clone()),
+        };
+        {
+            let cache = Arc::new(CompletionCache::open(config.clone()).unwrap());
+            let client = CachedLlmClient::with_cache(ScriptedLlm::new(vec![]), cache);
+            client
+                .try_complete_with("warm me", &GenOptions::default())
+                .unwrap();
+            assert_eq!(client.inner().calls(), 1);
+        }
+        // A brand-new cache over the same file starts hot: zero upstream.
+        let cache = Arc::new(CompletionCache::open(config).unwrap());
+        assert_eq!(cache.stats().persisted_loads, 1);
+        let client = CachedLlmClient::with_cache(ScriptedLlm::new(vec![]), cache);
+        let out = client
+            .try_complete_with("warm me", &GenOptions::default())
+            .unwrap();
+        assert_eq!(out, "echo:warm me");
+        assert_eq!(client.inner().calls(), 0, "served entirely from disk");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! JSONL persistence for warm cross-run cache reuse.
+//!
+//! One JSON object per line, `{"key": ..., "completion": ...}`, appended as
+//! entries are inserted. On open the existing file is replayed in order
+//! (later lines win, reproducing recency), so a repeated eval run starts
+//! with yesterday's completions already hot. Malformed lines are skipped
+//! and counted (`cache.persist_skipped`), never fatal: a truncated final
+//! line from a killed process must not poison the warm start.
+
+use nl2vis_data::Json;
+use nl2vis_obs as obs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// An append-only JSONL writer for cache entries.
+pub struct Appender {
+    out: BufWriter<std::fs::File>,
+}
+
+impl Appender {
+    /// Opens `path` for appending (creating it if absent).
+    pub fn open(path: &Path) -> std::io::Result<Appender> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Appender {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one entry and flushes, so a killed process loses at most the
+    /// line being written.
+    pub fn append(&mut self, key: &str, completion: &str) -> std::io::Result<()> {
+        let line = encode_entry(key, completion);
+        writeln!(self.out, "{line}")?;
+        self.out.flush()
+    }
+}
+
+/// Serializes one cache entry as a compact JSON line.
+pub fn encode_entry(key: &str, completion: &str) -> String {
+    Json::object(vec![
+        ("key", Json::from(key)),
+        ("completion", Json::from(completion)),
+    ])
+    .to_compact()
+}
+
+/// Parses one JSONL line into `(key, completion)`.
+pub fn decode_entry(line: &str) -> Option<(String, String)> {
+    let json = Json::parse(line).ok()?;
+    let key = json.get("key")?.as_str()?.to_string();
+    let completion = json.get("completion")?.as_str()?.to_string();
+    Some((key, completion))
+}
+
+/// Replays a persisted cache file, invoking `insert` per decoded entry in
+/// file order. Returns the number of entries loaded; a missing file loads
+/// zero entries (first run), any other IO failure is an error.
+pub fn load(path: &Path, mut insert: impl FnMut(String, String)) -> std::io::Result<usize> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut loaded = 0usize;
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_entry(&line) {
+            Some((key, completion)) => {
+                insert(key, completion);
+                loaded += 1;
+            }
+            None => obs::count("cache.persist_skipped", 1),
+        }
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nl2vis-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_tricky_content() {
+        let key = "gpt-4\u{1f}opts\u{1f}line1\nline2 \"quoted\" \\back";
+        let completion = "VISUALIZE bar\nSELECT \"x\" , y";
+        let line = encode_entry(key, completion);
+        assert!(!line.contains('\n'), "entries must stay one line: {line}");
+        let (k, c) = decode_entry(&line).expect("roundtrip");
+        assert_eq!(k, key);
+        assert_eq!(c, completion);
+    }
+
+    #[test]
+    fn append_then_load_replays_in_order() {
+        let path = temp_path("append-load");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut appender = Appender::open(&path).unwrap();
+            appender.append("k1", "first").unwrap();
+            appender.append("k2", "second").unwrap();
+            appender.append("k1", "first-updated").unwrap();
+        }
+        let mut seen = Vec::new();
+        let loaded = load(&path, |k, v| seen.push((k, v))).unwrap();
+        assert_eq!(loaded, 3);
+        assert_eq!(seen[2], ("k1".to_string(), "first-updated".to_string()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_loads_nothing() {
+        let path = temp_path("never-created");
+        let _ = std::fs::remove_file(&path);
+        let loaded = load(&path, |_, _| panic!("nothing to load")).unwrap();
+        assert_eq!(loaded, 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let path = temp_path("malformed");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\nnot json at all\n{{\"key\":\"only-key\"}}\n{}\n",
+                encode_entry("good1", "a"),
+                encode_entry("good2", "b")
+            ),
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        let loaded = load(&path, |k, _| seen.push(k)).unwrap();
+        assert_eq!(loaded, 2);
+        assert_eq!(seen, vec!["good1", "good2"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,250 @@
+//! Single-flight deduplication: concurrent identical requests collapse
+//! into one upstream call.
+//!
+//! When `n` eval workers miss the cache on the same prompt at the same
+//! moment, only the first (the *leader*) goes upstream; the rest park on a
+//! condvar and receive a clone of the leader's outcome. Errors are shared
+//! with the waiters too — they were deduplicated into that exact call, so
+//! its failure is their failure — but sharing is strictly per-flight:
+//! nothing is memoized, so the *next* request for the same key goes
+//! upstream again unless a success was cached by the layer above.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifecycle of one in-flight call.
+enum FlightState<T> {
+    /// The leader is still working.
+    Pending,
+    /// The leader finished; waiters clone this outcome.
+    Done(T),
+    /// The leader panicked before producing an outcome. Waiters restart.
+    Abandoned,
+}
+
+/// One in-flight call: the slot the leader fills and the condvar waiters
+/// park on.
+struct Call<T> {
+    state: Mutex<FlightState<T>>,
+    done: Condvar,
+}
+
+/// How a [`SingleFlight::run`] resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// This caller performed the upstream work.
+    Leader,
+    /// This caller waited on a concurrent identical call.
+    Waiter,
+}
+
+/// A keyed single-flight group.
+pub struct SingleFlight<T> {
+    inflight: Mutex<HashMap<String, Arc<Call<T>>>>,
+}
+
+impl<T: Clone> Default for SingleFlight<T> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+/// Removes the leader's flight from the map on scope exit — including a
+/// panicking `work` — and wakes every waiter. Without this, a dead leader
+/// would leave waiters parked forever and the key permanently wedged.
+struct Deregister<'a, T: Clone> {
+    group: &'a SingleFlight<T>,
+    key: &'a str,
+    call: &'a Arc<Call<T>>,
+}
+
+impl<T: Clone> Drop for Deregister<'_, T> {
+    fn drop(&mut self) {
+        self.group
+            .inflight
+            .lock()
+            .expect("singleflight map")
+            .remove(self.key);
+        let mut state = self.call.state.lock().expect("singleflight slot");
+        if matches!(*state, FlightState::Pending) {
+            *state = FlightState::Abandoned;
+        }
+        drop(state);
+        self.call.done.notify_all();
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    /// An empty group.
+    pub fn new() -> SingleFlight<T> {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `work` under single-flight semantics for `key`: if an identical
+    /// call is already in flight, blocks until it completes and returns a
+    /// clone of its outcome; otherwise runs `work` and wakes every waiter.
+    /// A waiter whose leader panicked restarts and may become the leader of
+    /// a fresh flight.
+    pub fn run<F: FnOnce() -> T>(&self, key: &str, work: F) -> (T, FlightRole) {
+        let mut work = Some(work);
+        loop {
+            let existing = {
+                let mut inflight = self.inflight.lock().expect("singleflight map");
+                match inflight.get(key) {
+                    Some(call) => Some(Arc::clone(call)),
+                    None => {
+                        let call = Arc::new(Call {
+                            state: Mutex::new(FlightState::Pending),
+                            done: Condvar::new(),
+                        });
+                        inflight.insert(key.to_string(), Arc::clone(&call));
+                        drop(inflight);
+                        // Leader path.
+                        let guard = Deregister {
+                            group: self,
+                            key,
+                            call: &call,
+                        };
+                        let outcome = work.take().expect("work runs at most once")();
+                        *call.state.lock().expect("singleflight slot") =
+                            FlightState::Done(outcome.clone());
+                        drop(guard); // removes the flight, wakes waiters
+                        return (outcome, FlightRole::Leader);
+                    }
+                }
+            };
+            // Waiter path.
+            let call = existing.expect("non-leader always has a call");
+            let mut state = call.state.lock().expect("singleflight slot");
+            loop {
+                match &*state {
+                    FlightState::Pending => {
+                        state = call.done.wait(state).expect("singleflight wait");
+                    }
+                    FlightState::Done(outcome) => {
+                        return (outcome.clone(), FlightRole::Waiter);
+                    }
+                    FlightState::Abandoned => break,
+                }
+            }
+            // The leader died without an outcome; retry from the top.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let (a, role_a) = sf.run("k", || 1);
+        let (b, role_b) = sf.run("k", || 2);
+        assert_eq!((a, role_a), (1, FlightRole::Leader));
+        assert_eq!((b, role_b), (2, FlightRole::Leader), "nothing is memoized");
+    }
+
+    #[test]
+    fn concurrent_identical_calls_collapse_to_one() {
+        let sf = Arc::new(SingleFlight::<usize>::new());
+        let upstream = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(9));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sf = Arc::clone(&sf);
+            let upstream = Arc::clone(&upstream);
+            let gate = Arc::clone(&gate);
+            handles.push(std::thread::spawn(move || {
+                gate.wait();
+                sf.run("same-key", || {
+                    // Hold the flight open long enough that the other
+                    // threads arrive while it is still in progress.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    upstream.fetch_add(1, Ordering::SeqCst) + 100
+                })
+            }));
+        }
+        gate.wait();
+        let results: Vec<(usize, FlightRole)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let leaders = results
+            .iter()
+            .filter(|(_, r)| *r == FlightRole::Leader)
+            .count();
+        assert_eq!(upstream.load(Ordering::SeqCst), leaders);
+        assert!(
+            leaders < 8,
+            "at least one thread must have deduplicated into the flight"
+        );
+        // Every waiter saw its leader's value.
+        let values: std::collections::HashSet<usize> = results.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values.len(), leaders, "one distinct value per actual call");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_dedup() {
+        let sf = Arc::new(SingleFlight::<usize>::new());
+        let upstream = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let sf = Arc::clone(&sf);
+                let upstream = Arc::clone(&upstream);
+                s.spawn(move || {
+                    sf.run(&format!("key-{i}"), || {
+                        upstream.fetch_add(1, Ordering::SeqCst)
+                    })
+                });
+            }
+        });
+        assert_eq!(upstream.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_leader_does_not_wedge_the_key() {
+        let sf = Arc::new(SingleFlight::<u32>::new());
+        let sf2 = Arc::clone(&sf);
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::thread::spawn(move || {
+            sf2.run("k", || panic!("leader dies"));
+        })
+        .join();
+        std::panic::set_hook(prev_hook);
+        // The key must be usable again (a wedged flight would hang here).
+        let (v, role) = sf.run("k", || 7);
+        assert_eq!((v, role), (7, FlightRole::Leader));
+    }
+
+    #[test]
+    fn waiter_survives_a_panicking_leader() {
+        let sf = Arc::new(SingleFlight::<u32>::new());
+        let gate = Arc::new(Barrier::new(2));
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let leader = {
+            let sf = Arc::clone(&sf);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                sf.run("k", || {
+                    gate.wait();
+                    // Give the waiter time to park on the flight.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    panic!("leader dies mid-flight");
+                })
+            })
+        };
+        gate.wait();
+        // This call either joins the doomed flight (then restarts and
+        // leads a fresh one) or arrives after deregistration and leads
+        // directly; both must produce 9.
+        let (v, _) = sf.run("k", || 9);
+        assert_eq!(v, 9);
+        assert!(leader.join().is_err(), "the leader thread panicked");
+        std::panic::set_hook(prev_hook);
+    }
+}

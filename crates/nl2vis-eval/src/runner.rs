@@ -488,17 +488,29 @@ where
     }
 }
 
-/// Order-preserving parallel map over ids using scoped threads. Worker
-/// panics are caught per example and surfaced as
+/// Order-preserving parallel map over ids using scoped threads and a
+/// shared work queue. Worker panics are caught per example and surfaced as
 /// [`EvalReport::worker_panics`] (plus the `eval.worker_panics` counter)
 /// instead of aborting the run.
+///
+/// The queue is a single atomic claim counter: each worker repeatedly
+/// claims the next unprocessed index until none remain. Unlike the static
+/// chunking this replaced, a worker that draws slow examples (an LLM
+/// stall, a retry storm) only delays the examples it has already claimed —
+/// the rest of the queue drains through the other workers, so wall-clock
+/// tracks the *sum* of work, not the unluckiest chunk. Results land in a
+/// preallocated slot per index, so output order is the input order
+/// regardless of which worker processed what.
 fn parallel_map<F, P>(ids: &[usize], workers: Option<usize>, f: F, progress: P) -> EvalReport
 where
     F: Fn(&usize) -> Option<ExampleResult> + Sync,
     P: Fn(usize, usize) + Sync,
 {
-    let workers = workers.unwrap_or_else(default_workers).max(1);
     let total = ids.len();
+    let workers = workers
+        .unwrap_or_else(default_workers)
+        .max(1)
+        .min(total.max(1));
     let done = std::sync::atomic::AtomicUsize::new(0);
     if total < 8 || workers < 2 {
         let started = std::time::Instant::now();
@@ -518,38 +530,49 @@ where
             worker_stats: stats,
         };
     }
-    let chunk = total.div_ceil(workers);
-    let mut out: Vec<Option<ExampleResult>> = Vec::new();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<ExampleResult>> =
+        std::iter::repeat_with(|| None).take(total).collect();
     let mut worker_panics = 0usize;
     let mut worker_stats = Vec::new();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = ids
-            .chunks(chunk)
-            .map(|part| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
                 scope.spawn(|| {
                     let started = std::time::Instant::now();
                     let mut panics = 0usize;
-                    let results: Vec<Option<ExampleResult>> = part
-                        .iter()
-                        .map(|id| run_one(id, &f, total, &done, &progress, &mut panics))
-                        .collect();
-                    (results, panics, started.elapsed())
+                    let mut claimed: Vec<(usize, Option<ExampleResult>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let result = run_one(&ids[i], &f, total, &done, &progress, &mut panics);
+                        claimed.push((i, result));
+                    }
+                    (claimed, panics, started.elapsed())
                 })
             })
             .collect();
         for (worker, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok((results, panics, elapsed)) => {
+                Ok((claimed, panics, elapsed)) => {
                     worker_stats.push(WorkerStats {
                         worker,
-                        examples: results.len(),
+                        // Indices this worker actually claimed and ran —
+                        // under the queue, per-worker counts reflect real
+                        // throughput, not a pre-assigned share.
+                        examples: claimed.len(),
                         elapsed,
                     });
                     worker_panics += panics;
-                    out.extend(results);
+                    for (i, result) in claimed {
+                        slots[i] = result;
+                    }
                 }
                 // Unreachable in practice (panics are caught per example),
-                // but a dead worker must not take the report down with it.
+                // but a dead worker must not take the report down with it —
+                // at most that worker's claimed results are lost.
                 Err(_) => {
                     obs::count("eval.worker_panics", 1);
                     worker_panics += 1;
@@ -558,7 +581,7 @@ where
         }
     });
     EvalReport {
-        results: out.into_iter().flatten().collect(),
+        results: slots.into_iter().flatten().collect(),
         worker_panics,
         worker_stats,
     }
@@ -725,9 +748,70 @@ mod tests {
         };
         assert_eq!(key(&r_base), key(&r_capped));
         assert_eq!(key(&r_base), key(&r_wide));
-        // A 2-worker run over >= 8 examples splits into exactly 2 batches.
+        // A 2-worker run over >= 8 examples spawns exactly 2 queue workers.
         assert_eq!(r_capped.worker_stats.len(), 2);
         assert!(r_wide.worker_stats.len() > 2);
+    }
+
+    /// Adversarial skew: the first example cannot finish until every other
+    /// example has been processed. Static chunking deadlocks here (the
+    /// blocked example's chunk-mates are stuck behind it in the same
+    /// worker); the shared work queue lets the other worker drain the rest
+    /// of the queue, which releases the blocked example.
+    #[test]
+    fn work_queue_drains_around_a_blocked_example() {
+        let n = 8usize;
+        let ids: Vec<usize> = (0..n).collect();
+        let latch = std::sync::Arc::new((std::sync::Mutex::new(n - 1), std::sync::Condvar::new()));
+        let r = parallel_map(
+            &ids,
+            Some(2),
+            |id| {
+                let (remaining, cv) = &*latch;
+                if *id == 0 {
+                    let mut left = remaining.lock().unwrap();
+                    while *left > 0 {
+                        let (next, timed_out) = cv
+                            .wait_timeout(left, std::time::Duration::from_secs(10))
+                            .unwrap();
+                        left = next;
+                        assert!(
+                            !timed_out.timed_out(),
+                            "scheduler failed to drain the queue around a blocked example"
+                        );
+                    }
+                } else {
+                    let mut left = remaining.lock().unwrap();
+                    *left -= 1;
+                    cv.notify_all();
+                }
+                Some(ExampleResult {
+                    id: *id,
+                    outcome: EvalOutcome {
+                        predicted: None,
+                        exact: false,
+                        exec: false,
+                        components_wrong: Vec::new(),
+                        parse_failed: false,
+                    },
+                    is_join: false,
+                    hardness: Hardness::Easy,
+                    completion: None,
+                    transport_error: None,
+                })
+            },
+            |_, _| {},
+        );
+        assert_eq!(r.worker_panics, 0);
+        let got: Vec<usize> = r.results.iter().map(|x| x.id).collect();
+        assert_eq!(
+            got, ids,
+            "order is preserved despite out-of-order completion"
+        );
+        // The blocked example pinned one worker; the other processed the
+        // remaining seven.
+        let max_share = r.worker_stats.iter().map(|w| w.examples).max().unwrap();
+        assert_eq!(max_share, n - 1);
     }
 
     #[test]

@@ -105,6 +105,26 @@ pub trait LlmClient {
     }
 }
 
+/// Boxed clients forward to their contents, so wrappers generic over
+/// `C: LlmClient` (retry, caching) compose with `Box<dyn LlmClient>` too.
+impl<T: LlmClient + ?Sized> LlmClient for Box<T> {
+    fn complete(&self, prompt: &str) -> String {
+        (**self).complete(prompt)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn complete_with(&self, prompt: &str, opts: &GenOptions) -> String {
+        (**self).complete_with(prompt, opts)
+    }
+
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        (**self).try_complete_with(prompt, opts)
+    }
+}
+
 impl LlmClient for SimLlm {
     fn complete(&self, prompt: &str) -> String {
         SimLlm::complete(self, prompt)

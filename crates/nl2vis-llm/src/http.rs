@@ -32,6 +32,21 @@ pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 /// instead of holding it (and the active-connection gauge) forever.
 const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// How long the server waits for the *next* request on a kept-alive
+/// connection. Much shorter than [`SERVER_IO_TIMEOUT`]: an idle pooled
+/// connection should release its thread quickly, and `Drop` joins every
+/// connection thread, so this bounds shutdown latency too.
+const SERVER_KEEPALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// How long the client keeps an idle pooled connection before discarding
+/// it. Kept below [`SERVER_KEEPALIVE_IDLE`] so the client usually gives up
+/// on a socket before the server closes it (the stale-retry path covers
+/// the race when it does not).
+const CLIENT_POOL_IDLE: Duration = Duration::from_secs(3);
+
+/// Max idle connections the client parks per [`HttpLlmClient`].
+const CLIENT_POOL_MAX_IDLE: usize = 8;
+
 /// Errors from the HTTP layer.
 #[derive(Debug)]
 pub enum HttpError {
@@ -239,6 +254,12 @@ struct Request {
     method: String,
     path: String,
     body: String,
+    /// Did the client ask to keep the connection open (`Connection:
+    /// keep-alive`)? Despite HTTP/1.1's persistent-by-default rule, this
+    /// server is close-by-default and only keeps connections the client
+    /// explicitly asked for — raw-socket callers that read to EOF keep
+    /// working, and pooling clients opt in per request.
+    keep_alive: bool,
 }
 
 /// A request that could not be read: the status and body of the error
@@ -246,6 +267,11 @@ struct Request {
 struct BadRequest {
     status: u16,
     message: String,
+    /// True when the failure is the connection ending (EOF, idle deadline,
+    /// peer reset) rather than malformed traffic. On a kept-alive
+    /// connection that has already served a request, this is a normal
+    /// close, not an error.
+    connection_end: bool,
 }
 
 impl BadRequest {
@@ -253,6 +279,15 @@ impl BadRequest {
         BadRequest {
             status,
             message: message.into(),
+            connection_end: false,
+        }
+    }
+
+    fn ended(message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            status: 400,
+            message: message.into(),
+            connection_end: true,
         }
     }
 }
@@ -263,17 +298,18 @@ impl BadRequest {
 /// deadline) still yields a best-effort `400` instead of a bare closed
 /// socket.
 fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest> {
-    let io_err = |e: std::io::Error| BadRequest::new(400, format!("request read failed: {e}"));
+    let io_err = |e: std::io::Error| BadRequest::ended(format!("request read failed: {e}"));
     let mut request_line = String::new();
     reader.read_line(&mut request_line).map_err(io_err)?;
     if request_line.is_empty() {
-        return Err(BadRequest::new(400, "empty request"));
+        return Err(BadRequest::ended("empty request"));
     }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("").to_string();
 
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).map_err(io_err)?;
@@ -281,13 +317,17 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
             // A Content-Length we cannot parse means we cannot know where
             // the body ends: reject, never silently assume an empty body.
             content_length = v
                 .trim()
                 .parse()
                 .map_err(|_| BadRequest::new(400, format!("malformed content-length: `{v}`")))?;
+        }
+        if let Some(v) = lower.strip_prefix("connection:") {
+            keep_alive = v.trim() == "keep-alive";
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -305,20 +345,23 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest
         method,
         path,
         body: String::from_utf8_lossy(&body).to_string(),
+        keep_alive,
     })
 }
 
-/// Writes one `Connection: close` response. Best-effort by construction:
-/// the caller decides whether a write failure matters.
+/// Writes one response, advertising `Connection: keep-alive` or `close` to
+/// match what the connection loop will actually do next. Best-effort by
+/// construction: the caller decides whether a write failure matters.
 fn respond(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     content_type: &str,
+    keep_alive: bool,
 ) -> Result<(), HttpError> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         match status {
             200 => "OK",
             404 => "Not Found",
@@ -326,7 +369,8 @@ fn respond(
             500 => "Internal Server Error",
             _ => "Bad Request",
         },
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     )?;
     stream.flush()?;
     Ok(())
@@ -338,80 +382,102 @@ fn handle_connection(
     registry: &MetricsRegistry,
     faults: &FaultInjector,
 ) -> Result<(), HttpError> {
-    let started = Instant::now();
     // Deadlines on both directions: a stalled or vanished peer frees this
     // thread after SERVER_IO_TIMEOUT instead of parking it forever.
     let _ = stream.set_read_timeout(Some(SERVER_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
+    registry.counter("server.connections_total").inc();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
+    let mut served = 0usize;
 
-    let request = match read_request(&mut reader) {
-        Ok(request) => request,
-        Err(bad) => {
-            registry.counter("server.bad_requests_total").inc();
-            registry
-                .counter(&format!("llm.status_{}", bad.status))
-                .inc();
-            let body = Json::object(vec![("error", Json::from(bad.message.as_str()))]).to_compact();
-            // Best-effort: the peer may already be gone.
-            let _ = respond(&mut out, bad.status, &body, JSON);
-            return Err(HttpError::Protocol(bad.message));
+    loop {
+        let started = Instant::now();
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(bad) => {
+                if served > 0 && bad.connection_end {
+                    // A kept-alive connection going idle-quiet (EOF, idle
+                    // deadline, reset) is the normal end of its life.
+                    return Ok(());
+                }
+                registry.counter("server.bad_requests_total").inc();
+                registry
+                    .counter(&format!("llm.status_{}", bad.status))
+                    .inc();
+                let body =
+                    Json::object(vec![("error", Json::from(bad.message.as_str()))]).to_compact();
+                // Best-effort: the peer may already be gone.
+                let _ = respond(&mut out, bad.status, &body, JSON, false);
+                return Err(HttpError::Protocol(bad.message));
+            }
+        };
+        if served > 0 {
+            registry.counter("server.requests_on_reused_conn").inc();
         }
-    };
+        let keep_alive = request.keep_alive;
 
-    let is_completion = request.method == "POST" && request.path == "/v1/completions";
-    let fault = if is_completion {
-        faults.next()
-    } else {
-        Fault::None
-    };
-    if fault != Fault::None {
-        registry.counter("server.faults_injected_total").inc();
-        registry
-            .counter(&format!("server.fault.{}", fault.label()))
-            .inc();
-    }
-    if let Fault::Stall(pause) = fault {
-        std::thread::sleep(pause);
-    }
-    if fault == Fault::Drop {
-        // Close without a response: the client sees a clean EOF.
-        return Ok(());
-    }
+        let is_completion = request.method == "POST" && request.path == "/v1/completions";
+        let fault = if is_completion {
+            faults.next()
+        } else {
+            Fault::None
+        };
+        if fault != Fault::None {
+            registry.counter("server.faults_injected_total").inc();
+            registry
+                .counter(&format!("server.fault.{}", fault.label()))
+                .inc();
+        }
+        if let Fault::Stall(pause) = fault {
+            std::thread::sleep(pause);
+        }
+        if fault == Fault::Drop {
+            // Close without a response: the client sees a clean EOF (and a
+            // pooled client exercises its stale-retry path).
+            return Ok(());
+        }
 
-    let (status, response_body, content_type) = if fault == Fault::Http500 {
-        (
-            500,
-            Json::object(vec![("error", Json::from("injected server error"))]).to_compact(),
-            JSON,
-        )
-    } else {
-        route(&request.method, &request.path, &request.body, llm, registry)
-    };
+        let (status, response_body, content_type) = if fault == Fault::Http500 {
+            (
+                500,
+                Json::object(vec![("error", Json::from("injected server error"))]).to_compact(),
+                JSON,
+            )
+        } else {
+            route(&request.method, &request.path, &request.body, llm, registry)
+        };
 
-    registry.counter("server.http_requests_total").inc();
-    registry.counter(&format!("llm.status_{status}")).inc();
-    let elapsed = started.elapsed();
-    if is_completion {
-        registry.counter("llm.requests_total").inc();
-        registry
-            .histogram("llm.request_latency_us")
-            .record_duration(elapsed);
+        registry.counter("server.http_requests_total").inc();
+        registry.counter(&format!("llm.status_{status}")).inc();
+        let elapsed = started.elapsed();
+        if is_completion {
+            registry.counter("llm.requests_total").inc();
+            registry
+                .histogram("llm.request_latency_us")
+                .record_duration(elapsed);
+        }
+        obs::log(
+            "llm",
+            "access",
+            vec![
+                ("method".to_string(), request.method),
+                ("path".to_string(), request.path),
+                ("status".to_string(), status.to_string()),
+                ("bytes".to_string(), response_body.len().to_string()),
+                ("duration_us".to_string(), elapsed.as_micros().to_string()),
+            ],
+        );
+
+        respond(&mut out, status, &response_body, content_type, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+        served += 1;
+        // Waiting for a *next* request is speculative; don't hold the
+        // thread (or block server shutdown) for the full io deadline.
+        let _ = out.set_read_timeout(Some(SERVER_KEEPALIVE_IDLE));
     }
-    obs::log(
-        "llm",
-        "access",
-        vec![
-            ("method".to_string(), request.method),
-            ("path".to_string(), request.path),
-            ("status".to_string(), status.to_string()),
-            ("bytes".to_string(), response_body.len().to_string()),
-            ("duration_us".to_string(), elapsed.as_micros().to_string()),
-        ],
-    );
-
-    respond(&mut out, status, &response_body, content_type)
 }
 
 const JSON: &str = "application/json";
@@ -509,22 +575,59 @@ impl Default for Timeouts {
     }
 }
 
+/// An idle connection parked in the client pool.
+struct PooledConn {
+    stream: TcpStream,
+    parked_at: Instant,
+}
+
 /// A client for the completions protocol.
+///
+/// By default the client keeps connections alive: it sends
+/// `Connection: keep-alive`, parks the socket after each successful
+/// response, and reuses it for the next request instead of paying a TCP
+/// handshake per completion. A reused socket can always have been closed
+/// by the server in the meantime (idle deadline, restart, injected fault);
+/// a request that fails on a *reused* connection with a stale-socket error
+/// is transparently retried exactly once on a fresh connection, so callers
+/// never observe the race. Metrics: `http.connections_opened`,
+/// `http.conn_reused`, `http.conn_stale_retries`.
 pub struct HttpLlmClient {
     addr: std::net::SocketAddr,
     /// Model name sent with each request.
     pub model: String,
     /// Connect/read/write deadlines applied to every request.
     pub timeouts: Timeouts,
+    /// Idle kept-alive connections; `None` disables pooling entirely.
+    pool: Option<Mutex<Vec<PooledConn>>>,
+}
+
+/// Is this error consistent with the server having silently closed a
+/// pooled connection while it sat idle? Only these justify the one-shot
+/// fresh-connection retry — anything else (timeout, HTTP status, protocol
+/// violation) is a real answer from a live server and must be surfaced.
+fn is_stale_conn_error(e: &HttpError) -> bool {
+    match e {
+        HttpError::Closed => true,
+        HttpError::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::UnexpectedEof
+        ),
+        _ => false,
+    }
 }
 
 impl HttpLlmClient {
-    /// Creates a client for a server address with default [`Timeouts`].
+    /// Creates a client for a server address with default [`Timeouts`] and
+    /// connection keep-alive enabled.
     pub fn new(addr: std::net::SocketAddr, model: impl Into<String>) -> HttpLlmClient {
         HttpLlmClient::with_timeouts(addr, model, Timeouts::default())
     }
 
-    /// Creates a client with explicit deadlines.
+    /// Creates a client with explicit deadlines (keep-alive enabled).
     pub fn with_timeouts(
         addr: std::net::SocketAddr,
         model: impl Into<String>,
@@ -534,31 +637,99 @@ impl HttpLlmClient {
             addr,
             model: model.into(),
             timeouts,
+            pool: Some(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Disables connection reuse: every request opens (and closes) its own
+    /// TCP connection, as the pre-keep-alive client did.
+    pub fn without_keep_alive(mut self) -> HttpLlmClient {
+        self.pool = None;
+        self
+    }
+
+    /// Takes a live-looking idle connection from the pool, discarding any
+    /// that have sat past [`CLIENT_POOL_IDLE`] (the server has likely
+    /// dropped those already).
+    fn checkout(&self) -> Option<TcpStream> {
+        let pool = self.pool.as_ref()?;
+        let mut idle = pool.lock().expect("http client pool");
+        while let Some(conn) = idle.pop() {
+            if conn.parked_at.elapsed() < CLIENT_POOL_IDLE {
+                obs::count("http.conn_reused", 1);
+                return Some(conn.stream);
+            }
+            // Too old: drop it (closing the socket) and keep looking.
+        }
+        None
+    }
+
+    /// Parks a connection whose response said `keep-alive`, bounded at
+    /// [`CLIENT_POOL_MAX_IDLE`].
+    fn park(&self, stream: TcpStream) {
+        if let Some(pool) = self.pool.as_ref() {
+            let mut idle = pool.lock().expect("http client pool");
+            if idle.len() < CLIENT_POOL_MAX_IDLE {
+                idle.push(PooledConn {
+                    stream,
+                    parked_at: Instant::now(),
+                });
+            }
+        }
+    }
+
+    fn connect_fresh(&self) -> Result<TcpStream, HttpError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeouts.connect)?;
+        stream.set_read_timeout(Some(self.timeouts.read))?;
+        stream.set_write_timeout(Some(self.timeouts.write))?;
+        obs::count("http.connections_opened", 1);
+        Ok(stream)
     }
 
     /// Issues a completion request. Every socket operation runs under the
     /// client's [`Timeouts`], so a stalled or vanished server surfaces as
     /// [`HttpError::Timeout`] / [`HttpError::Closed`] instead of hanging
-    /// the caller forever.
+    /// the caller forever. With keep-alive enabled the request may ride a
+    /// pooled connection; a stale-socket failure there is retried once on
+    /// a fresh connection before any error reaches the caller.
     pub fn complete_http(&self, prompt: &str) -> Result<String, HttpError> {
         let request = Json::object(vec![
             ("model", Json::from(self.model.as_str())),
             ("prompt", Json::from(prompt)),
         ])
         .to_compact();
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeouts.connect)?;
-        stream.set_read_timeout(Some(self.timeouts.read))?;
-        stream.set_write_timeout(Some(self.timeouts.write))?;
+        if let Some(stream) = self.checkout() {
+            match self.roundtrip(stream, &request) {
+                Err(e) if is_stale_conn_error(&e) => {
+                    // The parked socket died while idle. The request never
+                    // reached the application layer, so retrying it on a
+                    // fresh connection is safe and invisible to the caller.
+                    obs::count("http.conn_stale_retries", 1);
+                }
+                done => return done,
+            }
+        }
+        let stream = self.connect_fresh()?;
+        self.roundtrip(stream, &request)
+    }
+
+    /// One request/response exchange on `stream`. On success, a response
+    /// tagged `Connection: keep-alive` sends the socket back to the pool.
+    fn roundtrip(&self, mut stream: TcpStream, request: &str) -> Result<String, HttpError> {
+        let want_keep_alive = self.pool.is_some();
         write!(
             stream,
-            "POST /v1/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{request}",
+            "POST /v1/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{request}",
             self.addr,
-            request.len()
+            request.len(),
+            if want_keep_alive { "keep-alive" } else { "close" }
         )?;
         stream.flush()?;
 
-        let mut reader = BufReader::new(stream);
+        // Exactly one length-delimited response is outstanding, so a
+        // temporary reader over a clone of the socket cannot buffer bytes
+        // that a later request would need.
+        let mut reader = BufReader::new(stream.try_clone()?);
         let mut status_line = String::new();
         if reader.read_line(&mut status_line)? == 0 {
             // Clean EOF before any response byte: the server (or an
@@ -571,6 +742,7 @@ impl HttpLlmClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| HttpError::Protocol(format!("bad status line: {status_line}")))?;
         let mut content_length = 0usize;
+        let mut server_keeps_alive = false;
         loop {
             let mut line = String::new();
             if reader.read_line(&mut line)? == 0 {
@@ -581,10 +753,14 @@ impl HttpLlmClient {
             if line.trim_end().is_empty() {
                 break;
             }
-            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
                 content_length = v.trim().parse().map_err(|_| {
                     HttpError::Protocol(format!("malformed response content-length: `{v}`"))
                 })?;
+            }
+            if let Some(v) = lower.strip_prefix("connection:") {
+                server_keeps_alive = v.trim() == "keep-alive";
             }
         }
         if content_length > MAX_BODY_BYTES {
@@ -594,7 +770,11 @@ impl HttpLlmClient {
         }
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body)?;
+        drop(reader);
         let body = String::from_utf8_lossy(&body).to_string();
+        if want_keep_alive && server_keeps_alive {
+            self.park(stream);
+        }
         if status != 200 {
             return Err(HttpError::Status(status, body));
         }

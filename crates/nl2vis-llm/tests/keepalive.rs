@@ -1,0 +1,148 @@
+//! HTTP keep-alive integration: connection reuse, pooling opt-out, and
+//! transparent recovery when a pooled socket goes stale.
+//!
+//! Connection counts are asserted through the server's metrics registry
+//! (`server.connections_total` increments once per accepted TCP
+//! connection), so these tests pin the *actual* number of sockets opened,
+//! not a client-side guess.
+
+use nl2vis_llm::fault::{Fault, FaultInjector};
+use nl2vis_llm::http::{CompletionServer, HttpLlmClient};
+use nl2vis_llm::profile::ModelProfile;
+use nl2vis_llm::sim::SimLlm;
+use nl2vis_obs::MetricsRegistry;
+use std::sync::Arc;
+
+fn prompt(i: usize) -> String {
+    format!("-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: question {i}\nVQL:")
+}
+
+#[test]
+fn sequential_requests_share_one_connection() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+    let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+    let client = HttpLlmClient::new(server.address(), "gpt-4");
+
+    for i in 0..5 {
+        client.complete_http(&prompt(i)).unwrap();
+    }
+
+    assert_eq!(
+        registry.counter("server.connections_total").get(),
+        1,
+        "five sequential completions must ride one kept-alive connection"
+    );
+    assert_eq!(registry.counter("llm.requests_total").get(), 5);
+    assert_eq!(
+        registry.counter("server.requests_on_reused_conn").get(),
+        4,
+        "every request after the first reuses the connection"
+    );
+}
+
+#[test]
+fn keep_alive_opt_out_opens_a_connection_per_request() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+    let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+    let client = HttpLlmClient::new(server.address(), "gpt-4").without_keep_alive();
+
+    for i in 0..3 {
+        client.complete_http(&prompt(i)).unwrap();
+    }
+
+    assert_eq!(
+        registry.counter("server.connections_total").get(),
+        3,
+        "an opted-out client pays one TCP connection per request"
+    );
+    assert_eq!(registry.counter("server.requests_on_reused_conn").get(), 0);
+}
+
+#[test]
+fn stale_pooled_connection_is_retried_on_a_fresh_one() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+    // Request 1 succeeds and parks its connection; request 2 rides the
+    // pooled socket and the server drops it without a response — exactly
+    // what a pooled client sees when the server restarted or idled out the
+    // socket between requests.
+    let server = CompletionServer::start_with_faults(
+        llm,
+        Arc::clone(&registry),
+        FaultInjector::script(vec![Fault::None, Fault::Drop]),
+    )
+    .unwrap();
+    let client = HttpLlmClient::new(server.address(), "gpt-4");
+
+    let first = client.complete_http(&prompt(0)).unwrap();
+    let second = client
+        .complete_http(&prompt(1))
+        .expect("a stale pooled socket must be retried transparently");
+    assert!(!first.is_empty() && !second.is_empty());
+
+    assert_eq!(
+        registry.counter("server.connections_total").get(),
+        2,
+        "the dropped pooled socket forces exactly one replacement connection"
+    );
+    // Both completions ultimately succeeded despite the injected drop.
+    assert_eq!(registry.counter("llm.requests_total").get(), 2);
+    assert_eq!(registry.counter("server.fault.drop").get(), 1);
+}
+
+#[test]
+fn first_request_drop_is_not_silently_retried() {
+    // The stale-socket retry must only fire for *reused* connections: a
+    // drop on a fresh connection is a real transport failure that belongs
+    // to the retry/attribution layer above, not to the pool.
+    let registry = Arc::new(MetricsRegistry::new());
+    let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+    let server = CompletionServer::start_with_faults(
+        llm,
+        Arc::clone(&registry),
+        FaultInjector::script(vec![Fault::Drop]),
+    )
+    .unwrap();
+    let client = HttpLlmClient::new(server.address(), "gpt-4");
+
+    let result = client.complete_http(&prompt(0));
+    assert!(
+        matches!(result, Err(nl2vis_llm::http::HttpError::Closed)),
+        "a first-attempt drop surfaces as Closed: {result:?}"
+    );
+    assert_eq!(registry.counter("server.connections_total").get(), 1);
+}
+
+#[test]
+fn concurrent_pooled_clients_stay_correct() {
+    // Many threads sharing one pooled client: responses must never cross
+    // wires (each thread gets the completion for its own prompt).
+    let registry = Arc::new(MetricsRegistry::new());
+    let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+    let direct = llm.clone();
+    let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+    let client = Arc::new(HttpLlmClient::new(server.address(), "gpt-4"));
+
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let client = Arc::clone(&client);
+            let direct = &direct;
+            s.spawn(move || {
+                for i in 0..8 {
+                    let p = prompt(t * 100 + i);
+                    let via_http = client.complete_http(&p).unwrap();
+                    assert_eq!(via_http, direct.complete(&p), "responses must not cross");
+                }
+            });
+        }
+    });
+
+    let conns = registry.counter("server.connections_total").get();
+    assert!(
+        conns <= 4,
+        "32 requests from 4 threads need at most 4 connections, got {conns}"
+    );
+    assert_eq!(registry.counter("llm.requests_total").get(), 32);
+}

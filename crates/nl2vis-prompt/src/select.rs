@@ -74,6 +74,10 @@ fn content_set(text: &str) -> HashSet<String> {
         .collect()
 }
 
+/// Per-database accumulator: the best similarity score seen for the
+/// database plus every scored example in it.
+type DbSlots<'a> = BTreeMap<&'a str, (f64, Vec<(f64, &'a Example)>)>;
+
 /// A demonstration pool with precomputed content-word sets, so repeated
 /// selections over the same training split don't re-tokenize every example.
 pub struct DemoPool<'a> {
@@ -101,37 +105,39 @@ impl<'a> DemoPool<'a> {
     /// Top-`k` most similar demonstrations, excluding `exclude_id`.
     pub fn select_similar(&self, question: &str, k: usize, exclude_id: usize) -> Vec<&'a Example> {
         let q = content_set(question);
-        let mut scored: Vec<(f64, &Example)> = self
+        let scored: Vec<(f64, &Example)> = self
             .entries
             .iter()
             .filter(|(e, _)| e.id != exclude_id)
             .map(|(e, set)| (content_jaccard(&q, set), *e))
             .collect();
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.id.cmp(&b.1.id))
-        });
-        scored.into_iter().take(k).map(|(_, e)| e).collect()
+        rank_scored(scored, k)
     }
 
     /// All `k` demonstrations from the single most relevant database.
     pub fn select_same_db(&self, question: &str, k: usize, exclude_id: usize) -> Vec<&'a Example> {
         let q = content_set(question);
         let mut best: Option<(&str, f64)> = None;
-        let mut by_db: BTreeMap<&str, Vec<&Example>> = BTreeMap::new();
+        let mut by_db: BTreeMap<&str, Vec<(f64, &Example)>> = BTreeMap::new();
         for (e, set) in &self.entries {
             if e.id == exclude_id {
                 continue;
             }
-            by_db.entry(e.db.as_str()).or_default().push(e);
+            // Score once against the cached content set; the same score
+            // ranks databases *and* the examples inside the winning one —
+            // the whole point of pooling is to never re-tokenize.
             let score = content_jaccard(&q, set);
-            if best.is_none() || score > best.unwrap().1 {
+            by_db.entry(e.db.as_str()).or_default().push((score, e));
+            let beats = match best {
+                Some((_, b)) => score.total_cmp(&b).is_gt(),
+                None => true,
+            };
+            if beats {
                 best = Some((e.db.as_str(), score));
             }
         }
         match best {
-            Some((db, _)) => select_by_similarity(&by_db[db], question, k),
+            Some((db, _)) => rank_scored(by_db.remove(db).unwrap_or_default(), k),
             None => Vec::new(),
         }
     }
@@ -145,27 +151,39 @@ impl<'a> DemoPool<'a> {
         exclude_id: usize,
     ) -> Vec<&'a Example> {
         let q = content_set(question);
-        let mut by_db: BTreeMap<&str, (f64, Vec<&Example>)> = BTreeMap::new();
+        let mut by_db: DbSlots = BTreeMap::new();
         for (e, set) in &self.entries {
             if e.id == exclude_id {
                 continue;
             }
+            let score = content_jaccard(&q, set);
             let slot = by_db.entry(e.db.as_str()).or_insert((f64::MIN, Vec::new()));
-            slot.0 = slot.0.max(content_jaccard(&q, set));
-            slot.1.push(e);
+            if score.total_cmp(&slot.0).is_gt() {
+                slot.0 = score;
+            }
+            slot.1.push((score, e));
         }
         let mut ranked: Vec<(&str, f64)> = by_db.iter().map(|(db, (s, _))| (*db, *s)).collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        let winners: Vec<&str> = ranked.into_iter().take(dbs).map(|(db, _)| db).collect();
         let mut out = Vec::new();
-        for (db, _) in ranked.into_iter().take(dbs) {
-            out.extend(select_by_similarity(&by_db[db].1, question, per_db));
+        for db in winners {
+            if let Some((_, scored)) = by_db.remove(db) {
+                out.extend(rank_scored(scored, per_db));
+            }
         }
         out
     }
+}
+
+/// Sorts pre-scored demonstrations best-first (ties broken by example id,
+/// matching the unscored selectors) and returns the top `k`. `total_cmp`
+/// keeps the comparator a total order — a `partial_cmp`-to-`Equal`
+/// fallback makes NaN compare equal to *everything*, which violates sort's
+/// transitivity contract and can scramble an otherwise well-ordered list.
+fn rank_scored(mut scored: Vec<(f64, &Example)>, k: usize) -> Vec<&Example> {
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
+    scored.into_iter().take(k).map(|(_, e)| e).collect()
 }
 
 /// Selects up to `k` demonstrations from the pool, most Jaccard-similar to
@@ -176,16 +194,11 @@ pub fn select_by_similarity<'a>(
     k: usize,
 ) -> Vec<&'a Example> {
     let q = content_set(question);
-    let mut scored: Vec<(f64, &Example)> = pool
+    let scored: Vec<(f64, &Example)> = pool
         .iter()
         .map(|e| (content_jaccard(&q, &content_set(&e.nl)), *e))
         .collect();
-    scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.id.cmp(&b.1.id))
-    });
-    scored.into_iter().take(k).map(|(_, e)| e).collect()
+    rank_scored(scored, k)
 }
 
 /// Selects demonstrations restricted to one database: the pool database most
@@ -237,11 +250,7 @@ pub fn select_grouped<'a>(
             (*db, score)
         })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(b.0))
-    });
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
     let mut out = Vec::new();
     for (db, _) in ranked.into_iter().take(n_dbs) {
         out.extend(select_by_similarity(&by_db[db], question, per_db));
@@ -326,6 +335,45 @@ mod tests {
         );
         let ids: HashSet<usize> = a.iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), 5);
+    }
+
+    /// The pooled selectors rank from cached content sets; they must pick
+    /// exactly what the tokenize-per-call free functions pick.
+    #[test]
+    fn pooled_selectors_match_free_functions() {
+        let c = corpus();
+        let pool_refs: Vec<&Example> = c.examples.iter().collect();
+        let pool = DemoPool::new(&pool_refs);
+        for probe in [&c.examples[0], &c.examples[7], &c.examples[13]] {
+            let ids = |v: Vec<&Example>| v.iter().map(|e| e.id).collect::<Vec<_>>();
+            // exclude_id past the corpus: the pooled methods exclude
+            // nothing, same as the free functions.
+            let none = usize::MAX;
+            assert_eq!(
+                ids(pool.select_similar(&probe.nl, 4, none)),
+                ids(select_by_similarity(&pool_refs, &probe.nl, 4)),
+            );
+            assert_eq!(
+                ids(pool.select_same_db(&probe.nl, 4, none)),
+                ids(select_same_database(&pool_refs, &probe.nl, 4)),
+            );
+            assert_eq!(
+                ids(pool.select_grouped(&probe.nl, 3, 2, none)),
+                ids(select_grouped(&pool_refs, &probe.nl, 3, 2)),
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_same_db_is_single_db_and_excludes() {
+        let c = corpus();
+        let pool_refs: Vec<&Example> = c.examples.iter().collect();
+        let pool = DemoPool::new(&pool_refs);
+        let probe = &c.examples[5];
+        let picked = pool.select_same_db(&probe.nl, 4, probe.id);
+        let dbs: HashSet<&str> = picked.iter().map(|e| e.db.as_str()).collect();
+        assert_eq!(dbs.len(), 1);
+        assert!(picked.iter().all(|e| e.id != probe.id));
     }
 
     #[test]

@@ -194,8 +194,7 @@ pub fn most_relevant_row(table: &Table, question: &str) -> Option<usize> {
                 .join(" ")
         };
         jaccard(question, &render(a))
-            .partial_cmp(&jaccard(question, &render(b)))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&jaccard(question, &render(b)))
             // Stable tie-break toward the earlier row.
             .then(b.cmp(&a))
     })

@@ -104,6 +104,13 @@ impl ResultSet {
 fn round_value(v: &Value) -> Value {
     match v {
         Value::Float(f) => {
+            if f.is_nan() {
+                // Canonical NaN: `Value`'s float order is bitwise
+                // (`total_cmp`), under which -NaN and +NaN are distinct —
+                // two NaN results that differ only in sign bit or payload
+                // must still compare as the same data.
+                return Value::Float(f64::NAN);
+            }
             let scaled = (f * 1e9).round() / 1e9;
             if scaled.fract() == 0.0 && scaled.abs() < 1e15 {
                 Value::Int(scaled as i64)
@@ -738,6 +745,46 @@ mod tests {
             *f += 1e-12;
         }
         assert!(a.same_data(&b));
+    }
+
+    /// NaN results must compare as the same data regardless of which NaN
+    /// bit pattern each side computed. `Value`'s float order is bitwise
+    /// (`total_cmp`), so without canonicalization -NaN and +NaN — or two
+    /// payload-differing NaNs — would spuriously fail execution accuracy.
+    #[test]
+    fn nan_results_are_canonicalized_for_comparison() {
+        let base = run("VISUALIZE bar SELECT team , AVG(rating) FROM technician GROUP BY team");
+        let mut pos = base.clone();
+        let mut neg = base.clone();
+        pos.rows[0].1 = Value::Float(f64::NAN);
+        neg.rows[0].1 = Value::Float(-f64::NAN);
+        assert!(
+            pos.same_data(&neg),
+            "-NaN and +NaN must canonicalize to the same value"
+        );
+        assert!(pos.same_data(&pos.clone()));
+        // A NaN is still distinct from an actual number.
+        assert!(!pos.same_data(&base));
+    }
+
+    /// Sorting canonical rows containing NaN must not panic or scramble:
+    /// the multiset comparison path sorts with `Value`'s total order.
+    #[test]
+    fn unordered_comparison_survives_nan_rows() {
+        let base = run("VISUALIZE bar SELECT team , AVG(rating) FROM technician GROUP BY team");
+        let mut a = base.clone();
+        a.rows[0].1 = Value::Float(f64::NAN);
+        // A row-order permutation of the same data (NaN included) is still
+        // the same unordered result.
+        let mut b = a.clone();
+        b.rows.rotate_left(1);
+        if let Value::Float(f) = &mut b.rows.last_mut().unwrap().1 {
+            if f.is_nan() {
+                // Flip the rotated NaN's sign: same data, different bits.
+                *f = -*f;
+            }
+        }
+        assert!(a.same_data(&b), "rotation must not change unordered data");
     }
 
     #[test]

@@ -34,6 +34,12 @@ run "cargo test" cargo test -q
 run "fault injection (llm)" cargo test -q -p nl2vis-llm --test fault_injection
 run "fault injection (eval)" cargo test -q -p nl2vis-eval --test transport
 
+# Serving path: keep-alive connection reuse and the completion cache's
+# end-to-end acceptance (repeat eval ≥90% hits, fewer connections,
+# errors never cached), run explicitly for the same loud-failure reason.
+run "keep-alive (llm)" cargo test -q -p nl2vis-llm --test keepalive
+run "serving cache (cache)" cargo test -q -p nl2vis-cache --test serving
+
 # Formatting — skip gracefully if rustfmt isn't installed.
 if cargo fmt --version >/dev/null 2>&1; then
     run "cargo fmt --check" cargo fmt --all -- --check

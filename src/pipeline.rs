@@ -3,6 +3,7 @@
 //! completion, VQL parsing, execution, and Vega-Lite / chart rendering come
 //! out.
 
+use nl2vis_cache::{CachedLlmClient, CompletionCache};
 use nl2vis_corpus::Example;
 use nl2vis_data::{Database, Json};
 use nl2vis_llm::{extract_vql, GenOptions, LlmClient, ModelProfile, SimLlm, TransportError};
@@ -101,6 +102,26 @@ impl Pipeline {
         Pipeline {
             client,
             options: PromptOptions::default(),
+        }
+    }
+
+    /// Wraps the pipeline's model client in a bounded completion cache:
+    /// repeated identical `(model, options, prompt)` requests are served
+    /// from memory, concurrent identical misses collapse into one upstream
+    /// call, and transport failures are never cached. The cache sits
+    /// *outside* any retry layer already in the client, so only
+    /// completions that survived the full transport path are stored.
+    pub fn with_completion_cache(self, capacity: usize) -> Pipeline {
+        self.with_shared_cache(std::sync::Arc::new(CompletionCache::in_memory(capacity)))
+    }
+
+    /// Like [`Pipeline::with_completion_cache`], but over a caller-owned
+    /// cache — share one cache across pipelines (or keep the handle to
+    /// read [`nl2vis_cache::CacheStats`] afterwards).
+    pub fn with_shared_cache(self, cache: std::sync::Arc<CompletionCache>) -> Pipeline {
+        Pipeline {
+            client: Box::new(CachedLlmClient::with_cache(self.client, cache)),
+            options: self.options,
         }
     }
 
@@ -263,6 +284,22 @@ mod tests {
             obs::global().counter("pipeline.error.transport").get(),
             transport_before + 1
         );
+    }
+
+    /// A cached pipeline serves a repeated question from memory: the
+    /// second run is a hit and produces the identical visualization.
+    #[test]
+    fn cached_pipeline_hits_on_repeat_questions() {
+        let cache = std::sync::Arc::new(CompletionCache::in_memory(64));
+        let p = Pipeline::new("gpt-4", 7).with_shared_cache(std::sync::Arc::clone(&cache));
+        let q = "Show a bar chart of the total amount for each region.";
+        let first = p.run(&db(), q).expect("pipeline succeeds");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 1);
+        let second = p.run(&db(), q).expect("cached run succeeds");
+        assert_eq!(cache.stats().hits, 1, "the repeat must be a cache hit");
+        assert_eq!(first.completion, second.completion);
+        assert!(first.data.same_data(&second.data));
     }
 
     /// The five stage spans of one request land in the JSONL sink, share
