@@ -20,6 +20,11 @@
 //! `--cache=<capacity>` sets the cache entry budget (default 4096). The
 //! cold/warm comparison is also written to `BENCH_serving.json`.
 //!
+//! The `traces` experiment installs the flight recorder, runs a small eval
+//! through the full client stack against a fault-injecting server, then
+//! pulls `GET /requests` / `GET /trace/<id>` and dumps the slowest and
+//! errored span trees — one trace id per example, stitched across the wire.
+//!
 //! Every phase runs under a `bench.*` span, so the run ends with a
 //! telemetry summary table (per-stage latency percentiles plus the
 //! pipeline/eval counters accumulated underneath). `--trace=<path>` streams
@@ -45,6 +50,7 @@ const ALL: &[&str] = &[
     "hardness",
     "transport",
     "serving",
+    "traces",
 ];
 
 /// Serializes the serving-path comparison for `BENCH_serving.json`.
@@ -184,6 +190,7 @@ fn main() {
             "ext_vega" => experiments::ext_vega(&ctx).1,
             "hardness" => experiments::hardness(&ctx).1,
             "transport" => experiments::transport(&ctx, &fault_spec, retries).1,
+            "traces" => experiments::traces(&ctx).1,
             "serving" => {
                 let (summary, text) = experiments::serving(&ctx, cache_capacity);
                 if let Err(e) = std::fs::write(

@@ -1089,3 +1089,168 @@ pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummar
     );
     (summary, text)
 }
+
+/// Summary of the end-to-end tracing run (see [`traces`]).
+#[derive(Debug, Clone)]
+pub struct TracesSummary {
+    /// Examples evaluated per pass (two passes: cold, then cache-warm).
+    pub n: usize,
+    /// Traces the flight recorder retained at the end of the run.
+    pub recorded: usize,
+    /// Flight recorder capacity.
+    pub capacity: usize,
+    /// Retained traces that ended in error.
+    pub errored: usize,
+    /// Retained traces whose request was served from the completion cache.
+    pub cache_hits: usize,
+    /// Retained traces containing a server-side `server.handle` span —
+    /// requests that actually crossed the wire, stitched by header
+    /// propagation.
+    pub stitched: usize,
+    /// Retained traces where the resilient client retried a failed attempt.
+    pub retried: usize,
+    /// `GET /requests` returned the recent-trace index.
+    pub requests_endpoint_ok: bool,
+    /// `GET /trace/<id>` returned the stitched record for a retained id.
+    pub trace_endpoint_ok: bool,
+}
+
+/// **End-to-end tracing**: a small eval served over HTTP through the full
+/// client stack (completion cache → retrying client → pooled HTTP client)
+/// against a fault-injecting server, with the flight recorder installed.
+/// Every example is one trace: the client's cache lookup, each HTTP attempt
+/// (including retries after injected drops), and the server's handling span
+/// share a single trace id carried in `X-Nl2vis-Trace-Id` headers. The run
+/// then exercises the debug endpoints (`GET /requests`, `GET /trace/<id>`)
+/// and dumps the slowest and errored span trees — the exact artifacts an
+/// operator would pull when diagnosing a slow or failed request.
+pub fn traces(ctx: &ExperimentContext) -> (TracesSummary, String) {
+    use nl2vis_cache::{CachedLlmClient, CompletionCache};
+    use nl2vis_llm::http::{CompletionServer, HttpLlmClient};
+    use nl2vis_llm::{FaultInjector, ResilientLlmClient, RetryPolicy};
+    use nl2vis_obs::{recorder, FlightRecorder, MetricsRegistry};
+    use std::io::{Read as _, Write as _};
+    use std::sync::Arc;
+
+    const CAPACITY: usize = 256;
+    let flight = Arc::new(FlightRecorder::new(CAPACITY));
+    recorder::install(Arc::clone(&flight));
+
+    let llm = davinci003(ctx);
+    let config = LlmEvalConfig::default();
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = CompletionServer::start_with_faults(
+        llm.clone(),
+        Arc::clone(&registry),
+        FaultInjector::parse("drop=0.15,seed=11").expect("static spec"),
+    )
+    .expect("server starts");
+    let policy = RetryPolicy {
+        jitter_seed: ctx.seed,
+        ..RetryPolicy::attempts(4)
+    };
+    let client = CachedLlmClient::with_cache(
+        ResilientLlmClient::new(
+            HttpLlmClient::new(server.address(), llm.profile.name),
+            policy,
+        ),
+        Arc::new(CompletionCache::in_memory(1024)),
+    );
+
+    // Two passes over the same examples: the first pays the wire (misses,
+    // drops, retries), the second replays from the cache — so the recorder
+    // holds both stitched client+server traces and pure cache-hit traces.
+    let n = ctx.limit.map_or(24, |l| l.min(24));
+    for _ in 0..2 {
+        let _ = evaluate_llm(
+            &client,
+            &ctx.corpus,
+            &ctx.cross_split.train,
+            &ctx.cross_split.test,
+            &config,
+            Some(n),
+        );
+    }
+
+    // Pull the debug endpoints the way an operator would: raw HTTP.
+    let raw_get = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(server.address()).expect("connect");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+        )
+        .expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    };
+    let requests_response = raw_get("/requests");
+    let requests_endpoint_ok =
+        requests_response.starts_with("HTTP/1.1 200") && requests_response.contains("\"traces\"");
+    let retained = flight.recent(CAPACITY);
+    let trace_endpoint_ok = retained.first().is_some_and(|r| {
+        let response = raw_get(&format!("/trace/{}", r.trace_id));
+        response.starts_with("HTTP/1.1 200")
+            && response.contains(&format!("\"trace_id\":{}", r.trace_id))
+    });
+
+    let examples: Vec<_> = retained
+        .iter()
+        .filter(|r| r.root == "eval.example")
+        .collect();
+    let summary = TracesSummary {
+        n,
+        recorded: retained.len(),
+        capacity: CAPACITY,
+        errored: retained.iter().filter(|r| r.error.is_some()).count(),
+        cache_hits: examples
+            .iter()
+            .filter(|r| r.has_annotation("cache", "hit"))
+            .count(),
+        stitched: examples
+            .iter()
+            .filter(|r| r.has_span("server.handle"))
+            .count(),
+        retried: examples
+            .iter()
+            .filter(|r| {
+                r.spans_named("llm.request")
+                    .iter()
+                    .any(|s| s.annotations.iter().any(|(k, _)| k == "retry"))
+            })
+            .count(),
+        requests_endpoint_ok,
+        trace_endpoint_ok,
+    };
+
+    let mut dump = String::new();
+    if let Some(slowest) = examples.iter().max_by_key(|r| r.duration_us) {
+        dump.push_str("Slowest example trace:\n");
+        dump.push_str(&slowest.render_tree());
+    }
+    for errored in examples.iter().filter(|r| r.error.is_some()).take(2) {
+        dump.push_str("Errored example trace:\n");
+        dump.push_str(&errored.render_tree());
+    }
+
+    recorder::disable();
+
+    let text = format!(
+        "End-to-end tracing (text-davinci-003 over HTTP, cache → retry → pool, 15% injected drops, {n} examples x 2 passes)\n{}\
+         GET /requests ok: {}   GET /trace/<id> ok: {}\n{}",
+        table(
+            &["metric", "value"],
+            &[
+                vec!["traces retained".to_string(), format!("{}/{}", summary.recorded, summary.capacity)],
+                vec!["errored".to_string(), summary.errored.to_string()],
+                vec!["served from cache".to_string(), summary.cache_hits.to_string()],
+                vec!["stitched client+server".to_string(), summary.stitched.to_string()],
+                vec!["with retries".to_string(), summary.retried.to_string()],
+            ],
+        ),
+        summary.requests_endpoint_ok,
+        summary.trace_endpoint_ok,
+        dump,
+    );
+    (summary, text)
+}

@@ -209,9 +209,16 @@ impl CompletionCache {
     where
         F: FnOnce() -> CompletionOutcome,
     {
+        // One span per lookup, annotated with how the request was served
+        // (`cache=hit|miss`, plus `singleflight=wait` for deduplicated
+        // requests) — in a stitched trace this is what distinguishes "the
+        // model answered" from "the cache answered".
+        let span = obs::span!("cache.lookup");
         if let Some(hit) = self.get(key) {
+            span.annotate("cache", "hit");
             return Ok(hit);
         }
+        span.annotate("cache", "miss");
         let (outcome, role) = self.flight.run(key, || {
             // Re-check under the flight: a concurrent leader may have
             // populated the cache between our miss and winning the flight.
@@ -220,6 +227,7 @@ impl CompletionCache {
             if let Some(hit) = self.lru.get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 obs::count("cache.hits", 1);
+                span.annotate("cache", "flight_hit");
                 return Ok(hit);
             }
             let outcome = work();
@@ -231,6 +239,7 @@ impl CompletionCache {
         if role == FlightRole::Waiter {
             self.singleflight_waits.fetch_add(1, Ordering::Relaxed);
             obs::count("cache.singleflight_waits", 1);
+            span.annotate("singleflight", "wait");
         }
         outcome
     }

@@ -195,6 +195,7 @@ mod tests {
             hardness: Hardness::Easy,
             completion: None,
             transport_error: None,
+            trace_id: 0,
         }
     }
 

@@ -89,6 +89,10 @@ pub struct ExampleResult {
     /// [`EvalReport::transport_failures`] and the `eval.error.transport`
     /// counter.
     pub transport_error: Option<String>,
+    /// Trace id of the example's `eval.example` span (0 when the example
+    /// was scored without tracing). Joins this row against JSONL sink
+    /// events and the flight recorder's `GET /trace/<id>` record.
+    pub trace_id: u64,
 }
 
 impl ExampleResult {
@@ -191,7 +195,9 @@ impl EvalReport {
     }
 
     /// Exports per-example results as CSV (id, hardness, join, exact, exec,
-    /// wrong components) for external analysis.
+    /// wrong components, trace id) for external analysis. The `trace_id`
+    /// column joins failed rows against JSONL sink events and flight
+    /// recorder records.
     pub fn to_csv(&self) -> String {
         let mut rows: Vec<Vec<String>> = vec![vec![
             "id".into(),
@@ -202,6 +208,7 @@ impl EvalReport {
             "parse_failed".into(),
             "wrong_components".into(),
             "transport_failed".into(),
+            "trace_id".into(),
         ]];
         for r in &self.results {
             rows.push(vec![
@@ -218,6 +225,7 @@ impl EvalReport {
                     .collect::<Vec<_>>()
                     .join(";"),
                 (!r.scored()).to_string(),
+                r.trace_id.to_string(),
             ]);
         }
         nl2vis_data::csv::write_rows(&rows)
@@ -340,6 +348,13 @@ pub fn evaluate_llm_with_progress(
         config.workers,
         |id| {
             let test = corpus.example(*id)?;
+            // Every example is its own trace — even on the inline
+            // single-threaded path where the run-level span is live on the
+            // same thread — so a failed row's trace_id in the CSV fetches
+            // exactly that example's spans from the flight recorder.
+            let example_span = obs::Span::enter_root("eval.example");
+            example_span.annotate("example", &test.id.to_string());
+            let trace_id = example_span.trace();
             let db = corpus.catalog.database(&test.db).ok()?;
             let demos = pick_demos_pooled(&pool, test, config);
             let options = PromptOptions {
@@ -370,6 +385,7 @@ pub fn evaluate_llm_with_progress(
                         hardness: test.hardness,
                         completion: None,
                         transport_error: Some(e.to_string()),
+                        trace_id,
                     });
                 }
             };
@@ -381,6 +397,7 @@ pub fn evaluate_llm_with_progress(
                 hardness: test.hardness,
                 completion: Some(completion),
                 transport_error: None,
+                trace_id,
             })
         },
         progress,
@@ -417,6 +434,9 @@ pub fn evaluate_model_with_progress(
         None,
         |id| {
             let test = corpus.example(*id)?;
+            let example_span = obs::Span::enter_root("eval.example");
+            example_span.annotate("example", &test.id.to_string());
+            let trace_id = example_span.trace();
             let db = corpus.catalog.database(&test.db).ok()?;
             let outcome = match model.predict(&test.nl, db) {
                 Some(pred) => score_query(&pred, &test.vql, db),
@@ -435,6 +455,7 @@ pub fn evaluate_model_with_progress(
                 hardness: test.hardness,
                 completion: None,
                 transport_error: None,
+                trace_id,
             })
         },
         progress,
@@ -688,6 +709,60 @@ mod tests {
                 || records[1][1] == "hard"
                 || records[1][1] == "extra hard"
         );
+        assert_eq!(records[0].last().map(String::as_str), Some("trace_id"));
+    }
+
+    #[test]
+    fn every_example_gets_its_own_trace_id() {
+        // Trace ids must be nonzero and mutually distinct even when the
+        // whole run executes inline on the driver thread (small total →
+        // single-threaded path), where a naive nested span would merge all
+        // examples into the run-level trace.
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+        let config = LlmEvalConfig {
+            workers: Some(1),
+            ..LlmEvalConfig::default()
+        };
+        let r = evaluate_llm(&llm, &c, &split.train, &split.test, &config, Some(5));
+        assert!(!r.results.is_empty());
+        let ids: Vec<u64> = r.results.iter().map(|x| x.trace_id).collect();
+        assert!(ids.iter().all(|&t| t != 0), "zero trace id in {ids:?}");
+        let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate trace ids in {ids:?}");
+        // The CSV carries the same ids in its last column.
+        let records = nl2vis_data::csv::parse(&r.to_csv()).unwrap();
+        for (row, expected) in records[1..].iter().zip(&ids) {
+            assert_eq!(
+                row.last().map(String::as_str),
+                Some(expected.to_string().as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn trace_ids_stay_distinct_across_worker_threads() {
+        // The multi-worker path: examples claimed from the work queue by
+        // several threads must still each get their own nonzero trace id,
+        // and order preservation must keep each id attached to its row.
+        let c = fixture();
+        let split = c.split_cross_domain(1);
+        let llm = SimLlm::new(ModelProfile::davinci_003(), 3);
+        let config = LlmEvalConfig {
+            workers: Some(4),
+            ..LlmEvalConfig::default()
+        };
+        let r = evaluate_llm(&llm, &c, &split.train, &split.test, &config, Some(20));
+        assert!(r.results.len() >= 8, "enough examples to engage the queue");
+        assert!(
+            r.worker_stats.len() > 1,
+            "the run actually used multiple workers"
+        );
+        let ids: Vec<u64> = r.results.iter().map(|x| x.trace_id).collect();
+        assert!(ids.iter().all(|&t| t != 0), "zero trace id in {ids:?}");
+        let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate trace ids in {ids:?}");
     }
 
     #[test]
@@ -798,6 +873,7 @@ mod tests {
                     hardness: Hardness::Easy,
                     completion: None,
                     transport_error: None,
+                    trace_id: 0,
                 })
             },
             |_, _| {},

@@ -260,6 +260,11 @@ struct Request {
     /// explicitly asked for — raw-socket callers that read to EOF keep
     /// working, and pooling clients opt in per request.
     keep_alive: bool,
+    /// Trace context imported from `X-Nl2vis-Trace-Id` /
+    /// `X-Nl2vis-Parent-Span` headers, if the client is propagating one —
+    /// the server-side handling span then joins the caller's trace instead
+    /// of starting its own.
+    trace: Option<obs::TraceContext>,
 }
 
 /// A request that could not be read: the status and body of the error
@@ -310,6 +315,8 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest
 
     let mut content_length = 0usize;
     let mut keep_alive = false;
+    let mut trace_id: Option<String> = None;
+    let mut parent_span: Option<String> = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).map_err(io_err)?;
@@ -329,6 +336,12 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest
         if let Some(v) = lower.strip_prefix("connection:") {
             keep_alive = v.trim() == "keep-alive";
         }
+        if let Some(v) = lower.strip_prefix("x-nl2vis-trace-id:") {
+            trace_id = Some(v.trim().to_string());
+        }
+        if let Some(v) = lower.strip_prefix("x-nl2vis-parent-span:") {
+            parent_span = Some(v.trim().to_string());
+        }
     }
     if content_length > MAX_BODY_BYTES {
         // Reject from the untrusted header alone — allocating
@@ -346,6 +359,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest
         path,
         body: String::from_utf8_lossy(&body).to_string(),
         keep_alive,
+        trace: obs::TraceContext::from_headers(trace_id.as_deref(), parent_span.as_deref()),
     })
 }
 
@@ -418,6 +432,18 @@ fn handle_connection(
         let keep_alive = request.keep_alive;
 
         let is_completion = request.method == "POST" && request.path == "/v1/completions";
+        // Join the caller's trace when it propagated one; otherwise only
+        // completions get a span of their own (tracing every /metrics poll
+        // would flood the flight recorder with noise).
+        let span = match request.trace {
+            Some(ctx) => Some(obs::Span::enter_with("server.handle", ctx)),
+            None if is_completion => Some(obs::Span::enter("server.handle")),
+            None => None,
+        };
+        if let Some(span) = &span {
+            span.annotate("path", &request.path);
+        }
+        let trace = span.as_ref().map(|s| s.trace()).unwrap_or(0);
         let fault = if is_completion {
             faults.next()
         } else {
@@ -428,6 +454,9 @@ fn handle_connection(
             registry
                 .counter(&format!("server.fault.{}", fault.label()))
                 .inc();
+            if let Some(span) = &span {
+                span.annotate("fault", fault.label());
+            }
         }
         if let Fault::Stall(pause) = fault {
             std::thread::sleep(pause);
@@ -455,19 +484,23 @@ fn handle_connection(
             registry.counter("llm.requests_total").inc();
             registry
                 .histogram("llm.request_latency_us")
-                .record_duration(elapsed);
+                .record_duration_traced(elapsed, trace);
         }
-        obs::log(
-            "llm",
-            "access",
+        if let Some(span) = &span {
+            span.annotate("status", &status.to_string());
+        }
+        obs::log("llm", "access", || {
             vec![
                 ("method".to_string(), request.method),
                 ("path".to_string(), request.path),
                 ("status".to_string(), status.to_string()),
                 ("bytes".to_string(), response_body.len().to_string()),
                 ("duration_us".to_string(), elapsed.as_micros().to_string()),
-            ],
-        );
+            ]
+        });
+        // Close the handling span before the response goes out: by the time
+        // the client reads the body, its side of the trace is consistent.
+        drop(span);
 
         respond(&mut out, status, &response_body, content_type, keep_alive)?;
         if !keep_alive {
@@ -537,6 +570,37 @@ fn route(
             (200, response.to_compact(), JSON)
         }
         ("GET", "/metrics") => (200, obs::report::render_exposition(registry), TEXT),
+        ("GET", "/requests") => match obs::recorder::installed() {
+            Some(recorder) => (200, recorder.index_json(50), JSON),
+            None => (
+                404,
+                r#"{"error":"flight recorder not installed"}"#.to_string(),
+                JSON,
+            ),
+        },
+        ("GET", trace_path) if trace_path.starts_with("/trace/") => {
+            let id = trace_path["/trace/".len()..].parse::<u64>();
+            match (obs::recorder::installed(), id) {
+                (None, _) => (
+                    404,
+                    r#"{"error":"flight recorder not installed"}"#.to_string(),
+                    JSON,
+                ),
+                (_, Err(_)) => (
+                    400,
+                    r#"{"error":"trace id must be a decimal integer"}"#.to_string(),
+                    JSON,
+                ),
+                (Some(recorder), Ok(id)) => match recorder.get(id) {
+                    Some(record) => (200, record.to_json(), JSON),
+                    None => (
+                        404,
+                        format!(r#"{{"error":"trace {id} not retained"}}"#),
+                        JSON,
+                    ),
+                },
+            }
+        }
         ("GET", "/healthz") => (
             200,
             Json::object(vec![
@@ -699,16 +763,21 @@ impl HttpLlmClient {
         ])
         .to_compact();
         if let Some(stream) = self.checkout() {
+            let attempt = obs::span!("llm.attempt");
+            attempt.annotate("conn", "reused");
             match self.roundtrip(stream, &request) {
                 Err(e) if is_stale_conn_error(&e) => {
                     // The parked socket died while idle. The request never
                     // reached the application layer, so retrying it on a
                     // fresh connection is safe and invisible to the caller.
+                    attempt.annotate("stale", "true");
                     obs::count("http.conn_stale_retries", 1);
                 }
                 done => return done,
             }
         }
+        let attempt = obs::span!("llm.attempt");
+        attempt.annotate("conn", "fresh");
         let stream = self.connect_fresh()?;
         self.roundtrip(stream, &request)
     }
@@ -717,9 +786,19 @@ impl HttpLlmClient {
     /// tagged `Connection: keep-alive` sends the socket back to the pool.
     fn roundtrip(&self, mut stream: TcpStream, request: &str) -> Result<String, HttpError> {
         let want_keep_alive = self.pool.is_some();
+        // Propagate the caller's trace so the server's handling span joins
+        // it instead of starting a disconnected one.
+        let trace_headers = match obs::current_context() {
+            Some(ctx) => format!(
+                "X-Nl2vis-Trace-Id: {}\r\nX-Nl2vis-Parent-Span: {}\r\n",
+                ctx.trace_header(),
+                ctx.parent_header()
+            ),
+            None => String::new(),
+        };
         write!(
             stream,
-            "POST /v1/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{request}",
+            "POST /v1/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{trace_headers}\r\n{request}",
             self.addr,
             request.len(),
             if want_keep_alive { "keep-alive" } else { "close" }
@@ -1073,6 +1152,57 @@ mod tests {
             .unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
         assert!(response.contains("request read failed"), "{response}");
+    }
+
+    #[test]
+    fn trace_headers_stitch_client_and_server_spans() {
+        let recorder = Arc::new(obs::FlightRecorder::new(32));
+        obs::recorder::install(Arc::clone(&recorder));
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+        let server =
+            CompletionServer::start_with_registry(llm, Arc::new(MetricsRegistry::new())).unwrap();
+        let client = HttpLlmClient::new(server.address(), "gpt-4");
+        let trace_id = {
+            let root = obs::Span::enter("httptest.request");
+            client
+                .complete_http(
+                    "-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: traced\nVQL:",
+                )
+                .unwrap();
+            root.trace()
+        };
+        // The trace is finalized once the root closes; the server span must
+        // have joined it via the propagated headers.
+        let record = recorder.get(trace_id).expect("trace recorded");
+        assert!(record.has_span("httptest.request"), "{:?}", record.spans);
+        assert!(record.has_span("llm.attempt"), "{:?}", record.spans);
+        assert!(record.has_span("server.handle"), "{:?}", record.spans);
+        assert!(record.has_annotation("path", "/v1/completions"));
+        assert!(record.has_annotation("status", "200"));
+        // The server span is parented to the client attempt span.
+        let attempt_id = record.spans_named("llm.attempt")[0].span_id;
+        assert_eq!(
+            record.spans_named("server.handle")[0].parent,
+            Some(attempt_id)
+        );
+
+        // The stitched record is fetchable over HTTP.
+        let response = raw_get(server.address(), &format!("/trace/{trace_id}"));
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains(&format!("\"trace_id\":{trace_id}")));
+        assert!(response.contains("server.handle"), "{response}");
+        let index = raw_get(server.address(), "/requests");
+        assert!(
+            index.contains(&format!("\"trace_id\":{trace_id}")),
+            "{index}"
+        );
+
+        // Unknown and malformed ids fail cleanly.
+        assert!(raw_get(server.address(), "/trace/999999999").starts_with("HTTP/1.1 404"));
+        assert!(raw_get(server.address(), "/trace/banana").starts_with("HTTP/1.1 400"));
+        obs::recorder::disable();
+        // Without a recorder the endpoints say so instead of pretending.
+        assert!(raw_get(server.address(), "/requests").starts_with("HTTP/1.1 404"));
     }
 
     #[test]

@@ -121,18 +121,24 @@ impl ResilientLlmClient {
 
     /// Completes a prompt, retrying transient transport faults under the
     /// policy. Returns the typed outcome; never folds a failure into text.
+    /// The whole attempt loop runs under one `llm.request` span, so a
+    /// retried request shows up in the flight recorder as one span with
+    /// its `llm.attempt` children rather than unrelated fragments.
     pub fn try_complete(&self, prompt: &str) -> Result<String, TransportError> {
+        let span = obs::span!("llm.request");
         let attempts = self.policy.max_attempts.max(1);
         let mut last: Option<HttpError> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
                 obs::count("llm.retries_total", 1);
+                span.annotate("retry", &attempt.to_string());
                 std::thread::sleep(self.policy.backoff(attempt - 1));
             }
             match self.inner.complete_http(prompt) {
                 Ok(text) => {
                     if attempt > 0 {
                         obs::count("llm.retry_success_total", 1);
+                        span.annotate("retry_outcome", "recovered");
                     }
                     return Ok(text);
                 }
@@ -140,6 +146,7 @@ impl ResilientLlmClient {
                 Err(e) => return Err(e.into_transport_error(attempt + 1)),
             }
         }
+        span.annotate("retry_outcome", "exhausted");
         let final_error = last.expect("at least one attempt ran");
         Err(final_error.into_transport_error(attempts))
     }

@@ -115,6 +115,77 @@ fn first_request_drop_is_not_silently_retried() {
     assert_eq!(registry.counter("server.connections_total").get(), 1);
 }
 
+/// Writes one `GET` with `Connection: keep-alive` on an existing socket
+/// and reads back exactly one length-delimited response.
+fn keep_alive_get(stream: &mut std::net::TcpStream, path: &str) -> (u16, String) {
+    use std::io::{BufRead, BufReader, Read, Write};
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {status_line}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8_lossy(&body).to_string())
+}
+
+#[test]
+fn metrics_and_healthz_are_served_over_one_reused_connection() {
+    // PR 3 added server-side keep-alive, but the endpoint tests all used
+    // close-per-request clients. A scraper polling /metrics and /healthz
+    // should be able to hold one connection for its whole polling loop.
+    let registry = Arc::new(MetricsRegistry::new());
+    let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+    let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+    // Seed the registry with one completion so /metrics has content.
+    let client = HttpLlmClient::new(server.address(), "gpt-4");
+    client.complete_http(&prompt(0)).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.address()).unwrap();
+    let (status, health) = keep_alive_get(&mut stream, "/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains(r#""status":"ok""#), "{health}");
+    let (status, metrics) = keep_alive_get(&mut stream, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("llm.requests_total 1"), "{metrics}");
+    // Alternate the two endpoints a few more times on the same socket.
+    for _ in 0..3 {
+        assert_eq!(keep_alive_get(&mut stream, "/healthz").0, 200);
+        assert_eq!(keep_alive_get(&mut stream, "/metrics").0, 200);
+    }
+
+    // One connection for the completion client, one for the scraper.
+    assert_eq!(
+        registry.counter("server.connections_total").get(),
+        2,
+        "eight endpoint requests must share the scraper's single connection"
+    );
+    assert!(
+        registry.counter("server.requests_on_reused_conn").get() >= 7,
+        "every scraper request after the first rides the reused connection"
+    );
+}
+
 #[test]
 fn concurrent_pooled_clients_stay_correct() {
     // Many threads sharing one pooled client: responses must never cross

@@ -47,16 +47,18 @@
 //!     .contains("demo.requests_total"));
 //! ```
 
+pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use recorder::{FlightRecorder, RecorderStats, TraceRecord};
 pub use registry::{global, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
 pub use sink::{
     disable_sink, emit, set_sink, sink_active, Event, EventSink, JsonlSink, MemorySink, NullSink,
 };
-pub use span::{current_trace, Span};
+pub use span::{current_context, current_trace, Span, TraceContext};
 
 /// Adds `delta` to the global counter `name` and emits a
 /// [`Event::CounterDelta`] to the installed sink.
@@ -73,7 +75,10 @@ pub fn count(name: &str, delta: u64) {
 }
 
 /// Records an error: bumps `component.errors_total` and the per-kind
-/// counter `component.error.<kind>`, and emits an [`Event::Error`].
+/// counter `component.error.<kind>`, emits an [`Event::Error`], and —
+/// when a flight recorder is installed — attributes the error to the
+/// current thread's in-flight trace so the stored [`TraceRecord`] carries
+/// it.
 pub fn error(component: &str, kind: &str, message: &str) {
     registry::global()
         .counter(&format!("{component}.errors_total"))
@@ -81,6 +86,7 @@ pub fn error(component: &str, kind: &str, message: &str) {
     registry::global()
         .counter(&format!("{component}.error.{kind}"))
         .inc();
+    recorder::note_error_current(component, kind, message);
     if sink::sink_active() {
         sink::emit(&Event::Error {
             component: component.to_string(),
@@ -100,12 +106,20 @@ pub fn transport_error(component: &str, message: &str) {
 }
 
 /// Emits a structured log line (e.g. an HTTP access log) to the sink.
-pub fn log(component: &str, message: &str, fields: Vec<(String, String)>) {
+///
+/// `fields` is a *closure* producing the key/value pairs, evaluated only
+/// when a sink is installed — so hot paths don't pay for formatting field
+/// values (status codes, latencies, paths) that nobody will see. Call
+/// sites that already hold a `Vec` can pass `move || fields`.
+pub fn log<F>(component: &str, message: &str, fields: F)
+where
+    F: FnOnce() -> Vec<(String, String)>,
+{
     if sink::sink_active() {
         sink::emit(&Event::Log {
             component: component.to_string(),
             message: message.to_string(),
-            fields,
+            fields: fields(),
         });
     }
 }
@@ -143,6 +157,33 @@ mod tests {
         );
         assert_eq!(registry::global().counter("libtest.error.parse").get(), 1);
         assert_eq!(registry::global().counter("libtest.error.execute").get(), 1);
+    }
+
+    #[test]
+    fn log_fields_are_not_built_without_a_sink() {
+        disable_sink();
+        let mut built = false;
+        log("libtest", "access", || {
+            built = true;
+            vec![("path".to_string(), "/metrics".to_string())]
+        });
+        assert!(
+            !built,
+            "field closure must not run when no sink is installed"
+        );
+
+        let sink = Arc::new(MemorySink::new());
+        set_sink(sink.clone());
+        log("libtest", "access", || {
+            built = true;
+            vec![("path".to_string(), "/metrics".to_string())]
+        });
+        disable_sink();
+        assert!(built, "field closure runs once a sink is listening");
+        assert!(sink
+            .lines()
+            .iter()
+            .any(|l| l.contains("\"path\":\"/metrics\"")));
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct Histogram {
     min: AtomicU64,
     max: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    /// Exemplar: the largest traced sample seen, and the trace that
+    /// produced it (0 = no exemplar). Lets `/metrics` tail-latency lines
+    /// link to a concrete flight-recorder trace.
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -85,6 +90,8 @@ impl Default for Histogram {
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 }
@@ -119,6 +126,56 @@ impl Histogram {
     /// Records a wall-clock duration in whole microseconds.
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one sample and offers it as the histogram's exemplar: the
+    /// largest traced sample wins, so the p99 line of the exposition can
+    /// point at a representative (worst observed) trace id. The two-step
+    /// value/trace update is racy under contention, which only risks a
+    /// near-maximal sample citing a slightly different trace — fine for a
+    /// debugging affordance.
+    pub fn record_traced(&self, v: u64, trace: u64) {
+        self.record(v);
+        if trace != 0 && v >= self.exemplar_value.load(Ordering::Relaxed) {
+            self.exemplar_value.store(v, Ordering::Relaxed);
+            self.exemplar_trace.store(trace, Ordering::Relaxed);
+        }
+    }
+
+    /// [`Histogram::record_traced`] for a wall-clock duration.
+    pub fn record_duration_traced(&self, d: std::time::Duration, trace: u64) {
+        self.record_traced(d.as_micros().min(u64::MAX as u128) as u64, trace);
+    }
+
+    /// The current exemplar as `(value, trace_id)`, if any traced sample
+    /// has been recorded.
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        let trace = self.exemplar_trace.load(Ordering::Relaxed);
+        if trace == 0 {
+            return None;
+        }
+        Some((self.exemplar_value.load(Ordering::Relaxed), trace))
+    }
+
+    /// Estimates an arbitrary quantile `q` in `[0, 1]` from the live
+    /// bucket counts.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return 0.0;
+        }
+        percentile(
+            &counts,
+            count,
+            q,
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of recorded samples.
@@ -156,6 +213,7 @@ impl Histogram {
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -201,6 +259,9 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// 99th-percentile estimate.
     pub p99: f64,
+    /// `(value, trace_id)` of the largest traced sample, if any — the
+    /// exposition renders it so a p99 line links to a concrete trace.
+    pub exemplar: Option<(u64, u64)>,
 }
 
 impl HistogramSummary {
@@ -392,6 +453,33 @@ mod tests {
         assert_eq!(h.count(), 20_000);
         let s = h.summary();
         assert_eq!(s.count, 20_000);
+    }
+
+    #[test]
+    fn traced_records_keep_the_worst_sample_as_exemplar() {
+        let h = Histogram::default();
+        assert_eq!(h.exemplar(), None);
+        h.record(500); // untraced samples never become exemplars
+        assert_eq!(h.exemplar(), None);
+        h.record_traced(100, 7);
+        h.record_traced(900, 8);
+        h.record_traced(300, 9); // smaller — ignored
+        assert_eq!(h.exemplar(), Some((900, 8)));
+        assert_eq!(h.summary().exemplar, Some((900, 8)));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantile_interpolates_like_the_summary_percentiles() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.50), h.summary().p50);
+        assert_eq!(h.quantile(0.99), h.summary().p99);
+        let p90 = h.quantile(0.90);
+        assert!((512.0..=1024.0).contains(&p90), "p90 {p90}");
+        assert_eq!(Histogram::default().quantile(0.9), 0.0);
     }
 
     #[test]

@@ -13,8 +13,12 @@ use crate::registry::MetricsRegistry;
 /// # gauges
 /// server.concurrent_peak 2
 /// # histograms (microseconds)
-/// llm.request_latency_us count 4 sum 1234 min 80 max 900 p50 150 p95 880 p99 896
+/// llm.request_latency_us count 4 sum 1234 min 80 max 900 p50 150 p95 880 p99 896 exemplar 900@trace=17
 /// ```
+///
+/// The trailing `exemplar <value>@trace=<id>` appears when the histogram
+/// has traced samples: it names the flight-recorder trace behind the
+/// worst observed value, so a bad p99 links straight to `GET /trace/<id>`.
 pub fn render_exposition(registry: &MetricsRegistry) -> String {
     let mut out = String::new();
     let counters = registry.counters();
@@ -36,9 +40,13 @@ pub fn render_exposition(registry: &MetricsRegistry) -> String {
         out.push_str("# histograms (microseconds)\n");
         for (name, s) in histograms {
             out.push_str(&format!(
-                "{name} count {} sum {} min {} max {} p50 {:.0} p95 {:.0} p99 {:.0}\n",
+                "{name} count {} sum {} min {} max {} p50 {:.0} p95 {:.0} p99 {:.0}",
                 s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99
             ));
+            if let Some((value, trace)) = s.exemplar {
+                out.push_str(&format!(" exemplar {value}@trace={trace}"));
+            }
+            out.push('\n');
         }
     }
     if out.is_empty() {
@@ -179,6 +187,17 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("p95"), "{text}");
+    }
+
+    #[test]
+    fn exposition_appends_exemplar_when_present() {
+        let r = populated();
+        // Untraced histograms carry no exemplar suffix.
+        assert!(!render_exposition(&r).contains("exemplar"));
+        r.histogram("llm.request_latency_us")
+            .record_traced(2_000, 42);
+        let text = render_exposition(&r);
+        assert!(text.contains("exemplar 2000@trace=42"), "{text}");
     }
 
     #[test]

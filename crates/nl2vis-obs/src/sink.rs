@@ -67,7 +67,7 @@ pub enum Event {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -1,4 +1,4 @@
-//! Lightweight RAII spans.
+//! Lightweight RAII spans with cross-boundary trace propagation.
 //!
 //! A [`Span`] measures the wall-clock time between its creation and drop,
 //! records the duration into the global histogram `<name>.duration_us`, and
@@ -6,7 +6,17 @@
 //! opened while another span is live on the same thread nest under it, and
 //! every top-level span starts a new *trace* — so one pipeline request
 //! produces one trace whose child spans are its stages.
+//!
+//! Traces do not stop at a thread or process boundary: [`Span::context`] /
+//! [`current_context`] export a [`TraceContext`], and
+//! [`Span::enter_with`] imports one, opening a span that *continues* the
+//! exporting trace. That is how an HTTP client hands its trace id to the
+//! server (via `X-Nl2vis-Trace-Id` / `X-Nl2vis-Parent-Span` headers) and
+//! how an eval driver hands its trace to worker threads. Every open/close
+//! is also mirrored into the [flight recorder](crate::recorder) when one is
+//! installed, so completed traces can be fetched back by id.
 
+use crate::recorder;
 use crate::registry;
 use crate::sink::{emit, Event};
 use std::cell::RefCell;
@@ -29,6 +39,62 @@ pub fn current_trace() -> Option<u64> {
     STACK.with(|s| s.borrow().last().map(|&(_, trace)| trace))
 }
 
+/// The exportable position of the innermost live span on this thread: its
+/// trace and its span id as the parent for whatever continues the trace
+/// elsewhere (another thread, or the far side of an HTTP hop).
+pub fn current_context() -> Option<TraceContext> {
+    STACK.with(|s| {
+        s.borrow().last().map(|&(span, trace)| TraceContext {
+            trace_id: trace,
+            parent_span_id: Some(span),
+        })
+    })
+}
+
+/// A portable handle to a position inside a trace.
+///
+/// Obtained from [`Span::context`] or [`current_context`], carried across
+/// any boundary (a spawned thread, an HTTP header pair), and turned back
+/// into a live span with [`Span::enter_with`]. The wire form is two
+/// decimal integers — see [`TraceContext::trace_header`] /
+/// [`TraceContext::parent_header`] and [`TraceContext::from_headers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace being continued.
+    pub trace_id: u64,
+    /// The span the continuation nests under (None continues the trace as
+    /// a sibling root — e.g. a late phase of the same request).
+    pub parent_span_id: Option<u64>,
+}
+
+impl TraceContext {
+    /// The value of the `X-Nl2vis-Trace-Id` header.
+    pub fn trace_header(&self) -> String {
+        self.trace_id.to_string()
+    }
+
+    /// The value of the `X-Nl2vis-Parent-Span` header (empty when no
+    /// parent span is exported).
+    pub fn parent_header(&self) -> String {
+        match self.parent_span_id {
+            Some(id) => id.to_string(),
+            None => String::new(),
+        }
+    }
+
+    /// Rebuilds a context from header values. Returns `None` when the
+    /// trace id is absent or malformed (a malformed *parent* degrades to
+    /// no-parent rather than discarding the trace).
+    pub fn from_headers(trace: Option<&str>, parent: Option<&str>) -> Option<TraceContext> {
+        let trace_id = trace?.trim().parse().ok()?;
+        let parent_span_id = parent.and_then(|p| p.trim().parse().ok());
+        Some(TraceContext {
+            trace_id,
+            parent_span_id,
+        })
+    }
+}
+
 /// An open span; closes (and records its duration) on drop.
 #[derive(Debug)]
 pub struct Span {
@@ -42,8 +108,6 @@ impl Span {
     /// Opens a span named `name`, nesting under the innermost live span on
     /// this thread (or starting a new trace at top level).
     pub fn enter(name: impl Into<String>) -> Span {
-        let name = name.into();
-        let id = next_id();
         let (trace, parent) = STACK.with(|s| {
             let stack = s.borrow();
             match stack.last() {
@@ -51,12 +115,35 @@ impl Span {
                 None => (next_id(), None),
             }
         });
+        Span::open(name.into(), trace, parent)
+    }
+
+    /// Opens a span that *continues* an imported [`TraceContext`] instead
+    /// of starting a fresh trace: same trace id, parented to the exported
+    /// span. This is the receive side of cross-thread and cross-process
+    /// propagation. Any span already live on this thread is ignored — the
+    /// imported context wins.
+    pub fn enter_with(name: impl Into<String>, ctx: TraceContext) -> Span {
+        Span::open(name.into(), ctx.trace_id, ctx.parent_span_id)
+    }
+
+    /// Opens a span that starts a *new* trace even when other spans are
+    /// live on this thread. For per-request roots inside a larger scope —
+    /// each eval example is its own trace, whether it runs on a worker
+    /// thread or inline on the driver thread next to the run-level span.
+    pub fn enter_root(name: impl Into<String>) -> Span {
+        Span::open(name.into(), next_id(), None)
+    }
+
+    fn open(name: String, trace: u64, parent: Option<u64>) -> Span {
+        let id = next_id();
         emit(&Event::SpanOpen {
             trace,
             span: id,
             parent,
             name: name.clone(),
         });
+        recorder::on_span_open(trace, id, parent, &name);
         STACK.with(|s| s.borrow_mut().push((id, trace)));
         Span {
             name,
@@ -76,6 +163,14 @@ impl Span {
         self.trace
     }
 
+    /// The exportable context for continuing this trace under this span.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace,
+            parent_span_id: Some(self.id),
+        }
+    }
+
     /// The span's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -84,6 +179,12 @@ impl Span {
     /// Elapsed time since the span opened.
     pub fn elapsed(&self) -> std::time::Duration {
         self.start.elapsed()
+    }
+
+    /// Attaches a key/value annotation to this span in the flight recorder
+    /// (no-op when no recorder is installed).
+    pub fn annotate(&self, key: &str, value: &str) {
+        recorder::annotate_span(self.trace, self.id, key, value);
     }
 }
 
@@ -99,13 +200,15 @@ impl Drop for Span {
         });
         registry::global()
             .histogram(&format!("{}.duration_us", self.name))
-            .record_duration(duration);
+            .record_duration_traced(duration, self.trace);
+        let duration_us = duration.as_micros().min(u64::MAX as u128) as u64;
         emit(&Event::SpanClose {
             trace: self.trace,
             span: self.id,
             name: self.name.clone(),
-            duration_us: duration.as_micros().min(u64::MAX as u128) as u64,
+            duration_us,
         });
+        recorder::on_span_close(self.trace, self.id, duration_us);
     }
 }
 
@@ -166,5 +269,72 @@ mod tests {
         assert_eq!(current_trace(), Some(b.trace()));
         drop(b);
         assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn context_roundtrips_through_header_strings() {
+        let span = Span::enter("test.exporter");
+        let ctx = span.context();
+        assert_eq!(ctx.trace_id, span.trace());
+        assert_eq!(ctx.parent_span_id, Some(span.id()));
+        let parsed = TraceContext::from_headers(
+            Some(ctx.trace_header().as_str()),
+            Some(ctx.parent_header().as_str()),
+        )
+        .expect("header roundtrip");
+        assert_eq!(parsed, ctx);
+        // Malformed parent degrades, malformed trace rejects.
+        let degraded = TraceContext::from_headers(Some("17"), Some("banana")).unwrap();
+        assert_eq!(degraded.trace_id, 17);
+        assert_eq!(degraded.parent_span_id, None);
+        assert_eq!(TraceContext::from_headers(Some("soup"), None), None);
+        assert_eq!(TraceContext::from_headers(None, Some("1")), None);
+    }
+
+    #[test]
+    fn enter_with_continues_the_imported_trace() {
+        let root = Span::enter("test.handoff_root");
+        let ctx = root.context();
+        let trace = root.trace();
+        let child_ids = std::thread::spawn(move || {
+            // The worker thread has no live spans of its own; enter_with
+            // grafts onto the imported trace anyway.
+            assert_eq!(current_trace(), None);
+            let continued = Span::enter_with("test.handoff_worker", ctx);
+            let nested = Span::enter("test.handoff_nested");
+            (continued.trace(), nested.trace())
+        })
+        .join()
+        .expect("worker thread");
+        assert_eq!(child_ids.0, trace, "imported span continues the trace");
+        assert_eq!(child_ids.1, trace, "thread-local nesting continues it too");
+        drop(root);
+    }
+
+    #[test]
+    fn enter_root_starts_a_fresh_trace_under_a_live_span() {
+        let outer = Span::enter("test.run");
+        let root = Span::enter_root("test.example");
+        assert_ne!(root.trace(), outer.trace());
+        let nested = Span::enter("test.example_stage");
+        assert_eq!(nested.trace(), root.trace());
+        drop(nested);
+        drop(root);
+        // The outer trace is restored once the fresh root closes.
+        assert_eq!(current_trace(), Some(outer.trace()));
+    }
+
+    #[test]
+    fn enter_with_overrides_a_live_local_span() {
+        let foreign = Span::enter("test.foreign_root");
+        let imported = TraceContext {
+            trace_id: 999_999_001,
+            parent_span_id: Some(999_999_002),
+        };
+        let span = Span::enter_with("test.imported", imported);
+        assert_eq!(span.trace(), 999_999_001);
+        assert_ne!(span.trace(), foreign.trace());
+        drop(span);
+        drop(foreign);
     }
 }

@@ -5,7 +5,8 @@
 #
 # Steps that need a missing toolchain component (rustfmt, clippy) are
 # skipped with a notice instead of failing, so the script is useful both
-# in full dev environments and in minimal/offline containers.
+# in full dev environments and in minimal/offline containers. Each step
+# reports its wall-clock so a slow step is visible at a glance.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -15,10 +16,14 @@ run() {
     local name="$1"
     shift
     echo "==> ${name}"
+    local started elapsed
+    started=$(date +%s)
     if "$@"; then
-        echo "==> ${name}: ok"
+        elapsed=$(( $(date +%s) - started ))
+        echo "==> ${name}: ok (${elapsed}s)"
     else
-        echo "==> ${name}: FAILED"
+        elapsed=$(( $(date +%s) - started ))
+        echo "==> ${name}: FAILED (${elapsed}s)"
         failures=$((failures + 1))
     fi
     echo
@@ -39,6 +44,11 @@ run "fault injection (eval)" cargo test -q -p nl2vis-eval --test transport
 # errors never cached), run explicitly for the same loud-failure reason.
 run "keep-alive (llm)" cargo test -q -p nl2vis-llm --test keepalive
 run "serving cache (cache)" cargo test -q -p nl2vis-cache --test serving
+
+# End-to-end tracing: cross-process trace propagation, the flight
+# recorder's retention contract, and the instrumentation-changes-nothing
+# guarantee.
+run "tracing (root)" cargo test -q -p nl2vis --test tracing
 
 # Formatting — skip gracefully if rustfmt isn't installed.
 if cargo fmt --version >/dev/null 2>&1; then

@@ -59,6 +59,7 @@
 
 pub use nl2vis_baselines as baselines;
 pub use nl2vis_bench as bench;
+pub use nl2vis_cache as cache;
 pub use nl2vis_corpus as corpus;
 pub use nl2vis_data as data;
 pub use nl2vis_eval as eval;

@@ -141,7 +141,9 @@ impl Pipeline {
     /// Every run is one trace: a `pipeline.run` root span with child spans
     /// for the five stages (`prompt_build`, `completion`, `extract`,
     /// `parse`, `execute`), plus per-error-kind counters
-    /// (`pipeline.error.{no_query,parse,execute}`).
+    /// (`pipeline.error.{no_query,parse,execute}`). The root span is
+    /// annotated with the model name and, on success, `outcome=ok`; error
+    /// paths attach their error note to the trace in the flight recorder.
     pub fn run_with_demos<'a, F>(
         &self,
         db: &Database,
@@ -152,7 +154,8 @@ impl Pipeline {
     where
         F: Fn(&'a Example) -> &'a Database,
     {
-        let _trace = obs::span!("pipeline.run");
+        let trace = obs::span!("pipeline.run");
+        trace.annotate("model", self.client.name());
         obs::count("pipeline.runs_total", 1);
         let prompt = {
             let _s = obs::span!("pipeline.prompt_build");
@@ -192,6 +195,7 @@ impl Pipeline {
             PipelineError::Query(e)
         })?;
         obs::count("pipeline.success_total", 1);
+        trace.annotate("outcome", "ok");
         Ok(Visualization {
             vql,
             data,
