@@ -19,6 +19,10 @@
 //! warm run must match the cold run's scores while serving from memory.
 //! `--cache=<capacity>` sets the cache entry budget (default 4096). The
 //! cold/warm comparison is also written to `BENCH_serving.json`.
+//! `--overload=<threads>` adds an admission-control phase: a burst of that
+//! many retrying clients against a tiny bounded server (2 workers, 2-deep
+//! queue), reporting the shed rate, recovery, in-flight peak, and p50/p99
+//! latency — appended to `BENCH_serving.json` as `overload_*` fields.
 //!
 //! The `traces` experiment installs the flight recorder, runs a small eval
 //! through the full client stack against a fault-injecting server, then
@@ -53,14 +57,17 @@ const ALL: &[&str] = &[
     "traces",
 ];
 
-/// Serializes the serving-path comparison for `BENCH_serving.json`.
+/// Serializes the serving-path comparison (and, when the run included the
+/// `--overload=` phase, its admission-control summary) for
+/// `BENCH_serving.json`.
 fn serving_json(
     s: &experiments::ServingSummary,
+    overload: Option<&experiments::OverloadSummary>,
     cache_capacity: usize,
     fast: bool,
 ) -> nl2vis_data::Json {
     use nl2vis_data::Json;
-    Json::object(vec![
+    let mut fields = vec![
         ("experiment", Json::String("serving".to_string())),
         (
             "profile",
@@ -80,7 +87,26 @@ fn serving_json(
         ("warm_exact", Json::Number(s.warm.0)),
         ("warm_exec", Json::Number(s.warm.1)),
         ("scores_identical", Json::Bool(s.identical)),
-    ])
+    ];
+    if let Some(o) = overload {
+        fields.extend([
+            ("overload_threads", Json::Number(o.threads as f64)),
+            ("overload_requests", Json::Number(o.requests as f64)),
+            ("overload_shed_total", Json::Number(o.shed_total as f64)),
+            ("overload_shed_rate", Json::Number(o.shed_rate)),
+            ("overload_served", Json::Number(o.served as f64)),
+            ("overload_recovered", Json::Number(o.recovered as f64)),
+            (
+                "overload_concurrent_peak",
+                Json::Number(o.concurrent_peak as f64),
+            ),
+            ("overload_pool_size", Json::Number(o.pool_size as f64)),
+            ("overload_queue_depth", Json::Number(o.queue_depth as f64)),
+            ("overload_p50_ms", Json::Number(o.p50_ms)),
+            ("overload_p99_ms", Json::Number(o.p99_ms)),
+        ]);
+    }
+    Json::object(fields)
 }
 
 /// Fault spec used by the `transport` experiment when `--fault=` is absent:
@@ -130,6 +156,16 @@ fn main() {
             Ok(n) if n >= 1 => n,
             _ => {
                 eprintln!("invalid --cache value `{v}`: expected an integer >= 1");
+                std::process::exit(2);
+            }
+        },
+    };
+    let overload: Option<usize> = match args.iter().find_map(|a| a.strip_prefix("--overload=")) {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("invalid --overload value `{v}`: expected an integer >= 1");
                 std::process::exit(2);
             }
         },
@@ -192,10 +228,17 @@ fn main() {
             "transport" => experiments::transport(&ctx, &fault_spec, retries).1,
             "traces" => experiments::traces(&ctx).1,
             "serving" => {
-                let (summary, text) = experiments::serving(&ctx, cache_capacity);
+                let (summary, mut text) = experiments::serving(&ctx, cache_capacity);
+                let overload_summary = overload.map(|threads| {
+                    let (o, overload_text) = experiments::serving_overload(&ctx, threads);
+                    text.push('\n');
+                    text.push_str(&overload_text);
+                    o
+                });
                 if let Err(e) = std::fs::write(
                     "BENCH_serving.json",
-                    serving_json(&summary, cache_capacity, fast).to_pretty(),
+                    serving_json(&summary, overload_summary.as_ref(), cache_capacity, fast)
+                        .to_pretty(),
                 ) {
                     eprintln!("cannot write BENCH_serving.json: {e}");
                 }

@@ -1090,6 +1090,163 @@ pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummar
     (summary, text)
 }
 
+/// Summary of the serving-path overload phase (see [`serving_overload`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSummary {
+    /// Concurrent client threads in the burst.
+    pub threads: usize,
+    /// Logical requests issued (threads × requests-per-thread).
+    pub requests: usize,
+    /// Connections rejected by admission control (`server.shed_total`).
+    pub shed_total: u64,
+    /// Sheds as a fraction of all connection attempts (sheds + served).
+    pub shed_rate: f64,
+    /// Completion requests the workers actually served.
+    pub served: u64,
+    /// Logical requests that ended in a completion (retries included).
+    pub recovered: usize,
+    /// High-water mark of concurrently served connections.
+    pub concurrent_peak: i64,
+    /// Worker-pool size the server ran with.
+    pub pool_size: usize,
+    /// Accept-queue depth the server ran with.
+    pub queue_depth: usize,
+    /// Median client-observed request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// **Admission control under overload**: a burst of concurrent retrying
+/// clients against a deliberately tiny server (2 workers, 2-deep accept
+/// queue, 2 ms injected service time). The accept thread sheds the
+/// overflow with `429` + `Retry-After`; the clients honor the advertised
+/// backoff and re-submit. The run must show all three runtime promises at
+/// once: in-flight work stays bounded by the pool, overload is shed
+/// rather than queued without bound, and every logical request still
+/// recovers to a completion.
+pub fn serving_overload(ctx: &ExperimentContext, threads: usize) -> (OverloadSummary, String) {
+    use nl2vis_llm::http::{CompletionServer, HttpLlmClient, ServerConfig};
+    use nl2vis_llm::{FaultInjector, GenOptions, LlmClient, ResilientLlmClient, RetryPolicy};
+    use nl2vis_obs::MetricsRegistry;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const REQUESTS_PER_THREAD: usize = 4;
+
+    let llm = davinci003(ctx);
+    let model = llm.profile.name;
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = ServerConfig {
+        max_inflight: 2,
+        queue_depth: 2,
+        retry_after: Duration::from_millis(2),
+    };
+    let server = CompletionServer::start_with_config(
+        llm,
+        Arc::clone(&registry),
+        FaultInjector::parse("stall=1.0,stall_ms=2,seed=1").expect("static spec"),
+        config,
+    )
+    .expect("server starts");
+    let addr = server.address();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut recovered = 0usize;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    // A generous attempt budget with growing, jittered
+                    // backoff: the point is that *every* request recovers,
+                    // so the budget must outlast the worst-case herd.
+                    let client = ResilientLlmClient::new(
+                        HttpLlmClient::new(addr, model),
+                        RetryPolicy {
+                            max_attempts: 48,
+                            base_backoff: Duration::from_millis(1),
+                            max_backoff: Duration::from_millis(16),
+                            jitter_seed: t as u64,
+                        },
+                    );
+                    (0..REQUESTS_PER_THREAD)
+                        .map(|i| {
+                            let started = Instant::now();
+                            let outcome = client.try_complete_with(
+                                &format!("Q: overload probe {t}-{i}\nVQL:"),
+                                &GenOptions::default(),
+                            );
+                            (started.elapsed().as_secs_f64() * 1e3, outcome.is_ok())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (ms, ok) in h.join().expect("overload client thread") {
+                latencies_ms.push(ms);
+                if ok {
+                    recovered += 1;
+                }
+            }
+        }
+    });
+
+    let shed_total = registry.counter("server.shed_total").get();
+    let served = registry.counter("llm.requests_total").get();
+    let concurrent_peak = registry.gauge("server.concurrent_peak").get();
+    // Graceful drain: by here every client finished, so shutdown must not
+    // find (or drop) anything in flight.
+    drop(server);
+    let leftover = registry.gauge("server.active_connections").get();
+
+    latencies_ms.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (latencies_ms.len() - 1) as f64).round() as usize;
+        latencies_ms[idx]
+    };
+    let attempts = shed_total + served;
+    let summary = OverloadSummary {
+        threads,
+        requests: threads * REQUESTS_PER_THREAD,
+        shed_total,
+        shed_rate: if attempts == 0 {
+            0.0
+        } else {
+            shed_total as f64 / attempts as f64
+        },
+        served,
+        recovered,
+        concurrent_peak,
+        pool_size: config.max_inflight,
+        queue_depth: config.queue_depth,
+        p50_ms: percentile(50.0),
+        p99_ms: percentile(99.0),
+    };
+    let text = format!(
+        "Serving under overload ({threads} clients × {REQUESTS_PER_THREAD} requests, pool {} + queue {}, 2 ms injected service time)\n\
+         connection attempts: {attempts}   shed (429): {}   shed rate: {}\n\
+         served requests: {}   recovered: {}/{}   dropped at shutdown: {leftover}\n\
+         in-flight peak: {} (bounded by pool {})\n\
+         latency p50 / p99: {:.1} ms / {:.1} ms\n",
+        config.max_inflight,
+        config.queue_depth,
+        summary.shed_total,
+        pct(summary.shed_rate),
+        summary.served,
+        summary.recovered,
+        summary.requests,
+        summary.concurrent_peak,
+        config.max_inflight,
+        summary.p50_ms,
+        summary.p99_ms,
+    );
+    (summary, text)
+}
+
 /// Summary of the end-to-end tracing run (see [`traces`]).
 #[derive(Debug, Clone)]
 pub struct TracesSummary {

@@ -1,20 +1,25 @@
-//! The completion cache and the [`LlmClient`] wrapper that serves from it.
+//! The completion cache and the middleware that serves from it.
 //!
 //! [`CompletionCache`] composes the three mechanisms of this crate —
 //! sharded LRU, single-flight, JSONL persistence — behind one call,
-//! [`CompletionCache::complete_through`]. [`CachedLlmClient`] keys that
-//! call by a canonical hash input of (model, generation options, prompt)
-//! and wraps any inner [`LlmClient`], so it composes with
-//! `ResilientLlmClient`: the cache sits *outside* retry, and a completion
-//! only enters the cache after the whole retry budget concluded in model
-//! text. Transport errors — timeouts, refused connects, 4xx/5xx — are
-//! **never** cached: the next identical request goes upstream again.
+//! [`CompletionCache::complete_through`]. [`CacheLayer`] lifts that call
+//! into the layered completion stack: it wraps any
+//! [`CompletionService`], keying by a canonical hash input of (model,
+//! generation options, prompt). In the canonical stack the cache sits
+//! *outside* retry (`Cache(Retry(leaf))` — the ordering
+//! `nl2vis_service::validate_stack` enforces), so a completion only
+//! enters the cache after the whole retry budget concluded in model text.
+//! Transport errors — timeouts, refused connects, 4xx/5xx — are **never**
+//! cached: the next identical request goes upstream again.
+//! [`CachedLlmClient`] remains as a back-compat shim composing
+//! `Cached(ClientService(inner))` behind the [`LlmClient`] trait.
 
 use crate::lru::ShardedLru;
 use crate::persist::{load, Appender};
 use crate::singleflight::{FlightRole, SingleFlight};
-use nl2vis_llm::{CompletionOutcome, GenOptions, LlmClient};
+use nl2vis_llm::{ClientService, CompletionOutcome, GenOptions, LlmClient};
 use nl2vis_obs as obs;
+use nl2vis_service::{CompletionService, Layer};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -245,14 +250,86 @@ impl CompletionCache {
     }
 }
 
-/// An [`LlmClient`] wrapper that serves completions through a
+/// [`Layer`] serving an inner [`CompletionService`] through a
 /// [`CompletionCache`].
 ///
-/// The cache is shared (`Arc`), so many clients — one per eval worker, or
+/// The cache is shared (`Arc`), so many stacks — one per eval worker, or
 /// the pipeline plus the eval runner — can serve from the same entries.
-pub struct CachedLlmClient<C> {
-    inner: C,
+pub struct CacheLayer {
     cache: Arc<CompletionCache>,
+}
+
+impl CacheLayer {
+    /// A cache layer over a fresh in-memory cache of `capacity` entries.
+    pub fn new(capacity: usize) -> CacheLayer {
+        CacheLayer::with_cache(Arc::new(CompletionCache::in_memory(capacity)))
+    }
+
+    /// A cache layer over a shared cache.
+    pub fn with_cache(cache: Arc<CompletionCache>) -> CacheLayer {
+        CacheLayer { cache }
+    }
+
+    /// The shared cache handle.
+    pub fn cache(&self) -> &Arc<CompletionCache> {
+        &self.cache
+    }
+}
+
+impl<S: CompletionService> Layer<S> for CacheLayer {
+    type Service = Cached<S>;
+
+    fn layer(&self, inner: S) -> Cached<S> {
+        Cached {
+            inner,
+            cache: Arc::clone(&self.cache),
+        }
+    }
+}
+
+/// The cache middleware; see [`CacheLayer`].
+pub struct Cached<S> {
+    inner: S,
+    cache: Arc<CompletionCache>,
+}
+
+impl<S> Cached<S> {
+    /// The shared cache handle.
+    pub fn cache(&self) -> &Arc<CompletionCache> {
+        &self.cache
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: CompletionService> CompletionService for Cached<S> {
+    fn model(&self) -> &str {
+        self.inner.model()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        let key = completion_key(self.inner.model(), opts, prompt);
+        self.cache
+            .complete_through(&key, || self.inner.call(prompt, opts))
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("cache");
+        self.inner.describe(stack);
+    }
+}
+
+/// Back-compat shim: an [`LlmClient`] wrapper that serves completions
+/// through a [`CompletionCache`] — now composed as
+/// `Cached(ClientService(inner))` on the layered stack. Transport
+/// failures fold into a marker string on the infallible surface (the same
+/// contract as `HttpLlmClient::complete`); scoring paths use
+/// [`LlmClient::try_complete_with`].
+pub struct CachedLlmClient<C> {
+    stack: Cached<ClientService<C>>,
 }
 
 impl<C: LlmClient> CachedLlmClient<C> {
@@ -263,46 +340,29 @@ impl<C: LlmClient> CachedLlmClient<C> {
 
     /// Wraps `inner` over a shared cache.
     pub fn with_cache(inner: C, cache: Arc<CompletionCache>) -> CachedLlmClient<C> {
-        CachedLlmClient { inner, cache }
+        CachedLlmClient {
+            stack: CacheLayer::with_cache(cache).layer(ClientService::new(inner)),
+        }
     }
 
     /// The shared cache handle.
     pub fn cache(&self) -> &Arc<CompletionCache> {
-        &self.cache
+        self.stack.cache()
     }
 
     /// The wrapped client.
     pub fn inner(&self) -> &C {
-        &self.inner
+        self.stack.inner().inner()
     }
 }
 
 impl<C: LlmClient> LlmClient for CachedLlmClient<C> {
-    /// Display-only surface: transport failures fold into a marker string
-    /// (the same contract as `HttpLlmClient::complete`); scoring paths use
-    /// [`LlmClient::try_complete_with`].
-    fn complete(&self, prompt: &str) -> String {
-        match self.try_complete_with(prompt, &GenOptions::default()) {
-            Ok(text) => text,
-            Err(e) => format!("[{e}]"),
-        }
-    }
-
     fn name(&self) -> &str {
-        self.inner.name()
-    }
-
-    fn complete_with(&self, prompt: &str, opts: &GenOptions) -> String {
-        match self.try_complete_with(prompt, opts) {
-            Ok(text) => text,
-            Err(e) => format!("[{e}]"),
-        }
+        self.stack.model()
     }
 
     fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
-        let key = completion_key(self.inner.name(), opts, prompt);
-        self.cache
-            .complete_through(&key, || self.inner.try_complete_with(prompt, opts))
+        self.stack.call(prompt, opts)
     }
 }
 
@@ -354,11 +414,7 @@ mod tests {
     }
 
     fn transport_err() -> TransportError {
-        TransportError {
-            kind: TransportErrorKind::Timeout,
-            attempts: 3,
-            message: "read deadline".to_string(),
-        }
+        TransportError::new(TransportErrorKind::Timeout, 3, "read deadline")
     }
 
     #[test]

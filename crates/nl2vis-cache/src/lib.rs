@@ -11,13 +11,15 @@
 //! - [`SingleFlight`] — concurrent identical requests collapse into one
 //!   upstream call; waiters share the leader's outcome (errors included,
 //!   but errors are never memoized).
-//! - [`CompletionCache`] / [`CachedLlmClient`] — the serving-path glue:
-//!   an [`nl2vis_llm::LlmClient`] wrapper that checks the cache, dedups
-//!   in-flight misses, stores only *successful* completions, and
-//!   optionally persists them as JSONL for warm cross-run starts.
+//! - [`CompletionCache`] / [`CacheLayer`] — the serving-path glue: a
+//!   `nl2vis_service::Layer` that checks the cache, dedups in-flight
+//!   misses, stores only *successful* completions, and optionally
+//!   persists them as JSONL for warm cross-run starts.
+//!   [`CachedLlmClient`] keeps the pre-refactor [`nl2vis_llm::LlmClient`]
+//!   wrapper surface as a shim over the layer.
 //!
-//! Layering matters: the cache wraps *outside* retry
-//! (`CachedLlmClient<ResilientLlmClient<HttpLlmClient>>`), so a cached
+//! Layering matters: the cache wraps *outside* retry (`Cache(Retry(leaf))`
+//! — the contract `nl2vis_service::validate_stack` enforces), so a cached
 //! entry is always a completion that survived the full
 //! retry-and-attribution path — transport errors, timeouts, and HTTP
 //! error statuses never enter the cache.
@@ -27,7 +29,9 @@ pub mod lru;
 pub mod persist;
 pub mod singleflight;
 
-pub use client::{completion_key, CacheConfig, CacheStats, CachedLlmClient, CompletionCache};
+pub use client::{
+    completion_key, CacheConfig, CacheLayer, CacheStats, Cached, CachedLlmClient, CompletionCache,
+};
 pub use lru::{fnv1a, ShardedLru};
 pub use persist::{decode_entry, encode_entry, Appender};
 pub use singleflight::{FlightRole, SingleFlight};

@@ -926,16 +926,20 @@ mod tests {
             inner: SimLlm,
         }
         impl nl2vis_llm::LlmClient for PanickyLlm {
-            fn complete(&self, prompt: &str) -> String {
+            fn name(&self) -> &str {
+                "panicky"
+            }
+            fn try_complete_with(
+                &self,
+                prompt: &str,
+                opts: &nl2vis_llm::GenOptions,
+            ) -> nl2vis_llm::CompletionOutcome {
                 // Deterministic subset: panic whenever the prompt length is
                 // divisible by 3 (roughly a third of the examples).
                 if prompt.len() % 3 == 0 {
                     panic!("simulated scoring crash");
                 }
-                self.inner.complete(prompt)
-            }
-            fn name(&self) -> &str {
-                "panicky"
+                self.inner.try_complete_with(prompt, opts)
             }
         }
         let c = fixture();

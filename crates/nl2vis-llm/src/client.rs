@@ -7,135 +7,173 @@
 //! a refused connection, a stalled socket, a 5xx from the serving layer.
 //! Those failures must never be scored as model output (the paper's
 //! Execution Accuracy and failure taxonomy both assume every scored
-//! completion is something the model actually said), so the trait carries a
-//! *typed* completion path, [`LlmClient::try_complete_with`], whose error
-//! arm is a [`TransportError`]. Scoring code (the eval runner, the
-//! pipeline) uses the typed path; the infallible `complete` surface remains
-//! for display-only callers and for backends that cannot fail.
+//! completion is something the model actually said), so the trait's one
+//! required completion method is the *typed* path,
+//! [`LlmClient::try_complete_with`], whose error arm is a
+//! [`TransportError`]. The infallible `complete` / `complete_with` surface
+//! is a pair of final wrappers over it for display-only callers: they fold
+//! a transport failure into a `[transport error ...]` marker string that
+//! cannot parse as VQL. Scoring code (the eval runner, the pipeline) uses
+//! the typed path.
+//!
+//! The transport vocabulary ([`TransportError`], [`TransportErrorKind`],
+//! [`CompletionOutcome`]) is defined in `nl2vis-service` — the bottom of
+//! the layered completion stack — and re-exported here unchanged, so
+//! pre-refactor imports keep compiling. [`ClientService`] and
+//! [`ServiceClient`] adapt between the trait and the layered
+//! [`CompletionService`] world in both directions.
 
 use crate::sim::{GenOptions, SimLlm};
+use nl2vis_service::CompletionService;
 
-/// Why a completion never produced model output.
-///
-/// The distinction that matters downstream is *attribution*: all of these
-/// mean the infrastructure failed, so the request lands in the
-/// `error.transport` bucket instead of the model-failure taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TransportErrorKind {
-    /// A read/write/connect deadline expired.
-    Timeout,
-    /// The connection could not be established.
-    Connect,
-    /// The peer closed the connection before sending a response.
-    ConnectionClosed,
-    /// The server answered with a non-2xx status.
-    Status(u16),
-    /// The response violated the HTTP or JSON protocol.
-    Protocol,
-    /// Any other socket-level failure.
-    Io,
-}
-
-impl std::fmt::Display for TransportErrorKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TransportErrorKind::Timeout => write!(f, "timeout"),
-            TransportErrorKind::Connect => write!(f, "connect"),
-            TransportErrorKind::ConnectionClosed => write!(f, "connection-closed"),
-            TransportErrorKind::Status(code) => write!(f, "status-{code}"),
-            TransportErrorKind::Protocol => write!(f, "protocol"),
-            TransportErrorKind::Io => write!(f, "io"),
-        }
-    }
-}
-
-/// A completion request that failed below the model: no text was generated.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TransportError {
-    /// What went wrong.
-    pub kind: TransportErrorKind,
-    /// How many attempts were made before giving up (1 = no retries).
-    pub attempts: u32,
-    /// Human-readable detail of the last failure.
-    pub message: String,
-}
-
-impl std::fmt::Display for TransportError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "transport error ({}, {} attempt{}): {}",
-            self.kind,
-            self.attempts,
-            if self.attempts == 1 { "" } else { "s" },
-            self.message
-        )
-    }
-}
-
-impl std::error::Error for TransportError {}
-
-/// The typed result of a completion call: model text, or a transport
-/// failure that must be attributed to the infrastructure.
-pub type CompletionOutcome = Result<String, TransportError>;
+pub use nl2vis_service::{CompletionOutcome, TransportError, TransportErrorKind};
 
 /// A text-completion model.
 pub trait LlmClient {
-    /// Completes a prompt.
-    fn complete(&self, prompt: &str) -> String;
-
     /// Model identifier.
     fn name(&self) -> &str;
 
-    /// Completes with generation options. Backends that cannot honor the
-    /// options (e.g. remote HTTP models) fall back to plain completion.
-    fn complete_with(&self, prompt: &str, _opts: &GenOptions) -> String {
-        self.complete(prompt)
-    }
-
-    /// Completes a prompt, surfacing transport failures as a typed error
-    /// instead of folding them into the completion text. Local backends
-    /// cannot fail and use this default; remote backends override it.
+    /// Completes a prompt with generation options, surfacing transport
+    /// failures as a typed error instead of folding them into the
+    /// completion text. This is the one required method; `complete` and
+    /// `complete_with` are wrappers over it.
     ///
     /// Scoring paths (the eval runner, the pipeline) must call this, never
     /// `complete`, so infrastructure failures land in `error.transport`
     /// rather than the model-failure counts.
-    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
-        Ok(self.complete_with(prompt, opts))
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome;
+
+    /// Infallible completion with generation options: a transport failure
+    /// folds into a bracketed marker string that cannot parse as VQL. For
+    /// display-only callers.
+    fn complete_with(&self, prompt: &str, opts: &GenOptions) -> String {
+        match self.try_complete_with(prompt, opts) {
+            Ok(text) => text,
+            Err(e) => format!("[{e}]"),
+        }
+    }
+
+    /// Infallible completion with default options; see
+    /// [`LlmClient::complete_with`].
+    fn complete(&self, prompt: &str) -> String {
+        self.complete_with(prompt, &GenOptions::default())
     }
 }
 
 /// Boxed clients forward to their contents, so wrappers generic over
 /// `C: LlmClient` (retry, caching) compose with `Box<dyn LlmClient>` too.
 impl<T: LlmClient + ?Sized> LlmClient for Box<T> {
-    fn complete(&self, prompt: &str) -> String {
-        (**self).complete(prompt)
-    }
-
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        (**self).try_complete_with(prompt, opts)
     }
 
     fn complete_with(&self, prompt: &str, opts: &GenOptions) -> String {
         (**self).complete_with(prompt, opts)
     }
 
-    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
-        (**self).try_complete_with(prompt, opts)
+    fn complete(&self, prompt: &str) -> String {
+        (**self).complete(prompt)
     }
 }
 
 impl LlmClient for SimLlm {
-    fn complete(&self, prompt: &str) -> String {
-        SimLlm::complete(self, prompt)
-    }
-
     fn name(&self) -> &str {
         self.profile.name
     }
 
+    /// A local simulated model has no transport to fail.
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        Ok(SimLlm::complete_with(self, prompt, opts))
+    }
+
     fn complete_with(&self, prompt: &str, opts: &GenOptions) -> String {
         SimLlm::complete_with(self, prompt, opts)
+    }
+
+    fn complete(&self, prompt: &str) -> String {
+        SimLlm::complete(self, prompt)
+    }
+}
+
+/// The simulated model as a leaf [`CompletionService`] — the local
+/// counterpart of the `HttpLlmClient` leaf.
+impl CompletionService for SimLlm {
+    fn model(&self) -> &str {
+        self.profile.name
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        Ok(SimLlm::complete_with(self, prompt, opts))
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("sim");
+    }
+}
+
+/// Adapts any [`LlmClient`] into a leaf [`CompletionService`], so clients
+/// that predate the layered stack (or test doubles written against the
+/// trait) compose under layers.
+pub struct ClientService<C> {
+    inner: C,
+}
+
+impl<C: LlmClient> ClientService<C> {
+    /// Wraps `inner`.
+    pub fn new(inner: C) -> ClientService<C> {
+        ClientService { inner }
+    }
+
+    /// The wrapped client.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: LlmClient> CompletionService for ClientService<C> {
+    fn model(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        self.inner.try_complete_with(prompt, opts)
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("client");
+    }
+}
+
+/// Adapts a composed [`CompletionService`] stack back into an
+/// [`LlmClient`], so a layered stack drops into every call site that takes
+/// the trait (the pipeline, the eval runner).
+pub struct ServiceClient<S> {
+    inner: S,
+}
+
+impl<S: CompletionService> ServiceClient<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> ServiceClient<S> {
+        ServiceClient { inner }
+    }
+
+    /// The wrapped service stack.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: CompletionService> LlmClient for ServiceClient<S> {
+    fn name(&self) -> &str {
+        self.inner.model()
+    }
+
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        self.inner.call(prompt, opts)
     }
 }
 
@@ -143,6 +181,7 @@ impl LlmClient for SimLlm {
 mod tests {
     use super::*;
     use crate::profile::ModelProfile;
+    use nl2vis_service::{service_fn, stack_of};
 
     #[test]
     fn sim_llm_implements_client() {
@@ -164,20 +203,46 @@ mod tests {
     }
 
     #[test]
-    fn transport_error_display_is_informative() {
-        let e = TransportError {
-            kind: TransportErrorKind::Status(503),
-            attempts: 3,
-            message: "http 503: overloaded".to_string(),
-        };
-        let text = e.to_string();
-        assert!(text.contains("status-503"), "{text}");
-        assert!(text.contains("3 attempts"), "{text}");
-        let single = TransportError {
-            kind: TransportErrorKind::Timeout,
-            attempts: 1,
-            message: "read deadline".to_string(),
-        };
-        assert!(single.to_string().contains("1 attempt)"));
+    fn default_wrappers_fold_transport_failures_into_markers() {
+        struct DeadLlm;
+        impl LlmClient for DeadLlm {
+            fn name(&self) -> &str {
+                "dead"
+            }
+            fn try_complete_with(&self, _: &str, _: &GenOptions) -> CompletionOutcome {
+                Err(TransportError::new(
+                    TransportErrorKind::Connect,
+                    1,
+                    "refused",
+                ))
+            }
+        }
+        let out = DeadLlm.complete("Q: hi\nVQL:");
+        assert!(out.starts_with("[transport error"), "{out}");
+        assert!(out.contains("connect"), "{out}");
+    }
+
+    #[test]
+    fn sim_llm_is_a_leaf_service() {
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 1);
+        let svc: &dyn CompletionService = &llm;
+        assert_eq!(svc.model(), "gpt-4");
+        assert!(svc.call("not a prompt", &GenOptions::default()).is_ok());
+        assert_eq!(stack_of(&llm), vec!["sim"]);
+    }
+
+    #[test]
+    fn adapters_roundtrip_between_trait_and_service() {
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 1);
+        let expected = llm.complete("not a prompt");
+        // Trait → service → trait again, behavior unchanged.
+        let stack = ServiceClient::new(ClientService::new(llm));
+        assert_eq!(stack.name(), "gpt-4");
+        assert_eq!(stack.complete("not a prompt"), expected);
+        assert_eq!(stack_of(stack.inner()), vec!["client"]);
+
+        // A raw service slots into an LlmClient call site.
+        let as_client = ServiceClient::new(service_fn("echo", |p, _| Ok(p.to_string())));
+        assert_eq!(as_client.complete("BAR X"), "BAR X");
     }
 }

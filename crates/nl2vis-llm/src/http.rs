@@ -17,7 +17,7 @@ use nl2vis_obs::MetricsRegistry;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -60,6 +60,14 @@ pub enum HttpError {
     Protocol(String),
     /// Non-2xx status.
     Status(u16, String),
+    /// The server shed the request under admission control (`429`),
+    /// optionally naming the backoff it wants honored before a retry.
+    Overloaded {
+        /// Parsed `Retry-After` header, if the server sent one.
+        retry_after: Option<Duration>,
+        /// Response body.
+        body: String,
+    },
 }
 
 impl std::fmt::Display for HttpError {
@@ -70,6 +78,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Closed => write!(f, "connection closed before a response"),
             HttpError::Protocol(m) => write!(f, "protocol error: {m}"),
             HttpError::Status(code, body) => write!(f, "http {code}: {body}"),
+            HttpError::Overloaded { body, .. } => write!(f, "http 429: {body}"),
         }
     }
 }
@@ -88,44 +97,130 @@ impl From<std::io::Error> for HttpError {
 }
 
 impl HttpError {
-    /// The attribution bucket this failure belongs to.
+    /// The attribution bucket this failure belongs to. Mid-stream
+    /// connection loss (reset, abort, broken pipe, truncation) maps to
+    /// [`TransportErrorKind::ConnectionClosed`] — like a clean pre-response
+    /// EOF, the peer went away, and a retry layer treats both the same.
     pub fn transport_kind(&self) -> TransportErrorKind {
         match self {
             HttpError::Timeout(_) => TransportErrorKind::Timeout,
             HttpError::Closed => TransportErrorKind::ConnectionClosed,
             HttpError::Status(code, _) => TransportErrorKind::Status(*code),
+            HttpError::Overloaded { .. } => TransportErrorKind::Status(429),
             HttpError::Protocol(_) => TransportErrorKind::Protocol,
             HttpError::Io(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
                 TransportErrorKind::Connect
+            }
+            HttpError::Io(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                        | std::io::ErrorKind::UnexpectedEof
+                ) =>
+            {
+                TransportErrorKind::ConnectionClosed
             }
             HttpError::Io(_) => TransportErrorKind::Io,
         }
     }
 
     /// Converts the final failure of `attempts` tries into the typed
-    /// [`TransportError`] scored paths consume, recording it on the
-    /// `llm.error.transport` counter.
-    pub fn into_transport_error(self, attempts: u32) -> TransportError {
-        let error = TransportError {
-            kind: self.transport_kind(),
-            attempts,
-            message: self.to_string(),
+    /// [`TransportError`], carrying any server-requested `Retry-After`
+    /// through so a retry layer can honor it. Does *not* touch counters —
+    /// in the layered stack, error attribution belongs to the metrics
+    /// layer, which counts a request's final outcome exactly once.
+    pub fn transport_error(self, attempts: u32) -> TransportError {
+        let retry_after = match &self {
+            HttpError::Overloaded { retry_after, .. } => *retry_after,
+            _ => None,
         };
+        let mut error = TransportError::new(self.transport_kind(), attempts, self.to_string());
+        error.retry_after = retry_after;
+        error
+    }
+
+    /// Converts the final failure of `attempts` tries into the typed
+    /// [`TransportError`] *and* records it on the `llm.error.transport`
+    /// counter. The legacy conversion for bare [`LlmClient`] call paths
+    /// that run without a metrics layer above them.
+    pub fn into_transport_error(self, attempts: u32) -> TransportError {
+        let error = self.transport_error(attempts);
         obs::transport_error("llm", &error.message);
         error
     }
 }
 
+/// Sizing and load-shed behavior of the bounded server runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads, i.e. the maximum connections served concurrently.
+    pub max_inflight: usize,
+    /// Accepted connections allowed to wait for a worker before the
+    /// accept thread starts shedding with `429`.
+    pub queue_depth: usize,
+    /// The backoff advertised in the `Retry-After` header of a shed
+    /// response. Honored by the client's retry layer over its own
+    /// schedule.
+    pub retry_after: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_inflight: 16,
+            queue_depth: 64,
+            retry_after: Duration::from_millis(50),
+        }
+    }
+}
+
+/// State shared between the accept thread and the worker pool.
+struct ServerShared {
+    /// Accepted connections waiting for a worker.
+    queue: Mutex<std::collections::VecDeque<TcpStream>>,
+    /// Signals workers that the queue has work (or that draining began).
+    ready: Condvar,
+    /// Set at shutdown: workers drain the queue, then exit.
+    draining: AtomicBool,
+    /// Workers currently serving a connection.
+    inflight: std::sync::atomic::AtomicUsize,
+    /// Pool size, for the saturation check.
+    pool_size: usize,
+}
+
+impl ServerShared {
+    /// Should the connection loop give up its kept-alive connection after
+    /// the current response? True when connections are queued with every
+    /// worker busy (an idle parked socket would starve them — freeing this
+    /// thread is the only way a queued connection gets served) and while
+    /// draining (shutdown must not wait out idle deadlines). A non-empty
+    /// queue alone is not pressure: an idle worker will pick it up.
+    fn under_pressure(&self) -> bool {
+        if self.draining.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.inflight.load(Ordering::Relaxed) >= self.pool_size
+            && !self.queue.lock().expect("accept queue").is_empty()
+    }
+}
+
 /// A completion server exposing a [`SimLlm`] on `127.0.0.1`.
 ///
-/// Each connection is served on its own thread (concurrent clients are
-/// never head-of-line blocked behind a slow completion), and every request
-/// is instrumented against a shared [`MetricsRegistry`]:
+/// Connections are served by a bounded worker pool
+/// ([`ServerConfig::max_inflight`] threads) fed from a fixed-depth accept
+/// queue; when the queue is full the accept thread *sheds* the connection
+/// with `429 Too Many Requests` and a `Retry-After` header instead of
+/// letting load grow unboundedly. Shutdown is a graceful drain: queued
+/// connections are all served before the workers exit. Every request is
+/// instrumented against a shared [`MetricsRegistry`]:
 ///
 /// - `llm.requests_total` / `llm.request_latency_us` — completion calls;
 /// - `server.http_requests_total`, `llm.status_<code>` — all traffic;
+/// - `server.shed_total` — connections rejected by admission control;
 /// - `server.active_connections` / `server.concurrent_peak` — in-flight
-///   connection gauge and its high-water mark;
+///   connection gauge and its high-water mark (bounded by the pool size);
 /// - one `llm` access-log event per request on the installed sink.
 ///
 /// Besides the OpenAI-compatible surface, the server exposes
@@ -134,10 +229,12 @@ impl HttpError {
 pub struct CompletionServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
     handle: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
     registry: Arc<MetricsRegistry>,
     faults: Arc<FaultInjector>,
+    config: ServerConfig,
 }
 
 impl CompletionServer {
@@ -164,16 +261,69 @@ impl CompletionServer {
         registry: Arc<MetricsRegistry>,
         faults: FaultInjector,
     ) -> Result<CompletionServer, HttpError> {
+        CompletionServer::start_with_config(llm, registry, faults, ServerConfig::default())
+    }
+
+    /// Starts the server with explicit runtime sizing — the full
+    /// constructor every other `start_*` delegates to.
+    pub fn start_with_config(
+        llm: SimLlm,
+        registry: Arc<MetricsRegistry>,
+        faults: FaultInjector,
+        config: ServerConfig,
+    ) -> Result<CompletionServer, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let conn_list = Arc::clone(&connections);
-        let reg = Arc::clone(&registry);
+        let shared = Arc::new(ServerShared {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            inflight: std::sync::atomic::AtomicUsize::new(0),
+            pool_size: config.max_inflight.max(1),
+        });
         let llm = Arc::new(llm);
         let faults = Arc::new(faults);
-        let fault_plan = Arc::clone(&faults);
+
+        let workers = (0..config.max_inflight.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let llm = Arc::clone(&llm);
+                let reg = Arc::clone(&registry);
+                let faults = Arc::clone(&faults);
+                std::thread::spawn(move || loop {
+                    let stream = {
+                        let mut queue = shared.queue.lock().expect("accept queue");
+                        loop {
+                            if let Some(stream) = queue.pop_front() {
+                                break Some(stream);
+                            }
+                            // Check draining only with an empty queue, so
+                            // every accepted connection is served before
+                            // shutdown completes.
+                            if shared.draining.load(Ordering::Relaxed) {
+                                break None;
+                            }
+                            queue = shared.ready.wait(queue).expect("accept queue");
+                        }
+                    };
+                    let Some(stream) = stream else {
+                        return;
+                    };
+                    shared.inflight.fetch_add(1, Ordering::Relaxed);
+                    let active = reg.gauge("server.active_connections");
+                    let now_active = active.add(1);
+                    reg.gauge("server.concurrent_peak").set_max(now_active);
+                    let _ = handle_connection(stream, &llm, &reg, &faults, &shared);
+                    active.add(-1);
+                    shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let reg = Arc::clone(&registry);
         // The accept loop blocks in `accept` — zero CPU while idle — and is
         // woken on shutdown by `Drop` connecting to the listener itself.
         let handle = std::thread::spawn(move || loop {
@@ -182,19 +332,15 @@ impl CompletionServer {
                     if stop_flag.load(Ordering::Relaxed) {
                         break;
                     }
-                    let llm = Arc::clone(&llm);
-                    let reg = Arc::clone(&reg);
-                    let faults = Arc::clone(&fault_plan);
-                    let worker = std::thread::spawn(move || {
-                        let active = reg.gauge("server.active_connections");
-                        let now_active = active.add(1);
-                        reg.gauge("server.concurrent_peak").set_max(now_active);
-                        let _ = handle_connection(stream, &llm, &reg, &faults);
-                        active.add(-1);
-                    });
-                    let mut conns = conn_list.lock().expect("connection list");
-                    conns.retain(|h| !h.is_finished());
-                    conns.push(worker);
+                    let mut queue = accept_shared.queue.lock().expect("accept queue");
+                    if queue.len() >= config.queue_depth {
+                        drop(queue);
+                        shed(stream, &reg, config.retry_after);
+                    } else {
+                        queue.push_back(stream);
+                        drop(queue);
+                        accept_shared.ready.notify_one();
+                    }
                 }
                 Err(_) => {
                     if stop_flag.load(Ordering::Relaxed) {
@@ -209,10 +355,12 @@ impl CompletionServer {
         Ok(CompletionServer {
             addr,
             stop,
+            shared,
             handle: Some(handle),
-            connections,
+            workers,
             registry,
             faults,
+            config,
         })
     }
 
@@ -231,20 +379,62 @@ impl CompletionServer {
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
     }
+
+    /// The runtime sizing this server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+}
+
+/// Rejects a connection under admission control: `429`, a `Retry-After`
+/// the client's retry layer will honor, close. The whole exchange is
+/// best-effort under a short write deadline — a shed exists to protect the
+/// workers, so it must never block the accept thread on a slow peer.
+fn shed(mut stream: TcpStream, registry: &MetricsRegistry, retry_after: Duration) {
+    registry.counter("server.shed_total").inc();
+    registry.counter("llm.status_429").inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let body = r#"{"error":"server overloaded, retry later"}"#;
+    // Fractional seconds in Retry-After are a protocol extension over RFC
+    // 9110 (which allows only whole seconds): local tests and benchmarks
+    // shed with millisecond backoffs, and rounding them up to 1s would
+    // serialize the whole recovery. Our client parses either form.
+    let _ = write!(
+        stream,
+        "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+        retry_after.as_secs_f64(),
+    );
+    let _ = stream.flush();
+    // Lingering close: a shed never read the request, and closing a socket
+    // with unread received data RSTs the connection — destroying the 429
+    // sitting in the peer's receive buffer. Send our FIN, then drain until
+    // the peer closes (bounded by the read deadline above).
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while let Ok(n) = stream.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
 }
 
 impl Drop for CompletionServer {
     fn drop(&mut self) {
+        // Phase 1: stop accepting. The throwaway connection wakes the
+        // blocking accept loop, which re-checks the stop flag.
         self.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept loop with a throwaway connection; the
-        // loop re-checks the stop flag before serving it.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        let conns = std::mem::take(&mut *self.connections.lock().expect("connection list"));
-        for c in conns {
-            let _ = c.join();
+        // Phase 2: drain. Workers serve everything already accepted (the
+        // draining flag is only honored on an empty queue), then exit.
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -380,6 +570,7 @@ fn respond(
             200 => "OK",
             404 => "Not Found",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             _ => "Bad Request",
         },
@@ -395,6 +586,7 @@ fn handle_connection(
     llm: &SimLlm,
     registry: &MetricsRegistry,
     faults: &FaultInjector,
+    shared: &ServerShared,
 ) -> Result<(), HttpError> {
     // Deadlines on both directions: a stalled or vanished peer frees this
     // thread after SERVER_IO_TIMEOUT instead of parking it forever.
@@ -429,7 +621,10 @@ fn handle_connection(
         if served > 0 {
             registry.counter("server.requests_on_reused_conn").inc();
         }
-        let keep_alive = request.keep_alive;
+        // Honor keep-alive only while the pool has slack: with connections
+        // queued for a worker (or a drain in progress), parking this thread
+        // on an idle socket would starve them.
+        let keep_alive = request.keep_alive && !shared.under_pressure();
 
         let is_completion = request.method == "POST" && request.path == "/v1/completions";
         // Join the caller's trace when it propagated one; otherwise only
@@ -822,6 +1017,7 @@ impl HttpLlmClient {
             .ok_or_else(|| HttpError::Protocol(format!("bad status line: {status_line}")))?;
         let mut content_length = 0usize;
         let mut server_keeps_alive = false;
+        let mut retry_after: Option<Duration> = None;
         loop {
             let mut line = String::new();
             if reader.read_line(&mut line)? == 0 {
@@ -841,6 +1037,16 @@ impl HttpLlmClient {
             if let Some(v) = lower.strip_prefix("connection:") {
                 server_keeps_alive = v.trim() == "keep-alive";
             }
+            if let Some(v) = lower.strip_prefix("retry-after:") {
+                // Seconds, fractional allowed (see `shed`); an unparseable
+                // value degrades to "no advertised backoff", never an error.
+                retry_after = v
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .map(Duration::from_secs_f64);
+            }
         }
         if content_length > MAX_BODY_BYTES {
             return Err(HttpError::Protocol(format!(
@@ -853,6 +1059,9 @@ impl HttpLlmClient {
         let body = String::from_utf8_lossy(&body).to_string();
         if want_keep_alive && server_keeps_alive {
             self.park(stream);
+        }
+        if status == 429 {
+            return Err(HttpError::Overloaded { retry_after, body });
         }
         if status != 200 {
             return Err(HttpError::Status(status, body));
@@ -868,25 +1077,38 @@ impl HttpLlmClient {
 }
 
 impl LlmClient for HttpLlmClient {
-    /// Infallible display-only surface. Transport failures return a marker
-    /// string that cannot parse as VQL *and* are recorded on
-    /// `llm.error.transport` — but scoring paths must use
-    /// [`LlmClient::try_complete_with`], which keeps the failure typed
-    /// instead of folding it into scoreable text.
-    fn complete(&self, prompt: &str) -> String {
-        match self.complete_http(prompt) {
-            Ok(text) => text,
-            Err(e) => format!("[{}]", e.into_transport_error(1)),
-        }
-    }
-
     fn name(&self) -> &str {
         &self.model
     }
 
+    /// Bare-client typed path: no metrics layer sits above this call, so
+    /// the counting conversion attributes the failure to
+    /// `llm.error.transport` here. (The infallible `complete` /
+    /// `complete_with` wrappers fold the result into a marker string that
+    /// cannot parse as VQL — display-only callers; scoring paths must stay
+    /// on this method.)
     fn try_complete_with(&self, prompt: &str, _opts: &crate::sim::GenOptions) -> CompletionOutcome {
         self.complete_http(prompt)
             .map_err(|e| e.into_transport_error(1))
+    }
+}
+
+/// The HTTP client as a leaf [`CompletionService`]. Unlike the bare
+/// [`LlmClient`] impl, the conversion here is *uncounted*: in a layered
+/// stack, per-attempt failures feed the retry layer, and only the
+/// request's final outcome is attributed — by the metrics layer, exactly
+/// once.
+impl nl2vis_service::CompletionService for HttpLlmClient {
+    fn model(&self) -> &str {
+        &self.model
+    }
+
+    fn call(&self, prompt: &str, _opts: &crate::sim::GenOptions) -> CompletionOutcome {
+        self.complete_http(prompt).map_err(|e| e.transport_error(1))
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("http");
     }
 }
 

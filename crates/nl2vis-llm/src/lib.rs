@@ -17,10 +17,14 @@
 //!   error model;
 //! - [`http`] / [`client`]: an OpenAI-compatible HTTP transport (client and
 //!   local server) behind a uniform [`client::LlmClient`] trait, with
-//!   connect/read/write deadlines on both sides;
+//!   connect/read/write deadlines on both sides; the server runs on a
+//!   bounded worker pool with `429` load shedding and graceful drain;
 //! - [`resilient`]: a [`resilient::RetryPolicy`] (bounded attempts, capped
-//!   exponential backoff, deterministic jitter) distinguishing transient
-//!   transport faults from semantic rejections;
+//!   exponential backoff, deterministic jitter, server-directed
+//!   `Retry-After`) distinguishing transient transport faults from
+//!   semantic rejections — now a shim over the `nl2vis-service` layered
+//!   stack, with [`client::ClientService`] / [`client::ServiceClient`]
+//!   adapting between the trait and service worlds;
 //! - [`fault`]: a deterministic [`fault::FaultInjector`] for the server —
 //!   stalls, dropped connections and injected 500s, scripted or seeded —
 //!   so the resilience layer is testable entirely offline.
@@ -42,8 +46,11 @@ pub mod resilient;
 pub mod sim;
 pub mod understand;
 
-pub use client::{CompletionOutcome, LlmClient, TransportError, TransportErrorKind};
+pub use client::{
+    ClientService, CompletionOutcome, LlmClient, ServiceClient, TransportError, TransportErrorKind,
+};
 pub use fault::{Fault, FaultInjector};
+pub use http::ServerConfig;
 pub use profile::ModelProfile;
 pub use resilient::{ResilientLlmClient, RetryPolicy};
 pub use sim::{corrupt_query, extract_vql, GenOptions, SimLlm};

@@ -1,117 +1,45 @@
-//! Retry with bounded, deterministic backoff around the HTTP transport.
+//! Back-compat shim: [`ResilientLlmClient`] as a pre-composed layered
+//! stack.
 //!
-//! Transient infrastructure faults (a refused connect, a dropped
-//! connection, a tripped deadline, a 5xx) deserve another attempt;
-//! semantic rejections (4xx: wrong model, malformed request) do not — the
-//! server will say the same thing again. [`RetryPolicy`] encodes that
-//! split plus a capped exponential backoff whose jitter comes from a
-//! seeded [`Rng`], so a retried eval run replays its exact sleep schedule.
-//! [`ResilientLlmClient`] wraps [`HttpLlmClient`] with the policy and
-//! surfaces the final verdict as the typed [`CompletionOutcome`] —
-//! transport failures stay attributable and never leak into scoreable
-//! completion text.
+//! The retry machinery itself now lives in `nl2vis-service`
+//! ([`RetryPolicy`], `RetryLayer`) and composes with any
+//! [`CompletionService`]; this module keeps the pre-refactor construction
+//! site — "wrap an [`HttpLlmClient`] in a policy" — compiling unchanged by
+//! building the canonical `Trace(Metrics(Retry(http)))` stack internally.
+//! Spans, counters and error attribution are byte-identical to the old
+//! hand-rolled loop: one `llm.request` span per request,
+//! `llm.retries_total` / `llm.retry_success_total` per retry, and exactly
+//! one `llm.error.transport` on a request whose final outcome is a
+//! transport failure.
 
 use crate::client::{CompletionOutcome, LlmClient, TransportError};
-use crate::http::{HttpError, HttpLlmClient};
+use crate::http::HttpLlmClient;
 use crate::sim::GenOptions;
-use nl2vis_data::Rng;
-use nl2vis_obs as obs;
-use std::time::Duration;
+use nl2vis_service::{
+    CompletionService, Layer, Metrics, MetricsLayer, Retry, RetryLayer, Trace, TraceLayer,
+};
 
-/// Bounded retry with capped exponential backoff and deterministic jitter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total attempts, including the first (1 = never retry).
-    pub max_attempts: u32,
-    /// Backoff before the first retry; doubles each retry after that.
-    pub base_backoff: Duration,
-    /// Ceiling on any single backoff (applied before jitter halving).
-    pub max_backoff: Duration,
-    /// Seed for the jitter stream; same seed, same sleep schedule.
-    pub jitter_seed: u64,
-}
+pub use nl2vis_service::RetryPolicy;
 
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 3,
-            base_backoff: Duration::from_millis(10),
-            max_backoff: Duration::from_millis(500),
-            jitter_seed: 0,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy that never retries (one attempt, typed error on failure).
-    pub fn no_retry() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 1,
-            ..Default::default()
-        }
-    }
-
-    /// A policy with `max_attempts` attempts and default backoff shape.
-    pub fn attempts(max_attempts: u32) -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: max_attempts.max(1),
-            ..Default::default()
-        }
-    }
-
-    /// The backoff before retry number `retry` (0-based: the sleep after
-    /// the first failure is `backoff(0)`). Exponential with a cap, jittered
-    /// into `[cap/2, cap]` by the seeded stream — decorrelating concurrent
-    /// clients without sacrificing replayability.
-    pub fn backoff(&self, retry: u32) -> Duration {
-        let exp = self
-            .base_backoff
-            .saturating_mul(1u32 << retry.min(20))
-            .min(self.max_backoff);
-        let half = exp / 2;
-        if half.is_zero() {
-            return exp;
-        }
-        let mut rng = Rng::new(self.jitter_seed ^ u64::from(retry).wrapping_mul(0x9E37_79B9));
-        half + Duration::from_nanos(rng.below(half.as_nanos().min(u128::from(u64::MAX)) as u64))
-    }
-
-    /// Whether a failure is worth retrying: connectivity loss, deadlines
-    /// and 5xx are transient; 4xx and protocol violations are semantic and
-    /// deterministic, so retrying them only burns the attempt budget.
-    pub fn is_transient(error: &HttpError) -> bool {
-        match error {
-            HttpError::Timeout(_) | HttpError::Closed => true,
-            HttpError::Status(code, _) => *code >= 500,
-            HttpError::Protocol(_) => false,
-            HttpError::Io(e) => matches!(
-                e.kind(),
-                std::io::ErrorKind::ConnectionRefused
-                    | std::io::ErrorKind::ConnectionReset
-                    | std::io::ErrorKind::ConnectionAborted
-                    | std::io::ErrorKind::BrokenPipe
-                    | std::io::ErrorKind::UnexpectedEof
-                    | std::io::ErrorKind::TimedOut
-                    | std::io::ErrorKind::WouldBlock
-            ),
-        }
-    }
-}
-
-/// An [`HttpLlmClient`] wrapped in a [`RetryPolicy`].
+/// An [`HttpLlmClient`] wrapped in the canonical resilience stack:
+/// `Trace(Metrics(Retry(http)))`.
 ///
 /// Each retry is visible on the `llm.retries_total` counter; a request
 /// that exhausts its attempts (or fails permanently) lands on
-/// `llm.error.transport` and returns the typed [`TransportError`].
+/// `llm.error.transport` and returns the typed [`TransportError`]. A `429`
+/// shed by the server's admission control is the one retryable 4xx, and a
+/// `Retry-After` it advertises overrides the policy's own backoff.
 pub struct ResilientLlmClient {
-    inner: HttpLlmClient,
+    stack: Trace<Metrics<Retry<HttpLlmClient>>>,
     policy: RetryPolicy,
 }
 
 impl ResilientLlmClient {
     /// Wraps a client in a retry policy.
     pub fn new(inner: HttpLlmClient, policy: RetryPolicy) -> ResilientLlmClient {
-        ResilientLlmClient { inner, policy }
+        let stack = TraceLayer::request()
+            .layer(MetricsLayer::default().layer(RetryLayer::new(policy).layer(inner)));
+        ResilientLlmClient { stack, policy }
     }
 
     /// The wrapped policy.
@@ -125,120 +53,72 @@ impl ResilientLlmClient {
     /// retried request shows up in the flight recorder as one span with
     /// its `llm.attempt` children rather than unrelated fragments.
     pub fn try_complete(&self, prompt: &str) -> Result<String, TransportError> {
-        let span = obs::span!("llm.request");
-        let attempts = self.policy.max_attempts.max(1);
-        let mut last: Option<HttpError> = None;
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                obs::count("llm.retries_total", 1);
-                span.annotate("retry", &attempt.to_string());
-                std::thread::sleep(self.policy.backoff(attempt - 1));
-            }
-            match self.inner.complete_http(prompt) {
-                Ok(text) => {
-                    if attempt > 0 {
-                        obs::count("llm.retry_success_total", 1);
-                        span.annotate("retry_outcome", "recovered");
-                    }
-                    return Ok(text);
-                }
-                Err(e) if RetryPolicy::is_transient(&e) => last = Some(e),
-                Err(e) => return Err(e.into_transport_error(attempt + 1)),
-            }
-        }
-        span.annotate("retry_outcome", "exhausted");
-        let final_error = last.expect("at least one attempt ran");
-        Err(final_error.into_transport_error(attempts))
+        self.stack.call(prompt, &GenOptions::default())
     }
 }
 
 impl LlmClient for ResilientLlmClient {
-    /// Display-only surface; see [`HttpLlmClient::complete`] for the
-    /// marker-string contract. Scoring paths use `try_complete_with`.
-    fn complete(&self, prompt: &str) -> String {
-        match self.try_complete(prompt) {
-            Ok(text) => text,
-            Err(e) => format!("[{e}]"),
-        }
-    }
-
     fn name(&self) -> &str {
-        &self.inner.model
+        self.stack.model()
     }
 
-    fn try_complete_with(&self, prompt: &str, _opts: &GenOptions) -> CompletionOutcome {
-        self.try_complete(prompt)
+    fn try_complete_with(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        self.stack.call(prompt, opts)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::TransportErrorKind;
+    use crate::http::HttpError;
+    use nl2vis_obs as obs;
+    use nl2vis_service::stack_of;
+    use std::time::Duration;
 
     #[test]
-    fn backoff_grows_and_caps() {
-        let policy = RetryPolicy {
-            max_attempts: 8,
-            base_backoff: Duration::from_millis(10),
-            max_backoff: Duration::from_millis(80),
-            jitter_seed: 42,
-        };
-        // Jitter keeps each backoff in [exp/2, exp]; exp doubles then caps.
-        let expected_exp = [10u64, 20, 40, 80, 80, 80];
-        for (retry, exp_ms) in expected_exp.iter().enumerate() {
-            let b = policy.backoff(retry as u32);
-            let exp = Duration::from_millis(*exp_ms);
-            assert!(b >= exp / 2, "retry {retry}: {b:?} < {:?}", exp / 2);
-            assert!(b <= exp, "retry {retry}: {b:?} > {exp:?}");
-        }
-        // Same seed, same schedule; different seed, (almost surely) not.
-        let again = policy;
-        assert_eq!(policy.backoff(2), again.backoff(2));
-        let other = RetryPolicy {
-            jitter_seed: 43,
-            ..policy
-        };
-        assert_ne!(policy.backoff(2), other.backoff(2));
-    }
-
-    #[test]
-    fn giant_retry_index_does_not_overflow() {
-        let policy = RetryPolicy::default();
-        let b = policy.backoff(u32::MAX);
-        assert!(b <= policy.max_backoff);
-    }
-
-    #[test]
-    fn transience_classification() {
+    fn transience_classification_via_transport_kinds() {
+        // The split the old `is_transient(&HttpError)` encoded, now
+        // expressed as HttpError → TransportErrorKind → retryable.
         use std::io::{Error, ErrorKind};
-        assert!(RetryPolicy::is_transient(&HttpError::Timeout(
-            "read".to_string()
-        )));
-        assert!(RetryPolicy::is_transient(&HttpError::Closed));
-        assert!(RetryPolicy::is_transient(&HttpError::Status(
-            500,
-            String::new()
-        )));
-        assert!(RetryPolicy::is_transient(&HttpError::Status(
-            503,
-            String::new()
-        )));
-        assert!(RetryPolicy::is_transient(&HttpError::Io(Error::new(
-            ErrorKind::ConnectionRefused,
-            "refused"
-        ))));
+        let policy = RetryPolicy::default();
+        let transient = [
+            HttpError::Timeout("read".to_string()),
+            HttpError::Closed,
+            HttpError::Status(500, String::new()),
+            HttpError::Status(503, String::new()),
+            HttpError::Io(Error::new(ErrorKind::ConnectionRefused, "refused")),
+            HttpError::Io(Error::new(ErrorKind::ConnectionReset, "reset")),
+            HttpError::Overloaded {
+                retry_after: None,
+                body: String::new(),
+            },
+        ];
+        for e in transient {
+            assert!(policy.retryable(&e.transport_kind()), "{e}");
+        }
         // Semantic failures are deterministic: retrying cannot help.
-        assert!(!RetryPolicy::is_transient(&HttpError::Status(
-            400,
-            String::new()
-        )));
-        assert!(!RetryPolicy::is_transient(&HttpError::Status(
-            404,
-            String::new()
-        )));
-        assert!(!RetryPolicy::is_transient(&HttpError::Protocol(
-            "bad body".to_string()
-        )));
+        let permanent = [
+            HttpError::Status(400, String::new()),
+            HttpError::Status(404, String::new()),
+            HttpError::Protocol("bad body".to_string()),
+        ];
+        for e in permanent {
+            assert!(!policy.retryable(&e.transport_kind()), "{e}");
+        }
+    }
+
+    #[test]
+    fn shim_composes_the_canonical_stack() {
+        let addr = "127.0.0.1:1".parse().unwrap();
+        let client =
+            ResilientLlmClient::new(HttpLlmClient::new(addr, "gpt-4"), RetryPolicy::no_retry());
+        assert_eq!(client.name(), "gpt-4");
+        assert_eq!(
+            stack_of(&client.stack),
+            vec!["trace", "metrics", "retry", "http"]
+        );
+        assert_eq!(client.policy().max_attempts, 1);
     }
 
     #[test]
@@ -261,7 +141,7 @@ mod tests {
         assert!(
             matches!(
                 err.kind,
-                crate::client::TransportErrorKind::Connect | crate::client::TransportErrorKind::Io
+                TransportErrorKind::Connect | TransportErrorKind::Io
             ),
             "{err}"
         );

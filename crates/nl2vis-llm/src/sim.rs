@@ -29,28 +29,10 @@ use nl2vis_query::ast::*;
 use nl2vis_query::printer::{print, print_sketch};
 use std::collections::HashSet;
 
-/// Per-call generation options; the iterative-repair strategies of RQ3 tweak
-/// these.
-#[derive(Debug, Clone)]
-pub struct GenOptions {
-    /// Retry counter: different attempts resample the stochastic stream.
-    pub attempt: u64,
-    /// Multiplier on the total corruption budget (role-play < 1).
-    pub error_scale: f64,
-    /// Multiplier on *structural* corruption (chart/bin/group/order); the
-    /// chain-of-thought sketch pass reduces this.
-    pub structural_scale: f64,
-}
-
-impl Default for GenOptions {
-    fn default() -> GenOptions {
-        GenOptions {
-            attempt: 0,
-            error_scale: 1.0,
-            structural_scale: 1.0,
-        }
-    }
-}
+/// Per-call generation options; defined in `nl2vis-service` (the layered
+/// stack threads them through every middleware) and re-exported here for
+/// the pre-refactor import path.
+pub use nl2vis_service::GenOptions;
 
 /// The simulated LLM.
 #[derive(Debug, Clone)]

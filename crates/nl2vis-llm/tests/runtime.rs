@@ -1,0 +1,238 @@
+//! Bounded server runtime: admission control, load shedding, and graceful
+//! drain.
+//!
+//! The server serves connections from a fixed worker pool fed by a
+//! fixed-depth accept queue. These tests pin the three promises that
+//! sizing makes: in-flight work never exceeds the pool, overload is
+//! rejected *quickly* with `429` + `Retry-After` instead of queueing
+//! without bound, and shutdown serves everything already accepted. All
+//! counts are asserted through the server's own metrics registry.
+
+use nl2vis_llm::fault::{Fault, FaultInjector};
+use nl2vis_llm::http::{CompletionServer, HttpError, HttpLlmClient, ServerConfig};
+use nl2vis_llm::profile::ModelProfile;
+use nl2vis_llm::sim::SimLlm;
+use nl2vis_llm::{GenOptions, LlmClient, ResilientLlmClient, RetryPolicy, TransportErrorKind};
+use nl2vis_obs::MetricsRegistry;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn prompt(i: usize) -> String {
+    format!("-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: question {i}\nVQL:")
+}
+
+fn stall_all(n: usize, pause: Duration) -> FaultInjector {
+    FaultInjector::script(vec![Fault::Stall(pause); n])
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = ServerConfig {
+        max_inflight: 1,
+        queue_depth: 1,
+        retry_after: Duration::from_millis(30),
+    };
+    // Every served request stalls 80ms, so the single worker stays busy
+    // while the burst arrives: one request in service, one queued, the
+    // rest must be shed at the accept thread.
+    let server = CompletionServer::start_with_config(
+        SimLlm::new(ModelProfile::gpt_4(), 9),
+        Arc::clone(&registry),
+        stall_all(8, Duration::from_millis(80)),
+        config,
+    )
+    .unwrap();
+    let addr = server.address();
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                s.spawn(move || {
+                    // One fresh client (own connection) per thread.
+                    let client = HttpLlmClient::new(addr, "gpt-4");
+                    client.complete_http(&prompt(i))
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().unwrap() {
+                Ok(text) => {
+                    assert!(!text.is_empty());
+                    served += 1;
+                }
+                Err(HttpError::Overloaded { retry_after, body }) => {
+                    let advertised = retry_after.expect("a shed carries Retry-After");
+                    let diff = advertised.abs_diff(config.retry_after);
+                    assert!(
+                        diff < Duration::from_millis(5),
+                        "Retry-After must echo the configured backoff: {advertised:?}"
+                    );
+                    assert!(body.contains("overloaded"), "{body}");
+                    shed += 1;
+                }
+                Err(other) => panic!("overload must surface as Overloaded, got {other:?}"),
+            }
+        }
+    });
+
+    assert_eq!(served + shed, 6, "every request gets a definite answer");
+    assert!(
+        served >= 1,
+        "the worker and the queue slot are still served"
+    );
+    assert!(
+        shed >= 1,
+        "a 6-deep burst against pool 1 + queue 1 must shed"
+    );
+    assert_eq!(registry.counter("server.shed_total").get(), shed as u64);
+    assert_eq!(registry.counter("llm.status_429").get(), shed as u64);
+    // Sheds are connection rejections — they never count as served traffic.
+    assert_eq!(registry.counter("llm.requests_total").get(), served as u64);
+}
+
+#[test]
+fn inflight_work_is_bounded_by_the_pool() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = CompletionServer::start_with_config(
+        SimLlm::new(ModelProfile::gpt_4(), 9),
+        Arc::clone(&registry),
+        stall_all(8, Duration::from_millis(20)),
+        ServerConfig {
+            max_inflight: 2,
+            queue_depth: 16,
+            retry_after: Duration::from_millis(50),
+        },
+    )
+    .unwrap();
+    let addr = server.address();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                s.spawn(move || {
+                    let client = HttpLlmClient::new(addr, "gpt-4");
+                    client.complete_http(&prompt(i))
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .unwrap()
+                .expect("a 16-deep queue absorbs 8 requests");
+        }
+    });
+
+    let peak = registry.gauge("server.concurrent_peak").get();
+    assert!(
+        (1..=2).contains(&peak),
+        "8 concurrent stalled requests must never exceed the pool of 2, got {peak}"
+    );
+    assert_eq!(registry.counter("server.shed_total").get(), 0);
+    assert_eq!(registry.counter("llm.requests_total").get(), 8);
+}
+
+#[test]
+fn retry_layer_recovers_from_shedding() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = ServerConfig {
+        max_inflight: 1,
+        queue_depth: 1,
+        retry_after: Duration::from_millis(5),
+    };
+    // Short service times: the overload is transient by construction, so a
+    // client that honors the advertised 5ms backoff converges quickly.
+    let server = CompletionServer::start_with_config(
+        SimLlm::new(ModelProfile::gpt_4(), 9),
+        Arc::clone(&registry),
+        stall_all(64, Duration::from_millis(2)),
+        config,
+    )
+    .unwrap();
+    let addr = server.address();
+
+    // 429 is a retryable status for the policy.
+    assert!(RetryPolicy::default().retryable(&TransportErrorKind::Status(429)));
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                s.spawn(move || {
+                    let client = ResilientLlmClient::new(
+                        HttpLlmClient::new(addr, "gpt-4"),
+                        RetryPolicy {
+                            max_attempts: 16,
+                            base_backoff: Duration::from_millis(1),
+                            max_backoff: Duration::from_millis(4),
+                            jitter_seed: i as u64,
+                        },
+                    );
+                    client.try_complete_with(&prompt(i), &GenOptions::default())
+                })
+            })
+            .collect();
+        for h in handles {
+            let completion = h
+                .join()
+                .unwrap()
+                .expect("every shed request must recover within its retry budget");
+            assert!(!completion.is_empty());
+        }
+    });
+
+    assert!(
+        registry.counter("server.shed_total").get() > 0,
+        "an 8-deep burst against pool 1 + queue 1 must shed at least once"
+    );
+    assert_eq!(
+        registry.counter("llm.requests_total").get(),
+        8,
+        "each logical request is served exactly once despite the retries"
+    );
+}
+
+#[test]
+fn graceful_drain_serves_every_accepted_request() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = CompletionServer::start_with_config(
+        SimLlm::new(ModelProfile::gpt_4(), 9),
+        Arc::clone(&registry),
+        stall_all(8, Duration::from_millis(10)),
+        ServerConfig {
+            max_inflight: 1,
+            queue_depth: 16,
+            retry_after: Duration::from_millis(50),
+        },
+    )
+    .unwrap();
+    let addr = server.address();
+
+    // 5 requests pile up behind a single 10ms-per-request worker...
+    let handles: Vec<_> = (0..5)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let client = HttpLlmClient::new(addr, "gpt-4");
+                client.complete_http(&prompt(i))
+            })
+        })
+        .collect();
+    // ... and once they are all accepted (connects are local and fast; the
+    // backlog itself is ~50ms deep), the server shuts down mid-flight.
+    std::thread::sleep(Duration::from_millis(20));
+    drop(server);
+
+    for h in handles {
+        h.join()
+            .unwrap()
+            .expect("shutdown must drain the accept queue, not abandon it");
+    }
+    assert_eq!(
+        registry.counter("llm.requests_total").get(),
+        5,
+        "every accepted request was served before the workers exited"
+    );
+    assert_eq!(registry.counter("server.shed_total").get(), 0);
+    assert_eq!(registry.gauge("server.active_connections").get(), 0);
+}

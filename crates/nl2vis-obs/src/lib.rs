@@ -58,7 +58,7 @@ pub use registry::{global, Counter, Gauge, Histogram, HistogramSummary, MetricsR
 pub use sink::{
     disable_sink, emit, set_sink, sink_active, Event, EventSink, JsonlSink, MemorySink, NullSink,
 };
-pub use span::{current_context, current_trace, Span, TraceContext};
+pub use span::{annotate_current, current_context, current_trace, Span, TraceContext};
 
 /// Adds `delta` to the global counter `name` and emits a
 /// [`Event::CounterDelta`] to the installed sink.

@@ -39,6 +39,17 @@ pub fn current_trace() -> Option<u64> {
     STACK.with(|s| s.borrow().last().map(|&(_, trace)| trace))
 }
 
+/// Attaches a key/value annotation to the innermost live span on this
+/// thread, if any (no-op otherwise, or when no flight recorder is
+/// installed). This is how middleware that deliberately opens no spans of
+/// its own — the retry layer, for one — leaves its marks (`retry`,
+/// `retry_outcome`) on the request span opened above it.
+pub fn annotate_current(key: &str, value: &str) {
+    if let Some((span, trace)) = STACK.with(|s| s.borrow().last().copied()) {
+        recorder::annotate_span(trace, span, key, value);
+    }
+}
+
 /// The exportable position of the innermost live span on this thread: its
 /// trace and its span id as the parent for whatever continues the trace
 /// elsewhere (another thread, or the far side of an HTTP hop).

@@ -1,0 +1,113 @@
+//! The fault-injection middleware: scripted client-side transport
+//! failures for tests.
+//!
+//! Where the server-side `FaultInjector` in `nl2vis-llm` breaks requests
+//! on the wire, [`FaultLayer`] breaks them *inside the stack* — no server
+//! needed — which is what the layer-ordering invariant tests use to prove
+//! properties like "an injected 500 is never memoized" independently of
+//! socket behavior. Each scripted entry consumes one call: `Some(kind)`
+//! fails it with that kind before the inner service is reached, `None`
+//! passes it through. An exhausted script is transparent.
+
+use crate::outcome::{CompletionOutcome, GenOptions, TransportError, TransportErrorKind};
+use crate::service::{CompletionService, Layer};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// [`Layer`] injecting a scripted sequence of transport failures.
+#[derive(Debug)]
+pub struct FaultLayer {
+    script: Mutex<VecDeque<Option<TransportErrorKind>>>,
+}
+
+impl FaultLayer {
+    /// A fault layer that applies `script` in order, one entry per call.
+    pub fn script(script: impl IntoIterator<Item = Option<TransportErrorKind>>) -> FaultLayer {
+        FaultLayer {
+            script: Mutex::new(script.into_iter().collect()),
+        }
+    }
+
+    /// A fault layer that fails the first `n` calls with `kind`.
+    pub fn fail_first(n: usize, kind: TransportErrorKind) -> FaultLayer {
+        FaultLayer::script(std::iter::repeat_n(Some(kind), n))
+    }
+}
+
+impl<S: CompletionService> Layer<S> for FaultLayer {
+    type Service = Faulted<S>;
+
+    /// Wraps `inner`, moving the remaining script into the service.
+    fn layer(&self, inner: S) -> Faulted<S> {
+        Faulted {
+            inner,
+            script: Mutex::new(std::mem::take(&mut self.script.lock().unwrap())),
+        }
+    }
+}
+
+/// The fault-injection middleware; see [`FaultLayer`].
+pub struct Faulted<S> {
+    inner: S,
+    script: Mutex<VecDeque<Option<TransportErrorKind>>>,
+}
+
+impl<S> Faulted<S> {
+    /// Scripted faults not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.script.lock().unwrap().len()
+    }
+}
+
+impl<S: CompletionService> CompletionService for Faulted<S> {
+    fn model(&self) -> &str {
+        self.inner.model()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        let next = self.script.lock().unwrap().pop_front();
+        match next {
+            Some(Some(kind)) => Err(TransportError::new(kind, 1, "injected fault")),
+            _ => self.inner.call(prompt, opts),
+        }
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("fault");
+        self.inner.describe(stack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, stack_of};
+
+    #[test]
+    fn script_consumes_one_entry_per_call() {
+        let layer = FaultLayer::script([
+            Some(TransportErrorKind::Status(500)),
+            None,
+            Some(TransportErrorKind::Timeout),
+        ]);
+        let svc = layer.layer(service_fn("m", |_, _| Ok("clean".to_string())));
+        let e = svc.call("p", &GenOptions::default()).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::Status(500));
+        assert_eq!(svc.call("p", &GenOptions::default()).unwrap(), "clean");
+        let e = svc.call("p", &GenOptions::default()).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::Timeout);
+        // Exhausted script is transparent.
+        assert_eq!(svc.remaining(), 0);
+        assert!(svc.call("p", &GenOptions::default()).is_ok());
+        assert_eq!(stack_of(&svc), vec!["fault", "fn"]);
+    }
+
+    #[test]
+    fn fail_first_breaks_then_recovers() {
+        let svc = FaultLayer::fail_first(2, TransportErrorKind::ConnectionClosed)
+            .layer(service_fn("m", |_, _| Ok("up".to_string())));
+        assert!(svc.call("p", &GenOptions::default()).is_err());
+        assert!(svc.call("p", &GenOptions::default()).is_err());
+        assert!(svc.call("p", &GenOptions::default()).is_ok());
+    }
+}

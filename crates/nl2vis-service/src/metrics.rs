@@ -1,0 +1,116 @@
+//! The metrics middleware: transport-failure attribution counters.
+//!
+//! [`MetricsLayer`] sits just inside the trace layer and counts each call
+//! whose *final* outcome is a transport failure — once, regardless of how
+//! many attempts the retry layer below it burned. It emits the exact
+//! counter names the pre-layered stack emitted
+//! (`llm.errors_total`, `llm.error.transport`), which the golden-list test
+//! in the root crate pins.
+
+use crate::outcome::{CompletionOutcome, GenOptions};
+use crate::service::{CompletionService, Layer};
+use nl2vis_obs as obs;
+
+/// [`Layer`] attributing final transport failures to a component's
+/// error counters.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsLayer {
+    component: &'static str,
+}
+
+impl MetricsLayer {
+    /// A metrics layer attributing failures to `component`.
+    pub fn new(component: &'static str) -> MetricsLayer {
+        MetricsLayer { component }
+    }
+}
+
+impl Default for MetricsLayer {
+    /// The canonical serving-path component: `llm`.
+    fn default() -> MetricsLayer {
+        MetricsLayer::new("llm")
+    }
+}
+
+impl<S: CompletionService> Layer<S> for MetricsLayer {
+    type Service = Metrics<S>;
+
+    fn layer(&self, inner: S) -> Metrics<S> {
+        Metrics {
+            inner,
+            component: self.component,
+        }
+    }
+}
+
+/// The metrics middleware; see [`MetricsLayer`].
+pub struct Metrics<S> {
+    inner: S,
+    component: &'static str,
+}
+
+impl<S> Metrics<S> {
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: CompletionService> CompletionService for Metrics<S> {
+    fn model(&self) -> &str {
+        self.inner.model()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        let outcome = self.inner.call(prompt, opts);
+        if let Err(e) = &outcome {
+            obs::transport_error(self.component, &e.message);
+        }
+        outcome
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("metrics");
+        self.inner.describe(stack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{TransportError, TransportErrorKind};
+    use crate::retry::{RetryLayer, RetryPolicy};
+    use crate::service::service_fn;
+
+    #[test]
+    fn final_failure_is_counted_once_despite_retries() {
+        let errors = obs::global().counter("llm.errors_total");
+        let before = errors.get();
+        let leaf = service_fn("m", |_, _| {
+            Err(TransportError::new(
+                TransportErrorKind::Timeout,
+                1,
+                "deadline",
+            ))
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(1),
+            jitter_seed: 0,
+        };
+        let svc = MetricsLayer::default().layer(RetryLayer::new(policy).layer(leaf));
+        assert!(svc.call("p", &GenOptions::default()).is_err());
+        // Three attempts failed below, but the *request* failed once.
+        assert_eq!(errors.get(), before + 1);
+    }
+
+    #[test]
+    fn success_counts_nothing() {
+        let errors = obs::global().counter("llm.errors_total");
+        let before = errors.get();
+        let svc = MetricsLayer::default().layer(service_fn("m", |_, _| Ok("x".to_string())));
+        assert!(svc.call("p", &GenOptions::default()).is_ok());
+        assert_eq!(errors.get(), before);
+    }
+}

@@ -1,0 +1,141 @@
+//! The request/response vocabulary of the completion stack: generation
+//! options in, model text or a typed transport failure out.
+//!
+//! Remote backends can fail for reasons the model is not responsible for —
+//! a refused connection, a stalled socket, a 5xx from the serving layer, a
+//! load-shedding 429. Those failures must never be scored as model output
+//! (the paper's Execution Accuracy and failure taxonomy both assume every
+//! scored completion is something the model actually said), so every
+//! [`CompletionService`](crate::CompletionService) call returns a
+//! [`CompletionOutcome`] whose error arm is a [`TransportError`].
+
+use std::time::Duration;
+
+/// Per-call generation options; the iterative-repair strategies of RQ3
+/// tweak these.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Retry counter: different attempts resample the stochastic stream.
+    pub attempt: u64,
+    /// Multiplier on the total corruption budget (role-play < 1).
+    pub error_scale: f64,
+    /// Multiplier on *structural* corruption (chart/bin/group/order); the
+    /// chain-of-thought sketch pass reduces this.
+    pub structural_scale: f64,
+}
+
+impl Default for GenOptions {
+    fn default() -> GenOptions {
+        GenOptions {
+            attempt: 0,
+            error_scale: 1.0,
+            structural_scale: 1.0,
+        }
+    }
+}
+
+/// Why a completion never produced model output.
+///
+/// The distinction that matters downstream is *attribution*: all of these
+/// mean the infrastructure failed, so the request lands in the
+/// `error.transport` bucket instead of the model-failure taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// A read/write/connect deadline expired.
+    Timeout,
+    /// The connection could not be established.
+    Connect,
+    /// The peer closed the connection before sending a response.
+    ConnectionClosed,
+    /// The server answered with a non-2xx status.
+    Status(u16),
+    /// The response violated the HTTP or JSON protocol.
+    Protocol,
+    /// Any other socket-level failure.
+    Io,
+}
+
+impl std::fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportErrorKind::Timeout => write!(f, "timeout"),
+            TransportErrorKind::Connect => write!(f, "connect"),
+            TransportErrorKind::ConnectionClosed => write!(f, "connection-closed"),
+            TransportErrorKind::Status(code) => write!(f, "status-{code}"),
+            TransportErrorKind::Protocol => write!(f, "protocol"),
+            TransportErrorKind::Io => write!(f, "io"),
+        }
+    }
+}
+
+/// A completion request that failed below the model: no text was generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// What went wrong.
+    pub kind: TransportErrorKind,
+    /// How many attempts were made before giving up (1 = no retries).
+    pub attempts: u32,
+    /// Human-readable detail of the last failure.
+    pub message: String,
+    /// The backoff the server asked for (a 429 `Retry-After`), if any. A
+    /// retrying layer honors this over its own backoff schedule.
+    pub retry_after: Option<Duration>,
+}
+
+impl TransportError {
+    /// A transport error with no server-requested backoff — the common
+    /// constructor; set [`TransportError::retry_after`] explicitly for the
+    /// load-shed path.
+    pub fn new(kind: TransportErrorKind, attempts: u32, message: impl Into<String>) -> Self {
+        TransportError {
+            kind,
+            attempts,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transport error ({}, {} attempt{}): {}",
+            self.kind,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The typed result of a completion call: model text, or a transport
+/// failure that must be attributed to the infrastructure.
+pub type CompletionOutcome = Result<String, TransportError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_error_display_is_informative() {
+        let e = TransportError::new(
+            TransportErrorKind::Status(503),
+            3,
+            "http 503: overloaded".to_string(),
+        );
+        let text = e.to_string();
+        assert!(text.contains("status-503"), "{text}");
+        assert!(text.contains("3 attempts"), "{text}");
+        let single = TransportError::new(TransportErrorKind::Timeout, 1, "read deadline");
+        assert!(single.to_string().contains("1 attempt)"));
+    }
+
+    #[test]
+    fn new_has_no_retry_after() {
+        let e = TransportError::new(TransportErrorKind::Status(429), 1, "shed");
+        assert_eq!(e.retry_after, None);
+    }
+}

@@ -1,0 +1,330 @@
+//! The retry middleware: bounded attempts, capped exponential backoff with
+//! deterministic jitter, and server-directed backoff for load shedding.
+//!
+//! Transient infrastructure faults (a refused connect, a dropped
+//! connection, a tripped deadline, a 5xx) deserve another attempt;
+//! semantic rejections (4xx: wrong model, malformed request) do not — the
+//! server will say the same thing again. The one 4xx exception is **429**:
+//! a load-shedding server is explicitly inviting the client back, and when
+//! it names a `Retry-After` interval the retry layer sleeps exactly that
+//! long instead of its own schedule. [`RetryPolicy`] encodes the split
+//! plus a capped exponential backoff whose jitter comes from a seeded
+//! [`Rng`], so a retried eval run replays its exact sleep schedule.
+
+use crate::outcome::{CompletionOutcome, GenOptions, TransportError, TransportErrorKind};
+use crate::service::{CompletionService, Layer};
+use nl2vis_data::Rng;
+use nl2vis_obs as obs;
+use std::time::Duration;
+
+/// Bounded retry with capped exponential backoff and deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff (applied before jitter halving).
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream; same seed, same sleep schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, typed error on failure).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// A policy with `max_attempts` attempts and default backoff shape.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based: the sleep after
+    /// the first failure is `backoff(0)`). Exponential with a cap, jittered
+    /// into `[cap/2, cap]` by the seeded stream — decorrelating concurrent
+    /// clients without sacrificing replayability.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(20))
+            .min(self.max_backoff);
+        let half = exp / 2;
+        if half.is_zero() {
+            return exp;
+        }
+        let mut rng = Rng::new(self.jitter_seed ^ u64::from(retry).wrapping_mul(0x9E37_79B9));
+        half + Duration::from_nanos(rng.below(half.as_nanos().min(u128::from(u64::MAX)) as u64))
+    }
+
+    /// Whether a failure kind is worth retrying: connectivity loss,
+    /// deadlines and 5xx are transient; 4xx and protocol violations are
+    /// semantic and deterministic, so retrying them only burns the attempt
+    /// budget. The exception is 429 — an admission-control shed is an
+    /// explicit invitation to come back, usually with a `Retry-After`.
+    pub fn retryable(&self, kind: &TransportErrorKind) -> bool {
+        match kind {
+            TransportErrorKind::Timeout
+            | TransportErrorKind::Connect
+            | TransportErrorKind::ConnectionClosed => true,
+            TransportErrorKind::Status(code) => *code >= 500 || *code == 429,
+            TransportErrorKind::Protocol | TransportErrorKind::Io => false,
+        }
+    }
+}
+
+/// [`Layer`] applying a [`RetryPolicy`] around an inner service.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryLayer {
+    policy: RetryPolicy,
+}
+
+impl RetryLayer {
+    /// A retry layer driven by `policy`.
+    pub fn new(policy: RetryPolicy) -> RetryLayer {
+        RetryLayer { policy }
+    }
+}
+
+impl<S: CompletionService> Layer<S> for RetryLayer {
+    type Service = Retry<S>;
+
+    fn layer(&self, inner: S) -> Retry<S> {
+        Retry {
+            inner,
+            policy: self.policy,
+        }
+    }
+}
+
+/// The retry middleware: re-issues retryable failures under the policy.
+///
+/// Each retry is visible on the `llm.retries_total` counter and annotated
+/// onto the enclosing request span (the [`TraceLayer`](crate::TraceLayer)
+/// above it in the canonical stack) — the retry layer opens no spans of
+/// its own, keeping the emitted span names identical to the pre-layered
+/// stack. A server-provided `Retry-After` overrides the policy's backoff.
+pub struct Retry<S> {
+    inner: S,
+    policy: RetryPolicy,
+}
+
+impl<S> Retry<S> {
+    /// The wrapped policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: CompletionService> CompletionService for Retry<S> {
+    fn model(&self) -> &str {
+        self.inner.model()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last: Option<TransportError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                obs::count("llm.retries_total", 1);
+                obs::annotate_current("retry", &attempt.to_string());
+                let server_asked = last.as_ref().and_then(|e| e.retry_after);
+                std::thread::sleep(
+                    server_asked.unwrap_or_else(|| self.policy.backoff(attempt - 1)),
+                );
+            }
+            match self.inner.call(prompt, opts) {
+                Ok(text) => {
+                    if attempt > 0 {
+                        obs::count("llm.retry_success_total", 1);
+                        obs::annotate_current("retry_outcome", "recovered");
+                    }
+                    return Ok(text);
+                }
+                Err(e) if self.policy.retryable(&e.kind) => last = Some(e),
+                Err(mut e) => {
+                    e.attempts = attempt + 1;
+                    return Err(e);
+                }
+            }
+        }
+        obs::annotate_current("retry_outcome", "exhausted");
+        let mut final_error = last.expect("at least one attempt ran");
+        final_error.attempts = attempts;
+        Err(final_error)
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("retry");
+        self.inner.describe(stack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::service_fn;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Instant;
+
+    fn fast_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 1,
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            jitter_seed: 42,
+        };
+        // Jitter keeps each backoff in [exp/2, exp]; exp doubles then caps.
+        let expected_exp = [10u64, 20, 40, 80, 80, 80];
+        for (retry, exp_ms) in expected_exp.iter().enumerate() {
+            let b = policy.backoff(retry as u32);
+            let exp = Duration::from_millis(*exp_ms);
+            assert!(b >= exp / 2, "retry {retry}: {b:?} < {:?}", exp / 2);
+            assert!(b <= exp, "retry {retry}: {b:?} > {exp:?}");
+        }
+        // Same seed, same schedule; different seed, (almost surely) not.
+        let again = policy;
+        assert_eq!(policy.backoff(2), again.backoff(2));
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy
+        };
+        assert_ne!(policy.backoff(2), other.backoff(2));
+    }
+
+    #[test]
+    fn giant_retry_index_does_not_overflow() {
+        let policy = RetryPolicy::default();
+        let b = policy.backoff(u32::MAX);
+        assert!(b <= policy.max_backoff);
+    }
+
+    #[test]
+    fn retryability_classification() {
+        let policy = RetryPolicy::default();
+        assert!(policy.retryable(&TransportErrorKind::Timeout));
+        assert!(policy.retryable(&TransportErrorKind::Connect));
+        assert!(policy.retryable(&TransportErrorKind::ConnectionClosed));
+        assert!(policy.retryable(&TransportErrorKind::Status(500)));
+        assert!(policy.retryable(&TransportErrorKind::Status(503)));
+        // The one 4xx worth retrying: admission-control shedding.
+        assert!(policy.retryable(&TransportErrorKind::Status(429)));
+        // Semantic failures are deterministic: retrying cannot help.
+        assert!(!policy.retryable(&TransportErrorKind::Status(400)));
+        assert!(!policy.retryable(&TransportErrorKind::Status(404)));
+        assert!(!policy.retryable(&TransportErrorKind::Protocol));
+        assert!(!policy.retryable(&TransportErrorKind::Io));
+    }
+
+    #[test]
+    fn transient_failure_retries_to_success() {
+        let calls = AtomicU32::new(0);
+        let leaf = service_fn("m", |_, _| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(TransportError::new(
+                    TransportErrorKind::ConnectionClosed,
+                    1,
+                    "peer dropped",
+                ))
+            } else {
+                Ok("BAR X".to_string())
+            }
+        });
+        let svc = RetryLayer::new(fast_policy(3)).layer(leaf);
+        assert_eq!(svc.call("p", &GenOptions::default()).unwrap(), "BAR X");
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn semantic_failure_is_not_retried() {
+        let calls = AtomicU32::new(0);
+        let leaf = service_fn("m", |_, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(TransportError::new(
+                TransportErrorKind::Status(400),
+                1,
+                "not hosted here",
+            ))
+        });
+        let svc = RetryLayer::new(fast_policy(5)).layer(leaf);
+        let err = svc.call("p", &GenOptions::default()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Status(400));
+        assert_eq!(err.attempts, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_total_attempts() {
+        let calls = AtomicU32::new(0);
+        let leaf = service_fn("m", |_, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(TransportError::new(
+                TransportErrorKind::Status(500),
+                1,
+                "boom",
+            ))
+        });
+        let svc = RetryLayer::new(fast_policy(3)).layer(leaf);
+        let err = svc.call("p", &GenOptions::default()).unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn server_retry_after_overrides_the_backoff_schedule() {
+        // The policy's own backoff would be ~1-2ms; the server asks for
+        // 40ms, and the retry layer must honor the longer interval.
+        let calls = AtomicU32::new(0);
+        let leaf = service_fn("m", |_, _| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                let mut e = TransportError::new(TransportErrorKind::Status(429), 1, "shed");
+                e.retry_after = Some(Duration::from_millis(40));
+                Err(e)
+            } else {
+                Ok("ok".to_string())
+            }
+        });
+        let svc = RetryLayer::new(fast_policy(3)).layer(leaf);
+        let started = Instant::now();
+        assert!(svc.call("p", &GenOptions::default()).is_ok());
+        assert!(
+            started.elapsed() >= Duration::from_millis(40),
+            "slept only {:?}",
+            started.elapsed()
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! The [`CompletionService`] trait, the [`Layer`] combinator, and stack
+//! introspection.
+//!
+//! A service is one question answered: *given this prompt and these
+//! generation options, what did the model say (or how did the transport
+//! fail)?* Middlewares are services wrapping services; a [`Layer`] is the
+//! constructor that does the wrapping. Because every middleware reports a
+//! stable tag through [`CompletionService::describe`], a composed stack
+//! can be inspected ([`stack_of`]) and checked against the ordering
+//! contract ([`validate_stack`]) at runtime — the typestate `StackBuilder`
+//! in the root crate enforces the same contract at compile time.
+
+use crate::outcome::{CompletionOutcome, GenOptions};
+
+/// A text-completion service: request in, typed outcome out.
+///
+/// Implemented by leaf backends (HTTP client, simulated model) and by
+/// every middleware, so arbitrary stacks present one uniform surface.
+pub trait CompletionService {
+    /// The model identifier requests are billed to — used for cache keys
+    /// and reporting. Middlewares forward to their inner service.
+    fn model(&self) -> &str;
+
+    /// Performs one completion request.
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome;
+
+    /// Appends this service's layer tag (and, for middlewares, the inner
+    /// service's tags after it) to `stack` — outermost first. Tags are
+    /// stable identifiers (`"trace"`, `"metrics"`, `"cache"`, `"retry"`,
+    /// `"fault"`, or a leaf tag) consumed by [`validate_stack`].
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("leaf");
+    }
+}
+
+/// References delegate, so stacks can borrow shared leaves.
+impl<S: CompletionService + ?Sized> CompletionService for &S {
+    fn model(&self) -> &str {
+        (**self).model()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        (**self).call(prompt, opts)
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        (**self).describe(stack)
+    }
+}
+
+/// Boxed services delegate, so `Box<dyn CompletionService>` composes with
+/// generic layers.
+impl<S: CompletionService + ?Sized> CompletionService for Box<S> {
+    fn model(&self) -> &str {
+        (**self).model()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        (**self).call(prompt, opts)
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        (**self).describe(stack)
+    }
+}
+
+impl<S: CompletionService + ?Sized> CompletionService for std::sync::Arc<S> {
+    fn model(&self) -> &str {
+        (**self).model()
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        (**self).call(prompt, opts)
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        (**self).describe(stack)
+    }
+}
+
+/// A middleware constructor: wraps an inner [`CompletionService`] in a new
+/// one. `Trace(Metrics(Retry(leaf)))` is literally
+/// `trace.layer(metrics.layer(retry.layer(leaf)))`.
+pub trait Layer<S: CompletionService> {
+    /// The wrapped service this layer produces.
+    type Service: CompletionService;
+
+    /// Wraps `inner`.
+    fn layer(&self, inner: S) -> Self::Service;
+}
+
+/// The layer tags of a composed stack, outermost first — e.g.
+/// `["trace", "metrics", "cache", "retry", "http"]`.
+pub fn stack_of<S: CompletionService + ?Sized>(service: &S) -> Vec<&'static str> {
+    let mut stack = Vec::new();
+    service.describe(&mut stack);
+    stack
+}
+
+/// Checks a stack's layer order against the serving contract. Returns the
+/// first violation as an error message, or `Ok` for a conforming stack.
+///
+/// The contract (outermost first):
+///
+/// 1. **`cache` must sit outside `retry`.** A cache inside retry would be
+///    consulted (and populated) per *attempt*: a completion produced on
+///    attempt 2 of a request could be keyed identically to attempt 1's
+///    failure, and single-flight deduplication would collapse concurrent
+///    *attempts* rather than concurrent *requests*. Outside retry, an
+///    entry is stored only after the whole retry budget concluded in
+///    model text, and a transport failure is retried — never memoized.
+/// 2. **At most one `cache` and one `retry`.** Nested retries multiply
+///    attempt budgets (3 × 3 = 9 upstream calls); nested caches double
+///    insertions and skew hit-rate accounting.
+pub fn validate_stack(stack: &[&str]) -> Result<(), String> {
+    let position = |tag: &str| stack.iter().position(|t| *t == tag);
+    if stack.iter().filter(|t| **t == "retry").count() > 1 {
+        return Err(format!("stack nests two retry layers: {stack:?}"));
+    }
+    if stack.iter().filter(|t| **t == "cache").count() > 1 {
+        return Err(format!("stack nests two cache layers: {stack:?}"));
+    }
+    if let (Some(cache), Some(retry)) = (position("cache"), position("retry")) {
+        if cache > retry {
+            return Err(format!(
+                "cache sits inside retry (position {cache} vs {retry}): failures could be \
+                 memoized per-attempt; compose Cache(Retry(..)) instead: {stack:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A leaf service built from a closure — the cheapest way to stand up a
+/// scriptable backend in tests (`service_fn("m", |p, _| Ok(p.into()))`).
+pub struct ServiceFn<F> {
+    model: String,
+    f: F,
+}
+
+/// Builds a [`ServiceFn`] leaf over `f`.
+pub fn service_fn<F>(model: impl Into<String>, f: F) -> ServiceFn<F>
+where
+    F: Fn(&str, &GenOptions) -> CompletionOutcome,
+{
+    ServiceFn {
+        model: model.into(),
+        f,
+    }
+}
+
+impl<F> CompletionService for ServiceFn<F>
+where
+    F: Fn(&str, &GenOptions) -> CompletionOutcome,
+{
+    fn model(&self) -> &str {
+        &self.model
+    }
+
+    fn call(&self, prompt: &str, opts: &GenOptions) -> CompletionOutcome {
+        (self.f)(prompt, opts)
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("fn");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{TransportError, TransportErrorKind};
+    use crate::retry::{RetryLayer, RetryPolicy};
+
+    #[test]
+    fn service_fn_is_a_leaf() {
+        let svc = service_fn("echo", |p, _| Ok(format!("echo:{p}")));
+        assert_eq!(svc.model(), "echo");
+        assert_eq!(svc.call("hi", &GenOptions::default()).unwrap(), "echo:hi");
+        assert_eq!(stack_of(&svc), vec!["fn"]);
+    }
+
+    #[test]
+    fn boxed_and_borrowed_services_delegate() {
+        let svc = service_fn("m", |_, _| Ok("x".to_string()));
+        let by_ref: &dyn CompletionService = &svc;
+        assert_eq!(by_ref.model(), "m");
+        let boxed: Box<dyn CompletionService> = Box::new(service_fn("m2", |_, _| {
+            Err(TransportError::new(TransportErrorKind::Io, 1, "down"))
+        }));
+        assert_eq!(boxed.model(), "m2");
+        assert!(boxed.call("p", &GenOptions::default()).is_err());
+        assert_eq!(stack_of(&boxed), vec!["fn"]);
+    }
+
+    #[test]
+    fn validate_accepts_the_canonical_order() {
+        assert!(validate_stack(&["trace", "metrics", "cache", "retry", "http"]).is_ok());
+        assert!(validate_stack(&["cache", "trace", "metrics", "retry", "http"]).is_ok());
+        assert!(validate_stack(&["retry", "http"]).is_ok());
+        assert!(validate_stack(&["http"]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_cache_inside_retry() {
+        let err = validate_stack(&["retry", "cache", "fn"]).unwrap_err();
+        assert!(err.contains("cache sits inside retry"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_nested_budget_multipliers() {
+        assert!(validate_stack(&["retry", "retry", "fn"]).is_err());
+        assert!(validate_stack(&["cache", "cache", "fn"]).is_err());
+    }
+
+    #[test]
+    fn layered_stack_describes_outermost_first() {
+        let leaf = service_fn("m", |_, _| Ok("x".to_string()));
+        let stack = RetryLayer::new(RetryPolicy::no_retry()).layer(leaf);
+        assert_eq!(stack_of(&stack), vec!["retry", "fn"]);
+    }
+}

@@ -45,6 +45,16 @@ run "fault injection (eval)" cargo test -q -p nl2vis-eval --test transport
 run "keep-alive (llm)" cargo test -q -p nl2vis-llm --test keepalive
 run "serving cache (cache)" cargo test -q -p nl2vis-cache --test serving
 
+# Bounded server runtime: admission control (429 shedding with
+# Retry-After), in-flight bounded by the worker pool, retry-through-shed
+# recovery, and graceful drain.
+run "server runtime (llm)" cargo test -q -p nl2vis-llm --test runtime
+
+# Layered stack invariants: recovered retries cache exactly once,
+# failures are never memoized in any layer order, one trace spans every
+# layer, and the metric-name surface matches the pre-layer wrappers.
+run "layering (root)" cargo test -q -p nl2vis --test layering
+
 # End-to-end tracing: cross-process trace propagation, the flight
 # recorder's retention contract, and the instrumentation-changes-nothing
 # guarantee.

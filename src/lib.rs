@@ -26,6 +26,10 @@
 //! - [`obs`]: the std-only observability substrate — metrics registry,
 //!   RAII spans, JSONL event sinks, text reports — every layer above
 //!   records into;
+//! - [`service`]: the tower-style [`service::CompletionService`] /
+//!   [`service::Layer`] middleware architecture — retry, cache, trace,
+//!   metrics, and fault-injection layers that compose into the serving
+//!   stack (ordered at compile time by [`StackBuilder`]);
 //! - `bench` ([`crate::bench`]): the experiment harness regenerating every table and figure.
 //!
 //! ## Quickstart
@@ -67,18 +71,19 @@ pub use nl2vis_llm as llm;
 pub use nl2vis_obs as obs;
 pub use nl2vis_prompt as prompt;
 pub use nl2vis_query as query;
+pub use nl2vis_service as service;
 pub use nl2vis_vega as vega;
 
 pub mod conversation;
 pub mod pipeline;
 
 pub use conversation::{Conversation, Turn, TurnKind};
-pub use pipeline::{Pipeline, PipelineError, Visualization};
+pub use pipeline::{Pipeline, PipelineError, StackBuilder, Visualization};
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::conversation::{Conversation, Turn, TurnKind};
-    pub use crate::pipeline::{Pipeline, PipelineError, Visualization};
+    pub use crate::pipeline::{Pipeline, PipelineError, StackBuilder, Visualization};
     pub use nl2vis_corpus::{Corpus, CorpusConfig, Example, Hardness};
     pub use nl2vis_data::schema::{ColumnDef, DatabaseSchema, ForeignKey, TableDef};
     pub use nl2vis_data::value::{DataType, Date, Value};

@@ -3,15 +3,21 @@
 //! completion, VQL parsing, execution, and Vega-Lite / chart rendering come
 //! out.
 
-use nl2vis_cache::{CachedLlmClient, CompletionCache};
+use nl2vis_cache::{CacheLayer, Cached, CachedLlmClient, CompletionCache};
 use nl2vis_corpus::Example;
 use nl2vis_data::{Database, Json};
-use nl2vis_llm::{extract_vql, GenOptions, LlmClient, ModelProfile, SimLlm, TransportError};
+use nl2vis_llm::{
+    extract_vql, GenOptions, LlmClient, ModelProfile, ServiceClient, SimLlm, TransportError,
+};
 use nl2vis_obs as obs;
 use nl2vis_prompt::{build_prompt, PromptOptions};
 use nl2vis_query::ast::VqlQuery;
 use nl2vis_query::exec::ResultSet;
 use nl2vis_query::{execute, parse, QueryError};
+use nl2vis_service::{
+    stack_of, validate_stack, CompletionService, Layer, Metrics, MetricsLayer, Retry, RetryLayer,
+    RetryPolicy, Trace, TraceLayer,
+};
 use nl2vis_vega::{ascii, spec, svg};
 
 /// Errors the pipeline can surface.
@@ -81,6 +87,155 @@ impl Visualization {
     }
 }
 
+/// Typestate markers for [`StackBuilder`]: which layer is currently
+/// outermost, and which layers may still be applied on top of it.
+///
+/// The canonical serving order, outermost first, is
+/// `Trace(Metrics(Cache(Retry(leaf))))`. Each marker names a position in
+/// that order; the gating traits ([`BelowCache`](stage::BelowCache),
+/// [`BelowMetrics`](stage::BelowMetrics)) admit exactly the positions a
+/// layer may legally wrap, so a misordered stack — a cache inside retry,
+/// metrics under the cache — is a *compile error*, not a runtime surprise.
+pub mod stage {
+    /// Nothing but the leaf service so far.
+    pub enum AtLeaf {}
+    /// A retry layer is outermost.
+    pub enum AtRetry {}
+    /// A cache layer is outermost.
+    pub enum AtCache {}
+    /// A metrics layer is outermost.
+    pub enum AtMetrics {}
+    /// A trace layer is outermost — the stack is complete.
+    pub enum AtTrace {}
+
+    /// Positions a cache layer may wrap: the leaf or a retry layer. A
+    /// cache *inside* retry would memoize per-attempt state.
+    pub trait BelowCache {}
+    impl BelowCache for AtLeaf {}
+    impl BelowCache for AtRetry {}
+
+    /// Positions a metrics layer may wrap: anything below trace. Metrics
+    /// sits outside the cache so attribution covers cached traffic too.
+    pub trait BelowMetrics {}
+    impl BelowMetrics for AtLeaf {}
+    impl BelowMetrics for AtRetry {}
+    impl BelowMetrics for AtCache {}
+}
+
+/// A compile-time-ordered builder for the layered completion stack.
+///
+/// Layers are applied bottom-up — each call wraps the current stack — and
+/// the typestate parameter only offers the layers that are still legal at
+/// the current position, so the canonical order
+/// `Trace(Metrics(Cache(Retry(leaf))))` is the *only* order that
+/// compiles (every layer is optional; skipping one is fine):
+///
+/// ```
+/// use nl2vis::pipeline::StackBuilder;
+/// use nl2vis::llm::{ModelProfile, SimLlm};
+/// use nl2vis_service::{stack_of, RetryPolicy};
+///
+/// let stack = StackBuilder::over(SimLlm::new(ModelProfile::gpt_4(), 7))
+///     .retry(RetryPolicy::default())
+///     .cache(256)
+///     .metrics()
+///     .trace()
+///     .build();
+/// assert_eq!(stack_of(&stack), vec!["trace", "metrics", "cache", "retry", "sim"]);
+/// ```
+///
+/// [`build`](StackBuilder::build) additionally debug-asserts
+/// [`validate_stack`] over the composed stack's runtime tags, which
+/// catches the one hole the types cannot: a "leaf" passed to
+/// [`over`](StackBuilder::over) that is itself already a wrapped stack.
+pub struct StackBuilder<S, Stage = stage::AtLeaf> {
+    service: S,
+    _stage: std::marker::PhantomData<Stage>,
+}
+
+impl<S: CompletionService> StackBuilder<S, stage::AtLeaf> {
+    /// Starts a stack over a leaf service (the HTTP client, the simulated
+    /// model, or a `service_fn` test double).
+    pub fn over(leaf: S) -> StackBuilder<S, stage::AtLeaf> {
+        StackBuilder {
+            service: leaf,
+            _stage: std::marker::PhantomData,
+        }
+    }
+
+    /// Adds bounded retry with deterministic backoff (and 429
+    /// `Retry-After` honoring) directly around the leaf.
+    pub fn retry(self, policy: RetryPolicy) -> StackBuilder<Retry<S>, stage::AtRetry> {
+        StackBuilder {
+            service: RetryLayer::new(policy).layer(self.service),
+            _stage: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S: CompletionService, Stage: stage::BelowCache> StackBuilder<S, Stage> {
+    /// Adds a fresh in-memory completion cache of `capacity` entries.
+    /// Only full-request successes are memoized — the cache always sits
+    /// outside retry, a constraint this method's receiver type enforces.
+    pub fn cache(self, capacity: usize) -> StackBuilder<Cached<S>, stage::AtCache> {
+        self.shared_cache(std::sync::Arc::new(CompletionCache::in_memory(capacity)))
+    }
+
+    /// Like [`cache`](StackBuilder::cache), over a caller-owned cache —
+    /// share one across stacks or keep the handle for
+    /// [`nl2vis_cache::CacheStats`].
+    pub fn shared_cache(
+        self,
+        cache: std::sync::Arc<CompletionCache>,
+    ) -> StackBuilder<Cached<S>, stage::AtCache> {
+        StackBuilder {
+            service: CacheLayer::with_cache(cache).layer(self.service),
+            _stage: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S: CompletionService, Stage: stage::BelowMetrics> StackBuilder<S, Stage> {
+    /// Adds transport-failure attribution counters under the standard
+    /// `llm` component.
+    pub fn metrics(self) -> StackBuilder<Metrics<S>, stage::AtMetrics> {
+        StackBuilder {
+            service: MetricsLayer::default().layer(self.service),
+            _stage: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S: CompletionService, Stage> StackBuilder<S, Stage> {
+    /// Adds the outermost request span (`llm.request`), tying every inner
+    /// layer's annotations and child spans into one trace.
+    pub fn trace(self) -> StackBuilder<Trace<S>, stage::AtTrace> {
+        StackBuilder {
+            service: TraceLayer::request().layer(self.service),
+            _stage: std::marker::PhantomData,
+        }
+    }
+
+    /// Finishes the stack. In debug builds the composed stack's runtime
+    /// tags are checked against [`validate_stack`] — the backstop for
+    /// pre-wrapped "leaves" the typestate cannot see through.
+    pub fn build(self) -> S {
+        let service = self.service;
+        if cfg!(debug_assertions) {
+            if let Err(violation) = validate_stack(&stack_of(&service)) {
+                panic!("StackBuilder composed an invalid stack: {violation}");
+            }
+        }
+        service
+    }
+
+    /// Finishes the stack and adapts it to the [`LlmClient`] trait, ready
+    /// for [`Pipeline::with_client`] call sites.
+    pub fn build_client(self) -> ServiceClient<S> {
+        ServiceClient::new(self.build())
+    }
+}
+
 /// The end-to-end pipeline over a pluggable model.
 pub struct Pipeline {
     client: Box<dyn LlmClient + Send + Sync>,
@@ -103,6 +258,15 @@ impl Pipeline {
             client,
             options: PromptOptions::default(),
         }
+    }
+
+    /// Builds a pipeline over a layered [`CompletionService`] stack —
+    /// typically the output of [`StackBuilder::build`].
+    pub fn with_service<S>(service: S) -> Pipeline
+    where
+        S: CompletionService + Send + Sync + 'static,
+    {
+        Pipeline::with_client(Box::new(ServiceClient::new(service)))
     }
 
     /// Wraps the pipeline's model client in a bounded completion cache:
@@ -290,8 +454,54 @@ mod tests {
         );
     }
 
-    /// A cached pipeline serves a repeated question from memory: the
-    /// second run is a hit and produces the identical visualization.
+    /// The typestate builder composes the canonical stack order and the
+    /// result drives the pipeline end-to-end like any other client.
+    #[test]
+    fn stack_builder_composes_the_canonical_order() {
+        let cache = std::sync::Arc::new(CompletionCache::in_memory(16));
+        let stack = StackBuilder::over(SimLlm::new(ModelProfile::by_name("gpt-4").unwrap(), 7))
+            .retry(RetryPolicy::no_retry())
+            .shared_cache(std::sync::Arc::clone(&cache))
+            .metrics()
+            .trace()
+            .build();
+        assert_eq!(
+            stack_of(&stack),
+            vec!["trace", "metrics", "cache", "retry", "sim"]
+        );
+
+        let p = Pipeline::with_service(stack);
+        assert_eq!(p.model(), "gpt-4");
+        let q = "Show a bar chart of the total amount for each region.";
+        p.run(&db(), q).expect("layered pipeline succeeds");
+        p.run(&db(), q).expect("cached rerun succeeds");
+        assert_eq!(cache.stats().hits, 1, "the repeat must hit the cache");
+    }
+
+    /// Layers are optional: a partial stack (no retry, no cache) still
+    /// builds and keeps the leaf's model identity.
+    #[test]
+    fn stack_builder_allows_skipping_layers() {
+        let stack = StackBuilder::over(SimLlm::new(ModelProfile::davinci_003(), 3))
+            .metrics()
+            .trace()
+            .build();
+        assert_eq!(stack_of(&stack), vec!["trace", "metrics", "sim"]);
+        assert_eq!(stack.model(), "text-davinci-003");
+    }
+
+    /// The debug backstop: a "leaf" that is secretly a cached stack puts
+    /// the cache inside the builder's retry layer — invisible to the
+    /// typestate, caught by `build`'s `validate_stack` assertion.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cache sits inside retry")]
+    fn stack_builder_rejects_prewrapped_cache_under_retry() {
+        let hidden = CacheLayer::new(4).layer(SimLlm::new(ModelProfile::davinci_003(), 3));
+        let _ = StackBuilder::over(hidden)
+            .retry(RetryPolicy::no_retry())
+            .build();
+    }
     #[test]
     fn cached_pipeline_hits_on_repeat_questions() {
         let cache = std::sync::Arc::new(CompletionCache::in_memory(64));

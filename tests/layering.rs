@@ -1,0 +1,305 @@
+//! Layer-ordering invariants of the completion stack.
+//!
+//! The serving stack composes as `Trace(Metrics(Cache(Retry(leaf))))`, and
+//! three properties make that order load-bearing: a retried-then-recovered
+//! request is cached exactly once, a transport failure is *never*
+//! memoized, and one trace id spans every layer including the failed
+//! attempt. Plus the refactor's non-regression contract: the metric-name
+//! surface of the pre-layer wrapper structs is byte-identical.
+
+use nl2vis::cache::{CacheLayer, CachedLlmClient, CompletionCache};
+use nl2vis::llm::fault::{Fault, FaultInjector};
+use nl2vis::llm::http::{CompletionServer, HttpLlmClient};
+use nl2vis::llm::{GenOptions, LlmClient, ModelProfile, ResilientLlmClient, RetryPolicy, SimLlm};
+use nl2vis::obs::{self, recorder, FlightRecorder};
+use nl2vis::pipeline::StackBuilder;
+use nl2vis::service::{
+    service_fn, stack_of, validate_stack, CompletionService, FaultLayer, Layer, RetryLayer,
+    TransportError, TransportErrorKind,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The flight recorder and the global metrics registry are process-global;
+/// tests reading either must not interleave.
+fn global_observability_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fast_policy(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: attempts,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        jitter_seed: 7,
+    }
+}
+
+fn prompt(i: usize) -> String {
+    format!("-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: question {i}\nVQL:")
+}
+
+/// A retry that recovers mid-request must populate the cache exactly once
+/// — with the recovered completion, not the failed attempt.
+#[test]
+fn recovered_retry_is_cached_exactly_once() {
+    let _guard = global_observability_lock();
+    let upstream_calls = Arc::new(AtomicUsize::new(0));
+    let calls = Arc::clone(&upstream_calls);
+    let leaf = service_fn("scripted", move |p, _| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        Ok(format!("Visualize BAR -- {p}"))
+    });
+    // The fault layer sits between retry and the leaf: attempt 1 of the
+    // first request dies with a 500 before reaching the upstream.
+    let faulted = FaultLayer::script(vec![Some(TransportErrorKind::Status(500))]).layer(leaf);
+    let cache = Arc::new(CompletionCache::in_memory(16));
+    let stack = StackBuilder::over(faulted)
+        .retry(fast_policy(3))
+        .shared_cache(Arc::clone(&cache))
+        .build();
+    assert_eq!(stack_of(&stack), vec!["cache", "retry", "fault", "fn"]);
+
+    let opts = GenOptions::default();
+    let first = stack
+        .call("question A", &opts)
+        .expect("retry absorbs the 500");
+    assert_eq!(
+        upstream_calls.load(Ordering::SeqCst),
+        1,
+        "the injected failure never reached the upstream; the recovery did"
+    );
+    assert_eq!(cache.stats().insertions, 1, "one request, one cache entry");
+    assert_eq!(cache.stats().misses, 1);
+
+    let second = stack.call("question A", &opts).expect("repeat is served");
+    assert_eq!(first, second);
+    assert_eq!(
+        upstream_calls.load(Ordering::SeqCst),
+        1,
+        "the repeat is a cache hit, not a new upstream call"
+    );
+    assert_eq!(cache.stats().hits, 1);
+    assert_eq!(cache.stats().insertions, 1, "hits never re-insert");
+}
+
+/// Failures must never be memoized — in the canonical order, and even in
+/// the misordered stack that `validate_stack` exists to reject.
+#[test]
+fn failures_are_never_memoized_in_either_order() {
+    let _guard = global_observability_lock();
+    let make_dead_leaf = |calls: Arc<AtomicUsize>| {
+        service_fn("dead", move |_p, _| -> Result<String, TransportError> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(TransportError::new(
+                TransportErrorKind::Status(500),
+                1,
+                "http 500: injected",
+            ))
+        })
+    };
+
+    // Canonical order: Cache(Retry(leaf)). The retry budget is spent per
+    // request; the error reaches the cache once and is not stored.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let cache = Arc::new(CompletionCache::in_memory(16));
+    let stack = StackBuilder::over(make_dead_leaf(Arc::clone(&calls)))
+        .retry(fast_policy(2))
+        .shared_cache(Arc::clone(&cache))
+        .build();
+    let opts = GenOptions::default();
+    for round in 1..=2 {
+        let err = stack.call("q", &opts).expect_err("the leaf always fails");
+        assert_eq!(err.kind, TransportErrorKind::Status(500));
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2 * round,
+            "round {round} re-ran the full retry budget — nothing was memoized"
+        );
+    }
+    assert_eq!(cache.stats().insertions, 0, "errors never enter the cache");
+    assert_eq!(cache.stats().hits, 0);
+
+    // Misordered stack: Retry(Cache(leaf)), composed by hand since the
+    // typestate builder refuses to. The ordering contract flags it...
+    let calls = Arc::new(AtomicUsize::new(0));
+    let cache = Arc::new(CompletionCache::in_memory(16));
+    let misordered = RetryLayer::new(fast_policy(2)).layer(
+        CacheLayer::with_cache(Arc::clone(&cache)).layer(make_dead_leaf(Arc::clone(&calls))),
+    );
+    let tags = stack_of(&misordered);
+    assert_eq!(tags, vec!["retry", "cache", "fn"]);
+    let violation = validate_stack(&tags).expect_err("cache inside retry is a contract violation");
+    assert!(violation.contains("cache sits inside retry"), "{violation}");
+
+    // ... and even misordered, the never-memoize-errors property holds:
+    // every attempt goes through the cache as a fresh miss.
+    let err = misordered.call("q", &opts).expect_err("still dead");
+    assert_eq!(err.kind, TransportErrorKind::Status(500));
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    assert_eq!(cache.stats().insertions, 0);
+    assert_eq!(
+        cache.stats().misses,
+        2,
+        "the misordered cache pays one lookup per *attempt* — the pathology the contract bans"
+    );
+}
+
+/// One request through the full builder stack against a live server: every
+/// layer's spans and annotations — including the failed attempt and the
+/// server-side handling — share one trace.
+#[test]
+fn one_trace_spans_every_layer_and_the_retried_attempt() {
+    let _guard = global_observability_lock();
+    let flight = Arc::new(FlightRecorder::new(64));
+    recorder::install(Arc::clone(&flight));
+
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    let server = CompletionServer::start_with_faults(
+        SimLlm::new(ModelProfile::gpt_4(), 7),
+        Arc::clone(&registry),
+        FaultInjector::script(vec![Fault::Http500]),
+    )
+    .expect("server starts");
+    let stack = StackBuilder::over(HttpLlmClient::new(server.address(), "gpt-4"))
+        .retry(fast_policy(3))
+        .cache(16)
+        .metrics()
+        .trace()
+        .build();
+    assert_eq!(
+        stack_of(&stack),
+        vec!["trace", "metrics", "cache", "retry", "http"]
+    );
+
+    stack
+        .call(&prompt(1), &GenOptions::default())
+        .expect("retry absorbs the injected 500");
+
+    let record = flight
+        .recent(16)
+        .into_iter()
+        .find(|r| r.root == "llm.request")
+        .expect("the request span was recorded as a trace root");
+    assert!(record.has_annotation("cache", "miss"), "{record:?}");
+    assert!(record.has_annotation("retry", "1"), "{record:?}");
+    assert!(record.has_annotation("retry_outcome", "recovered"));
+    let attempts = record.spans_named("llm.attempt");
+    assert_eq!(
+        attempts.len(),
+        2,
+        "the 500 and the recovery share the trace"
+    );
+    let handled = record.spans_named("server.handle");
+    assert_eq!(handled.len(), 2, "both attempts reached the server");
+    let attempt_ids: Vec<u64> = attempts.iter().map(|s| s.span_id).collect();
+    for span in &handled {
+        let parent = span.parent.expect("server spans import the client parent");
+        assert!(
+            attempt_ids.contains(&parent),
+            "server span parented outside the client attempts: {span:?}"
+        );
+    }
+    assert_eq!(record.spans_named("cache.lookup").len(), 1);
+
+    recorder::disable();
+}
+
+/// The refactor's non-regression contract: driving the *pre-layer* wrapper
+/// API (cached client over resilient client over HTTP client) touches
+/// exactly the metric names it touched before the middleware rewrite —
+/// dashboards and the eval runner read these by name.
+#[test]
+fn shim_path_metric_names_are_byte_identical() {
+    let _guard = global_observability_lock();
+    let names_before: std::collections::BTreeMap<String, u64> = obs::global()
+        .counters()
+        .into_iter()
+        .chain(
+            obs::global()
+                .histograms()
+                .into_iter()
+                .map(|(name, summary)| (name, summary.count)),
+        )
+        .collect();
+
+    // Scenario 1: a 500-then-clean request through the full shim stack,
+    // then the identical request again (a cache hit).
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    let server = CompletionServer::start_with_faults(
+        SimLlm::new(ModelProfile::gpt_4(), 7),
+        Arc::clone(&registry),
+        FaultInjector::script(vec![Fault::Http500]),
+    )
+    .expect("server starts");
+    let client = CachedLlmClient::new(
+        ResilientLlmClient::new(
+            HttpLlmClient::new(server.address(), "gpt-4"),
+            fast_policy(3),
+        ),
+        64,
+    );
+    let opts = GenOptions::default();
+    client
+        .try_complete_with(&prompt(1), &opts)
+        .expect("retry absorbs the 500");
+    client
+        .try_complete_with(&prompt(1), &opts)
+        .expect("repeat is a cache hit");
+    drop(server); // joins the workers, so server-side spans are closed
+
+    // Scenario 2: a dead endpoint without retries — the error-attribution
+    // counters.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let dead = ResilientLlmClient::new(
+        HttpLlmClient::new(dead_addr, "gpt-4"),
+        RetryPolicy::no_retry(),
+    );
+    dead.try_complete_with(&prompt(2), &opts)
+        .expect_err("nobody listens there");
+
+    let names_after: std::collections::BTreeMap<String, u64> = obs::global()
+        .counters()
+        .into_iter()
+        .chain(
+            obs::global()
+                .histograms()
+                .into_iter()
+                .map(|(name, summary)| (name, summary.count)),
+        )
+        .collect();
+    let mut touched: Vec<&str> = names_after
+        .iter()
+        .filter(|(name, value)| names_before.get(*name) != Some(value))
+        .map(|(name, _)| name.as_str())
+        .collect();
+    touched.sort_unstable();
+
+    // The golden surface, unchanged since the concrete-wrapper era. A new
+    // name appearing here is a dashboard-breaking change; treat any edit
+    // to this list as a compatibility decision, not a test fix.
+    assert_eq!(
+        touched,
+        vec![
+            "cache.hits",
+            "cache.insertions",
+            "cache.lookup.duration_us",
+            "cache.misses",
+            "http.conn_reused",
+            "http.connections_opened",
+            "llm.attempt.duration_us",
+            "llm.error.transport",
+            "llm.errors_total",
+            "llm.request.duration_us",
+            "llm.retries_total",
+            "llm.retry_success_total",
+            "server.handle.duration_us",
+        ],
+        "the serving path's metric-name surface drifted"
+    );
+}
