@@ -24,6 +24,12 @@
 //! queue), reporting the shed rate, recovery, in-flight peak, and p50/p99
 //! latency — appended to `BENCH_serving.json` as `overload_*` fields.
 //!
+//! The `load` experiment runs the `nl2vis-loadgen` harness in both arrival
+//! modes (closed-loop, then fixed-rate open-loop with coordinated-omission
+//! correction) against a self-hosted server and writes the combined
+//! trajectory document to `BENCH_load.json` — the file
+//! `scripts/bench_diff` compares across PRs.
+//!
 //! The `traces` experiment installs the flight recorder, runs a small eval
 //! through the full client stack against a fault-injecting server, then
 //! pulls `GET /requests` / `GET /trace/<id>` and dumps the slowest and
@@ -55,6 +61,7 @@ const ALL: &[&str] = &[
     "transport",
     "serving",
     "traces",
+    "load",
 ];
 
 /// Serializes the serving-path comparison (and, when the run included the
@@ -80,8 +87,10 @@ fn serving_json(
         ("cold_connections", Json::Number(s.cold_connections as f64)),
         ("warm_connections", Json::Number(s.warm_connections as f64)),
         ("warm_hit_rate", Json::Number(s.warm_hit_rate)),
-        ("cache_hits", Json::Number(s.hits as f64)),
-        ("cache_misses", Json::Number(s.misses as f64)),
+        ("cold_cache_hits", Json::Number(s.cold_hits as f64)),
+        ("cold_cache_misses", Json::Number(s.cold_misses as f64)),
+        ("warm_cache_hits", Json::Number(s.warm_hits as f64)),
+        ("warm_cache_misses", Json::Number(s.warm_misses as f64)),
         ("cold_exact", Json::Number(s.cold.0)),
         ("cold_exec", Json::Number(s.cold.1)),
         ("warm_exact", Json::Number(s.warm.0)),
@@ -241,6 +250,15 @@ fn main() {
                         .to_pretty(),
                 ) {
                     eprintln!("cannot write BENCH_serving.json: {e}");
+                }
+                text
+            }
+            "load" => {
+                let (doc, text) = experiments::load(fast);
+                if !matches!(doc, nl2vis_data::Json::Null) {
+                    if let Err(e) = std::fs::write("BENCH_load.json", doc.to_pretty()) {
+                        eprintln!("cannot write BENCH_load.json: {e}");
+                    }
                 }
                 text
             }

@@ -968,10 +968,14 @@ pub struct ServingSummary {
     pub warm_connections: u64,
     /// Cache hit rate of the warm run alone.
     pub warm_hit_rate: f64,
-    /// Total cache hits across both runs.
-    pub hits: u64,
-    /// Total cache misses across both runs.
-    pub misses: u64,
+    /// Cache hits during the cold run (should be ~0 on distinct prompts).
+    pub cold_hits: u64,
+    /// Cache misses during the cold run (every first-seen prompt).
+    pub cold_misses: u64,
+    /// Cache hits during the warm run alone.
+    pub warm_hits: u64,
+    /// Cache misses during the warm run alone (should be ~0).
+    pub warm_misses: u64,
     /// (exact, exec) of the cold run.
     pub cold: Pair,
     /// (exact, exec) of the warm run.
@@ -1032,8 +1036,13 @@ pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummar
     let warm_connections = registry.counter("server.connections_total").get() - cold_connections;
     let stats = cache.stats();
 
+    // Per-phase counters from the between-runs snapshot: summing cold and
+    // warm would report `hits == misses` next to a 100% warm hit rate —
+    // the cold run's misses and the warm run's hits are different phases
+    // of the experiment and must not be conflated.
     let warm_hits = stats.hits - cold_stats.hits;
-    let warm_lookups = (stats.hits + stats.misses) - (cold_stats.hits + cold_stats.misses);
+    let warm_misses = stats.misses - cold_stats.misses;
+    let warm_lookups = warm_hits + warm_misses;
     let summary = ServingSummary {
         cold_wall_ms: cold_wall.as_secs_f64() * 1e3,
         warm_wall_ms: warm_wall.as_secs_f64() * 1e3,
@@ -1044,8 +1053,10 @@ pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummar
         } else {
             warm_hits as f64 / warm_lookups as f64
         },
-        hits: stats.hits,
-        misses: stats.misses,
+        cold_hits: cold_stats.hits,
+        cold_misses: cold_stats.misses,
+        warm_hits,
+        warm_misses,
         cold: (cold_report.overall().exact(), cold_report.overall().exec()),
         warm: (warm_report.overall().exact(), warm_report.overall().exec()),
         n: cold_report.overall().n(),
@@ -1064,7 +1075,7 @@ pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummar
          single-flight waits: {}   evictions: {}\n",
         summary.n,
         table(
-            &["run", "Exa", "Exe", "wall-ms", "tcp-conns"],
+            &["run", "Exa", "Exe", "wall-ms", "tcp-conns", "hits", "misses"],
             &[
                 vec![
                     "cold".to_string(),
@@ -1072,6 +1083,8 @@ pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummar
                     acc(summary.cold.1),
                     format!("{:.0}", summary.cold_wall_ms),
                     summary.cold_connections.to_string(),
+                    summary.cold_hits.to_string(),
+                    summary.cold_misses.to_string(),
                 ],
                 vec![
                     "warm".to_string(),
@@ -1079,6 +1092,8 @@ pub fn serving(ctx: &ExperimentContext, cache_capacity: usize) -> (ServingSummar
                     acc(summary.warm.1),
                     format!("{:.0}", summary.warm_wall_ms),
                     summary.warm_connections.to_string(),
+                    summary.warm_hits.to_string(),
+                    summary.warm_misses.to_string(),
                 ],
             ],
         ),
@@ -1410,4 +1425,77 @@ pub fn traces(ctx: &ExperimentContext) -> (TracesSummary, String) {
         dump,
     );
     (summary, text)
+}
+
+/// **Sustained load** (`nl2vis-loadgen` as a bench experiment): a short
+/// closed-loop run followed by an open-loop run at the same thread count,
+/// against a self-hosted `CompletionServer`. The closed loop measures the
+/// system at its natural pace; the open loop schedules requests at a fixed
+/// rate and measures from *intended* send time (coordinated-omission
+/// correction), so the two p99s diverging under pressure is the signal
+/// that the correction is real. The combined document lands in
+/// `BENCH_load.json` — the trajectory `scripts/bench_diff` compares
+/// across PRs. The standalone `nl2vis-loadgen` binary runs the same
+/// harness with full control over every knob.
+pub fn load(fast: bool) -> (nl2vis_data::Json, String) {
+    use nl2vis_loadgen::{results, run_load, Arrival, LoadConfig, Skew};
+    use std::time::Duration;
+
+    let (duration, warmup, threads, rps) = if fast {
+        (Duration::from_secs(2), Duration::from_millis(500), 4, 300.0)
+    } else {
+        (Duration::from_secs(8), Duration::from_secs(2), 8, 500.0)
+    };
+    let base = LoadConfig {
+        threads: vec![threads],
+        duration,
+        warmup,
+        skew: Skew::Zipf { theta: 1.1 },
+        prompts: 64,
+        report: Duration::ZERO,
+        out: String::new(),
+        ..LoadConfig::default()
+    };
+
+    let mut runs = Vec::new();
+    let mut config = base.clone();
+    config.arrival = Arrival::Closed;
+    match run_load(&config) {
+        Ok((_, mut r)) => runs.append(&mut r),
+        Err(e) => {
+            return (
+                nl2vis_data::Json::Null,
+                format!("load (closed) failed: {e}\n"),
+            )
+        }
+    }
+    config.arrival = Arrival::Open { rps };
+    let json = match run_load(&config) {
+        Ok((json, mut r)) => {
+            runs.append(&mut r);
+            json
+        }
+        Err(e) => {
+            return (
+                nl2vis_data::Json::Null,
+                format!("load (open) failed: {e}\n"),
+            )
+        }
+    };
+
+    // One document carrying both arrival modes: rebuild the run list from
+    // the combined set so the diff tool can match (threads, rate) pairs.
+    let mut doc = json;
+    doc.set("rate", nl2vis_data::Json::from("closed+open"));
+    doc.set(
+        "runs",
+        nl2vis_data::Json::Array(runs.iter().map(results::run_json).collect()),
+    );
+    let text = format!(
+        "Sustained load (self-hosted server, zipf:1.1 over 64 prompts, {}s + {}s warmup per mode)\n{}",
+        duration.as_secs(),
+        warmup.as_secs_f64(),
+        results::render_table(&runs),
+    );
+    (doc, text)
 }

@@ -13,7 +13,7 @@ use crate::fault::{Fault, FaultInjector};
 use crate::sim::SimLlm;
 use nl2vis_data::Json;
 use nl2vis_obs as obs;
-use nl2vis_obs::MetricsRegistry;
+use nl2vis_obs::{MetricsRegistry, WindowedRegistry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -224,8 +224,10 @@ impl ServerShared {
 /// - one `llm` access-log event per request on the installed sink.
 ///
 /// Besides the OpenAI-compatible surface, the server exposes
-/// `GET /metrics` (plain-text exposition of the registry) and
-/// `GET /healthz`.
+/// `GET /metrics` (plain-text exposition of the registry),
+/// `GET /stats` (a JSON snapshot pairing a sliding-window view — rolling
+/// throughput, windowed p50/p95/p99, shed rate over the last 10 seconds —
+/// with the cumulative totals), and `GET /healthz`.
 pub struct CompletionServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
@@ -233,6 +235,7 @@ pub struct CompletionServer {
     handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<MetricsRegistry>,
+    windowed: Arc<WindowedRegistry>,
     faults: Arc<FaultInjector>,
     config: ServerConfig,
 }
@@ -285,12 +288,14 @@ impl CompletionServer {
         });
         let llm = Arc::new(llm);
         let faults = Arc::new(faults);
+        let windowed = Arc::new(WindowedRegistry::new(obs::WindowConfig::seconds_10()));
 
         let workers = (0..config.max_inflight.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let llm = Arc::clone(&llm);
                 let reg = Arc::clone(&registry);
+                let win = Arc::clone(&windowed);
                 let faults = Arc::clone(&faults);
                 std::thread::spawn(move || loop {
                     let stream = {
@@ -315,7 +320,7 @@ impl CompletionServer {
                     let active = reg.gauge("server.active_connections");
                     let now_active = active.add(1);
                     reg.gauge("server.concurrent_peak").set_max(now_active);
-                    let _ = handle_connection(stream, &llm, &reg, &faults, &shared);
+                    let _ = handle_connection(stream, &llm, &reg, &win, &faults, &shared);
                     active.add(-1);
                     shared.inflight.fetch_sub(1, Ordering::Relaxed);
                 })
@@ -324,6 +329,7 @@ impl CompletionServer {
 
         let accept_shared = Arc::clone(&shared);
         let reg = Arc::clone(&registry);
+        let win = Arc::clone(&windowed);
         // The accept loop blocks in `accept` — zero CPU while idle — and is
         // woken on shutdown by `Drop` connecting to the listener itself.
         let handle = std::thread::spawn(move || loop {
@@ -335,7 +341,7 @@ impl CompletionServer {
                     let mut queue = accept_shared.queue.lock().expect("accept queue");
                     if queue.len() >= config.queue_depth {
                         drop(queue);
-                        shed(stream, &reg, config.retry_after);
+                        shed(stream, &reg, &win, config.retry_after);
                     } else {
                         queue.push_back(stream);
                         drop(queue);
@@ -359,6 +365,7 @@ impl CompletionServer {
             handle: Some(handle),
             workers,
             registry,
+            windowed,
             faults,
             config,
         })
@@ -372,6 +379,12 @@ impl CompletionServer {
     /// The registry this server records into.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The sliding-window registry backing `GET /stats` — rolling
+    /// throughput/latency/shed over the last 10 seconds.
+    pub fn windowed(&self) -> &Arc<WindowedRegistry> {
+        &self.windowed
     }
 
     /// The fault injector driving this server (inactive unless the server
@@ -390,9 +403,15 @@ impl CompletionServer {
 /// the client's retry layer will honor, close. The whole exchange is
 /// best-effort under a short write deadline — a shed exists to protect the
 /// workers, so it must never block the accept thread on a slow peer.
-fn shed(mut stream: TcpStream, registry: &MetricsRegistry, retry_after: Duration) {
+fn shed(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    windowed: &WindowedRegistry,
+    retry_after: Duration,
+) {
     registry.counter("server.shed_total").inc();
     registry.counter("llm.status_429").inc();
+    windowed.counter("server.shed_total").inc();
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let body = r#"{"error":"server overloaded, retry later"}"#;
@@ -400,12 +419,12 @@ fn shed(mut stream: TcpStream, registry: &MetricsRegistry, retry_after: Duration
     // 9110 (which allows only whole seconds): local tests and benchmarks
     // shed with millisecond backoffs, and rounding them up to 1s would
     // serialize the whole recovery. Our client parses either form.
-    let _ = write!(
-        stream,
+    let response = format!(
         "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
         retry_after.as_secs_f64(),
     );
+    let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
     // Lingering close: a shed never read the request, and closing a socket
     // with unread received data RSTs the connection — destroying the 429
@@ -563,8 +582,10 @@ fn respond(
     content_type: &str,
     keep_alive: bool,
 ) -> Result<(), HttpError> {
-    write!(
-        stream,
+    // Serialize the whole response first and send it in one write: header
+    // and body as separate writes would let Nagle hold the body back a
+    // delayed-ACK round trip on connections without NODELAY.
+    let response = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         match status {
             200 => "OK",
@@ -576,7 +597,8 @@ fn respond(
         },
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
-    )?;
+    );
+    stream.write_all(response.as_bytes())?;
     stream.flush()?;
     Ok(())
 }
@@ -585,6 +607,7 @@ fn handle_connection(
     stream: TcpStream,
     llm: &SimLlm,
     registry: &MetricsRegistry,
+    windowed: &WindowedRegistry,
     faults: &FaultInjector,
     shared: &ServerShared,
 ) -> Result<(), HttpError> {
@@ -592,6 +615,9 @@ fn handle_connection(
     // thread after SERVER_IO_TIMEOUT instead of parking it forever.
     let _ = stream.set_read_timeout(Some(SERVER_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
+    // Responses are latency-sensitive and always complete messages; never
+    // let Nagle hold one back waiting for a delayed ACK.
+    let _ = stream.set_nodelay(true);
     registry.counter("server.connections_total").inc();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
@@ -669,7 +695,14 @@ fn handle_connection(
                 JSON,
             )
         } else {
-            route(&request.method, &request.path, &request.body, llm, registry)
+            route(
+                &request.method,
+                &request.path,
+                &request.body,
+                llm,
+                registry,
+                windowed,
+            )
         };
 
         registry.counter("server.http_requests_total").inc();
@@ -680,6 +713,10 @@ fn handle_connection(
             registry
                 .histogram("llm.request_latency_us")
                 .record_duration_traced(elapsed, trace);
+            windowed.counter("llm.requests_total").inc();
+            windowed
+                .histogram("llm.request_latency_us")
+                .record_duration(elapsed);
         }
         if let Some(span) = &span {
             span.annotate("status", &status.to_string());
@@ -711,12 +748,55 @@ fn handle_connection(
 const JSON: &str = "application/json";
 const TEXT: &str = "text/plain; charset=utf-8";
 
+/// Renders the `GET /stats` body: the sliding-window view (rolling
+/// throughput, windowed latency percentiles, shed rate over the last
+/// [`obs::WindowConfig`] span) next to the cumulative totals, so a load
+/// generator polling once a second sees live movement instead of an
+/// ever-flattening average.
+fn stats_json(registry: &MetricsRegistry, windowed: &WindowedRegistry) -> String {
+    let window = windowed.histogram("llm.request_latency_us").summary();
+    let cumulative = registry.histogram("llm.request_latency_us").summary();
+    let shed_window = windowed.counter("server.shed_total").window_total();
+    let served_window = window.count;
+    let shed_rate = if served_window + shed_window == 0 {
+        0.0
+    } else {
+        shed_window as f64 / (served_window + shed_window) as f64
+    };
+    let latency = obs::window::summary_json(&window, Some(&cumulative));
+    format!(
+        concat!(
+            "{{\"window_seconds\":{:.1},",
+            "\"throughput_rps\":{:.3},",
+            "\"window_requests\":{},",
+            "\"window_shed\":{},",
+            "\"window_shed_rate\":{:.4},",
+            "\"requests_total\":{},",
+            "\"shed_total\":{},",
+            "\"active_connections\":{},",
+            "\"concurrent_peak\":{},",
+            "\"latency_us\":{}}}"
+        ),
+        windowed.config().span().as_secs_f64(),
+        window.rate_per_sec(),
+        served_window,
+        shed_window,
+        shed_rate,
+        registry.counter("llm.requests_total").get(),
+        registry.counter("server.shed_total").get(),
+        registry.gauge("server.active_connections").get(),
+        registry.gauge("server.concurrent_peak").get(),
+        latency,
+    )
+}
+
 fn route(
     method: &str,
     path: &str,
     body: &str,
     llm: &SimLlm,
     registry: &MetricsRegistry,
+    windowed: &WindowedRegistry,
 ) -> (u16, String, &'static str) {
     match (method, path) {
         ("POST", "/v1/completions") => match Json::parse(body) {
@@ -765,6 +845,7 @@ fn route(
             (200, response.to_compact(), JSON)
         }
         ("GET", "/metrics") => (200, obs::report::render_exposition(registry), TEXT),
+        ("GET", "/stats") => (200, stats_json(registry, windowed), JSON),
         ("GET", "/requests") => match obs::recorder::installed() {
             Some(recorder) => (200, recorder.index_json(50), JSON),
             None => (
@@ -941,6 +1022,9 @@ impl HttpLlmClient {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeouts.connect)?;
         stream.set_read_timeout(Some(self.timeouts.read))?;
         stream.set_write_timeout(Some(self.timeouts.write))?;
+        // Each request is a complete message followed by a read; Nagle
+        // would only add delayed-ACK stalls to the round trip.
+        let _ = stream.set_nodelay(true);
         obs::count("http.connections_opened", 1);
         Ok(stream)
     }
@@ -991,13 +1075,15 @@ impl HttpLlmClient {
             ),
             None => String::new(),
         };
-        write!(
-            stream,
+        // One buffered write for the whole request (see `respond` for the
+        // Nagle/delayed-ACK rationale).
+        let wire_request = format!(
             "POST /v1/completions HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{trace_headers}\r\n{request}",
             self.addr,
             request.len(),
             if want_keep_alive { "keep-alive" } else { "close" }
-        )?;
+        );
+        stream.write_all(wire_request.as_bytes())?;
         stream.flush()?;
 
         // Exactly one length-delimited response is outstanding, so a
@@ -1276,6 +1362,56 @@ mod tests {
         // /metrics and /healthz traffic is counted, completions are not
         // inflated by it.
         assert!(registry.counter("server.http_requests_total").get() >= 4);
+    }
+
+    #[test]
+    fn stats_endpoint_pairs_window_with_cumulative() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+        let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+        let client = HttpLlmClient::new(server.address(), "gpt-4");
+        for i in 0..3 {
+            let prompt = format!(
+                "-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: question {i}\nVQL:"
+            );
+            client.complete_http(&prompt).unwrap();
+        }
+        let response = raw_get(server.address(), "/stats");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        let json = Json::parse(body).unwrap();
+        assert_eq!(
+            json.get("window_seconds").and_then(Json::as_f64),
+            Some(10.0)
+        );
+        // All three completions landed within the last 10 s: window and
+        // cumulative agree.
+        assert_eq!(
+            json.get("window_requests").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(json.get("requests_total").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            json.get("window_shed_rate").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert!(json.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
+        let latency = json.get("latency_us").unwrap();
+        let wp99 = latency.at(0).is_none(); // object, not array
+        assert!(wp99);
+        let window_p99 = latency
+            .get("window")
+            .and_then(|w| w.get("p99_us"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        let cumulative_p99 = latency
+            .get("cumulative")
+            .and_then(|c| c.get("p99_us"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(window_p99 > 0.0);
+        assert_eq!(window_p99, cumulative_p99, "identical samples, same p99");
+        assert_eq!(server.windowed().config().buckets, 10);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! `bench_diff`: compares two `BENCH_load.json` files and flags
+//! regressions beyond a threshold.
+//!
+//! ```text
+//! cargo run -p nl2vis-loadgen --bin bench_diff -- \
+//!     BENCH_load.baseline.json BENCH_load.json [--threshold=0.2]
+//! ```
+//!
+//! Exit status: 0 when clean (or nothing comparable), 1 on regression,
+//! 2 on usage/parse errors.
+
+use nl2vis_data::Json;
+
+fn main() {
+    let mut files = Vec::new();
+    let mut threshold = 0.2f64;
+    for arg in std::env::args().skip(1) {
+        if let Some(value) = arg.strip_prefix("--threshold=") {
+            threshold = match value.parse::<f64>() {
+                Ok(t) if t > 0.0 && t.is_finite() => t,
+                _ => {
+                    eprintln!("error: bad threshold `{value}`");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            files.push(arg);
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--threshold=0.2]");
+        std::process::exit(2);
+    }
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(&files[0]);
+    let candidate = load(&files[1]);
+    let report = nl2vis_loadgen::diff(&baseline, &candidate, threshold);
+    println!(
+        "bench_diff: {} vs {} (threshold {:.0}%)",
+        files[0],
+        files[1],
+        threshold * 100.0
+    );
+    print!("{}", report.table);
+    if report.unmatched > 0 {
+        println!(
+            "({} run(s) without a counterpart were skipped)",
+            report.unmatched
+        );
+    }
+    if report.clean() {
+        println!("verdict: clean");
+    } else {
+        println!("verdict: {} regression(s)", report.regressions.len());
+        for regression in &report.regressions {
+            println!("  - {regression}");
+        }
+        std::process::exit(1);
+    }
+}

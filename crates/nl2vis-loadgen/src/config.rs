@@ -1,0 +1,305 @@
+//! CLI configuration for the load harness.
+//!
+//! Everything is a `--key=value` flag with a benchmark-friendly default,
+//! so `cargo run -p nl2vis-loadgen --release` alone produces a meaningful
+//! sustained run, and the acceptance invocation
+//! `--threads=32 --duration=60 --rate=open:500 --skew=zipf:1.1` scales it
+//! up.
+
+use std::time::Duration;
+
+/// How the load generator schedules request starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Each worker issues its next request the moment the previous one
+    /// completes — throughput is *coordinated* with the server, so queueing
+    /// delay hides from the latency distribution (the classic coordinated
+    /// omission trap).
+    Closed,
+    /// Fixed-rate schedule: the run fires `rps` requests per second split
+    /// round-robin across workers, and every latency is measured from the
+    /// *intended* send time, so a slow server pays for the requests it
+    /// delayed.
+    Open {
+        /// Target aggregate arrival rate, requests per second.
+        rps: f64,
+    },
+}
+
+impl Arrival {
+    /// Stable label used in results and run matching (`closed`,
+    /// `open:500`).
+    pub fn label(&self) -> String {
+        match self {
+            Arrival::Closed => "closed".to_string(),
+            Arrival::Open { rps } => format!("open:{rps}"),
+        }
+    }
+}
+
+/// Which prompts the generator draws, and how often.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every prompt equally likely.
+    Uniform,
+    /// Rank-`r` prompt drawn with probability proportional to
+    /// `1 / r^theta` — hot-key skew, the access pattern that exercises the
+    /// completion cache and single-flight dedup.
+    Zipf {
+        /// Skew exponent; ~0.99–1.2 models real workload hot keys.
+        theta: f64,
+    },
+}
+
+impl Skew {
+    /// Stable label used in results (`uniform`, `zipf:1.1`).
+    pub fn label(&self) -> String {
+        match self {
+            Skew::Uniform => "uniform".to_string(),
+            Skew::Zipf { theta } => format!("zipf:{theta}"),
+        }
+    }
+}
+
+/// Where the harness finds its server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// Start an in-process [`CompletionServer`](nl2vis_llm::http::CompletionServer)
+    /// sized by `--server-workers` / `--server-queue` and drive that.
+    SelfHosted,
+    /// Drive an already-running server at `host:port`.
+    Remote(String),
+}
+
+/// Full configuration of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Thread counts to sweep, one measured run per entry.
+    pub threads: Vec<usize>,
+    /// Sustained measurement phase per thread count.
+    pub duration: Duration,
+    /// Warmup phase per thread count; requests sent but not measured.
+    pub warmup: Duration,
+    /// Arrival discipline.
+    pub arrival: Arrival,
+    /// Prompt-key distribution.
+    pub skew: Skew,
+    /// Distinct prompts in the pool.
+    pub prompts: usize,
+    /// Client-side completion-cache capacity; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Injected per-completion service time on the self-hosted server, in
+    /// milliseconds (the simulated model itself is CPU-only).
+    pub service_ms: u64,
+    /// Server to drive.
+    pub target: Target,
+    /// Worker threads of the self-hosted server.
+    pub server_workers: usize,
+    /// Accept-queue depth of the self-hosted server.
+    pub server_queue: usize,
+    /// Where the JSON results go; empty string suppresses the file.
+    pub out: String,
+    /// Live progress-report interval; zero silences the reporter.
+    pub report: Duration,
+    /// Seed for prompt sampling.
+    pub seed: u64,
+    /// Model profile name (`text-davinci-003`, `gpt-4`,
+    /// `gpt-3.5-turbo-16k`).
+    pub model: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            threads: vec![8],
+            duration: Duration::from_secs(10),
+            warmup: Duration::from_secs(2),
+            arrival: Arrival::Closed,
+            skew: Skew::Zipf { theta: 1.1 },
+            prompts: 256,
+            cache_capacity: 0,
+            service_ms: 2,
+            target: Target::SelfHosted,
+            server_workers: 16,
+            server_queue: 64,
+            out: "BENCH_load.json".to_string(),
+            report: Duration::from_secs(2),
+            seed: 42,
+            model: "text-davinci-003".to_string(),
+        }
+    }
+}
+
+fn parse_secs(value: &str, flag: &str) -> Result<Duration, String> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|s| s.is_finite() && *s >= 0.0)
+        .map(Duration::from_secs_f64)
+        .ok_or_else(|| format!("{flag} wants seconds, got `{value}`"))
+}
+
+impl LoadConfig {
+    /// Parses `--key=value` CLI flags over the defaults. Unknown flags are
+    /// errors (a typo silently falling back to a default would invalidate
+    /// a benchmark).
+    pub fn parse_args<I, S>(args: I) -> Result<LoadConfig, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut config = LoadConfig::default();
+        for arg in args {
+            let arg = arg.as_ref();
+            let (flag, value) = arg
+                .split_once('=')
+                .ok_or_else(|| format!("expected --flag=value, got `{arg}`"))?;
+            match flag {
+                "--threads" => {
+                    config.threads = value
+                        .split(',')
+                        .map(|t| {
+                            t.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or_else(|| format!("bad thread count `{t}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if config.threads.is_empty() {
+                        return Err("--threads wants at least one count".to_string());
+                    }
+                }
+                "--duration" => config.duration = parse_secs(value, flag)?,
+                "--warmup" => config.warmup = parse_secs(value, flag)?,
+                "--rate" => {
+                    config.arrival = if value == "closed" {
+                        Arrival::Closed
+                    } else if let Some(rps) = value.strip_prefix("open:") {
+                        let rps: f64 = rps
+                            .parse()
+                            .map_err(|_| format!("bad open-loop rate `{rps}`"))?;
+                        if !rps.is_finite() || rps <= 0.0 {
+                            return Err(format!("open-loop rate must be positive, got `{rps}`"));
+                        }
+                        Arrival::Open { rps }
+                    } else {
+                        return Err(format!(
+                            "--rate wants `closed` or `open:<rps>`, got `{value}`"
+                        ));
+                    };
+                }
+                "--skew" => {
+                    config.skew = if value == "uniform" {
+                        Skew::Uniform
+                    } else if let Some(theta) = value.strip_prefix("zipf:") {
+                        let theta: f64 = theta
+                            .parse()
+                            .map_err(|_| format!("bad zipf exponent `{theta}`"))?;
+                        if !theta.is_finite() || theta < 0.0 {
+                            return Err(format!("zipf exponent must be >= 0, got `{theta}`"));
+                        }
+                        Skew::Zipf { theta }
+                    } else {
+                        return Err(format!(
+                            "--skew wants `uniform` or `zipf:<theta>`, got `{value}`"
+                        ));
+                    };
+                }
+                "--prompts" => {
+                    config.prompts = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad prompt count `{value}`"))?;
+                }
+                "--cache" => {
+                    config.cache_capacity = value
+                        .parse()
+                        .map_err(|_| format!("bad cache capacity `{value}`"))?;
+                }
+                "--service-ms" => {
+                    config.service_ms = value
+                        .parse()
+                        .map_err(|_| format!("bad service time `{value}`"))?;
+                }
+                "--server" => {
+                    config.target = if value == "self" {
+                        Target::SelfHosted
+                    } else {
+                        Target::Remote(value.to_string())
+                    };
+                }
+                "--server-workers" => {
+                    config.server_workers = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad worker count `{value}`"))?;
+                }
+                "--server-queue" => {
+                    config.server_queue = value
+                        .parse()
+                        .map_err(|_| format!("bad queue depth `{value}`"))?;
+                }
+                "--out" => config.out = value.to_string(),
+                "--report" => config.report = parse_secs(value, flag)?,
+                "--seed" => {
+                    config.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                }
+                "--model" => config.model = value.to_string(),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_invocation_parses() {
+        let config = LoadConfig::parse_args([
+            "--threads=32",
+            "--duration=60",
+            "--rate=open:500",
+            "--skew=zipf:1.1",
+        ])
+        .unwrap();
+        assert_eq!(config.threads, vec![32]);
+        assert_eq!(config.duration, Duration::from_secs(60));
+        assert_eq!(config.arrival, Arrival::Open { rps: 500.0 });
+        assert_eq!(config.skew, Skew::Zipf { theta: 1.1 });
+        assert_eq!(config.arrival.label(), "open:500");
+    }
+
+    #[test]
+    fn thread_sweep_and_remote_target_parse() {
+        let config = LoadConfig::parse_args([
+            "--threads=4,8,16",
+            "--server=127.0.0.1:9999",
+            "--rate=closed",
+            "--skew=uniform",
+            "--cache=128",
+            "--out=",
+        ])
+        .unwrap();
+        assert_eq!(config.threads, vec![4, 8, 16]);
+        assert_eq!(config.target, Target::Remote("127.0.0.1:9999".to_string()));
+        assert_eq!(config.arrival, Arrival::Closed);
+        assert_eq!(config.skew.label(), "uniform");
+        assert_eq!(config.cache_capacity, 128);
+        assert!(config.out.is_empty());
+    }
+
+    #[test]
+    fn bad_flags_are_rejected_not_defaulted() {
+        assert!(LoadConfig::parse_args(["--rate=sometimes"]).is_err());
+        assert!(LoadConfig::parse_args(["--threads=0"]).is_err());
+        assert!(LoadConfig::parse_args(["--skew=zipf:banana"]).is_err());
+        assert!(LoadConfig::parse_args(["--durations=5"]).is_err());
+        assert!(LoadConfig::parse_args(["--rate=open:-3"]).is_err());
+    }
+}

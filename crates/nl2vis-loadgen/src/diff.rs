@@ -1,0 +1,231 @@
+//! Regression detection between two `BENCH_load.json` files.
+//!
+//! Runs are matched by `(threads, rate)`; a metric regresses when it moves
+//! past the relative threshold in the bad direction (throughput down,
+//! corrected p50/p99 up, shed rate up). Latency comparisons also require a
+//! small absolute movement so micro-runs don't flag on scheduler noise.
+
+use nl2vis_data::Json;
+
+/// The outcome of comparing two benchmark files.
+pub struct DiffReport {
+    /// Fixed-width comparison table, one row per matched (metric, run).
+    pub table: String,
+    /// Human-readable description of each regression found.
+    pub regressions: Vec<String>,
+    /// Runs present in only one of the files (informational).
+    pub unmatched: usize,
+}
+
+impl DiffReport {
+    /// True when no metric crossed the threshold.
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn runs_of(doc: &Json) -> Vec<&Json> {
+    doc.get("runs")
+        .and_then(Json::as_array)
+        .map(|runs| runs.iter().collect())
+        .unwrap_or_default()
+}
+
+fn run_key(run: &Json) -> (i64, String) {
+    (
+        run.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as i64,
+        run.get("rate")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+    )
+}
+
+fn number(run: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = run;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_f64()
+}
+
+/// Latency below which relative movement is noise, not regression
+/// (milliseconds).
+const LATENCY_FLOOR_MS: f64 = 0.5;
+
+/// Compares `baseline` against `candidate`, flagging moves beyond
+/// `threshold` (relative, e.g. `0.2` = 20%).
+pub fn diff(baseline: &Json, candidate: &Json, threshold: f64) -> DiffReport {
+    struct Metric {
+        label: &'static str,
+        path: &'static [&'static str],
+        /// +1: bigger is better (throughput); -1: smaller is better.
+        direction: f64,
+        /// Absolute slack under which movement is ignored.
+        floor: f64,
+    }
+    const METRICS: &[Metric] = &[
+        Metric {
+            label: "throughput_rps",
+            path: &["throughput_rps"],
+            direction: 1.0,
+            floor: 1.0,
+        },
+        Metric {
+            label: "p50_corrected_ms",
+            path: &["latency_ms", "e2e_corrected", "p50_ms"],
+            direction: -1.0,
+            floor: LATENCY_FLOOR_MS,
+        },
+        Metric {
+            label: "p99_corrected_ms",
+            path: &["latency_ms", "e2e_corrected", "p99_ms"],
+            direction: -1.0,
+            floor: LATENCY_FLOOR_MS,
+        },
+        Metric {
+            label: "shed_rate",
+            path: &["shed_rate"],
+            direction: -1.0,
+            floor: 0.05,
+        },
+    ];
+
+    let old_runs = runs_of(baseline);
+    let new_runs = runs_of(candidate);
+    let mut table = format!(
+        "{:<9} {:<10} {:<18} {:>12} {:>12} {:>9}  {}\n{}\n",
+        "threads",
+        "rate",
+        "metric",
+        "baseline",
+        "candidate",
+        "change",
+        "verdict",
+        "-".repeat(86),
+    );
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+
+    for old in &old_runs {
+        let key = run_key(old);
+        let Some(new) = new_runs.iter().find(|r| run_key(r) == key) else {
+            continue;
+        };
+        matched += 1;
+        for metric in METRICS {
+            let (Some(was), Some(now)) = (number(old, metric.path), number(new, metric.path))
+            else {
+                continue;
+            };
+            let change = if was.abs() < 1e-9 {
+                if now.abs() < 1e-9 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (now - was) / was
+            };
+            // A regression moves against the metric's good direction by
+            // more than the threshold AND by more than the absolute floor.
+            let bad_move = change * metric.direction < -threshold;
+            let past_floor = (now - was).abs() > metric.floor;
+            let regressed = bad_move && past_floor;
+            let verdict = if regressed {
+                "REGRESSED"
+            } else if change * metric.direction > threshold && past_floor {
+                "improved"
+            } else {
+                "ok"
+            };
+            let change_text = if change.is_infinite() {
+                "new".to_string()
+            } else {
+                format!("{:+.1}%", change * 100.0)
+            };
+            table.push_str(&format!(
+                "{:<9} {:<10} {:<18} {:>12.3} {:>12.3} {:>9}  {}\n",
+                key.0, key.1, metric.label, was, now, change_text, verdict
+            ));
+            if regressed {
+                regressions.push(format!(
+                    "threads={} rate={}: {} {:.3} -> {:.3} ({})",
+                    key.0, key.1, metric.label, was, now, change_text
+                ));
+            }
+        }
+    }
+    let unmatched = old_runs.len() + new_runs.len() - 2 * matched;
+    if matched == 0 {
+        table.push_str("(no comparable runs: thread/rate combinations do not overlap)\n");
+    }
+    DiffReport {
+        table,
+        regressions,
+        unmatched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(threads: i64, rps: f64, p99: f64, shed: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"experiment":"load","runs":[{{"threads":{threads},"rate":"open:500",
+                "throughput_rps":{rps},"shed_rate":{shed},
+                "latency_ms":{{"e2e_corrected":{{"p50_ms":1.0,"p99_ms":{p99}}}}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_when_metrics_hold() {
+        let report = diff(&doc(8, 500.0, 12.0, 0.0), &doc(8, 495.0, 12.5, 0.0), 0.2);
+        assert!(report.clean(), "{:?}", report.regressions);
+        assert!(report.table.contains("throughput_rps"), "{}", report.table);
+        assert!(report.table.contains("ok"), "{}", report.table);
+    }
+
+    #[test]
+    fn throughput_drop_and_p99_rise_are_flagged() {
+        let report = diff(&doc(8, 500.0, 12.0, 0.0), &doc(8, 300.0, 30.0, 0.0), 0.2);
+        assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
+        assert!(report.table.contains("REGRESSED"), "{}", report.table);
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("throughput_rps")));
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("p99_corrected_ms")));
+    }
+
+    #[test]
+    fn tiny_absolute_latency_noise_is_not_a_regression() {
+        // 0.1ms -> 0.3ms is +200% but under the absolute floor.
+        let report = diff(&doc(8, 500.0, 0.1, 0.0), &doc(8, 500.0, 0.3, 0.0), 0.2);
+        assert!(report.clean(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn unmatched_runs_are_counted_not_compared() {
+        let report = diff(&doc(8, 500.0, 12.0, 0.0), &doc(16, 900.0, 20.0, 0.0), 0.2);
+        assert!(report.clean());
+        assert_eq!(report.unmatched, 2);
+        assert!(
+            report.table.contains("no comparable runs"),
+            "{}",
+            report.table
+        );
+    }
+
+    #[test]
+    fn shed_rate_increase_is_flagged() {
+        let report = diff(&doc(8, 500.0, 12.0, 0.0), &doc(8, 500.0, 12.0, 0.4), 0.2);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].contains("shed_rate"));
+    }
+}

@@ -20,6 +20,10 @@
 //! - [`report`]: text rendering — [`report::render_exposition`] backs the
 //!   server's `GET /metrics`, [`report::render_summary`] prints the CLI
 //!   telemetry table.
+//! - [`window`]: sliding-window counterparts ([`WindowedCounter`],
+//!   [`WindowedHistogram`], [`WindowedRegistry`]) — a ring of
+//!   fixed-duration buckets yielding rolling throughput and p50/p95/p99
+//!   over the last N seconds, backing the server's `GET /stats`.
 //!
 //! ## Naming convention
 //!
@@ -52,6 +56,7 @@ pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod window;
 
 pub use recorder::{FlightRecorder, RecorderStats, TraceRecord};
 pub use registry::{global, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
@@ -59,6 +64,9 @@ pub use sink::{
     disable_sink, emit, set_sink, sink_active, Event, EventSink, JsonlSink, MemorySink, NullSink,
 };
 pub use span::{annotate_current, current_context, current_trace, Span, TraceContext};
+pub use window::{
+    WindowConfig, WindowSummary, WindowedCounter, WindowedHistogram, WindowedRegistry,
+};
 
 /// Adds `delta` to the global counter `name` and emits a
 /// [`Event::CounterDelta`] to the installed sink.

@@ -307,6 +307,12 @@ impl FlightRecorder {
         self.len() == 0
     }
 
+    /// Number of in-flight (not yet finalized) traces — bounded by
+    /// `max_active`, which load tests assert on.
+    pub fn active_len(&self) -> usize {
+        self.active.lock().expect("recorder active").len()
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> RecorderStats {
         RecorderStats {

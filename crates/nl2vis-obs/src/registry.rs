@@ -97,12 +97,12 @@ impl Default for Histogram {
 }
 
 /// Index of the bucket a value falls in: its bit length.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
 /// Inclusive value range `[lo, hi]` covered by bucket `i`.
-fn bucket_bounds(i: usize) -> (u64, u64) {
+pub(crate) fn bucket_bounds(i: usize) -> (u64, u64) {
     if i == 0 {
         (0, 0)
     } else {
@@ -221,7 +221,7 @@ impl Histogram {
 /// Estimates the `q`-quantile from bucket counts by linear interpolation
 /// inside the bucket holding the target rank, clamped to the observed
 /// min/max so tails don't overshoot real data.
-fn percentile(counts: &[u64], total: u64, q: f64, min: u64, max: u64) -> f64 {
+pub(crate) fn percentile(counts: &[u64], total: u64, q: f64, min: u64, max: u64) -> f64 {
     if total == 0 {
         return 0.0;
     }
@@ -480,6 +480,103 @@ mod tests {
         let p90 = h.quantile(0.90);
         assert!((512.0..=1024.0).contains(&p90), "p90 {p90}");
         assert_eq!(Histogram::default().quantile(0.9), 0.0);
+    }
+
+    /// Records `values` into a fresh histogram and returns the raw bucket
+    /// counts plus observed min/max, the exact inputs `percentile` sees.
+    fn buckets_of(values: &[u64]) -> (Vec<u64>, u64, u64, u64) {
+        let h = Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        let counts: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        (
+            counts,
+            values.len() as u64,
+            *values.iter().min().unwrap(),
+            *values.iter().max().unwrap(),
+        )
+    }
+
+    #[test]
+    fn percentile_is_exact_at_bucket_boundaries() {
+        // All mass on a single boundary value: min==max clamping pins every
+        // quantile to the exact sample, for every power-of-two boundary.
+        for k in [0u32, 1, 4, 10, 20, 40, 63] {
+            let v = 1u64 << k;
+            let (counts, total, min, max) = buckets_of(&vec![v; 100]);
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(
+                    percentile(&counts, total, q, min, max),
+                    v as f64,
+                    "boundary 2^{k} at q={q}"
+                );
+            }
+        }
+        // The top rank of a bucket interpolates exactly to its high bound;
+        // interior ranks stay confined to the bucket.
+        let (counts, total, min, max) = buckets_of(&[512, 1023]);
+        let p0 = percentile(&counts, total, 0.25, min, max);
+        let p1 = percentile(&counts, total, 1.0, min, max);
+        assert!(
+            (512.0..=1023.0).contains(&p0),
+            "rank 1 of 2 stays inside the bucket, got {p0}"
+        );
+        assert_eq!(p1, 1023.0, "rank 2 of 2 sits at the bucket's high bound");
+    }
+
+    #[test]
+    fn percentile_mid_bucket_error_is_bounded() {
+        // Uniform fill of one bucket: linear interpolation tracks the true
+        // quantile to within ~1 part in bucket-width.
+        let values: Vec<u64> = (512..=1023).collect();
+        let (counts, total, min, max) = buckets_of(&values);
+        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
+            let rank = (q * total as f64).ceil().max(1.0);
+            let truth = 511.0 + rank; // rank-th smallest of 512..=1023
+            let est = percentile(&counts, total, q, min, max);
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.01, "q={q}: est {est} vs true {truth} (rel {rel})");
+        }
+
+        // Adversarial mass placement (everything at one end of the bucket):
+        // the estimate can be off inside the bucket but never escapes it, so
+        // the relative error is bounded by the bucket's width (a factor of
+        // two on the log scale).
+        let mut skewed = vec![512u64; 999];
+        skewed.push(1023);
+        let (counts, total, min, max) = buckets_of(&skewed);
+        let (lo, hi) = bucket_bounds(bucket_index(512));
+        for q in [0.5, 0.99] {
+            let est = percentile(&counts, total, q, min, max);
+            assert!(
+                (lo as f64..=hi as f64).contains(&est),
+                "q={q}: estimate {est} escaped bucket [{lo}, {hi}]"
+            );
+            assert!(est / 512.0 <= 2.0, "relative error must stay below 2x");
+        }
+    }
+
+    #[test]
+    fn percentile_single_sample_is_exact() {
+        for v in [0u64, 1, 7, 300, 1 << 40] {
+            let (counts, total, min, max) = buckets_of(&[v]);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(percentile(&counts, total, q, min, max), v as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let counts = vec![0u64; BUCKETS];
+        for q in [0.0, 0.5, 0.99] {
+            assert_eq!(percentile(&counts, 0, q, 0, 0), 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,619 @@
+//! Sliding-window aggregation: rolling throughput and latency percentiles
+//! over the last N seconds, next to the cumulative registry.
+//!
+//! Cumulative counters and histograms answer "what happened since the
+//! process started"; a sustained load run needs "what is happening *right
+//! now*" — rolling throughput, the windowed p99, the shed rate over the
+//! last ten seconds. [`WindowedCounter`] and [`WindowedHistogram`] provide
+//! that as a ring of fixed-duration buckets: each recording lands in the
+//! bucket owning the current time slice, and a summary aggregates the
+//! buckets still inside the window, so old traffic ages out bucket by
+//! bucket instead of lingering forever.
+//!
+//! The ring reuses the registry's log-scale bucket layout
+//! ([`crate::registry::BUCKETS`]) so windowed percentiles interpolate with
+//! the same [`crate::registry::percentile`] math as the cumulative ones —
+//! a windowed p99 and a cumulative p99 over the same steady workload
+//! converge to the same bucket.
+//!
+//! Recording is relaxed atomics on the hot path; a bucket is reset under a
+//! short per-slot mutex only when the ring rotates into it (once per
+//! bucket duration). A thread that stalls between reading the clock and
+//! recording can land its sample one bucket late, and samples recorded
+//! concurrently with a rotation can be lost — bounded, telemetry-grade
+//! imprecision, never unbounded error.
+//!
+//! Time is measured from a per-structure epoch (`Instant` at
+//! construction). Every operation has an `_at` variant taking the elapsed
+//! duration explicitly, so tests drive the clock deterministically.
+
+use crate::registry::{percentile, HistogramSummary, BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Ring sizing: `buckets` slices of `bucket` each; the window covers
+/// `bucket * buckets` of wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Duration of one ring slot.
+    pub bucket: Duration,
+    /// Number of ring slots.
+    pub buckets: usize,
+}
+
+impl WindowConfig {
+    /// The server default: ten one-second buckets (a 10 s rolling view).
+    pub fn seconds_10() -> WindowConfig {
+        WindowConfig {
+            bucket: Duration::from_secs(1),
+            buckets: 10,
+        }
+    }
+
+    /// Total window span.
+    pub fn span(&self) -> Duration {
+        self.bucket * self.buckets as u32
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> WindowConfig {
+        WindowConfig::seconds_10()
+    }
+}
+
+/// One ring slot. `generation` holds `tick + 1` of the time slice the slot
+/// currently represents (0 = never used); per-slot generations are
+/// monotonic because slot `i` only ever holds ticks `≡ i (mod n)`.
+#[derive(Debug)]
+struct Slot {
+    generation: AtomicU64,
+    rotate: Mutex<()>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Slot {
+    fn default() -> Slot {
+        Slot {
+            generation: AtomicU64::new(0),
+            rotate: Mutex::new(()),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Slot {
+    /// Makes the slot represent `tick`, zeroing stale contents. Returns
+    /// `false` when the slot already moved past `tick` (the caller's clock
+    /// read is stale; its sample belongs to a newer slice and recording it
+    /// there is a bounded, acceptable skew).
+    fn rotate_to(&self, tick: u64) -> bool {
+        let want = tick + 1;
+        let current = self.generation.load(Ordering::Acquire);
+        if current == want {
+            return true;
+        }
+        if current > want {
+            return false;
+        }
+        let _guard = self.rotate.lock().expect("window slot rotation");
+        let current = self.generation.load(Ordering::Acquire);
+        if current >= want {
+            return current == want;
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.generation.store(want, Ordering::Release);
+        true
+    }
+}
+
+/// A point-in-time view of a window: the aggregate of every ring slot
+/// still inside it, plus the rate it implies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSummary {
+    /// Wall-clock the window actually covers — `min(elapsed, span)`, so
+    /// early-life rates aren't diluted by empty future buckets.
+    pub covered: Duration,
+    /// Samples (or counter increments) inside the window.
+    pub count: u64,
+    /// Sum of samples inside the window.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median estimate over the window.
+    pub p50: f64,
+    /// 95th-percentile estimate over the window.
+    pub p95: f64,
+    /// 99th-percentile estimate over the window.
+    pub p99: f64,
+}
+
+impl WindowSummary {
+    /// Events per second over the covered duration (0 when nothing is
+    /// covered yet).
+    pub fn rate_per_sec(&self) -> f64 {
+        let secs = self.covered.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / secs
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A log-scale histogram over a sliding window: the windowed counterpart
+/// of [`crate::registry::Histogram`].
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    slots: Vec<Slot>,
+    bucket_us: u64,
+    epoch: Instant,
+}
+
+impl WindowedHistogram {
+    /// An empty windowed histogram; the window starts now.
+    pub fn new(config: WindowConfig) -> WindowedHistogram {
+        WindowedHistogram::with_epoch(config, Instant::now())
+    }
+
+    /// An empty windowed histogram measuring time from `epoch`. A registry
+    /// passes its own construction time so that a metric first touched
+    /// long after startup doesn't report a near-zero covered duration
+    /// (which would wildly inflate its first rate reading).
+    pub fn with_epoch(config: WindowConfig, epoch: Instant) -> WindowedHistogram {
+        WindowedHistogram {
+            slots: (0..config.buckets.max(1))
+                .map(|_| Slot::default())
+                .collect(),
+            bucket_us: (config.bucket.as_micros() as u64).max(1),
+            epoch,
+        }
+    }
+
+    fn tick_of(&self, elapsed: Duration) -> u64 {
+        (elapsed.as_micros() as u64) / self.bucket_us
+    }
+
+    /// Records one sample at the current time.
+    pub fn record(&self, v: u64) {
+        self.record_at(v, self.epoch.elapsed());
+    }
+
+    /// Records a wall-clock duration in whole microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one sample as of `elapsed` since the epoch (the
+    /// deterministic entry point tests use).
+    pub fn record_at(&self, v: u64, elapsed: Duration) {
+        let mut tick = self.tick_of(elapsed);
+        let mut slot = &self.slots[(tick as usize) % self.slots.len()];
+        if !slot.rotate_to(tick) {
+            // Our clock read was stale: the ring already moved on. Land the
+            // sample in the slice the slot now represents instead of
+            // dropping it.
+            tick = (slot.generation.load(Ordering::Acquire)).saturating_sub(1);
+            slot = &self.slots[(tick as usize) % self.slots.len()];
+        }
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(v, Ordering::Relaxed);
+        slot.min.fetch_min(v, Ordering::Relaxed);
+        slot.max.fetch_max(v, Ordering::Relaxed);
+        slot.buckets[crate::registry::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The rolling summary as of now.
+    pub fn summary(&self) -> WindowSummary {
+        self.summary_at(self.epoch.elapsed())
+    }
+
+    /// The rolling summary as of `elapsed` since the epoch: aggregates the
+    /// slots whose tick lies in `(now_tick - n, now_tick]`.
+    pub fn summary_at(&self, elapsed: Duration) -> WindowSummary {
+        let now_tick = self.tick_of(elapsed);
+        let n = self.slots.len() as u64;
+        let oldest = (now_tick + 1).saturating_sub(n);
+        let mut counts = [0u64; BUCKETS];
+        let (mut count, mut sum) = (0u64, 0u64);
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for slot in &self.slots {
+            let generation = slot.generation.load(Ordering::Acquire);
+            if generation == 0 {
+                continue;
+            }
+            let tick = generation - 1;
+            if tick < oldest || tick > now_tick {
+                continue;
+            }
+            let slot_count = slot.count.load(Ordering::Relaxed);
+            if slot_count == 0 {
+                continue;
+            }
+            count += slot_count;
+            sum += slot.sum.load(Ordering::Relaxed);
+            min = min.min(slot.min.load(Ordering::Relaxed));
+            max = max.max(slot.max.load(Ordering::Relaxed));
+            for (acc, b) in counts.iter_mut().zip(&slot.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        let span_us = self.bucket_us.saturating_mul(n);
+        let covered = Duration::from_micros((elapsed.as_micros() as u64).min(span_us));
+        if count == 0 {
+            return WindowSummary {
+                covered,
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let pct = |q: f64| percentile(&counts, count, q, min, max);
+        WindowSummary {
+            covered,
+            count,
+            sum,
+            min,
+            max,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// A counter over a sliding window — rolling rates (requests/sec, sheds in
+/// the last N seconds) instead of an ever-growing total.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    inner: WindowedHistogram,
+}
+
+impl WindowedCounter {
+    /// An empty windowed counter; the window starts now.
+    pub fn new(config: WindowConfig) -> WindowedCounter {
+        WindowedCounter {
+            inner: WindowedHistogram::new(config),
+        }
+    }
+
+    /// An empty windowed counter measuring time from `epoch` (see
+    /// [`WindowedHistogram::with_epoch`]).
+    pub fn with_epoch(config: WindowConfig, epoch: Instant) -> WindowedCounter {
+        WindowedCounter {
+            inner: WindowedHistogram::with_epoch(config, epoch),
+        }
+    }
+
+    /// Adds `n` at the current time.
+    pub fn add(&self, n: u64) {
+        self.add_at(n, self.inner.epoch.elapsed());
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` as of `elapsed` since the epoch.
+    pub fn add_at(&self, n: u64, elapsed: Duration) {
+        // One sample of value n: `sum` aggregates to the windowed total.
+        self.inner.record_at(n, elapsed);
+    }
+
+    /// Total added inside the window as of now.
+    pub fn window_total(&self) -> u64 {
+        self.inner.summary().sum
+    }
+
+    /// Total added inside the window as of `elapsed`.
+    pub fn window_total_at(&self, elapsed: Duration) -> u64 {
+        self.inner.summary_at(elapsed).sum
+    }
+
+    /// Additions per second over the covered window.
+    pub fn rate_per_sec(&self) -> f64 {
+        let s = self.inner.summary();
+        let secs = s.covered.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            s.sum as f64 / secs
+        }
+    }
+}
+
+/// A thread-safe registry of named windowed metrics, mirroring
+/// [`crate::registry::MetricsRegistry`]'s create-on-first-use contract.
+/// All metrics share one [`WindowConfig`].
+#[derive(Debug)]
+pub struct WindowedRegistry {
+    config: WindowConfig,
+    /// Shared epoch for every metric: covered durations measure from
+    /// registry creation, not first touch, so first-scrape rates are
+    /// honest for metrics that start recording late.
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<WindowedCounter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<WindowedHistogram>>>,
+}
+
+impl WindowedRegistry {
+    /// An empty registry whose metrics all use `config`.
+    pub fn new(config: WindowConfig) -> WindowedRegistry {
+        WindowedRegistry {
+            config,
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared window sizing.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// The windowed counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<WindowedCounter> {
+        let mut map = self.counters.lock().expect("windowed counter map");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(WindowedCounter::with_epoch(self.config, self.epoch))),
+        )
+    }
+
+    /// The windowed histogram registered under `name`, created on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Arc<WindowedHistogram> {
+        let mut map = self.histograms.lock().expect("windowed histogram map");
+        Arc::clone(
+            map.entry(name.to_string()).or_insert_with(|| {
+                Arc::new(WindowedHistogram::with_epoch(self.config, self.epoch))
+            }),
+        )
+    }
+
+    /// Sorted `(name, summary)` pairs of every windowed histogram.
+    pub fn histograms(&self) -> Vec<(String, WindowSummary)> {
+        let map = self.histograms.lock().expect("windowed histogram map");
+        map.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
+    }
+
+    /// Sorted `(name, window_total)` pairs of every windowed counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().expect("windowed counter map");
+        map.iter()
+            .map(|(k, v)| (k.clone(), v.window_total()))
+            .collect()
+    }
+}
+
+/// Renders one windowed histogram summary next to its cumulative
+/// counterpart as a compact JSON object — the building block of the
+/// server's `/stats` body.
+pub fn summary_json(window: &WindowSummary, cumulative: Option<&HistogramSummary>) -> String {
+    let mut out = format!(
+        "{{\"window\":{{\"count\":{},\"rate_per_sec\":{:.3},\"min_us\":{},\"max_us\":{},\"p50_us\":{:.0},\"p95_us\":{:.0},\"p99_us\":{:.0}}}",
+        window.count,
+        window.rate_per_sec(),
+        window.min,
+        window.max,
+        window.p50,
+        window.p95,
+        window.p99,
+    );
+    if let Some(c) = cumulative {
+        out.push_str(&format!(
+            ",\"cumulative\":{{\"count\":{},\"min_us\":{},\"max_us\":{},\"p50_us\":{:.0},\"p95_us\":{:.0},\"p99_us\":{:.0}}}",
+            c.count, c.min, c.max, c.p50, c.p95, c.p99
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: WindowConfig = WindowConfig {
+        bucket: Duration::from_secs(1),
+        buckets: 4,
+    };
+
+    fn at(secs: f64) -> Duration {
+        Duration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn window_aggregates_only_recent_buckets() {
+        let h = WindowedHistogram::new(CFG);
+        h.record_at(100, at(0.5)); // tick 0
+        h.record_at(200, at(1.5)); // tick 1
+        h.record_at(400, at(3.5)); // tick 3
+
+        // At t=3.5 every bucket is inside the 4-bucket window.
+        let s = h.summary_at(at(3.5));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 700);
+        assert_eq!((s.min, s.max), (100, 400));
+
+        // At t=4.5 the window is ticks 1..=4: the t=0.5 sample has aged out.
+        let s = h.summary_at(at(4.5));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 600);
+        assert_eq!(s.min, 200);
+
+        // At t=8.0 everything has aged out.
+        let s = h.summary_at(at(8.0));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn ring_slots_are_reset_on_reuse() {
+        let h = WindowedHistogram::new(CFG);
+        h.record_at(1000, at(0.5)); // tick 0 → slot 0
+        h.record_at(8, at(4.2)); // tick 4 → slot 0 again, must reset first
+        let s = h.summary_at(at(4.2));
+        assert_eq!(s.count, 1, "stale slot contents must not leak");
+        assert_eq!(s.sum, 8);
+        assert_eq!(s.max, 8);
+    }
+
+    #[test]
+    fn stale_clock_reads_do_not_resurrect_old_slots() {
+        let h = WindowedHistogram::new(CFG);
+        h.record_at(7, at(4.2)); // slot 0 now owns tick 4
+                                 // A thread whose clock read predates the rotation must not reset
+                                 // slot 0 back to tick 0; its sample lands in the live slice.
+        h.record_at(9, at(0.5));
+        let s = h.summary_at(at(4.2));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 16);
+    }
+
+    #[test]
+    fn windowed_percentiles_match_cumulative_on_a_steady_stream() {
+        let windowed = WindowedHistogram::new(WindowConfig {
+            bucket: Duration::from_millis(250),
+            buckets: 8,
+        });
+        let cumulative = crate::registry::Histogram::default();
+        // A steady stream entirely inside the 2 s window: both views see
+        // identical samples, so the percentiles must agree exactly.
+        for i in 0..2000u64 {
+            let v = 100 + (i % 400);
+            let elapsed = Duration::from_micros(i * 900); // 1.8 s total
+            windowed.record_at(v, elapsed);
+            cumulative.record(v);
+        }
+        let w = windowed.summary_at(Duration::from_micros(1999 * 900));
+        let c = cumulative.summary();
+        assert_eq!(w.count, c.count);
+        assert_eq!(w.p50, c.p50);
+        assert_eq!(w.p99, c.p99);
+        assert_eq!((w.min, w.max), (c.min, c.max));
+    }
+
+    #[test]
+    fn rate_uses_covered_duration_not_full_span() {
+        let c = WindowedCounter::new(CFG);
+        c.add_at(50, at(0.2));
+        c.add_at(50, at(0.4));
+        // Only 0.5 s of a 4 s window has elapsed: the rate divides by the
+        // covered half-second, not the whole span.
+        let s = c.inner.summary_at(at(0.5));
+        assert_eq!(s.sum, 100);
+        let rate = s.sum as f64 / s.covered.as_secs_f64();
+        assert!((rate - 200.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn counter_window_totals_age_out() {
+        let c = WindowedCounter::new(CFG);
+        c.add_at(10, at(0.5));
+        c.add_at(5, at(2.5));
+        assert_eq!(c.window_total_at(at(2.5)), 15);
+        assert_eq!(c.window_total_at(at(4.5)), 5);
+        assert_eq!(c.window_total_at(at(9.0)), 0);
+    }
+
+    #[test]
+    fn registry_hands_back_shared_handles() {
+        let r = WindowedRegistry::new(CFG);
+        r.counter("load.requests").add_at(3, at(0.1));
+        assert_eq!(r.counter("load.requests").window_total_at(at(0.2)), 3);
+        r.histogram("load.latency_us").record_at(40, at(0.1));
+        assert_eq!(r.histogram("load.latency_us").summary_at(at(0.2)).count, 1);
+        let names: Vec<String> = r.histograms().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["load.latency_us".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_records_survive_rotation() {
+        let h = Arc::new(WindowedHistogram::new(WindowConfig {
+            bucket: Duration::from_millis(1),
+            buckets: 4,
+        }));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(i % 997);
+                    }
+                });
+            }
+        });
+        // Rotation races may drop a handful of samples, never corrupt the
+        // structure; with 1 ms buckets nearly everything has aged out of
+        // the 4 ms window by now, so only invariants are asserted.
+        let s = h.summary();
+        assert!(s.count <= 20_000);
+        assert!(s.p50 <= s.p99);
+    }
+
+    #[test]
+    fn registry_metrics_share_the_registry_epoch() {
+        let r = WindowedRegistry::new(CFG);
+        std::thread::sleep(Duration::from_millis(30));
+        // First touch happens well after registry creation: the covered
+        // duration must reflect the registry's age, not the instant of the
+        // first sample (which would report an absurd first-scrape rate).
+        let h = r.histogram("late.latency_us");
+        h.record(100);
+        let s = h.summary();
+        assert!(
+            s.covered >= Duration::from_millis(30),
+            "covered {:?} must measure from registry creation",
+            s.covered
+        );
+    }
+
+    #[test]
+    fn summary_json_renders_window_and_cumulative() {
+        let h = WindowedHistogram::new(CFG);
+        h.record_at(100, at(0.5));
+        let w = h.summary_at(at(0.6));
+        let text = summary_json(&w, None);
+        assert!(text.contains("\"count\":1"), "{text}");
+        assert!(text.contains("\"p99_us\":100"), "{text}");
+        assert!(!text.contains("cumulative"), "{text}");
+        let c = crate::registry::Histogram::default();
+        c.record(100);
+        let text = summary_json(&w, Some(&c.summary()));
+        assert!(text.contains("\"cumulative\""), "{text}");
+    }
+}

@@ -60,6 +60,30 @@ run "layering (root)" cargo test -q -p nl2vis --test layering
 # guarantee.
 run "tracing (root)" cargo test -q -p nl2vis --test tracing
 
+# Sustained-load smoke: a short reduced-thread loadgen run against a
+# self-hosted server (open loop, coordinated-omission corrected). Kept
+# under ~10 s; writes its snapshot under target/ so it never clobbers a
+# committed trajectory file.
+run "loadgen smoke" cargo run -q -p nl2vis-loadgen --release -- \
+    --threads=4 --duration=3 --warmup=1 --rate=open:300 --skew=zipf:1.1 \
+    --prompts=64 --report=0 --out=target/BENCH_load_smoke.json
+
+# Perf trajectory: when a committed BENCH_load.json baseline exists,
+# diff the smoke snapshot against it. Non-fatal — the smoke run uses a
+# reduced config, so this is a warning trail, not a gate.
+if [ -f BENCH_load.json ] && [ -f target/BENCH_load_smoke.json ]; then
+    echo "==> bench_diff (non-fatal)"
+    if scripts/bench_diff BENCH_load.json target/BENCH_load_smoke.json; then
+        echo "==> bench_diff: no regressions flagged"
+    else
+        echo "==> bench_diff: WARNING — possible perf regression (see table above)"
+    fi
+    echo
+else
+    echo "==> bench_diff: skipped (no BENCH_load.json baseline)"
+    echo
+fi
+
 # Formatting — skip gracefully if rustfmt isn't installed.
 if cargo fmt --version >/dev/null 2>&1; then
     run "cargo fmt --check" cargo fmt --all -- --check
