@@ -1,0 +1,1239 @@
+//! The event-driven server core: sharded pollers, a request queue, and a
+//! batching worker pool.
+//!
+//! The original runtime was thread-per-connection: a connection held a
+//! worker for its whole life, so a few hundred idle keep-alive clients
+//! starved the pool. This core decouples the two populations. A small,
+//! fixed set of *poller* threads owns every accepted socket in nonblocking
+//! mode and does the byte-level work — reading, incremental HTTP parsing,
+//! request-level admission control — while the bounded *worker* pool only
+//! ever sees complete parsed requests. Thread count is
+//! `pollers + max_inflight` regardless of connection count.
+//!
+//! Sockets move between the two sides with a mode switch rather than a
+//! write-readiness state machine: when a poller finishes parsing a request
+//! it deregisters the socket, marks the connection busy, and enqueues the
+//! request with a cloned handle; the worker flips the socket to blocking,
+//! writes the whole response, flips it back, and posts a `Done` to the
+//! owning poller, which re-registers the socket and resumes parsing any
+//! pipelined leftovers. The `busy` flag serializes a connection's
+//! requests, so responses can never interleave.
+//!
+//! On top of the queue sits **server-side batching**: a worker that
+//! dequeues a completion request also drains every queued completion
+//! sharing its `(model, GenOptions)` key — and optionally lingers for
+//! [`crate::http::ServerTuning::batch_window`] — serving the whole group
+//! with a single [`SimLlm`] invocation that deduplicates identical
+//! prompts. Under a skewed (Zipf) workload most of a saturated queue is a
+//! handful of hot prompts, so one invocation amortizes the prompt/schema
+//! parse that dominates completion CPU.
+
+use crate::fault::{Fault, FaultInjector};
+use crate::http::{
+    completion_json, connection_keeps_alive, header_value, render_response, respond, route,
+    BadRequest, Request, ServerConfig, ServerTuning, JSON, MAX_BODY_BYTES, SERVER_IO_TIMEOUT,
+    SERVER_KEEPALIVE_IDLE,
+};
+use crate::poll::{Poller, WakePair, WAKE_TOKEN};
+use crate::sim::{GenOptions, SimLlm};
+use nl2vis_data::Json;
+use nl2vis_obs as obs;
+use nl2vis_obs::{MetricsRegistry, WindowedRegistry};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Header bytes a single request may occupy before parsing gives up; far
+/// above any legitimate request line + headers, far below a memory threat.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// How long an epoll-backed poller sleeps with nothing ready; bounds the
+/// latency of idle sweeps and drain checks, not of request handling
+/// (readiness interrupts the wait).
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Scan-mode fallback tick: the cost of not having epoll is at most this
+/// much added latency per read.
+const SCAN_TICK: Duration = Duration::from_millis(1);
+
+/// During drain, how long a connection with no complete request gets to
+/// finish sending one before the poller closes it.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
+
+/// Deadline for poller-side response writes (sheds, parse errors). A shed
+/// exists to protect the workers; it must never park a poller on a slow
+/// peer.
+const POLLER_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// The completion request pre-parsed by the poller, so workers can form
+/// batches without re-reading JSON under the queue lock.
+pub(crate) enum CompletionParse {
+    /// Well-formed request for the hosted model.
+    Call(CompletionCall),
+    /// Well-formed JSON naming a model this server does not host.
+    BadModel(String),
+    /// Body that does not parse as JSON; carries the parser's message.
+    BadJson(String),
+}
+
+/// A parsed completion call: the batching unit.
+pub(crate) struct CompletionCall {
+    pub prompt: String,
+    pub opts: GenOptions,
+}
+
+/// The batch key: completions coalesce only when every generation option
+/// matches bit-for-bit (floats compared by bits, so `-0.0 != 0.0` — the
+/// safe direction).
+fn opts_key(opts: &GenOptions) -> (u64, u64, u64) {
+    (
+        opts.attempt,
+        opts.error_scale.to_bits(),
+        opts.structural_scale.to_bits(),
+    )
+}
+
+/// One parsed request traveling from a poller to a worker.
+pub(crate) struct Work {
+    /// Token of the owning connection, scoped to `poller`.
+    conn: u64,
+    /// Index of the poller shard that owns the connection.
+    poller: usize,
+    /// Cloned socket handle the worker writes the response to.
+    stream: TcpStream,
+    request: Request,
+    /// `Some` exactly when the request is `POST /v1/completions`.
+    parse: Option<CompletionParse>,
+    /// When the poller finished parsing; request latency counts queue wait.
+    received: Instant,
+}
+
+fn batch_key(work: &Work) -> Option<(u64, u64, u64)> {
+    match &work.parse {
+        Some(CompletionParse::Call(call)) => Some(opts_key(&call.opts)),
+        _ => None,
+    }
+}
+
+fn call_of(work: &Work) -> &CompletionCall {
+    match &work.parse {
+        Some(CompletionParse::Call(call)) => call,
+        _ => unreachable!("batch members are parsed completion calls"),
+    }
+}
+
+/// State shared by pollers, workers, and the accept thread.
+pub(crate) struct Shared {
+    /// Complete parsed requests waiting for a worker.
+    queue: Mutex<VecDeque<Work>>,
+    /// Signals workers that the queue has work (or that draining began).
+    ready: Condvar,
+    /// Set at shutdown *after* the pollers exit: workers drain the queue,
+    /// then exit.
+    draining: AtomicBool,
+    config: ServerConfig,
+    tuning: ServerTuning,
+    llm: Arc<SimLlm>,
+    registry: Arc<MetricsRegistry>,
+    windowed: Arc<WindowedRegistry>,
+    faults: Arc<FaultInjector>,
+}
+
+/// A `Done` posted by a worker when a response has been written (or the
+/// connection was fault-dropped).
+struct Done {
+    conn: u64,
+    /// Keep the connection registered for more requests?
+    keep: bool,
+}
+
+/// One poller shard's mailbox: new connections from the accept thread,
+/// completions from workers, and the drain signal.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    dones: Vec<Done>,
+    drain: bool,
+}
+
+/// The cross-thread handle to one poller shard.
+pub(crate) struct PollerShared {
+    inbox: Mutex<Inbox>,
+    wake: WakePair,
+}
+
+/// Hands an accepted connection to a poller shard, round-robin.
+pub(crate) fn hand_off(pollers: &[Arc<PollerShared>], rr: &AtomicUsize, stream: TcpStream) {
+    let i = rr.fetch_add(1, Ordering::Relaxed) % pollers.len();
+    pollers[i]
+        .inbox
+        .lock()
+        .expect("poller inbox")
+        .conns
+        .push(stream);
+    pollers[i].wake.wake();
+}
+
+/// The running core: poller shards plus the worker pool.
+pub(crate) struct Core {
+    pub pollers: Vec<Arc<PollerShared>>,
+    poller_handles: Vec<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Core {
+    pub fn start(
+        llm: SimLlm,
+        registry: Arc<MetricsRegistry>,
+        windowed: Arc<WindowedRegistry>,
+        faults: Arc<FaultInjector>,
+        config: ServerConfig,
+        tuning: ServerTuning,
+    ) -> std::io::Result<Core> {
+        let pollers = tuning.pollers.max(1);
+        let workers = config.max_inflight.max(1);
+        registry
+            .gauge("server.serving_threads")
+            .set((pollers + workers) as i64);
+        registry.gauge("server.poller.shards").set(pollers as i64);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            config,
+            tuning,
+            llm: Arc::new(llm),
+            registry,
+            windowed,
+            faults,
+        });
+        let poller_shared: Vec<Arc<PollerShared>> = (0..pollers)
+            .map(|_| {
+                Ok(Arc::new(PollerShared {
+                    inbox: Mutex::new(Inbox::default()),
+                    wake: WakePair::new()?,
+                }))
+            })
+            .collect::<std::io::Result<_>>()?;
+        let poller_handles = poller_shared
+            .iter()
+            .enumerate()
+            .map(|(index, me)| {
+                let shared = Arc::clone(&shared);
+                let me = Arc::clone(me);
+                std::thread::spawn(move || {
+                    PollerThread {
+                        index,
+                        shared,
+                        me,
+                        poller: Poller::new(),
+                        conns: HashMap::new(),
+                        next_token: WAKE_TOKEN + 1,
+                        draining: false,
+                        drain_deadline: None,
+                    }
+                    .run()
+                })
+            })
+            .collect();
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let pollers = poller_shared.clone();
+                std::thread::spawn(move || worker_loop(&shared, &pollers))
+            })
+            .collect();
+        Ok(Core {
+            pollers: poller_shared,
+            poller_handles,
+            worker_handles,
+            shared,
+        })
+    }
+
+    /// Two-phase drain. Phase A tells the pollers to quiesce: they parse
+    /// and dispatch what has already arrived (fresh connections get
+    /// [`DRAIN_GRACE`] to finish a request in flight), close everything
+    /// else, wait for in-flight responses, and exit — so by the time they
+    /// are joined, no new work can appear. Phase B then drains the worker
+    /// pool: workers serve the queue to empty and exit. Every request the
+    /// pollers dispatched is therefore served before shutdown completes.
+    pub fn shutdown(mut self) {
+        for p in &self.pollers {
+            p.inbox.lock().expect("poller inbox").drain = true;
+            p.wake.wake();
+        }
+        for h in self.poller_handles.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.ready.notify_all();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One nonblocking connection owned by a poller.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into a request.
+    buf: Vec<u8>,
+    /// Responses completed on this connection.
+    served: u64,
+    /// A request is dispatched and its response not yet written; the
+    /// poller neither reads nor closes a busy connection.
+    busy: bool,
+    /// Peer sent EOF while a response was in flight; close after it.
+    peer_closed: bool,
+    last_activity: Instant,
+}
+
+struct PollerThread {
+    index: usize,
+    shared: Arc<Shared>,
+    me: Arc<PollerShared>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl PollerThread {
+    fn run(mut self) {
+        self.me.wake.set_thread(std::thread::current());
+        self.poller.register(&self.me.wake.rx, WAKE_TOKEN);
+        let wakeups = self.shared.registry.counter("server.poller.wakeups_total");
+        let mut ready: Vec<u64> = Vec::new();
+        loop {
+            let progressed = self.handle_inbox();
+            if self.draining {
+                self.drain_tick();
+                if self.conns.is_empty() {
+                    return;
+                }
+            } else {
+                self.sweep_idle();
+            }
+            ready.clear();
+            let timeout = if self.poller.is_edge_informed() {
+                POLL_TICK
+            } else if progressed {
+                Duration::ZERO
+            } else {
+                SCAN_TICK
+            };
+            self.poller.wait(&mut ready, timeout);
+            if self.poller.is_edge_informed() {
+                if !ready.is_empty() {
+                    wakeups.inc();
+                }
+                if ready.contains(&WAKE_TOKEN) {
+                    self.me.wake.drain();
+                }
+                let tokens: Vec<u64> = ready.iter().copied().filter(|&t| t != WAKE_TOKEN).collect();
+                for token in tokens {
+                    self.read_conn(token);
+                }
+            } else {
+                self.me.wake.drain();
+                let tokens: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| !c.busy)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for token in tokens {
+                    self.read_conn(token);
+                }
+            }
+        }
+    }
+
+    /// Drains the mailbox; returns whether anything was processed.
+    fn handle_inbox(&mut self) -> bool {
+        let (conns, dones, drain) = {
+            let mut inbox = self.me.inbox.lock().expect("poller inbox");
+            (
+                std::mem::take(&mut inbox.conns),
+                std::mem::take(&mut inbox.dones),
+                inbox.drain,
+            )
+        };
+        if drain && !self.draining {
+            self.draining = true;
+            self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        }
+        let progressed = !conns.is_empty() || !dones.is_empty();
+        for stream in conns {
+            self.adopt(stream);
+        }
+        for done in dones {
+            self.handle_done(done);
+        }
+        progressed
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Responses are complete messages; never let Nagle hold one back
+        // waiting for a delayed ACK. The write deadline covers worker-side
+        // blocking writes (the flag lives on the shared file description).
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
+        let token = self.next_token;
+        self.next_token += 1;
+        self.shared
+            .registry
+            .counter("server.connections_total")
+            .inc();
+        self.shared
+            .registry
+            .gauge("server.poller.open_connections")
+            .add(1);
+        self.poller.register(&stream, token);
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                buf: Vec::new(),
+                served: 0,
+                busy: false,
+                peer_closed: false,
+                last_activity: Instant::now(),
+            },
+        );
+        // The client usually writes its request before we finish
+        // registering; read immediately instead of waiting for an event.
+        self.read_conn(token);
+    }
+
+    fn handle_done(&mut self, done: Done) {
+        let Some(conn) = self.conns.get_mut(&done.conn) else {
+            return;
+        };
+        conn.busy = false;
+        conn.last_activity = Instant::now();
+        if !done.keep || conn.peer_closed || self.draining {
+            self.close(done.conn);
+            return;
+        }
+        conn.served += 1;
+        // Pipelined bytes may already hold the next request.
+        self.advance(done.conn);
+        if let Some(conn) = self.conns.get(&done.conn) {
+            if !conn.busy {
+                self.poller.register(&conn.stream, done.conn);
+            }
+        }
+    }
+
+    /// Nonblocking read burst, then parse. EOF and read errors resolve the
+    /// connection's fate afterwards, so a complete request followed by FIN
+    /// in the same burst is still served.
+    fn read_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.busy {
+            return;
+        }
+        let mut chunk = [0u8; 8192];
+        let mut got_bytes = false;
+        let mut eof = false;
+        let mut error: Option<std::io::Error> = None;
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    got_bytes = true;
+                    if conn.buf.len() > MAX_BODY_BYTES + MAX_HEADER_BYTES {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        if got_bytes {
+            conn.last_activity = Instant::now();
+            self.advance(token);
+        }
+        if eof || error.is_some() {
+            self.connection_ended(token, error);
+        }
+    }
+
+    /// Parses as many complete requests as the buffer holds, shedding or
+    /// dispatching each. Stops at the first dispatch (the `busy` flag
+    /// serializes pipelined requests) or when bytes run out.
+    fn advance(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.busy {
+                return;
+            }
+            match try_parse(&mut conn.buf) {
+                Parse::NeedMore => return,
+                Parse::Bad(bad) => {
+                    self.fail(token, bad);
+                    return;
+                }
+                Parse::Ok(request) => {
+                    if conn.served > 0 {
+                        self.shared
+                            .registry
+                            .counter("server.requests_on_reused_conn")
+                            .inc();
+                    }
+                    // Debug/health GETs bypass admission control: they are
+                    // cheap, their volume is bounded by the connection
+                    // count, and overload is exactly when `/stats` and
+                    // `/metrics` must stay answerable.
+                    let sheddable = request.method == "POST";
+                    let queue_full = sheddable
+                        && self.shared.queue.lock().expect("work queue").len()
+                            >= self.shared.config.queue_depth;
+                    if queue_full {
+                        if !self.shed(token, &request) {
+                            return;
+                        }
+                        // Connection kept: the buffer may hold another
+                        // pipelined request; keep parsing.
+                    } else {
+                        self.dispatch(token, request);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Request-level admission control: `429` + `Retry-After`, written by
+    /// the poller under a short deadline. Unlike the old connection-level
+    /// shed this happens *after* the request is fully read, so the
+    /// connection can stay open when the client asked for keep-alive — a
+    /// retrying client rides the same socket instead of reconnecting.
+    /// Returns whether the connection survived.
+    fn shed(&mut self, token: u64, request: &Request) -> bool {
+        let registry = &self.shared.registry;
+        registry.counter("server.shed_total").inc();
+        registry.counter("llm.status_429").inc();
+        self.shared.windowed.counter("server.shed_total").inc();
+        let keep = request.keep_alive && !self.draining;
+        let body = r#"{"error":"server overloaded, retry later"}"#;
+        let raw = render_response(429, body, JSON, keep, Some(self.shared.config.retry_after));
+        let conn = self.conns.get_mut(&token).expect("shed target");
+        let ok = write_now(&conn.stream, raw.as_bytes());
+        if keep && ok {
+            conn.served += 1;
+            conn.last_activity = Instant::now();
+            true
+        } else {
+            self.close(token);
+            false
+        }
+    }
+
+    /// Responds to an unreadable request and closes the connection,
+    /// mirroring the old blocking runtime's counters and bodies.
+    fn fail(&mut self, token: u64, bad: BadRequest) {
+        let registry = &self.shared.registry;
+        registry.counter("server.bad_requests_total").inc();
+        registry
+            .counter(&format!("llm.status_{}", bad.status))
+            .inc();
+        let body = Json::object(vec![("error", Json::from(bad.message.as_str()))]).to_compact();
+        let raw = render_response(bad.status, &body, JSON, false, None);
+        if let Some(conn) = self.conns.get(&token) {
+            // Best-effort: the peer may already be gone.
+            write_now(&conn.stream, raw.as_bytes());
+        }
+        self.close(token);
+    }
+
+    fn dispatch(&mut self, token: u64, request: Request) {
+        let conn = self.conns.get_mut(&token).expect("dispatch target");
+        let Ok(clone) = conn.stream.try_clone() else {
+            self.close(token);
+            return;
+        };
+        conn.busy = true;
+        // Deregister while a worker owns the socket: a level-triggered
+        // kernel would otherwise report the body bytes of the *next*
+        // pipelined request forever.
+        self.poller.deregister(&conn.stream);
+        let parse = classify(&request, &self.shared.llm);
+        let work = Work {
+            conn: token,
+            poller: self.index,
+            stream: clone,
+            request,
+            parse,
+            received: Instant::now(),
+        };
+        self.shared
+            .queue
+            .lock()
+            .expect("work queue")
+            .push_back(work);
+        self.shared.ready.notify_one();
+    }
+
+    /// The peer hung up (or the socket failed) with no response owed.
+    fn connection_ended(&mut self, token: u64, error: Option<std::io::Error>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.busy {
+            // Half-close while a response is in flight: the worker can
+            // still deliver it. Close right after.
+            conn.peer_closed = true;
+            return;
+        }
+        if conn.served > 0 {
+            // A kept-alive connection going quiet is the normal end of its
+            // life, not an error.
+            self.close(token);
+            return;
+        }
+        let message = match error {
+            Some(e) => format!("request read failed: {e}"),
+            None if conn.buf.is_empty() => "empty request".to_string(),
+            None => "request read failed: connection closed mid-request".to_string(),
+        };
+        self.fail(token, BadRequest::new(400, message));
+    }
+
+    /// Applies the idle deadlines the blocking runtime enforced with
+    /// socket timeouts: a kept-alive connection sitting quiet past
+    /// [`SERVER_KEEPALIVE_IDLE`] closes silently; a fresh connection that
+    /// never produced a request within [`SERVER_IO_TIMEOUT`] gets the
+    /// best-effort `400` a stalled read used to produce.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<(u64, bool)> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy)
+            .filter_map(|(&t, c)| {
+                let idle = now.duration_since(c.last_activity);
+                if c.served > 0 && idle > SERVER_KEEPALIVE_IDLE {
+                    Some((t, false))
+                } else if c.served == 0 && idle > SERVER_IO_TIMEOUT {
+                    Some((t, true))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (token, timed_out) in expired {
+            if timed_out {
+                self.fail(
+                    token,
+                    BadRequest::new(400, "request read failed: read timed out"),
+                );
+            } else {
+                self.close(token);
+            }
+        }
+    }
+
+    /// Drain policy: serve what has arrived, then leave. Connections that
+    /// finished their life (served, empty buffer) close immediately; busy
+    /// ones close right after their in-flight response; anything still
+    /// assembling a request gets [`DRAIN_GRACE`], then closes.
+    fn drain_tick(&mut self) {
+        let grace_over = self
+            .drain_deadline
+            .map(|d| Instant::now() >= d)
+            .unwrap_or(true);
+        let doomed: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy && (grace_over || (c.served > 0 && c.buf.is_empty())))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in doomed {
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(&conn.stream);
+            self.shared
+                .registry
+                .gauge("server.poller.open_connections")
+                .add(-1);
+        }
+    }
+}
+
+/// Classifies a request for the worker side: `Some` for completion POSTs
+/// (with the JSON pre-parsed into the batching key), `None` for everything
+/// `route` handles.
+fn classify(request: &Request, llm: &SimLlm) -> Option<CompletionParse> {
+    if request.method != "POST" || request.path != "/v1/completions" {
+        return None;
+    }
+    Some(match Json::parse(&request.body) {
+        Err(e) => CompletionParse::BadJson(e.to_string()),
+        Ok(json) => {
+            let requested = json
+                .get("model")
+                .and_then(Json::as_str)
+                .unwrap_or(llm.profile.name)
+                .to_string();
+            if requested != llm.profile.name {
+                CompletionParse::BadModel(requested)
+            } else {
+                let prompt = json
+                    .get("prompt")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                CompletionParse::Call(CompletionCall {
+                    prompt,
+                    opts: parse_gen_options(&json),
+                })
+            }
+        }
+    })
+}
+
+/// Reads the optional `options` object off a completion request. Absent or
+/// partially-specified options fall back to defaults field-by-field, like
+/// the client-side [`GenOptions::default`] they mirror.
+fn parse_gen_options(request: &Json) -> GenOptions {
+    let mut opts = GenOptions::default();
+    if let Some(o) = request.get("options") {
+        if let Some(a) = o.get("attempt").and_then(Json::as_f64) {
+            opts.attempt = a as u64;
+        }
+        if let Some(s) = o.get("error_scale").and_then(Json::as_f64) {
+            opts.error_scale = s;
+        }
+        if let Some(s) = o.get("structural_scale").and_then(Json::as_f64) {
+            opts.structural_scale = s;
+        }
+    }
+    opts
+}
+
+/// Result of one incremental parse attempt.
+enum Parse {
+    /// The buffer does not hold a complete request yet.
+    NeedMore,
+    Bad(BadRequest),
+    Ok(Request),
+}
+
+/// Finds the end of the header block: byte offsets (one past the blank
+/// line, start of body). Tolerates bare-LF line endings like the
+/// `read_line`-based parser did.
+fn find_header_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i] != b'\n' {
+            continue;
+        }
+        if buf.len() > i + 1 && buf[i + 1] == b'\n' {
+            return Some((i + 1, i + 2));
+        }
+        if buf.len() > i + 2 && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+            return Some((i + 1, i + 3));
+        }
+    }
+    None
+}
+
+/// Incrementally parses one HTTP/1.1 request off the front of `buf`,
+/// consuming its bytes only when complete. Header *names* match
+/// case-insensitively while values keep their original bytes
+/// ([`header_value`]), `Connection` is matched token-wise, and duplicate
+/// `Content-Length` headers that disagree are rejected outright — the
+/// request-smuggling-safe reading.
+fn try_parse(buf: &mut Vec<u8>) -> Parse {
+    let Some((head_end, body_start)) = find_header_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Bad(BadRequest::new(
+                400,
+                format!("header block exceeds the {MAX_HEADER_BYTES}-byte limit"),
+            ));
+        }
+        return Parse::NeedMore;
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let mut lines = head.split('\n').map(|l| l.trim_end());
+    let request_line = lines.next().unwrap_or("");
+    if request_line.is_empty() {
+        return Parse::Bad(BadRequest::ended("empty request"));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = false;
+    let mut trace_id: Option<String> = None;
+    let mut parent_span: Option<String> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(v) = header_value(line, "content-length") {
+            // A Content-Length we cannot parse means we cannot know where
+            // the body ends: reject, never silently assume an empty body.
+            let Ok(parsed) = v.parse::<usize>() else {
+                return Parse::Bad(BadRequest::new(
+                    400,
+                    format!("malformed content-length: `{v}`"),
+                ));
+            };
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Parse::Bad(BadRequest::new(
+                    400,
+                    "conflicting duplicate content-length headers",
+                ));
+            }
+            content_length = Some(parsed);
+        }
+        if let Some(v) = header_value(line, "connection") {
+            keep_alive = connection_keeps_alive(v);
+        }
+        if let Some(v) = header_value(line, "x-nl2vis-trace-id") {
+            trace_id = Some(v.to_string());
+        }
+        if let Some(v) = header_value(line, "x-nl2vis-parent-span") {
+            parent_span = Some(v.to_string());
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        // Reject from the untrusted header alone — allocating
+        // `content_length` bytes first would let one request OOM the
+        // server.
+        return Parse::Bad(BadRequest::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+        ));
+    }
+    if buf.len() < body_start + content_length {
+        return Parse::NeedMore;
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).to_string();
+    buf.drain(..body_start + content_length);
+    Parse::Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+        trace: obs::TraceContext::from_headers(trace_id.as_deref(), parent_span.as_deref()),
+    })
+}
+
+/// Poller-side response write: flips the (registered, nonblocking) socket
+/// to blocking under a short deadline, writes, flips back. Only sheds and
+/// error responses go through here; real responses are written by workers.
+fn write_now(stream: &TcpStream, raw: &[u8]) -> bool {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(POLLER_WRITE_TIMEOUT));
+    let ok = {
+        let mut s = stream;
+        s.write_all(raw).and_then(|_| s.flush()).is_ok()
+    };
+    let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
+    let _ = stream.set_nonblocking(true);
+    ok
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, pollers: &[Arc<PollerShared>]) {
+    while let Some(batch) = next_batch(shared) {
+        let registry = &shared.registry;
+        let active = registry.gauge("server.active_connections");
+        let now_active = active.add(1);
+        registry.gauge("server.concurrent_peak").set_max(now_active);
+        if batch.len() == 1 {
+            let work = batch.into_iter().next().expect("singleton batch");
+            serve_single(shared, pollers, work);
+        } else {
+            serve_batch(shared, pollers, batch);
+        }
+        active.add(-1);
+    }
+}
+
+/// Blocks for the next unit of work: the oldest queued request plus — when
+/// it is a batchable completion — every queued completion sharing its
+/// options key, up to `batch_max`. With a nonzero `batch_window` the
+/// worker lingers that long for more matches before serving.
+fn next_batch(shared: &Shared) -> Option<Vec<Work>> {
+    let mut queue = shared.queue.lock().expect("work queue");
+    let first = loop {
+        if let Some(work) = queue.pop_front() {
+            break work;
+        }
+        // Check draining only with an empty queue, so every dispatched
+        // request is served before shutdown completes.
+        if shared.draining.load(Ordering::Relaxed) {
+            return None;
+        }
+        queue = shared.ready.wait(queue).expect("work queue");
+    };
+    let mut batch = vec![first];
+    let Some(key) = batch_key(&batch[0]) else {
+        return Some(batch);
+    };
+    let max = shared.tuning.batch_max.max(1);
+    collect_matching(&mut queue, &mut batch, key, max);
+    if batch.len() < max && !shared.tuning.batch_window.is_zero() {
+        let deadline = Instant::now() + shared.tuning.batch_window;
+        while batch.len() < max && !shared.draining.load(Ordering::Relaxed) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (q, _) = shared
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .expect("work queue");
+            queue = q;
+            collect_matching(&mut queue, &mut batch, key, max);
+            // This worker may have consumed a wakeup meant for an idle
+            // peer; pass it along so non-matching work is not starved for
+            // the length of the window.
+            if !queue.is_empty() {
+                shared.ready.notify_one();
+            }
+        }
+    }
+    Some(batch)
+}
+
+/// Moves every queued completion matching `key` into `batch` (preserving
+/// arrival order of the rest), bounded by `max`.
+fn collect_matching(
+    queue: &mut VecDeque<Work>,
+    batch: &mut Vec<Work>,
+    key: (u64, u64, u64),
+    max: usize,
+) {
+    let mut i = 0;
+    while i < queue.len() && batch.len() < max {
+        if batch_key(&queue[i]) == Some(key) {
+            batch.push(queue.remove(i).expect("indexed element"));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Response written, connection handed back to its poller.
+fn finish(pollers: &[Arc<PollerShared>], conn: u64, poller: usize, stream: TcpStream, keep: bool) {
+    // Drop our socket clone first: after the poller processes the Done it
+    // may close the connection, and a surviving duplicate fd would keep
+    // the kernel registration (and the peer's connection) alive.
+    drop(stream);
+    let p = &pollers[poller];
+    p.inbox
+        .lock()
+        .expect("poller inbox")
+        .dones
+        .push(Done { conn, keep });
+    p.wake.wake();
+}
+
+/// Worker-side response write on the cloned socket: blocking with the
+/// [`SERVER_IO_TIMEOUT`] write deadline, restored to nonblocking before
+/// the poller takes the connection back.
+fn blocking_respond(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &'static str,
+    keep_alive: bool,
+) -> bool {
+    let _ = stream.set_nonblocking(false);
+    let ok = respond(stream, status, body, content_type, keep_alive).is_ok();
+    let _ = stream.set_nonblocking(true);
+    ok
+}
+
+/// The shared per-request accounting: status counters, completion
+/// latency (measured from parse completion, so queue wait counts), and
+/// the access log line.
+fn record_request(
+    shared: &Shared,
+    request: &Request,
+    status: u16,
+    body_len: usize,
+    received: Instant,
+    trace: u64,
+    is_completion: bool,
+) {
+    let registry = &shared.registry;
+    registry.counter("server.http_requests_total").inc();
+    registry.counter(&format!("llm.status_{status}")).inc();
+    let elapsed = received.elapsed();
+    if is_completion {
+        registry.counter("llm.requests_total").inc();
+        registry
+            .histogram("llm.request_latency_us")
+            .record_duration_traced(elapsed, trace);
+        shared.windowed.counter("llm.requests_total").inc();
+        shared
+            .windowed
+            .histogram("llm.request_latency_us")
+            .record_duration(elapsed);
+    }
+    obs::log("llm", "access", || {
+        vec![
+            ("method".to_string(), request.method.clone()),
+            ("path".to_string(), request.path.clone()),
+            ("status".to_string(), status.to_string()),
+            ("bytes".to_string(), body_len.to_string()),
+            ("duration_us".to_string(), elapsed.as_micros().to_string()),
+        ]
+    });
+}
+
+/// Serves one request — the path every non-completion and every unbatched
+/// completion takes, mirroring the old blocking runtime request-for-
+/// request (spans, fault handling, counters, response).
+fn serve_single(shared: &Shared, pollers: &[Arc<PollerShared>], work: Work) {
+    let Work {
+        conn,
+        poller,
+        mut stream,
+        request,
+        parse,
+        received,
+    } = work;
+    let registry = &shared.registry;
+    let is_completion = parse.is_some();
+    // Join the caller's trace when it propagated one; otherwise only
+    // completions get a span of their own (tracing every /metrics poll
+    // would flood the flight recorder with noise).
+    let span = match request.trace {
+        Some(ctx) => Some(obs::Span::enter_with("server.handle", ctx)),
+        None if is_completion => Some(obs::Span::enter("server.handle")),
+        None => None,
+    };
+    if let Some(span) = &span {
+        span.annotate("path", &request.path);
+    }
+    let trace = span.as_ref().map(|s| s.trace()).unwrap_or(0);
+    let fault = if is_completion {
+        shared.faults.next()
+    } else {
+        Fault::None
+    };
+    if fault != Fault::None {
+        registry.counter("server.faults_injected_total").inc();
+        registry
+            .counter(&format!("server.fault.{}", fault.label()))
+            .inc();
+        if let Some(span) = &span {
+            span.annotate("fault", fault.label());
+        }
+    }
+    if let Fault::Stall(pause) = fault {
+        std::thread::sleep(pause);
+    }
+    if fault == Fault::Drop {
+        // Close without a response: the client sees a clean EOF (and a
+        // pooled client exercises its stale-retry path).
+        drop(span);
+        finish(pollers, conn, poller, stream, false);
+        return;
+    }
+
+    let (status, response_body, content_type) = if fault == Fault::Http500 {
+        (
+            500,
+            Json::object(vec![("error", Json::from("injected server error"))]).to_compact(),
+            JSON,
+        )
+    } else {
+        match &parse {
+            Some(CompletionParse::Call(call)) => {
+                registry.counter("server.batch.batches_total").inc();
+                registry.counter("server.batch.requests_total").inc();
+                registry.counter("server.batch.invocations_total").inc();
+                registry.histogram("server.batch.size").record(1);
+                let completion = shared.llm.complete_with(&call.prompt, &call.opts);
+                (200, completion_json(&shared.llm, &completion), JSON)
+            }
+            Some(CompletionParse::BadModel(requested)) => {
+                let err = Json::object(vec![(
+                    "error",
+                    Json::from(format!("model `{requested}` not hosted here").as_str()),
+                )]);
+                (400, err.to_compact(), JSON)
+            }
+            Some(CompletionParse::BadJson(message)) => (
+                400,
+                Json::object(vec![("error", Json::from(message.as_str()))]).to_compact(),
+                JSON,
+            ),
+            None => route(
+                &request.method,
+                &request.path,
+                &request.body,
+                &shared.llm,
+                registry,
+                &shared.windowed,
+            ),
+        }
+    };
+
+    record_request(
+        shared,
+        &request,
+        status,
+        response_body.len(),
+        received,
+        trace,
+        is_completion,
+    );
+    if let Some(span) = &span {
+        span.annotate("status", &status.to_string());
+    }
+    // Close the handling span before the response goes out: by the time
+    // the client reads the body, its side of the trace is consistent.
+    drop(span);
+
+    let keep = request.keep_alive && !shared.draining.load(Ordering::Relaxed);
+    let ok = blocking_respond(&mut stream, status, &response_body, content_type, keep);
+    finish(pollers, conn, poller, stream, keep && ok);
+}
+
+/// Serves a coalesced batch: one `server.batch` span, one fault draw per
+/// member (in arrival order, preserving scripted-injector semantics), one
+/// stall (the max drawn — a shared invocation stalls once), and one
+/// deduplicated [`SimLlm::complete_batch`] invocation. Every member still
+/// gets its own `server.handle` span (linked to the batch by annotation
+/// and, for untraced requests, by parentage), counters, log line, and
+/// byte-identical response.
+fn serve_batch(shared: &Shared, pollers: &[Arc<PollerShared>], works: Vec<Work>) {
+    let registry = &shared.registry;
+    let n = works.len();
+    let batch_span = obs::Span::enter_root("server.batch");
+    batch_span.annotate("size", &n.to_string());
+    batch_span.annotate("model", shared.llm.profile.name);
+    let batch_trace = batch_span.trace().to_string();
+    registry.counter("server.batch.batches_total").inc();
+    registry
+        .counter("server.batch.requests_total")
+        .add(n as u64);
+    registry.histogram("server.batch.size").record(n as u64);
+
+    let faults: Vec<Fault> = works.iter().map(|_| shared.faults.next()).collect();
+    for fault in &faults {
+        if *fault != Fault::None {
+            registry.counter("server.faults_injected_total").inc();
+            registry
+                .counter(&format!("server.fault.{}", fault.label()))
+                .inc();
+        }
+    }
+    let stall = faults
+        .iter()
+        .filter_map(|f| match f {
+            Fault::Stall(pause) => Some(*pause),
+            _ => None,
+        })
+        .max();
+    if let Some(pause) = stall {
+        batch_span.annotate("stall_ms", &pause.as_millis().to_string());
+        std::thread::sleep(pause);
+    }
+
+    let live: Vec<usize> = (0..n)
+        .filter(|&i| !matches!(faults[i], Fault::Drop | Fault::Http500))
+        .collect();
+    let completions: HashMap<usize, String> = if live.is_empty() {
+        HashMap::new()
+    } else {
+        let opts = call_of(&works[live[0]]).opts.clone();
+        let prompts: Vec<&str> = live
+            .iter()
+            .map(|&i| call_of(&works[i]).prompt.as_str())
+            .collect();
+        let unique: HashSet<&str> = prompts.iter().copied().collect();
+        registry
+            .counter("server.batch.invocations_total")
+            .add(unique.len() as u64);
+        registry
+            .counter("server.batch.dedup_hits_total")
+            .add((prompts.len() - unique.len()) as u64);
+        let outputs = shared.llm.complete_batch(&prompts, &opts);
+        live.iter().copied().zip(outputs).collect()
+    };
+
+    for (i, mut work) in works.into_iter().enumerate() {
+        let fault = faults[i];
+        // Traced requests join their caller's trace; untraced ones nest
+        // under the batch span — either way the annotation names the
+        // shared batch.
+        let span = match work.request.trace {
+            Some(ctx) => obs::Span::enter_with("server.handle", ctx),
+            None => obs::Span::enter("server.handle"),
+        };
+        span.annotate("path", &work.request.path);
+        span.annotate("batch", &batch_trace);
+        if fault != Fault::None {
+            span.annotate("fault", fault.label());
+        }
+        let trace = span.trace();
+        if fault == Fault::Drop {
+            drop(span);
+            finish(pollers, work.conn, work.poller, work.stream, false);
+            continue;
+        }
+        let (status, response_body) = if fault == Fault::Http500 {
+            (
+                500,
+                Json::object(vec![("error", Json::from("injected server error"))]).to_compact(),
+            )
+        } else {
+            (200, completion_json(&shared.llm, &completions[&i]))
+        };
+        record_request(
+            shared,
+            &work.request,
+            status,
+            response_body.len(),
+            work.received,
+            trace,
+            true,
+        );
+        span.annotate("status", &status.to_string());
+        drop(span);
+        let keep = work.request.keep_alive && !shared.draining.load(Ordering::Relaxed);
+        let ok = blocking_respond(&mut work.stream, status, &response_body, JSON, keep);
+        finish(pollers, work.conn, work.poller, work.stream, keep && ok);
+    }
+}

@@ -9,15 +9,16 @@
 //! simulated backend for a real endpoint is a URL change.
 
 use crate::client::{CompletionOutcome, LlmClient, TransportError, TransportErrorKind};
-use crate::fault::{Fault, FaultInjector};
-use crate::sim::SimLlm;
+use crate::event;
+use crate::fault::FaultInjector;
+use crate::sim::{GenOptions, SimLlm};
 use nl2vis_data::Json;
 use nl2vis_obs as obs;
 use nl2vis_obs::{MetricsRegistry, WindowedRegistry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -27,16 +28,16 @@ use std::time::{Duration, Instant};
 /// header into an allocation.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
-/// Read/write deadlines applied to every accepted server connection. A
-/// stalled or dead peer releases its connection thread after this long
-/// instead of holding it (and the active-connection gauge) forever.
-const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Deadline for a fresh connection to produce a complete request, and for
+/// response writes. A stalled or dead peer is swept (and the response
+/// write abandoned) after this long instead of being held forever.
+pub(crate) const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// How long the server waits for the *next* request on a kept-alive
-/// connection. Much shorter than [`SERVER_IO_TIMEOUT`]: an idle pooled
-/// connection should release its thread quickly, and `Drop` joins every
-/// connection thread, so this bounds shutdown latency too.
-const SERVER_KEEPALIVE_IDLE: Duration = Duration::from_secs(5);
+/// How long the server keeps an idle kept-alive connection before closing
+/// it. Idle sockets cost the event-driven core only a poller table entry
+/// (not a thread), but pooling clients give up after [`CLIENT_POOL_IDLE`]
+/// anyway, so anything older is dead weight.
+pub(crate) const SERVER_KEEPALIVE_IDLE: Duration = Duration::from_secs(5);
 
 /// How long the client keeps an idle pooled connection before discarding
 /// it. Kept below [`SERVER_KEEPALIVE_IDLE`] so the client usually gives up
@@ -176,51 +177,56 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared between the accept thread and the worker pool.
-struct ServerShared {
-    /// Accepted connections waiting for a worker.
-    queue: Mutex<std::collections::VecDeque<TcpStream>>,
-    /// Signals workers that the queue has work (or that draining began).
-    ready: Condvar,
-    /// Set at shutdown: workers drain the queue, then exit.
-    draining: AtomicBool,
-    /// Workers currently serving a connection.
-    inflight: std::sync::atomic::AtomicUsize,
-    /// Pool size, for the saturation check.
-    pool_size: usize,
+/// Tuning knobs of the event-driven core that are not part of the sizing
+/// contract in [`ServerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTuning {
+    /// Poller threads sharing the connection table. Each owns its shard of
+    /// nonblocking sockets; total server threads are
+    /// `pollers + max_inflight` regardless of connection count.
+    pub pollers: usize,
+    /// How long a worker lingers for more same-key completions after
+    /// forming a batch. Zero (the default) batches opportunistically: only
+    /// requests already queued together coalesce, and an unsaturated
+    /// server adds no latency.
+    pub batch_window: Duration,
+    /// Most completions one [`SimLlm`] invocation may serve.
+    pub batch_max: usize,
 }
 
-impl ServerShared {
-    /// Should the connection loop give up its kept-alive connection after
-    /// the current response? True when connections are queued with every
-    /// worker busy (an idle parked socket would starve them — freeing this
-    /// thread is the only way a queued connection gets served) and while
-    /// draining (shutdown must not wait out idle deadlines). A non-empty
-    /// queue alone is not pressure: an idle worker will pick it up.
-    fn under_pressure(&self) -> bool {
-        if self.draining.load(Ordering::Relaxed) {
-            return true;
+impl Default for ServerTuning {
+    fn default() -> ServerTuning {
+        ServerTuning {
+            pollers: 2,
+            batch_window: Duration::ZERO,
+            batch_max: 32,
         }
-        self.inflight.load(Ordering::Relaxed) >= self.pool_size
-            && !self.queue.lock().expect("accept queue").is_empty()
     }
 }
 
 /// A completion server exposing a [`SimLlm`] on `127.0.0.1`.
 ///
-/// Connections are served by a bounded worker pool
-/// ([`ServerConfig::max_inflight`] threads) fed from a fixed-depth accept
-/// queue; when the queue is full the accept thread *sheds* the connection
-/// with `429 Too Many Requests` and a `Retry-After` header instead of
-/// letting load grow unboundedly. Shutdown is a graceful drain: queued
-/// connections are all served before the workers exit. Every request is
-/// instrumented against a shared [`MetricsRegistry`]:
+/// The runtime is event-driven: a few poller threads own every accepted
+/// socket in nonblocking mode (see [`crate::poll`]), parse requests
+/// incrementally, and hand *complete* requests to a bounded worker pool
+/// ([`ServerConfig::max_inflight`] threads) through a fixed-depth queue;
+/// when the queue is full the poller *sheds* the request with
+/// `429 Too Many Requests` and a `Retry-After` header instead of letting
+/// load grow unboundedly. Queued completions sharing generation options
+/// are coalesced into one [`SimLlm`] invocation ([`ServerTuning`]).
+/// Shutdown is a graceful drain: requests already read are all served
+/// before the workers exit. Every request is instrumented against a
+/// shared [`MetricsRegistry`]:
 ///
 /// - `llm.requests_total` / `llm.request_latency_us` — completion calls;
 /// - `server.http_requests_total`, `llm.status_<code>` — all traffic;
-/// - `server.shed_total` — connections rejected by admission control;
-/// - `server.active_connections` / `server.concurrent_peak` — in-flight
-///   connection gauge and its high-water mark (bounded by the pool size);
+/// - `server.shed_total` — requests rejected by admission control;
+/// - `server.active_connections` / `server.concurrent_peak` — busy-worker
+///   gauge and its high-water mark (bounded by the pool size);
+/// - `server.poller.open_connections` / `server.serving_threads` — the
+///   decoupling pair: sockets held open vs. threads serving them;
+/// - `server.batch.*` — batching effectiveness (batches formed, requests
+///   batched, backend invocations, prompt-dedup hits, size histogram);
 /// - one `llm` access-log event per request on the installed sink.
 ///
 /// Besides the OpenAI-compatible surface, the server exposes
@@ -231,13 +237,13 @@ impl ServerShared {
 pub struct CompletionServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    shared: Arc<ServerShared>,
     handle: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    core: Option<event::Core>,
     registry: Arc<MetricsRegistry>,
     windowed: Arc<WindowedRegistry>,
     faults: Arc<FaultInjector>,
     config: ServerConfig,
+    tuning: ServerTuning,
 }
 
 impl CompletionServer {
@@ -267,107 +273,75 @@ impl CompletionServer {
         CompletionServer::start_with_config(llm, registry, faults, ServerConfig::default())
     }
 
-    /// Starts the server with explicit runtime sizing — the full
-    /// constructor every other `start_*` delegates to.
+    /// Starts the server with explicit runtime sizing and default
+    /// [`ServerTuning`].
     pub fn start_with_config(
         llm: SimLlm,
         registry: Arc<MetricsRegistry>,
         faults: FaultInjector,
         config: ServerConfig,
     ) -> Result<CompletionServer, HttpError> {
+        CompletionServer::start_with_tuning(llm, registry, faults, config, ServerTuning::default())
+    }
+
+    /// Starts the server with explicit sizing *and* event-core tuning —
+    /// the full constructor every other `start_*` delegates to.
+    pub fn start_with_tuning(
+        llm: SimLlm,
+        registry: Arc<MetricsRegistry>,
+        faults: FaultInjector,
+        config: ServerConfig,
+        tuning: ServerTuning,
+    ) -> Result<CompletionServer, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let shared = Arc::new(ServerShared {
-            queue: Mutex::new(std::collections::VecDeque::new()),
-            ready: Condvar::new(),
-            draining: AtomicBool::new(false),
-            inflight: std::sync::atomic::AtomicUsize::new(0),
-            pool_size: config.max_inflight.max(1),
-        });
-        let llm = Arc::new(llm);
         let faults = Arc::new(faults);
         let windowed = Arc::new(WindowedRegistry::new(obs::WindowConfig::seconds_10()));
-
-        let workers = (0..config.max_inflight.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let llm = Arc::clone(&llm);
-                let reg = Arc::clone(&registry);
-                let win = Arc::clone(&windowed);
-                let faults = Arc::clone(&faults);
-                std::thread::spawn(move || loop {
-                    let stream = {
-                        let mut queue = shared.queue.lock().expect("accept queue");
-                        loop {
-                            if let Some(stream) = queue.pop_front() {
-                                break Some(stream);
-                            }
-                            // Check draining only with an empty queue, so
-                            // every accepted connection is served before
-                            // shutdown completes.
-                            if shared.draining.load(Ordering::Relaxed) {
-                                break None;
-                            }
-                            queue = shared.ready.wait(queue).expect("accept queue");
-                        }
-                    };
-                    let Some(stream) = stream else {
-                        return;
-                    };
-                    shared.inflight.fetch_add(1, Ordering::Relaxed);
-                    let active = reg.gauge("server.active_connections");
-                    let now_active = active.add(1);
-                    reg.gauge("server.concurrent_peak").set_max(now_active);
-                    let _ = handle_connection(stream, &llm, &reg, &win, &faults, &shared);
-                    active.add(-1);
-                    shared.inflight.fetch_sub(1, Ordering::Relaxed);
-                })
-            })
-            .collect();
-
-        let accept_shared = Arc::clone(&shared);
-        let reg = Arc::clone(&registry);
-        let win = Arc::clone(&windowed);
+        let core = event::Core::start(
+            llm,
+            Arc::clone(&registry),
+            Arc::clone(&windowed),
+            Arc::clone(&faults),
+            config,
+            tuning,
+        )?;
+        let pollers = core.pollers.clone();
         // The accept loop blocks in `accept` — zero CPU while idle — and is
-        // woken on shutdown by `Drop` connecting to the listener itself.
-        let handle = std::thread::spawn(move || loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    if stop_flag.load(Ordering::Relaxed) {
-                        break;
+        // woken on shutdown by `Drop` connecting to the listener itself. It
+        // does nothing but deal accepted sockets to the poller shards.
+        let handle = std::thread::spawn(move || {
+            let rr = AtomicUsize::new(0);
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        event::hand_off(&pollers, &rr, stream);
                     }
-                    let mut queue = accept_shared.queue.lock().expect("accept queue");
-                    if queue.len() >= config.queue_depth {
-                        drop(queue);
-                        shed(stream, &reg, &win, config.retry_after);
-                    } else {
-                        queue.push_back(stream);
-                        drop(queue);
-                        accept_shared.ready.notify_one();
+                    Err(_) => {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Transient accept failure (e.g. fd pressure): back
+                        // off briefly instead of spinning.
+                        std::thread::sleep(Duration::from_millis(10));
                     }
-                }
-                Err(_) => {
-                    if stop_flag.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    // Transient accept failure (e.g. fd pressure): back off
-                    // briefly instead of spinning.
-                    std::thread::sleep(Duration::from_millis(10));
                 }
             }
         });
         Ok(CompletionServer {
             addr,
             stop,
-            shared,
             handle: Some(handle),
-            workers,
+            core: Some(core),
             registry,
             windowed,
             faults,
             config,
+            tuning,
         })
     }
 
@@ -397,45 +371,10 @@ impl CompletionServer {
     pub fn config(&self) -> &ServerConfig {
         &self.config
     }
-}
 
-/// Rejects a connection under admission control: `429`, a `Retry-After`
-/// the client's retry layer will honor, close. The whole exchange is
-/// best-effort under a short write deadline — a shed exists to protect the
-/// workers, so it must never block the accept thread on a slow peer.
-fn shed(
-    mut stream: TcpStream,
-    registry: &MetricsRegistry,
-    windowed: &WindowedRegistry,
-    retry_after: Duration,
-) {
-    registry.counter("server.shed_total").inc();
-    registry.counter("llm.status_429").inc();
-    windowed.counter("server.shed_total").inc();
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let body = r#"{"error":"server overloaded, retry later"}"#;
-    // Fractional seconds in Retry-After are a protocol extension over RFC
-    // 9110 (which allows only whole seconds): local tests and benchmarks
-    // shed with millisecond backoffs, and rounding them up to 1s would
-    // serialize the whole recovery. Our client parses either form.
-    let response = format!(
-        "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-        retry_after.as_secs_f64(),
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
-    // Lingering close: a shed never read the request, and closing a socket
-    // with unread received data RSTs the connection — destroying the 429
-    // sitting in the peer's receive buffer. Send our FIN, then drain until
-    // the peer closes (bounded by the read deadline above).
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut sink = [0u8; 1024];
-    while let Ok(n) = stream.read(&mut sink) {
-        if n == 0 {
-            break;
-        }
+    /// The event-core tuning this server was started with.
+    pub fn tuning(&self) -> &ServerTuning {
+        &self.tuning
     }
 }
 
@@ -448,145 +387,106 @@ impl Drop for CompletionServer {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        // Phase 2: drain. Workers serve everything already accepted (the
-        // draining flag is only honored on an empty queue), then exit.
-        self.shared.draining.store(true, Ordering::Relaxed);
-        self.shared.ready.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // Phase 2: drain. Pollers serve what has already been read, then
+        // the workers drain the request queue (see [`event::Core::shutdown`]).
+        if let Some(core) = self.core.take() {
+            core.shutdown();
         }
     }
 }
 
 /// A parsed inbound request.
-struct Request {
-    method: String,
-    path: String,
-    body: String,
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
     /// Did the client ask to keep the connection open (`Connection:
     /// keep-alive`)? Despite HTTP/1.1's persistent-by-default rule, this
     /// server is close-by-default and only keeps connections the client
     /// explicitly asked for — raw-socket callers that read to EOF keep
     /// working, and pooling clients opt in per request.
-    keep_alive: bool,
+    pub keep_alive: bool,
     /// Trace context imported from `X-Nl2vis-Trace-Id` /
     /// `X-Nl2vis-Parent-Span` headers, if the client is propagating one —
     /// the server-side handling span then joins the caller's trace instead
     /// of starting its own.
-    trace: Option<obs::TraceContext>,
+    pub trace: Option<obs::TraceContext>,
 }
 
 /// A request that could not be read: the status and body of the error
 /// response the client deserves before the connection closes.
-struct BadRequest {
-    status: u16,
-    message: String,
-    /// True when the failure is the connection ending (EOF, idle deadline,
-    /// peer reset) rather than malformed traffic. On a kept-alive
-    /// connection that has already served a request, this is a normal
-    /// close, not an error.
-    connection_end: bool,
+pub(crate) struct BadRequest {
+    pub status: u16,
+    pub message: String,
 }
 
 impl BadRequest {
-    fn new(status: u16, message: impl Into<String>) -> BadRequest {
+    pub fn new(status: u16, message: impl Into<String>) -> BadRequest {
         BadRequest {
             status,
             message: message.into(),
-            connection_end: false,
         }
     }
 
-    fn ended(message: impl Into<String>) -> BadRequest {
-        BadRequest {
-            status: 400,
-            message: message.into(),
-            connection_end: true,
-        }
+    pub fn ended(message: impl Into<String>) -> BadRequest {
+        BadRequest::new(400, message)
     }
 }
 
-/// Reads one HTTP/1.1 request. Every failure mode maps to the error
-/// response the client should see: malformed or oversized headers/bodies
-/// are `400`/`413`, and an io failure mid-request (peer died, read
-/// deadline) still yields a best-effort `400` instead of a bare closed
-/// socket.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, BadRequest> {
-    let io_err = |e: std::io::Error| BadRequest::ended(format!("request read failed: {e}"));
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line).map_err(io_err)?;
-    if request_line.is_empty() {
-        return Err(BadRequest::ended("empty request"));
+/// Extracts a header value from one `Name: value` line when the *name*
+/// matches `name` case-insensitively (RFC 9110 §5.1 — field names are
+/// case-insensitive). The value is returned from the original line,
+/// whitespace-trimmed but otherwise byte-for-byte: header values are NOT
+/// case-insensitive, and folding them (as an earlier lowercase-the-line
+/// parser did) silently corrupts case-sensitive payloads like trace ids.
+pub fn header_value<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let (field, value) = line.split_once(':')?;
+    if field.trim().eq_ignore_ascii_case(name) {
+        Some(value.trim())
+    } else {
+        None
     }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-
-    let mut content_length = 0usize;
-    let mut keep_alive = false;
-    let mut trace_id: Option<String> = None;
-    let mut parent_span: Option<String> = None;
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line).map_err(io_err)?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        let lower = line.to_ascii_lowercase();
-        if let Some(v) = lower.strip_prefix("content-length:") {
-            // A Content-Length we cannot parse means we cannot know where
-            // the body ends: reject, never silently assume an empty body.
-            content_length = v
-                .trim()
-                .parse()
-                .map_err(|_| BadRequest::new(400, format!("malformed content-length: `{v}`")))?;
-        }
-        if let Some(v) = lower.strip_prefix("connection:") {
-            keep_alive = v.trim() == "keep-alive";
-        }
-        if let Some(v) = lower.strip_prefix("x-nl2vis-trace-id:") {
-            trace_id = Some(v.trim().to_string());
-        }
-        if let Some(v) = lower.strip_prefix("x-nl2vis-parent-span:") {
-            parent_span = Some(v.trim().to_string());
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        // Reject from the untrusted header alone — allocating
-        // `content_length` bytes first would let a single request OOM the
-        // server.
-        return Err(BadRequest::new(
-            413,
-            format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
-        ));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(io_err)?;
-    Ok(Request {
-        method,
-        path,
-        body: String::from_utf8_lossy(&body).to_string(),
-        keep_alive,
-        trace: obs::TraceContext::from_headers(trace_id.as_deref(), parent_span.as_deref()),
-    })
 }
 
-/// Writes one response, advertising `Connection: keep-alive` or `close` to
-/// match what the connection loop will actually do next. Best-effort by
-/// construction: the caller decides whether a write failure matters.
-fn respond(
-    stream: &mut TcpStream,
+/// Does a `Connection:` header value ask for keep-alive? The value is a
+/// comma-separated token list (`keep-alive, TE`), so membership is tested
+/// per token, case-insensitively — exact-equality matching would read any
+/// multi-token list as "close". A list naming both tokens closes: `close`
+/// is the stronger directive.
+pub fn connection_keeps_alive(value: &str) -> bool {
+    let mut keep = false;
+    for token in value.split(',') {
+        let token = token.trim();
+        if token.eq_ignore_ascii_case("close") {
+            return false;
+        }
+        if token.eq_ignore_ascii_case("keep-alive") {
+            keep = true;
+        }
+    }
+    keep
+}
+
+/// Serializes one complete response. Kept in one place so the worker
+/// pool, the poller-side shed/error paths, and tests all emit the same
+/// wire bytes.
+pub(crate) fn render_response(
     status: u16,
     body: &str,
     content_type: &str,
     keep_alive: bool,
-) -> Result<(), HttpError> {
-    // Serialize the whole response first and send it in one write: header
-    // and body as separate writes would let Nagle hold the body back a
-    // delayed-ACK round trip on connections without NODELAY.
-    let response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+    retry_after: Option<Duration>,
+) -> String {
+    // Fractional seconds in Retry-After are a protocol extension over RFC
+    // 9110 (which allows only whole seconds): local tests and benchmarks
+    // shed with millisecond backoffs, and rounding them up to 1s would
+    // serialize the whole recovery. Our client parses either form.
+    let retry_after = match retry_after {
+        Some(backoff) => format!("Retry-After: {}\r\n", backoff.as_secs_f64()),
+        None => String::new(),
+    };
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry_after}Connection: {}\r\n\r\n{body}",
         match status {
             200 => "OK",
             404 => "Not Found",
@@ -597,155 +497,46 @@ fn respond(
         },
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
-    );
+    )
+}
+
+/// Writes one response, advertising `Connection: keep-alive` or `close` to
+/// match what the serving loop will actually do next. Best-effort by
+/// construction: the caller decides whether a write failure matters.
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    keep_alive: bool,
+) -> Result<(), HttpError> {
+    // Serialize the whole response first and send it in one write: header
+    // and body as separate writes would let Nagle hold the body back a
+    // delayed-ACK round trip on connections without NODELAY.
+    let response = render_response(status, body, content_type, keep_alive, None);
     stream.write_all(response.as_bytes())?;
     stream.flush()?;
     Ok(())
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    llm: &SimLlm,
-    registry: &MetricsRegistry,
-    windowed: &WindowedRegistry,
-    faults: &FaultInjector,
-    shared: &ServerShared,
-) -> Result<(), HttpError> {
-    // Deadlines on both directions: a stalled or vanished peer frees this
-    // thread after SERVER_IO_TIMEOUT instead of parking it forever.
-    let _ = stream.set_read_timeout(Some(SERVER_IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
-    // Responses are latency-sensitive and always complete messages; never
-    // let Nagle hold one back waiting for a delayed ACK.
-    let _ = stream.set_nodelay(true);
-    registry.counter("server.connections_total").inc();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut out = stream;
-    let mut served = 0usize;
-
-    loop {
-        let started = Instant::now();
-        let request = match read_request(&mut reader) {
-            Ok(request) => request,
-            Err(bad) => {
-                if served > 0 && bad.connection_end {
-                    // A kept-alive connection going idle-quiet (EOF, idle
-                    // deadline, reset) is the normal end of its life.
-                    return Ok(());
-                }
-                registry.counter("server.bad_requests_total").inc();
-                registry
-                    .counter(&format!("llm.status_{}", bad.status))
-                    .inc();
-                let body =
-                    Json::object(vec![("error", Json::from(bad.message.as_str()))]).to_compact();
-                // Best-effort: the peer may already be gone.
-                let _ = respond(&mut out, bad.status, &body, JSON, false);
-                return Err(HttpError::Protocol(bad.message));
-            }
-        };
-        if served > 0 {
-            registry.counter("server.requests_on_reused_conn").inc();
-        }
-        // Honor keep-alive only while the pool has slack: with connections
-        // queued for a worker (or a drain in progress), parking this thread
-        // on an idle socket would starve them.
-        let keep_alive = request.keep_alive && !shared.under_pressure();
-
-        let is_completion = request.method == "POST" && request.path == "/v1/completions";
-        // Join the caller's trace when it propagated one; otherwise only
-        // completions get a span of their own (tracing every /metrics poll
-        // would flood the flight recorder with noise).
-        let span = match request.trace {
-            Some(ctx) => Some(obs::Span::enter_with("server.handle", ctx)),
-            None if is_completion => Some(obs::Span::enter("server.handle")),
-            None => None,
-        };
-        if let Some(span) = &span {
-            span.annotate("path", &request.path);
-        }
-        let trace = span.as_ref().map(|s| s.trace()).unwrap_or(0);
-        let fault = if is_completion {
-            faults.next()
-        } else {
-            Fault::None
-        };
-        if fault != Fault::None {
-            registry.counter("server.faults_injected_total").inc();
-            registry
-                .counter(&format!("server.fault.{}", fault.label()))
-                .inc();
-            if let Some(span) = &span {
-                span.annotate("fault", fault.label());
-            }
-        }
-        if let Fault::Stall(pause) = fault {
-            std::thread::sleep(pause);
-        }
-        if fault == Fault::Drop {
-            // Close without a response: the client sees a clean EOF (and a
-            // pooled client exercises its stale-retry path).
-            return Ok(());
-        }
-
-        let (status, response_body, content_type) = if fault == Fault::Http500 {
-            (
-                500,
-                Json::object(vec![("error", Json::from("injected server error"))]).to_compact(),
-                JSON,
-            )
-        } else {
-            route(
-                &request.method,
-                &request.path,
-                &request.body,
-                llm,
-                registry,
-                windowed,
-            )
-        };
-
-        registry.counter("server.http_requests_total").inc();
-        registry.counter(&format!("llm.status_{status}")).inc();
-        let elapsed = started.elapsed();
-        if is_completion {
-            registry.counter("llm.requests_total").inc();
-            registry
-                .histogram("llm.request_latency_us")
-                .record_duration_traced(elapsed, trace);
-            windowed.counter("llm.requests_total").inc();
-            windowed
-                .histogram("llm.request_latency_us")
-                .record_duration(elapsed);
-        }
-        if let Some(span) = &span {
-            span.annotate("status", &status.to_string());
-        }
-        obs::log("llm", "access", || {
-            vec![
-                ("method".to_string(), request.method),
-                ("path".to_string(), request.path),
-                ("status".to_string(), status.to_string()),
-                ("bytes".to_string(), response_body.len().to_string()),
-                ("duration_us".to_string(), elapsed.as_micros().to_string()),
-            ]
-        });
-        // Close the handling span before the response goes out: by the time
-        // the client reads the body, its side of the trace is consistent.
-        drop(span);
-
-        respond(&mut out, status, &response_body, content_type, keep_alive)?;
-        if !keep_alive {
-            return Ok(());
-        }
-        served += 1;
-        // Waiting for a *next* request is speculative; don't hold the
-        // thread (or block server shutdown) for the full io deadline.
-        let _ = out.set_read_timeout(Some(SERVER_KEEPALIVE_IDLE));
-    }
+/// Renders the OpenAI-style completion response body.
+pub(crate) fn completion_json(llm: &SimLlm, completion: &str) -> String {
+    Json::object(vec![
+        ("object", Json::from("text_completion")),
+        ("model", Json::from(llm.profile.name)),
+        (
+            "choices",
+            Json::Array(vec![Json::object(vec![
+                ("text", Json::from(completion)),
+                ("index", Json::from(0i64)),
+                ("finish_reason", Json::from("stop")),
+            ])]),
+        ),
+    ])
+    .to_compact()
 }
 
-const JSON: &str = "application/json";
+pub(crate) const JSON: &str = "application/json";
 const TEXT: &str = "text/plain; charset=utf-8";
 
 /// Renders the `GET /stats` body: the sliding-window view (rolling
@@ -764,6 +555,13 @@ fn stats_json(registry: &MetricsRegistry, windowed: &WindowedRegistry) -> String
         shed_window as f64 / (served_window + shed_window) as f64
     };
     let latency = obs::window::summary_json(&window, Some(&cumulative));
+    let batch_requests = registry.counter("server.batch.requests_total").get();
+    let batch_batches = registry.counter("server.batch.batches_total").get();
+    let avg_batch_size = if batch_batches == 0 {
+        0.0
+    } else {
+        batch_requests as f64 / batch_batches as f64
+    };
     format!(
         concat!(
             "{{\"window_seconds\":{:.1},",
@@ -775,6 +573,12 @@ fn stats_json(registry: &MetricsRegistry, windowed: &WindowedRegistry) -> String
             "\"shed_total\":{},",
             "\"active_connections\":{},",
             "\"concurrent_peak\":{},",
+            "\"open_connections\":{},",
+            "\"serving_threads\":{},",
+            "\"batch_requests\":{},",
+            "\"batch_batches\":{},",
+            "\"batch_invocations\":{},",
+            "\"avg_batch_size\":{:.3},",
             "\"latency_us\":{}}}"
         ),
         windowed.config().span().as_secs_f64(),
@@ -786,54 +590,29 @@ fn stats_json(registry: &MetricsRegistry, windowed: &WindowedRegistry) -> String
         registry.counter("server.shed_total").get(),
         registry.gauge("server.active_connections").get(),
         registry.gauge("server.concurrent_peak").get(),
+        registry.gauge("server.poller.open_connections").get(),
+        registry.gauge("server.serving_threads").get(),
+        batch_requests,
+        batch_batches,
+        registry.counter("server.batch.invocations_total").get(),
+        avg_batch_size,
         latency,
     )
 }
 
-fn route(
+/// Routes the non-completion surface (`/v1/models`, `/metrics`, `/stats`,
+/// `/requests`, `/trace/<id>`, `/healthz`). `POST /v1/completions` never
+/// reaches here: the pollers pre-parse it and the worker pool serves it
+/// (batched) directly — see [`crate::event`].
+pub(crate) fn route(
     method: &str,
     path: &str,
-    body: &str,
+    _body: &str,
     llm: &SimLlm,
     registry: &MetricsRegistry,
     windowed: &WindowedRegistry,
 ) -> (u16, String, &'static str) {
     match (method, path) {
-        ("POST", "/v1/completions") => match Json::parse(body) {
-            Ok(req) => {
-                let prompt = req.get("prompt").and_then(Json::as_str).unwrap_or("");
-                let requested_model = req
-                    .get("model")
-                    .and_then(Json::as_str)
-                    .unwrap_or(llm.profile.name);
-                if requested_model != llm.profile.name {
-                    let err = Json::object(vec![(
-                        "error",
-                        Json::from(format!("model `{requested_model}` not hosted here").as_str()),
-                    )]);
-                    return (400, err.to_compact(), JSON);
-                }
-                let completion = llm.complete(prompt);
-                let response = Json::object(vec![
-                    ("object", Json::from("text_completion")),
-                    ("model", Json::from(llm.profile.name)),
-                    (
-                        "choices",
-                        Json::Array(vec![Json::object(vec![
-                            ("text", Json::from(completion.as_str())),
-                            ("index", Json::from(0i64)),
-                            ("finish_reason", Json::from("stop")),
-                        ])]),
-                    ),
-                ]);
-                (200, response.to_compact(), JSON)
-            }
-            Err(e) => (
-                400,
-                Json::object(vec![("error", Json::from(e.to_string().as_str()))]).to_compact(),
-                JSON,
-            ),
-        },
         ("GET", "/v1/models") => {
             let response = Json::object(vec![(
                 "data",
@@ -1036,11 +815,34 @@ impl HttpLlmClient {
     /// pooled connection; a stale-socket failure there is retried once on
     /// a fresh connection before any error reaches the caller.
     pub fn complete_http(&self, prompt: &str) -> Result<String, HttpError> {
-        let request = Json::object(vec![
+        self.complete_http_with(prompt, &GenOptions::default())
+    }
+
+    /// Like [`HttpLlmClient::complete_http`], carrying non-default
+    /// [`GenOptions`] in the request body's `options` object so the server
+    /// generates with them (and batches only requests whose options
+    /// match). Default options are omitted from the wire: the common case
+    /// stays byte-identical to the pre-options protocol.
+    pub fn complete_http_with(&self, prompt: &str, opts: &GenOptions) -> Result<String, HttpError> {
+        let mut fields = vec![
             ("model", Json::from(self.model.as_str())),
             ("prompt", Json::from(prompt)),
-        ])
-        .to_compact();
+        ];
+        let defaults = GenOptions::default();
+        if opts.attempt != defaults.attempt
+            || opts.error_scale != defaults.error_scale
+            || opts.structural_scale != defaults.structural_scale
+        {
+            fields.push((
+                "options",
+                Json::object(vec![
+                    ("attempt", Json::from(opts.attempt as f64)),
+                    ("error_scale", Json::from(opts.error_scale)),
+                    ("structural_scale", Json::from(opts.structural_scale)),
+                ]),
+            ));
+        }
+        let request = Json::object(fields).to_compact();
         if let Some(stream) = self.checkout() {
             let attempt = obs::span!("llm.attempt");
             attempt.annotate("conn", "reused");
@@ -1101,7 +903,7 @@ impl HttpLlmClient {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| HttpError::Protocol(format!("bad status line: {status_line}")))?;
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
         let mut server_keeps_alive = false;
         let mut retry_after: Option<Duration> = None;
         loop {
@@ -1111,29 +913,39 @@ impl HttpLlmClient {
                     "truncated response headers".to_string(),
                 ));
             }
-            if line.trim_end().is_empty() {
+            let line = line.trim_end();
+            if line.is_empty() {
                 break;
             }
-            let lower = line.to_ascii_lowercase();
-            if let Some(v) = lower.strip_prefix("content-length:") {
-                content_length = v.trim().parse().map_err(|_| {
+            if let Some(v) = header_value(line, "content-length") {
+                let parsed = v.parse::<usize>().map_err(|_| {
                     HttpError::Protocol(format!("malformed response content-length: `{v}`"))
                 })?;
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    // Two different lengths means we cannot know where this
+                    // response ends — the next response on the connection
+                    // would be misframed (the smuggling-shaped failure).
+                    return Err(HttpError::Protocol(
+                        "conflicting duplicate content-length headers".to_string(),
+                    ));
+                }
+                content_length = Some(parsed);
             }
-            if let Some(v) = lower.strip_prefix("connection:") {
-                server_keeps_alive = v.trim() == "keep-alive";
+            if let Some(v) = header_value(line, "connection") {
+                server_keeps_alive = connection_keeps_alive(v);
             }
-            if let Some(v) = lower.strip_prefix("retry-after:") {
-                // Seconds, fractional allowed (see `shed`); an unparseable
-                // value degrades to "no advertised backoff", never an error.
+            if let Some(v) = header_value(line, "retry-after") {
+                // Seconds, fractional allowed (see `render_response`); an
+                // unparseable value degrades to "no advertised backoff",
+                // never an error.
                 retry_after = v
-                    .trim()
                     .parse::<f64>()
                     .ok()
                     .filter(|s| s.is_finite() && *s >= 0.0)
                     .map(Duration::from_secs_f64);
             }
         }
+        let content_length = content_length.unwrap_or(0);
         if content_length > MAX_BODY_BYTES {
             return Err(HttpError::Protocol(format!(
                 "response body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
@@ -1173,8 +985,8 @@ impl LlmClient for HttpLlmClient {
     /// `complete_with` wrappers fold the result into a marker string that
     /// cannot parse as VQL — display-only callers; scoring paths must stay
     /// on this method.)
-    fn try_complete_with(&self, prompt: &str, _opts: &crate::sim::GenOptions) -> CompletionOutcome {
-        self.complete_http(prompt)
+    fn try_complete_with(&self, prompt: &str, opts: &crate::sim::GenOptions) -> CompletionOutcome {
+        self.complete_http_with(prompt, opts)
             .map_err(|e| e.into_transport_error(1))
     }
 }
@@ -1189,8 +1001,9 @@ impl nl2vis_service::CompletionService for HttpLlmClient {
         &self.model
     }
 
-    fn call(&self, prompt: &str, _opts: &crate::sim::GenOptions) -> CompletionOutcome {
-        self.complete_http(prompt).map_err(|e| e.transport_error(1))
+    fn call(&self, prompt: &str, opts: &crate::sim::GenOptions) -> CompletionOutcome {
+        self.complete_http_with(prompt, opts)
+            .map_err(|e| e.transport_error(1))
     }
 
     fn describe(&self, stack: &mut Vec<&'static str>) {

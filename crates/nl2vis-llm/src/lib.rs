@@ -35,10 +35,12 @@
 //! `llm.error.transport`; they must never be scored as model output.
 
 pub mod client;
+pub(crate) mod event;
 pub mod fault;
 pub mod followup;
 pub mod http;
 pub mod link;
+pub mod poll;
 pub mod profile;
 pub mod prompt_parse;
 pub mod recover;
@@ -50,7 +52,7 @@ pub use client::{
     ClientService, CompletionOutcome, LlmClient, ServiceClient, TransportError, TransportErrorKind,
 };
 pub use fault::{Fault, FaultInjector};
-pub use http::ServerConfig;
+pub use http::{ServerConfig, ServerTuning};
 pub use profile::ModelProfile;
 pub use resilient::{ResilientLlmClient, RetryPolicy};
 pub use sim::{corrupt_query, extract_vql, GenOptions, SimLlm};

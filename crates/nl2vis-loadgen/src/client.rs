@@ -171,7 +171,7 @@ impl LoadConn {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| WireError::Fatal(format!("bad status line `{status_line}`")))?;
 
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
         let mut keep_alive = false;
         loop {
             let mut line = String::new();
@@ -182,17 +182,25 @@ impl LoadConn {
             if line.is_empty() {
                 break;
             }
-            let lower = line.to_ascii_lowercase();
-            if let Some(v) = lower.strip_prefix("content-length:") {
-                content_length = v
-                    .trim()
-                    .parse()
+            // Shared header helpers: names match case-insensitively, values
+            // keep their bytes, and a `Connection:` token list is matched
+            // per token.
+            if let Some(v) = nl2vis_llm::http::header_value(line, "content-length") {
+                let parsed = v
+                    .parse::<usize>()
                     .map_err(|_| WireError::Fatal(format!("bad content-length `{v}`")))?;
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(WireError::Fatal(
+                        "conflicting duplicate content-length headers".to_string(),
+                    ));
+                }
+                content_length = Some(parsed);
             }
-            if let Some(v) = lower.strip_prefix("connection:") {
-                keep_alive = v.trim() == "keep-alive";
+            if let Some(v) = nl2vis_llm::http::header_value(line, "connection") {
+                keep_alive = nl2vis_llm::http::connection_keeps_alive(v);
             }
         }
+        let content_length = content_length.unwrap_or(0);
         let mut response = vec![0u8; content_length.min(nl2vis_llm::http::MAX_BODY_BYTES)];
         reader.read_exact(&mut response).map_err(fatal)?;
         drop(reader);

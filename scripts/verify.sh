@@ -68,6 +68,14 @@ run "loadgen smoke" cargo run -q -p nl2vis-loadgen --release -- \
     --threads=4 --duration=3 --warmup=1 --rate=open:300 --skew=zipf:1.1 \
     --prompts=64 --report=0 --out=target/BENCH_load_smoke.json
 
+# High-connection smoke: 256 closed-loop keep-alive clients for 3 s. The
+# event-driven core must hold hundreds of sockets on a handful of
+# serving threads, and the Zipf-skewed prompt keys drive the batching
+# path. Kept under ~10 s like the open-loop smoke.
+run "loadgen smoke (256 conns)" cargo run -q -p nl2vis-loadgen --release -- \
+    --threads=256 --duration=3 --warmup=1 --rate=closed --skew=zipf:1.1 \
+    --prompts=64 --report=0 --out=target/BENCH_load_smoke_256.json
+
 # Perf trajectory: when a committed BENCH_load.json baseline exists,
 # diff the smoke snapshot against it. Non-fatal — the smoke run uses a
 # reduced config, so this is a warning trail, not a gate.
