@@ -30,6 +30,13 @@
 //! trajectory document to `BENCH_load.json` — the file
 //! `scripts/bench_diff` compares across PRs.
 //!
+//! The `topology` experiment drives the same loadgen harness through the
+//! `nl2vis-router` replica router: a single-replica baseline vs a routed
+//! 4-replica fleet (prompt-affinity cache sharding must preserve the
+//! zipf hit rate) and a hedged-vs-unhedged pair at the fleet topology
+//! (hedging at the observed p95 must cut the corrected p99). Its rows
+//! merge into `BENCH_load.json` alongside the `load` rows.
+//!
 //! The `traces` experiment installs the flight recorder, runs a small eval
 //! through the full client stack against a fault-injecting server, then
 //! pulls `GET /requests` / `GET /trace/<id>` and dumps the slowest and
@@ -62,7 +69,47 @@ const ALL: &[&str] = &[
     "serving",
     "traces",
     "load",
+    "topology",
 ];
+
+/// Folds another load-shaped document into the pending `BENCH_load.json`
+/// payload. The first document wins the top-level config fields; runs are
+/// appended, first writer wins on key collisions — so `load topology` in
+/// one invocation yields one trajectory file with every distinct
+/// (threads, rate, replicas, hedge) row.
+fn merge_bench_load(into: &mut Option<nl2vis_data::Json>, doc: nl2vis_data::Json) {
+    use nl2vis_data::Json;
+    let Some(existing) = into else {
+        *into = Some(doc);
+        return;
+    };
+    let key = |r: &Json| -> String {
+        format!(
+            "{}|{}|{}|{}",
+            r.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
+            r.get("rate").and_then(Json::as_str).unwrap_or("?"),
+            r.get("replicas").and_then(Json::as_f64).unwrap_or(1.0),
+            r.get("hedge_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        )
+    };
+    let mut runs: Vec<Json> = existing
+        .get("runs")
+        .and_then(Json::as_array)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+    let have: std::collections::HashSet<String> = runs.iter().map(key).collect();
+    for run in doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default()
+    {
+        if !have.contains(&key(&run)) {
+            runs.push(run);
+        }
+    }
+    existing.set("runs", Json::Array(runs));
+}
 
 /// Serializes the serving-path comparison (and, when the run included the
 /// `--overload=` phase, its admission-control summary) for
@@ -213,6 +260,7 @@ fn main() {
     drop(corpus_span);
 
     let mut fig9_done = false;
+    let mut bench_load_doc: Option<nl2vis_data::Json> = None;
     for name in requested {
         let span = obs::span!(format!("bench.{name}"));
         let text = match name {
@@ -256,9 +304,14 @@ fn main() {
             "load" => {
                 let (doc, text) = experiments::load(fast);
                 if !matches!(doc, nl2vis_data::Json::Null) {
-                    if let Err(e) = std::fs::write("BENCH_load.json", doc.to_pretty()) {
-                        eprintln!("cannot write BENCH_load.json: {e}");
-                    }
+                    merge_bench_load(&mut bench_load_doc, doc);
+                }
+                text
+            }
+            "topology" => {
+                let (doc, text) = experiments::topology(fast);
+                if !matches!(doc, nl2vis_data::Json::Null) {
+                    merge_bench_load(&mut bench_load_doc, doc);
                 }
                 text
             }
@@ -266,6 +319,11 @@ fn main() {
         };
         println!("{text}");
         eprintln!("[{name} took {:.1}s]\n", span.elapsed().as_secs_f64());
+    }
+    if let Some(doc) = bench_load_doc {
+        if let Err(e) = std::fs::write("BENCH_load.json", doc.to_pretty()) {
+            eprintln!("cannot write BENCH_load.json: {e}");
+        }
     }
 
     // Everything above recorded into the global registry — the bench.*

@@ -1499,3 +1499,184 @@ pub fn load(fast: bool) -> (nl2vis_data::Json, String) {
     );
     (doc, text)
 }
+
+/// **Topology scale-out** (`nl2vis-router` through `nl2vis-loadgen`): the
+/// same offered load driven against one replica and against a routed
+/// 4-replica fleet, plus a hedged-vs-unhedged pair at the fleet topology.
+/// Two claims are on trial:
+///
+/// 1. **Affinity preserves the cache.** The router's consistent-hash ring
+///    pins each prompt to one replica, so sharding a fixed cache budget
+///    over 4 replicas keeps the zipf:1.1 hit rate within a few points of
+///    the single-replica run — without affinity each shard would see the
+///    whole keyspace and the effective capacity would collapse.
+/// 2. **Hedging cuts the corrected tail.** Replicas carry a rare
+///    heavy-tail stall (the GC-pause stand-in); firing a hedge at the
+///    observed per-replica p95 routes around it, so the hedged run's
+///    corrected p99 sits strictly below the unhedged run's at the same
+///    offered load.
+///
+/// A low-concurrency 2-replica row rides along as the anchor for the
+/// `scripts/verify.sh` router smoke, and the `load` experiment's
+/// low-concurrency rows are re-run so one invocation regenerates a
+/// `BENCH_load.json` that `bench_diff` can hold future PRs to.
+pub fn topology(fast: bool) -> (nl2vis_data::Json, String) {
+    use nl2vis_loadgen::{results, run_load, Arrival, LoadConfig, Skew};
+    use std::time::Duration;
+
+    // The acceptance scale: 512 closed-loop clients over 4 replicas. The
+    // fast profile shrinks the client herd, not the topology.
+    let scale_threads = if fast { 16 } else { 512 };
+    let (duration, warmup) = if fast {
+        (Duration::from_secs(2), Duration::from_millis(500))
+    } else {
+        (Duration::from_secs(6), Duration::from_secs(2))
+    };
+
+    let mut runs = Vec::new();
+    let mut failed: Option<String> = None;
+    let mut run =
+        |label: &str, config: LoadConfig, failed: &mut Option<String>| match run_load(&config) {
+            Ok((_, mut r)) => runs.append(&mut r),
+            Err(e) => *failed = Some(format!("topology ({label}) failed: {e}")),
+        };
+
+    // Continuity rows: the `load` experiment's fast-profile shape
+    // (closed + open:300 at 4 threads), so the trajectory file keeps the
+    // keys the verify.sh low-concurrency smoke diffs against.
+    let legacy = LoadConfig {
+        threads: vec![4],
+        duration,
+        warmup,
+        arrival: Arrival::Closed,
+        skew: Skew::Zipf { theta: 1.1 },
+        prompts: 64,
+        report: Duration::ZERO,
+        out: String::new(),
+        ..LoadConfig::default()
+    };
+    run("closed continuity", legacy.clone(), &mut failed);
+    let mut open = legacy.clone();
+    open.arrival = Arrival::Open { rps: 300.0 };
+    run("open continuity", open, &mut failed);
+
+    // The verify.sh router-smoke anchor: 16 clients, 2 replicas, hedged,
+    // with a 5% 40ms heavy tail so hedges demonstrably fire.
+    let smoke = LoadConfig {
+        threads: vec![16],
+        cache_capacity: 256,
+        prompts: 256,
+        service_ms: 2,
+        tail_prob: 0.05,
+        tail_ms: 40,
+        replicas: 2,
+        hedge_ms: 10,
+        ..legacy.clone()
+    };
+    run("2-replica smoke", smoke, &mut failed);
+
+    // The scale-out trio: one shared shape, varying only the topology.
+    // The cache budget is deliberately smaller than the prompt pool so a
+    // steady miss stream keeps touching the wire — an all-hit run would
+    // make both the affinity and the hedging claims vacuous.
+    let base = LoadConfig {
+        threads: vec![scale_threads],
+        cache_capacity: 512,
+        prompts: 2048,
+        service_ms: 2,
+        // 3% of wire requests stall 60ms: rare enough that the observed
+        // per-replica p95 (the hedge trigger) stays near the 2ms base,
+        // long enough that routing around it visibly moves the p99.
+        tail_prob: 0.03,
+        tail_ms: 60,
+        hedge_ms: 12,
+        ..legacy
+    };
+    let single = LoadConfig {
+        replicas: 1,
+        ..base.clone()
+    };
+    run("1 replica", single, &mut failed);
+    let routed = LoadConfig {
+        replicas: 4,
+        ..base.clone()
+    };
+    run("4 replicas hedged", routed, &mut failed);
+
+    // The hedging pair: same fixed open-loop offered load, cache off so
+    // every request rides the wire and the heavy tail actually reaches
+    // the p99 — with the shards on, hits bury the tail below the
+    // percentile and both runs measure the cache instead of the hedge.
+    // The worker herd is sized to what this box can schedule: hedging is
+    // a timer race, and drowning one core in 512 runnable threads delays
+    // the hedge wakeup past the very tail it is supposed to cut.
+    let hedge_rate = if fast { 300.0 } else { 800.0 };
+    let wire_threads = if fast { scale_threads } else { 64 };
+    let wire = LoadConfig {
+        threads: vec![wire_threads],
+        arrival: Arrival::Open { rps: hedge_rate },
+        cache_capacity: 0,
+        replicas: 4,
+        ..base.clone()
+    };
+    run("4 replicas hedged, all-wire", wire.clone(), &mut failed);
+    let unhedged = LoadConfig {
+        hedge_ms: 0,
+        ..wire
+    };
+    run("4 replicas unhedged, all-wire", unhedged, &mut failed);
+
+    if let Some(e) = failed {
+        return (nl2vis_data::Json::Null, format!("{e}\n"));
+    }
+
+    // The two verdicts, pulled back out of the run list by topology.
+    let closed = Arrival::Closed.label();
+    let open = Arrival::Open { rps: hedge_rate }.label();
+    let find = |threads: usize, rate: &str, replicas: usize, hedge_ms: u64| {
+        runs.iter().find(|r| {
+            r.threads == threads
+                && r.rate == rate
+                && r.replicas == replicas
+                && r.hedge_ms == hedge_ms
+        })
+    };
+    let mut verdicts = String::new();
+    if let (Some(one), Some(four)) = (
+        find(scale_threads, &closed, 1, 0),
+        find(scale_threads, &closed, 4, 12),
+    ) {
+        verdicts.push_str(&format!(
+            "affinity: cache-hit rate 1 replica {:.1}% vs 4 replicas {:.1}% (delta {:+.1} points)\n",
+            one.cache_hit_rate() * 100.0,
+            four.cache_hit_rate() * 100.0,
+            (four.cache_hit_rate() - one.cache_hit_rate()) * 100.0,
+        ));
+    }
+    if let (Some(hedged), Some(unhedged)) = (
+        find(wire_threads, &open, 4, 12),
+        find(wire_threads, &open, 4, 0),
+    ) {
+        let fired = hedged.router.as_ref().map_or(0, |r| r.hedges_fired);
+        let wins = hedged.router.as_ref().map_or(0, |r| r.hedge_wins);
+        verdicts.push_str(&format!(
+            "hedging: corrected p99 {:.1}ms hedged vs {:.1}ms unhedged at open:{:.0} ({} hedges fired, {} won)\n",
+            hedged.e2e_corrected.p99 / 1_000.0,
+            unhedged.e2e_corrected.p99 / 1_000.0,
+            hedge_rate,
+            fired,
+            wins,
+        ));
+    }
+
+    let mut doc = results::bench_json(&base, &runs);
+    doc.set("experiment", nl2vis_data::Json::from("load"));
+    doc.set("rate", nl2vis_data::Json::from("topology"));
+    let text = format!(
+        "Topology scale-out (router over self-hosted replicas, zipf:1.1, {} clients at scale)\n{}{}",
+        scale_threads,
+        results::render_table(&runs),
+        verdicts,
+    );
+    (doc, text)
+}

@@ -3,13 +3,17 @@
 //! One JSON object per line, `{"key": ..., "completion": ...}`, appended as
 //! entries are inserted. On open the existing file is replayed in order
 //! (later lines win, reproducing recency), so a repeated eval run starts
-//! with yesterday's completions already hot. Malformed lines are skipped
-//! and counted (`cache.persist_skipped`), never fatal: a truncated final
-//! line from a killed process must not poison the warm start.
+//! with yesterday's completions already hot. Malformed *interior* lines are
+//! skipped and counted (`cache.persist_skipped`), never fatal. A process
+//! killed mid-append leaves exactly one partial line at the end of the file
+//! with no trailing newline; that is the expected crash shape, not
+//! corruption, so replay tolerates it silently (counted separately as
+//! `cache.persist_truncated_tail`) and [`Appender::open`] truncates it away
+//! before new entries are written after it.
 
 use nl2vis_data::Json;
 use nl2vis_obs as obs;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// An append-only JSONL writer for cache entries.
@@ -18,12 +22,23 @@ pub struct Appender {
 }
 
 impl Appender {
-    /// Opens `path` for appending (creating it if absent).
+    /// Opens `path` for appending (creating it if absent). If the file ends
+    /// in a partial line — the residue of a process killed mid-append — the
+    /// partial tail is truncated first, so the next entry starts on a clean
+    /// line instead of gluing itself onto the dead one.
     pub fn open(path: &Path) -> std::io::Result<Appender> {
-        let file = std::fs::OpenOptions::new()
+        let mut file = std::fs::OpenOptions::new()
             .create(true)
+            .read(true)
             .append(true)
             .open(path)?;
+        let keep = complete_prefix_len(&mut file)?;
+        if keep < file.metadata()?.len() {
+            file.set_len(keep)?;
+            // Append mode seeks to the (new) end on write, but be explicit
+            // so the writer's position matches the truncated length.
+            file.seek(SeekFrom::End(0))?;
+        }
         Ok(Appender {
             out: BufWriter::new(file),
         })
@@ -36,6 +51,38 @@ impl Appender {
         writeln!(self.out, "{line}")?;
         self.out.flush()
     }
+}
+
+impl Drop for Appender {
+    /// Best-effort flush so entries buffered near shutdown still reach the
+    /// file even when the appender is dropped without an explicit flush.
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// The length of the newline-terminated prefix of `file`: everything up to
+/// and including the last `\n`, i.e. the file minus any partial tail line.
+fn complete_prefix_len(file: &mut std::fs::File) -> std::io::Result<u64> {
+    use std::io::Read;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(0);
+    }
+    // Scan backwards in small chunks for the last newline.
+    let mut end = len;
+    let mut chunk = [0u8; 4096];
+    while end > 0 {
+        let start = end.saturating_sub(chunk.len() as u64);
+        let n = (end - start) as usize;
+        file.seek(SeekFrom::Start(start))?;
+        file.read_exact(&mut chunk[..n])?;
+        if let Some(pos) = chunk[..n].iter().rposition(|&b| b == b'\n') {
+            return Ok(start + pos as u64 + 1);
+        }
+        end = start;
+    }
+    Ok(0)
 }
 
 /// Serializes one cache entry as a compact JSON line.
@@ -58,22 +105,42 @@ pub fn decode_entry(line: &str) -> Option<(String, String)> {
 /// Replays a persisted cache file, invoking `insert` per decoded entry in
 /// file order. Returns the number of entries loaded; a missing file loads
 /// zero entries (first run), any other IO failure is an error.
+///
+/// A malformed line that is the *final* line of the file and lacks a
+/// trailing newline is the signature of a process killed mid-append — it is
+/// skipped without touching the malformed-line counter (it bumps
+/// `cache.persist_truncated_tail` instead). Every other undecodable line is
+/// genuine corruption and counts against `cache.persist_skipped`.
 pub fn load(path: &Path, mut insert: impl FnMut(String, String)) -> std::io::Result<usize> {
     let file = match std::fs::File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
         Err(e) => return Err(e),
     };
+    let mut reader = BufReader::new(file);
     let mut loaded = 0usize;
-    for line in BufReader::new(file).lines() {
-        let line = line?;
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        let n = reader.read_until(b'\n', &mut raw)?;
+        if n == 0 {
+            break;
+        }
+        let terminated = raw.last() == Some(&b'\n');
+        let line = String::from_utf8_lossy(&raw);
+        let line = line.trim_end_matches(['\n', '\r']);
         if line.trim().is_empty() {
             continue;
         }
-        match decode_entry(&line) {
+        match decode_entry(line) {
             Some((key, completion)) => {
                 insert(key, completion);
                 loaded += 1;
+            }
+            None if !terminated => {
+                // An unterminated final line is the one crash artifact the
+                // append protocol can leave behind; tolerate it quietly.
+                obs::count("cache.persist_truncated_tail", 1);
             }
             None => obs::count("cache.persist_skipped", 1),
         }
@@ -125,6 +192,86 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let loaded = load(&path, |_, _| panic!("nothing to load")).unwrap();
         assert_eq!(loaded, 0);
+    }
+
+    #[test]
+    fn truncated_tail_from_kill_mid_append_is_tolerated_silently() {
+        let path = temp_path("kill-mid-write");
+        // Two good entries, then a partial third line with no trailing
+        // newline — exactly what a process killed mid-append leaves behind.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{}\n{{\"key\":\"half-writ",
+                encode_entry("good1", "a"),
+                encode_entry("good2", "b")
+            ),
+        )
+        .unwrap();
+        let registry = nl2vis_obs::registry::global();
+        let skipped_before = registry.counter("cache.persist_skipped").get();
+        let tail_before = registry.counter("cache.persist_truncated_tail").get();
+        let mut seen = Vec::new();
+        let loaded = load(&path, |k, _| seen.push(k)).unwrap();
+        assert_eq!(loaded, 2);
+        assert_eq!(seen, vec!["good1", "good2"]);
+        // The crash artifact is not corruption: the malformed-line counter
+        // must not move, only the truncated-tail counter.
+        assert_eq!(
+            registry.counter("cache.persist_skipped").get(),
+            skipped_before,
+            "a lone unterminated tail must not count as a malformed line"
+        );
+        assert_eq!(
+            registry.counter("cache.persist_truncated_tail").get(),
+            tail_before + 1
+        );
+        // Re-opening for append truncates the dead tail, so the next entry
+        // starts on a clean line instead of gluing onto the partial one.
+        {
+            let mut appender = Appender::open(&path).unwrap();
+            appender.append("good3", "c").unwrap();
+        }
+        let mut seen = Vec::new();
+        let loaded = load(&path, |k, _| seen.push(k)).unwrap();
+        assert_eq!(loaded, 3);
+        assert_eq!(seen, vec!["good1", "good2", "good3"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_interior_line_still_counts_even_with_truncated_tail() {
+        let path = temp_path("interior-vs-tail");
+        std::fs::write(
+            &path,
+            format!("{}\nnot json\n{{\"key\":\"part", encode_entry("good", "a")),
+        )
+        .unwrap();
+        let registry = nl2vis_obs::registry::global();
+        let skipped_before = registry.counter("cache.persist_skipped").get();
+        let loaded = load(&path, |_, _| {}).unwrap();
+        assert_eq!(loaded, 1);
+        assert_eq!(
+            registry.counter("cache.persist_skipped").get(),
+            skipped_before + 1,
+            "terminated garbage is corruption regardless of the tail state"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn drop_flushes_buffered_entries() {
+        let path = temp_path("drop-flush");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut appender = Appender::open(&path).unwrap();
+            appender.append("k", "v").unwrap();
+            // Dropped here without an explicit flush call.
+        }
+        let mut seen = Vec::new();
+        load(&path, |k, _| seen.push(k)).unwrap();
+        assert_eq!(seen, vec!["k"]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

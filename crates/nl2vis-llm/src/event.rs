@@ -624,10 +624,14 @@ impl PollerThread {
     }
 
     /// Applies the idle deadlines the blocking runtime enforced with
-    /// socket timeouts: a kept-alive connection sitting quiet past
-    /// [`SERVER_KEEPALIVE_IDLE`] closes silently; a fresh connection that
-    /// never produced a request within [`SERVER_IO_TIMEOUT`] gets the
-    /// best-effort `400` a stalled read used to produce.
+    /// socket timeouts: a kept-alive connection sitting quiet *between*
+    /// requests past [`SERVER_KEEPALIVE_IDLE`] closes silently; a
+    /// connection with a request in progress — buffered-but-incomplete
+    /// bytes, or a fresh connection that never produced one — gets the full
+    /// [`SERVER_IO_TIMEOUT`] and then the best-effort `400` a stalled
+    /// blocking read used to produce. The buffer check matters: a slow
+    /// writer mid-request on a kept-alive connection is not "idle", and
+    /// closing it silently would eat a request the client already started.
     fn sweep_idle(&mut self) {
         let now = Instant::now();
         let expired: Vec<(u64, bool)> = self
@@ -636,12 +640,10 @@ impl PollerThread {
             .filter(|(_, c)| !c.busy)
             .filter_map(|(&t, c)| {
                 let idle = now.duration_since(c.last_activity);
-                if c.served > 0 && idle > SERVER_KEEPALIVE_IDLE {
-                    Some((t, false))
-                } else if c.served == 0 && idle > SERVER_IO_TIMEOUT {
-                    Some((t, true))
+                if c.buf.is_empty() && c.served > 0 {
+                    (idle > SERVER_KEEPALIVE_IDLE).then_some((t, false))
                 } else {
-                    None
+                    (idle > SERVER_IO_TIMEOUT).then_some((t, true))
                 }
             })
             .collect();

@@ -51,6 +51,11 @@ enum FaultPlan {
         http500: f64,
         stall: f64,
         stall_for: Duration,
+        /// Rare heavy-tail stall, drawn before the base stall: models the
+        /// p99 outliers (GC pause, page fault, noisy neighbor) that a
+        /// hedged client exists to route around.
+        tail: f64,
+        tail_for: Duration,
     },
 }
 
@@ -94,6 +99,24 @@ impl FaultInjector {
         stall: f64,
         stall_for: Duration,
     ) -> FaultInjector {
+        FaultInjector::random_with_tail(seed, drop, http500, stall, stall_for, 0.0, Duration::ZERO)
+    }
+
+    /// [`FaultInjector::random`] plus a rare *heavy-tail* stall: with
+    /// probability `tail` the request stalls `tail_for` instead of the
+    /// base `stall_for`. The tail draw comes first, so `stall=1.0` with a
+    /// small base keeps a uniform service time whose outliers are the
+    /// tail — the latency shape hedged requests are measured against.
+    #[allow(clippy::too_many_arguments)]
+    pub fn random_with_tail(
+        seed: u64,
+        drop: f64,
+        http500: f64,
+        stall: f64,
+        stall_for: Duration,
+        tail: f64,
+        tail_for: Duration,
+    ) -> FaultInjector {
         FaultInjector {
             plan: FaultPlan::Random {
                 seed,
@@ -101,6 +124,8 @@ impl FaultInjector {
                 http500,
                 stall,
                 stall_for,
+                tail,
+                tail_for,
             },
             counter: AtomicU64::new(0),
             injected: AtomicU64::new(0),
@@ -171,6 +196,8 @@ impl FaultInjector {
                 http500,
                 stall,
                 stall_for,
+                tail,
+                tail_for,
             } => {
                 // One independent stream per request index: concurrency
                 // cannot reorder the draws a given index observes.
@@ -179,6 +206,8 @@ impl FaultInjector {
                     Fault::Drop
                 } else if rng.chance(*http500) {
                     Fault::Http500
+                } else if rng.chance(*tail) {
+                    Fault::Stall(*tail_for)
                 } else if rng.chance(*stall) {
                     Fault::Stall(*stall_for)
                 } else {
@@ -234,6 +263,33 @@ mod tests {
         let c = FaultInjector::random(8, 0.3, 0.2, 0.1, Duration::from_millis(50));
         let seq_c: Vec<Fault> = (0..200).map(|_| c.next()).collect();
         assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn tail_stalls_mix_with_base_stalls() {
+        let inj = FaultInjector::random_with_tail(
+            11,
+            0.0,
+            0.0,
+            1.0,
+            Duration::from_millis(2),
+            0.1,
+            Duration::from_millis(50),
+        );
+        let draws: Vec<Fault> = (0..500).map(|_| inj.next()).collect();
+        let base = draws
+            .iter()
+            .filter(|f| **f == Fault::Stall(Duration::from_millis(2)))
+            .count();
+        let tail = draws
+            .iter()
+            .filter(|f| **f == Fault::Stall(Duration::from_millis(50)))
+            .count();
+        assert_eq!(base + tail, 500, "stall=1.0 leaves no un-stalled request");
+        assert!(
+            (20..100).contains(&tail),
+            "a 10% tail should fire ~50/500 times, got {tail}"
+        );
     }
 
     #[test]

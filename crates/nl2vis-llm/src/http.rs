@@ -739,6 +739,33 @@ fn is_stale_conn_error(e: &HttpError) -> bool {
     }
 }
 
+/// A [`HttpLlmClient::roundtrip`] failure, tagged with whether any response
+/// byte had arrived first. The stale-socket retry is only legal while the
+/// response has *not* started: after that the server demonstrably processed
+/// the request, so replaying it would double-send — and a readable 429
+/// whose remainder got truncated must stay a 429, never a
+/// `http.conn_stale_retries` increment.
+struct RoundtripError {
+    error: HttpError,
+    response_started: bool,
+}
+
+impl RoundtripError {
+    fn before_response(error: HttpError) -> RoundtripError {
+        RoundtripError {
+            error,
+            response_started: false,
+        }
+    }
+
+    fn mid_response(error: HttpError) -> RoundtripError {
+        RoundtripError {
+            error,
+            response_started: true,
+        }
+    }
+}
+
 impl HttpLlmClient {
     /// Creates a client for a server address with default [`Timeouts`] and
     /// connection keep-alive enabled.
@@ -847,25 +874,31 @@ impl HttpLlmClient {
             let attempt = obs::span!("llm.attempt");
             attempt.annotate("conn", "reused");
             match self.roundtrip(stream, &request) {
-                Err(e) if is_stale_conn_error(&e) => {
-                    // The parked socket died while idle. The request never
-                    // reached the application layer, so retrying it on a
-                    // fresh connection is safe and invisible to the caller.
+                Err(e) if !e.response_started && is_stale_conn_error(&e.error) => {
+                    // The parked socket died while idle, before a single
+                    // response byte. The request never reached the
+                    // application layer, so retrying it on a fresh
+                    // connection is safe and invisible to the caller. A
+                    // failure *after* the response started (e.g. a 429
+                    // truncated mid-body) never takes this path.
                     attempt.annotate("stale", "true");
                     obs::count("http.conn_stale_retries", 1);
                 }
-                done => return done,
+                Err(e) => return Err(e.error),
+                Ok(done) => return Ok(done),
             }
         }
         let attempt = obs::span!("llm.attempt");
         attempt.annotate("conn", "fresh");
         let stream = self.connect_fresh()?;
-        self.roundtrip(stream, &request)
+        self.roundtrip(stream, &request).map_err(|e| e.error)
     }
 
     /// One request/response exchange on `stream`. On success, a response
     /// tagged `Connection: keep-alive` sends the socket back to the pool.
-    fn roundtrip(&self, mut stream: TcpStream, request: &str) -> Result<String, HttpError> {
+    /// Failures carry whether the response had started (see
+    /// [`RoundtripError`]); only pre-response failures are stale-retryable.
+    fn roundtrip(&self, mut stream: TcpStream, request: &str) -> Result<String, RoundtripError> {
         let want_keep_alive = self.pool.is_some();
         // Propagate the caller's trace so the server's handling span joins
         // it instead of starting a disconnected one.
@@ -885,33 +918,85 @@ impl HttpLlmClient {
             request.len(),
             if want_keep_alive { "keep-alive" } else { "close" }
         );
-        stream.write_all(wire_request.as_bytes())?;
-        stream.flush()?;
+        stream
+            .write_all(wire_request.as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| RoundtripError::before_response(e.into()))?;
 
         // Exactly one length-delimited response is outstanding, so a
         // temporary reader over a clone of the socket cannot buffer bytes
         // that a later request would need.
-        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| RoundtripError::before_response(e.into()))?,
+        );
         let mut status_line = String::new();
-        if reader.read_line(&mut status_line)? == 0 {
+        match reader.read_line(&mut status_line) {
             // Clean EOF before any response byte: the server (or an
             // injected fault) dropped the connection.
-            return Err(HttpError::Closed);
+            Ok(0) => return Err(RoundtripError::before_response(HttpError::Closed)),
+            Ok(_) => {}
+            Err(e) => {
+                // A read error counts as pre-response only while the
+                // status line is still empty.
+                return Err(RoundtripError {
+                    response_started: !status_line.is_empty(),
+                    error: e.into(),
+                });
+            }
         }
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| HttpError::Protocol(format!("bad status line: {status_line}")))?;
+            .ok_or_else(|| {
+                RoundtripError::mid_response(HttpError::Protocol(format!(
+                    "bad status line: {status_line}"
+                )))
+            })?;
+        self.read_response_rest(reader, stream, status)
+            .map_err(RoundtripError::mid_response)
+    }
+
+    /// Reads headers and body after a parsed status line, parks the socket
+    /// on keep-alive, and maps the status to the final result. The status
+    /// is authoritative from here: a 429 whose headers or body get
+    /// truncated still surfaces as [`HttpError::Overloaded`].
+    fn read_response_rest(
+        &self,
+        mut reader: BufReader<TcpStream>,
+        stream: TcpStream,
+        status: u16,
+    ) -> Result<String, HttpError> {
+        let want_keep_alive = self.pool.is_some();
         let mut content_length: Option<usize> = None;
         let mut server_keeps_alive = false;
         let mut retry_after: Option<Duration> = None;
+        // The shed verdict is carried by the status line alone; the body
+        // and `Retry-After` are advisory. So a truncation below is reported
+        // as `Overloaded` when the status was 429.
+        let overloaded_or = |e: HttpError, retry_after: Option<Duration>| -> HttpError {
+            if status == 429 {
+                HttpError::Overloaded {
+                    retry_after,
+                    body: String::new(),
+                }
+            } else {
+                e
+            }
+        };
         loop {
             let mut line = String::new();
-            if reader.read_line(&mut line)? == 0 {
-                return Err(HttpError::Protocol(
-                    "truncated response headers".to_string(),
-                ));
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    return Err(overloaded_or(
+                        HttpError::Protocol("truncated response headers".to_string()),
+                        retry_after,
+                    ))
+                }
+                Ok(_) => {}
+                Err(e) => return Err(overloaded_or(e.into(), retry_after)),
             }
             let line = line.trim_end();
             if line.is_empty() {
@@ -952,7 +1037,9 @@ impl HttpLlmClient {
             )));
         }
         let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body)?;
+        if let Err(e) = reader.read_exact(&mut body) {
+            return Err(overloaded_or(e.into(), retry_after));
+        }
         drop(reader);
         let body = String::from_utf8_lossy(&body).to_string();
         if want_keep_alive && server_keeps_alive {

@@ -115,6 +115,96 @@ fn first_request_drop_is_not_silently_retried() {
     assert_eq!(registry.counter("server.connections_total").get(), 1);
 }
 
+#[test]
+fn truncated_429_on_reused_conn_is_overloaded_not_a_stale_retry() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // A scripted raw server: request 1 gets a keep-alive 200 (so the
+    // client parks the socket), request 2 gets a 429 whose advertised body
+    // is cut short by the peer closing. The old classification saw the
+    // truncation (`UnexpectedEof`) as a stale pooled socket and silently
+    // replayed the shed request on a fresh connection, incrementing
+    // `http.conn_stale_retries` for a 429 the server fully decided on.
+    fn read_request(reader: &mut BufReader<std::net::TcpStream>) -> bool {
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return false;
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = nl2vis_llm::http::header_value(line, "content-length") {
+                content_length = v.parse().unwrap_or(0);
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        true
+    }
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let requests_seen = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&requests_seen);
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+        assert!(read_request(&mut reader));
+        seen.fetch_add(1, Ordering::SeqCst);
+        let body = r#"{"choices":[{"text":"ok"}]}"#;
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        assert!(read_request(&mut reader));
+        seen.fetch_add(1, Ordering::SeqCst);
+        stream
+            .write_all(
+                b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 64\r\nRetry-After: 0.05\r\n\r\ntruncat",
+            )
+            .unwrap();
+        drop(stream);
+        // A buggy client reconnects and replays here; poll the backlog
+        // briefly to catch it without hanging the test.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        listener.set_nonblocking(true).unwrap();
+        if let Ok((stream, _)) = listener.accept() {
+            let mut reader = BufReader::new(stream);
+            if read_request(&mut reader) {
+                seen.fetch_add(100, Ordering::SeqCst);
+            }
+        }
+    });
+
+    let client = HttpLlmClient::new(addr, "gpt-4");
+    client.complete_http(&prompt(0)).expect("first request");
+    let second = client.complete_http(&prompt(1));
+    match second {
+        Err(nl2vis_llm::http::HttpError::Overloaded { retry_after, .. }) => {
+            assert_eq!(
+                retry_after,
+                Some(std::time::Duration::from_millis(50)),
+                "the Retry-After parsed before the truncation must survive"
+            );
+        }
+        other => panic!("truncated 429 must surface as Overloaded, got {other:?}"),
+    }
+    server.join().unwrap();
+    assert_eq!(
+        requests_seen.load(Ordering::SeqCst),
+        2,
+        "the shed request must not be replayed down the stale-socket path"
+    );
+}
+
 /// Writes one `GET` with `Connection: keep-alive` on an existing socket
 /// and reads back exactly one length-delimited response.
 fn keep_alive_get(stream: &mut std::net::TcpStream, path: &str) -> (u16, String) {

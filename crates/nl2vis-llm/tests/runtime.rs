@@ -193,6 +193,138 @@ fn retry_layer_recovers_from_shedding() {
     );
 }
 
+/// Reads one length-delimited HTTP response off a raw socket reader;
+/// returns `(status, body)`, or `None` on EOF before a status line.
+fn read_raw_response(
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+) -> Option<(u16, String)> {
+    use std::io::{BufRead, Read};
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line).ok()? == 0 {
+        return None;
+    }
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some(v) = nl2vis_llm::http::header_value(line.trim_end(), "content-length") {
+            content_length = v.parse().ok()?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((status, String::from_utf8_lossy(&body).to_string()))
+}
+
+fn raw_completion_request(prompt: &str) -> Vec<u8> {
+    let body = format!(r#"{{"model":"gpt-4","prompt":"{prompt}"}}"#);
+    format!(
+        "POST /v1/completions HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// The drain grace window exists so a request already in flight on the
+/// wire can finish. A client that has *started* writing a request when
+/// shutdown begins — buffered-but-incomplete bytes on the poller — must be
+/// allowed to trickle the rest in during the grace and get its response,
+/// not have the connection swept out from under it.
+#[test]
+fn slow_writer_trickling_across_the_drain_boundary_is_served() {
+    use std::io::Write;
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = CompletionServer::start_with_registry(
+        SimLlm::new(ModelProfile::gpt_4(), 9),
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    let addr = server.address();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let request = raw_completion_request("hello across the drain");
+    // First half of the request lands before shutdown begins...
+    let split = request.len() - 12;
+    stream.write_all(&request[..split]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+
+    // ... then the server starts draining with the request incomplete.
+    let shutdown = std::thread::spawn(move || drop(server));
+    std::thread::sleep(Duration::from_millis(60));
+
+    // The trailing bytes arrive inside the 250ms grace window.
+    stream.write_all(&request[split..]).unwrap();
+    stream.flush().unwrap();
+
+    let response = read_raw_response(&mut reader);
+    shutdown.join().unwrap();
+    match response {
+        Some((200, body)) => assert!(!body.is_empty()),
+        other => {
+            panic!("a request trickled across the drain boundary must be served, got {other:?}")
+        }
+    }
+    assert_eq!(registry.counter("llm.requests_total").get(), 1);
+}
+
+/// A kept-alive connection that has *started* its next request is
+/// mid-request, not idle: the keep-alive idle sweep (5s) must not close it
+/// silently while the client is still (slowly) writing. It gets the full
+/// IO timeout, like a blocking read would have.
+#[test]
+fn slow_writer_on_kept_alive_conn_outlives_the_keepalive_idle_sweep() {
+    use std::io::Write;
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = CompletionServer::start_with_registry(
+        SimLlm::new(ModelProfile::gpt_4(), 9),
+        Arc::clone(&registry),
+    )
+    .unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.address()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    // Request 1 completes normally, marking the connection kept-alive.
+    stream
+        .write_all(&raw_completion_request("first request"))
+        .unwrap();
+    let first = read_raw_response(&mut reader).expect("first response");
+    assert_eq!(first.0, 200);
+
+    // Request 2 starts, then stalls past SERVER_KEEPALIVE_IDLE (5s) with
+    // bytes buffered on the poller. The old sweep treated this connection
+    // as idle and closed it silently.
+    let request = raw_completion_request("second request, slowly");
+    let split = request.len() - 10;
+    stream.write_all(&request[..split]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(5600));
+    stream.write_all(&request[split..]).unwrap();
+    stream.flush().unwrap();
+
+    match read_raw_response(&mut reader) {
+        Some((200, _)) => {}
+        other => {
+            panic!("a mid-request connection must survive the keep-alive idle sweep, got {other:?}")
+        }
+    }
+    assert_eq!(registry.counter("llm.requests_total").get(), 2);
+}
+
 #[test]
 fn graceful_drain_serves_every_accepted_request() {
     let registry = Arc::new(MetricsRegistry::new());

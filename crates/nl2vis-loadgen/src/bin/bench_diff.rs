@@ -3,17 +3,19 @@
 //!
 //! ```text
 //! cargo run -p nl2vis-loadgen --bin bench_diff -- \
-//!     BENCH_load.baseline.json BENCH_load.json [--threshold=0.2]
+//!     BENCH_load.baseline.json BENCH_load.json [--threshold=0.2] [--strict]
 //! ```
 //!
-//! Exit status: 0 when clean (or nothing comparable), 1 on regression,
-//! 2 on usage/parse errors.
+//! Exit status: 0 when clean (or nothing comparable), 1 on regression —
+//! or, under `--strict`, when the baseline has runs the candidate lacks
+//! (lost regression coverage) — 2 on usage/parse errors.
 
 use nl2vis_data::Json;
 
 fn main() {
     let mut files = Vec::new();
     let mut threshold = 0.2f64;
+    let mut strict = false;
     for arg in std::env::args().skip(1) {
         if let Some(value) = arg.strip_prefix("--threshold=") {
             threshold = match value.parse::<f64>() {
@@ -23,12 +25,16 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+        } else if arg == "--strict" {
+            strict = true;
         } else {
             files.push(arg);
         }
     }
     if files.len() != 2 {
-        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--threshold=0.2]");
+        eprintln!(
+            "usage: bench_diff <baseline.json> <candidate.json> [--threshold=0.2] [--strict]"
+        );
         std::process::exit(2);
     }
     let load = |path: &str| -> Json {
@@ -51,19 +57,37 @@ fn main() {
         threshold * 100.0
     );
     print!("{}", report.table);
-    if report.unmatched > 0 {
+    if !report.unmatched_baseline.is_empty() {
         println!(
-            "({} run(s) without a counterpart were skipped)",
-            report.unmatched
+            "baseline runs with no candidate counterpart ({}):",
+            report.unmatched_baseline.len()
         );
+        for key in &report.unmatched_baseline {
+            println!("  - {key}");
+        }
     }
-    if report.clean() {
-        println!("verdict: clean");
-    } else {
+    if !report.unmatched_candidate.is_empty() {
+        println!(
+            "candidate runs with no baseline counterpart ({}):",
+            report.unmatched_candidate.len()
+        );
+        for key in &report.unmatched_candidate {
+            println!("  + {key}");
+        }
+    }
+    if !report.clean() {
         println!("verdict: {} regression(s)", report.regressions.len());
         for regression in &report.regressions {
             println!("  - {regression}");
         }
         std::process::exit(1);
     }
+    if strict && !report.strict_clean() {
+        println!(
+            "verdict: strict failure ({} baseline run(s) lost coverage)",
+            report.unmatched_baseline.len()
+        );
+        std::process::exit(1);
+    }
+    println!("verdict: clean");
 }

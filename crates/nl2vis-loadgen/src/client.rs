@@ -155,15 +155,16 @@ impl LoadConn {
 
         let mut reader = BufReader::new(stream.try_clone().map_err(fatal)?);
         let mut status_line = String::new();
-        let n = reader.read_line(&mut status_line).map_err(|e| {
-            if is_disconnect(&e) {
-                WireError::Stale
-            } else {
-                fatal(e)
-            }
-        })?;
-        if n == 0 {
-            return Err(WireError::Stale);
+        // `Stale` (and the transparent retry it buys) is only safe while
+        // the response has not started: once any status-line byte arrived,
+        // the server *did* process the request, so replaying it would
+        // double-send — and a readable 429 would be retried instead of
+        // counted as the shed it is.
+        match reader.read_line(&mut status_line) {
+            Ok(0) => return Err(WireError::Stale),
+            Ok(_) => {}
+            Err(e) if is_disconnect(&e) && status_line.is_empty() => return Err(WireError::Stale),
+            Err(e) => return Err(fatal(e)),
         }
         let status: u16 = status_line
             .split_whitespace()
@@ -171,6 +172,34 @@ impl LoadConn {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| WireError::Fatal(format!("bad status line `{status_line}`")))?;
 
+        // Past this point the status is authoritative. If the connection
+        // dies mid-headers or mid-body, a 429 is still a shed (admission
+        // control spoke; the body was only advisory) — anything else is a
+        // fatal truncation. Never `Stale`.
+        match Self::read_rest(&mut reader) {
+            Ok((keep_alive, response)) => {
+                drop(reader);
+                if keep_alive && status == 200 {
+                    self.stream = Some(stream);
+                }
+                Ok(match status {
+                    200 => Outcome::Ok,
+                    429 => Outcome::Shed,
+                    other => Outcome::Error(format!(
+                        "http {other}: {}",
+                        String::from_utf8_lossy(&response)
+                    )),
+                })
+            }
+            Err(_) if status == 429 => Ok(Outcome::Shed),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads headers and body after the status line; returns
+    /// `(keep_alive, body)`.
+    fn read_rest(reader: &mut BufReader<TcpStream>) -> Result<(bool, Vec<u8>), WireError> {
+        let fatal = |e: std::io::Error| WireError::Fatal(format!("io: {e}"));
         let mut content_length: Option<usize> = None;
         let mut keep_alive = false;
         loop {
@@ -203,18 +232,7 @@ impl LoadConn {
         let content_length = content_length.unwrap_or(0);
         let mut response = vec![0u8; content_length.min(nl2vis_llm::http::MAX_BODY_BYTES)];
         reader.read_exact(&mut response).map_err(fatal)?;
-        drop(reader);
-        if keep_alive && status == 200 {
-            self.stream = Some(stream);
-        }
-        Ok(match status {
-            200 => Outcome::Ok,
-            429 => Outcome::Shed,
-            other => Outcome::Error(format!(
-                "http {other}: {}",
-                String::from_utf8_lossy(&response)
-            )),
-        })
+        Ok((keep_alive, response))
     }
 }
 
@@ -278,6 +296,88 @@ mod tests {
         assert_eq!(
             json.get("window_requests").and_then(Json::as_f64),
             Some(2.0)
+        );
+    }
+
+    /// Reads one HTTP request (headers + content-length body) off a raw
+    /// socket; returns false on EOF before any byte.
+    fn read_request(reader: &mut BufReader<TcpStream>) -> bool {
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return false;
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = nl2vis_llm::http::header_value(line, "content-length") {
+                content_length = v.parse().unwrap_or(0);
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        true
+    }
+
+    /// The satellite regression: a 429 delivered on a *reused* connection —
+    /// even one whose body is truncated by the peer closing right after —
+    /// must be counted as a shed, not misclassified down the stale-socket
+    /// path and silently re-sent.
+    #[test]
+    fn truncated_429_on_reused_conn_is_a_shed_not_a_stale_retry() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let requests_seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = Arc::clone(&requests_seen);
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            // First request: a normal keep-alive 200 so the client parks
+            // the socket as reused.
+            assert!(read_request(&mut reader));
+            seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok",
+                )
+                .unwrap();
+            // Second request: a shed whose advertised body never fully
+            // arrives — the server dies right after the headers.
+            assert!(read_request(&mut reader));
+            seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            stream
+                .write_all(b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 40\r\n\r\nshort")
+                .unwrap();
+            drop(stream);
+            // A buggy client would reconnect and replay the request here;
+            // give it a beat, then poll the backlog without hanging.
+            std::thread::sleep(Duration::from_millis(200));
+            listener.set_nonblocking(true).unwrap();
+            if let Ok((stream, _)) = listener.accept() {
+                let mut reader = BufReader::new(stream);
+                if read_request(&mut reader) {
+                    seen.fetch_add(100, std::sync::atomic::Ordering::SeqCst);
+                }
+            }
+        });
+
+        let mut conn = LoadConn::new(addr, "m");
+        let first = conn.request("p");
+        assert!(matches!(first.outcome, Outcome::Ok), "{:?}", first.outcome);
+        let second = conn.request("p");
+        assert!(
+            matches!(second.outcome, Outcome::Shed),
+            "a readable 429 with a truncated body must classify as Shed, got {:?}",
+            second.outcome
+        );
+        server.join().unwrap();
+        assert_eq!(
+            requests_seen.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "the shed request must not be silently replayed on a fresh connection"
         );
     }
 }

@@ -91,6 +91,18 @@ pub struct LoadConfig {
     /// Injected per-completion service time on the self-hosted server, in
     /// milliseconds (the simulated model itself is CPU-only).
     pub service_ms: u64,
+    /// Probability that a request draws the heavy-tail service time
+    /// instead of the base one (self-hosted only); 0 disables the tail.
+    pub tail_prob: f64,
+    /// Heavy-tail service time, milliseconds.
+    pub tail_ms: u64,
+    /// Self-hosted replica count. 1 drives the single server directly;
+    /// larger counts start N servers and route through the
+    /// prompt-affinity router (consistent hashing + hedging).
+    pub replicas: usize,
+    /// Hedge trigger before per-replica p95 data exists, milliseconds;
+    /// 0 disables hedging. Only meaningful with `--replicas` > 1.
+    pub hedge_ms: u64,
     /// Server to drive.
     pub target: Target,
     /// Worker threads of the self-hosted server.
@@ -119,6 +131,10 @@ impl Default for LoadConfig {
             prompts: 256,
             cache_capacity: 0,
             service_ms: 2,
+            tail_prob: 0.0,
+            tail_ms: 40,
+            replicas: 1,
+            hedge_ms: 15,
             target: Target::SelfHosted,
             server_workers: 16,
             server_queue: 64,
@@ -223,6 +239,35 @@ impl LoadConfig {
                         .parse()
                         .map_err(|_| format!("bad service time `{value}`"))?;
                 }
+                "--tail" => {
+                    if value == "off" {
+                        config.tail_prob = 0.0;
+                    } else {
+                        let (prob, ms) = value.split_once(':').ok_or_else(|| {
+                            format!("--tail wants `P:MS` or `off`, got `{value}`")
+                        })?;
+                        config.tail_prob = prob
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|p| (0.0..=1.0).contains(p))
+                            .ok_or_else(|| format!("bad tail probability `{prob}`"))?;
+                        config.tail_ms = ms
+                            .parse()
+                            .map_err(|_| format!("bad tail milliseconds `{ms}`"))?;
+                    }
+                }
+                "--replicas" => {
+                    config.replicas = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad replica count `{value}`"))?;
+                }
+                "--hedge-ms" => {
+                    config.hedge_ms = value
+                        .parse()
+                        .map_err(|_| format!("bad hedge delay `{value}`"))?;
+                }
                 "--server" => {
                     config.target = if value == "self" {
                         Target::SelfHosted
@@ -301,5 +346,26 @@ mod tests {
         assert!(LoadConfig::parse_args(["--skew=zipf:banana"]).is_err());
         assert!(LoadConfig::parse_args(["--durations=5"]).is_err());
         assert!(LoadConfig::parse_args(["--rate=open:-3"]).is_err());
+        assert!(LoadConfig::parse_args(["--replicas=0"]).is_err());
+        assert!(LoadConfig::parse_args(["--tail=0.05"]).is_err());
+        assert!(LoadConfig::parse_args(["--tail=1.5:40"]).is_err());
+    }
+
+    #[test]
+    fn topology_flags_parse() {
+        let config = LoadConfig::parse_args([
+            "--replicas=4",
+            "--hedge-ms=12",
+            "--tail=0.03:45",
+            "--cache=512",
+        ])
+        .unwrap();
+        assert_eq!(config.replicas, 4);
+        assert_eq!(config.hedge_ms, 12);
+        assert!((config.tail_prob - 0.03).abs() < 1e-9);
+        assert_eq!(config.tail_ms, 45);
+        let off = LoadConfig::parse_args(["--tail=off", "--hedge-ms=0"]).unwrap();
+        assert_eq!(off.tail_prob, 0.0);
+        assert_eq!(off.hedge_ms, 0);
     }
 }

@@ -1,9 +1,15 @@
 //! Regression detection between two `BENCH_load.json` files.
 //!
-//! Runs are matched by `(threads, rate)`; a metric regresses when it moves
-//! past the relative threshold in the bad direction (throughput down,
-//! corrected p50/p99 up, shed rate up). Latency comparisons also require a
-//! small absolute movement so micro-runs don't flag on scheduler noise.
+//! Runs are matched by `(threads, rate, replicas)` (`replicas` defaults to
+//! 1 for pre-topology rows); a metric regresses when it moves past the
+//! relative threshold in the bad direction (throughput down, corrected
+//! p50/p99 up, shed rate up). Latency comparisons also require a small
+//! absolute movement so micro-runs don't flag on scheduler noise.
+//!
+//! Runs present in only one file are never silently dropped: both sides'
+//! unmatched keys are listed in the report, and `--strict` mode treats a
+//! baseline run the candidate lacks as a failure — otherwise deleting a
+//! topology row would delete its regression coverage with it.
 
 use nl2vis_data::Json;
 
@@ -13,14 +19,26 @@ pub struct DiffReport {
     pub table: String,
     /// Human-readable description of each regression found.
     pub regressions: Vec<String>,
-    /// Runs present in only one of the files (informational).
+    /// Runs present in only one of the files (total across both sides).
     pub unmatched: usize,
+    /// Keys of baseline runs the candidate has no counterpart for — lost
+    /// coverage; `--strict` fails on these.
+    pub unmatched_baseline: Vec<String>,
+    /// Keys of candidate runs the baseline has no counterpart for — new
+    /// coverage, informational.
+    pub unmatched_candidate: Vec<String>,
 }
 
 impl DiffReport {
     /// True when no metric crossed the threshold.
     pub fn clean(&self) -> bool {
         self.regressions.is_empty()
+    }
+
+    /// True when clean *and* every baseline run still has a counterpart —
+    /// the bar `--strict` holds the candidate to.
+    pub fn strict_clean(&self) -> bool {
+        self.clean() && self.unmatched_baseline.is_empty()
     }
 }
 
@@ -31,14 +49,41 @@ fn runs_of(doc: &Json) -> Vec<&Json> {
         .unwrap_or_default()
 }
 
-fn run_key(run: &Json) -> (i64, String) {
-    (
-        run.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as i64,
-        run.get("rate")
+#[derive(PartialEq, Clone)]
+struct RunKey {
+    threads: i64,
+    rate: String,
+    replicas: i64,
+    /// Hedge delay of a routed run (0 = unhedged / pre-hedging rows): a
+    /// hedged run and an unhedged one at the same topology are different
+    /// experiments, never comparable.
+    hedge_ms: i64,
+}
+
+impl std::fmt::Display for RunKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "threads={} rate={}", self.threads, self.rate)?;
+        if self.replicas != 1 {
+            write!(f, " replicas={}", self.replicas)?;
+        }
+        if self.hedge_ms != 0 {
+            write!(f, " hedge={}ms", self.hedge_ms)?;
+        }
+        Ok(())
+    }
+}
+
+fn run_key(run: &Json) -> RunKey {
+    RunKey {
+        threads: run.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as i64,
+        rate: run
+            .get("rate")
             .and_then(Json::as_str)
             .unwrap_or("?")
             .to_string(),
-    )
+        replicas: run.get("replicas").and_then(Json::as_f64).unwrap_or(1.0) as i64,
+        hedge_ms: run.get("hedge_ms").and_then(Json::as_f64).unwrap_or(0.0) as i64,
+    }
 }
 
 fn number(run: &Json, path: &[&str]) -> Option<f64> {
@@ -106,13 +151,20 @@ pub fn diff(baseline: &Json, candidate: &Json, threshold: f64) -> DiffReport {
     );
     let mut regressions = Vec::new();
     let mut matched = 0usize;
+    let mut unmatched_baseline = Vec::new();
 
     for old in &old_runs {
         let key = run_key(old);
         let Some(new) = new_runs.iter().find(|r| run_key(r) == key) else {
+            unmatched_baseline.push(key.to_string());
             continue;
         };
         matched += 1;
+        let rate_cell = if key.replicas == 1 {
+            key.rate.clone()
+        } else {
+            format!("{} x{}", key.rate, key.replicas)
+        };
         for metric in METRICS {
             let (Some(was), Some(now)) = (number(old, metric.path), number(new, metric.path))
             else {
@@ -146,17 +198,25 @@ pub fn diff(baseline: &Json, candidate: &Json, threshold: f64) -> DiffReport {
             };
             table.push_str(&format!(
                 "{:<9} {:<10} {:<18} {:>12.3} {:>12.3} {:>9}  {}\n",
-                key.0, key.1, metric.label, was, now, change_text, verdict
+                key.threads, rate_cell, metric.label, was, now, change_text, verdict
             ));
             if regressed {
                 regressions.push(format!(
-                    "threads={} rate={}: {} {:.3} -> {:.3} ({})",
-                    key.0, key.1, metric.label, was, now, change_text
+                    "{key}: {} {:.3} -> {:.3} ({})",
+                    metric.label, was, now, change_text
                 ));
             }
         }
     }
-    let unmatched = old_runs.len() + new_runs.len() - 2 * matched;
+    let unmatched_candidate: Vec<String> = new_runs
+        .iter()
+        .filter(|new| {
+            let key = run_key(new);
+            !old_runs.iter().any(|old| run_key(old) == key)
+        })
+        .map(|new| run_key(new).to_string())
+        .collect();
+    let unmatched = unmatched_baseline.len() + unmatched_candidate.len();
     if matched == 0 {
         table.push_str("(no comparable runs: thread/rate combinations do not overlap)\n");
     }
@@ -164,6 +224,8 @@ pub fn diff(baseline: &Json, candidate: &Json, threshold: f64) -> DiffReport {
         table,
         regressions,
         unmatched,
+        unmatched_baseline,
+        unmatched_candidate,
     }
 }
 
@@ -211,15 +273,81 @@ mod tests {
     }
 
     #[test]
-    fn unmatched_runs_are_counted_not_compared() {
+    fn unmatched_runs_are_listed_on_both_sides() {
         let report = diff(&doc(8, 500.0, 12.0, 0.0), &doc(16, 900.0, 20.0, 0.0), 0.2);
         assert!(report.clean());
+        assert!(
+            !report.strict_clean(),
+            "lost baseline coverage must fail strict"
+        );
         assert_eq!(report.unmatched, 2);
+        assert_eq!(report.unmatched_baseline, vec!["threads=8 rate=open:500"]);
+        assert_eq!(report.unmatched_candidate, vec!["threads=16 rate=open:500"]);
         assert!(
             report.table.contains("no comparable runs"),
             "{}",
             report.table
         );
+    }
+
+    fn topology_doc(replicas: i64, extra_plain_run: bool) -> Json {
+        let plain = if extra_plain_run {
+            r#"{"threads":8,"rate":"open:500","throughput_rps":500.0,"shed_rate":0.0,
+                "latency_ms":{"e2e_corrected":{"p50_ms":1.0,"p99_ms":12.0}}},"#
+        } else {
+            ""
+        };
+        Json::parse(&format!(
+            r#"{{"experiment":"load","runs":[{plain}
+                {{"threads":8,"rate":"open:500","replicas":{replicas},
+                  "throughput_rps":900.0,"shed_rate":0.0,
+                  "latency_ms":{{"e2e_corrected":{{"p50_ms":1.0,"p99_ms":6.0}}}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn new_candidate_rows_do_not_fail_strict() {
+        // The candidate gained a topology row the baseline never had.
+        let report = diff(&doc(8, 500.0, 12.0, 0.0), &topology_doc(4, true), 0.2);
+        assert!(report.strict_clean(), "{:?}", report.unmatched_baseline);
+        assert_eq!(
+            report.unmatched_candidate,
+            vec!["threads=8 rate=open:500 replicas=4"]
+        );
+    }
+
+    #[test]
+    fn replica_count_separates_otherwise_identical_runs() {
+        // Same threads/rate but different replica counts: not comparable.
+        let report = diff(&doc(8, 500.0, 12.0, 0.0), &topology_doc(4, false), 0.2);
+        assert_eq!(report.unmatched, 2);
+        assert!(report.clean());
+        assert!(!report.strict_clean());
+    }
+
+    fn hedge_doc(hedge_ms: i64) -> Json {
+        Json::parse(&format!(
+            r#"{{"experiment":"load","runs":[{{"threads":8,"rate":"closed","replicas":4,
+                "hedge_ms":{hedge_ms},"throughput_rps":900.0,"shed_rate":0.0,
+                "latency_ms":{{"e2e_corrected":{{"p50_ms":1.0,"p99_ms":6.0}}}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn hedge_delay_separates_otherwise_identical_topology_runs() {
+        // Same threads/rate/replicas but hedged vs unhedged: different
+        // experiments, never compared against each other.
+        let report = diff(&hedge_doc(12), &hedge_doc(0), 0.2);
+        assert_eq!(report.unmatched, 2);
+        assert_eq!(
+            report.unmatched_baseline,
+            vec!["threads=8 rate=closed replicas=4 hedge=12ms"]
+        );
+        let report = diff(&hedge_doc(12), &hedge_doc(12), 0.2);
+        assert_eq!(report.unmatched, 0);
+        assert!(report.strict_clean());
     }
 
     #[test]

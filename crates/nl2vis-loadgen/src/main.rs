@@ -23,12 +23,13 @@ fn main() {
         }
     };
     eprintln!(
-        "[loadgen] threads={:?} rate={} skew={} prompts={} cache={} warmup={:.0}s duration={:.0}s",
+        "[loadgen] threads={:?} rate={} skew={} prompts={} cache={} replicas={} warmup={:.0}s duration={:.0}s",
         config.threads,
         config.arrival.label(),
         config.skew.label(),
         config.prompts,
         config.cache_capacity,
+        config.replicas,
         config.warmup.as_secs_f64(),
         config.duration.as_secs_f64(),
     );
@@ -65,6 +66,9 @@ flags (all --key=value):
   --prompts=N          distinct prompts in the pool         [256]
   --cache=N            client-side cache capacity, 0 = off  [0]
   --service-ms=MS      injected service time (self-hosted)  [2]
+  --tail=P:MS|off      heavy-tail stall: probability P, MS  [off]
+  --replicas=N         self-hosted replica fleet size       [1]
+  --hedge-ms=MS        hedge delay when routed, 0 = off     [15]
   --server=self|HOST:PORT target server                     [self]
   --server-workers=N   self-hosted worker pool size         [16]
   --server-queue=N     self-hosted accept-queue depth       [64]

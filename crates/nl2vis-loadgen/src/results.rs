@@ -31,6 +31,8 @@ pub fn run_json(run: &RunStats) -> Json {
     let mut fields = vec![
         ("threads", Json::from(run.threads as i64)),
         ("rate", Json::from(run.rate.as_str())),
+        ("replicas", Json::from(run.replicas as i64)),
+        ("hedge_ms", Json::from(run.hedge_ms as i64)),
         ("duration_s", Json::Number(run.measured.as_secs_f64())),
         ("requests", Json::from(run.sent as i64)),
         ("ok", Json::from(run.ok as i64)),
@@ -50,6 +52,26 @@ pub fn run_json(run: &RunStats) -> Json {
             ]),
         ),
     ];
+    if let Some(router) = &run.router {
+        fields.push((
+            "router",
+            Json::object(vec![
+                ("requests", Json::from(router.requests as i64)),
+                ("shard_hits", Json::from(router.shard_hits as i64)),
+                ("hedges_fired", Json::from(router.hedges_fired as i64)),
+                ("hedge_wins", Json::from(router.hedge_wins as i64)),
+                ("primary_wins", Json::from(router.primary_wins as i64)),
+                ("failovers", Json::from(router.failovers as i64)),
+                ("penalties", Json::from(router.penalties as i64)),
+                (
+                    "penalty_deferrals",
+                    Json::from(router.penalty_deferrals as i64),
+                ),
+                ("ejections", Json::from(router.ejections as i64)),
+                ("readmissions", Json::from(router.readmissions as i64)),
+            ]),
+        ));
+    }
     if let Some(stats) = &run.server_stats {
         fields.push(("server_stats", stats.clone()));
     }
@@ -66,6 +88,10 @@ pub fn bench_json(config: &LoadConfig, runs: &[RunStats]) -> Json {
         ("prompts", Json::from(config.prompts as i64)),
         ("cache_capacity", Json::from(config.cache_capacity as i64)),
         ("service_ms", Json::from(config.service_ms as i64)),
+        ("replicas", Json::from(config.replicas as i64)),
+        ("hedge_ms", Json::from(config.hedge_ms as i64)),
+        ("tail_prob", Json::Number(config.tail_prob)),
+        ("tail_ms", Json::from(config.tail_ms as i64)),
         ("warmup_s", Json::Number(config.warmup.as_secs_f64())),
         ("duration_s", Json::Number(config.duration.as_secs_f64())),
         ("seed", Json::from(config.seed as i64)),

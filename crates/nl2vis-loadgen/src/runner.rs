@@ -30,6 +30,7 @@ use nl2vis_data::{Json, Rng};
 use nl2vis_llm::{FaultInjector, GenOptions, ModelProfile, ServerConfig, SimLlm};
 use nl2vis_obs as obs;
 use nl2vis_obs::{Histogram, HistogramSummary, MetricsRegistry, WindowConfig, WindowedRegistry};
+use nl2vis_router::{Router, RouterConfig, RouterStatsSnapshot};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -65,6 +66,14 @@ pub struct RunStats {
     pub serve: HistogramSummary,
     /// The server's own `GET /stats` snapshot at the end of the run.
     pub server_stats: Option<Json>,
+    /// Replica count the run drove (1 = direct, >1 = routed).
+    pub replicas: usize,
+    /// Hedge delay the routed run used (0 = hedging off or not routed).
+    /// Part of the run's identity: `bench_diff` must never compare a
+    /// hedged run against an unhedged one at the same topology.
+    pub hedge_ms: u64,
+    /// Router counters when the run went through the replica router.
+    pub router: Option<RouterStatsSnapshot>,
 }
 
 impl RunStats {
@@ -121,30 +130,39 @@ struct RunShared {
     cache: Option<CompletionCache>,
 }
 
-/// A server the run drives: either borrowed (remote) or owned
-/// (self-hosted, shut down when the run ends).
+/// The servers a run drives: either borrowed (remote) or owned
+/// (self-hosted replicas, shut down when the run ends).
 pub struct RunTarget {
-    /// Address workers connect to.
+    /// Address workers connect to directly (`--replicas=1` path): the
+    /// remote server or the first self-hosted replica.
     pub addr: SocketAddr,
+    /// Every replica address, ring order (length 1 unless `--replicas`).
+    pub addrs: Vec<SocketAddr>,
     /// Model name sent with each request.
     pub model: String,
-    server: Option<nl2vis_llm::http::CompletionServer>,
+    servers: Vec<nl2vis_llm::http::CompletionServer>,
 }
 
 impl RunTarget {
-    /// Resolves the configured target, starting the in-process server for
-    /// [`Target::SelfHosted`].
+    /// Resolves the configured target, starting the in-process replica
+    /// fleet for [`Target::SelfHosted`].
     pub fn start(config: &LoadConfig) -> Result<RunTarget, String> {
         let model = config.model.clone();
         match &config.target {
             Target::Remote(addr) => {
+                if config.replicas > 1 {
+                    return Err(
+                        "--replicas needs --server=self (the harness owns the fleet)".to_string(),
+                    );
+                }
                 let addr: SocketAddr = addr
                     .parse()
                     .map_err(|e| format!("bad --server address `{addr}`: {e}"))?;
                 Ok(RunTarget {
                     addr,
+                    addrs: vec![addr],
                     model,
-                    server: None,
+                    servers: Vec::new(),
                 })
             }
             Target::SelfHosted => {
@@ -153,44 +171,70 @@ impl RunTarget {
                     "gpt-3.5-turbo-16k" => ModelProfile::turbo_16k(),
                     _ => ModelProfile::davinci_003(),
                 };
-                // The simulated model completes in microseconds of CPU; the
-                // injected stall gives every completion a realistic service
-                // time so queueing dynamics exist at all.
-                let faults = if config.service_ms > 0 {
-                    FaultInjector::random(
-                        1,
-                        0.0,
-                        0.0,
-                        1.0,
-                        Duration::from_millis(config.service_ms),
-                    )
-                } else {
-                    FaultInjector::none()
-                };
                 let model = profile.name.to_string();
-                let server = nl2vis_llm::http::CompletionServer::start_with_config(
-                    SimLlm::new(profile, config.seed),
-                    Arc::new(MetricsRegistry::new()),
-                    faults,
-                    ServerConfig {
-                        max_inflight: config.server_workers,
-                        queue_depth: config.server_queue,
-                        retry_after: Duration::from_millis(5),
-                    },
-                )
-                .map_err(|e| format!("server start failed: {e}"))?;
+                let mut servers = Vec::with_capacity(config.replicas);
+                for replica in 0..config.replicas {
+                    // The simulated model completes in microseconds of CPU;
+                    // the injected stall gives every completion a realistic
+                    // service time (plus an optional heavy tail) so queueing
+                    // dynamics and hedging have something to act on. Each
+                    // replica draws from its own seed so tails de-correlate.
+                    let faults = if config.service_ms > 0 || config.tail_prob > 0.0 {
+                        FaultInjector::random_with_tail(
+                            1 + replica as u64,
+                            0.0,
+                            0.0,
+                            if config.service_ms > 0 { 1.0 } else { 0.0 },
+                            Duration::from_millis(config.service_ms),
+                            config.tail_prob,
+                            Duration::from_millis(config.tail_ms),
+                        )
+                    } else {
+                        FaultInjector::none()
+                    };
+                    let server = nl2vis_llm::http::CompletionServer::start_with_config(
+                        SimLlm::new(profile.clone(), config.seed),
+                        Arc::new(MetricsRegistry::new()),
+                        faults,
+                        ServerConfig {
+                            max_inflight: config.server_workers,
+                            queue_depth: config.server_queue,
+                            retry_after: Duration::from_millis(5),
+                        },
+                    )
+                    .map_err(|e| format!("replica {replica} start failed: {e}"))?;
+                    servers.push(server);
+                }
                 Ok(RunTarget {
-                    addr: server.address(),
+                    addr: servers[0].address(),
+                    addrs: servers.iter().map(|s| s.address()).collect(),
                     model,
-                    server: Some(server),
+                    servers,
                 })
             }
         }
     }
 
-    /// The in-process server, when self-hosted.
+    /// The first in-process server, when self-hosted.
     pub fn server(&self) -> Option<&nl2vis_llm::http::CompletionServer> {
-        self.server.as_ref()
+        self.servers.first()
+    }
+
+    /// Builds the replica router for this fleet, per run so cache shards
+    /// and latency windows start cold like every other per-run stat.
+    fn router(&self, config: &LoadConfig) -> Router {
+        let router_config = RouterConfig {
+            hedge: config.hedge_ms > 0,
+            default_hedge_delay: Duration::from_millis(config.hedge_ms.max(1)),
+            hedge_delay_floor: Duration::from_millis(1),
+            // Split the configured cache budget over the shards so a
+            // 1-replica --cache=C run and an N-replica run compare the
+            // same total capacity.
+            shard_capacity: config.cache_capacity.div_ceil(self.addrs.len()),
+            health_interval: Some(Duration::from_millis(500)),
+            ..RouterConfig::default()
+        };
+        Router::over_http(&self.addrs, &self.model, router_config)
     }
 }
 
@@ -220,9 +264,14 @@ pub fn run_once(
             bucket: Duration::from_millis(500),
             buckets: 10,
         }),
-        cache: (config.cache_capacity > 0)
+        // With replicas the router's per-replica shards carry the cache
+        // budget instead; a second client-side cache in front would hide
+        // exactly the shard locality the topology runs measure.
+        cache: (config.cache_capacity > 0 && config.replicas == 1)
             .then(|| CompletionCache::in_memory(config.cache_capacity)),
     });
+
+    let router = (config.replicas > 1).then(|| Arc::new(target.router(config)));
 
     let reporter = (config.report > Duration::ZERO).then(|| {
         let shared = Arc::clone(&shared);
@@ -238,8 +287,19 @@ pub fn run_once(
             let model = target.model.clone();
             let arrival = config.arrival;
             let seed = config.seed;
+            let router = router.clone();
             scope.spawn(move || {
-                worker_loop(worker, threads, &shared, &pool, addr, &model, arrival, seed)
+                worker_loop(
+                    worker,
+                    threads,
+                    &shared,
+                    &pool,
+                    addr,
+                    &model,
+                    arrival,
+                    seed,
+                    router.as_deref(),
+                )
             });
         }
     });
@@ -269,6 +329,13 @@ pub fn run_once(
         queue: shared.queue.summary(),
         serve: shared.serve.summary(),
         server_stats,
+        replicas: target.addrs.len(),
+        hedge_ms: if config.replicas > 1 {
+            config.hedge_ms
+        } else {
+            0
+        },
+        router: router.map(|r| r.stats().snapshot()),
     }
 }
 
@@ -283,6 +350,7 @@ fn worker_loop(
     model: &str,
     arrival: Arrival,
     seed: u64,
+    router: Option<&Router>,
 ) {
     let mut rng = Rng::new(seed).fork(worker as u64 + 1);
     let mut conn = LoadConn::new(addr, model);
@@ -312,49 +380,67 @@ fn worker_loop(
         let prompt = pool.prompt(rank);
         let actual_send = shared.epoch.elapsed();
 
-        // Issue the request — through the completion cache when one is
+        // Issue the request — via the replica router when one is driving
+        // the fleet, else through the completion cache when one is
         // configured (hot Zipf ranks then answer locally; misses share a
         // single flight per key), bare otherwise.
         let mut connect_us = 0u64;
         let mut serve_us = 0u64;
         let mut wire = false;
-        let outcome = match &shared.cache {
-            None => {
-                wire = true;
-                let result = conn.request(prompt);
-                connect_us = result.connect_us;
-                serve_us = result.serve_us;
-                result.outcome
+        let outcome = if let Some(router) = router {
+            let issued = Instant::now();
+            let call = router.call_detailed(prompt, &options);
+            serve_us = issued.elapsed().as_micros() as u64;
+            // A shard hit never touched the wire; everything else did
+            // (connect time is folded into the attempt, so `connect`
+            // stays empty on routed runs).
+            wire = !call.shard_hit;
+            match call.outcome {
+                Ok(_) => Outcome::Ok,
+                Err(e) if matches!(e.kind, nl2vis_llm::TransportErrorKind::Status(429)) => {
+                    Outcome::Shed
+                }
+                Err(e) => Outcome::Error(e.message),
             }
-            Some(cache) => {
-                let key = completion_key(model, &options, prompt);
-                let through = cache.complete_through(&key, || {
+        } else {
+            match &shared.cache {
+                None => {
                     wire = true;
                     let result = conn.request(prompt);
                     connect_us = result.connect_us;
                     serve_us = result.serve_us;
-                    match result.outcome {
-                        // The harness discards completion text; cache an
-                        // empty marker so hits are hits.
-                        Outcome::Ok => Ok(String::new()),
-                        Outcome::Shed => Err(nl2vis_llm::TransportError::new(
-                            nl2vis_llm::TransportErrorKind::Status(429),
-                            1,
-                            "shed",
-                        )),
-                        Outcome::Error(message) => Err(nl2vis_llm::TransportError::new(
-                            nl2vis_llm::TransportErrorKind::Io,
-                            1,
-                            message,
-                        )),
+                    result.outcome
+                }
+                Some(cache) => {
+                    let key = completion_key(model, &options, prompt);
+                    let through = cache.complete_through(&key, || {
+                        wire = true;
+                        let result = conn.request(prompt);
+                        connect_us = result.connect_us;
+                        serve_us = result.serve_us;
+                        match result.outcome {
+                            // The harness discards completion text; cache an
+                            // empty marker so hits are hits.
+                            Outcome::Ok => Ok(String::new()),
+                            Outcome::Shed => Err(nl2vis_llm::TransportError::new(
+                                nl2vis_llm::TransportErrorKind::Status(429),
+                                1,
+                                "shed",
+                            )),
+                            Outcome::Error(message) => Err(nl2vis_llm::TransportError::new(
+                                nl2vis_llm::TransportErrorKind::Io,
+                                1,
+                                message,
+                            )),
+                        }
+                    });
+                    match through {
+                        Ok(_) => Outcome::Ok,
+                        Err(e) if matches!(e.kind, nl2vis_llm::TransportErrorKind::Status(429)) => {
+                            Outcome::Shed
+                        }
+                        Err(e) => Outcome::Error(e.message),
                     }
-                });
-                match through {
-                    Ok(_) => Outcome::Ok,
-                    Err(e) if matches!(e.kind, nl2vis_llm::TransportErrorKind::Status(429)) => {
-                        Outcome::Shed
-                    }
-                    Err(e) => Outcome::Error(e.message),
                 }
             }
         };

@@ -132,6 +132,47 @@ fn correction_diverges_from_uncorrected_at_saturation() {
     assert!(run.queue.p99 > 0.0, "queue phase must have recorded delay");
 }
 
+/// A routed 2-replica fleet: prompt affinity keeps the hot Zipf ranks
+/// hitting the per-replica cache shards, the heavy tail makes hedges
+/// fire, and the emitted run row carries the topology and router stats.
+#[test]
+fn routed_fleet_keeps_shard_hits_and_hedges_the_tail() {
+    let mut config = quick(4, Arrival::Closed);
+    config.replicas = 2;
+    config.cache_capacity = 256;
+    config.service_ms = 2;
+    config.tail_prob = 0.05;
+    config.tail_ms = 60;
+    config.hedge_ms = 10;
+    config.duration = Duration::from_millis(2000);
+    let (json, runs) = run_load(&config).expect("load run");
+    let run = &runs[0];
+    assert_eq!(run.replicas, 2);
+    assert!(run.ok > 100, "routed run too small: {} ok", run.ok);
+    assert_eq!(run.errors, 0, "routed closed-loop run must not error");
+    let router = run.router.as_ref().expect("router stats on routed runs");
+    assert!(
+        router.shard_hits > 0 && run.cache_hit_rate() > 0.3,
+        "zipf hot ranks must hit the replica shards: {} hits, rate {:.2}",
+        router.shard_hits,
+        run.cache_hit_rate()
+    );
+    assert!(
+        router.hedges_fired > 0,
+        "a 5% 60ms tail over a 10ms hedge delay must fire hedges"
+    );
+    let row = json.get("runs").and_then(|r| r.at(0)).expect("run row");
+    assert_eq!(row.get("replicas").and_then(Json::as_f64), Some(2.0));
+    assert!(
+        row.get("router")
+            .and_then(|r| r.get("hedges_fired"))
+            .and_then(Json::as_f64)
+            .is_some_and(|n| n >= 1.0),
+        "{}",
+        row.to_pretty()
+    );
+}
+
 /// Zipf skew + the client-side completion cache: hot ranks answer locally,
 /// so the hit rate is substantial and cache hits count as completions.
 #[test]

@@ -112,6 +112,14 @@ pub fn stack_of<S: CompletionService + ?Sized>(service: &S) -> Vec<&'static str>
 /// 2. **At most one `cache` and one `retry`.** Nested retries multiply
 ///    attempt budgets (3 × 3 = 9 upstream calls); nested caches double
 ///    insertions and skew hit-rate accounting.
+/// 3. **`route` (replica selection, hedging) sits inside `cache` and
+///    `retry`, and at most once.** A client-side cache hit must answer
+///    without touching the replica ring at all, so the cache wraps the
+///    router; and a retry that wraps the router re-enters replica
+///    selection, letting the retried attempt fail over to a different
+///    (healthy, unpenalized) replica instead of hammering the one that
+///    just failed. Two nested routers would hedge hedges — up to 4
+///    upstream calls for one request.
 pub fn validate_stack(stack: &[&str]) -> Result<(), String> {
     let position = |tag: &str| stack.iter().position(|t| *t == tag);
     if stack.iter().filter(|t| **t == "retry").count() > 1 {
@@ -120,12 +128,36 @@ pub fn validate_stack(stack: &[&str]) -> Result<(), String> {
     if stack.iter().filter(|t| **t == "cache").count() > 1 {
         return Err(format!("stack nests two cache layers: {stack:?}"));
     }
+    if stack.iter().filter(|t| **t == "route").count() > 1 {
+        return Err(format!(
+            "stack nests two route layers (hedges would hedge): {stack:?}"
+        ));
+    }
     if let (Some(cache), Some(retry)) = (position("cache"), position("retry")) {
         if cache > retry {
             return Err(format!(
                 "cache sits inside retry (position {cache} vs {retry}): failures could be \
                  memoized per-attempt; compose Cache(Retry(..)) instead: {stack:?}"
             ));
+        }
+    }
+    if let Some(route) = position("route") {
+        if let Some(cache) = position("cache") {
+            if cache > route {
+                return Err(format!(
+                    "cache sits inside route (position {cache} vs {route}): a cache hit would \
+                     still pay replica selection; compose Cache(Route(..)) instead: {stack:?}"
+                ));
+            }
+        }
+        if let Some(retry) = position("retry") {
+            if retry > route {
+                return Err(format!(
+                    "retry sits inside route (position {retry} vs {route}): retried attempts \
+                     would be pinned to the failing replica; compose Retry(Route(..)) so a \
+                     retry can fail over: {stack:?}"
+                ));
+            }
         }
     }
     Ok(())
@@ -199,6 +231,18 @@ mod tests {
         assert!(validate_stack(&["cache", "trace", "metrics", "retry", "http"]).is_ok());
         assert!(validate_stack(&["retry", "http"]).is_ok());
         assert!(validate_stack(&["http"]).is_ok());
+        assert!(validate_stack(&["trace", "metrics", "cache", "retry", "route", "http"]).is_ok());
+        assert!(validate_stack(&["cache", "route", "http"]).is_ok());
+        assert!(validate_stack(&["route", "http"]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_route_outside_cache_or_retry() {
+        let err = validate_stack(&["route", "cache", "http"]).unwrap_err();
+        assert!(err.contains("cache sits inside route"), "{err}");
+        let err = validate_stack(&["route", "retry", "http"]).unwrap_err();
+        assert!(err.contains("retry sits inside route"), "{err}");
+        assert!(validate_stack(&["route", "route", "http"]).is_err());
     }
 
     #[test]

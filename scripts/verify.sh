@@ -76,6 +76,41 @@ run "loadgen smoke (256 conns)" cargo run -q -p nl2vis-loadgen --release -- \
     --threads=256 --duration=3 --warmup=1 --rate=closed --skew=zipf:1.1 \
     --prompts=64 --report=0 --out=target/BENCH_load_smoke_256.json
 
+# Router smoke: 16 clients through the prompt-affinity router over a
+# 2-replica self-hosted fleet, with a 5% 40ms heavy tail so hedges
+# demonstrably fire. Asserts the run completed clean, the shards
+# answered, and at least one hedge fired.
+run "loadgen smoke (2-replica router)" cargo run -q -p nl2vis-loadgen --release -- \
+    --threads=16 --duration=3 --warmup=1 --rate=closed --skew=zipf:1.1 \
+    --prompts=256 --cache=256 --service-ms=2 --tail=0.05:40 \
+    --replicas=2 --hedge-ms=10 --report=0 --out=target/BENCH_load_smoke_router.json
+if [ -f target/BENCH_load_smoke_router.json ]; then
+    run "router smoke assertions" python3 - <<'EOF'
+import json, sys
+doc = json.load(open("target/BENCH_load_smoke_router.json"))
+run = doc["runs"][0]
+router = run.get("router")
+ok = True
+def check(cond, msg):
+    global ok
+    print(("ok  " if cond else "FAIL") + " " + msg)
+    ok = ok and cond
+check(run["replicas"] == 2, "run routed over 2 replicas")
+check(run["errors"] == 0, "no transport errors through the router")
+check(router is not None, "router stats recorded in the snapshot")
+if router:
+    check(router["shard_hits"] > 0, "replica cache shards answered hits")
+    check(router["hedges_fired"] > 0,
+          "hedges fired against the injected tail (got %d)" % router["hedges_fired"])
+sys.exit(0 if ok else 1)
+EOF
+fi
+
+# Trace stitching: the /trace/<id> acceptance demo — a hedged request's
+# primary and hedge attempts land in one trace tree with the winner
+# marked.
+run "router trace stitching" cargo test -q -p nl2vis-router --test tracing
+
 # Perf trajectory: when a committed BENCH_load.json baseline exists,
 # diff the smoke snapshot against it. Non-fatal — the smoke run uses a
 # reduced config, so this is a warning trail, not a gate.
