@@ -600,8 +600,8 @@ fn stats_json(registry: &MetricsRegistry, windowed: &WindowedRegistry) -> String
     )
 }
 
-/// Routes the non-completion surface (`/v1/models`, `/metrics`, `/stats`,
-/// `/requests`, `/trace/<id>`, `/healthz`). `POST /v1/completions` never
+/// Routes the non-completion surface (`/v1/models`, `/metrics`,
+/// `/metrics.json`, `/stats`, `/requests`, `/trace/<id>`, `/healthz`). `POST /v1/completions` never
 /// reaches here: the pollers pre-parse it and the worker pool serves it
 /// (batched) directly — see [`crate::event`].
 pub(crate) fn route(
@@ -624,6 +624,11 @@ pub(crate) fn route(
             (200, response.to_compact(), JSON)
         }
         ("GET", "/metrics") => (200, obs::report::render_exposition(registry), TEXT),
+        ("GET", "/metrics.json") => (
+            200,
+            obs::Snapshot::collect(registry, Some(windowed)).to_json(),
+            JSON,
+        ),
         ("GET", "/stats") => (200, stats_json(registry, windowed), JSON),
         ("GET", "/requests") => match obs::recorder::installed() {
             Some(recorder) => (200, recorder.index_json(50), JSON),
@@ -1262,6 +1267,66 @@ mod tests {
         // /metrics and /healthz traffic is counted, completions are not
         // inflated by it.
         assert!(registry.counter("server.http_requests_total").get() >= 4);
+    }
+
+    #[test]
+    fn metrics_json_endpoint_serves_a_mergeable_snapshot() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let llm = SimLlm::new(ModelProfile::gpt_4(), 9);
+        let server = CompletionServer::start_with_registry(llm, Arc::clone(&registry)).unwrap();
+        let client = HttpLlmClient::new(server.address(), "gpt-4");
+        for i in 0..3 {
+            let prompt = format!(
+                "-- Test:\n-- Database:\nDatabase: d\nt = [ a , b ]\nQ: question {i}\nVQL:"
+            );
+            client.complete_http(&prompt).unwrap();
+        }
+        let response = raw_get(server.address(), "/metrics.json");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("application/json"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        let json = Json::parse(body).unwrap();
+        assert_eq!(
+            json.get("format").and_then(Json::as_str),
+            Some("nl2vis.metrics.v1")
+        );
+        assert_eq!(json.get("sources").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("llm.requests_total"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // The cumulative histogram exports raw buckets whose counts sum
+        // to the request count — the property fleet merging relies on.
+        let hist = json
+            .get("histograms")
+            .and_then(|h| h.get("llm.request_latency_us"))
+            .expect("latency histogram in snapshot");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(3.0));
+        let bucket_sum: f64 = hist
+            .get("buckets")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_f64)
+            .sum();
+        assert_eq!(bucket_sum, 3.0);
+        // The windowed section is present and saw the same burst.
+        assert_eq!(
+            json.get("windowed_histograms")
+                .and_then(|h| h.get("llm.request_latency_us"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert!(
+            json.get("window_covered_us")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0,
+            "{body}"
+        );
     }
 
     #[test]

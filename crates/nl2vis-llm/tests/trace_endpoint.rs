@@ -1,0 +1,72 @@
+//! Pins the `/trace/<id>` error contract the fleet stitcher depends on:
+//! unknown ids are a JSON 404 *body* (never an empty 200), malformed ids
+//! are a JSON 400, and an uninstalled recorder is its own JSON 404.
+//!
+//! Runs in its own test binary because the flight recorder is process
+//! global and these cases exercise both its installed and uninstalled
+//! states.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use nl2vis_data::Json;
+use nl2vis_llm::http::CompletionServer;
+use nl2vis_llm::profile::ModelProfile;
+use nl2vis_llm::sim::SimLlm;
+use nl2vis_obs::recorder::{self, FlightRecorder};
+
+/// One GET over a throwaway connection; returns the full response text.
+fn raw_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .unwrap();
+    response
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap()
+}
+
+#[test]
+fn trace_endpoint_error_contract_is_json_all_the_way_down() {
+    let server = CompletionServer::start(SimLlm::new(ModelProfile::gpt_4(), 9)).unwrap();
+
+    // No recorder installed yet: still a JSON 404, not an empty body.
+    let response = raw_get(server.address(), "/trace/987654321");
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    assert!(response.contains("application/json"), "{response}");
+    let json = Json::parse(body_of(&response)).expect("404 body must be JSON");
+    assert_eq!(
+        json.get("error").and_then(Json::as_str),
+        Some("flight recorder not installed")
+    );
+
+    // Recorder installed, id unknown: a JSON 404 naming the id, so the
+    // router's fleet stitcher can tell "not retained here" apart from a
+    // dead replica or a malformed reply.
+    recorder::install(Arc::new(FlightRecorder::new(16)));
+    let response = raw_get(server.address(), "/trace/987654321");
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    assert!(response.contains("application/json"), "{response}");
+    let json = Json::parse(body_of(&response)).expect("404 body must be JSON");
+    assert_eq!(
+        json.get("error").and_then(Json::as_str),
+        Some("trace 987654321 not retained")
+    );
+
+    // Malformed id: a JSON 400.
+    let response = raw_get(server.address(), "/trace/banana");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(
+        Json::parse(body_of(&response)).is_ok(),
+        "400 body must be JSON: {response}"
+    );
+}

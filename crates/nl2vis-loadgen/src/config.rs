@@ -109,6 +109,11 @@ pub struct LoadConfig {
     pub server_workers: usize,
     /// Accept-queue depth of the self-hosted server.
     pub server_queue: usize,
+    /// Live fleet dashboard: replaces the one-line reporter with a
+    /// rolling per-replica + merged table scraped from each replica's
+    /// `/metrics.json` (self-hosted fleets and remote servers alike), and
+    /// records the final fleet snapshot into the results file.
+    pub dashboard: bool,
     /// Where the JSON results go; empty string suppresses the file.
     pub out: String,
     /// Live progress-report interval; zero silences the reporter.
@@ -138,6 +143,7 @@ impl Default for LoadConfig {
             target: Target::SelfHosted,
             server_workers: 16,
             server_queue: 64,
+            dashboard: false,
             out: "BENCH_load.json".to_string(),
             report: Duration::from_secs(2),
             seed: 42,
@@ -287,6 +293,15 @@ impl LoadConfig {
                         .parse()
                         .map_err(|_| format!("bad queue depth `{value}`"))?;
                 }
+                "--dashboard" => {
+                    config.dashboard = match value {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(format!("--dashboard wants `on` or `off`, got `{other}`"))
+                        }
+                    };
+                }
                 "--out" => config.out = value.to_string(),
                 "--report" => config.report = parse_secs(value, flag)?,
                 "--seed" => {
@@ -349,6 +364,7 @@ mod tests {
         assert!(LoadConfig::parse_args(["--replicas=0"]).is_err());
         assert!(LoadConfig::parse_args(["--tail=0.05"]).is_err());
         assert!(LoadConfig::parse_args(["--tail=1.5:40"]).is_err());
+        assert!(LoadConfig::parse_args(["--dashboard=maybe"]).is_err());
     }
 
     #[test]
@@ -367,5 +383,20 @@ mod tests {
         let off = LoadConfig::parse_args(["--tail=off", "--hedge-ms=0"]).unwrap();
         assert_eq!(off.tail_prob, 0.0);
         assert_eq!(off.hedge_ms, 0);
+    }
+
+    #[test]
+    fn dashboard_flag_parses_and_defaults_off() {
+        assert!(!LoadConfig::default().dashboard);
+        assert!(
+            LoadConfig::parse_args(["--dashboard=on"])
+                .unwrap()
+                .dashboard
+        );
+        assert!(
+            !LoadConfig::parse_args(["--dashboard=off"])
+                .unwrap()
+                .dashboard
+        );
     }
 }

@@ -351,6 +351,34 @@ mod tests {
     }
 
     #[test]
+    fn pre_fleet_baselines_match_fleet_era_candidates() {
+        // A baseline written before the router/fleet fields existed has
+        // no `replicas`, `hedge_ms`, `router`, or `fleet` members. A
+        // candidate row from the fleet-era harness carries all of them
+        // (with the default topology). The keys must still match, the
+        // extra candidate fields must be ignored, and the diff stays
+        // clean when the shared metrics hold.
+        let old = Json::parse(
+            r#"{"experiment":"load","runs":[{"threads":8,"rate":"open:500",
+                "throughput_rps":500.0,"shed_rate":0.0,
+                "latency_ms":{"e2e_corrected":{"p50_ms":1.0,"p99_ms":12.0}}}]}"#,
+        )
+        .unwrap();
+        let new = Json::parse(
+            r#"{"experiment":"load","runs":[{"threads":8,"rate":"open:500",
+                "replicas":1,"hedge_ms":0,
+                "throughput_rps":505.0,"shed_rate":0.0,
+                "latency_ms":{"e2e_corrected":{"p50_ms":1.0,"p99_ms":12.2}},
+                "router":{"requests":100,"hedges_fired":3},
+                "fleet":{"replicas_ok":1,"slo":[{"name":"latency","fast_burn":0.0}]}}]}"#,
+        )
+        .unwrap();
+        let report = diff(&old, &new, 0.2);
+        assert_eq!(report.unmatched, 0, "{:?}", report.unmatched_baseline);
+        assert!(report.strict_clean(), "{:?}", report.regressions);
+    }
+
+    #[test]
     fn shed_rate_increase_is_flagged() {
         let report = diff(&doc(8, 500.0, 12.0, 0.0), &doc(8, 500.0, 12.0, 0.4), 0.2);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);

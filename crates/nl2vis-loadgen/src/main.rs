@@ -72,6 +72,8 @@ flags (all --key=value):
   --server=self|HOST:PORT target server                     [self]
   --server-workers=N   self-hosted worker pool size         [16]
   --server-queue=N     self-hosted accept-queue depth       [64]
+  --dashboard=on|off   live fleet table (per-replica + merged
+                       rps/p50/p99/shed, SLO burn rates)    [off]
   --out=PATH           results file, empty to skip          [BENCH_load.json]
   --report=SECS        live progress interval, 0 = quiet    [2]
   --seed=N             prompt sampling seed                 [42]

@@ -72,6 +72,9 @@ pub fn run_json(run: &RunStats) -> Json {
             ]),
         ));
     }
+    if let Some(fleet) = &run.fleet {
+        fields.push(("fleet", fleet.clone()));
+    }
     if let Some(stats) = &run.server_stats {
         fields.push(("server_stats", stats.clone()));
     }

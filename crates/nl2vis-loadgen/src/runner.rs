@@ -30,6 +30,7 @@ use nl2vis_data::{Json, Rng};
 use nl2vis_llm::{FaultInjector, GenOptions, ModelProfile, ServerConfig, SimLlm};
 use nl2vis_obs as obs;
 use nl2vis_obs::{Histogram, HistogramSummary, MetricsRegistry, WindowConfig, WindowedRegistry};
+use nl2vis_router::fleet::{FleetConfig, FleetObserver};
 use nl2vis_router::{Router, RouterConfig, RouterStatsSnapshot};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +75,9 @@ pub struct RunStats {
     pub hedge_ms: u64,
     /// Router counters when the run went through the replica router.
     pub router: Option<RouterStatsSnapshot>,
+    /// The fleet observer's final `/fleet/stats` view (`--dashboard`
+    /// runs): merged + per-replica rollup and SLO burn rates.
+    pub fleet: Option<Json>,
 }
 
 impl RunStats {
@@ -273,10 +277,21 @@ pub fn run_once(
 
     let router = (config.replicas > 1).then(|| Arc::new(target.router(config)));
 
-    let reporter = (config.report > Duration::ZERO).then(|| {
+    // The dashboard observes the fleet exactly as the router's fleet
+    // plane would: scraping every replica's /metrics.json and merging.
+    let observer = config
+        .dashboard
+        .then(|| FleetObserver::new(&target.addrs, FleetConfig::default()));
+
+    let reporter = (config.report > Duration::ZERO || observer.is_some()).then(|| {
         let shared = Arc::clone(&shared);
-        let interval = config.report;
-        std::thread::spawn(move || report_loop(&shared, interval, threads))
+        let interval = config.report.max(Duration::from_millis(500));
+        let observer = observer.clone();
+        let router = router.clone();
+        std::thread::spawn(move || match &observer {
+            Some(observer) => dashboard_loop(&shared, observer, router.as_deref(), interval),
+            None => report_loop(&shared, interval, threads),
+        })
     });
 
     std::thread::scope(|scope| {
@@ -309,6 +324,11 @@ pub fn run_once(
     }
 
     let server_stats = fetch(target.addr, "/stats").and_then(|body| Json::parse(&body).ok());
+    // A final poll so the recorded fleet snapshot covers the whole run.
+    let fleet = observer.map(|observer| {
+        observer.poll_once();
+        Json::parse(&observer.fleet_stats_json()).expect("fleet stats is well-formed JSON")
+    });
     let measured = shared
         .epoch
         .elapsed()
@@ -336,6 +356,7 @@ pub fn run_once(
             0
         },
         router: router.map(|r| r.stats().snapshot()),
+        fleet,
     }
 }
 
@@ -552,5 +573,111 @@ fn report_loop(shared: &RunShared, interval: Duration, threads: usize) {
             window.p99 / 1_000.0,
             shed_rate * 100.0,
         );
+    }
+}
+
+/// One dashboard row from a `/fleet/stats` replica object (or the merged
+/// `fleet` object, which shares the field names).
+fn dashboard_row(label: &str, node: &Json) -> String {
+    let f = |key: &str| node.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let window_requests = f("window_requests");
+    let shed_pct = if window_requests + f("window_shed") > 0.0 {
+        f("window_shed") / (window_requests + f("window_shed")) * 100.0
+    } else {
+        0.0
+    };
+    format!(
+        "  {label:<22} {:>8.1} {:>8.1} {:>8.1} {:>6.1}% {:>8}",
+        f("throughput_rps"),
+        f("window_p50_us") / 1_000.0,
+        f("window_p99_us") / 1_000.0,
+        shed_pct,
+        f("requests_total") as u64,
+    )
+}
+
+/// The `--dashboard` reporter: scrape the fleet each tick and render a
+/// rolling table — one row per replica, one merged row, one SLO burn
+/// line, plus the router's hedge/shard-hit counters when routing.
+fn dashboard_loop(
+    shared: &RunShared,
+    observer: &FleetObserver,
+    router: Option<&Router>,
+    interval: Duration,
+) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        let mut left = interval;
+        while !shared.stop.load(Ordering::Relaxed) && !left.is_zero() {
+            let step = left.min(Duration::from_millis(200));
+            std::thread::sleep(step);
+            left -= step;
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        observer.poll_once();
+        let stats = match Json::parse(&observer.fleet_stats_json()) {
+            Ok(stats) => stats,
+            Err(_) => continue,
+        };
+        let elapsed = shared.epoch.elapsed();
+        let phase = if elapsed < shared.measure_from {
+            " warmup"
+        } else {
+            ""
+        };
+        let mut out = format!(
+            "[fleet t={:>5.1}s{phase}]  {:<21} {:>8} {:>8} {:>8} {:>7} {:>8}\n",
+            elapsed.as_secs_f64(),
+            "replica",
+            "rps",
+            "p50ms",
+            "p99ms",
+            "shed",
+            "reqs",
+        );
+        if let Some(rows) = stats.get("replicas").and_then(Json::as_array) {
+            for row in rows {
+                let id = row.get("id").and_then(Json::as_str).unwrap_or("?");
+                if row.get("ok").and_then(Json::as_bool) == Some(true) {
+                    out.push_str(&dashboard_row(id, row));
+                } else {
+                    let error = row.get("error").and_then(Json::as_str).unwrap_or("down");
+                    out.push_str(&format!("  {id:<22} UNREACHABLE ({error})"));
+                }
+                out.push('\n');
+            }
+        }
+        if let Some(fleet) = stats.get("fleet") {
+            out.push_str(&dashboard_row("MERGED", fleet));
+            out.push('\n');
+        }
+        if let Some(statuses) = stats.get("slo").and_then(Json::as_array) {
+            let burns: Vec<String> = statuses
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}={:.2}/{:.2}",
+                        s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("fast_burn").and_then(Json::as_f64).unwrap_or(0.0),
+                        s.get("slow_burn").and_then(Json::as_f64).unwrap_or(0.0),
+                    )
+                })
+                .collect();
+            out.push_str(&format!("  slo burn (fast/slow): {}", burns.join("  ")));
+        }
+        if let Some(router) = router {
+            let snap = router.stats().snapshot();
+            let hit_rate = if snap.requests == 0 {
+                0.0
+            } else {
+                snap.shard_hits as f64 / snap.requests as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "   router: hit={hit_rate:.0}% hedges={} wins={}",
+                snap.hedges_fired, snap.hedge_wins,
+            ));
+        }
+        eprintln!("{out}");
     }
 }

@@ -24,6 +24,12 @@
 //!   [`WindowedHistogram`], [`WindowedRegistry`]) — a ring of
 //!   fixed-duration buckets yielding rolling throughput and p50/p95/p99
 //!   over the last N seconds, backing the server's `GET /stats`.
+//! - [`snapshot`]: mergeable point-in-time [`Snapshot`]s of both
+//!   registries — raw bucket arrays that add exactly across processes
+//!   (associative/commutative merge), backing `GET /metrics.json` and
+//!   the router's fleet-merged views.
+//! - [`slo`]: declarative objectives ([`SloSpec`]) with fast/slow-window
+//!   burn rates evaluated over snapshots, published as `slo.*` gauges.
 //!
 //! ## Naming convention
 //!
@@ -55,6 +61,8 @@ pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod sink;
+pub mod slo;
+pub mod snapshot;
 pub mod span;
 pub mod window;
 
@@ -63,6 +71,8 @@ pub use registry::{global, Counter, Gauge, Histogram, HistogramSummary, MetricsR
 pub use sink::{
     disable_sink, emit, set_sink, sink_active, Event, EventSink, JsonlSink, MemorySink, NullSink,
 };
+pub use slo::{Objective, SloSpec, SloStatus};
+pub use snapshot::{HistSnapshot, Snapshot};
 pub use span::{annotate_current, current_context, current_trace, Span, TraceContext};
 pub use window::{
     WindowConfig, WindowSummary, WindowedCounter, WindowedHistogram, WindowedRegistry,

@@ -188,6 +188,35 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Freezes the histogram into a mergeable
+    /// [`HistSnapshot`](crate::snapshot::HistSnapshot). Reads are relaxed
+    /// and per-field, so a snapshot taken under concurrent recording can
+    /// be off by in-flight samples — bounded scrape skew, like any
+    /// exposition read.
+    pub fn snapshot(&self) -> crate::snapshot::HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        crate::snapshot::HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            buckets,
+        }
+    }
+
     /// An immutable summary (count/sum/min/max and p50/p95/p99).
     pub fn summary(&self) -> HistogramSummary {
         let counts: Vec<u64> = self
@@ -326,6 +355,12 @@ impl MetricsRegistry {
     pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
         let map = self.histograms.lock().expect("histogram map");
         map.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
+    }
+
+    /// Sorted `(name, snapshot)` pairs of every histogram's raw buckets.
+    pub fn histogram_snapshots(&self) -> Vec<(String, crate::snapshot::HistSnapshot)> {
+        let map = self.histograms.lock().expect("histogram map");
+        map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
     }
 
     /// Drops every registered metric (test isolation).

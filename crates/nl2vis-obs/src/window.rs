@@ -235,9 +235,9 @@ impl WindowedHistogram {
         self.summary_at(self.epoch.elapsed())
     }
 
-    /// The rolling summary as of `elapsed` since the epoch: aggregates the
-    /// slots whose tick lies in `(now_tick - n, now_tick]`.
-    pub fn summary_at(&self, elapsed: Duration) -> WindowSummary {
+    /// Aggregates the slots whose tick lies in `(now_tick - n, now_tick]`
+    /// into `(bucket counts, count, sum, min, max, covered)`.
+    fn aggregate_at(&self, elapsed: Duration) -> ([u64; BUCKETS], u64, u64, u64, u64, Duration) {
         let now_tick = self.tick_of(elapsed);
         let n = self.slots.len() as u64;
         let oldest = (now_tick + 1).saturating_sub(n);
@@ -267,6 +267,33 @@ impl WindowedHistogram {
         }
         let span_us = self.bucket_us.saturating_mul(n);
         let covered = Duration::from_micros((elapsed.as_micros() as u64).min(span_us));
+        (counts, count, sum, min, max, covered)
+    }
+
+    /// The current window frozen into a mergeable
+    /// [`HistSnapshot`](crate::snapshot::HistSnapshot) — the windowed
+    /// section of a process's `/metrics.json`.
+    pub fn snapshot(&self) -> crate::snapshot::HistSnapshot {
+        self.snapshot_at(self.epoch.elapsed())
+    }
+
+    /// [`WindowedHistogram::snapshot`] as of `elapsed` since the epoch.
+    pub fn snapshot_at(&self, elapsed: Duration) -> crate::snapshot::HistSnapshot {
+        let (counts, count, sum, min, max, _) = self.aggregate_at(elapsed);
+        let (min, max) = if count == 0 { (0, 0) } else { (min, max) };
+        crate::snapshot::HistSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets: counts.to_vec(),
+        }
+    }
+
+    /// The rolling summary as of `elapsed` since the epoch: aggregates the
+    /// slots whose tick lies in `(now_tick - n, now_tick]`.
+    pub fn summary_at(&self, elapsed: Duration) -> WindowSummary {
+        let (counts, count, sum, min, max, covered) = self.aggregate_at(elapsed);
         if count == 0 {
             return WindowSummary {
                 covered,
@@ -408,6 +435,19 @@ impl WindowedRegistry {
     pub fn histograms(&self) -> Vec<(String, WindowSummary)> {
         let map = self.histograms.lock().expect("windowed histogram map");
         map.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
+    }
+
+    /// Sorted `(name, snapshot)` pairs of every windowed histogram's raw
+    /// window buckets.
+    pub fn histogram_snapshots(&self) -> Vec<(String, crate::snapshot::HistSnapshot)> {
+        let map = self.histograms.lock().expect("windowed histogram map");
+        map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+    }
+
+    /// Wall-clock the window currently covers: the registry's age,
+    /// saturating at the configured span.
+    pub fn covered(&self) -> Duration {
+        self.epoch.elapsed().min(self.config.span())
     }
 
     /// Sorted `(name, window_total)` pairs of every windowed counter.

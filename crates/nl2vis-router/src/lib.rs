@@ -16,16 +16,23 @@
 //!   (sliding window), the request is hedged to the next ring candidate;
 //!   first success wins and the loser is discarded. Both attempts run
 //!   under one trace tree with the winner annotated.
+//! - **Fleet observability** ([`fleet`]): a [`FleetObserver`] scrapes
+//!   every replica's mergeable `/metrics.json` snapshot, folds them into
+//!   an exact fleet view with SLO burn rates, stitches cross-process
+//!   traces, and serves it all over a [`FleetServer`]'s `/fleet/*`
+//!   endpoints.
 //!
 //! The router is itself a [`nl2vis_service::CompletionService`] (layer tag
 //! `"route"`), composing as `Cache(Retry(Route(..)))` — see
 //! [`nl2vis_service::validate_stack`] for why the router must sit inside
 //! both.
 
+pub mod fleet;
 pub mod replica;
 pub mod ring;
 pub mod router;
 
+pub use fleet::{FleetConfig, FleetObserver, FleetServer};
 pub use replica::ReplicaSpec;
 pub use ring::Ring;
 pub use router::{RouteLayer, RoutedCall, Router, RouterConfig, RouterStats, RouterStatsSnapshot};

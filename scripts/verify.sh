@@ -111,6 +111,88 @@ fi
 # marked.
 run "router trace stitching" cargo test -q -p nl2vis-router --test tracing
 
+# Fleet plane (in-process): merged metrics exactness, SLO publication,
+# and cross-replica trace stitching through the FleetServer.
+run "fleet plane (router)" cargo test -q -p nl2vis-router --test fleet
+
+# Fleet plane (multi-process): two REAL server processes — separate
+# flight recorders, separate registries, colliding span-id counters —
+# behind the fleet observer. Asserts /fleet/metrics is a mergeable
+# snapshot whose request count is the exact per-replica sum, /fleet/stats
+# carries SLO burn rates, and the hedged request's /fleet/trace/<id>
+# stitches spans from at least two server processes.
+fleet_smoke() {
+    cargo build -q --release -p nl2vis-router --bin fleet || return 1
+    local bin=target/release/fleet
+    local tmp
+    tmp=$(mktemp -d) || return 1
+    "$bin" serve --stall-ms=80 > "$tmp/slow.log" 2>&1 &
+    local slow_pid=$!
+    "$bin" serve > "$tmp/fast.log" 2>&1 &
+    local fast_pid=$!
+    local i
+    for i in $(seq 50); do
+        grep -q listening "$tmp/slow.log" 2>/dev/null \
+            && grep -q listening "$tmp/fast.log" 2>/dev/null && break
+        sleep 0.1
+    done
+    local slow_addr fast_addr
+    slow_addr=$(awk '/listening/{print $2}' "$tmp/slow.log")
+    fast_addr=$(awk '/listening/{print $2}' "$tmp/fast.log")
+    "$bin" observe --replicas="$slow_addr,$fast_addr" > "$tmp/obs.log" 2>&1 &
+    local obs_pid=$!
+    for i in $(seq 100); do
+        grep -q hedged_trace "$tmp/obs.log" 2>/dev/null && break
+        sleep 0.1
+    done
+    local fleet_addr trace_id status
+    fleet_addr=$(awk '/fleet listening/{print $3}' "$tmp/obs.log")
+    trace_id=$(awk '/hedged_trace/{print $2}' "$tmp/obs.log")
+    python3 - "$fleet_addr" "$trace_id" "$slow_addr" "$fast_addr" <<'EOF'
+import json, sys, urllib.request
+fleet, trace_id, slow, fast = sys.argv[1:5]
+def get(addr, path):
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=5) as r:
+        return json.load(r)
+ok = True
+def check(cond, msg):
+    global ok
+    print(("ok  " if cond else "FAIL") + " " + msg)
+    ok = ok and cond
+a = get(slow, "/metrics.json")
+b = get(fast, "/metrics.json")
+merged = get(fleet, "/fleet/metrics")
+check(merged.get("format") == "nl2vis.metrics.v1",
+      "fleet metrics is itself a mergeable snapshot")
+total = merged["counters"]["llm.requests_total"]
+per = a["counters"]["llm.requests_total"] + b["counters"]["llm.requests_total"]
+check(total == per and total > 0,
+      "fleet request count %d == per-replica sum %d" % (total, per))
+stats = get(fleet, "/fleet/stats")
+check(stats.get("replicas_ok") == 2, "both replicas scraped clean")
+check({s["name"] for s in stats.get("slo", [])} == {"latency", "availability"},
+      "SLO burn rates present in /fleet/stats")
+trace = get(fleet, f"/fleet/trace/{trace_id}")
+check(trace.get("stitched") is True, "fleet trace is a stitched tree")
+procs = set()
+for source in trace.get("sources", []):
+    procs.update(source.get("ids", []))
+servers = sorted(p for p in procs if p != "router")
+check(len(servers) >= 2,
+      "stitched trace has spans from >=2 server processes: %s" % servers)
+text = json.dumps(trace)
+check(text.count('"server.handle"') >= 2,
+      "each racer's server.handle present in the stitched tree")
+sys.exit(0 if ok else 1)
+EOF
+    status=$?
+    kill "$slow_pid" "$fast_pid" "$obs_pid" 2>/dev/null
+    wait "$slow_pid" "$fast_pid" "$obs_pid" 2>/dev/null
+    rm -rf "$tmp"
+    return "$status"
+}
+run "fleet smoke (2 server processes)" fleet_smoke
+
 # Perf trajectory: when a committed BENCH_load.json baseline exists,
 # diff the smoke snapshot against it. Non-fatal — the smoke run uses a
 # reduced config, so this is a warning trail, not a gate.
