@@ -29,6 +29,7 @@ pub mod ncnet;
 pub mod retrieval;
 pub mod rgvisnet;
 pub mod seq2vis;
+pub mod service;
 pub mod t5;
 pub mod transformer;
 
@@ -49,5 +50,6 @@ pub use chat2vis::Chat2Vis;
 pub use ncnet::NcNet;
 pub use rgvisnet::RgVisNet;
 pub use seq2vis::Seq2Vis;
+pub use service::ModelService;
 pub use t5::{T5Model, T5Size};
 pub use transformer::TransformerModel;

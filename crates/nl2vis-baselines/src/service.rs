@@ -1,0 +1,210 @@
+//! Adapter exposing any [`Nl2VisModel`] baseline as a
+//! [`CompletionService`], so trained baselines (T5, ncNet, retrieval
+//! models) compose as tiers in the serving stack next to the simulated
+//! LLMs.
+//!
+//! The baselines consume `(question, grounded database)` while the serving
+//! stack speaks `(prompt, GenOptions)`. This adapter bridges the two: it
+//! recovers the database name and question from the prompt's own markers
+//! (`Database: <name>` from the schema serializers, `Q: <question>` from
+//! the ICL builder), resolves the database through a caller-supplied
+//! resolver, runs the baseline, and prints the predicted query back to VQL
+//! text — the same surface a model completion would present to the
+//! validation gate.
+//!
+//! Failure mapping keeps routing semantics honest:
+//!
+//! - a prompt the adapter cannot read, or a database the resolver does not
+//!   know, is a `Protocol` transport error (the request never reached the
+//!   model);
+//! - a baseline that declines to predict (its generation failure mode) is
+//!   a `Status(422)` — the same channel the validation gate uses — so a
+//!   tiered router escalates past it instead of scoring an empty answer.
+
+use std::sync::Arc;
+
+use nl2vis_data::Database;
+use nl2vis_service::{
+    CompletionOutcome, CompletionService, GenOptions, TransportError, TransportErrorKind,
+    VALIDATION_REJECTED_STATUS,
+};
+
+use crate::Nl2VisModel;
+
+/// Wraps a trained baseline as a completion service (layer tag
+/// `"baseline"`).
+pub struct ModelService<M, R> {
+    model: M,
+    resolve: R,
+}
+
+impl<M, R> ModelService<M, R>
+where
+    M: Nl2VisModel,
+    R: Fn(&str) -> Option<Arc<Database>>,
+{
+    /// Builds the adapter around `model`, resolving database names from
+    /// incoming prompts through `resolve`.
+    pub fn new(model: M, resolve: R) -> ModelService<M, R> {
+        ModelService { model, resolve }
+    }
+}
+
+/// Pulls the grounded database name out of a prompt. Both schema
+/// serializations open with `Database: <name>`; the ICL builder prefixes
+/// demonstration schemas with `-- Database: <name>` and places the test
+/// schema last, so the *last* marker wins.
+fn database_name(prompt: &str) -> Option<&str> {
+    prompt
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim_start_matches("-- ");
+            line.strip_prefix("Database: ")
+        })
+        .next_back()
+        .map(str::trim)
+}
+
+/// Pulls the question out of a prompt: the last `Q: ` line (demonstrations
+/// carry their own `Q: ` lines before the test question).
+fn question(prompt: &str) -> Option<&str> {
+    prompt
+        .lines()
+        .filter_map(|line| line.strip_prefix("Q: "))
+        .next_back()
+        .map(str::trim)
+}
+
+impl<M, R> CompletionService for ModelService<M, R>
+where
+    M: Nl2VisModel,
+    R: Fn(&str) -> Option<Arc<Database>>,
+{
+    fn model(&self) -> &str {
+        self.model.name()
+    }
+
+    fn call(&self, prompt: &str, _opts: &GenOptions) -> CompletionOutcome {
+        let db_name = database_name(prompt).ok_or_else(|| {
+            TransportError::new(
+                TransportErrorKind::Protocol,
+                1,
+                "prompt carries no `Database:` marker".to_string(),
+            )
+        })?;
+        let question = question(prompt).ok_or_else(|| {
+            TransportError::new(
+                TransportErrorKind::Protocol,
+                1,
+                "prompt carries no `Q:` line".to_string(),
+            )
+        })?;
+        let db = (self.resolve)(db_name).ok_or_else(|| {
+            TransportError::new(
+                TransportErrorKind::Protocol,
+                1,
+                format!("unknown database `{db_name}`"),
+            )
+        })?;
+        match self.model.predict(question, &db) {
+            Some(query) => Ok(nl2vis_query::printer::print(&query)),
+            None => Err(TransportError::new(
+                TransportErrorKind::Status(VALIDATION_REJECTED_STATUS),
+                1,
+                format!("{} produced no parse", self.model.name()),
+            )),
+        }
+    }
+
+    fn describe(&self, stack: &mut Vec<&'static str>) {
+        stack.push("baseline");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Seq2Vis, T5Model, T5Size};
+    use nl2vis_corpus::{Corpus, CorpusConfig};
+    use std::collections::BTreeMap;
+
+    fn corpus() -> Corpus {
+        Corpus::build(&CorpusConfig::small(42))
+    }
+
+    fn resolver(corpus: &Corpus) -> impl Fn(&str) -> Option<Arc<Database>> {
+        let dbs: BTreeMap<String, Arc<Database>> = corpus
+            .catalog
+            .iter()
+            .map(|d| (d.name().to_string(), Arc::new(d.clone())))
+            .collect();
+        move |name: &str| dbs.get(name).cloned()
+    }
+
+    fn prompt_for(db: &str, q: &str) -> String {
+        format!("Database: {db}\nTables: t\nColumns: c\n\nQ: {q}\nVQL:")
+    }
+
+    #[test]
+    fn adapter_answers_through_the_service_surface() {
+        let corpus = corpus();
+        let split = corpus.split_in_domain(3);
+        let model = T5Model::train(&corpus, &split.train, T5Size::Base, 7);
+        let svc = ModelService::new(model, resolver(&corpus));
+        let mut answered = 0usize;
+        for &id in split.test.iter().take(20) {
+            let ex = &corpus.examples[id];
+            if let Ok(out) = svc.call(&prompt_for(&ex.db, &ex.nl), &GenOptions::default()) {
+                assert!(
+                    out.to_uppercase().starts_with("VISUALIZE"),
+                    "baseline output is VQL text: {out}"
+                );
+                answered += 1;
+            }
+        }
+        assert!(answered > 0, "T5 answered none of 20 in-domain prompts");
+        assert_eq!(nl2vis_service::stack_of(&svc), vec!["baseline"]);
+    }
+
+    #[test]
+    fn unreadable_prompts_are_protocol_errors_not_answers() {
+        let corpus = corpus();
+        let split = corpus.split_in_domain(3);
+        let model = Seq2Vis::train(&corpus, &split.train);
+        let svc = ModelService::new(model, |_: &str| None::<Arc<Database>>);
+        let err = svc
+            .call("no markers here", &GenOptions::default())
+            .unwrap_err();
+        assert!(matches!(err.kind, TransportErrorKind::Protocol));
+        let err = svc
+            .call(
+                &prompt_for("nowhere_db", "list everything"),
+                &GenOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err.kind, TransportErrorKind::Protocol));
+        assert!(err.to_string().contains("nowhere_db"));
+    }
+
+    #[test]
+    fn a_declined_prediction_rides_the_validation_channel() {
+        let corpus = corpus();
+        let split = corpus.split_in_domain(3);
+        let model = Seq2Vis::train(&corpus, &split.train);
+        let svc = ModelService::new(model, resolver(&corpus));
+        let mut saw_answer = false;
+        for &id in split.test.iter().take(50) {
+            let ex = &corpus.examples[id];
+            match svc.call(&prompt_for(&ex.db, &ex.nl), &GenOptions::default()) {
+                Ok(_) => saw_answer = true,
+                Err(e) => {
+                    assert!(matches!(
+                        e.kind,
+                        TransportErrorKind::Status(VALIDATION_REJECTED_STATUS)
+                    ));
+                }
+            }
+        }
+        assert!(saw_answer, "Seq2Vis answered none of 50 prompts");
+    }
+}

@@ -67,6 +67,7 @@ const ALL: &[&str] = &[
     "hardness",
     "transport",
     "serving",
+    "routing",
     "traces",
     "load",
     "topology",
@@ -165,6 +166,53 @@ fn serving_json(
     Json::object(fields)
 }
 
+/// Folds another serving-shaped document into the pending
+/// `BENCH_serving.json` payload, so `serving routing` in one invocation
+/// yields a single file carrying both the cache comparison and the
+/// routing policy table.
+fn merge_bench_serving(into: &mut Option<nl2vis_data::Json>, doc: nl2vis_data::Json) {
+    let Some(existing) = into else {
+        *into = Some(doc);
+        return;
+    };
+    if let nl2vis_data::Json::Object(members) = doc {
+        for (key, value) in members {
+            existing.set(&key, value);
+        }
+    }
+}
+
+/// Serializes the routing policy table for `BENCH_serving.json`.
+fn routing_json(rows: &[experiments::RoutingRow]) -> nl2vis_data::Json {
+    use nl2vis_data::Json;
+    Json::object(vec![
+        ("experiment", Json::String("serving".to_string())),
+        (
+            "routing",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("policy", Json::String(r.policy.clone())),
+                            ("exact", Json::Number(r.exact)),
+                            ("exec", Json::Number(r.exec)),
+                            ("p50_ms", Json::Number(r.p50_ms)),
+                            ("p99_ms", Json::Number(r.p99_ms)),
+                            ("requests", Json::Number(r.requests as f64)),
+                            ("escalations", Json::Number(r.escalations as f64)),
+                            (
+                                "validation_failures",
+                                Json::Number(r.validation_failures as f64),
+                            ),
+                            ("cost_units", Json::Number(r.cost_units as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Fault spec used by the `transport` experiment when `--fault=` is absent:
 /// enough drops, 500s and deadline-tripping stalls to exercise every retry
 /// path, deterministic under the fixed seed.
@@ -261,6 +309,7 @@ fn main() {
 
     let mut fig9_done = false;
     let mut bench_load_doc: Option<nl2vis_data::Json> = None;
+    let mut bench_serving_doc: Option<nl2vis_data::Json> = None;
     for name in requested {
         let span = obs::span!(format!("bench.{name}"));
         let text = match name {
@@ -292,13 +341,15 @@ fn main() {
                     text.push_str(&overload_text);
                     o
                 });
-                if let Err(e) = std::fs::write(
-                    "BENCH_serving.json",
-                    serving_json(&summary, overload_summary.as_ref(), cache_capacity, fast)
-                        .to_pretty(),
-                ) {
-                    eprintln!("cannot write BENCH_serving.json: {e}");
-                }
+                merge_bench_serving(
+                    &mut bench_serving_doc,
+                    serving_json(&summary, overload_summary.as_ref(), cache_capacity, fast),
+                );
+                text
+            }
+            "routing" => {
+                let (rows, text) = experiments::routing(&ctx);
+                merge_bench_serving(&mut bench_serving_doc, routing_json(&rows));
                 text
             }
             "load" => {
@@ -323,6 +374,11 @@ fn main() {
     if let Some(doc) = bench_load_doc {
         if let Err(e) = std::fs::write("BENCH_load.json", doc.to_pretty()) {
             eprintln!("cannot write BENCH_load.json: {e}");
+        }
+    }
+    if let Some(doc) = bench_serving_doc {
+        if let Err(e) = std::fs::write("BENCH_serving.json", doc.to_pretty()) {
+            eprintln!("cannot write BENCH_serving.json: {e}");
         }
     }
 

@@ -529,6 +529,48 @@ mod tests {
     }
 
     #[test]
+    fn tier_qualified_keys_keep_escalated_results_distinct() {
+        // In a tiered stack each tier's cache wraps that tier's leaf, so
+        // the same prompt answered by the cheap tier and (after
+        // escalation) by the strong tier lands under *different* keys —
+        // an escalated answer can never be served back as the cheap
+        // tier's.
+        let opts = GenOptions::default();
+        let cheap_key = completion_key("gpt-3.5-turbo-16k", &opts, "plot sales by month");
+        let strong_key = completion_key("gpt-4", &opts, "plot sales by month");
+        assert_ne!(cheap_key, strong_key);
+
+        let cache = Arc::new(CompletionCache::in_memory(16));
+        let layer = CacheLayer::with_cache(Arc::clone(&cache));
+        let cheap = layer.layer(nl2vis_service::service_fn("gpt-3.5-turbo-16k", |_, _| {
+            Ok("VISUALIZE BAR".to_string())
+        }));
+        let strong = layer.layer(nl2vis_service::service_fn("gpt-4", |_, _| {
+            Ok("VISUALIZE LINE".to_string())
+        }));
+        assert_eq!(
+            cheap.call("plot sales by month", &opts).unwrap(),
+            "VISUALIZE BAR"
+        );
+        assert_eq!(
+            strong.call("plot sales by month", &opts).unwrap(),
+            "VISUALIZE LINE"
+        );
+        // Both answers coexist in the shared cache, and each tier keeps
+        // serving its own entry on the repeat hit.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cheap.call("plot sales by month", &opts).unwrap(),
+            "VISUALIZE BAR"
+        );
+        assert_eq!(
+            strong.call("plot sales by month", &opts).unwrap(),
+            "VISUALIZE LINE"
+        );
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
     fn persistence_roundtrip_warms_a_fresh_cache() {
         let path = std::env::temp_dir().join(format!(
             "nl2vis-cache-roundtrip-{}.jsonl",

@@ -39,6 +39,7 @@ use crate::sim::{GenOptions, SimLlm};
 use nl2vis_data::Json;
 use nl2vis_obs as obs;
 use nl2vis_obs::{MetricsRegistry, WindowedRegistry};
+use nl2vis_service::CompletionService;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -68,6 +69,40 @@ const DRAIN_GRACE: Duration = Duration::from_millis(250);
 /// exists to protect the workers; it must never park a poller on a slow
 /// peer.
 const POLLER_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// What the server completes against: the simulated model it has always
+/// hosted, or any layered [`CompletionService`] stack — which is how a
+/// [`TieredService`](nl2vis_service::TieredService) is hosted natively.
+///
+/// The split matters on the worker side: server-side batching relies on
+/// [`SimLlm::complete_batch`]'s prompt deduplication, so it only engages
+/// for the `Sim` backend; a `Service` backend serves requests one at a
+/// time (a tier router's escalation decisions are per-request anyway).
+pub(crate) enum Backend {
+    /// The simulated model, with batching.
+    Sim(Arc<SimLlm>),
+    /// A composed completion stack, served request-at-a-time.
+    Service(Arc<dyn CompletionService + Send + Sync>),
+}
+
+impl Backend {
+    /// The model name this backend answers as (`/v1/models`, `/healthz`,
+    /// completion bodies, and the `model` field of request classification).
+    pub(crate) fn model(&self) -> &str {
+        match self {
+            Backend::Sim(llm) => llm.profile.name,
+            Backend::Service(svc) => svc.model(),
+        }
+    }
+
+    /// The simulated model, when that is what this backend is.
+    fn sim(&self) -> Option<&Arc<SimLlm>> {
+        match self {
+            Backend::Sim(llm) => Some(llm),
+            Backend::Service(_) => None,
+        }
+    }
+}
 
 /// The completion request pre-parsed by the poller, so workers can form
 /// batches without re-reading JSON under the queue lock.
@@ -137,7 +172,7 @@ pub(crate) struct Shared {
     draining: AtomicBool,
     config: ServerConfig,
     tuning: ServerTuning,
-    llm: Arc<SimLlm>,
+    backend: Backend,
     registry: Arc<MetricsRegistry>,
     windowed: Arc<WindowedRegistry>,
     faults: Arc<FaultInjector>,
@@ -188,7 +223,7 @@ pub(crate) struct Core {
 
 impl Core {
     pub fn start(
-        llm: SimLlm,
+        backend: Backend,
         registry: Arc<MetricsRegistry>,
         windowed: Arc<WindowedRegistry>,
         faults: Arc<FaultInjector>,
@@ -207,7 +242,7 @@ impl Core {
             draining: AtomicBool::new(false),
             config,
             tuning,
-            llm: Arc::new(llm),
+            backend,
             registry,
             windowed,
             faults,
@@ -581,7 +616,7 @@ impl PollerThread {
         // kernel would otherwise report the body bytes of the *next*
         // pipelined request forever.
         self.poller.deregister(&conn.stream);
-        let parse = classify(&request, &self.shared.llm);
+        let parse = classify(&request, self.shared.backend.model());
         let work = Work {
             conn: token,
             poller: self.index,
@@ -693,7 +728,7 @@ impl PollerThread {
 /// Classifies a request for the worker side: `Some` for completion POSTs
 /// (with the JSON pre-parsed into the batching key), `None` for everything
 /// `route` handles.
-fn classify(request: &Request, llm: &SimLlm) -> Option<CompletionParse> {
+fn classify(request: &Request, model: &str) -> Option<CompletionParse> {
     if request.method != "POST" || request.path != "/v1/completions" {
         return None;
     }
@@ -703,9 +738,9 @@ fn classify(request: &Request, llm: &SimLlm) -> Option<CompletionParse> {
             let requested = json
                 .get("model")
                 .and_then(Json::as_str)
-                .unwrap_or(llm.profile.name)
+                .unwrap_or(model)
                 .to_string();
-            if requested != llm.profile.name {
+            if requested != model {
                 CompletionParse::BadModel(requested)
             } else {
                 let prompt = json
@@ -905,6 +940,12 @@ fn next_batch(shared: &Shared) -> Option<Vec<Work>> {
         queue = shared.ready.wait(queue).expect("work queue");
     };
     let mut batch = vec![first];
+    if shared.backend.sim().is_none() {
+        // Batching amortizes SimLlm's prompt parse via complete_batch; a
+        // composed service backend has no batch entry point (and a tier
+        // router escalates per-request), so it serves singletons.
+        return Some(batch);
+    }
     let Some(key) = batch_key(&batch[0]) else {
         return Some(batch);
     };
@@ -1085,8 +1126,33 @@ fn serve_single(shared: &Shared, pollers: &[Arc<PollerShared>], work: Work) {
                 registry.counter("server.batch.requests_total").inc();
                 registry.counter("server.batch.invocations_total").inc();
                 registry.histogram("server.batch.size").record(1);
-                let completion = shared.llm.complete_with(&call.prompt, &call.opts);
-                (200, completion_json(&shared.llm, &completion), JSON)
+                match &shared.backend {
+                    Backend::Sim(llm) => {
+                        let completion = llm.complete_with(&call.prompt, &call.opts);
+                        (
+                            200,
+                            completion_json(shared.backend.model(), &completion),
+                            JSON,
+                        )
+                    }
+                    Backend::Service(svc) => match svc.call(&call.prompt, &call.opts) {
+                        Ok(completion) => (
+                            200,
+                            completion_json(shared.backend.model(), &completion),
+                            JSON,
+                        ),
+                        Err(e) => {
+                            // The stack exhausted its tiers/retries: surface
+                            // a gateway error, never fabricated model text.
+                            registry.counter("server.backend_errors_total").inc();
+                            let body = Json::object(vec![(
+                                "error",
+                                Json::from(format!("backend failed: {e}").as_str()),
+                            )]);
+                            (502, body.to_compact(), JSON)
+                        }
+                    },
+                }
             }
             Some(CompletionParse::BadModel(requested)) => {
                 let err = Json::object(vec![(
@@ -1104,7 +1170,7 @@ fn serve_single(shared: &Shared, pollers: &[Arc<PollerShared>], work: Work) {
                 &request.method,
                 &request.path,
                 &request.body,
-                &shared.llm,
+                shared.backend.model(),
                 registry,
                 &shared.windowed,
             ),
@@ -1142,9 +1208,13 @@ fn serve_single(shared: &Shared, pollers: &[Arc<PollerShared>], work: Work) {
 fn serve_batch(shared: &Shared, pollers: &[Arc<PollerShared>], works: Vec<Work>) {
     let registry = &shared.registry;
     let n = works.len();
+    let llm = shared
+        .backend
+        .sim()
+        .expect("batches form only for the Sim backend");
     let batch_span = obs::Span::enter_root("server.batch");
     batch_span.annotate("size", &n.to_string());
-    batch_span.annotate("model", shared.llm.profile.name);
+    batch_span.annotate("model", llm.profile.name);
     let batch_trace = batch_span.trace().to_string();
     registry.counter("server.batch.batches_total").inc();
     registry
@@ -1191,7 +1261,7 @@ fn serve_batch(shared: &Shared, pollers: &[Arc<PollerShared>], works: Vec<Work>)
         registry
             .counter("server.batch.dedup_hits_total")
             .add((prompts.len() - unique.len()) as u64);
-        let outputs = shared.llm.complete_batch(&prompts, &opts);
+        let outputs = llm.complete_batch(&prompts, &opts);
         live.iter().copied().zip(outputs).collect()
     };
 
@@ -1221,7 +1291,7 @@ fn serve_batch(shared: &Shared, pollers: &[Arc<PollerShared>], works: Vec<Work>)
                 Json::object(vec![("error", Json::from("injected server error"))]).to_compact(),
             )
         } else {
-            (200, completion_json(&shared.llm, &completions[&i]))
+            (200, completion_json(llm.profile.name, &completions[&i]))
         };
         record_request(
             shared,

@@ -15,6 +15,7 @@ use crate::sim::{GenOptions, SimLlm};
 use nl2vis_data::Json;
 use nl2vis_obs as obs;
 use nl2vis_obs::{MetricsRegistry, WindowedRegistry};
+use nl2vis_service::CompletionService;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -285,9 +286,78 @@ impl CompletionServer {
     }
 
     /// Starts the server with explicit sizing *and* event-core tuning —
-    /// the full constructor every other `start_*` delegates to.
+    /// the full constructor every other SimLlm-hosting `start_*`
+    /// delegates to.
     pub fn start_with_tuning(
         llm: SimLlm,
+        registry: Arc<MetricsRegistry>,
+        faults: FaultInjector,
+        config: ServerConfig,
+        tuning: ServerTuning,
+    ) -> Result<CompletionServer, HttpError> {
+        CompletionServer::start_backend(
+            event::Backend::Sim(Arc::new(llm)),
+            registry,
+            faults,
+            config,
+            tuning,
+        )
+    }
+
+    /// Hosts a composed [`CompletionService`] stack — e.g. a
+    /// [`TieredService`](nl2vis_service::TieredService) — natively behind
+    /// the HTTP surface, on the global registry. The server answers as
+    /// the stack's [`model`](CompletionService::model); server-side
+    /// batching is disabled (the stack decides per-request).
+    pub fn start_with_service<S>(service: S) -> Result<CompletionServer, HttpError>
+    where
+        S: CompletionService + Send + Sync + 'static,
+    {
+        CompletionServer::start_with_service_registry(service, Arc::clone(obs::global()))
+    }
+
+    /// Like [`CompletionServer::start_with_service`], against an explicit
+    /// registry.
+    pub fn start_with_service_registry<S>(
+        service: S,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<CompletionServer, HttpError>
+    where
+        S: CompletionService + Send + Sync + 'static,
+    {
+        CompletionServer::start_backend(
+            event::Backend::Service(Arc::new(service)),
+            registry,
+            FaultInjector::none(),
+            ServerConfig::default(),
+            ServerTuning::default(),
+        )
+    }
+
+    /// Like [`CompletionServer::start_with_service_registry`], with
+    /// explicit fault injection and admission configuration — the load
+    /// harness path, where tiered stacks still want injected service
+    /// times and a bounded accept queue.
+    pub fn start_with_service_config<S>(
+        service: S,
+        registry: Arc<MetricsRegistry>,
+        faults: FaultInjector,
+        config: ServerConfig,
+    ) -> Result<CompletionServer, HttpError>
+    where
+        S: CompletionService + Send + Sync + 'static,
+    {
+        CompletionServer::start_backend(
+            event::Backend::Service(Arc::new(service)),
+            registry,
+            faults,
+            config,
+            ServerTuning::default(),
+        )
+    }
+
+    fn start_backend(
+        backend: event::Backend,
         registry: Arc<MetricsRegistry>,
         faults: FaultInjector,
         config: ServerConfig,
@@ -300,7 +370,7 @@ impl CompletionServer {
         let faults = Arc::new(faults);
         let windowed = Arc::new(WindowedRegistry::new(obs::WindowConfig::seconds_10()));
         let core = event::Core::start(
-            llm,
+            backend,
             Arc::clone(&registry),
             Arc::clone(&windowed),
             Arc::clone(&faults),
@@ -520,10 +590,10 @@ pub(crate) fn respond(
 }
 
 /// Renders the OpenAI-style completion response body.
-pub(crate) fn completion_json(llm: &SimLlm, completion: &str) -> String {
+pub(crate) fn completion_json(model: &str, completion: &str) -> String {
     Json::object(vec![
         ("object", Json::from("text_completion")),
-        ("model", Json::from(llm.profile.name)),
+        ("model", Json::from(model)),
         (
             "choices",
             Json::Array(vec![Json::object(vec![
@@ -608,7 +678,7 @@ pub(crate) fn route(
     method: &str,
     path: &str,
     _body: &str,
-    llm: &SimLlm,
+    model: &str,
     registry: &MetricsRegistry,
     windowed: &WindowedRegistry,
 ) -> (u16, String, &'static str) {
@@ -616,10 +686,7 @@ pub(crate) fn route(
         ("GET", "/v1/models") => {
             let response = Json::object(vec![(
                 "data",
-                Json::Array(vec![Json::object(vec![(
-                    "id",
-                    Json::from(llm.profile.name),
-                )])]),
+                Json::Array(vec![Json::object(vec![("id", Json::from(model))])]),
             )]);
             (200, response.to_compact(), JSON)
         }
@@ -665,7 +732,7 @@ pub(crate) fn route(
             200,
             Json::object(vec![
                 ("status", Json::from("ok")),
-                ("model", Json::from(llm.profile.name)),
+                ("model", Json::from(model)),
             ])
             .to_compact(),
             JSON,

@@ -138,6 +138,15 @@ impl ModelProfile {
             .into_iter()
             .find(|p| p.name == name)
     }
+
+    /// Abstract cost units charged per request to this model, for the
+    /// tiered router's budget accounting. Derived from the Table 4 cost
+    /// model: decoding latency is the dominant per-token cost, so a tier's
+    /// weight is its `ms_per_token` rounded up — `gpt-3.5-turbo-16k` is
+    /// the cheap tier (9), `gpt-4` the expensive one (38).
+    pub fn cost_units(&self) -> u64 {
+        self.ms_per_token.ceil() as u64
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +171,10 @@ mod tests {
         // The paper's surprising finding: turbo-16k underperforms davinci-003.
         assert!(t16.base_error > d3.base_error);
         assert!(t16.context_tokens > d3.context_tokens);
+        // Cost ordering for the tiered router: turbo is the cheap tier,
+        // gpt-4 the expensive quality floor.
+        assert!(t16.cost_units() < d3.cost_units());
+        assert!(d3.cost_units() < g4.cost_units());
     }
 
     #[test]

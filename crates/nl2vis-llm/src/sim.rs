@@ -673,20 +673,9 @@ pub fn distinct_demo_schemas(view: &PromptView) -> usize {
     seen.len()
 }
 
-/// Extracts the VQL text from a model completion: the text after a `VQL:`
-/// marker when present, else the first line starting with `VISUALIZE`.
-pub fn extract_vql(completion: &str) -> Option<&str> {
-    if let Some(pos) = completion.rfind("VQL:") {
-        let rest = completion[pos + 4..].trim();
-        if !rest.is_empty() {
-            return Some(rest.lines().next().unwrap().trim());
-        }
-    }
-    completion
-        .lines()
-        .map(str::trim)
-        .find(|l| l.to_ascii_uppercase().starts_with("VISUALIZE"))
-}
+// Re-exported from the query crate (it moved next to the parser it feeds,
+// so the serving-stack validation gate shares the same extraction rule).
+pub use nl2vis_query::extract_vql;
 
 /// A stable digest of a recovered schema (names, attribution, keys) — the
 /// information content the difficulty draw conditions on.

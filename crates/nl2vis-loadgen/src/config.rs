@@ -6,6 +6,8 @@
 //! `--threads=32 --duration=60 --rate=open:500 --skew=zipf:1.1` scales it
 //! up.
 
+use nl2vis_llm::ModelProfile;
+use nl2vis_service::RoutePolicy;
 use std::time::Duration;
 
 /// How the load generator schedules request starts.
@@ -123,6 +125,13 @@ pub struct LoadConfig {
     /// Model profile name (`text-davinci-003`, `gpt-4`,
     /// `gpt-3.5-turbo-16k`).
     pub model: String,
+    /// Tier names for a tiered self-hosted server, registration
+    /// (cheap → strong) order. Each entry is a model profile name or the
+    /// literal `bad` (a deliberately broken tier whose every completion
+    /// fails validation — the escalation smoke case). Empty = untiered.
+    pub tiers: Vec<String>,
+    /// Routing policy when `--tiers` is set.
+    pub route_policy: RoutePolicy,
 }
 
 impl Default for LoadConfig {
@@ -148,6 +157,8 @@ impl Default for LoadConfig {
             report: Duration::from_secs(2),
             seed: 42,
             model: "text-davinci-003".to_string(),
+            tiers: Vec::new(),
+            route_policy: RoutePolicy::CheapFirst,
         }
     }
 }
@@ -308,6 +319,25 @@ impl LoadConfig {
                     config.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
                 }
                 "--model" => config.model = value.to_string(),
+                "--tiers" => {
+                    config.tiers = value
+                        .split(',')
+                        .map(|t| {
+                            let t = t.trim();
+                            if t == "bad" || ModelProfile::by_name(t).is_some() {
+                                Ok(t.to_string())
+                            } else {
+                                Err(format!(
+                                    "unknown tier `{t}` (want a model profile name or `bad`)"
+                                ))
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "--route-policy" => {
+                    config.route_policy =
+                        RoutePolicy::parse(value).map_err(|e| format!("--route-policy: {e}"))?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -383,6 +413,31 @@ mod tests {
         let off = LoadConfig::parse_args(["--tail=off", "--hedge-ms=0"]).unwrap();
         assert_eq!(off.tail_prob, 0.0);
         assert_eq!(off.hedge_ms, 0);
+    }
+
+    #[test]
+    fn tier_flags_parse_strictly() {
+        let config = LoadConfig::parse_args([
+            "--tiers=bad,gpt-3.5-turbo-16k,gpt-4",
+            "--route-policy=budget:200",
+        ])
+        .unwrap();
+        assert_eq!(config.tiers, vec!["bad", "gpt-3.5-turbo-16k", "gpt-4"]);
+        assert_eq!(config.route_policy, RoutePolicy::BudgetCapped(200));
+        assert_eq!(
+            LoadConfig::parse_args(["--route-policy=quality-first"])
+                .unwrap()
+                .route_policy,
+            RoutePolicy::QualityFirst
+        );
+        // Defaults: untiered, cheap-first.
+        assert!(LoadConfig::default().tiers.is_empty());
+        assert_eq!(LoadConfig::default().route_policy, RoutePolicy::CheapFirst);
+        // Typos are rejected, never defaulted.
+        assert!(LoadConfig::parse_args(["--tiers=gpt-5"]).is_err());
+        assert!(LoadConfig::parse_args(["--tiers="]).is_err());
+        assert!(LoadConfig::parse_args(["--route-policy=cheapest"]).is_err());
+        assert!(LoadConfig::parse_args(["--route-policy=budget:lots"]).is_err());
     }
 
     #[test]

@@ -58,6 +58,11 @@ struct RunKey {
     /// hedged run and an unhedged one at the same topology are different
     /// experiments, never comparable.
     hedge_ms: i64,
+    /// `policy/tier,tier,...` of a tiered run; empty for untiered runs
+    /// and for pre-routing rows. A tiered run's latency includes
+    /// escalation round-trips, so it never compares against an untiered
+    /// run (or a different tier stack) at the same thread count.
+    tiers: String,
 }
 
 impl std::fmt::Display for RunKey {
@@ -68,6 +73,9 @@ impl std::fmt::Display for RunKey {
         }
         if self.hedge_ms != 0 {
             write!(f, " hedge={}ms", self.hedge_ms)?;
+        }
+        if !self.tiers.is_empty() {
+            write!(f, " tiers={}", self.tiers)?;
         }
         Ok(())
     }
@@ -83,6 +91,23 @@ fn run_key(run: &Json) -> RunKey {
             .to_string(),
         replicas: run.get("replicas").and_then(Json::as_f64).unwrap_or(1.0) as i64,
         hedge_ms: run.get("hedge_ms").and_then(Json::as_f64).unwrap_or(0.0) as i64,
+        tiers: run
+            .get("tiers")
+            .map(|t| {
+                let names = t
+                    .get("tiers")
+                    .and_then(Json::as_array)
+                    .map(|rows| {
+                        rows.iter()
+                            .filter_map(|r| r.get("name").and_then(Json::as_str))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .unwrap_or_default();
+                let policy = t.get("policy").and_then(Json::as_str).unwrap_or("?");
+                format!("{policy}/{names}")
+            })
+            .unwrap_or_default(),
     }
 }
 
@@ -376,6 +401,68 @@ mod tests {
         let report = diff(&old, &new, 0.2);
         assert_eq!(report.unmatched, 0, "{:?}", report.unmatched_baseline);
         assert!(report.strict_clean(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn pre_routing_baselines_match_routing_era_candidates() {
+        // A baseline written before tiered routing existed has no `tiers`
+        // or `route_policy` members anywhere. An *untiered* candidate row
+        // from the routing-era harness adds the top-level fields (empty
+        // stack, default policy) but no per-run `tiers` object. Keys must
+        // still match and the diff stays clean.
+        let old = Json::parse(
+            r#"{"experiment":"load","runs":[{"threads":8,"rate":"open:500",
+                "throughput_rps":500.0,"shed_rate":0.0,
+                "latency_ms":{"e2e_corrected":{"p50_ms":1.0,"p99_ms":12.0}}}]}"#,
+        )
+        .unwrap();
+        let new = Json::parse(
+            r#"{"experiment":"load","tiers":[],"route_policy":"cheap-first",
+                "runs":[{"threads":8,"rate":"open:500","replicas":1,"hedge_ms":0,
+                "throughput_rps":505.0,"shed_rate":0.0,
+                "latency_ms":{"e2e_corrected":{"p50_ms":1.0,"p99_ms":12.2}}}]}"#,
+        )
+        .unwrap();
+        let report = diff(&old, &new, 0.2);
+        assert_eq!(report.unmatched, 0, "{:?}", report.unmatched_baseline);
+        assert!(report.strict_clean(), "{:?}", report.regressions);
+    }
+
+    fn tiered_doc(policy: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"experiment":"load","runs":[{{"threads":8,"rate":"open:500",
+                "throughput_rps":480.0,"shed_rate":0.0,
+                "latency_ms":{{"e2e_corrected":{{"p50_ms":1.2,"p99_ms":14.0}}}},
+                "tiers":{{"policy":"{policy}","requests_total":100,
+                    "escalations_total":12,"cost_units":1300,
+                    "tiers":[{{"name":"gpt-3.5-turbo-16k","requests":100,"escalations":12}},
+                             {{"name":"gpt-4","requests":12,"escalations":0}}]}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn tier_stack_separates_otherwise_identical_runs() {
+        // Tiered vs untiered at the same threads/rate: a tiered run's
+        // latency includes escalation round-trips, so they never compare.
+        let report = diff(&doc(8, 500.0, 12.0, 0.0), &tiered_doc("cheap-first"), 0.2);
+        assert_eq!(report.unmatched, 2);
+        assert!(report.clean());
+        assert!(report
+            .unmatched_candidate
+            .iter()
+            .any(|k| k.contains("tiers=cheap-first/gpt-3.5-turbo-16k,gpt-4")));
+        // Same stack, different policy: still different experiments.
+        let report = diff(
+            &tiered_doc("cheap-first"),
+            &tiered_doc("quality-first"),
+            0.2,
+        );
+        assert_eq!(report.unmatched, 2);
+        // Identical stack and policy: comparable.
+        let report = diff(&tiered_doc("cheap-first"), &tiered_doc("cheap-first"), 0.2);
+        assert_eq!(report.unmatched, 0);
+        assert!(report.strict_clean());
     }
 
     #[test]

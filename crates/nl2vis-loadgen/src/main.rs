@@ -78,6 +78,9 @@ flags (all --key=value):
   --report=SECS        live progress interval, 0 = quiet    [2]
   --seed=N             prompt sampling seed                 [42]
   --model=NAME         model profile                        [text-davinci-003]
+  --tiers=T[,T..]      tiered self-hosted stack, cheap to
+                       strong; model names or `bad`         [untiered]
+  --route-policy=P     cheap-first|quality-first|budget:N   [cheap-first]
 "
     .to_string()
 }

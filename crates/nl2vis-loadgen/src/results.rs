@@ -75,6 +75,9 @@ pub fn run_json(run: &RunStats) -> Json {
     if let Some(fleet) = &run.fleet {
         fields.push(("fleet", fleet.clone()));
     }
+    if let Some(tiers) = &run.tiers {
+        fields.push(("tiers", tiers.clone()));
+    }
     if let Some(stats) = &run.server_stats {
         fields.push(("server_stats", stats.clone()));
     }
@@ -98,6 +101,20 @@ pub fn bench_json(config: &LoadConfig, runs: &[RunStats]) -> Json {
         ("warmup_s", Json::Number(config.warmup.as_secs_f64())),
         ("duration_s", Json::Number(config.duration.as_secs_f64())),
         ("seed", Json::from(config.seed as i64)),
+        (
+            "tiers",
+            Json::Array(
+                config
+                    .tiers
+                    .iter()
+                    .map(|t| Json::from(t.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "route_policy",
+            Json::from(config.route_policy.name().as_str()),
+        ),
         ("runs", Json::Array(runs.iter().map(run_json).collect())),
     ])
 }

@@ -32,6 +32,9 @@ use nl2vis_obs as obs;
 use nl2vis_obs::{Histogram, HistogramSummary, MetricsRegistry, WindowConfig, WindowedRegistry};
 use nl2vis_router::fleet::{FleetConfig, FleetObserver};
 use nl2vis_router::{Router, RouterConfig, RouterStatsSnapshot};
+use nl2vis_service::{
+    service_fn, Layer, RouteLayer, TieredService, ValidateLayer, VqlSyntaxValidator,
+};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,6 +81,10 @@ pub struct RunStats {
     /// The fleet observer's final `/fleet/stats` view (`--dashboard`
     /// runs): merged + per-replica rollup and SLO burn rates.
     pub fleet: Option<Json>,
+    /// Tier routing telemetry for `--tiers` runs: policy, per-tier
+    /// request/escalation counts, validation failures, and cost units —
+    /// the deltas this run put on the `route.*` counters.
+    pub tiers: Option<Json>,
 }
 
 impl RunStats {
@@ -147,11 +154,89 @@ pub struct RunTarget {
     servers: Vec<nl2vis_llm::http::CompletionServer>,
 }
 
+/// Composes the tiered completion service for a `--tiers` run. Every
+/// non-final tier is validation-gated: a completion that fails the VQL
+/// syntax check comes back as a 422 and the router escalates. The final
+/// tier answers unconditionally (the quality floor). A `bad` tier is a
+/// deliberately broken backend whose every answer fails the gate.
+fn build_tiers(config: &LoadConfig) -> Result<TieredService, String> {
+    let mut route = RouteLayer::new(config.route_policy).model("tiered");
+    let last = config.tiers.len().saturating_sub(1);
+    for (i, name) in config.tiers.iter().enumerate() {
+        let gated = i < last;
+        if name == "bad" {
+            let leaf = service_fn("bad", |_, _| Ok("I cannot answer that.".to_string()));
+            route = if gated {
+                route.tier("bad", 1, ValidateLayer::new(VqlSyntaxValidator).layer(leaf))
+            } else {
+                route.tier("bad", 1, leaf)
+            };
+        } else {
+            let profile = ModelProfile::by_name(name)
+                .ok_or_else(|| format!("unknown tier model `{name}`"))?;
+            let cost = profile.cost_units();
+            let llm = SimLlm::new(profile, config.seed);
+            route = if gated {
+                route.tier(
+                    name.clone(),
+                    cost,
+                    ValidateLayer::new(VqlSyntaxValidator).layer(llm),
+                )
+            } else {
+                route.tier(name.clone(), cost, llm)
+            };
+        }
+    }
+    route.build()
+}
+
 impl RunTarget {
     /// Resolves the configured target, starting the in-process replica
     /// fleet for [`Target::SelfHosted`].
     pub fn start(config: &LoadConfig) -> Result<RunTarget, String> {
         let model = config.model.clone();
+        if !config.tiers.is_empty() {
+            if config.target != Target::SelfHosted {
+                return Err("--tiers needs --server=self (the harness owns the stack)".to_string());
+            }
+            if config.replicas > 1 {
+                return Err(
+                    "--tiers and --replicas don't combine (one routing layer per run)".to_string(),
+                );
+            }
+            let tiered = build_tiers(config)?;
+            let model = "tiered".to_string();
+            let faults = if config.service_ms > 0 || config.tail_prob > 0.0 {
+                FaultInjector::random_with_tail(
+                    1,
+                    0.0,
+                    0.0,
+                    if config.service_ms > 0 { 1.0 } else { 0.0 },
+                    Duration::from_millis(config.service_ms),
+                    config.tail_prob,
+                    Duration::from_millis(config.tail_ms),
+                )
+            } else {
+                FaultInjector::none()
+            };
+            let server = nl2vis_llm::http::CompletionServer::start_with_service_config(
+                tiered,
+                Arc::new(MetricsRegistry::new()),
+                faults,
+                ServerConfig {
+                    max_inflight: config.server_workers,
+                    queue_depth: config.server_queue,
+                    retry_after: Duration::from_millis(5),
+                },
+            )
+            .map_err(|e| format!("tiered server start failed: {e}"))?;
+            return Ok(RunTarget {
+                addr: server.address(),
+                addrs: vec![server.address()],
+                model,
+                servers: vec![server],
+            });
+        }
         match &config.target {
             Target::Remote(addr) => {
                 if config.replicas > 1 {
@@ -242,6 +327,68 @@ impl RunTarget {
     }
 }
 
+/// Point-in-time read of the `route.*` counters a tiered run moves; two
+/// snapshots bracket a run, and their difference is that run's telemetry
+/// (the counters are process-global, so a thread sweep accumulates).
+struct RouteCounters {
+    requests: u64,
+    escalations: u64,
+    validation_failures: u64,
+    cost_units: u64,
+    /// `(tier name, requests, escalations)` per configured tier.
+    per_tier: Vec<(String, u64, u64)>,
+}
+
+fn route_counters(tiers: &[String]) -> RouteCounters {
+    let g = obs::global();
+    RouteCounters {
+        requests: g.counter("route.tier.requests_total").get(),
+        escalations: g.counter("route.tier.escalations_total").get(),
+        validation_failures: g.counter("route.tier.validation_failures_total").get(),
+        cost_units: g.counter("route.cost_units").get(),
+        per_tier: tiers
+            .iter()
+            .map(|t| {
+                (
+                    t.clone(),
+                    g.counter(&format!("route.tier.{t}.requests_total")).get(),
+                    g.counter(&format!("route.tier.{t}.escalations_total"))
+                        .get(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl RouteCounters {
+    /// The run's tier telemetry as a JSON object: this snapshot minus
+    /// `before`.
+    fn delta_json(&self, before: &RouteCounters, policy: &str) -> Json {
+        let rows: Vec<String> = self
+            .per_tier
+            .iter()
+            .zip(&before.per_tier)
+            .map(|((name, reqs, escs), (_, reqs0, escs0))| {
+                format!(
+                    "{{\"name\":\"{name}\",\"requests\":{},\"escalations\":{}}}",
+                    reqs - reqs0,
+                    escs - escs0,
+                )
+            })
+            .collect();
+        let text = format!(
+            "{{\"policy\":\"{policy}\",\"requests_total\":{},\"escalations_total\":{},\
+             \"validation_failures_total\":{},\"cost_units\":{},\"tiers\":[{}]}}",
+            self.requests - before.requests,
+            self.escalations - before.escalations,
+            self.validation_failures - before.validation_failures,
+            self.cost_units - before.cost_units,
+            rows.join(","),
+        );
+        Json::parse(&text).expect("tier telemetry is well-formed JSON")
+    }
+}
+
 /// Runs warmup + measurement at one thread count against `target`.
 pub fn run_once(
     config: &LoadConfig,
@@ -249,6 +396,7 @@ pub fn run_once(
     target: &RunTarget,
     pool: &Arc<PromptPool>,
 ) -> RunStats {
+    let route_before = (!config.tiers.is_empty()).then(|| route_counters(&config.tiers));
     let shared = Arc::new(RunShared {
         epoch: Instant::now(),
         measure_from: config.warmup,
@@ -357,6 +505,9 @@ pub fn run_once(
         },
         router: router.map(|r| r.stats().snapshot()),
         fleet,
+        tiers: route_before.map(|before| {
+            route_counters(&config.tiers).delta_json(&before, &config.route_policy.name())
+        }),
     }
 }
 

@@ -3,6 +3,7 @@
 //! rejecting queries that reference unknown or ambiguous names.
 
 use crate::ast::*;
+use crate::component::Component;
 use crate::error::QueryError;
 use nl2vis_data::value::DataType;
 use nl2vis_data::{Database, Table};
@@ -67,8 +68,9 @@ pub fn bind<'a>(query: &'a VqlQuery, db: &'a Database) -> Result<BoundQuery<'a>,
             .table(&j.table)
             .map_err(|_| QueryError::UnknownTable(j.table.clone()))?;
         sources.push(joined);
-        let left = resolve(&sources, &j.left)?;
-        let right = resolve(&sources, &j.right)?;
+        let left = resolve(&sources, &j.left).map_err(|e| e.in_component(Component::TableJoin))?;
+        let right =
+            resolve(&sources, &j.right).map_err(|e| e.in_component(Component::TableJoin))?;
         // Normalize so the left key addresses source 0 and the right key
         // source 1, regardless of how the author wrote the ON clause.
         let (l, r) = if left.0 == 0 && right.0 == 1 {
@@ -79,17 +81,18 @@ pub fn bind<'a>(query: &'a VqlQuery, db: &'a Database) -> Result<BoundQuery<'a>,
             return Err(QueryError::AmbiguousColumn(format!(
                 "join keys must come from both tables: {} = {}",
                 j.left, j.right
-            )));
+            ))
+            .in_component(Component::TableJoin));
         };
         join_keys = Some((l, r));
     }
 
-    let x = bind_expr(&sources, &query.x)?;
-    let y = bind_expr(&sources, &query.y)?;
+    let x = bind_expr(&sources, &query.x).map_err(|e| e.in_component(Component::AxisX))?;
+    let y = bind_expr(&sources, &query.y).map_err(|e| e.in_component(Component::AxisY))?;
 
     let bin = match &query.bin {
         Some(b) => {
-            let addr = resolve(&sources, &b.column)?;
+            let addr = resolve(&sources, &b.column).map_err(|e| e.in_component(Component::Bin))?;
             let dtype = column_type(&sources, addr);
             if dtype != DataType::Date {
                 return Err(QueryError::NotTemporal(b.column.to_string()));
@@ -102,10 +105,10 @@ pub fn bind<'a>(query: &'a VqlQuery, db: &'a Database) -> Result<BoundQuery<'a>,
     // The first GROUP BY key must resolve (it is normally the X column); the
     // optional second key is the color/series column.
     for g in &query.group_by {
-        resolve(&sources, g)?;
+        resolve(&sources, g).map_err(|e| e.in_component(Component::Group))?;
     }
     let color = match query.group_by.get(1) {
-        Some(c) => Some(resolve(&sources, c)?),
+        Some(c) => Some(resolve(&sources, c).map_err(|e| e.in_component(Component::Group))?),
         None => None,
     };
 
@@ -115,7 +118,7 @@ pub fn bind<'a>(query: &'a VqlQuery, db: &'a Database) -> Result<BoundQuery<'a>,
         ..
     }) = &query.order
     {
-        resolve(&sources, c)?;
+        resolve(&sources, c).map_err(|e| e.in_component(Component::Order))?;
     }
 
     Ok(BoundQuery {
@@ -253,23 +256,36 @@ mod tests {
             "VISUALIZE bar SELECT dept_id , COUNT(name) FROM employee JOIN department ON employee.dept_id = department.dept_id",
         )
         .unwrap();
-        assert!(matches!(bind(&q, &d), Err(QueryError::AmbiguousColumn(_))));
+        let e = bind(&q, &d).unwrap_err();
+        assert_eq!(e.component(), Some(Component::AxisX));
+        assert!(matches!(
+            &e,
+            QueryError::In { source, .. } if matches!(&**source, QueryError::AmbiguousColumn(_))
+        ));
     }
 
     #[test]
     fn unknown_names_rejected() {
         let d = db();
         let q = parse("VISUALIZE bar SELECT nope , COUNT(nope) FROM employee").unwrap();
-        assert!(matches!(bind(&q, &d), Err(QueryError::UnknownColumn(_))));
+        let e = bind(&q, &d).unwrap_err();
+        assert_eq!(e.component(), Some(Component::AxisX));
         let q = parse("VISUALIZE bar SELECT name , COUNT(name) FROM nope").unwrap();
-        assert!(matches!(bind(&q, &d), Err(QueryError::UnknownTable(_))));
+        let e = bind(&q, &d).unwrap_err();
+        assert!(matches!(e, QueryError::UnknownTable(_)));
+        assert_eq!(e.component(), Some(Component::TableJoin));
     }
 
     #[test]
     fn sum_on_text_rejected() {
         let d = db();
         let q = parse("VISUALIZE bar SELECT name , SUM(name) FROM employee").unwrap();
-        assert!(matches!(bind(&q, &d), Err(QueryError::NotNumeric { .. })));
+        let e = bind(&q, &d).unwrap_err();
+        assert_eq!(e.component(), Some(Component::AxisY));
+        assert!(matches!(
+            &e,
+            QueryError::In { source, .. } if matches!(&**source, QueryError::NotNumeric { .. })
+        ));
     }
 
     #[test]

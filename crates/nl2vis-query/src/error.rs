@@ -1,6 +1,39 @@
 //! Query-layer errors: lexing, parsing, binding and execution.
 
+use crate::component::Component;
 use std::fmt;
+
+/// Which check of the query pipeline rejected the query.
+///
+/// Escalation predicates in the serving stack key off this: a [`Syntax`]
+/// failure means the completion was unparseable, while [`Binding`] and
+/// [`Execution`] failures mean the model produced a well-formed query that
+/// references the schema wrongly or breaks at runtime — different failure
+/// taxonomies in the paper's Fig. 11 analysis, and different routing signals.
+///
+/// [`Syntax`]: CheckStage::Syntax
+/// [`Binding`]: CheckStage::Binding
+/// [`Execution`]: CheckStage::Execution
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckStage {
+    /// The text did not lex or parse as VQL.
+    Syntax,
+    /// The query parsed but a table/column reference did not resolve
+    /// (or resolved to an incompatible type) against the database schema.
+    Binding,
+    /// The query bound but failed while executing against the data.
+    Execution,
+}
+
+impl fmt::Display for CheckStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckStage::Syntax => "syntax",
+            CheckStage::Binding => "binding",
+            CheckStage::Execution => "execution",
+        })
+    }
+}
 
 /// Errors raised while lexing, parsing, binding or executing VQL.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +76,55 @@ pub enum QueryError {
     },
     /// Underlying data-layer error.
     Data(nl2vis_data::DataError),
+    /// An error attributed to a specific query component (clause), so
+    /// callers can tell *where* a well-formed query went wrong.
+    In {
+        /// The clause/component the failure occurred in.
+        component: Component,
+        /// The underlying failure.
+        source: Box<QueryError>,
+    },
+}
+
+impl QueryError {
+    /// The check stage this error belongs to.
+    pub fn stage(&self) -> CheckStage {
+        match self {
+            QueryError::Lex { .. } | QueryError::Parse { .. } => CheckStage::Syntax,
+            QueryError::UnknownTable(_)
+            | QueryError::UnknownColumn(_)
+            | QueryError::AmbiguousColumn(_)
+            | QueryError::NotNumeric { .. }
+            | QueryError::NotTemporal(_) => CheckStage::Binding,
+            QueryError::Incomparable { .. } | QueryError::Data(_) => CheckStage::Execution,
+            QueryError::In { source, .. } => source.stage(),
+        }
+    }
+
+    /// The query component the failure occurred in, when known.
+    ///
+    /// Explicit [`QueryError::In`] attribution wins; otherwise a couple of
+    /// variants imply their clause by construction.
+    pub fn component(&self) -> Option<Component> {
+        match self {
+            QueryError::In { component, .. } => Some(*component),
+            QueryError::UnknownTable(_) => Some(Component::TableJoin),
+            QueryError::NotTemporal(_) => Some(Component::Bin),
+            _ => None,
+        }
+    }
+
+    /// Attributes this error to `component`, unless it already carries one
+    /// (the innermost attribution — closest to the raise site — wins).
+    pub fn in_component(self, component: Component) -> QueryError {
+        match self {
+            QueryError::In { .. } => self,
+            other => QueryError::In {
+                component,
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -65,6 +147,7 @@ impl fmt::Display for QueryError {
                 write!(f, "cannot compare column `{column}` with literal {literal}")
             }
             QueryError::Data(e) => write!(f, "data error: {e}"),
+            QueryError::In { component, source } => write!(f, "in {component}: {source}"),
         }
     }
 }
@@ -94,5 +177,52 @@ mod tests {
         .contains("byte 4"));
         let e: QueryError = nl2vis_data::DataError::UnknownTable("q".into()).into();
         assert!(matches!(e, QueryError::Data(_)));
+    }
+
+    #[test]
+    fn stages_partition_the_variants() {
+        assert_eq!(
+            QueryError::Parse {
+                offset: 0,
+                message: "x".into()
+            }
+            .stage(),
+            CheckStage::Syntax
+        );
+        assert_eq!(
+            QueryError::UnknownColumn("c".into()).stage(),
+            CheckStage::Binding
+        );
+        assert_eq!(
+            QueryError::Incomparable {
+                column: "c".into(),
+                literal: "1".into()
+            }
+            .stage(),
+            CheckStage::Execution
+        );
+    }
+
+    #[test]
+    fn component_attribution_wraps_once_and_wins() {
+        let e = QueryError::UnknownColumn("c".into())
+            .in_component(Component::AxisX)
+            .in_component(Component::Where);
+        assert_eq!(e.component(), Some(Component::AxisX));
+        assert_eq!(e.stage(), CheckStage::Binding);
+        assert_eq!(e.to_string(), "in axis-x: unknown column `c`");
+    }
+
+    #[test]
+    fn implied_components_without_wrapping() {
+        assert_eq!(
+            QueryError::UnknownTable("t".into()).component(),
+            Some(Component::TableJoin)
+        );
+        assert_eq!(
+            QueryError::NotTemporal("d".into()).component(),
+            Some(Component::Bin)
+        );
+        assert_eq!(QueryError::UnknownColumn("c".into()).component(), None);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::ast::*;
 use crate::bind::{bind, column_type, BoundExpr, ColAddr};
+use crate::component::Component;
 use crate::error::QueryError;
 use nl2vis_data::{Database, Value};
 use std::collections::{HashMap, HashSet};
@@ -419,7 +420,8 @@ fn eval_predicate(
                 return Err(QueryError::Incomparable {
                     column: col.to_string(),
                     literal: value.to_string(),
-                });
+                }
+                .in_component(crate::component::Component::Where));
             }
             let ord = cell.cmp(&lit);
             Ok(match op {
@@ -452,9 +454,10 @@ fn eval_predicate(
 pub fn eval_subquery(sq: &SubQuery, db: &Database) -> Result<HashSet<Value>, QueryError> {
     let table = db
         .table(&sq.from)
-        .map_err(|_| QueryError::UnknownTable(sq.from.clone()))?;
+        .map_err(|_| QueryError::UnknownTable(sq.from.clone()).in_component(Component::Subquery))?;
     let sources = vec![table];
-    let col = crate::bind::resolve(&sources, &sq.select)?;
+    let col = crate::bind::resolve(&sources, &sq.select)
+        .map_err(|e| e.in_component(Component::Subquery))?;
     let mut out = HashSet::new();
     for (ri, row) in table.rows().iter().enumerate() {
         let keep = match &sq.filter {
@@ -713,8 +716,14 @@ mod tests {
         let e = execute(
             &parse("VISUALIZE bar SELECT name , age FROM technician WHERE name > 5").unwrap(),
             &db(),
-        );
-        assert!(matches!(e, Err(QueryError::Incomparable { .. })));
+        )
+        .unwrap_err();
+        assert_eq!(e.component(), Some(Component::Where));
+        assert_eq!(e.stage(), crate::error::CheckStage::Execution);
+        assert!(matches!(
+            &e,
+            QueryError::In { source, .. } if matches!(&**source, QueryError::Incomparable { .. })
+        ));
     }
 
     #[test]
@@ -917,9 +926,11 @@ mod tests {
             "VISUALIZE bar SELECT name , age FROM technician WHERE tech_id IN ( SELECT x FROM nonexistent )",
         )
         .unwrap();
+        let e = execute(&q, &db()).unwrap_err();
+        assert_eq!(e.component(), Some(Component::Subquery));
         assert!(matches!(
-            execute(&q, &db()),
-            Err(QueryError::UnknownTable(_))
+            &e,
+            QueryError::In { source, .. } if matches!(&**source, QueryError::UnknownTable(_))
         ));
     }
 

@@ -1,0 +1,45 @@
+//! Pulling VQL text out of free-form model completions.
+//!
+//! Completions are not queries: a model may echo the prompt, prepend
+//! chain-of-thought prose, or answer with a bare `VISUALIZE ...` line. The
+//! extraction rule lives here — next to the parser it feeds — so every
+//! consumer (the pipeline, the eval scorer, the serving-stack validation
+//! gate) agrees byte-for-byte on what the model's query *was*.
+
+/// Extracts the VQL text from a model completion: the text after a `VQL:`
+/// marker when present, else the first line starting with `VISUALIZE`.
+pub fn extract_vql(completion: &str) -> Option<&str> {
+    if let Some(pos) = completion.rfind("VQL:") {
+        let rest = completion[pos + 4..].trim();
+        if !rest.is_empty() {
+            return Some(rest.lines().next().unwrap().trim());
+        }
+    }
+    completion
+        .lines()
+        .map(str::trim)
+        .find(|l| l.to_ascii_uppercase().starts_with("VISUALIZE"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_the_last_vql_marker() {
+        let c = "VQL: VISUALIZE bar SELECT a , b FROM t\nVQL: VISUALIZE pie SELECT c , d FROM u";
+        assert_eq!(extract_vql(c), Some("VISUALIZE pie SELECT c , d FROM u"));
+    }
+
+    #[test]
+    fn falls_back_to_a_visualize_line() {
+        let c = "Sure! Here is the query:\n  visualize bar select a , b from t";
+        assert_eq!(extract_vql(c), Some("visualize bar select a , b from t"));
+    }
+
+    #[test]
+    fn prose_without_a_query_yields_none() {
+        assert_eq!(extract_vql("I cannot answer that."), None);
+        assert_eq!(extract_vql("VQL:"), None);
+    }
+}

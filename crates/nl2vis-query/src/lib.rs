@@ -27,6 +27,9 @@
 //!   order) producing a [`ResultSet`];
 //! - [`component`]: decomposition of a query into the visual-part /
 //!   data-part components used by the paper's failure analysis (Fig. 11);
+//! - [`extract`]: pulling the VQL text out of a free-form model completion
+//!   (shared by the pipeline, the eval scorer, and the serving-stack
+//!   validation gate);
 //! - [`sql`]: VQL → SQL translation (the nvBench lineage), for running
 //!   generated queries on a real engine.
 
@@ -36,6 +39,7 @@ pub mod canon;
 pub mod component;
 pub mod error;
 pub mod exec;
+pub mod extract;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -45,7 +49,8 @@ pub use ast::{
     AggFunc, Bin, BinUnit, ChartType, CmpOp, ColumnRef, Join, Literal, OrderBy, OrderTarget,
     Predicate, SelectExpr, SortDir, SubQuery, VqlQuery,
 };
-pub use error::QueryError;
+pub use error::{CheckStage, QueryError};
 pub use exec::{execute, ResultSet};
+pub use extract::extract_vql;
 pub use parser::parse;
 pub use sql::to_sql;

@@ -21,6 +21,10 @@
 //!   composed stack's layer order, so misordered stacks (a cache inside
 //!   retry would memoize per-attempt state) are rejected by debug
 //!   assertions instead of silently corrupting results.
+//! - [`tier`]: validation-gated tiered routing — [`RouteLayer`] builds a
+//!   [`TieredService`] that serves the cheapest model tier first, checks
+//!   the answer with the VQL parser/executor ([`ValidateLayer`]), and
+//!   escalates to a stronger tier on failure.
 //!
 //! The canonical order, outermost first, is
 //! `Trace(Metrics(Cache(Retry(leaf))))` — the cache layer itself lives in
@@ -37,6 +41,7 @@ pub mod metrics;
 pub mod outcome;
 pub mod retry;
 pub mod service;
+pub mod tier;
 pub mod trace;
 
 pub use fault::{FaultLayer, Faulted};
@@ -44,4 +49,8 @@ pub use metrics::{Metrics, MetricsLayer};
 pub use outcome::{CompletionOutcome, GenOptions, TransportError, TransportErrorKind};
 pub use retry::{Retry, RetryLayer, RetryPolicy};
 pub use service::{service_fn, stack_of, validate_stack, CompletionService, Layer, ServiceFn};
+pub use tier::{
+    RouteLayer, RoutePolicy, Tier, TieredService, ValidateLayer, Validated, ValidationFailure,
+    Validator, VqlExecValidator, VqlSyntaxValidator, VALIDATION_REJECTED_STATUS,
+};
 pub use trace::{Trace, TraceLayer};

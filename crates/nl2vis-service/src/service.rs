@@ -120,6 +120,19 @@ pub fn stack_of<S: CompletionService + ?Sized>(service: &S) -> Vec<&'static str>
 ///    (healthy, unpenalized) replica instead of hammering the one that
 ///    just failed. Two nested routers would hedge hedges — up to 4
 ///    upstream calls for one request.
+/// 4. **`tier` (model-tier routing) sits inside `retry` and outside
+///    `cache` and `route`, at most once.** A retry above the tier router
+///    re-enters tier selection, so a transient failure can fail over to a
+///    stronger tier; a cache outside the router would memoize whichever
+///    tier happened to answer under one key, collapsing the tiers'
+///    distinct (tier-qualified) keyspaces — per-tier caches belong inside
+///    each tier. Replica selection likewise happens per tier, inside it.
+/// 5. **`validate` sits inside `cache`, at most once.** With
+///    `Validate(Cache(leaf))` the inner cache stores a completion *before*
+///    validation sees it, so an invalid answer is memoized and replayed —
+///    a poisoned entry that rejects forever. `Cache(Validate(leaf))`
+///    stores only answers that passed the check, because errors are never
+///    cached.
 pub fn validate_stack(stack: &[&str]) -> Result<(), String> {
     let position = |tag: &str| stack.iter().position(|t| *t == tag);
     if stack.iter().filter(|t| **t == "retry").count() > 1 {
@@ -132,6 +145,49 @@ pub fn validate_stack(stack: &[&str]) -> Result<(), String> {
         return Err(format!(
             "stack nests two route layers (hedges would hedge): {stack:?}"
         ));
+    }
+    if stack.iter().filter(|t| **t == "tier").count() > 1 {
+        return Err(format!("stack nests two tier routers: {stack:?}"));
+    }
+    if stack.iter().filter(|t| **t == "validate").count() > 1 {
+        return Err(format!("stack nests two validate layers: {stack:?}"));
+    }
+    if let Some(tier) = position("tier") {
+        if let Some(cache) = position("cache") {
+            if cache < tier {
+                return Err(format!(
+                    "cache sits outside tier (position {cache} vs {tier}): one shared cache \
+                     would collapse the tiers' tier-qualified keyspaces; put a cache inside \
+                     each tier instead: {stack:?}"
+                ));
+            }
+        }
+        if let Some(route) = position("route") {
+            if route < tier {
+                return Err(format!(
+                    "route sits outside tier (position {route} vs {tier}): replica selection \
+                     happens per tier; compose Tier(Route(..)) inside each tier: {stack:?}"
+                ));
+            }
+        }
+        if let Some(retry) = position("retry") {
+            if retry > tier {
+                return Err(format!(
+                    "retry sits inside tier (position {retry} vs {tier}): retries would \
+                     multiply one tier's cost before the router could escalate; compose \
+                     Retry(Tier(..)) instead: {stack:?}"
+                ));
+            }
+        }
+    }
+    if let (Some(validate), Some(cache)) = (position("validate"), position("cache")) {
+        if validate < cache {
+            return Err(format!(
+                "cache sits inside validate (position {cache} vs {validate}): an invalid \
+                 completion would be memoized before validation rejects it, poisoning the \
+                 entry; compose Cache(Validate(..)) instead: {stack:?}"
+            ));
+        }
     }
     if let (Some(cache), Some(retry)) = (position("cache"), position("retry")) {
         if cache > retry {
@@ -255,6 +311,36 @@ mod tests {
     fn validate_rejects_nested_budget_multipliers() {
         assert!(validate_stack(&["retry", "retry", "fn"]).is_err());
         assert!(validate_stack(&["cache", "cache", "fn"]).is_err());
+        assert!(validate_stack(&["tier", "tier"]).is_err());
+        assert!(validate_stack(&["validate", "validate", "fn"]).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_the_canonical_tier_positions() {
+        // The router's one legal position: below retry/metrics, no cache
+        // or replica route outside it (those live inside each tier).
+        assert!(validate_stack(&["trace", "metrics", "retry", "tier"]).is_ok());
+        assert!(validate_stack(&["retry", "tier"]).is_ok());
+        assert!(validate_stack(&["tier"]).is_ok());
+        // An individual tier's inner stack: cache over validate over leaf.
+        assert!(validate_stack(&["cache", "validate", "sim"]).is_ok());
+        assert!(validate_stack(&["cache", "validate", "route", "http"]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_misplaced_tier_routers() {
+        let err = validate_stack(&["cache", "tier"]).unwrap_err();
+        assert!(err.contains("cache sits outside tier"), "{err}");
+        let err = validate_stack(&["route", "tier"]).unwrap_err();
+        assert!(err.contains("route sits outside tier"), "{err}");
+        let err = validate_stack(&["tier", "retry"]).unwrap_err();
+        assert!(err.contains("retry sits inside tier"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_cache_inside_validate() {
+        let err = validate_stack(&["validate", "cache", "sim"]).unwrap_err();
+        assert!(err.contains("cache sits inside validate"), "{err}");
     }
 
     #[test]

@@ -106,6 +106,34 @@ sys.exit(0 if ok else 1)
 EOF
 fi
 
+# Tiered-routing smoke: boots the completion server on a two-tier stack
+# whose cheap tier deliberately answers prose, runs the in-domain eval
+# over HTTP, and asserts (a) the gate escalated past the bad tier and
+# (b) the tiered scores are byte-identical to a direct strong-tier-only
+# run — a validation-failed answer never leaked into grading.
+tiered_smoke() {
+    cargo run -q -p nl2vis-bench --release --bin tiered_smoke \
+        > target/tiered_smoke.json || return 1
+    python3 - <<'EOF'
+import json, sys
+doc = json.load(open("target/tiered_smoke.json"))
+ok = True
+def check(cond, msg):
+    global ok
+    print(("ok  " if cond else "FAIL") + " " + msg)
+    ok = ok and cond
+check(doc["escalations_total"] > 0,
+      "route.tier.escalations_total > 0 (got %d)" % doc["escalations_total"])
+check(doc["validation_failures_total"] == doc["bad_tier_requests"],
+      "the gate rejected every bad-tier answer")
+check(doc["scores_identical"] is True,
+      "tiered scores %r match strong-only %r"
+      % (doc["tiered"], doc["strong_only"]))
+sys.exit(0 if ok else 1)
+EOF
+}
+run "tiered routing smoke" tiered_smoke
+
 # Trace stitching: the /trace/<id> acceptance demo — a hedged request's
 # primary and hedge attempts land in one trace tree with the winner
 # marked.

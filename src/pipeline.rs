@@ -16,7 +16,7 @@ use nl2vis_query::exec::ResultSet;
 use nl2vis_query::{execute, parse, QueryError};
 use nl2vis_service::{
     stack_of, validate_stack, CompletionService, Layer, Metrics, MetricsLayer, Retry, RetryLayer,
-    RetryPolicy, Trace, TraceLayer,
+    RetryPolicy, TieredService, Trace, TraceLayer,
 };
 use nl2vis_vega::{ascii, spec, svg};
 
@@ -107,6 +107,14 @@ pub mod stage {
     pub enum AtMetrics {}
     /// A trace layer is outermost — the stack is complete.
     pub enum AtTrace {}
+    /// A tier router is outermost. Deliberately *not* [`BelowCache`]: a
+    /// cache outside the router would collapse the tiers' tier-qualified
+    /// keyspaces into one — per-tier caches live inside each tier.
+    pub enum AtTier {}
+    /// A retry layer wraps a tier router (the only legal retry/tier
+    /// nesting: a retried attempt re-enters tier selection). Also not
+    /// [`BelowCache`], for the same reason as [`AtTier`].
+    pub enum AtTierRetry {}
 
     /// Positions a cache layer may wrap: the leaf or a retry layer. A
     /// cache *inside* retry would memoize per-attempt state.
@@ -120,6 +128,8 @@ pub mod stage {
     impl BelowMetrics for AtLeaf {}
     impl BelowMetrics for AtRetry {}
     impl BelowMetrics for AtCache {}
+    impl BelowMetrics for AtTier {}
+    impl BelowMetrics for AtTierRetry {}
 }
 
 /// A compile-time-ordered builder for the layered completion stack.
@@ -166,6 +176,82 @@ impl<S: CompletionService> StackBuilder<S, stage::AtLeaf> {
     /// Adds bounded retry with deterministic backoff (and 429
     /// `Retry-After` honoring) directly around the leaf.
     pub fn retry(self, policy: RetryPolicy) -> StackBuilder<Retry<S>, stage::AtRetry> {
+        StackBuilder {
+            service: RetryLayer::new(policy).layer(self.service),
+            _stage: std::marker::PhantomData,
+        }
+    }
+}
+
+impl StackBuilder<TieredService, stage::AtTier> {
+    /// Starts a stack over a tier router (the output of
+    /// [`nl2vis_service::RouteLayer::build`]). The router occupies exactly
+    /// one position in the canonical order: above per-tier caches, below
+    /// retry/metrics/trace — so this builder offers
+    /// [`retry`](StackBuilder::<TieredService, stage::AtTier>::retry),
+    /// [`metrics`](StackBuilder::metrics) and [`trace`](StackBuilder::trace),
+    /// but *not* `cache`:
+    ///
+    /// ```
+    /// use nl2vis::pipeline::StackBuilder;
+    /// use nl2vis_service::{service_fn, stack_of, RetryPolicy, RouteLayer, RoutePolicy};
+    ///
+    /// let tiers = RouteLayer::new(RoutePolicy::CheapFirst)
+    ///     .tier("only", 1, service_fn("m", |_, _| Ok("x".into())))
+    ///     .build()
+    ///     .unwrap();
+    /// let stack = StackBuilder::over_tiers(tiers)
+    ///     .retry(RetryPolicy::no_retry())
+    ///     .metrics()
+    ///     .trace()
+    ///     .build();
+    /// assert_eq!(stack_of(&stack), vec!["trace", "metrics", "retry", "tier"]);
+    /// ```
+    ///
+    /// A cache outside the router is a *compile error* (the tier stages
+    /// are not [`stage::BelowCache`]):
+    ///
+    /// ```compile_fail
+    /// use nl2vis::pipeline::StackBuilder;
+    /// use nl2vis_service::{service_fn, RouteLayer, RoutePolicy};
+    ///
+    /// let tiers = RouteLayer::new(RoutePolicy::CheapFirst)
+    ///     .tier("only", 1, service_fn("m", |_, _| Ok("x".into())))
+    ///     .build()
+    ///     .unwrap();
+    /// let _ = StackBuilder::over_tiers(tiers).cache(16); // no such method here
+    /// ```
+    ///
+    /// And so is a cache above the retry that wraps the router:
+    ///
+    /// ```compile_fail
+    /// use nl2vis::pipeline::StackBuilder;
+    /// use nl2vis_service::{service_fn, RetryPolicy, RouteLayer, RoutePolicy};
+    ///
+    /// let tiers = RouteLayer::new(RoutePolicy::CheapFirst)
+    ///     .tier("only", 1, service_fn("m", |_, _| Ok("x".into())))
+    ///     .build()
+    ///     .unwrap();
+    /// let _ = StackBuilder::over_tiers(tiers)
+    ///     .retry(RetryPolicy::no_retry())
+    ///     .cache(16);
+    /// ```
+    pub fn over_tiers(tiers: TieredService) -> StackBuilder<TieredService, stage::AtTier> {
+        StackBuilder {
+            service: tiers,
+            _stage: std::marker::PhantomData,
+        }
+    }
+
+    /// Adds bounded retry around the tier router: a retried attempt
+    /// re-enters tier selection, so transient failures can fail over to a
+    /// stronger tier. (Validation rejections carry status 422, which the
+    /// standard policy treats as non-retryable — the router already
+    /// escalated those.)
+    pub fn retry(
+        self,
+        policy: RetryPolicy,
+    ) -> StackBuilder<Retry<TieredService>, stage::AtTierRetry> {
         StackBuilder {
             service: RetryLayer::new(policy).layer(self.service),
             _stage: std::marker::PhantomData,
@@ -502,6 +588,46 @@ mod tests {
             .retry(RetryPolicy::no_retry())
             .build();
     }
+    /// A tiered stack drives the pipeline end-to-end: the deliberately-bad
+    /// cheap tier is validation-rejected, the strong tier answers, and the
+    /// composed stack sits in the canonical position under retry/metrics.
+    #[test]
+    fn tiered_stack_drives_the_pipeline() {
+        use nl2vis_service::{service_fn, RouteLayer, RoutePolicy, ValidateLayer};
+
+        let tiers = RouteLayer::new(RoutePolicy::CheapFirst)
+            .model("tiered")
+            .tier(
+                "cheap",
+                1,
+                ValidateLayer::new(nl2vis_service::VqlSyntaxValidator)
+                    .layer(service_fn("bad", |_, _| Ok("I cannot answer.".into()))),
+            )
+            .tier(
+                "strong",
+                10,
+                SimLlm::new(ModelProfile::by_name("gpt-4").unwrap(), 7),
+            )
+            .build()
+            .unwrap();
+        let stack = StackBuilder::over_tiers(tiers)
+            .retry(RetryPolicy::no_retry())
+            .metrics()
+            .trace()
+            .build();
+        assert_eq!(stack_of(&stack), vec!["trace", "metrics", "retry", "tier"]);
+
+        let p = Pipeline::with_service(stack);
+        assert_eq!(p.model(), "tiered");
+        let vis = p
+            .run(
+                &db(),
+                "Show a bar chart of the total amount for each region.",
+            )
+            .expect("escalation recovers the strong tier's answer");
+        assert!(!vis.data.rows.is_empty());
+    }
+
     #[test]
     fn cached_pipeline_hits_on_repeat_questions() {
         let cache = std::sync::Arc::new(CompletionCache::in_memory(64));

@@ -7,7 +7,7 @@
 //! attempt. Plus the refactor's non-regression contract: the metric-name
 //! surface of the pre-layer wrapper structs is byte-identical.
 
-use nl2vis::cache::{CacheLayer, CachedLlmClient, CompletionCache};
+use nl2vis::cache::{completion_key, CacheLayer, CachedLlmClient, CompletionCache};
 use nl2vis::llm::fault::{Fault, FaultInjector};
 use nl2vis::llm::http::{CompletionServer, HttpLlmClient};
 use nl2vis::llm::{GenOptions, LlmClient, ModelProfile, ResilientLlmClient, RetryPolicy, SimLlm};
@@ -15,7 +15,7 @@ use nl2vis::obs::{self, recorder, FlightRecorder};
 use nl2vis::pipeline::StackBuilder;
 use nl2vis::service::{
     service_fn, stack_of, validate_stack, CompletionService, FaultLayer, Layer, RetryLayer,
-    TransportError, TransportErrorKind,
+    RouteLayer, RoutePolicy, TransportError, TransportErrorKind, ValidateLayer, VqlSyntaxValidator,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -302,4 +302,229 @@ fn shim_path_metric_names_are_byte_identical() {
         ],
         "the serving path's metric-name surface drifted"
     );
+}
+
+/// A syntactically valid completion the tests route to the strong tier.
+fn good_vql() -> &'static str {
+    "VQL: VISUALIZE bar SELECT name , COUNT(name) FROM t"
+}
+
+/// A two-tier escalating stack: a prose-only cheap tier behind the syntax
+/// gate, and a clean strong tier. `bad_calls`/`strong_calls` count leaf
+/// invocations.
+fn escalating_stack(
+    bad_calls: Arc<AtomicUsize>,
+    strong_calls: Arc<AtomicUsize>,
+) -> impl CompletionService {
+    let bad = service_fn("bad", move |_p, _| {
+        bad_calls.fetch_add(1, Ordering::SeqCst);
+        Ok("I cannot answer that.".to_string())
+    });
+    let strong = service_fn("strong", move |_p, _| {
+        strong_calls.fetch_add(1, Ordering::SeqCst);
+        Ok(good_vql().to_string())
+    });
+    RouteLayer::new(RoutePolicy::CheapFirst)
+        .model("tiered")
+        .tier("bad", 1, ValidateLayer::new(VqlSyntaxValidator).layer(bad))
+        .tier("strong", 38, strong)
+        .build()
+        .expect("two-tier stack conforms")
+}
+
+/// The routing era's addition to the metric-name surface: one escalated
+/// request touches exactly these `route.*` names. Like the shim golden
+/// list above, an edit here is a dashboard-compatibility decision.
+#[test]
+fn route_metric_surface_is_the_golden_set() {
+    let _guard = global_observability_lock();
+    let names_before: std::collections::BTreeMap<String, u64> = obs::global()
+        .counters()
+        .into_iter()
+        .chain(
+            obs::global()
+                .histograms()
+                .into_iter()
+                .map(|(name, summary)| (name, summary.count)),
+        )
+        .collect();
+
+    let stack = escalating_stack(Arc::new(AtomicUsize::new(0)), Arc::new(AtomicUsize::new(0)));
+    let out = stack
+        .call(&prompt(10), &GenOptions::default())
+        .expect("the strong tier answers");
+    assert_eq!(out, good_vql());
+
+    let names_after: std::collections::BTreeMap<String, u64> = obs::global()
+        .counters()
+        .into_iter()
+        .chain(
+            obs::global()
+                .histograms()
+                .into_iter()
+                .map(|(name, summary)| (name, summary.count)),
+        )
+        .collect();
+    let mut touched: Vec<&str> = names_after
+        .iter()
+        .filter(|(name, value)| {
+            name.starts_with("route.") && names_before.get(*name) != Some(value)
+        })
+        .map(|(name, _)| name.as_str())
+        .collect();
+    touched.sort_unstable();
+    assert_eq!(
+        touched,
+        vec![
+            "route.cost_units",
+            "route.error.validation",
+            "route.errors_total",
+            "route.request.duration_us",
+            "route.tier.bad.duration_us",
+            "route.tier.bad.escalations_total",
+            "route.tier.bad.requests_total",
+            "route.tier.escalations_total",
+            "route.tier.requests_total",
+            "route.tier.strong.duration_us",
+            "route.tier.strong.requests_total",
+            "route.tier.validation_failures_total",
+        ],
+        "the routing metric-name surface drifted"
+    );
+}
+
+/// Escalation correctness, part 1: a cheap-tier answer the gate rejected
+/// is never returned to the caller and never memoized — even when each
+/// tier carries its own cache over a *shared* store. The escalated answer
+/// lands under the strong tier's completion key only.
+#[test]
+fn validation_failed_cheap_answer_is_never_returned_or_cached() {
+    let _guard = global_observability_lock();
+    let bad_calls = Arc::new(AtomicUsize::new(0));
+    let strong_calls = Arc::new(AtomicUsize::new(0));
+    let shared = Arc::new(CompletionCache::in_memory(32));
+
+    let bad = {
+        let calls = Arc::clone(&bad_calls);
+        service_fn("bad", move |_p, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok("I cannot answer that.".to_string())
+        })
+    };
+    let strong = {
+        let calls = Arc::clone(&strong_calls);
+        service_fn("strong", move |_p, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(good_vql().to_string())
+        })
+    };
+    // Per-tier stacks: Cached(Validate(leaf)) — the cache sits *outside*
+    // the gate, so a rejected completion surfaces as an error and the
+    // never-memoize-errors property keeps it out of the store.
+    let stack = RouteLayer::new(RoutePolicy::CheapFirst)
+        .model("tiered")
+        .tier(
+            "bad",
+            1,
+            CacheLayer::with_cache(Arc::clone(&shared))
+                .layer(ValidateLayer::new(VqlSyntaxValidator).layer(bad)),
+        )
+        .tier(
+            "strong",
+            38,
+            CacheLayer::with_cache(Arc::clone(&shared)).layer(strong),
+        )
+        .build()
+        .expect("cached tiers conform");
+
+    let opts = GenOptions::default();
+    let p = prompt(11);
+    let first = stack.call(&p, &opts).expect("escalation succeeds");
+    assert_eq!(
+        first,
+        good_vql(),
+        "the rejected prose never reaches the caller"
+    );
+    assert_eq!(
+        shared.len(),
+        1,
+        "exactly one entry: the escalated answer under the strong tier's key"
+    );
+    assert!(
+        shared.get(&completion_key("strong", &opts, &p)).is_some(),
+        "the escalated answer is keyed by the tier that produced it"
+    );
+    assert!(
+        shared.get(&completion_key("bad", &opts, &p)).is_none(),
+        "the validation-failed answer was memoized"
+    );
+
+    // The repeat: the cheap tier's cache misses again (errors are not
+    // memoized), the gate rejects again, and the strong tier serves its
+    // cached answer without re-invoking the leaf.
+    let second = stack.call(&p, &opts).expect("repeat escalation succeeds");
+    assert_eq!(second, good_vql());
+    assert_eq!(
+        bad_calls.load(Ordering::SeqCst),
+        2,
+        "rejections never memoize"
+    );
+    assert_eq!(
+        strong_calls.load(Ordering::SeqCst),
+        1,
+        "the escalated answer is served from cache on the repeat"
+    );
+}
+
+/// Escalation correctness, part 2: a transport failure at the cheap tier
+/// escalates rather than surfacing, and when *every* tier fails the
+/// caller sees the error — the router never fabricates model output.
+#[test]
+fn transport_failure_is_never_scored_as_model_output() {
+    let _guard = global_observability_lock();
+    let dead = |model: &'static str| {
+        service_fn(model, move |_p, _| -> Result<String, TransportError> {
+            Err(TransportError::new(
+                TransportErrorKind::Timeout,
+                1,
+                format!("{model}: injected timeout"),
+            ))
+        })
+    };
+
+    // Cheap tier times out; the strong tier's answer is what the caller
+    // gets, byte for byte.
+    let strong_calls = Arc::new(AtomicUsize::new(0));
+    let strong = {
+        let calls = Arc::clone(&strong_calls);
+        service_fn("strong", move |_p, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(good_vql().to_string())
+        })
+    };
+    let stack = RouteLayer::new(RoutePolicy::CheapFirst)
+        .model("tiered")
+        .tier("dead-cheap", 1, dead("dead-cheap"))
+        .tier("strong", 38, strong)
+        .build()
+        .expect("stack conforms");
+    let out = stack
+        .call(&prompt(12), &GenOptions::default())
+        .expect("the strong tier rescues the timeout");
+    assert_eq!(out, good_vql());
+    assert_eq!(strong_calls.load(Ordering::SeqCst), 1);
+
+    // Both tiers fail: the call is an error, not an empty or placeholder
+    // completion a scorer could mistake for output.
+    let all_dead = RouteLayer::new(RoutePolicy::CheapFirst)
+        .model("tiered")
+        .tier("dead-cheap", 1, dead("dead-cheap"))
+        .tier("dead-strong", 38, dead("dead-strong"))
+        .build()
+        .expect("stack conforms");
+    let err = all_dead
+        .call(&prompt(12), &GenOptions::default())
+        .expect_err("no tier answered");
+    assert_eq!(err.kind, TransportErrorKind::Timeout);
+    assert!(err.to_string().contains("dead-strong"), "{err}");
 }
